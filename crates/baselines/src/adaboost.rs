@@ -1,0 +1,288 @@
+//! AdaBoost over decision stumps (the SPIE'15 baseline).
+
+use hotspot_features::density_grid;
+use hotspot_geometry::BitImage;
+use serde::{Deserialize, Serialize};
+
+/// One weak learner: a threshold on a single feature.
+///
+/// Predicts `+1` (hotspot) when `polarity * (x[feature] - threshold) >= 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stump {
+    /// Index of the thresholded feature.
+    pub feature: usize,
+    /// Decision threshold.
+    pub threshold: f32,
+    /// `+1` or `-1`.
+    pub polarity: f32,
+    /// Weight of this stump in the ensemble.
+    pub alpha: f32,
+}
+
+impl Stump {
+    fn predict(&self, x: &[f32]) -> f32 {
+        if self.polarity * (x[self.feature] - self.threshold) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+}
+
+/// A trained AdaBoost ensemble over feature vectors.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AdaBoostModel {
+    stumps: Vec<Stump>,
+}
+
+impl AdaBoostModel {
+    /// Trains `rounds` stumps with the classic discrete AdaBoost
+    /// reweighting.
+    ///
+    /// `labels[i]` is `true` for hotspots.  Training greedily picks, at
+    /// each round, the stump with minimal weighted error over all
+    /// features and candidate thresholds (feature midpoints).
+    ///
+    /// # Panics
+    ///
+    /// Panics when inputs are empty or lengths disagree.
+    pub fn fit(features: &[Vec<f32>], labels: &[bool], rounds: usize) -> Self {
+        assert!(!features.is_empty(), "cannot train on zero examples");
+        assert_eq!(features.len(), labels.len(), "one label per example");
+        let n = features.len();
+        let d = features[0].len();
+        assert!(features.iter().all(|f| f.len() == d), "ragged features");
+        let y: Vec<f32> = labels.iter().map(|&l| if l { 1.0 } else { -1.0 }).collect();
+        let mut weights = vec![1.0f64 / n as f64; n];
+        let mut stumps = Vec::with_capacity(rounds);
+
+        // Pre-sort example indices by each feature once; each round
+        // then finds the optimal threshold per feature with a single
+        // weighted prefix scan (O(d·n) per round).
+        let mut order: Vec<Vec<u32>> = Vec::with_capacity(d);
+        #[allow(clippy::needless_range_loop)] // j is the feature id, not just an index
+        for j in 0..d {
+            let mut idx: Vec<u32> = (0..n as u32).collect();
+            idx.sort_by(|&a, &b| features[a as usize][j].total_cmp(&features[b as usize][j]));
+            order.push(idx);
+        }
+
+        for _ in 0..rounds {
+            let total_pos: f64 = (0..n).filter(|&i| y[i] > 0.0).map(|i| weights[i]).sum();
+            let total_neg = 1.0 - total_pos;
+            let mut best: Option<(f64, Stump)> = None;
+            for j in 0..d {
+                // Sweep the threshold from below the minimum upward.
+                // For polarity +1 (predict + when x >= thr): examples
+                // below the threshold are predicted −.
+                // err(+1, thr) = (pos weight below thr) + (neg weight at/above thr).
+                let mut pos_below = 0.0f64;
+                let mut neg_below = 0.0f64;
+                // Threshold below everything.
+                let consider = |err_plus: f64, thr: f32, best: &mut Option<(f64, Stump)>| {
+                    for (polarity, err) in [(1.0f32, err_plus), (-1.0, 1.0 - err_plus)] {
+                        if best.as_ref().is_none_or(|(e, _)| err < *e) {
+                            *best = Some((
+                                err,
+                                Stump {
+                                    feature: j,
+                                    threshold: thr,
+                                    polarity,
+                                    alpha: 0.0,
+                                },
+                            ));
+                        }
+                    }
+                };
+                let first_val = features[order[j][0] as usize][j];
+                consider(total_neg, first_val - 1.0, &mut best);
+                let idxs = &order[j];
+                let mut i = 0;
+                while i < n {
+                    let v = features[idxs[i] as usize][j];
+                    // Absorb ties.
+                    while i < n && features[idxs[i] as usize][j] == v {
+                        let e = idxs[i] as usize;
+                        if y[e] > 0.0 {
+                            pos_below += weights[e];
+                        } else {
+                            neg_below += weights[e];
+                        }
+                        i += 1;
+                    }
+                    let thr = if i < n {
+                        (v + features[idxs[i] as usize][j]) / 2.0
+                    } else {
+                        v + 1.0
+                    };
+                    let err_plus = pos_below + (total_neg - neg_below);
+                    consider(err_plus, thr, &mut best);
+                }
+            }
+            let (err, mut stump) = best.expect("at least one candidate stump");
+            let err = err.clamp(1e-10, 1.0 - 1e-10);
+            if err >= 0.5 {
+                break; // no weak learner better than chance remains
+            }
+            let alpha = 0.5 * ((1.0 - err) / err).ln();
+            stump.alpha = alpha as f32;
+            // Reweight.
+            let mut z = 0.0f64;
+            for i in 0..n {
+                let margin = y[i] as f64 * stump.predict(&features[i]) as f64;
+                weights[i] *= (-alpha * margin).exp();
+                z += weights[i];
+            }
+            for w in &mut weights {
+                *w /= z;
+            }
+            stumps.push(stump);
+        }
+        AdaBoostModel { stumps }
+    }
+
+    /// The ensemble margin (positive ⇒ hotspot).
+    pub fn score(&self, x: &[f32]) -> f32 {
+        self.stumps.iter().map(|s| s.alpha * s.predict(x)).sum()
+    }
+
+    /// Hard classification.
+    pub fn predict(&self, x: &[f32]) -> bool {
+        self.score(x) >= 0.0
+    }
+
+    /// The trained stumps.
+    pub fn stumps(&self) -> &[Stump] {
+        &self.stumps
+    }
+}
+
+/// The SPIE'15-style detector: density-grid features + AdaBoost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaBoostDetector {
+    grid: usize,
+    rounds: usize,
+    model: AdaBoostModel,
+}
+
+impl AdaBoostDetector {
+    /// Creates an untrained detector using a `grid × grid` density
+    /// encoding and `rounds` boosting rounds.
+    pub fn new(grid: usize, rounds: usize) -> Self {
+        assert!(grid > 0 && rounds > 0);
+        AdaBoostDetector {
+            grid,
+            rounds,
+            model: AdaBoostModel::default(),
+        }
+    }
+
+    /// Extracts this detector's feature vector from a clip.
+    pub fn features(&self, image: &BitImage) -> Vec<f32> {
+        density_grid(image, self.grid)
+    }
+
+    /// Trains on labelled clips (`true` = hotspot).
+    ///
+    /// # Panics
+    ///
+    /// Panics when inputs are empty or lengths disagree.
+    pub fn fit(&mut self, images: &[BitImage], labels: &[bool]) {
+        let features: Vec<Vec<f32>> = images.iter().map(|i| self.features(i)).collect();
+        self.model = AdaBoostModel::fit(&features, labels, self.rounds);
+    }
+
+    /// The ensemble margin for a clip.
+    pub fn score(&self, image: &BitImage) -> f32 {
+        self.model.score(&self.features(image))
+    }
+
+    /// Classifies a clip.
+    pub fn predict(&self, image: &BitImage) -> bool {
+        self.score(image) >= 0.0
+    }
+
+    /// The underlying ensemble.
+    pub fn model(&self) -> &AdaBoostModel {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_single_feature_split() {
+        // Feature 1 separates the classes perfectly.
+        let features: Vec<Vec<f32>> = vec![
+            vec![0.5, 0.1],
+            vec![0.2, 0.2],
+            vec![0.9, 0.8],
+            vec![0.1, 0.9],
+        ];
+        let labels = vec![false, false, true, true];
+        let model = AdaBoostModel::fit(&features, &labels, 5);
+        for (f, &l) in features.iter().zip(&labels) {
+            assert_eq!(model.predict(f), l);
+        }
+    }
+
+    #[test]
+    fn boosting_combines_weak_stumps() {
+        // An interval concept (positive iff x ∈ [0.4, 0.6]) needs at
+        // least two stumps; boosting should reach high accuracy.
+        let xs = [0.0f32, 0.1, 0.2, 0.3, 0.45, 0.5, 0.55, 0.7, 0.8, 0.9];
+        let features: Vec<Vec<f32>> = xs.iter().map(|&x| vec![x]).collect();
+        let labels: Vec<bool> = xs.iter().map(|&x| (0.4..=0.6).contains(&x)).collect();
+        let model = AdaBoostModel::fit(&features, &labels, 40);
+        let correct = features
+            .iter()
+            .zip(&labels)
+            .filter(|(f, &l)| model.predict(f) == l)
+            .count();
+        assert!(correct >= 9, "only {correct}/10 correct");
+        assert!(model.stumps().len() >= 2, "interval needs ≥2 stumps");
+    }
+
+    #[test]
+    fn detector_on_images() {
+        // Hotspots: dense left half. Clean: dense right half.
+        let mk = |left: bool| {
+            let mut img = BitImage::new(16, 16);
+            for y in 0..16 {
+                if left {
+                    img.fill_row_span(y, 0, 8);
+                } else {
+                    img.fill_row_span(y, 8, 16);
+                }
+            }
+            img
+        };
+        let images: Vec<BitImage> = (0..10).map(|i| mk(i % 2 == 0)).collect();
+        let labels: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        let mut det = AdaBoostDetector::new(4, 10);
+        det.fit(&images, &labels);
+        assert!(det.predict(&mk(true)));
+        assert!(!det.predict(&mk(false)));
+        assert!(!det.model().stumps().is_empty());
+    }
+
+    #[test]
+    fn perfect_stump_stops_early() {
+        let features = vec![vec![0.0], vec![1.0]];
+        let labels = vec![false, true];
+        let model = AdaBoostModel::fit(&features, &labels, 50);
+        // One perfect stump drives training error to zero; a second
+        // round finds err=0 again. Either way, far fewer than 50.
+        assert!(model.stumps().len() <= 50);
+        assert!(model.predict(&[1.0]));
+        assert!(!model.predict(&[0.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero examples")]
+    fn empty_training_rejected() {
+        AdaBoostModel::fit(&[], &[], 3);
+    }
+}

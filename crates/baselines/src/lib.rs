@@ -1,0 +1,43 @@
+//! Baseline hotspot detectors from the paper's Table 3.
+//!
+//! The paper compares its BNN against three prior detectors; this crate
+//! implements a faithful-in-spirit version of each, on the same
+//! [`BitImage`](hotspot_geometry::BitImage) clips:
+//!
+//! * [`AdaBoostDetector`] — SPIE'15 (Matsunawa et al.): AdaBoost over
+//!   decision stumps on a simplified density-grid encoding.  Fast,
+//!   lowest accuracy.
+//! * [`CcsBoostDetector`] — ICCAD'16 (Zhang et al.): concentric-circle
+//!   sampling features with a smooth-boosting-style linear learner and
+//!   an online update pass.  High accuracy, most false alarms.
+//! * [`DctCnnDetector`] — DAC'17 (Yang et al.): DCT feature tensor into
+//!   a float CNN trained with biased learning.  The strongest prior
+//!   work and the speed baseline for the BNN's 8× claim.
+//!
+//! # Example
+//!
+//! ```
+//! use hotspot_baselines::AdaBoostDetector;
+//! use hotspot_geometry::BitImage;
+//!
+//! let mut hotspot = BitImage::new(32, 32);
+//! for y in 0..32 { hotspot.fill_row_span(y, 0, 32); }
+//! let clean = BitImage::new(32, 32);
+//! let images = vec![hotspot.clone(), clean.clone()];
+//! let labels = vec![true, false];
+//!
+//! let mut det = AdaBoostDetector::new(4, 20);
+//! det.fit(&images, &labels);
+//! assert!(det.predict(&hotspot));
+//! assert!(!det.predict(&clean));
+//! ```
+
+pub mod adaboost;
+pub mod ccs_boost;
+pub mod dct_cnn;
+pub mod pattern_match;
+
+pub use adaboost::{AdaBoostDetector, AdaBoostModel, Stump};
+pub use ccs_boost::CcsBoostDetector;
+pub use dct_cnn::{DctCnnConfig, DctCnnDetector};
+pub use pattern_match::PatternMatchDetector;

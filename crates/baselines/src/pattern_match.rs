@@ -1,0 +1,193 @@
+//! A fuzzy pattern-matching detector (the classical alternative the
+//! paper's introduction contrasts with learning approaches).
+//!
+//! Pattern matchers characterize known hotspots as explicit templates
+//! and flag test clips that match one.  They are fast and precise on
+//! seen patterns but — as the paper notes — *"impossible to detect the
+//! unseen patterns"*.  This implementation follows the grid-reduced
+//! fuzzy-matching idea of Wen et al. (TCAD'14, the paper's ref \[4\]):
+//! each hotspot training clip is reduced to a coarse density-grid
+//! signature; a test clip is a hotspot when some stored template lies
+//! within a fuzziness radius.
+//!
+//! Including it in the evaluation demonstrates the generalization gap
+//! that motivates the learning-based detectors: recall on *novel*
+//! hotspot geometry is structurally limited.
+
+use hotspot_features::density_grid;
+use hotspot_geometry::BitImage;
+use serde::{Deserialize, Serialize};
+
+/// A fuzzy pattern-matching hotspot detector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatternMatchDetector {
+    grid: usize,
+    /// Maximum mean absolute density difference for a match.
+    fuzziness: f32,
+    templates: Vec<Vec<f32>>,
+}
+
+impl PatternMatchDetector {
+    /// Creates a matcher with a `grid × grid` signature and the given
+    /// fuzziness radius (mean absolute density difference in `[0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `grid` is zero or `fuzziness` is negative.
+    pub fn new(grid: usize, fuzziness: f32) -> Self {
+        assert!(grid > 0, "grid must be positive");
+        assert!(fuzziness >= 0.0, "fuzziness must be non-negative");
+        PatternMatchDetector {
+            grid,
+            fuzziness,
+            templates: Vec::new(),
+        }
+    }
+
+    /// The stored template count.
+    pub fn template_count(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// The signature of a clip: its coarse density grid.  Flip
+    /// invariance comes from storing flipped variants of each template
+    /// at fit time, not from the signature itself.
+    fn signature(&self, image: &BitImage) -> Vec<f32> {
+        density_grid(image, self.grid)
+    }
+
+    /// Builds the template library from the hotspot training clips
+    /// (non-hotspots contribute nothing — pattern matchers only encode
+    /// known-bad geometry).  Near-duplicate templates are merged to
+    /// keep matching fast.
+    pub fn fit(&mut self, images: &[BitImage], labels: &[bool]) {
+        assert_eq!(images.len(), labels.len(), "one label per clip");
+        self.templates.clear();
+        let dedup_radius = self.fuzziness / 2.0;
+        for (img, &hot) in images.iter().zip(labels) {
+            if !hot {
+                continue;
+            }
+            // Store the clip and its flips (matching must be
+            // orientation-robust, like real PM decks).
+            for variant in [
+                img.clone(),
+                img.flip_horizontal(),
+                img.flip_vertical(),
+            ] {
+                let sig = self.signature(&variant);
+                let dup = self
+                    .templates
+                    .iter()
+                    .any(|t| mean_abs_diff(t, &sig) <= dedup_radius);
+                if !dup {
+                    self.templates.push(sig);
+                }
+            }
+        }
+    }
+
+    /// The distance from a clip to its nearest template
+    /// (`f32::INFINITY` with an empty library).
+    pub fn nearest_distance(&self, image: &BitImage) -> f32 {
+        let sig = self.signature(image);
+        self.templates
+            .iter()
+            .map(|t| mean_abs_diff(t, &sig))
+            .fold(f32::INFINITY, f32::min)
+    }
+
+    /// A match score in `(0, 1]`; larger = closer to a known hotspot.
+    pub fn score(&self, image: &BitImage) -> f32 {
+        1.0 / (1.0 + self.nearest_distance(image))
+    }
+
+    /// Flags the clip when a template matches within the fuzziness
+    /// radius.
+    pub fn predict(&self, image: &BitImage) -> bool {
+        self.nearest_distance(image) <= self.fuzziness
+    }
+}
+
+fn mean_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f32>() / a.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stripes(step: usize) -> BitImage {
+        let mut img = BitImage::new(32, 32);
+        let mut y = 0;
+        while y < 32 {
+            img.fill_row_span(y, 0, 32);
+            y += step;
+        }
+        img
+    }
+
+    fn blob(x0: usize, size: usize) -> BitImage {
+        let mut img = BitImage::new(32, 32);
+        for y in 8..8 + size {
+            img.fill_row_span(y, x0, x0 + size);
+        }
+        img
+    }
+
+    #[test]
+    fn matches_seen_patterns_exactly() {
+        let images = vec![stripes(4), stripes(12)];
+        let labels = vec![true, false];
+        let mut det = PatternMatchDetector::new(8, 0.05);
+        det.fit(&images, &labels);
+        assert!(det.template_count() >= 1);
+        assert!(det.predict(&stripes(4)));
+        assert!(!det.predict(&stripes(12)));
+    }
+
+    #[test]
+    fn matches_near_variants_within_fuzziness() {
+        let mut det = PatternMatchDetector::new(4, 0.1);
+        det.fit(&[blob(8, 10)], &[true]);
+        // A slightly shifted blob still matches.
+        assert!(det.predict(&blob(10, 10)));
+        // A very different pattern does not.
+        assert!(!det.predict(&stripes(4)));
+    }
+
+    #[test]
+    fn cannot_detect_unseen_geometry() {
+        // The paper's core criticism: templates of horizontal-stripe
+        // hotspots say nothing about an unseen blob hotspot.
+        let mut det = PatternMatchDetector::new(8, 0.05);
+        det.fit(&[stripes(4)], &[true]);
+        assert!(!det.predict(&blob(12, 8)));
+    }
+
+    #[test]
+    fn flip_variants_are_matched() {
+        let mut det = PatternMatchDetector::new(8, 0.02);
+        det.fit(&[blob(2, 8)], &[true]); // blob near the left edge
+        // Horizontal flip puts it near the right edge; still a match.
+        assert!(det.predict(&blob(2, 8).flip_horizontal()));
+    }
+
+    #[test]
+    fn deduplication_bounds_library() {
+        // 20 identical hotspots produce very few templates.
+        let images: Vec<BitImage> = (0..20).map(|_| stripes(4)).collect();
+        let labels = vec![true; 20];
+        let mut det = PatternMatchDetector::new(8, 0.1);
+        det.fit(&images, &labels);
+        assert!(det.template_count() <= 3, "{} templates", det.template_count());
+    }
+
+    #[test]
+    fn empty_library_never_matches() {
+        let det = PatternMatchDetector::new(4, 0.5);
+        assert!(!det.predict(&stripes(4)));
+        assert_eq!(det.nearest_distance(&stripes(4)), f32::INFINITY);
+    }
+}

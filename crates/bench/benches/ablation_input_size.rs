@@ -1,0 +1,28 @@
+//! §3.4.1 ablation: inference cost as a function of the input
+//! down-sampling size l_s (the paper settles on 128 as the
+//! accuracy/speed balance; this bench supplies the speed half).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hotspot_bench::{quick_bnn, stripe_clips};
+use std::hint::black_box;
+
+fn bench_input_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_input_size");
+    for &ls in &[32usize, 64, 128] {
+        let det = quick_bnn(ls);
+        let clips = stripe_clips(8, ls);
+        let images: Vec<_> = clips.iter().map(|c| c.image.clone()).collect();
+        group.throughput(Throughput::Elements(images.len() as u64));
+        group.bench_function(BenchmarkId::new("packed_inference", ls), |b| {
+            b.iter(|| det.predict_batch_packed(black_box(&images)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = hotspot_bench::quick_criterion();
+    targets = bench_input_sizes
+}
+criterion_main!(benches);

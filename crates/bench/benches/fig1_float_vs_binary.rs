@@ -1,0 +1,78 @@
+//! Figure 1: real-valued vs binarized convolution cost.
+//!
+//! The paper's Figure 1 contrasts float networks (32-bit MACs) with
+//! binarized networks (XNOR + popcount).  This bench measures the three
+//! implementations on identical layer shapes:
+//!
+//! * `float_conv`   — full-precision im2col convolution,
+//! * `naive_binary` — ±1 convolution evaluated as float MACs (the
+//!   binarization *without* bit packing),
+//! * `xnor_conv`    — the bit-packed XNOR + popcount kernel.
+//!
+//! The float→xnor ratio is the kernel-level speedup behind the paper's
+//! 8× end-to-end claim; naive_binary isolates how much of it comes
+//! from the packing rather than the binarization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hotspot_bnn::{sign_tensor, xnor_conv2d, BitFilter, BitTensor};
+use hotspot_tensor::{conv2d, Tensor};
+use std::hint::black_box;
+
+fn pseudo(shape: &[usize], seed: u32) -> Tensor {
+    let numel: usize = shape.iter().product();
+    let mut state = seed;
+    Tensor::from_vec(
+        shape,
+        (0..numel)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 16) as f32 / 32768.0 - 1.0
+            })
+            .collect(),
+    )
+}
+
+fn bench_conv_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_conv_kernels");
+    // Layer shapes from the paper's network: (channels, spatial).
+    for &(channels, size) in &[(16usize, 64usize), (32, 32), (64, 16)] {
+        let x = pseudo(&[1, channels, size, size], 1);
+        let w = pseudo(&[channels, channels, 3, 3], 2);
+        let sx = sign_tensor(&x);
+        let sw = sign_tensor(&w);
+        let bits_x = BitTensor::from_tensor(&x);
+        let bits_w = BitFilter::from_tensor(&w);
+
+        let id = format!("c{channels}_s{size}");
+        group.bench_function(BenchmarkId::new("float_conv", &id), |b| {
+            b.iter(|| conv2d(black_box(&x), black_box(&w), None, 1, 1))
+        });
+        group.bench_function(BenchmarkId::new("naive_binary", &id), |b| {
+            b.iter(|| conv2d(black_box(&sx), black_box(&sw), None, 1, 1))
+        });
+        group.bench_function(BenchmarkId::new("xnor_conv", &id), |b| {
+            b.iter(|| xnor_conv2d(black_box(&bits_x), black_box(&bits_w), 1, 1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_packing_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_packing");
+    let x = pseudo(&[1, 64, 32, 32], 3);
+    group.bench_function("pack_activations", |b| {
+        b.iter(|| BitTensor::from_tensor(black_box(&x)))
+    });
+    let w = pseudo(&[64, 64, 3, 3], 4);
+    group.bench_function("pack_weights", |b| {
+        b.iter(|| BitFilter::from_tensor(black_box(&w)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = hotspot_bench::quick_criterion();
+    targets = bench_conv_kernels, bench_packing_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Figure 3: the BNN block (BatchNorm → Binarize → BinaryConv).
+//!
+//! Measures one block's training-path forward and backward passes and
+//! the compiled packed forward, plus a full residual block — the unit
+//! the 12-layer network is assembled from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hotspot_bnn::{BinaryResidualBlock, BnnBlock, PackedConv, ScalingMode};
+use hotspot_nn::Layer;
+use hotspot_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn pseudo(shape: &[usize], seed: u32) -> Tensor {
+    let numel: usize = shape.iter().product();
+    let mut state = seed;
+    Tensor::from_vec(
+        shape,
+        (0..numel)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 16) as f32 / 32768.0 - 1.0
+            })
+            .collect(),
+    )
+}
+
+fn bench_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_block");
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut block = BnnBlock::new(16, 16, 3, 1, 1, ScalingMode::Shared, &mut rng);
+    let x = pseudo(&[4, 16, 32, 32], 5);
+
+    group.bench_function("forward_train", |b| {
+        b.iter(|| block.forward(black_box(&x), true))
+    });
+
+    group.bench_function("forward_backward", |b| {
+        b.iter(|| {
+            let y = block.forward(black_box(&x), true);
+            block.backward(&Tensor::ones(y.shape()))
+        })
+    });
+
+    // Warm BN stats, then compile and measure packed inference.
+    let _ = block.forward(&x, true);
+    let packed = PackedConv::compile(&block);
+    group.bench_function("forward_packed", |b| {
+        b.iter(|| packed.forward(black_box(&x)))
+    });
+    group.finish();
+}
+
+fn bench_residual(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_residual_block");
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut identity = BinaryResidualBlock::new(16, 16, 1, ScalingMode::Shared, &mut rng);
+    let mut projection = BinaryResidualBlock::new(16, 32, 2, ScalingMode::Shared, &mut rng);
+    let x = pseudo(&[4, 16, 32, 32], 7);
+
+    group.bench_function("identity_shortcut", |b| {
+        b.iter(|| identity.forward(black_box(&x), true))
+    });
+    group.bench_function("projection_shortcut", |b| {
+        b.iter(|| projection.forward(black_box(&x), true))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = hotspot_bench::quick_criterion();
+    targets = bench_block, bench_residual
+}
+criterion_main!(benches);

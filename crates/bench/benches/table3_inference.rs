@@ -1,0 +1,61 @@
+//! Table 3 "Runtime" column: per-clip inference latency of every
+//! detector, on identically sized clips.
+//!
+//! Each detector is quick-trained on toy clips first (training quality
+//! does not affect inference cost); the measured quantity is the
+//! classification throughput that the paper's Runtime column reports.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hotspot_bench::stripe_clips;
+use hotspot_core::{
+    AdaBoostHotspotDetector, BnnDetector, BnnTrainConfig, CcsHotspotDetector,
+    DctCnnHotspotDetector, HotspotDetector,
+};
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_inference");
+    let train = stripe_clips(16, 64);
+    let eval = stripe_clips(32, 64);
+    let images: Vec<_> = eval.iter().map(|c| c.image.clone()).collect();
+    group.throughput(Throughput::Elements(images.len() as u64));
+
+    let mut adaboost = AdaBoostHotspotDetector::new();
+    adaboost.fit(&train);
+    group.bench_function("spie15_adaboost", |b| {
+        b.iter(|| adaboost.predict_batch(black_box(&images)))
+    });
+
+    let mut ccs = CcsHotspotDetector::new();
+    ccs.fit(&train);
+    group.bench_function("iccad16_ccs", |b| {
+        b.iter(|| ccs.predict_batch(black_box(&images)))
+    });
+
+    let mut dct = DctCnnHotspotDetector::new();
+    dct.fit(&train);
+    group.bench_function("dac17_dct_cnn", |b| {
+        b.iter(|| dct.predict_batch(black_box(&images)))
+    });
+
+    let mut cfg = BnnTrainConfig::bench();
+    cfg.epochs = 2;
+    cfg.bias_epochs = 0;
+    let mut bnn = BnnDetector::new(cfg);
+    bnn.fit(&train);
+    group.bench_function("dac19_bnn_packed", |b| {
+        b.iter(|| bnn.predict_batch_packed(black_box(&images)))
+    });
+    group.bench_function("dac19_bnn_float", |b| {
+        b.iter(|| bnn.predict_batch_float(black_box(&images)))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = hotspot_bench::quick_criterion();
+    targets = bench_inference
+}
+criterion_main!(benches);

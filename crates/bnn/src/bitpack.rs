@@ -1,0 +1,271 @@
+//! Bit-packed ±1 tensors for XNOR inference.
+//!
+//! Activations and weights are packed along the **channel** axis,
+//! 64 channels per `u64` word, so the inner product over a receptive
+//! field becomes, per kernel tap, a single `XOR` + `popcount` on each
+//! channel word — this is the packing that turns 64 multiply–
+//! accumulates into one word operation.
+
+use hotspot_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A bit-packed ±1 activation tensor in NCHW semantics.
+///
+/// Bit `c % 64` of word `c / 64` at pixel `(n, y, x)` is `1` when the
+/// source value was `≥ 0` (the `sign(0) = +1` convention).  Unused high
+/// bits of the last channel word are zero in every pixel, which the
+/// XNOR kernel relies on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitTensor {
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    words_per_pixel: usize,
+    data: Vec<u64>,
+}
+
+impl BitTensor {
+    /// Packs a float NCHW tensor by sign.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t` is not 4-D.
+    pub fn from_tensor(t: &Tensor) -> Self {
+        assert_eq!(t.ndim(), 4, "BitTensor packs NCHW tensors");
+        let (n, c, h, w) = (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3]);
+        let wpp = c.div_ceil(64);
+        let mut data = vec![0u64; n * h * w * wpp];
+        let src = t.as_slice();
+        // Pixel-major packing: accumulate each pixel's channel word(s)
+        // locally, touching the output buffer once per word.
+        let plane = h * w;
+        for ni in 0..n {
+            let item = &src[ni * c * plane..(ni + 1) * c * plane];
+            for p in 0..plane {
+                let base = (ni * plane + p) * wpp;
+                let mut word = 0u64;
+                let mut word_idx = 0;
+                for ci in 0..c {
+                    let bit = ci % 64;
+                    if item[ci * plane + p] >= 0.0 {
+                        word |= 1u64 << bit;
+                    }
+                    if bit == 63 {
+                        data[base + word_idx] = word;
+                        word = 0;
+                        word_idx += 1;
+                    }
+                }
+                if c % 64 != 0 {
+                    data[base + word_idx] = word;
+                }
+            }
+        }
+        BitTensor {
+            n,
+            c,
+            h,
+            w,
+            words_per_pixel: wpp,
+            data,
+        }
+    }
+
+    /// Shape as `(n, c, h, w)`.
+    pub fn dims(&self) -> (usize, usize, usize, usize) {
+        (self.n, self.c, self.h, self.w)
+    }
+
+    /// Words per pixel (`ceil(c / 64)`).
+    pub fn words_per_pixel(&self) -> usize {
+        self.words_per_pixel
+    }
+
+    /// The packed channel words of pixel `(n, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn pixel_words(&self, n: usize, y: usize, x: usize) -> &[u64] {
+        assert!(n < self.n && y < self.h && x < self.w, "pixel out of range");
+        let base = ((n * self.h + y) * self.w + x) * self.words_per_pixel;
+        &self.data[base..base + self.words_per_pixel]
+    }
+
+    /// The ±1 value of one element.
+    pub fn value(&self, n: usize, c: usize, y: usize, x: usize) -> f32 {
+        assert!(c < self.c, "channel out of range");
+        let word = self.pixel_words(n, y, x)[c / 64];
+        if (word >> (c % 64)) & 1 == 1 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// The raw packed words, pixel-major: index
+    /// `((n·h + y)·w + x)·words_per_pixel + word`.
+    pub fn as_words(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Unpacks back to a ±1 float tensor.
+    pub fn to_tensor(&self) -> Tensor {
+        let mut out = Tensor::zeros(&[self.n, self.c, self.h, self.w]);
+        for ni in 0..self.n {
+            for ci in 0..self.c {
+                for y in 0..self.h {
+                    for x in 0..self.w {
+                        *out.at_mut(&[ni, ci, y, x]) = self.value(ni, ci, y, x);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Bit-packed ±1 convolution weights `[k, c, kh, kw]`, channel-packed
+/// to match [`BitTensor`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitFilter {
+    k: usize,
+    c: usize,
+    kh: usize,
+    kw: usize,
+    words_per_tap: usize,
+    data: Vec<u64>,
+}
+
+impl BitFilter {
+    /// Packs a float weight tensor by sign.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `w` is not 4-D.
+    pub fn from_tensor(w: &Tensor) -> Self {
+        assert_eq!(w.ndim(), 4, "BitFilter packs [k, c, kh, kw] weights");
+        let (k, c, kh, kw) = (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
+        let wpt = c.div_ceil(64);
+        let mut data = vec![0u64; k * kh * kw * wpt];
+        let src = w.as_slice();
+        for ki in 0..k {
+            for ci in 0..c {
+                let word = ci / 64;
+                let bit = ci % 64;
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let v = src[((ki * c + ci) * kh + ky) * kw + kx];
+                        if v >= 0.0 {
+                            data[((ki * kh + ky) * kw + kx) * wpt + word] |= 1u64 << bit;
+                        }
+                    }
+                }
+            }
+        }
+        BitFilter {
+            k,
+            c,
+            kh,
+            kw,
+            words_per_tap: wpt,
+            data,
+        }
+    }
+
+    /// Shape as `(k, c, kh, kw)`.
+    pub fn dims(&self) -> (usize, usize, usize, usize) {
+        (self.k, self.c, self.kh, self.kw)
+    }
+
+    /// The packed channel words of tap `(k, ky, kx)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn tap_words(&self, k: usize, ky: usize, kx: usize) -> &[u64] {
+        assert!(k < self.k && ky < self.kh && kx < self.kw, "tap out of range");
+        let base = ((k * self.kh + ky) * self.kw + kx) * self.words_per_tap;
+        &self.data[base..base + self.words_per_tap]
+    }
+
+    /// Number of channels packed per tap.
+    pub fn channels(&self) -> usize {
+        self.c
+    }
+
+    /// The raw packed words, tap-major: index
+    /// `((k·kh + ky)·kw + kx)·words_per_tap + word`.
+    pub fn as_words(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Words per tap (`ceil(c / 64)`).
+    pub fn words_per_tap(&self) -> usize {
+        self.words_per_tap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        // 70 channels crosses a word boundary.
+        let mut t = Tensor::zeros(&[2, 70, 3, 3]);
+        let mut state = 12345u32;
+        for v in t.as_mut_slice() {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            *v = (state >> 16) as f32 / 32768.0 - 1.0;
+        }
+        let packed = BitTensor::from_tensor(&t);
+        assert_eq!(packed.words_per_pixel(), 2);
+        let unpacked = packed.to_tensor();
+        for (orig, bin) in t.as_slice().iter().zip(unpacked.as_slice()) {
+            let expect = if *orig >= 0.0 { 1.0 } else { -1.0 };
+            assert_eq!(*bin, expect);
+        }
+    }
+
+    #[test]
+    fn unused_bits_are_zero() {
+        let t = Tensor::full(&[1, 3, 2, 2], 1.0); // 3 channels → 61 unused bits
+        let packed = BitTensor::from_tensor(&t);
+        for y in 0..2 {
+            for x in 0..2 {
+                let w = packed.pixel_words(0, y, x)[0];
+                assert_eq!(w, 0b111, "only 3 low bits set, got {w:#b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sign_zero_packs_positive() {
+        let t = Tensor::zeros(&[1, 1, 1, 1]);
+        let packed = BitTensor::from_tensor(&t);
+        assert_eq!(packed.value(0, 0, 0, 0), 1.0);
+    }
+
+    #[test]
+    fn filter_pack_matches_signs() {
+        let w = Tensor::from_vec(
+            &[1, 2, 1, 2],
+            vec![0.5, -0.5, -0.1, 0.1],
+        );
+        let f = BitFilter::from_tensor(&w);
+        assert_eq!(f.dims(), (1, 2, 1, 2));
+        // Tap (0,0,0): channels [0.5, -0.1] → bits 0b01.
+        assert_eq!(f.tap_words(0, 0, 0)[0], 0b01);
+        // Tap (0,0,1): channels [-0.5, 0.1] → bits 0b10.
+        assert_eq!(f.tap_words(0, 0, 1)[0], 0b10);
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel out of range")]
+    fn pixel_bounds_checked() {
+        let t = Tensor::zeros(&[1, 1, 2, 2]);
+        BitTensor::from_tensor(&t).pixel_words(0, 2, 0);
+    }
+}

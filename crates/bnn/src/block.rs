@@ -1,0 +1,254 @@
+//! BNN blocks and binary residual blocks (paper Fig. 2 and Fig. 3).
+
+use crate::layer::BinConv2d;
+use crate::scaling::ScalingMode;
+use hotspot_nn::{BatchNorm2d, Layer, Param};
+use hotspot_tensor::Tensor;
+use rand::Rng;
+
+/// One convolution block of Fig. 3: **BatchNorm → Binarize →
+/// BinaryConv**.
+///
+/// Following XNOR-Net practice (and the paper's §3.1), batch
+/// normalization precedes the binarization to reduce the information
+/// lost to the sign; the binarize step itself lives inside
+/// [`BinConv2d`].
+pub struct BnnBlock {
+    bn: BatchNorm2d,
+    conv: BinConv2d,
+}
+
+impl BnnBlock {
+    /// Creates a block with a square `k × k` binary convolution.
+    pub fn new<R: Rng>(
+        in_channels: usize,
+        out_channels: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        mode: ScalingMode,
+        rng: &mut R,
+    ) -> Self {
+        BnnBlock {
+            bn: BatchNorm2d::new(in_channels),
+            conv: BinConv2d::new(in_channels, out_channels, k, stride, pad, mode, rng),
+        }
+    }
+
+    /// The binary convolution inside the block.
+    pub fn conv(&self) -> &BinConv2d {
+        &self.conv
+    }
+
+    /// The batch-norm stage of the block.
+    pub fn batch_norm(&self) -> &BatchNorm2d {
+        &self.bn
+    }
+}
+
+impl Layer for BnnBlock {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        let normed = self.bn.forward(input, training);
+        self.conv.forward(&normed, training)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self.conv.backward(grad_out);
+        self.bn.backward(&g)
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.bn.for_each_param(f);
+        self.conv.for_each_param(f);
+    }
+
+    fn describe(&self) -> String {
+        format!("[{} → {}]", self.bn.describe(), self.conv.describe())
+    }
+}
+
+/// A binarized residual block: two 3×3 [`BnnBlock`]s on the main path
+/// plus a shortcut connection (paper §3.1).
+///
+/// When the input and output tensors have the same shape the shortcut
+/// is the identity; otherwise a 1×1 binary convolution block adapts the
+/// shape, exactly as in Fig. 2.
+pub struct BinaryResidualBlock {
+    block1: BnnBlock,
+    block2: BnnBlock,
+    shortcut: Option<BnnBlock>,
+    cached_shapes: Option<(Vec<usize>, Vec<usize>)>,
+}
+
+impl BinaryResidualBlock {
+    /// Creates a residual block.  `stride > 1` (or
+    /// `in_channels != out_channels`) inserts the 1×1 shortcut
+    /// convolution.
+    pub fn new<R: Rng>(
+        in_channels: usize,
+        out_channels: usize,
+        stride: usize,
+        mode: ScalingMode,
+        rng: &mut R,
+    ) -> Self {
+        let block1 = BnnBlock::new(in_channels, out_channels, 3, stride, 1, mode, rng);
+        let block2 = BnnBlock::new(out_channels, out_channels, 3, 1, 1, mode, rng);
+        let shortcut = (stride != 1 || in_channels != out_channels)
+            .then(|| BnnBlock::new(in_channels, out_channels, 1, stride, 0, mode, rng));
+        BinaryResidualBlock {
+            block1,
+            block2,
+            shortcut,
+            cached_shapes: None,
+        }
+    }
+
+    /// `true` when the shortcut path carries a 1×1 convolution.
+    pub fn has_projection(&self) -> bool {
+        self.shortcut.is_some()
+    }
+
+    /// The blocks on the main path.
+    pub fn main_path(&self) -> (&BnnBlock, &BnnBlock) {
+        (&self.block1, &self.block2)
+    }
+
+    /// The projection shortcut, when present.
+    pub fn projection(&self) -> Option<&BnnBlock> {
+        self.shortcut.as_ref()
+    }
+}
+
+impl Layer for BinaryResidualBlock {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        let main = self.block2.forward(&self.block1.forward(input, training), training);
+        let short = match self.shortcut.as_mut() {
+            Some(s) => s.forward(input, training),
+            None => input.clone(),
+        };
+        self.cached_shapes = Some((input.shape().to_vec(), main.shape().to_vec()));
+        &main + &short
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let _ = self
+            .cached_shapes
+            .take()
+            .expect("BinaryResidualBlock::backward before forward");
+        let g_main = self.block1.backward(&self.block2.backward(grad_out));
+        let g_short = match self.shortcut.as_mut() {
+            Some(s) => s.backward(grad_out),
+            None => grad_out.clone(),
+        };
+        &g_main + &g_short
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.block1.for_each_param(f);
+        self.block2.for_each_param(f);
+        if let Some(s) = self.shortcut.as_mut() {
+            s.for_each_param(f);
+        }
+    }
+
+    fn describe(&self) -> String {
+        let sc = if self.shortcut.is_some() {
+            "1x1-proj"
+        } else {
+            "identity"
+        };
+        format!(
+            "res{{{} ; {} | {}}}",
+            self.block1.describe(),
+            self.block2.describe(),
+            sc
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pseudo(shape: &[usize], seed: u32) -> Tensor {
+        let numel: usize = shape.iter().product();
+        let mut state = seed;
+        Tensor::from_vec(
+            shape,
+            (0..numel)
+                .map(|_| {
+                    state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                    (state >> 16) as f32 / 32768.0 - 1.0
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn block_composes_bn_then_conv() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut b = BnnBlock::new(2, 4, 3, 1, 1, ScalingMode::PerChannel, &mut rng);
+        let x = pseudo(&[2, 2, 6, 6], 3);
+        let y = b.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 4, 6, 6]);
+        let gx = b.backward(&Tensor::ones(y.shape()));
+        assert_eq!(gx.shape(), x.shape());
+        // Params: bn gamma+beta + conv weight.
+        let mut n = 0;
+        b.for_each_param(&mut |_| n += 1);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn identity_residual_preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut r = BinaryResidualBlock::new(4, 4, 1, ScalingMode::PerChannel, &mut rng);
+        assert!(!r.has_projection());
+        let x = pseudo(&[1, 4, 8, 8], 5);
+        let y = r.forward(&x, true);
+        assert_eq!(y.shape(), x.shape());
+        let gx = r.backward(&Tensor::ones(y.shape()));
+        assert_eq!(gx.shape(), x.shape());
+    }
+
+    #[test]
+    fn projection_residual_changes_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut r = BinaryResidualBlock::new(4, 8, 2, ScalingMode::PerChannel, &mut rng);
+        assert!(r.has_projection());
+        let x = pseudo(&[1, 4, 8, 8], 7);
+        let y = r.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 8, 4, 4]);
+        let gx = r.backward(&Tensor::ones(y.shape()));
+        assert_eq!(gx.shape(), x.shape());
+    }
+
+    #[test]
+    fn identity_shortcut_passes_gradient_through() {
+        // With an identity shortcut, the input gradient includes the
+        // output gradient verbatim as one additive term.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut r = BinaryResidualBlock::new(2, 2, 1, ScalingMode::PlainSign, &mut rng);
+        let x = pseudo(&[1, 2, 4, 4], 9);
+        let y = r.forward(&x, true);
+        let g = Tensor::full(y.shape(), 0.25);
+        let gx = r.backward(&g);
+        // The main path may add or subtract, but the shortcut term is
+        // exactly 0.25 everywhere; the result cannot be the zero tensor.
+        assert!(gx.l1_norm() > 0.0);
+        assert_eq!(gx.shape(), x.shape());
+    }
+
+    #[test]
+    fn describe_mentions_structure() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = BinaryResidualBlock::new(2, 4, 2, ScalingMode::PerChannel, &mut rng);
+        let d = r.describe();
+        assert!(d.contains("binconv3x3"));
+        assert!(d.contains("1x1-proj"));
+        let r2 = BinaryResidualBlock::new(4, 4, 1, ScalingMode::PerChannel, &mut rng);
+        assert!(r2.describe().contains("identity"));
+    }
+}

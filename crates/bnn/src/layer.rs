@@ -1,0 +1,386 @@
+//! The binary convolution layer (training path).
+
+use crate::scaling::{input_scale_per_channel, output_scale_shared, weight_scale, ScalingMode};
+use crate::ste::sign_tensor;
+use hotspot_nn::{Layer, Param};
+use hotspot_tensor::{conv2d, conv2d_backward, xavier_uniform, Tensor};
+use rand::Rng;
+
+/// A binarized 2-D convolution trained with the straight-through
+/// estimator — the paper's Algorithm 1 in layer form.
+///
+/// Forward (Eq. 9, 12, 14, 15):
+/// `out = conv( sign(X) ⊙ α_X , α_W ⊙ sign(W) )`, where `α_W` is the
+/// per-filter `‖W‖₁/n` and `α_X` depends on the [`ScalingMode`].
+///
+/// Backward (Eq. 10–13): gradients flow through both `sign`s with the
+/// STE mask `1_{|·| < 1}`; the real-valued master weights receive
+/// `∂l/∂W = ∂l/∂W̃ · (1/n + α_W · 1_{|W| < 1})`.  The activation
+/// scale `α_X` is treated as a constant in the backward pass, standard
+/// practice in XNOR-Net-style training.
+pub struct BinConv2d {
+    weight: Param,
+    stride: usize,
+    pad: usize,
+    mode: ScalingMode,
+    cache: Option<Cache>,
+}
+
+struct Cache {
+    input: Tensor,
+    binarized_input: Tensor,
+    binarized_weight: Tensor,
+    /// Input-resolution per-channel scale (PerChannel mode).
+    input_scale: Option<Tensor>,
+    /// Output-resolution shared scale map `[n, oh, ow]` (Shared mode).
+    output_scale: Option<Tensor>,
+    alpha_w: Vec<f32>,
+}
+
+/// Broadcast-multiplies a `[n, k, oh, ow]` tensor by a `[n, oh, ow]`
+/// map.
+fn mul_broadcast_map(t: &Tensor, map: &Tensor) -> Tensor {
+    let (n, k, oh, ow) = (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3]);
+    debug_assert_eq!(map.shape(), &[n, oh, ow]);
+    let mut out = t.clone();
+    let m = map.as_slice();
+    for ni in 0..n {
+        let plane = &m[ni * oh * ow..(ni + 1) * oh * ow];
+        for ki in 0..k {
+            let base = (ni * k + ki) * oh * ow;
+            for (v, &s) in out.as_mut_slice()[base..base + oh * ow].iter_mut().zip(plane) {
+                *v *= s;
+            }
+        }
+    }
+    out
+}
+
+impl BinConv2d {
+    /// Creates a binary convolution with a square `k × k` kernel and
+    /// Xavier-initialised real-valued master weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any dimension is zero.
+    pub fn new<R: Rng>(
+        in_channels: usize,
+        out_channels: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        mode: ScalingMode,
+        rng: &mut R,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0 && k > 0 && stride > 0);
+        let mut w = Tensor::zeros(&[out_channels, in_channels, k, k]);
+        xavier_uniform(&mut w, rng);
+        BinConv2d {
+            weight: Param::new(w),
+            stride,
+            pad,
+            mode,
+            cache: None,
+        }
+    }
+
+    /// The real-valued master weights.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// The scaling mode in use.
+    pub fn scaling_mode(&self) -> ScalingMode {
+        self.mode
+    }
+
+    /// Stride of the convolution.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Padding of the convolution.
+    pub fn pad(&self) -> usize {
+        self.pad
+    }
+
+    /// The binarized weights `α_W ⊙ sign(W)` as used in the forward
+    /// pass (exposed for compilation to the packed inference engine).
+    pub fn binarized_weight(&self) -> Tensor {
+        let signs = sign_tensor(&self.weight.value);
+        match self.mode {
+            ScalingMode::PlainSign => signs,
+            _ => scale_filters(&signs, &weight_scale(&self.weight.value)),
+        }
+    }
+}
+
+/// Multiplies filter `k` of a `[k, c, kh, kw]` tensor by `alpha[k]`.
+fn scale_filters(w: &Tensor, alpha: &[f32]) -> Tensor {
+    let k = w.shape()[0];
+    let per: usize = w.shape()[1..].iter().product();
+    let mut out = w.clone();
+    #[allow(clippy::needless_range_loop)] // ki addresses strided filter slabs
+    for ki in 0..k {
+        for v in &mut out.as_mut_slice()[ki * per..(ki + 1) * per] {
+            *v *= alpha[ki];
+        }
+    }
+    out
+}
+
+impl Layer for BinConv2d {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        let kh = self.weight.value.shape()[2];
+        let kw = self.weight.value.shape()[3];
+        let signs = sign_tensor(input);
+        // PerChannel (the paper's Eq. 14) scales the sign tensor on the
+        // input side; Shared uses the XNOR-Net factored form — the
+        // scale map multiplies the convolution *output*, which makes
+        // the float path bit-identical to the packed XNOR engine.
+        let (binarized_input, input_scale, output_scale) = match self.mode {
+            ScalingMode::PlainSign => (signs, None, None),
+            ScalingMode::Shared => {
+                let s = output_scale_shared(input, kh.max(kw), self.stride, self.pad);
+                (signs, None, Some(s))
+            }
+            ScalingMode::PerChannel => {
+                let s = input_scale_per_channel(input, kh, kw);
+                (signs.zip(&s, |a, b| a * b), Some(s), None)
+            }
+        };
+        let alpha_w = match self.mode {
+            ScalingMode::PlainSign => vec![1.0; self.weight.value.shape()[0]],
+            _ => weight_scale(&self.weight.value),
+        };
+        let binarized_weight = scale_filters(&sign_tensor(&self.weight.value), &alpha_w);
+        let mut out = conv2d(&binarized_input, &binarized_weight, None, self.stride, self.pad);
+        if let Some(s) = &output_scale {
+            out = mul_broadcast_map(&out, s);
+        }
+        self.cache = Some(Cache {
+            input: input.clone(),
+            binarized_input,
+            binarized_weight,
+            input_scale,
+            output_scale,
+            alpha_w,
+        });
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("BinConv2d::backward called before forward");
+        // Shared mode: route the gradient through the output-side
+        // scale map first (the map itself is treated as constant).
+        let grad_conv = match &cache.output_scale {
+            Some(s) => mul_broadcast_map(grad_out, s),
+            None => grad_out.clone(),
+        };
+        let grads = conv2d_backward(
+            &cache.binarized_input,
+            &cache.binarized_weight,
+            &grad_conv,
+            self.stride,
+            self.pad,
+            false,
+        );
+
+        // Eq. 13: dl/dW = dl/dW̃ · (1/n + α_W · 1_{|W| < 1}).
+        let k = self.weight.value.shape()[0];
+        let per: usize = self.weight.value.shape()[1..].iter().product();
+        let inv_n = 1.0 / per as f32;
+        {
+            let w = self.weight.value.as_slice();
+            let gw = self.weight.grad.as_mut_slice();
+            let gwt = grads.weight.as_slice();
+            for ki in 0..k {
+                let alpha = cache.alpha_w[ki];
+                for i in ki * per..(ki + 1) * per {
+                    let ste = if w[i].abs() < 1.0 { alpha } else { 0.0 };
+                    let factor = match self.mode {
+                        ScalingMode::PlainSign => {
+                            if w[i].abs() < 1.0 {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        }
+                        _ => inv_n + ste,
+                    };
+                    gw[i] += gwt[i] * factor;
+                }
+            }
+        }
+
+        // STE through the input binarization, with α_X held constant.
+        let mut grad_in = grads.input;
+        if let Some(scale) = &cache.input_scale {
+            grad_in = grad_in.zip(scale, |g, s| g * s);
+        }
+        cache
+            .input
+            .zip(&grad_in, |x, g| if x.abs() < 1.0 { g } else { 0.0 })
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+    }
+
+    fn describe(&self) -> String {
+        let s = self.weight.value.shape();
+        format!(
+            "binconv{}x{}({}→{})/s{}",
+            s[2], s[3], s[1], s[0], self.stride
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pseudo(shape: &[usize], seed: u32) -> Tensor {
+        let numel: usize = shape.iter().product();
+        let mut state = seed;
+        Tensor::from_vec(
+            shape,
+            (0..numel)
+                .map(|_| {
+                    state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                    (state >> 16) as f32 / 32768.0 - 1.0
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = BinConv2d::new(2, 4, 3, 1, 1, ScalingMode::PerChannel, &mut rng);
+        let x = pseudo(&[2, 2, 8, 8], 3);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 4, 8, 8]);
+        let gx = conv.backward(&Tensor::ones(y.shape()));
+        assert_eq!(gx.shape(), x.shape());
+        assert!(conv.weight().grad.l1_norm() > 0.0);
+    }
+
+    #[test]
+    fn strided_downsamples() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = BinConv2d::new(1, 2, 3, 2, 1, ScalingMode::Shared, &mut rng);
+        let x = pseudo(&[1, 1, 8, 8], 5);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn plain_sign_output_is_integerish() {
+        // With PlainSign, the conv of ±1 inputs and ±1 weights (interior
+        // pixels, full receptive field) is an integer.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut conv = BinConv2d::new(1, 1, 3, 1, 0, ScalingMode::PlainSign, &mut rng);
+        let x = pseudo(&[1, 1, 5, 5], 7);
+        let y = conv.forward(&x, true);
+        for &v in y.as_slice() {
+            assert!((v - v.round()).abs() < 1e-5, "non-integer {v}");
+            assert!(v.abs() <= 9.0);
+        }
+    }
+
+    #[test]
+    fn weight_binarization_uses_alpha() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let conv = BinConv2d::new(1, 1, 2, 1, 0, ScalingMode::PerChannel, &mut rng);
+        let bw = conv.binarized_weight();
+        let alpha = weight_scale(&conv.weight().value);
+        for (&b, &w) in bw.as_slice().iter().zip(conv.weight().value.as_slice()) {
+            let expect = alpha[0] * if w >= 0.0 { 1.0 } else { -1.0 };
+            assert!((b - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn saturated_weights_get_no_ste_gradient() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut conv = BinConv2d::new(1, 1, 1, 1, 0, ScalingMode::PlainSign, &mut rng);
+        // Force a saturated weight.
+        conv.weight.value = Tensor::from_vec(&[1, 1, 1, 1], vec![2.0]);
+        let x = pseudo(&[1, 1, 2, 2], 9);
+        let y = conv.forward(&x, true);
+        let _ = conv.backward(&Tensor::ones(y.shape()));
+        assert_eq!(conv.weight.grad.as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_toy_problem() {
+        // A single binary conv + sum should be able to learn to
+        // discriminate all-positive from all-negative inputs.
+        use hotspot_nn::{NAdam, Optimizer, SoftmaxCrossEntropy};
+
+        let mut rng = StdRng::seed_from_u64(6);
+        struct Net {
+            conv: BinConv2d,
+            dense: hotspot_nn::Dense,
+        }
+        impl Layer for Net {
+            fn forward(&mut self, x: &Tensor, t: bool) -> Tensor {
+                let y = self.conv.forward(x, t);
+                let n = y.shape()[0];
+                let feat: usize = y.shape()[1..].iter().product();
+                self.dense.forward(&y.reshape(&[n, feat]), t)
+            }
+            fn backward(&mut self, g: &Tensor) -> Tensor {
+                let gd = self.dense.backward(g);
+                let n = gd.shape()[0];
+                self.conv.backward(&gd.reshape(&[n, 2, 4, 4]))
+            }
+            fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+                self.conv.for_each_param(f);
+                self.dense.for_each_param(f);
+            }
+            fn describe(&self) -> String {
+                "toy".into()
+            }
+        }
+        let mut net = Net {
+            conv: BinConv2d::new(1, 2, 3, 1, 1, ScalingMode::PerChannel, &mut rng),
+            dense: hotspot_nn::Dense::new(32, 2, &mut rng),
+        };
+        // Class 1: left half bright; class 0: right half bright.
+        let mut imgs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..8 {
+            let mut img = Tensor::full(&[1, 1, 4, 4], -0.5);
+            let class = i % 2;
+            for y in 0..4 {
+                for x in 0..2 {
+                    let xx = if class == 1 { x } else { x + 2 };
+                    *img.at_mut(&[0, 0, y, xx]) = 0.5;
+                }
+            }
+            imgs.push(img.reshape(&[1, 4, 4]));
+            labels.push(class);
+        }
+        let batch = Tensor::stack(&imgs);
+        let loss = SoftmaxCrossEntropy::new();
+        let mut opt = NAdam::new(0.02);
+        let (first, _) = loss.forward(&net.forward(&batch, true), &labels);
+        let mut last = first;
+        for _ in 0..60 {
+            net.zero_grads();
+            let logits = net.forward(&batch, true);
+            let (l, g) = loss.forward(&logits, &labels);
+            last = l;
+            let _ = net.backward(&g);
+            opt.step(&mut net);
+        }
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+    }
+}

@@ -1,0 +1,376 @@
+//! The paper's 12-layer binarized residual network (Fig. 2).
+
+use crate::block::{BinaryResidualBlock, BnnBlock};
+use crate::scaling::ScalingMode;
+use hotspot_nn::{Dense, GlobalAvgPool, Layer, Param};
+use hotspot_tensor::Tensor;
+use rand::Rng;
+
+/// Architecture description for [`BnnResNet`].
+///
+/// The paper derives its network from ResNet-18 by replacing float
+/// convolutions with binary convolution blocks, then shrinking to 12
+/// layers and re-tuning filter counts ("the deeper a layer is, the more
+/// filters it contains; keep as few filters as possible").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Input image side length `l_s` (the paper settles on 128).
+    pub input_size: usize,
+    /// Filters in the stem convolution block.
+    pub stem_filters: usize,
+    /// One `(filters, stride)` entry per residual block.
+    pub stages: Vec<(usize, usize)>,
+    /// Binarization scaling mode (the paper's default is per-channel).
+    pub scaling: ScalingMode,
+}
+
+impl NetConfig {
+    /// The paper's 12-layer configuration: one stem binary convolution,
+    /// five residual blocks (2 binary convolutions each), and a final
+    /// dense classifier — 11 convolution layers + 1 fully connected =
+    /// 12 weight layers, with filter counts growing with depth.
+    pub fn paper_12layer() -> Self {
+        NetConfig {
+            input_size: 128,
+            stem_filters: 8,
+            stages: vec![(8, 1), (16, 2), (32, 2), (64, 2), (64, 2)],
+            scaling: ScalingMode::PerChannel,
+        }
+    }
+
+    /// A reduced configuration for fast tests and laptop-scale
+    /// benchmark runs: same topology shape, fewer filters, smaller
+    /// input.
+    pub fn tiny(input_size: usize) -> Self {
+        NetConfig {
+            input_size,
+            stem_filters: 4,
+            stages: vec![(4, 1), (8, 2)],
+            scaling: ScalingMode::PerChannel,
+        }
+    }
+
+    /// Number of weight layers (binary convolutions + the final dense).
+    pub fn layer_count(&self) -> usize {
+        // Stem + 2 per residual block + projection shortcuts are
+        // conventionally not counted (as in ResNet) + final dense.
+        1 + 2 * self.stages.len() + 1
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the input size does not survive the stage strides or
+    /// any count is zero.
+    pub fn validate(&self) {
+        assert!(self.input_size > 0 && self.stem_filters > 0 && !self.stages.is_empty());
+        let mut size = self.input_size;
+        for &(f, s) in &self.stages {
+            assert!(f > 0 && s > 0, "stage filters and stride must be positive");
+            assert!(
+                size.is_multiple_of(s),
+                "stride {s} does not divide feature map size {size}"
+            );
+            size /= s;
+            assert!(size > 0, "feature map shrank to zero");
+        }
+    }
+}
+
+/// Per-layer description produced by [`BnnResNet::summary`], used to
+/// reproduce the architecture table of Fig. 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerSummary {
+    /// Layer name, e.g. `"res2.conv1"`.
+    pub name: String,
+    /// Output shape `[c, h, w]` (or `[features]` for the classifier).
+    pub output_shape: Vec<usize>,
+    /// Trainable scalar parameters.
+    pub params: usize,
+    /// Binary (XNOR + popcount) multiply–accumulate operations for one
+    /// input, zero for float layers.
+    pub binary_ops: u64,
+    /// Float multiply–accumulate operations for one input.
+    pub float_ops: u64,
+}
+
+/// The binarized residual network of the DAC'19 paper.
+///
+/// Topology: stem [`BnnBlock`] → [`BinaryResidualBlock`]s → global
+/// average pooling → full-precision dense classifier (2 logits).
+pub struct BnnResNet {
+    config: NetConfig,
+    stem: BnnBlock,
+    blocks: Vec<BinaryResidualBlock>,
+    gap: GlobalAvgPool,
+    fc: Dense,
+}
+
+impl BnnResNet {
+    /// Builds the network with Xavier-initialised master weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is inconsistent (see
+    /// [`NetConfig::validate`]).
+    pub fn new<R: Rng>(config: &NetConfig, rng: &mut R) -> Self {
+        config.validate();
+        let stem = BnnBlock::new(1, config.stem_filters, 3, 1, 1, config.scaling, rng);
+        let mut blocks = Vec::new();
+        let mut channels = config.stem_filters;
+        for &(filters, stride) in &config.stages {
+            blocks.push(BinaryResidualBlock::new(
+                channels,
+                filters,
+                stride,
+                config.scaling,
+                rng,
+            ));
+            channels = filters;
+        }
+        let fc = Dense::new(channels, 2, rng);
+        BnnResNet {
+            config: config.clone(),
+            stem,
+            blocks,
+            gap: GlobalAvgPool::new(),
+            fc,
+        }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
+    /// The stem block.
+    pub fn stem(&self) -> &BnnBlock {
+        &self.stem
+    }
+
+    /// The residual blocks.
+    pub fn blocks(&self) -> &[BinaryResidualBlock] {
+        &self.blocks
+    }
+
+    /// The final classifier's weight tensor (`[2, channels]`).
+    pub fn fc_weight(&self) -> &Tensor {
+        &self.fc.weight().value
+    }
+
+    /// The final classifier's bias tensor (`[2]`).
+    pub fn fc_bias(&self) -> &Tensor {
+        &self.fc.bias().value
+    }
+
+    /// Per-layer summary for the architecture printout (Fig. 2
+    /// reproduction): names, output shapes, parameter counts, and
+    /// binary/float operation counts per input clip.
+    pub fn summary(&self) -> Vec<LayerSummary> {
+        let mut rows = Vec::new();
+        let mut size = self.config.input_size;
+        let mut channels = 1usize;
+
+        let conv_row = |name: &str,
+                        cin: usize,
+                        cout: usize,
+                        k: usize,
+                        out_size: usize|
+         -> LayerSummary {
+            let macs = (cin * k * k * cout) as u64 * (out_size * out_size) as u64;
+            LayerSummary {
+                name: name.to_string(),
+                output_shape: vec![cout, out_size, out_size],
+                // BN gamma/beta + binary conv weights.
+                params: 2 * cin + cout * cin * k * k,
+                binary_ops: macs,
+                float_ops: 0,
+            }
+        };
+
+        rows.push(conv_row("stem", channels, self.config.stem_filters, 3, size));
+        channels = self.config.stem_filters;
+        for (i, &(filters, stride)) in self.config.stages.iter().enumerate() {
+            let out_size = size / stride;
+            rows.push(conv_row(
+                &format!("res{}.conv1", i + 1),
+                channels,
+                filters,
+                3,
+                out_size,
+            ));
+            rows.push(conv_row(
+                &format!("res{}.conv2", i + 1),
+                filters,
+                filters,
+                3,
+                out_size,
+            ));
+            if stride != 1 || channels != filters {
+                rows.push(conv_row(
+                    &format!("res{}.shortcut", i + 1),
+                    channels,
+                    filters,
+                    1,
+                    out_size,
+                ));
+            }
+            channels = filters;
+            size = out_size;
+        }
+        rows.push(LayerSummary {
+            name: "gap".into(),
+            output_shape: vec![channels],
+            params: 0,
+            binary_ops: 0,
+            float_ops: (channels * size * size) as u64,
+        });
+        rows.push(LayerSummary {
+            name: "fc".into(),
+            output_shape: vec![2],
+            params: channels * 2 + 2,
+            binary_ops: 0,
+            float_ops: (channels * 2) as u64,
+        });
+        rows
+    }
+}
+
+impl Layer for BnnResNet {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        let mut x = self.stem.forward(input, training);
+        for b in &mut self.blocks {
+            x = b.forward(&x, training);
+        }
+        let pooled = self.gap.forward(&x, training);
+        self.fc.forward(&pooled, training)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self.fc.backward(grad_out);
+        let mut g = self.gap.backward(&g);
+        for b in self.blocks.iter_mut().rev() {
+            g = b.backward(&g);
+        }
+        self.stem.backward(&g)
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.stem.for_each_param(f);
+        for b in &mut self.blocks {
+            b.for_each_param(f);
+        }
+        self.fc.for_each_param(f);
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "BnnResNet(input {0}x{0}, {1} weight layers)",
+            self.config.input_size,
+            self.config.layer_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_config_is_12_layers() {
+        let cfg = NetConfig::paper_12layer();
+        cfg.validate();
+        assert_eq!(cfg.layer_count(), 12);
+        assert_eq!(cfg.input_size, 128);
+        // Filter counts grow with depth.
+        let filters: Vec<usize> = cfg.stages.iter().map(|&(f, _)| f).collect();
+        assert!(filters.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn forward_backward_shapes_tiny() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = BnnResNet::new(&NetConfig::tiny(16), &mut rng);
+        let x = Tensor::ones(&[2, 1, 16, 16]);
+        let y = net.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 2]);
+        let g = net.backward(&Tensor::ones(&[2, 2]));
+        assert_eq!(g.shape(), x.shape());
+    }
+
+    #[test]
+    fn forward_paper_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = BnnResNet::new(&NetConfig::paper_12layer(), &mut rng);
+        let x = Tensor::ones(&[1, 1, 128, 128]);
+        let y = net.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 2]);
+    }
+
+    #[test]
+    fn summary_counts_match_parameters() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = BnnResNet::new(&NetConfig::tiny(16), &mut rng);
+        let summary = net.summary();
+        let total: usize = summary.iter().map(|r| r.params).sum();
+        assert_eq!(total, net.param_count());
+        // Binary ops dominate float ops in this architecture.
+        let bin: u64 = summary.iter().map(|r| r.binary_ops).sum();
+        let fl: u64 = summary.iter().map(|r| r.float_ops).sum();
+        assert!(bin > 10 * fl, "binary {bin} vs float {fl}");
+    }
+
+    #[test]
+    fn summary_names_cover_topology() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = BnnResNet::new(&NetConfig::paper_12layer(), &mut rng);
+        let names: Vec<String> = net.summary().into_iter().map(|r| r.name).collect();
+        assert!(names.contains(&"stem".to_string()));
+        assert!(names.contains(&"res5.conv2".to_string()));
+        assert!(names.contains(&"res2.shortcut".to_string()));
+        assert!(names.contains(&"fc".to_string()));
+        // Stage 1 keeps shape: no shortcut projection.
+        assert!(!names.contains(&"res1.shortcut".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not divide")]
+    fn invalid_stride_rejected() {
+        NetConfig {
+            input_size: 9,
+            stem_filters: 4,
+            stages: vec![(8, 2)],
+            scaling: ScalingMode::PerChannel,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn training_step_changes_weights() {
+        use hotspot_nn::{NAdam, Optimizer, SoftmaxCrossEntropy};
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = BnnResNet::new(&NetConfig::tiny(8), &mut rng);
+        // A constant input would be normalized to exactly zero by the
+        // stem batch-norm, zeroing the activation scale and with it
+        // every gradient; use a varied input.
+        let mut x = Tensor::ones(&[2, 1, 8, 8]);
+        for (i, v) in x.as_mut_slice().iter_mut().enumerate() {
+            *v = if (i / 3) % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        let loss = SoftmaxCrossEntropy::new();
+        let mut before = Vec::new();
+        net.for_each_param(&mut |p| before.extend_from_slice(p.value.as_slice()));
+        let mut opt = NAdam::new(0.01);
+        net.zero_grads();
+        let logits = net.forward(&x, true);
+        let (_, g) = loss.forward(&logits, &[0, 1]);
+        let _ = net.backward(&g);
+        opt.step(&mut net);
+        let mut after = Vec::new();
+        net.for_each_param(&mut |p| after.extend_from_slice(p.value.as_slice()));
+        assert_ne!(before, after);
+    }
+}

@@ -1,0 +1,256 @@
+//! Binarization scaling factors (paper §3.2 and Eq. 14).
+
+use hotspot_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// How binary convolutions estimate the full-precision product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ScalingMode {
+    /// No scaling: plain `sign(X) ⊛ sign(W)` (the naive BNN).
+    PlainSign,
+    /// XNOR-Net: one shared spatial scale map computed from the
+    /// channel-mean of `|X|`, plus the per-filter `α_W`.
+    Shared,
+    /// The paper's variant: an independent spatial scale map **per
+    /// input channel** (Eq. 14), plus the per-filter `α_W`.  This
+    /// estimates the input tensor more accurately than XNOR-Net's
+    /// shared map.
+    #[default]
+    PerChannel,
+}
+
+/// Per-filter weight scaling factors `α_W = ‖W_k‖₁ / n` (Eq. 8), one
+/// per output filter of a `[k, c, kh, kw]` weight tensor.
+///
+/// # Panics
+///
+/// Panics when `w` is not 4-D.
+pub fn weight_scale(w: &Tensor) -> Vec<f32> {
+    assert_eq!(w.ndim(), 4, "weights must be [k, c, kh, kw]");
+    let k = w.shape()[0];
+    let n: usize = w.shape()[1..].iter().product();
+    let data = w.as_slice();
+    (0..k)
+        .map(|ki| {
+            data[ki * n..(ki + 1) * n]
+                .iter()
+                .map(|v| v.abs())
+                .sum::<f32>()
+                / n as f32
+        })
+        .collect()
+}
+
+/// Box-filters a single-channel plane with the `kh × kw` averaging
+/// kernel `K` of §3.4.3 (every element `1/(kh·kw)`), using the same
+/// padding as the convolution it scales.
+///
+/// `plane` is `h × w` row-major; returns the `oh × ow` scale map for
+/// the given stride/pad.
+pub fn box_filter(
+    plane: &[f32],
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> Vec<f32> {
+    let oh = (h + 2 * pad - kh) / stride + 1;
+    let ow = (w + 2 * pad - kw) / stride + 1;
+    let inv = 1.0 / (kh * kw) as f32;
+    let mut out = vec![0.0f32; oh * ow];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut acc = 0.0;
+            for ky in 0..kh {
+                let iy = (oy * stride + ky) as isize - pad as isize;
+                if iy < 0 || iy >= h as isize {
+                    continue;
+                }
+                for kx in 0..kw {
+                    let ix = (ox * stride + kx) as isize - pad as isize;
+                    if ix < 0 || ix >= w as isize {
+                        continue;
+                    }
+                    acc += plane[iy as usize * w + ix as usize];
+                }
+            }
+            out[oy * ow + ox] = acc * inv;
+        }
+    }
+    out
+}
+
+/// The paper's per-channel input scaling (Eq. 14):
+/// `α_T(c) = |T_in(c, :, :)| ⊛ K`, computed for every batch item and
+/// input channel.  Returns a `[n, c, h, w]` tensor of scale factors
+/// positioned at the *input* resolution (stride 1, same padding), which
+/// the training path multiplies into `sign(X)` before the convolution.
+///
+/// # Panics
+///
+/// Panics when `x` is not 4-D.
+pub fn input_scale_per_channel(x: &Tensor, kh: usize, kw: usize) -> Tensor {
+    assert_eq!(x.ndim(), 4, "activations must be NCHW");
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let pad_h = (kh - 1) / 2;
+    let pad_w = (kw - 1) / 2;
+    // With stride 1 and symmetric same-padding the map is h × w.
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let data = x.as_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            let absplane: Vec<f32> = data[base..base + h * w].iter().map(|v| v.abs()).collect();
+            let filtered = box_filter(&absplane, h, w, kh, kw, 1, pad_h.max(pad_w));
+            out.as_mut_slice()[base..base + h * w].copy_from_slice(&filtered);
+        }
+    }
+    out
+}
+
+/// XNOR-Net's factored output-side scaling map: the channel-mean of
+/// `|X|` box-filtered at the convolution's own stride and padding.
+///
+/// Returns `[n, oh, ow]` — one spatial scale map per batch item, to be
+/// broadcast over output channels and multiplied into the binary
+/// convolution's output.  This is exactly the map the bit-packed
+/// inference engine applies, so a float-path convolution using it is
+/// bit-for-bit consistent with [`xnor_conv2d`](crate::xnor_conv2d)
+/// inference.
+pub fn output_scale_shared(
+    x: &Tensor,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    assert_eq!(x.ndim(), 4, "activations must be NCHW");
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let oh = (h + 2 * pad - k) / stride + 1;
+    let ow = (w + 2 * pad - k) / stride + 1;
+    let mut out = Tensor::zeros(&[n, oh, ow]);
+    let data = x.as_slice();
+    for ni in 0..n {
+        let mut a = vec![0.0f32; h * w];
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            for (slot, &v) in a.iter_mut().zip(&data[base..base + h * w]) {
+                *slot += v.abs();
+            }
+        }
+        let inv_c = 1.0 / c as f32;
+        for slot in &mut a {
+            *slot *= inv_c;
+        }
+        let filtered = box_filter(&a, h, w, k, k, stride, pad);
+        out.as_mut_slice()[ni * oh * ow..(ni + 1) * oh * ow].copy_from_slice(&filtered);
+    }
+    out
+}
+
+/// XNOR-Net's shared input scaling: the channel-mean of `|X|` box-
+/// filtered once, broadcast to every channel.  Returned as `[n, c, h,
+/// w]` for interchangeability with
+/// [`input_scale_per_channel`].
+pub fn input_scale_shared(x: &Tensor, kh: usize, kw: usize) -> Tensor {
+    assert_eq!(x.ndim(), 4, "activations must be NCHW");
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let pad = (kh.max(kw) - 1) / 2;
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let data = x.as_slice();
+    for ni in 0..n {
+        // A = mean over channels of |X|.
+        let mut a = vec![0.0f32; h * w];
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            for (slot, &v) in a.iter_mut().zip(&data[base..base + h * w]) {
+                *slot += v.abs();
+            }
+        }
+        let inv_c = 1.0 / c as f32;
+        for slot in &mut a {
+            *slot *= inv_c;
+        }
+        let filtered = box_filter(&a, h, w, kh, kw, 1, pad);
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            out.as_mut_slice()[base..base + h * w].copy_from_slice(&filtered);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_scale_is_mean_abs() {
+        let w = Tensor::from_vec(
+            &[2, 1, 2, 2],
+            vec![1.0, -1.0, 2.0, -2.0, 0.5, 0.5, 0.5, 0.5],
+        );
+        let a = weight_scale(&w);
+        assert_eq!(a, vec![1.5, 0.5]);
+    }
+
+    #[test]
+    fn box_filter_constant_plane() {
+        // Away from borders a constant plane filters to itself.
+        let plane = vec![3.0f32; 25];
+        let f = box_filter(&plane, 5, 5, 3, 3, 1, 1);
+        assert_eq!(f.len(), 25);
+        assert!((f[12] - 3.0).abs() < 1e-6); // centre
+        // Corner sees only 4 of 9 taps.
+        assert!((f[0] - 3.0 * 4.0 / 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn box_filter_strided() {
+        let plane: Vec<f32> = (0..16).map(|v| v as f32).collect();
+        let f = box_filter(&plane, 4, 4, 2, 2, 2, 0);
+        assert_eq!(f.len(), 4);
+        // First window: (0+1+4+5)/4.
+        assert!((f[0] - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_channel_scale_distinguishes_channels() {
+        // Channel 0 has magnitude 1, channel 1 magnitude 3.
+        let mut x = Tensor::zeros(&[1, 2, 4, 4]);
+        for i in 0..16 {
+            x.as_mut_slice()[i] = 1.0;
+            x.as_mut_slice()[16 + i] = -3.0;
+        }
+        let s = input_scale_per_channel(&x, 3, 3);
+        // Centre pixels: full window of constant magnitude.
+        assert!((s.at(&[0, 0, 2, 2]) - 1.0).abs() < 1e-6);
+        assert!((s.at(&[0, 1, 2, 2]) - 3.0).abs() < 1e-6);
+        // The shared variant averages the two.
+        let sh = input_scale_shared(&x, 3, 3);
+        assert!((sh.at(&[0, 0, 2, 2]) - 2.0).abs() < 1e-6);
+        assert!((sh.at(&[0, 1, 2, 2]) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shared_equals_per_channel_for_single_channel() {
+        let x = Tensor::from_vec(
+            &[1, 1, 3, 3],
+            vec![1., -2., 3., -4., 5., -6., 7., -8., 9.],
+        );
+        let a = input_scale_per_channel(&x, 3, 3);
+        let b = input_scale_shared(&x, 3, 3);
+        for (p, q) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((p - q).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn scales_are_nonnegative() {
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![-5.0, -1.0, -0.5, -2.0]);
+        let s = input_scale_per_channel(&x, 3, 3);
+        assert!(s.as_slice().iter().all(|&v| v >= 0.0));
+        assert!(s.max() > 0.0);
+    }
+}

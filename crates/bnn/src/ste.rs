@@ -1,0 +1,71 @@
+//! The sign non-linearity and its straight-through estimator.
+
+use hotspot_tensor::Tensor;
+
+/// Element-wise `sign(x)` with the BNN convention `sign(0) = +1`, so the
+/// output is exactly `{−1, +1}`.
+///
+/// # Example
+///
+/// ```
+/// use hotspot_bnn::sign_tensor;
+/// use hotspot_tensor::Tensor;
+///
+/// let t = Tensor::from_vec(&[3], vec![-0.5, 0.0, 2.0]);
+/// assert_eq!(sign_tensor(&t).as_slice(), &[-1.0, 1.0, 1.0]);
+/// ```
+pub fn sign_tensor(x: &Tensor) -> Tensor {
+    x.map(|v| if v >= 0.0 { 1.0 } else { -1.0 })
+}
+
+/// The straight-through estimator of Eq. 10–11: the pass-through mask
+/// `1_{|x| < 1}` applied to an upstream gradient.
+///
+/// `grad_out` is the gradient flowing into `sign(x)`; the returned
+/// tensor is the gradient with respect to `x`, with saturation taken
+/// into account (gradients are killed where `|x| ≥ 1`).
+///
+/// # Panics
+///
+/// Panics when the shapes differ.
+pub fn ste_grad(x: &Tensor, grad_out: &Tensor) -> Tensor {
+    x.zip(grad_out, |xi, g| if xi.abs() < 1.0 { g } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_is_plus_minus_one() {
+        let x = Tensor::from_vec(&[5], vec![-3.0, -0.0, 0.0, 0.1, 7.0]);
+        let s = sign_tensor(&x);
+        assert_eq!(s.as_slice(), &[-1.0, 1.0, 1.0, 1.0, 1.0]);
+        assert!(s.as_slice().iter().all(|&v| v == 1.0 || v == -1.0));
+    }
+
+    #[test]
+    fn ste_passes_inside_unit_interval() {
+        let x = Tensor::from_vec(&[4], vec![-2.0, -0.5, 0.5, 1.0]);
+        let g = Tensor::from_vec(&[4], vec![10.0, 10.0, 10.0, 10.0]);
+        let out = ste_grad(&x, &g);
+        assert_eq!(out.as_slice(), &[0.0, 10.0, 10.0, 0.0]);
+    }
+
+    #[test]
+    fn ste_boundary_is_exclusive() {
+        // |x| < 1 strictly: exactly ±1 saturates.
+        let x = Tensor::from_vec(&[3], vec![-1.0, 0.999, 1.0]);
+        let g = Tensor::ones(&[3]);
+        assert_eq!(ste_grad(&x, &g).as_slice(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn sign_idempotent_through_ste_shapes() {
+        let x = Tensor::from_vec(&[2, 2], vec![0.2, -0.2, 3.0, -3.0]);
+        let g = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let out = ste_grad(&x, &g);
+        assert_eq!(out.shape(), &[2, 2]);
+        assert_eq!(out.as_slice(), &[1.0, 2.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the binarization machinery.
+
+use hotspot_bnn::{
+    input_scale_per_channel, output_scale_shared, sign_tensor, ste_grad, weight_scale,
+    xnor_conv2d, BinaryResidualBlock, BitFilter, BitTensor, ScalingMode,
+};
+use hotspot_nn::Layer;
+use hotspot_tensor::{conv2d, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_tensor(shape: &'static [usize]) -> impl Strategy<Value = Tensor> {
+    let numel: usize = shape.iter().product();
+    prop::collection::vec(-2.0f32..2.0, numel).prop_map(move |v| Tensor::from_vec(shape, v))
+}
+
+proptest! {
+    /// sign() produces exactly ±1 and is idempotent.
+    #[test]
+    fn sign_is_idempotent(x in arb_tensor(&[64])) {
+        let s = sign_tensor(&x);
+        prop_assert!(s.as_slice().iter().all(|&v| v == 1.0 || v == -1.0));
+        prop_assert_eq!(sign_tensor(&s), s);
+    }
+
+    /// Bit-packing is the identity on ±1 data: pack(unpack(pack(x))) ==
+    /// pack(x), and unpack(pack(x)) == sign(x).
+    #[test]
+    fn bitpack_round_trip(x in arb_tensor(&[2, 5, 4, 4])) {
+        let packed = BitTensor::from_tensor(&x);
+        let unpacked = packed.to_tensor();
+        prop_assert_eq!(&unpacked, &sign_tensor(&x));
+        prop_assert_eq!(BitTensor::from_tensor(&unpacked), packed);
+    }
+
+    /// The XNOR kernel equals the float convolution of sign tensors,
+    /// for random strides and paddings.
+    #[test]
+    fn xnor_equals_float_sign_conv(
+        x in arb_tensor(&[1, 5, 6, 6]),
+        w in arb_tensor(&[3, 5, 3, 3]),
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        let expect = conv2d(&sign_tensor(&x), &sign_tensor(&w), None, stride, pad);
+        let got = xnor_conv2d(
+            &BitTensor::from_tensor(&x),
+            &BitFilter::from_tensor(&w),
+            stride,
+            pad,
+        );
+        prop_assert_eq!(got.shape(), expect.shape());
+        for (a, b) in got.as_slice().iter().zip(expect.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-3, "{} vs {}", a, b);
+        }
+    }
+
+    /// The STE never amplifies a gradient and kills it outside (−1, 1).
+    #[test]
+    fn ste_is_a_contraction(x in arb_tensor(&[32]), g in arb_tensor(&[32])) {
+        let out = ste_grad(&x, &g);
+        for ((&xi, &gi), &oi) in x.as_slice().iter().zip(g.as_slice()).zip(out.as_slice()) {
+            if xi.abs() < 1.0 {
+                prop_assert_eq!(oi, gi);
+            } else {
+                prop_assert_eq!(oi, 0.0);
+            }
+        }
+        prop_assert!(out.l1_norm() <= g.l1_norm() + 1e-6);
+    }
+
+    /// Weight scales are the per-filter mean |w|: non-negative, and
+    /// scaling the weights scales them linearly.
+    #[test]
+    fn weight_scale_homogeneous(w in arb_tensor(&[4, 2, 3, 3]), s in 0.1f32..4.0) {
+        let a = weight_scale(&w);
+        prop_assert!(a.iter().all(|&v| v >= 0.0));
+        let scaled = &w * s;
+        let b = weight_scale(&scaled);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((s * x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Scale maps are non-negative and bounded by max |x|.
+    #[test]
+    fn scale_maps_bounded(x in arb_tensor(&[1, 3, 6, 6])) {
+        let max_abs = x.as_slice().iter().map(|v| v.abs()).fold(0.0f32, f32::max);
+        let pc = input_scale_per_channel(&x, 3, 3);
+        prop_assert!(pc.as_slice().iter().all(|&v| v >= 0.0 && v <= max_abs + 1e-5));
+        let sh = output_scale_shared(&x, 3, 1, 1);
+        prop_assert_eq!(sh.shape(), &[1, 6, 6]);
+        prop_assert!(sh.as_slice().iter().all(|&v| v >= 0.0 && v <= max_abs + 1e-5));
+    }
+
+    /// A residual block's backward returns a gradient of the input
+    /// shape with finite values, for every scaling mode.
+    #[test]
+    fn residual_block_gradient_finite(seed in 0u64..50, mode_idx in 0usize..3) {
+        let mode = [ScalingMode::PlainSign, ScalingMode::Shared, ScalingMode::PerChannel][mode_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut block = BinaryResidualBlock::new(2, 4, 2, mode, &mut rng);
+        let mut state = seed as u32 + 1;
+        let numel = 2 * 2 * 8 * 8;
+        let x = Tensor::from_vec(&[2, 2, 8, 8], (0..numel).map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            (state >> 16) as f32 / 32768.0 - 1.0
+        }).collect());
+        let y = block.forward(&x, true);
+        prop_assert_eq!(y.shape(), &[2, 4, 4, 4]);
+        let g = block.backward(&Tensor::ones(y.shape()));
+        prop_assert_eq!(g.shape(), x.shape());
+        prop_assert!(g.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,297 @@
+//! The detector trait and adapters for the classical baselines.
+
+use hotspot_baselines::{AdaBoostDetector, CcsBoostDetector, DctCnnConfig, DctCnnDetector, PatternMatchDetector};
+use hotspot_geometry::BitImage;
+use hotspot_layout_gen::LabeledClip;
+
+/// A trainable layout hotspot detector.
+///
+/// All detectors in the workspace — the paper's BNN and the three
+/// Table-3 baselines — implement this trait, which is what the
+/// evaluation harness and benchmark binaries drive.
+pub trait HotspotDetector {
+    /// Human-readable name, as it appears in Table 3.
+    fn name(&self) -> &str;
+
+    /// Trains on labelled clips.
+    fn fit(&mut self, clips: &[LabeledClip]);
+
+    /// Classifies a batch of clips (`true` = hotspot).
+    fn predict_batch(&mut self, images: &[BitImage]) -> Vec<bool>;
+
+    /// Continuous hotspot scores (larger = more hotspot-like).  The
+    /// default quantizes predictions to 0/1; detectors override this
+    /// with their real margin or probability so ROC analysis
+    /// ([`crate::roc`]) is meaningful.
+    fn score_batch(&mut self, images: &[BitImage]) -> Vec<f32> {
+        self.predict_batch(images)
+            .into_iter()
+            .map(|p| if p { 1.0 } else { 0.0 })
+            .collect()
+    }
+
+    /// Classifies one clip.
+    fn predict(&mut self, image: &BitImage) -> bool {
+        self.predict_batch(std::slice::from_ref(image))[0]
+    }
+}
+
+fn split(clips: &[LabeledClip]) -> (Vec<BitImage>, Vec<bool>) {
+    (
+        clips.iter().map(|c| c.image.clone()).collect(),
+        clips.iter().map(|c| c.hotspot).collect(),
+    )
+}
+
+/// The SPIE'15 baseline behind the common trait: density-grid AdaBoost.
+pub struct AdaBoostHotspotDetector {
+    inner: AdaBoostDetector,
+}
+
+impl AdaBoostHotspotDetector {
+    /// Creates the detector with Table-3-scale defaults.
+    pub fn new() -> Self {
+        AdaBoostHotspotDetector {
+            inner: AdaBoostDetector::new(8, 48),
+        }
+    }
+
+    /// Creates the detector with explicit grid/rounds.
+    pub fn with_params(grid: usize, rounds: usize) -> Self {
+        AdaBoostHotspotDetector {
+            inner: AdaBoostDetector::new(grid, rounds),
+        }
+    }
+}
+
+impl Default for AdaBoostHotspotDetector {
+    fn default() -> Self {
+        AdaBoostHotspotDetector::new()
+    }
+}
+
+impl HotspotDetector for AdaBoostHotspotDetector {
+    fn name(&self) -> &str {
+        "SPIE'15 AdaBoost"
+    }
+
+    fn fit(&mut self, clips: &[LabeledClip]) {
+        let (images, labels) = split(clips);
+        self.inner.fit(&images, &labels);
+    }
+
+    fn predict_batch(&mut self, images: &[BitImage]) -> Vec<bool> {
+        images.iter().map(|i| self.inner.predict(i)).collect()
+    }
+
+    fn score_batch(&mut self, images: &[BitImage]) -> Vec<f32> {
+        images.iter().map(|i| self.inner.score(i)).collect()
+    }
+}
+
+/// The ICCAD'16 baseline behind the common trait: CCS + online
+/// smooth-boosting-style learner.
+pub struct CcsHotspotDetector {
+    inner: CcsBoostDetector,
+}
+
+impl CcsHotspotDetector {
+    /// Creates the detector with Table-3-scale defaults.
+    pub fn new() -> Self {
+        CcsHotspotDetector {
+            inner: CcsBoostDetector::new(16, 8),
+        }
+    }
+}
+
+impl Default for CcsHotspotDetector {
+    fn default() -> Self {
+        CcsHotspotDetector::new()
+    }
+}
+
+impl HotspotDetector for CcsHotspotDetector {
+    fn name(&self) -> &str {
+        "ICCAD'16 CCS"
+    }
+
+    fn fit(&mut self, clips: &[LabeledClip]) {
+        let (images, labels) = split(clips);
+        self.inner.fit(&images, &labels);
+    }
+
+    fn predict_batch(&mut self, images: &[BitImage]) -> Vec<bool> {
+        images.iter().map(|i| self.inner.predict(i)).collect()
+    }
+
+    fn score_batch(&mut self, images: &[BitImage]) -> Vec<f32> {
+        images.iter().map(|i| self.inner.probability(i)).collect()
+    }
+}
+
+/// The DAC'17 baseline behind the common trait: DCT feature tensor +
+/// float CNN with biased learning.
+pub struct DctCnnHotspotDetector {
+    inner: DctCnnDetector,
+}
+
+impl DctCnnHotspotDetector {
+    /// Creates the detector with default hyperparameters.
+    pub fn new() -> Self {
+        DctCnnHotspotDetector {
+            inner: DctCnnDetector::new(DctCnnConfig::default()),
+        }
+    }
+
+    /// Creates the detector with explicit hyperparameters.
+    pub fn with_config(config: DctCnnConfig) -> Self {
+        DctCnnHotspotDetector {
+            inner: DctCnnDetector::new(config),
+        }
+    }
+}
+
+impl Default for DctCnnHotspotDetector {
+    fn default() -> Self {
+        DctCnnHotspotDetector::new()
+    }
+}
+
+impl HotspotDetector for DctCnnHotspotDetector {
+    fn name(&self) -> &str {
+        "DAC'17 DCT-CNN"
+    }
+
+    fn fit(&mut self, clips: &[LabeledClip]) {
+        let (images, labels) = split(clips);
+        self.inner.fit(&images, &labels);
+    }
+
+    fn predict_batch(&mut self, images: &[BitImage]) -> Vec<bool> {
+        self.inner
+            .probabilities(images)
+            .into_iter()
+            .map(|p| p >= 0.5)
+            .collect()
+    }
+
+    fn score_batch(&mut self, images: &[BitImage]) -> Vec<f32> {
+        self.inner.probabilities(images)
+    }
+}
+
+/// A classical fuzzy pattern matcher behind the common trait — the
+/// non-learning alternative the paper's introduction contrasts with
+/// (fast, precise on seen hotspots, blind to unseen ones).
+pub struct PatternMatchHotspotDetector {
+    inner: PatternMatchDetector,
+}
+
+impl PatternMatchHotspotDetector {
+    /// Creates the matcher with defaults tuned for 128×128 clips.
+    pub fn new() -> Self {
+        PatternMatchHotspotDetector {
+            inner: PatternMatchDetector::new(8, 0.04),
+        }
+    }
+
+    /// Creates the matcher with an explicit grid and fuzziness.
+    pub fn with_params(grid: usize, fuzziness: f32) -> Self {
+        PatternMatchHotspotDetector {
+            inner: PatternMatchDetector::new(grid, fuzziness),
+        }
+    }
+}
+
+impl Default for PatternMatchHotspotDetector {
+    fn default() -> Self {
+        PatternMatchHotspotDetector::new()
+    }
+}
+
+impl HotspotDetector for PatternMatchHotspotDetector {
+    fn name(&self) -> &str {
+        "Pattern matching"
+    }
+
+    fn fit(&mut self, clips: &[LabeledClip]) {
+        let (images, labels) = split(clips);
+        self.inner.fit(&images, &labels);
+    }
+
+    fn predict_batch(&mut self, images: &[BitImage]) -> Vec<bool> {
+        images.iter().map(|i| self.inner.predict(i)).collect()
+    }
+
+    fn score_batch(&mut self, images: &[BitImage]) -> Vec<f32> {
+        images.iter().map(|i| self.inner.score(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_layout_gen::PatternFamily;
+
+    fn toy_clips() -> Vec<LabeledClip> {
+        // Hotspots: dense stripes; clean: sparse stripes.
+        (0..16)
+            .map(|i| {
+                let hotspot = i % 2 == 0;
+                let mut img = BitImage::new(32, 32);
+                let step = if hotspot { 4 } else { 12 };
+                let mut y = 0;
+                while y < 32 {
+                    img.fill_row_span(y, 0, 32);
+                    y += step;
+                }
+                LabeledClip {
+                    image: img,
+                    hotspot,
+                    family: PatternFamily::LineSpace,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn adaboost_adapter_end_to_end() {
+        let clips = toy_clips();
+        let mut det = AdaBoostHotspotDetector::with_params(4, 12);
+        det.fit(&clips);
+        let preds = det.predict_batch(&clips.iter().map(|c| c.image.clone()).collect::<Vec<_>>());
+        let correct = preds
+            .iter()
+            .zip(&clips)
+            .filter(|(p, c)| **p == c.hotspot)
+            .count();
+        assert!(correct >= 14, "{correct}/16");
+        assert_eq!(det.name(), "SPIE'15 AdaBoost");
+    }
+
+    #[test]
+    fn ccs_adapter_end_to_end() {
+        let clips = toy_clips();
+        let mut det = CcsHotspotDetector::new();
+        det.fit(&clips);
+        // Training accuracy should beat chance clearly.
+        let preds = det.predict_batch(&clips.iter().map(|c| c.image.clone()).collect::<Vec<_>>());
+        let correct = preds
+            .iter()
+            .zip(&clips)
+            .filter(|(p, c)| **p == c.hotspot)
+            .count();
+        assert!(correct >= 12, "{correct}/16");
+    }
+
+    #[test]
+    fn predict_single_matches_batch() {
+        let clips = toy_clips();
+        let mut det = AdaBoostHotspotDetector::with_params(4, 12);
+        det.fit(&clips);
+        let img = &clips[0].image;
+        let single = det.predict(img);
+        let batch = det.predict_batch(std::slice::from_ref(img));
+        assert_eq!(single, batch[0]);
+    }
+}

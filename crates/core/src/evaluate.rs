@@ -1,0 +1,163 @@
+//! The evaluation harness behind Table 3.
+
+use crate::detector::HotspotDetector;
+use crate::metrics::ConfusionMatrix;
+use hotspot_geometry::BitImage;
+use hotspot_layout_gen::LabeledClip;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// The result of evaluating a detector on a test split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalResult {
+    /// Confusion matrix over the test split.
+    pub confusion: ConfusionMatrix,
+    /// Wall-clock inference time over the whole split (the paper's
+    /// "Runtime" column).
+    pub runtime: Duration,
+}
+
+impl EvalResult {
+    /// Model evaluation time per instance, in seconds.
+    pub fn eval_time_per_instance(&self) -> f64 {
+        let n = self.confusion.total().max(1);
+        self.runtime.as_secs_f64() / n as f64
+    }
+
+    /// ODST (Eq. 3) with the given lithography simulation time per
+    /// flagged clip; the per-instance evaluation time is taken from the
+    /// measured runtime.
+    pub fn odst_seconds(&self, t_ls_seconds: f64) -> f64 {
+        self.confusion
+            .odst(t_ls_seconds, self.eval_time_per_instance())
+    }
+}
+
+/// Per-pattern-family confusion breakdown: which geometry families a
+/// detector struggles with.
+///
+/// # Example
+///
+/// ```no_run
+/// # use hotspot_core::{evaluate_by_family, AdaBoostHotspotDetector};
+/// # let mut det = AdaBoostHotspotDetector::new();
+/// # let clips = vec![];
+/// for (family, cm) in evaluate_by_family(&mut det, &clips) {
+///     println!("{family:?}: accuracy {:.2}", cm.accuracy());
+/// }
+/// ```
+pub fn evaluate_by_family<D: HotspotDetector + ?Sized>(
+    detector: &mut D,
+    clips: &[LabeledClip],
+) -> BTreeMap<String, ConfusionMatrix> {
+    assert!(!clips.is_empty(), "cannot evaluate on zero clips");
+    let images: Vec<BitImage> = clips.iter().map(|c| c.image.clone()).collect();
+    let predictions = detector.predict_batch(&images);
+    let mut out: BTreeMap<String, ConfusionMatrix> = BTreeMap::new();
+    for (clip, &pred) in clips.iter().zip(&predictions) {
+        out.entry(format!("{:?}", clip.family))
+            .or_default()
+            .record(clip.hotspot, pred);
+    }
+    out
+}
+
+/// Runs a trained detector over labelled test clips, timing inference
+/// and accumulating the confusion matrix.
+///
+/// # Panics
+///
+/// Panics when `clips` is empty.
+pub fn evaluate<D: HotspotDetector + ?Sized>(detector: &mut D, clips: &[LabeledClip]) -> EvalResult {
+    assert!(!clips.is_empty(), "cannot evaluate on zero clips");
+    let images: Vec<BitImage> = clips.iter().map(|c| c.image.clone()).collect();
+    let start = Instant::now();
+    let predictions = detector.predict_batch(&images);
+    let runtime = start.elapsed();
+    assert_eq!(predictions.len(), clips.len(), "one prediction per clip");
+    let mut confusion = ConfusionMatrix::new();
+    for (clip, &pred) in clips.iter().zip(&predictions) {
+        confusion.record(clip.hotspot, pred);
+    }
+    EvalResult { confusion, runtime }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_layout_gen::PatternFamily;
+
+    /// A detector that flags clips denser than a threshold.
+    struct DensityThreshold(f64);
+
+    impl HotspotDetector for DensityThreshold {
+        fn name(&self) -> &str {
+            "density-threshold"
+        }
+        fn fit(&mut self, _clips: &[LabeledClip]) {}
+        fn predict_batch(&mut self, images: &[BitImage]) -> Vec<bool> {
+            images.iter().map(|i| i.density() > self.0).collect()
+        }
+    }
+
+    fn clip(density_rows: usize, hotspot: bool) -> LabeledClip {
+        let mut img = BitImage::new(16, 16);
+        for y in 0..density_rows {
+            img.fill_row_span(y, 0, 16);
+        }
+        LabeledClip {
+            image: img,
+            hotspot,
+            family: PatternFamily::LineSpace,
+        }
+    }
+
+    #[test]
+    fn confusion_matches_known_outcomes() {
+        // Detector: density > 0.5. Dense clips (12 rows) flagged,
+        // sparse (2 rows) not.
+        let clips = vec![
+            clip(12, true),  // TP
+            clip(12, false), // FP
+            clip(2, true),   // FN
+            clip(2, false),  // TN
+        ];
+        let mut det = DensityThreshold(0.5);
+        let result = evaluate(&mut det, &clips);
+        assert_eq!(result.confusion.tp, 1);
+        assert_eq!(result.confusion.fp, 1);
+        assert_eq!(result.confusion.fn_, 1);
+        assert_eq!(result.confusion.tn, 1);
+        assert!(result.runtime.as_nanos() > 0);
+    }
+
+    #[test]
+    fn odst_uses_measured_eval_time() {
+        let clips = vec![clip(12, true), clip(2, false)];
+        let mut det = DensityThreshold(0.5);
+        let result = evaluate(&mut det, &clips);
+        let odst = result.odst_seconds(10.0);
+        // One flagged clip → 10 s of simulation plus tiny eval time.
+        assert!((10.0..10.1).contains(&odst), "odst {odst}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero clips")]
+    fn empty_split_rejected() {
+        let mut det = DensityThreshold(0.5);
+        let _ = evaluate(&mut det, &[]);
+    }
+
+    #[test]
+    fn family_breakdown_partitions_counts() {
+        let mut clips = vec![clip(12, true), clip(2, false), clip(12, false)];
+        clips[1].family = PatternFamily::ViaArray;
+        let mut det = DensityThreshold(0.5);
+        let by_family = evaluate_by_family(&mut det, &clips);
+        assert_eq!(by_family.len(), 2);
+        let total: u64 = by_family.values().map(|cm| cm.total()).sum();
+        assert_eq!(total, 3);
+        assert!(by_family.contains_key("LineSpace"));
+        assert!(by_family.contains_key("ViaArray"));
+    }
+}

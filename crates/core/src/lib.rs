@@ -1,0 +1,73 @@
+//! # Binarized residual neural network layout hotspot detection
+//!
+//! End-to-end reproduction of *"Efficient Layout Hotspot Detection via
+//! Binarized Residual Neural Network"* (Jiang et al., DAC 2019): a
+//! 12-layer binarized residual network classifies layout clips as
+//! lithography hotspots directly from their down-sampled binary
+//! images, matching the accuracy of float CNN detectors at a fraction
+//! of the inference cost.
+//!
+//! This crate is the public face of the workspace: it wires the
+//! substrates (geometry, synthetic ICCAD-2012-like data, lithography
+//! oracle, tensor/NN/BNN engines, classical baselines) into detectors
+//! behind one [`HotspotDetector`] trait, and provides the metrics and
+//! evaluation harness used to regenerate every table and figure of the
+//! paper.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use hotspot_core::{
+//!     evaluate, BnnDetector, BnnTrainConfig, DatasetSpec, HotspotDetector, HotspotOracle,
+//!     OpticalModel,
+//! };
+//!
+//! // 1. Build a small ICCAD-2012-like dataset, labelled by litho simulation.
+//! let oracle = HotspotOracle::new(OpticalModel::default());
+//! let data = DatasetSpec::iccad2012_like().scaled(0.01).build(&oracle);
+//!
+//! // 2. Train the paper's BNN detector.
+//! let mut detector = BnnDetector::new(BnnTrainConfig::fast());
+//! detector.fit(&data.train);
+//!
+//! // 3. Evaluate: accuracy (Eq. 1), false alarms (Eq. 2), ODST (Eq. 3).
+//! let result = evaluate(&mut detector, &data.test);
+//! println!("{}", result.confusion);
+//! println!("accuracy {:.1}%  FA {}  ODST {:.0}s",
+//!     100.0 * result.confusion.accuracy(),
+//!     result.confusion.false_alarms(),
+//!     result.odst_seconds(10.0));
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`hotspot_geometry`] | points, rects, layouts, rasterization |
+//! | [`hotspot_layout_gen`] | synthetic clips + Table-2 dataset builder |
+//! | [`hotspot_litho_sim`] | SOCS-style litho simulation, ground-truth oracle |
+//! | [`hotspot_tensor`] / [`hotspot_nn`] | from-scratch tensor + NN framework |
+//! | [`hotspot_bnn`] | binary conv, STE training, XNOR inference |
+//! | [`hotspot_baselines`] | SPIE'15 / ICCAD'16 / DAC'17 baselines |
+
+pub mod bnn_detector;
+pub mod detector;
+pub mod evaluate;
+pub mod metrics;
+pub mod persist;
+pub mod roc;
+
+pub use bnn_detector::{BnnDetector, BnnTrainConfig, EpochRecord, InferencePath};
+pub use detector::{
+    AdaBoostHotspotDetector, CcsHotspotDetector, DctCnnHotspotDetector, HotspotDetector,
+    PatternMatchHotspotDetector,
+};
+pub use evaluate::{evaluate, evaluate_by_family, EvalResult};
+pub use metrics::ConfusionMatrix;
+pub use roc::{RocCurve, RocPoint};
+
+// Re-export the pieces users need to drive the pipeline end to end.
+pub use hotspot_bnn::{BnnResNet, NetConfig, PackedBnn, ScalingMode};
+pub use hotspot_geometry::{BitImage, Layout, Point, Raster, Rect};
+pub use hotspot_layout_gen::{DatasetSpec, LabeledClip, PatternFamily, SplitDataset};
+pub use hotspot_litho_sim::{HotspotOracle, OpticalModel};

@@ -1,0 +1,170 @@
+//! Hotspot-detection metrics (paper §2.1, Table 1, Eq. 1–3).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The confusion matrix of a hotspot-detection run (paper Table 1).
+///
+/// Conventions follow the paper: *positive* = hotspot.
+///
+/// # Example
+///
+/// ```
+/// use hotspot_core::ConfusionMatrix;
+///
+/// let mut cm = ConfusionMatrix::new();
+/// cm.record(true, true);   // hit
+/// cm.record(true, false);  // miss
+/// cm.record(false, true);  // false alarm
+/// cm.record(false, false); // correct rejection
+/// assert_eq!(cm.accuracy(), 0.5);
+/// assert_eq!(cm.false_alarms(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Hotspots predicted as hotspots.
+    pub tp: u64,
+    /// Non-hotspots predicted as hotspots.
+    pub fp: u64,
+    /// Non-hotspots predicted as non-hotspots.
+    pub tn: u64,
+    /// Hotspots predicted as non-hotspots.
+    pub fn_: u64,
+}
+
+impl ConfusionMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        ConfusionMatrix::default()
+    }
+
+    /// Records one example.
+    pub fn record(&mut self, actual_hotspot: bool, predicted_hotspot: bool) {
+        match (actual_hotspot, predicted_hotspot) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fn_ += 1,
+            (false, true) => self.fp += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Total examples recorded.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Detection accuracy (Eq. 1): `TP / (TP + FN)` — the hotspot
+    /// recall, as defined by the ICCAD-2012 contest.
+    ///
+    /// Returns 0 when no hotspots were recorded.
+    pub fn accuracy(&self) -> f64 {
+        let hotspots = self.tp + self.fn_;
+        if hotspots == 0 {
+            0.0
+        } else {
+            self.tp as f64 / hotspots as f64
+        }
+    }
+
+    /// False alarms (Eq. 2): the number of non-hotspots flagged as
+    /// hotspots, `#FP`.
+    pub fn false_alarms(&self) -> u64 {
+        self.fp
+    }
+
+    /// Overall detection and simulation time (Eq. 3), in seconds:
+    /// `(#FP + #TP)·t_ls + N·t_ev`, where `t_ls` is the lithography
+    /// simulation time per flagged instance and `t_ev` the model
+    /// evaluation time per instance.
+    pub fn odst(&self, t_ls_seconds: f64, t_ev_seconds: f64) -> f64 {
+        (self.fp + self.tp) as f64 * t_ls_seconds + self.total() as f64 * t_ev_seconds
+    }
+
+    /// Merges another matrix into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    /// Renders the matrix in the layout of the paper's Table 1.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "                 actual NHS   actual HS")?;
+        writeln!(f, "pred Non-Hotspot {:>10}  {:>10}", self.tn, self.fn_)?;
+        write!(f, "pred Hotspot     {:>10}  {:>10}", self.fp, self.tp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConfusionMatrix {
+        ConfusionMatrix {
+            tp: 90,
+            fn_: 10,
+            fp: 30,
+            tn: 870,
+        }
+    }
+
+    #[test]
+    fn accuracy_is_recall() {
+        assert!((sample().accuracy() - 0.9).abs() < 1e-12);
+        assert_eq!(ConfusionMatrix::new().accuracy(), 0.0);
+    }
+
+    #[test]
+    fn false_alarms_count_fp() {
+        assert_eq!(sample().false_alarms(), 30);
+    }
+
+    #[test]
+    fn odst_formula() {
+        let cm = sample();
+        // (30 + 90) * 10 + 1000 * 0.01 = 1200 + 10.
+        assert!((cm.odst(10.0, 0.01) - 1210.0).abs() < 1e-9);
+        // Zero eval time degenerates to pure simulation cost.
+        assert!((cm.odst(10.0, 0.0) - 1200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_routes_counts() {
+        let mut cm = ConfusionMatrix::new();
+        for _ in 0..3 {
+            cm.record(true, true);
+        }
+        cm.record(true, false);
+        cm.record(false, true);
+        cm.record(false, false);
+        assert_eq!(
+            cm,
+            ConfusionMatrix {
+                tp: 3,
+                fn_: 1,
+                fp: 1,
+                tn: 1
+            }
+        );
+        assert_eq!(cm.total(), 6);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = sample();
+        a.merge(&sample());
+        assert_eq!(a.tp, 180);
+        assert_eq!(a.total(), 2000);
+    }
+
+    #[test]
+    fn display_mentions_all_cells() {
+        let s = sample().to_string();
+        assert!(s.contains("870"));
+        assert!(s.contains("90"));
+        assert!(s.contains("Hotspot"));
+    }
+}

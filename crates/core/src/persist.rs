@@ -1,0 +1,200 @@
+//! Model and dataset persistence.
+//!
+//! Training the BNN and litho-labelling a dataset are the two expensive
+//! steps of the pipeline; both artifacts serialize compactly so they
+//! can be built once and reused:
+//!
+//! * a compiled [`PackedBnn`] — the deployment artifact (binary weights
+//!   are stored bit-packed, so the paper-scale model is ~tens of KiB);
+//! * a [`SplitDataset`] — the labelled clips (bit-packed rasters).
+//!
+//! The on-disk format is bincode with a short magic/version header.
+
+use hotspot_bnn::PackedBnn;
+use hotspot_layout_gen::SplitDataset;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"BRNNHS01";
+
+/// Error from save/load operations.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a brnn-hotspot artifact (bad magic/version).
+    BadHeader,
+    /// The payload failed to (de)serialize.
+    Codec(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::BadHeader => write!(f, "not a brnn-hotspot artifact (bad header)"),
+            PersistError::Codec(m) => write!(f, "serialization error: {m}"),
+        }
+    }
+}
+
+impl Error for PersistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn save<T: Serialize>(path: &Path, value: &T) -> Result<(), PersistError> {
+    let body = bincode::serialize(value).map_err(|e| PersistError::Codec(e.to_string()))?;
+    let mut file = fs::File::create(path)?;
+    file.write_all(MAGIC)?;
+    file.write_all(&body)?;
+    Ok(())
+}
+
+fn load<T: DeserializeOwned>(path: &Path) -> Result<T, PersistError> {
+    let mut file = fs::File::open(path)?;
+    let mut magic = [0u8; 8];
+    file.read_exact(&mut magic).map_err(|_| PersistError::BadHeader)?;
+    if &magic != MAGIC {
+        return Err(PersistError::BadHeader);
+    }
+    let mut body = Vec::new();
+    file.read_to_end(&mut body)?;
+    bincode::deserialize(&body).map_err(|e| PersistError::Codec(e.to_string()))
+}
+
+/// Saves a compiled XNOR model.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on I/O or serialization failure.
+///
+/// # Example
+///
+/// ```no_run
+/// use hotspot_core::persist::{load_model, save_model};
+/// # use hotspot_bnn::{BnnResNet, NetConfig, PackedBnn};
+/// # use rand::{rngs::StdRng, SeedableRng};
+/// # let mut rng = StdRng::seed_from_u64(0);
+/// # let net = BnnResNet::new(&NetConfig::tiny(16), &mut rng);
+/// let model = PackedBnn::compile(&net);
+/// save_model("model.brnn".as_ref(), &model)?;
+/// let restored = load_model("model.brnn".as_ref())?;
+/// # let _: PackedBnn = restored;
+/// # Ok::<(), hotspot_core::persist::PersistError>(())
+/// ```
+pub fn save_model(path: &Path, model: &PackedBnn) -> Result<(), PersistError> {
+    save(path, model)
+}
+
+/// Loads a compiled XNOR model.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on I/O failure, wrong file type, or a
+/// corrupted payload.
+pub fn load_model(path: &Path) -> Result<PackedBnn, PersistError> {
+    load(path)
+}
+
+/// Saves a labelled dataset.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on I/O or serialization failure.
+pub fn save_dataset(path: &Path, dataset: &SplitDataset) -> Result<(), PersistError> {
+    save(path, dataset)
+}
+
+/// Loads a labelled dataset.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on I/O failure, wrong file type, or a
+/// corrupted payload.
+pub fn load_dataset(path: &Path) -> Result<SplitDataset, PersistError> {
+    load(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_bnn::{BnnResNet, NetConfig};
+    use hotspot_geometry::BitImage;
+    use hotspot_layout_gen::{LabeledClip, PatternFamily};
+    use hotspot_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("brnn_persist_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn model_round_trip_preserves_function() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = BnnResNet::new(&NetConfig::tiny(16), &mut rng);
+        let model = hotspot_bnn::PackedBnn::compile(&net);
+        let path = tmp("model");
+        save_model(&path, &model).expect("save");
+        let restored = load_model(&path).expect("load");
+        let x = Tensor::ones(&[2, 1, 16, 16]);
+        assert_eq!(model.forward(&x), restored.forward(&x));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn dataset_round_trip() {
+        let mut img = BitImage::new(8, 8);
+        img.set(3, 3, true);
+        let ds = SplitDataset {
+            train: vec![LabeledClip {
+                image: img.clone(),
+                hotspot: true,
+                family: PatternFamily::Jog,
+            }],
+            test: vec![LabeledClip {
+                image: img,
+                hotspot: false,
+                family: PatternFamily::ViaArray,
+            }],
+        };
+        let path = tmp("dataset");
+        save_dataset(&path, &ds).expect("save");
+        let restored = load_dataset(&path).expect("load");
+        assert_eq!(restored, ds);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"NOTAMODELxxxxxxxxxxx").expect("write");
+        let err = load_model(&path).unwrap_err();
+        assert!(matches!(err, PersistError::BadHeader));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_model("/nonexistent/definitely/missing.brnn".as_ref()).unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+}

@@ -1,0 +1,215 @@
+//! Block DCT feature tensors (DAC'17 style).
+
+use hotspot_geometry::BitImage;
+use hotspot_tensor::Tensor;
+
+/// 2-D DCT-II of a square `n × n` block (orthonormal convention).
+///
+/// # Panics
+///
+/// Panics when `block.len() != n * n` or `n == 0`.
+pub fn dct2(block: &[f32], n: usize) -> Vec<f32> {
+    assert!(n > 0, "block size must be positive");
+    assert_eq!(block.len(), n * n, "block size mismatch");
+    let mut out = vec![0.0f32; n * n];
+    let scale = |k: usize| -> f64 {
+        if k == 0 {
+            (1.0 / n as f64).sqrt()
+        } else {
+            (2.0 / n as f64).sqrt()
+        }
+    };
+    for u in 0..n {
+        for v in 0..n {
+            let mut acc = 0.0f64;
+            for y in 0..n {
+                let cy = (std::f64::consts::PI * (2.0 * y as f64 + 1.0) * u as f64
+                    / (2.0 * n as f64))
+                    .cos();
+                for x in 0..n {
+                    let cx = (std::f64::consts::PI * (2.0 * x as f64 + 1.0) * v as f64
+                        / (2.0 * n as f64))
+                        .cos();
+                    acc += block[y * n + x] as f64 * cy * cx;
+                }
+            }
+            out[u * n + v] = (scale(u) * scale(v) * acc) as f32;
+        }
+    }
+    out
+}
+
+/// Inverse 2-D DCT (DCT-III with orthonormal scaling): exact inverse of
+/// [`dct2`].
+///
+/// # Panics
+///
+/// Panics when `coeffs.len() != n * n` or `n == 0`.
+pub fn idct2(coeffs: &[f32], n: usize) -> Vec<f32> {
+    assert!(n > 0, "block size must be positive");
+    assert_eq!(coeffs.len(), n * n, "block size mismatch");
+    let mut out = vec![0.0f32; n * n];
+    let scale = |k: usize| -> f64 {
+        if k == 0 {
+            (1.0 / n as f64).sqrt()
+        } else {
+            (2.0 / n as f64).sqrt()
+        }
+    };
+    for y in 0..n {
+        for x in 0..n {
+            let mut acc = 0.0f64;
+            for u in 0..n {
+                let cy = (std::f64::consts::PI * (2.0 * y as f64 + 1.0) * u as f64
+                    / (2.0 * n as f64))
+                    .cos();
+                for v in 0..n {
+                    let cx = (std::f64::consts::PI * (2.0 * x as f64 + 1.0) * v as f64
+                        / (2.0 * n as f64))
+                        .cos();
+                    acc += scale(u) * scale(v) * coeffs[u * n + v] as f64 * cy * cx;
+                }
+            }
+            out[y * n + x] = acc as f32;
+        }
+    }
+    out
+}
+
+/// Zigzag traversal order of an `n × n` matrix (JPEG style), used to
+/// pick the `keep` lowest-frequency DCT coefficients.
+fn zigzag_order(n: usize) -> Vec<(usize, usize)> {
+    let mut order = Vec::with_capacity(n * n);
+    for s in 0..(2 * n - 1) {
+        let range: Vec<usize> = (0..n).filter(|&i| s >= i && s - i < n).collect();
+        if s % 2 == 0 {
+            for &i in range.iter().rev() {
+                order.push((i, s - i));
+            }
+        } else {
+            for &i in &range {
+                order.push((i, s - i));
+            }
+        }
+    }
+    order
+}
+
+/// The DAC'17 feature tensor: tile the clip into `block × block`
+/// pixel blocks, DCT each block, and keep the first `keep` zigzag
+/// coefficients as channels.
+///
+/// Returns a `[keep, nb, nb]` tensor where `nb = side / block`.
+///
+/// # Panics
+///
+/// Panics when `block` does not divide the image side, the image is
+/// not square, or `keep > block²`.
+pub fn dct_feature_tensor(img: &BitImage, block: usize, keep: usize) -> Tensor {
+    assert_eq!(img.width(), img.height(), "feature tensor expects square clips");
+    let side = img.width();
+    assert!(block > 0 && side.is_multiple_of(block), "block {block} must divide {side}");
+    assert!(keep >= 1 && keep <= block * block, "keep out of range");
+    let nb = side / block;
+    let order = zigzag_order(block);
+    let mut out = Tensor::zeros(&[keep, nb, nb]);
+    let mut buf = vec![0.0f32; block * block];
+    for by in 0..nb {
+        for bx in 0..nb {
+            for y in 0..block {
+                for x in 0..block {
+                    buf[y * block + x] = if img.get(bx * block + x, by * block + y) {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                }
+            }
+            let coeffs = dct2(&buf, block);
+            for (ci, &(u, v)) in order.iter().take(keep).enumerate() {
+                *out.at_mut(&[ci, by, bx]) = coeffs[u * block + v];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_block(n: usize, seed: u32) -> Vec<f32> {
+        let mut state = seed;
+        (0..n * n)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 16) as f32 / 65536.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dct_of_constant_block_is_dc_only() {
+        let block = vec![0.5f32; 64];
+        let coeffs = dct2(&block, 8);
+        // DC = 0.5 * 8 (orthonormal: sum/n = 0.5*64/8).
+        assert!((coeffs[0] - 4.0).abs() < 1e-5, "DC {}", coeffs[0]);
+        for (i, &c) in coeffs.iter().enumerate().skip(1) {
+            assert!(c.abs() < 1e-5, "AC coeff {i} = {c}");
+        }
+    }
+
+    #[test]
+    fn dct_idct_round_trip() {
+        let block = pseudo_block(8, 3);
+        let coeffs = dct2(&block, 8);
+        let back = idct2(&coeffs, 8);
+        for (a, b) in block.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dct_preserves_energy() {
+        // Parseval: orthonormal transform preserves the L2 norm.
+        let block = pseudo_block(8, 9);
+        let coeffs = dct2(&block, 8);
+        let e_in: f32 = block.iter().map(|v| v * v).sum();
+        let e_out: f32 = coeffs.iter().map(|v| v * v).sum();
+        assert!((e_in - e_out).abs() < 1e-3, "{e_in} vs {e_out}");
+    }
+
+    #[test]
+    fn zigzag_starts_low_frequency() {
+        let order = zigzag_order(4);
+        assert_eq!(order.len(), 16);
+        assert_eq!(order[0], (0, 0));
+        // The first three entries are the lowest frequencies.
+        assert!(order[1] == (0, 1) || order[1] == (1, 0));
+        // All cells visited exactly once.
+        let mut seen = order.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn feature_tensor_shape_and_dc() {
+        let mut img = BitImage::new(32, 32);
+        // Fill the top-left 8x8 block entirely.
+        for y in 0..8 {
+            img.fill_row_span(y, 0, 8);
+        }
+        let t = dct_feature_tensor(&img, 8, 10);
+        assert_eq!(t.shape(), &[10, 4, 4]);
+        // DC of the filled block is 8 (1.0 * 64 / 8); empty blocks are 0.
+        assert!((t.at(&[0, 0, 0]) - 8.0).abs() < 1e-4);
+        assert_eq!(t.at(&[0, 3, 3]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn feature_tensor_validates_block() {
+        dct_feature_tensor(&BitImage::new(30, 30), 8, 4);
+    }
+}

@@ -1,0 +1,97 @@
+//! Density-grid features (SPIE'15 style).
+
+use hotspot_geometry::BitImage;
+
+/// Per-cell pattern density over a `grid × grid` tiling of the clip.
+///
+/// Returns `grid²` values in row-major order, each in `[0, 1]`.  This
+/// is the simplified layout encoding used by the SPIE'15 AdaBoost
+/// detector.
+///
+/// # Panics
+///
+/// Panics when `grid` is zero or does not divide both image dimensions.
+///
+/// # Example
+///
+/// ```
+/// use hotspot_features::density_grid;
+/// use hotspot_geometry::BitImage;
+///
+/// let mut img = BitImage::new(8, 8);
+/// for y in 0..4 {
+///     img.fill_row_span(y, 0, 4); // fill one quadrant
+/// }
+/// let f = density_grid(&img, 2);
+/// assert_eq!(f, vec![1.0, 0.0, 0.0, 0.0]);
+/// ```
+pub fn density_grid(img: &BitImage, grid: usize) -> Vec<f32> {
+    assert!(grid > 0, "grid must be positive");
+    let (w, h) = (img.width(), img.height());
+    assert!(
+        w % grid == 0 && h % grid == 0,
+        "grid {grid} must divide {w}x{h}"
+    );
+    let (cw, ch) = (w / grid, h / grid);
+    let inv = 1.0 / (cw * ch) as f32;
+    let mut out = Vec::with_capacity(grid * grid);
+    for gy in 0..grid {
+        for gx in 0..grid {
+            let mut ones = 0usize;
+            for y in 0..ch {
+                for x in 0..cw {
+                    if img.get(gx * cw + x, gy * ch + y) {
+                        ones += 1;
+                    }
+                }
+            }
+            out.push(ones as f32 * inv);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_image_uniform_density() {
+        let mut img = BitImage::new(16, 16);
+        for y in 0..16 {
+            img.fill_row_span(y, 0, 16);
+        }
+        let f = density_grid(&img, 4);
+        assert_eq!(f.len(), 16);
+        assert!(f.iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn empty_image_zero_density() {
+        let f = density_grid(&BitImage::new(16, 16), 4);
+        assert!(f.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn densities_sum_to_total_fraction() {
+        let mut img = BitImage::new(16, 16);
+        img.fill_row_span(3, 2, 11); // 9 pixels
+        let f = density_grid(&img, 4);
+        let mean: f32 = f.iter().sum::<f32>() / 16.0;
+        assert!((mean - 9.0 / 256.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn row_major_cell_order() {
+        let mut img = BitImage::new(4, 4);
+        img.set(3, 0, true); // top-right cell in row-major grid(2)
+        let f = density_grid(&img, 2);
+        assert_eq!(f, vec![0.0, 0.25, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn grid_must_divide() {
+        density_grid(&BitImage::new(10, 10), 3);
+    }
+}

@@ -1,0 +1,33 @@
+//! Classical feature extractors for the baseline hotspot detectors.
+//!
+//! Three feature families back the three baselines the paper compares
+//! against in Table 3:
+//!
+//! * [`dct`] — the block-DCT feature tensor of DAC'17 (Yang et al.):
+//!   the clip is tiled into blocks, each block is transformed with a
+//!   2-D DCT-II, and the lowest-frequency coefficients are kept in
+//!   zigzag order as channels of a small spatial tensor.
+//! * [`density`] — the density-grid encoding used by the SPIE'15
+//!   AdaBoost detector (Matsunawa et al.): per-cell pattern density.
+//! * [`ccs`] — concentric-circle sampling (ICCAD'16, Zhang et al.):
+//!   ring-wise density samples around the clip centre.
+//!
+//! # Example
+//!
+//! ```
+//! use hotspot_features::density::density_grid;
+//! use hotspot_geometry::BitImage;
+//!
+//! let mut img = BitImage::new(32, 32);
+//! img.fill_row_span(0, 0, 32);
+//! let feats = density_grid(&img, 4);
+//! assert_eq!(feats.len(), 16);
+//! ```
+
+pub mod ccs;
+pub mod dct;
+pub mod density;
+
+pub use ccs::concentric_circle_sample;
+pub use dct::{dct2, dct_feature_tensor, idct2};
+pub use density::density_grid;

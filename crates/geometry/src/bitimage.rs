@@ -1,0 +1,326 @@
+//! Bit-packed binary images.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A bit-packed binary image: the rasterized form of a layout clip.
+///
+/// Rows are stored packed into `u64` words, least-significant bit first,
+/// so an image row of width `w` occupies `ceil(w / 64)` words.  This is
+/// both the rasterizer output and, one abstraction level up, the
+/// bit-plane representation the binary convolution engine consumes.
+///
+/// # Example
+///
+/// ```
+/// use hotspot_geometry::BitImage;
+///
+/// let mut img = BitImage::new(8, 8);
+/// img.set(3, 4, true);
+/// assert!(img.get(3, 4));
+/// assert_eq!(img.count_ones(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitImage {
+    width: usize,
+    height: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl BitImage {
+    /// Creates an all-zero image of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "BitImage dimensions must be positive");
+        let words_per_row = width.div_ceil(64);
+        BitImage {
+            width,
+            height,
+            words_per_row,
+            words: vec![0; words_per_row * height],
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel value at column `x`, row `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> bool {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        let w = self.words[y * self.words_per_row + x / 64];
+        (w >> (x % 64)) & 1 == 1
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, value: bool) {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        let w = &mut self.words[y * self.words_per_row + x / 64];
+        if value {
+            *w |= 1 << (x % 64);
+        } else {
+            *w &= !(1 << (x % 64));
+        }
+    }
+
+    /// Fills the horizontal pixel run `[x0, x1)` in row `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the run exceeds the image bounds.
+    pub fn fill_row_span(&mut self, y: usize, x0: usize, x1: usize) {
+        assert!(y < self.height && x0 <= x1 && x1 <= self.width, "span out of bounds");
+        let base = y * self.words_per_row;
+        let mut x = x0;
+        while x < x1 {
+            let word = x / 64;
+            let bit = x % 64;
+            let run = (x1 - x).min(64 - bit);
+            let mask = if run == 64 { !0u64 } else { ((1u64 << run) - 1) << bit };
+            self.words[base + word] |= mask;
+            x += run;
+        }
+    }
+
+    /// Number of set pixels.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Fraction of set pixels in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        self.count_ones() as f64 / (self.width * self.height) as f64
+    }
+
+    /// The packed words of row `y`.
+    pub fn row_words(&self, y: usize) -> &[u64] {
+        &self.words[y * self.words_per_row..(y + 1) * self.words_per_row]
+    }
+
+    /// Converts to a dense `f32` buffer (row-major), with set pixels as
+    /// 1.0 and clear pixels as 0.0.
+    pub fn to_f32(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.width * self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                out.push(if self.get(x, y) { 1.0 } else { 0.0 });
+            }
+        }
+        out
+    }
+
+    /// Converts to a dense `±1` `f32` buffer, the input convention of the
+    /// binarized network (set → +1.0, clear → −1.0).
+    pub fn to_signed_f32(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.width * self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                out.push(if self.get(x, y) { 1.0 } else { -1.0 });
+            }
+        }
+        out
+    }
+
+    /// Down-samples by an integer `factor` using area thresholding: an
+    /// output pixel is set when at least `threshold` of its
+    /// `factor × factor` source block is set (`threshold` in `(0, 1]`).
+    ///
+    /// This is the paper's §3.4.1 down-sampling of layout clips to
+    /// `l_s × l_s` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is zero, does not divide both dimensions, or
+    /// `threshold` is outside `(0, 1]`.
+    pub fn downsample(&self, factor: usize, threshold: f64) -> BitImage {
+        assert!(factor > 0, "factor must be positive");
+        assert!(
+            self.width.is_multiple_of(factor) && self.height.is_multiple_of(factor),
+            "factor {factor} must divide {}x{}",
+            self.width,
+            self.height
+        );
+        assert!(threshold > 0.0 && threshold <= 1.0, "threshold must be in (0, 1]");
+        let ow = self.width / factor;
+        let oh = self.height / factor;
+        let need = (threshold * (factor * factor) as f64).ceil() as usize;
+        let mut out = BitImage::new(ow, oh);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut ones = 0usize;
+                'block: for dy in 0..factor {
+                    for dx in 0..factor {
+                        if self.get(ox * factor + dx, oy * factor + dy) {
+                            ones += 1;
+                            if ones >= need {
+                                break 'block;
+                            }
+                        }
+                    }
+                }
+                if ones >= need {
+                    out.set(ox, oy, true);
+                }
+            }
+        }
+        out
+    }
+
+    /// Flips the image left-to-right (the paper's horizontal-flip
+    /// augmentation).
+    pub fn flip_horizontal(&self) -> BitImage {
+        let mut out = BitImage::new(self.width, self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                if self.get(x, y) {
+                    out.set(self.width - 1 - x, y, true);
+                }
+            }
+        }
+        out
+    }
+
+    /// Flips the image top-to-bottom (the paper's vertical-flip
+    /// augmentation).
+    pub fn flip_vertical(&self) -> BitImage {
+        let mut out = BitImage::new(self.width, self.height);
+        for y in 0..self.height {
+            let src = self.row_words(self.height - 1 - y).to_vec();
+            let dst = y * self.words_per_row;
+            out.words[dst..dst + self.words_per_row].copy_from_slice(&src);
+        }
+        out
+    }
+}
+
+impl fmt::Display for BitImage {
+    /// Renders the image as rows of `#`/`.` characters — handy in test
+    /// failures and the litho-inspection example.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for y in (0..self.height).rev() {
+            for x in 0..self.width {
+                f.write_str(if self.get(x, y) { "#" } else { "." })?;
+            }
+            f.write_str("\n")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut img = BitImage::new(130, 3); // crosses a word boundary
+        img.set(0, 0, true);
+        img.set(63, 1, true);
+        img.set(64, 1, true);
+        img.set(129, 2, true);
+        assert!(img.get(0, 0));
+        assert!(img.get(63, 1));
+        assert!(img.get(64, 1));
+        assert!(img.get(129, 2));
+        assert!(!img.get(1, 0));
+        assert_eq!(img.count_ones(), 4);
+        img.set(63, 1, false);
+        assert!(!img.get(63, 1));
+        assert_eq!(img.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        BitImage::new(4, 4).get(4, 0);
+    }
+
+    #[test]
+    fn fill_row_span_crossing_words() {
+        let mut img = BitImage::new(200, 1);
+        img.fill_row_span(0, 60, 140);
+        for x in 0..200 {
+            assert_eq!(img.get(x, 0), (60..140).contains(&x), "x={x}");
+        }
+        assert_eq!(img.count_ones(), 80);
+    }
+
+    #[test]
+    fn fill_full_row() {
+        let mut img = BitImage::new(64, 2);
+        img.fill_row_span(1, 0, 64);
+        assert_eq!(img.count_ones(), 64);
+        assert!(img.get(0, 1) && img.get(63, 1));
+        assert!(!img.get(0, 0));
+    }
+
+    #[test]
+    fn density_and_f32() {
+        let mut img = BitImage::new(2, 2);
+        img.set(0, 0, true);
+        assert!((img.density() - 0.25).abs() < 1e-12);
+        assert_eq!(img.to_f32(), vec![1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(img.to_signed_f32(), vec![1.0, -1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn downsample_majority() {
+        let mut img = BitImage::new(4, 4);
+        // Fill the lower-left 2x2 block fully, one pixel of upper-right.
+        img.fill_row_span(0, 0, 2);
+        img.fill_row_span(1, 0, 2);
+        img.set(3, 3, true);
+        let d = img.downsample(2, 0.5);
+        assert_eq!(d.width(), 2);
+        assert!(d.get(0, 0));
+        assert!(!d.get(1, 1)); // 1/4 < 0.5
+        let d_low = img.downsample(2, 0.25);
+        assert!(d_low.get(1, 1)); // 1/4 >= 0.25
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn downsample_requires_divisibility() {
+        BitImage::new(5, 4).downsample(2, 0.5);
+    }
+
+    #[test]
+    fn flips() {
+        let mut img = BitImage::new(3, 2);
+        img.set(0, 0, true);
+        let h = img.flip_horizontal();
+        assert!(h.get(2, 0));
+        assert!(!h.get(0, 0));
+        let v = img.flip_vertical();
+        assert!(v.get(0, 1));
+        assert!(!v.get(0, 0));
+        // Double flip restores.
+        assert_eq!(img.flip_horizontal().flip_horizontal(), img);
+        assert_eq!(img.flip_vertical().flip_vertical(), img);
+    }
+
+    #[test]
+    fn display_renders() {
+        let mut img = BitImage::new(2, 2);
+        img.set(0, 1, true);
+        assert_eq!(img.to_string(), "#.\n..\n");
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types for geometry operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible geometry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeometryError {
+    /// A polygon outline was not rectilinear (an edge was neither
+    /// horizontal nor vertical).
+    NotRectilinear {
+        /// Index of the offending edge's starting vertex.
+        edge: usize,
+    },
+    /// A polygon outline had fewer than 4 vertices.
+    TooFewVertices {
+        /// Number of vertices supplied.
+        got: usize,
+    },
+    /// A polygon outline was self-intersecting or otherwise degenerate.
+    DegenerateOutline,
+    /// A raster request had a non-positive resolution or empty window.
+    InvalidRaster {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::NotRectilinear { edge } => {
+                write!(f, "polygon edge starting at vertex {edge} is not axis-aligned")
+            }
+            GeometryError::TooFewVertices { got } => {
+                write!(f, "rectilinear polygon needs at least 4 vertices, got {got}")
+            }
+            GeometryError::DegenerateOutline => {
+                write!(f, "polygon outline is degenerate or self-intersecting")
+            }
+            GeometryError::InvalidRaster { reason } => {
+                write!(f, "invalid raster request: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(GeometryError::NotRectilinear { edge: 3 }
+            .to_string()
+            .contains("vertex 3"));
+        assert!(GeometryError::TooFewVertices { got: 2 }
+            .to_string()
+            .contains("got 2"));
+        let e = GeometryError::InvalidRaster {
+            reason: "zero resolution".into(),
+        };
+        assert!(e.to_string().contains("zero resolution"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<GeometryError>();
+    }
+}

@@ -1,0 +1,297 @@
+//! Flat layout container.
+
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::rect::Rect;
+use serde::{Deserialize, Serialize};
+
+/// A single-layer mask layout: a flat collection of rectangles.
+///
+/// Rectilinear polygons are stored decomposed into rectangles, so the
+/// container is a simple "rect soup" — the representation used by the
+/// rasterizer and the lithography simulator.  Rectangles may overlap;
+/// [`coverage_area`](Layout::coverage_area) deduplicates overlap when
+/// measuring.
+///
+/// # Example
+///
+/// ```
+/// use hotspot_geometry::{Layout, Rect};
+///
+/// let mut layout = Layout::new();
+/// layout.push(Rect::new(0, 0, 10, 10));
+/// layout.push(Rect::new(5, 0, 15, 10)); // overlaps the first
+/// assert_eq!(layout.coverage_area(), 150); // not 200
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Layout {
+    rects: Vec<Rect>,
+}
+
+impl Layout {
+    /// Creates an empty layout.
+    pub fn new() -> Self {
+        Layout { rects: Vec::new() }
+    }
+
+    /// Creates a layout from existing rectangles, dropping degenerate ones.
+    pub fn from_rects<I: IntoIterator<Item = Rect>>(rects: I) -> Self {
+        Layout {
+            rects: rects.into_iter().filter(|r| !r.is_degenerate()).collect(),
+        }
+    }
+
+    /// Adds a rectangle.  Degenerate rectangles are ignored.
+    pub fn push(&mut self, r: Rect) {
+        if !r.is_degenerate() {
+            self.rects.push(r);
+        }
+    }
+
+    /// Adds a rectilinear polygon, decomposed into rectangles.
+    pub fn push_polygon(&mut self, p: &Polygon) {
+        for r in p.to_rects() {
+            self.push(r);
+        }
+    }
+
+    /// Number of stored rectangles.
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// `true` when the layout holds no rectangles.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// The stored rectangles.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Iterates over the stored rectangles.
+    pub fn iter(&self) -> std::slice::Iter<'_, Rect> {
+        self.rects.iter()
+    }
+
+    /// Bounding box of all rectangles, or `None` for an empty layout.
+    pub fn bbox(&self) -> Option<Rect> {
+        let mut it = self.rects.iter();
+        let first = *it.next()?;
+        Some(it.fold(first, |acc, r| acc.bounding_union(r)))
+    }
+
+    /// Total covered area, counting overlapping regions once.
+    ///
+    /// Uses a coordinate-compressed sweep; O(n² log n) in the number of
+    /// rectangles, which is fine at clip scale (tens of shapes).
+    pub fn coverage_area(&self) -> i64 {
+        if self.rects.is_empty() {
+            return 0;
+        }
+        let mut xs: Vec<i64> = Vec::with_capacity(self.rects.len() * 2);
+        for r in &self.rects {
+            xs.push(r.lo().x);
+            xs.push(r.hi().x);
+        }
+        xs.sort_unstable();
+        xs.dedup();
+
+        let mut area = 0i64;
+        for w in xs.windows(2) {
+            let (x0, x1) = (w[0], w[1]);
+            // y-intervals of rects spanning this slab.
+            let mut ivs: Vec<(i64, i64)> = self
+                .rects
+                .iter()
+                .filter(|r| r.lo().x <= x0 && r.hi().x >= x1)
+                .map(|r| (r.lo().y, r.hi().y))
+                .collect();
+            ivs.sort_unstable();
+            let mut covered = 0i64;
+            let mut cur: Option<(i64, i64)> = None;
+            for (y0, y1) in ivs {
+                match cur {
+                    None => cur = Some((y0, y1)),
+                    Some((cy0, cy1)) => {
+                        if y0 <= cy1 {
+                            cur = Some((cy0, cy1.max(y1)));
+                        } else {
+                            covered += cy1 - cy0;
+                            cur = Some((y0, y1));
+                        }
+                    }
+                }
+            }
+            if let Some((cy0, cy1)) = cur {
+                covered += cy1 - cy0;
+            }
+            area += covered * (x1 - x0);
+        }
+        area
+    }
+
+    /// Pattern density inside `window`: covered area / window area.
+    ///
+    /// Returns 0.0 for a degenerate window.
+    pub fn density(&self, window: Rect) -> f64 {
+        if window.area() == 0 {
+            return 0.0;
+        }
+        let clipped = self.clip(window);
+        clipped.coverage_area() as f64 / window.area() as f64
+    }
+
+    /// Extracts the sub-layout inside `window`, clipping rectangles to
+    /// the window boundary.  Coordinates are preserved (not re-origined);
+    /// use [`translate`](Layout::translate) to move the clip to the
+    /// origin.
+    pub fn clip(&self, window: Rect) -> Layout {
+        Layout {
+            rects: self
+                .rects
+                .iter()
+                .filter_map(|r| r.intersection(&window))
+                .filter(|r| !r.is_degenerate())
+                .collect(),
+        }
+    }
+
+    /// Translates every rectangle by `d`.
+    pub fn translate(&self, d: Point) -> Layout {
+        Layout {
+            rects: self.rects.iter().map(|r| r.translate(d)).collect(),
+        }
+    }
+
+    /// Reflects the layout across the vertical axis `x = axis`.
+    pub fn mirror_x(&self, axis: i64) -> Layout {
+        Layout {
+            rects: self.rects.iter().map(|r| r.mirror_x(axis)).collect(),
+        }
+    }
+
+    /// Reflects the layout across the horizontal axis `y = axis`.
+    pub fn mirror_y(&self, axis: i64) -> Layout {
+        Layout {
+            rects: self.rects.iter().map(|r| r.mirror_y(axis)).collect(),
+        }
+    }
+
+    /// Merges another layout's rectangles into this one.
+    pub fn merge(&mut self, other: &Layout) {
+        self.rects.extend_from_slice(&other.rects);
+    }
+}
+
+impl Extend<Rect> for Layout {
+    fn extend<I: IntoIterator<Item = Rect>>(&mut self, iter: I) {
+        for r in iter {
+            self.push(r);
+        }
+    }
+}
+
+impl FromIterator<Rect> for Layout {
+    fn from_iter<I: IntoIterator<Item = Rect>>(iter: I) -> Self {
+        Layout::from_rects(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a Layout {
+    type Item = &'a Rect;
+    type IntoIter = std::slice::Iter<'a, Rect>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rects.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_ignores_degenerate() {
+        let mut l = Layout::new();
+        l.push(Rect::new(0, 0, 0, 10));
+        assert!(l.is_empty());
+        l.push(Rect::new(0, 0, 5, 10));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn coverage_deduplicates_overlap() {
+        let l = Layout::from_rects([Rect::new(0, 0, 10, 10), Rect::new(5, 0, 15, 10)]);
+        assert_eq!(l.coverage_area(), 150);
+        let disjoint = Layout::from_rects([Rect::new(0, 0, 10, 10), Rect::new(20, 0, 30, 10)]);
+        assert_eq!(disjoint.coverage_area(), 200);
+        let nested = Layout::from_rects([Rect::new(0, 0, 10, 10), Rect::new(2, 2, 8, 8)]);
+        assert_eq!(nested.coverage_area(), 100);
+    }
+
+    #[test]
+    fn coverage_triple_overlap() {
+        let l = Layout::from_rects([
+            Rect::new(0, 0, 10, 10),
+            Rect::new(0, 0, 10, 10),
+            Rect::new(0, 0, 10, 10),
+        ]);
+        assert_eq!(l.coverage_area(), 100);
+    }
+
+    #[test]
+    fn bbox_and_density() {
+        let l = Layout::from_rects([Rect::new(0, 0, 10, 10), Rect::new(30, 30, 40, 40)]);
+        assert_eq!(l.bbox(), Some(Rect::new(0, 0, 40, 40)));
+        assert!(Layout::new().bbox().is_none());
+        let d = l.density(Rect::new(0, 0, 40, 40));
+        assert!((d - 200.0 / 1600.0).abs() < 1e-12);
+        assert_eq!(l.density(Rect::new(0, 0, 0, 0)), 0.0);
+    }
+
+    #[test]
+    fn clip_cuts_rects() {
+        let l = Layout::from_rects([Rect::new(0, 0, 100, 10)]);
+        let c = l.clip(Rect::new(40, 0, 60, 20));
+        assert_eq!(c.rects(), &[Rect::new(40, 0, 60, 10)]);
+        // A rect fully outside disappears.
+        let c2 = l.clip(Rect::new(200, 0, 300, 10));
+        assert!(c2.is_empty());
+    }
+
+    #[test]
+    fn translate_and_mirror() {
+        let l = Layout::from_rects([Rect::new(0, 0, 10, 4)]);
+        let t = l.translate(Point::new(5, 5));
+        assert_eq!(t.rects(), &[Rect::new(5, 5, 15, 9)]);
+        let m = l.mirror_x(0);
+        assert_eq!(m.rects(), &[Rect::new(-10, 0, 0, 4)]);
+        let my = l.mirror_y(2);
+        assert_eq!(my.rects(), &[Rect::new(0, 0, 10, 4)]);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut l: Layout = [Rect::new(0, 0, 1, 1)].into_iter().collect();
+        l.extend([Rect::new(1, 1, 2, 2), Rect::new(3, 3, 3, 3)]);
+        assert_eq!(l.len(), 2); // degenerate dropped
+        assert_eq!((&l).into_iter().count(), 2);
+    }
+
+    #[test]
+    fn push_polygon_tiles() {
+        let p = Polygon::try_new(vec![
+            Point::new(0, 0),
+            Point::new(20, 0),
+            Point::new(20, 10),
+            Point::new(10, 10),
+            Point::new(10, 20),
+            Point::new(0, 20),
+        ])
+        .expect("valid L");
+        let mut l = Layout::new();
+        l.push_polygon(&p);
+        assert_eq!(l.coverage_area(), p.area());
+    }
+}

@@ -1,0 +1,46 @@
+//! Manhattan layout geometry substrate for lithography hotspot detection.
+//!
+//! This crate provides the geometric foundation that every other crate in
+//! the workspace builds on: integer-nanometre [`Point`]s and [`Rect`]s,
+//! rectilinear [`Polygon`]s, a flat [`Layout`] container with clip-window
+//! extraction, and rasterization of layout clips into bit-packed binary
+//! images ([`BitImage`]) — the direct input representation used by the
+//! binarized neural network of the DAC'19 paper this workspace reproduces.
+//!
+//! All coordinates are `i64` nanometres.  Rectangles are half-open on
+//! neither side: a [`Rect`] spans `[lo.x, hi.x] × [lo.y, hi.y]` in
+//! continuous space, and rasterization treats pixel `(c, r)` as covered
+//! when the pixel-centre sample point falls inside a shape.
+//!
+//! # Example
+//!
+//! ```
+//! use hotspot_geometry::{Layout, Rect, Raster};
+//!
+//! let mut layout = Layout::new();
+//! layout.push(Rect::new(0, 0, 400, 40));   // a horizontal wire
+//! layout.push(Rect::new(0, 80, 400, 120)); // a parallel wire
+//!
+//! let raster = Raster::new(10); // 10 nm / pixel
+//! let img = raster.rasterize(&layout, Rect::new(0, 0, 640, 640));
+//! assert_eq!(img.width(), 64);
+//! assert!(img.count_ones() > 0);
+//! ```
+
+pub mod bitimage;
+pub mod error;
+pub mod layout;
+pub mod measure;
+pub mod point;
+pub mod polygon;
+pub mod raster;
+pub mod rect;
+
+pub use bitimage::BitImage;
+pub use error::GeometryError;
+pub use layout::Layout;
+pub use measure::{min_spacing, EdgeRelation};
+pub use point::Point;
+pub use polygon::Polygon;
+pub use raster::Raster;
+pub use rect::Rect;

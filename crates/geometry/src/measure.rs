@@ -1,0 +1,185 @@
+//! Spacing and width measurement between layout shapes.
+//!
+//! These measurements back both the synthetic pattern generators (which
+//! need to place shapes at controlled spacings) and the lithography
+//! hotspot oracle (which flags marginal spacings and widths).
+
+use crate::layout::Layout;
+use crate::rect::Rect;
+
+/// How two disjoint rectangles face each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeRelation {
+    /// The rectangles overlap in their y-projections and face each other
+    /// horizontally across the given gap, sharing `run` nanometres of
+    /// facing edge length.
+    FacingX {
+        /// Horizontal gap in nanometres.
+        gap: i64,
+        /// Length of the shared facing run in nanometres.
+        run: i64,
+    },
+    /// The rectangles overlap in their x-projections and face each other
+    /// vertically.
+    FacingY {
+        /// Vertical gap in nanometres.
+        gap: i64,
+        /// Length of the shared facing run in nanometres.
+        run: i64,
+    },
+    /// The rectangles are diagonal neighbours with the given axis gaps.
+    Diagonal {
+        /// Horizontal gap in nanometres.
+        gap_x: i64,
+        /// Vertical gap in nanometres.
+        gap_y: i64,
+    },
+    /// The rectangles overlap (no spacing defined).
+    Overlapping,
+}
+
+/// Classifies the spatial relation between two rectangles.
+///
+/// # Example
+///
+/// ```
+/// use hotspot_geometry::{measure::edge_relation, EdgeRelation, Rect};
+///
+/// let a = Rect::new(0, 0, 10, 40);
+/// let b = Rect::new(25, 10, 35, 30);
+/// assert_eq!(edge_relation(&a, &b), EdgeRelation::FacingX { gap: 15, run: 20 });
+/// ```
+pub fn edge_relation(a: &Rect, b: &Rect) -> EdgeRelation {
+    if a.overlaps(b) {
+        return EdgeRelation::Overlapping;
+    }
+    let gx = a.gap_x(b);
+    let gy = a.gap_y(b);
+    let run_y = overlap_len(a.lo().y, a.hi().y, b.lo().y, b.hi().y);
+    let run_x = overlap_len(a.lo().x, a.hi().x, b.lo().x, b.hi().x);
+    match (gx > 0, gy > 0) {
+        (true, false) => EdgeRelation::FacingX { gap: gx, run: run_y },
+        (false, true) => EdgeRelation::FacingY { gap: gy, run: run_x },
+        (true, true) => EdgeRelation::Diagonal { gap_x: gx, gap_y: gy },
+        (false, false) => {
+            // Touching boundaries: zero gap along the axis with zero
+            // projection overlap.
+            if run_y > 0 {
+                EdgeRelation::FacingX { gap: 0, run: run_y }
+            } else {
+                EdgeRelation::FacingY { gap: 0, run: run_x }
+            }
+        }
+    }
+}
+
+/// Effective spacing between two disjoint rectangles: the facing-edge gap
+/// for aligned pairs, the Euclidean corner distance (rounded down) for
+/// diagonal pairs, or `None` when they overlap.
+pub fn spacing(a: &Rect, b: &Rect) -> Option<i64> {
+    match edge_relation(a, b) {
+        EdgeRelation::Overlapping => None,
+        EdgeRelation::FacingX { gap, .. } | EdgeRelation::FacingY { gap, .. } => Some(gap),
+        EdgeRelation::Diagonal { gap_x, gap_y } => {
+            Some(((gap_x * gap_x + gap_y * gap_y) as f64).sqrt() as i64)
+        }
+    }
+}
+
+/// The minimum spacing over all disjoint rectangle pairs in `layout`, or
+/// `None` when fewer than two disjoint shapes exist.
+///
+/// O(n²) pairwise scan — fine at clip scale.
+pub fn min_spacing(layout: &Layout) -> Option<i64> {
+    let rects = layout.rects();
+    let mut best: Option<i64> = None;
+    for (i, a) in rects.iter().enumerate() {
+        for b in rects.iter().skip(i + 1) {
+            if let Some(s) = spacing(a, b) {
+                best = Some(best.map_or(s, |cur| cur.min(s)));
+            }
+        }
+    }
+    best
+}
+
+/// The minimum feature width (shorter side) over all rectangles, or
+/// `None` for an empty layout.
+///
+/// Note: for layouts where a single polygon is stored as several
+/// overlapping/abutting rectangles this is a conservative lower bound on
+/// the true drawn width.
+pub fn min_width(layout: &Layout) -> Option<i64> {
+    layout
+        .iter()
+        .map(|r| r.width().min(r.height()))
+        .min()
+}
+
+fn overlap_len(a0: i64, a1: i64, b0: i64, b1: i64) -> i64 {
+    (a1.min(b1) - a0.max(b0)).max(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facing_x() {
+        let a = Rect::new(0, 0, 10, 40);
+        let b = Rect::new(25, 10, 35, 30);
+        assert_eq!(edge_relation(&a, &b), EdgeRelation::FacingX { gap: 15, run: 20 });
+        assert_eq!(spacing(&a, &b), Some(15));
+        // Symmetric.
+        assert_eq!(spacing(&b, &a), Some(15));
+    }
+
+    #[test]
+    fn facing_y_tip_to_tip() {
+        // Two vertical wires tip to tip: the classic hotspot pattern.
+        let a = Rect::new(0, 0, 20, 100);
+        let b = Rect::new(0, 130, 20, 230);
+        assert_eq!(edge_relation(&a, &b), EdgeRelation::FacingY { gap: 30, run: 20 });
+        assert_eq!(spacing(&a, &b), Some(30));
+    }
+
+    #[test]
+    fn diagonal_uses_euclidean() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(13, 14, 20, 20);
+        assert_eq!(edge_relation(&a, &b), EdgeRelation::Diagonal { gap_x: 3, gap_y: 4 });
+        assert_eq!(spacing(&a, &b), Some(5));
+    }
+
+    #[test]
+    fn overlapping_has_no_spacing() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, 5, 15, 15);
+        assert_eq!(edge_relation(&a, &b), EdgeRelation::Overlapping);
+        assert_eq!(spacing(&a, &b), None);
+    }
+
+    #[test]
+    fn touching_is_zero_gap() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(10, 0, 20, 10);
+        assert_eq!(edge_relation(&a, &b), EdgeRelation::FacingX { gap: 0, run: 10 });
+        assert_eq!(spacing(&a, &b), Some(0));
+    }
+
+    #[test]
+    fn layout_min_spacing_and_width() {
+        let layout = Layout::from_rects([
+            Rect::new(0, 0, 10, 100),   // width 10
+            Rect::new(40, 0, 55, 100),  // 30 away
+            Rect::new(70, 0, 90, 100),  // 15 away from the middle wire
+        ]);
+        assert_eq!(min_spacing(&layout), Some(15));
+        assert_eq!(min_width(&layout), Some(10));
+        assert_eq!(min_spacing(&Layout::new()), None);
+        assert_eq!(min_width(&Layout::new()), None);
+        let single = Layout::from_rects([Rect::new(0, 0, 5, 9)]);
+        assert_eq!(min_spacing(&single), None);
+        assert_eq!(min_width(&single), Some(5));
+    }
+}

@@ -1,0 +1,155 @@
+//! Integer-nanometre points.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+/// A point in the layout plane, in integer nanometres.
+///
+/// `Point` doubles as a displacement vector; [`Add`] and [`Sub`] are
+/// component-wise.
+///
+/// # Example
+///
+/// ```
+/// use hotspot_geometry::Point;
+///
+/// let p = Point::new(10, 20) + Point::new(-4, 6);
+/// assert_eq!(p, Point::new(6, 26));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate in nanometres.
+    pub x: i64,
+    /// Vertical coordinate in nanometres.
+    pub y: i64,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)`.
+    pub const fn new(x: i64, y: i64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0, 0);
+
+    /// Manhattan (L1) distance to `other`.
+    ///
+    /// ```
+    /// use hotspot_geometry::Point;
+    /// assert_eq!(Point::new(0, 0).manhattan_distance(Point::new(3, -4)), 7);
+    /// ```
+    pub fn manhattan_distance(self, other: Point) -> i64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Chebyshev (L∞) distance to `other`.
+    pub fn chebyshev_distance(self, other: Point) -> i64 {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+
+    /// Component-wise minimum.
+    pub fn min(self, other: Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, other: Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// Swaps the coordinates, reflecting across the line `y = x`.
+    pub fn transpose(self) -> Point {
+        Point::new(self.y, self.x)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Point {
+    fn add_assign(&mut self, rhs: Point) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Point {
+    fn sub_assign(&mut self, rhs: Point) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl From<(i64, i64)> for Point {
+    fn from((x, y): (i64, i64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Point::new(3, 5);
+        let b = Point::new(-1, 2);
+        assert_eq!(a + b, Point::new(2, 7));
+        assert_eq!(a - b, Point::new(4, 3));
+        assert_eq!(-a, Point::new(-3, -5));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Point::new(2, 7));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0, 0);
+        let b = Point::new(3, -4);
+        assert_eq!(a.manhattan_distance(b), 7);
+        assert_eq!(a.chebyshev_distance(b), 4);
+        assert_eq!(b.manhattan_distance(a), 7);
+    }
+
+    #[test]
+    fn min_max_transpose() {
+        let a = Point::new(1, 9);
+        let b = Point::new(4, 2);
+        assert_eq!(a.min(b), Point::new(1, 2));
+        assert_eq!(a.max(b), Point::new(4, 9));
+        assert_eq!(a.transpose(), Point::new(9, 1));
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let p: Point = (7, 8).into();
+        assert_eq!(p, Point::new(7, 8));
+        assert_eq!(p.to_string(), "(7, 8)");
+    }
+}

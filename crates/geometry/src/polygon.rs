@@ -1,0 +1,341 @@
+//! Rectilinear (Manhattan) polygons.
+
+use crate::error::GeometryError;
+use crate::point::Point;
+use crate::rect::Rect;
+use serde::{Deserialize, Serialize};
+
+/// A simple rectilinear polygon given by its outline vertices.
+///
+/// Consecutive vertices must differ in exactly one coordinate (every edge
+/// is horizontal or vertical), and the outline is implicitly closed from
+/// the last vertex back to the first.  Orientation may be clockwise or
+/// counter-clockwise.
+///
+/// # Example
+///
+/// ```
+/// use hotspot_geometry::{Point, Polygon, Rect};
+///
+/// // An L-shape.
+/// let poly = Polygon::try_new(vec![
+///     Point::new(0, 0),
+///     Point::new(30, 0),
+///     Point::new(30, 10),
+///     Point::new(10, 10),
+///     Point::new(10, 30),
+///     Point::new(0, 30),
+/// ])?;
+/// assert_eq!(poly.area(), 30 * 10 + 10 * 20);
+/// let rects = poly.to_rects();
+/// assert_eq!(rects.iter().map(Rect::area).sum::<i64>(), poly.area());
+/// # Ok::<(), hotspot_geometry::GeometryError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+impl Polygon {
+    /// Creates a rectilinear polygon from an outline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::TooFewVertices`] for outlines with fewer
+    /// than 4 vertices, and [`GeometryError::NotRectilinear`] when any
+    /// edge (including the closing edge) is diagonal.
+    /// [`GeometryError::DegenerateOutline`] is returned when the enclosed
+    /// area is zero.
+    pub fn try_new(vertices: Vec<Point>) -> Result<Self, GeometryError> {
+        if vertices.len() < 4 {
+            return Err(GeometryError::TooFewVertices {
+                got: vertices.len(),
+            });
+        }
+        let n = vertices.len();
+        for i in 0..n {
+            let a = vertices[i];
+            let b = vertices[(i + 1) % n];
+            let dx = b.x - a.x;
+            let dy = b.y - a.y;
+            if (dx != 0) == (dy != 0) {
+                // Diagonal edge, or zero-length edge (both zero).
+                return Err(GeometryError::NotRectilinear { edge: i });
+            }
+        }
+        let poly = Polygon { vertices };
+        if poly.signed_area_x2() == 0 {
+            return Err(GeometryError::DegenerateOutline);
+        }
+        Ok(poly)
+    }
+
+    /// Creates the rectangle `r` as a four-vertex polygon.
+    pub fn from_rect(r: Rect) -> Self {
+        Polygon {
+            vertices: vec![
+                r.lo(),
+                Point::new(r.hi().x, r.lo().y),
+                r.hi(),
+                Point::new(r.lo().x, r.hi().y),
+            ],
+        }
+    }
+
+    /// The outline vertices.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Twice the signed (shoelace) area; positive for counter-clockwise
+    /// outlines.
+    fn signed_area_x2(&self) -> i64 {
+        let n = self.vertices.len();
+        let mut acc = 0i64;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            acc += a.x * b.y - b.x * a.y;
+        }
+        acc
+    }
+
+    /// Enclosed area in square nanometres.
+    pub fn area(&self) -> i64 {
+        self.signed_area_x2().abs() / 2
+    }
+
+    /// Axis-aligned bounding box of the outline.
+    pub fn bbox(&self) -> Rect {
+        let mut lo = self.vertices[0];
+        let mut hi = self.vertices[0];
+        for &v in &self.vertices[1..] {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Rect::from_points(lo, hi)
+    }
+
+    /// `true` when `p` lies on the polygon outline.
+    pub fn on_outline(&self, p: Point) -> bool {
+        let n = self.vertices.len();
+        (0..n).any(|i| {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            if a.x == b.x {
+                p.x == a.x && p.y >= a.y.min(b.y) && p.y <= a.y.max(b.y)
+            } else {
+                p.y == a.y && p.x >= a.x.min(b.x) && p.x <= a.x.max(b.x)
+            }
+        })
+    }
+
+    /// `true` when `p` lies strictly inside the polygon (ray casting);
+    /// points on the outline are outside.
+    pub fn contains_strict(&self, p: Point) -> bool {
+        if self.on_outline(p) {
+            return false;
+        }
+        let n = self.vertices.len();
+        // Cast a ray in +x; count vertical edges crossing the ray's y
+        // strictly left of p. Half-open [ymin, ymax) intervals make
+        // vertices unambiguous.
+        let mut crossings = 0;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            if a.x == b.x && a.x < p.x {
+                let (y0, y1) = (a.y.min(b.y), a.y.max(b.y));
+                if p.y >= y0 && p.y < y1 {
+                    crossings += 1;
+                }
+            }
+        }
+        crossings % 2 == 1
+    }
+
+    /// Decomposes the polygon into disjoint rectangles by vertical-slab
+    /// sweep.  The rectangles tile the polygon exactly: they are pairwise
+    /// interior-disjoint and their areas sum to [`area`](Polygon::area).
+    pub fn to_rects(&self) -> Vec<Rect> {
+        // Distinct x coordinates define slabs; within a slab the covered
+        // y-set is constant and equals the odd-parity region of vertical
+        // edges at or left of the slab.
+        let mut xs: Vec<i64> = self.vertices.iter().map(|v| v.x).collect();
+        xs.sort_unstable();
+        xs.dedup();
+
+        // All vertical edges as (x, ymin, ymax).
+        let n = self.vertices.len();
+        let mut vedges = Vec::new();
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            if a.x == b.x {
+                vedges.push((a.x, a.y.min(b.y), a.y.max(b.y)));
+            }
+        }
+
+        let mut rects = Vec::new();
+        for w in xs.windows(2) {
+            let (x0, x1) = (w[0], w[1]);
+            // Parity sweep over y for edges with x <= x0.
+            let mut events: Vec<(i64, i64)> = Vec::new();
+            for &(ex, y0, y1) in &vedges {
+                if ex <= x0 {
+                    events.push((y0, 1));
+                    events.push((y1, -1));
+                }
+            }
+            events.sort_unstable();
+            let mut parity = 0i64;
+            let mut run_start = 0i64;
+            let mut i = 0;
+            while i < events.len() {
+                let y = events[i].0;
+                let before = parity;
+                while i < events.len() && events[i].0 == y {
+                    parity += events[i].1;
+                    i += 1;
+                }
+                if before % 2 == 0 && parity % 2 != 0 {
+                    run_start = y;
+                } else if before % 2 != 0 && parity % 2 == 0 && y > run_start {
+                    rects.push(Rect::new(x0, run_start, x1, y));
+                }
+            }
+        }
+        rects
+    }
+}
+
+impl From<Rect> for Polygon {
+    fn from(r: Rect) -> Self {
+        Polygon::from_rect(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_shape() -> Polygon {
+        Polygon::try_new(vec![
+            Point::new(0, 0),
+            Point::new(30, 0),
+            Point::new(30, 10),
+            Point::new(10, 10),
+            Point::new(10, 30),
+            Point::new(0, 30),
+        ])
+        .expect("valid L shape")
+    }
+
+    #[test]
+    fn rejects_diagonal() {
+        let err = Polygon::try_new(vec![
+            Point::new(0, 0),
+            Point::new(10, 10),
+            Point::new(10, 0),
+            Point::new(0, 5),
+        ])
+        .unwrap_err();
+        assert_eq!(err, GeometryError::NotRectilinear { edge: 0 });
+    }
+
+    #[test]
+    fn rejects_too_few() {
+        let err = Polygon::try_new(vec![Point::new(0, 0), Point::new(1, 0)]).unwrap_err();
+        assert_eq!(err, GeometryError::TooFewVertices { got: 2 });
+    }
+
+    #[test]
+    fn rejects_zero_area() {
+        let err = Polygon::try_new(vec![
+            Point::new(0, 0),
+            Point::new(10, 0),
+            Point::new(10, 0),
+            Point::new(0, 0),
+        ])
+        .unwrap_err();
+        // Zero-length edges are caught as non-rectilinear first.
+        assert!(matches!(
+            err,
+            GeometryError::NotRectilinear { .. } | GeometryError::DegenerateOutline
+        ));
+    }
+
+    #[test]
+    fn l_shape_area_and_bbox() {
+        let p = l_shape();
+        assert_eq!(p.area(), 300 + 200);
+        assert_eq!(p.bbox(), Rect::new(0, 0, 30, 30));
+    }
+
+    #[test]
+    fn l_shape_decomposition_tiles_exactly() {
+        let p = l_shape();
+        let rects = p.to_rects();
+        let total: i64 = rects.iter().map(Rect::area).sum();
+        assert_eq!(total, p.area());
+        for (i, a) in rects.iter().enumerate() {
+            for b in rects.iter().skip(i + 1) {
+                assert!(!a.overlaps(b), "{a} overlaps {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn containment_matches_decomposition() {
+        let p = l_shape();
+        let rects = p.to_rects();
+        for x in 0..31 {
+            for y in 0..31 {
+                let pt = Point::new(x, y);
+                if p.contains_strict(pt) {
+                    // Interior points are covered by the tiling (possibly
+                    // on an internal seam, hence non-strict containment).
+                    assert!(
+                        rects.iter().any(|r| r.contains(pt)),
+                        "interior point {pt} not covered by tiles"
+                    );
+                } else if !p.on_outline(pt) {
+                    // Exterior points are strictly outside every tile.
+                    assert!(
+                        !rects.iter().any(|r| r.contains_strict(pt)),
+                        "exterior point {pt} inside a tile"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_rect_round_trip() {
+        let r = Rect::new(3, 4, 10, 20);
+        let p: Polygon = r.into();
+        assert_eq!(p.area(), r.area());
+        assert_eq!(p.bbox(), r);
+        assert_eq!(p.to_rects(), vec![r]);
+    }
+
+    #[test]
+    fn u_shape_decomposes_to_three() {
+        // A U shape: two legs and a base.
+        let p = Polygon::try_new(vec![
+            Point::new(0, 0),
+            Point::new(50, 0),
+            Point::new(50, 30),
+            Point::new(40, 30),
+            Point::new(40, 10),
+            Point::new(10, 10),
+            Point::new(10, 30),
+            Point::new(0, 30),
+        ])
+        .expect("valid U");
+        let rects = p.to_rects();
+        let total: i64 = rects.iter().map(Rect::area).sum();
+        assert_eq!(total, p.area());
+        assert_eq!(p.area(), 50 * 10 + 2 * (10 * 20));
+    }
+}

@@ -1,0 +1,202 @@
+//! Layout-to-bitmap rasterization.
+
+use crate::bitimage::BitImage;
+use crate::error::GeometryError;
+use crate::layout::Layout;
+use crate::rect::Rect;
+
+/// Rasterizes layout clips into [`BitImage`]s at a fixed resolution.
+///
+/// A pixel is set when its centre sample point lies inside (or on the
+/// boundary of the interior of) any layout rectangle.  Pixel `(c, r)` of
+/// a window with lower-left corner `(wx, wy)` samples the layout at
+/// `(wx + c·res + res/2, wy + r·res + res/2)`.
+///
+/// # Example
+///
+/// ```
+/// use hotspot_geometry::{Layout, Raster, Rect};
+///
+/// let layout = Layout::from_rects([Rect::new(0, 0, 100, 20)]);
+/// let raster = Raster::new(10);
+/// let img = raster.rasterize(&layout, Rect::new(0, 0, 200, 40));
+/// assert_eq!((img.width(), img.height()), (20, 4));
+/// assert!(img.get(0, 0) && img.get(9, 1));
+/// assert!(!img.get(10, 0)); // beyond x = 100
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Raster {
+    resolution: i64,
+}
+
+impl Raster {
+    /// Creates a rasterizer with the given pixel pitch in nanometres.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `resolution` is not positive.
+    pub fn new(resolution: i64) -> Self {
+        assert!(resolution > 0, "resolution must be positive, got {resolution}");
+        Raster { resolution }
+    }
+
+    /// The pixel pitch in nanometres.
+    pub fn resolution(&self) -> i64 {
+        self.resolution
+    }
+
+    /// Pixel dimensions of `window` at this resolution, or an error when
+    /// the window does not divide evenly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::InvalidRaster`] when the window is empty
+    /// or its dimensions are not multiples of the resolution.
+    pub fn grid_size(&self, window: Rect) -> Result<(usize, usize), GeometryError> {
+        let (w, h) = (window.width(), window.height());
+        if w <= 0 || h <= 0 {
+            return Err(GeometryError::InvalidRaster {
+                reason: format!("window {window} is empty"),
+            });
+        }
+        if w % self.resolution != 0 || h % self.resolution != 0 {
+            return Err(GeometryError::InvalidRaster {
+                reason: format!(
+                    "window {w}x{h} nm is not a multiple of resolution {} nm",
+                    self.resolution
+                ),
+            });
+        }
+        Ok(((w / self.resolution) as usize, (h / self.resolution) as usize))
+    }
+
+    /// Rasterizes the part of `layout` inside `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window is empty or not an exact multiple of the
+    /// resolution (use [`grid_size`](Raster::grid_size) to validate
+    /// first).
+    pub fn rasterize(&self, layout: &Layout, window: Rect) -> BitImage {
+        let (cols, rows) = self
+            .grid_size(window)
+            .expect("window must be a positive multiple of the raster resolution");
+        let mut img = BitImage::new(cols, rows);
+        let res = self.resolution;
+        // For each rect, compute the covered pixel-centre range directly:
+        // pixel centre x = wx + c*res + res/2 is inside [lo, hi] when
+        // c >= (lo - wx - res/2)/res and c <= (hi - wx - res/2)/res.
+        for r in layout.iter() {
+            let Some(r) = r.intersection(&window) else {
+                continue;
+            };
+            let c0 = ceil_div(2 * (r.lo().x - window.lo().x) - res, 2 * res).max(0);
+            let c1 = floor_div(2 * (r.hi().x - window.lo().x) - res, 2 * res);
+            let r0 = ceil_div(2 * (r.lo().y - window.lo().y) - res, 2 * res).max(0);
+            let r1 = floor_div(2 * (r.hi().y - window.lo().y) - res, 2 * res);
+            if c1 < c0 || r1 < r0 {
+                continue;
+            }
+            let c1 = (c1 as usize).min(cols - 1);
+            let r1 = (r1 as usize).min(rows - 1);
+            for row in r0 as usize..=r1 {
+                img.fill_row_span(row, c0 as usize, c1 + 1);
+            }
+        }
+        img
+    }
+}
+
+fn ceil_div(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    if a >= 0 {
+        (a + b - 1) / b
+    } else {
+        a / b
+    }
+}
+
+fn floor_div(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    if a >= 0 {
+        a / b
+    } else {
+        -((-a + b - 1) / b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn div_helpers() {
+        assert_eq!(ceil_div(7, 2), 4);
+        assert_eq!(ceil_div(-7, 2), -3);
+        assert_eq!(ceil_div(8, 2), 4);
+        assert_eq!(floor_div(7, 2), 3);
+        assert_eq!(floor_div(-7, 2), -4);
+        assert_eq!(floor_div(-8, 2), -4);
+    }
+
+    #[test]
+    fn grid_size_validation() {
+        let r = Raster::new(10);
+        assert_eq!(r.grid_size(Rect::new(0, 0, 100, 50)), Ok((10, 5)));
+        assert!(r.grid_size(Rect::new(0, 0, 105, 50)).is_err());
+        assert!(r.grid_size(Rect::new(0, 0, 0, 50)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution must be positive")]
+    fn zero_resolution_panics() {
+        Raster::new(0);
+    }
+
+    #[test]
+    fn rasterize_matches_pointwise_sampling() {
+        let layout = Layout::from_rects([
+            Rect::new(13, 7, 57, 33),
+            Rect::new(40, 20, 90, 60),
+        ]);
+        let window = Rect::new(0, 0, 100, 70);
+        let raster = Raster::new(10);
+        let img = raster.rasterize(&layout, window);
+        for row in 0..7 {
+            for col in 0..10 {
+                let cx = col as i64 * 10 + 5;
+                let cy = row as i64 * 10 + 5;
+                let expected = layout
+                    .iter()
+                    .any(|r| r.contains(crate::Point::new(cx, cy)));
+                assert_eq!(img.get(col, row), expected, "pixel ({col},{row})");
+            }
+        }
+    }
+
+    #[test]
+    fn rasterize_respects_window_offset() {
+        let layout = Layout::from_rects([Rect::new(100, 100, 140, 140)]);
+        let raster = Raster::new(10);
+        let img = raster.rasterize(&layout, Rect::new(100, 100, 200, 200));
+        assert!(img.get(0, 0));
+        assert!(img.get(3, 3));
+        assert!(!img.get(4, 4));
+    }
+
+    #[test]
+    fn shapes_outside_window_ignored() {
+        let layout = Layout::from_rects([Rect::new(-50, -50, -10, -10)]);
+        let raster = Raster::new(10);
+        let img = raster.rasterize(&layout, Rect::new(0, 0, 100, 100));
+        assert_eq!(img.count_ones(), 0);
+    }
+
+    #[test]
+    fn empty_layout_rasterizes_blank() {
+        let raster = Raster::new(8);
+        let img = raster.rasterize(&Layout::new(), Rect::new(0, 0, 64, 64));
+        assert_eq!(img.count_ones(), 0);
+        assert_eq!((img.width(), img.height()), (8, 8));
+    }
+}

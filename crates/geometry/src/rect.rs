@@ -1,0 +1,319 @@
+//! Axis-aligned rectangles.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned rectangle spanning `[lo.x, hi.x] × [lo.y, hi.y]`.
+///
+/// Invariant: `lo.x <= hi.x` and `lo.y <= hi.y`.  Degenerate (zero-width
+/// or zero-height) rectangles are allowed and have zero [`area`].
+///
+/// # Example
+///
+/// ```
+/// use hotspot_geometry::Rect;
+///
+/// let wire = Rect::new(0, 0, 100, 20);
+/// assert_eq!(wire.width(), 100);
+/// assert_eq!(wire.height(), 20);
+/// assert_eq!(wire.area(), 2000);
+/// ```
+///
+/// [`area`]: Rect::area
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rect {
+    lo: Point,
+    hi: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two corner coordinates.
+    ///
+    /// The corners may be given in any order; they are normalized so that
+    /// `lo` is the component-wise minimum.
+    pub fn new(x0: i64, y0: i64, x1: i64, y1: i64) -> Self {
+        let a = Point::new(x0, y0);
+        let b = Point::new(x1, y1);
+        Rect {
+            lo: a.min(b),
+            hi: a.max(b),
+        }
+    }
+
+    /// Creates a rectangle from corner points, normalizing the order.
+    pub fn from_points(a: Point, b: Point) -> Self {
+        Rect {
+            lo: a.min(b),
+            hi: a.max(b),
+        }
+    }
+
+    /// Creates a rectangle centred at `center` with the given width and
+    /// height.  Odd dimensions are rounded down on the high side.
+    pub fn centered(center: Point, width: i64, height: i64) -> Self {
+        let half_w = width / 2;
+        let half_h = height / 2;
+        Rect::new(
+            center.x - half_w,
+            center.y - half_h,
+            center.x - half_w + width,
+            center.y - half_h + height,
+        )
+    }
+
+    /// The lower-left corner.
+    pub fn lo(&self) -> Point {
+        self.lo
+    }
+
+    /// The upper-right corner.
+    pub fn hi(&self) -> Point {
+        self.hi
+    }
+
+    /// Horizontal extent in nanometres.
+    pub fn width(&self) -> i64 {
+        self.hi.x - self.lo.x
+    }
+
+    /// Vertical extent in nanometres.
+    pub fn height(&self) -> i64 {
+        self.hi.y - self.lo.y
+    }
+
+    /// Area in square nanometres.
+    pub fn area(&self) -> i64 {
+        self.width() * self.height()
+    }
+
+    /// `true` when the rectangle has zero area.
+    pub fn is_degenerate(&self) -> bool {
+        self.width() == 0 || self.height() == 0
+    }
+
+    /// The centre point (coordinates rounded toward `lo`).
+    pub fn center(&self) -> Point {
+        Point::new(
+            self.lo.x + self.width() / 2,
+            self.lo.y + self.height() / 2,
+        )
+    }
+
+    /// `true` when `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.lo.x && p.x <= self.hi.x && p.y >= self.lo.y && p.y <= self.hi.y
+    }
+
+    /// `true` when `p` lies strictly inside.
+    pub fn contains_strict(&self, p: Point) -> bool {
+        p.x > self.lo.x && p.x < self.hi.x && p.y > self.lo.y && p.y < self.hi.y
+    }
+
+    /// `true` when `other` lies entirely inside `self` (boundaries may touch).
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.lo.x <= other.lo.x
+            && self.lo.y <= other.lo.y
+            && self.hi.x >= other.hi.x
+            && self.hi.y >= other.hi.y
+    }
+
+    /// `true` when the two rectangles share interior area (touching
+    /// boundaries do **not** count as overlap).
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.lo.x < other.hi.x
+            && other.lo.x < self.hi.x
+            && self.lo.y < other.hi.y
+            && other.lo.y < self.hi.y
+    }
+
+    /// `true` when the rectangles overlap or their boundaries touch.
+    pub fn touches(&self, other: &Rect) -> bool {
+        self.lo.x <= other.hi.x
+            && other.lo.x <= self.hi.x
+            && self.lo.y <= other.hi.y
+            && other.lo.y <= self.hi.y
+    }
+
+    /// The overlapping region, or `None` when the interiors are disjoint.
+    ///
+    /// ```
+    /// use hotspot_geometry::Rect;
+    /// let a = Rect::new(0, 0, 10, 10);
+    /// let b = Rect::new(5, 5, 20, 20);
+    /// assert_eq!(a.intersection(&b), Some(Rect::new(5, 5, 10, 10)));
+    /// ```
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.overlaps(other) {
+            return None;
+        }
+        Some(Rect {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        })
+    }
+
+    /// The smallest rectangle containing both inputs.
+    pub fn bounding_union(&self, other: &Rect) -> Rect {
+        Rect {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Translates the rectangle by the displacement `d`.
+    pub fn translate(&self, d: Point) -> Rect {
+        Rect {
+            lo: self.lo + d,
+            hi: self.hi + d,
+        }
+    }
+
+    /// Grows (or, for negative `margin`, shrinks) the rectangle by
+    /// `margin` on every side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a negative margin would invert the rectangle.
+    pub fn inflate(&self, margin: i64) -> Rect {
+        let r = Rect {
+            lo: self.lo - Point::new(margin, margin),
+            hi: self.hi + Point::new(margin, margin),
+        };
+        assert!(
+            r.lo.x <= r.hi.x && r.lo.y <= r.hi.y,
+            "inflate by {margin} inverted rectangle {self}"
+        );
+        r
+    }
+
+    /// Reflects across the vertical axis `x = axis`.
+    pub fn mirror_x(&self, axis: i64) -> Rect {
+        Rect::new(
+            2 * axis - self.hi.x,
+            self.lo.y,
+            2 * axis - self.lo.x,
+            self.hi.y,
+        )
+    }
+
+    /// Reflects across the horizontal axis `y = axis`.
+    pub fn mirror_y(&self, axis: i64) -> Rect {
+        Rect::new(
+            self.lo.x,
+            2 * axis - self.hi.y,
+            self.hi.x,
+            2 * axis - self.lo.y,
+        )
+    }
+
+    /// Swaps x and y, reflecting across the line `y = x`.
+    pub fn transpose(&self) -> Rect {
+        Rect::from_points(self.lo.transpose(), self.hi.transpose())
+    }
+
+    /// The horizontal gap between the interiors of two rectangles, or 0
+    /// when they overlap in x.
+    pub fn gap_x(&self, other: &Rect) -> i64 {
+        (other.lo.x - self.hi.x).max(self.lo.x - other.hi.x).max(0)
+    }
+
+    /// The vertical gap between the interiors of two rectangles, or 0
+    /// when they overlap in y.
+    pub fn gap_y(&self, other: &Rect) -> i64 {
+        (other.lo.y - self.hi.y).max(self.lo.y - other.hi.y).max(0)
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_corners() {
+        let r = Rect::new(10, 20, 0, 5);
+        assert_eq!(r.lo(), Point::new(0, 5));
+        assert_eq!(r.hi(), Point::new(10, 20));
+        assert_eq!(r.width(), 10);
+        assert_eq!(r.height(), 15);
+    }
+
+    #[test]
+    fn centered_dimensions() {
+        let r = Rect::centered(Point::new(100, 100), 40, 20);
+        assert_eq!(r.width(), 40);
+        assert_eq!(r.height(), 20);
+        assert_eq!(r.center(), Point::new(100, 100));
+    }
+
+    #[test]
+    fn containment() {
+        let r = Rect::new(0, 0, 10, 10);
+        assert!(r.contains(Point::new(0, 0)));
+        assert!(r.contains(Point::new(10, 10)));
+        assert!(!r.contains_strict(Point::new(10, 10)));
+        assert!(r.contains_strict(Point::new(5, 5)));
+        assert!(r.contains_rect(&Rect::new(2, 2, 8, 8)));
+        assert!(!r.contains_rect(&Rect::new(2, 2, 12, 8)));
+    }
+
+    #[test]
+    fn overlap_vs_touch() {
+        let a = Rect::new(0, 0, 10, 10);
+        let abutting = Rect::new(10, 0, 20, 10);
+        assert!(!a.overlaps(&abutting));
+        assert!(a.touches(&abutting));
+        let across = Rect::new(5, 5, 15, 15);
+        assert!(a.overlaps(&across));
+        assert_eq!(a.intersection(&across), Some(Rect::new(5, 5, 10, 10)));
+        assert_eq!(a.intersection(&abutting), None);
+    }
+
+    #[test]
+    fn union_and_translate() {
+        let a = Rect::new(0, 0, 1, 1);
+        let b = Rect::new(5, 5, 6, 6);
+        assert_eq!(a.bounding_union(&b), Rect::new(0, 0, 6, 6));
+        assert_eq!(a.translate(Point::new(3, 4)), Rect::new(3, 4, 4, 5));
+    }
+
+    #[test]
+    fn inflate_and_mirror() {
+        let r = Rect::new(2, 2, 4, 6);
+        assert_eq!(r.inflate(1), Rect::new(1, 1, 5, 7));
+        assert_eq!(r.inflate(1).inflate(-1), r);
+        assert_eq!(r.mirror_x(0), Rect::new(-4, 2, -2, 6));
+        assert_eq!(r.mirror_y(0), Rect::new(2, -6, 4, -2));
+        assert_eq!(r.transpose(), Rect::new(2, 2, 6, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted rectangle")]
+    fn inflate_panics_when_inverting() {
+        Rect::new(0, 0, 2, 2).inflate(-2);
+    }
+
+    #[test]
+    fn gaps() {
+        let a = Rect::new(0, 0, 10, 10);
+        let right = Rect::new(25, 0, 30, 10);
+        assert_eq!(a.gap_x(&right), 15);
+        assert_eq!(right.gap_x(&a), 15);
+        assert_eq!(a.gap_y(&right), 0);
+        let above = Rect::new(0, 14, 10, 20);
+        assert_eq!(a.gap_y(&above), 4);
+    }
+
+    #[test]
+    fn degenerate() {
+        let r = Rect::new(5, 5, 5, 10);
+        assert!(r.is_degenerate());
+        assert_eq!(r.area(), 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests for the geometry substrate.
+
+use hotspot_geometry::{measure, BitImage, Layout, Point, Polygon, Raster, Rect};
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0i64..500, 0i64..500, 1i64..200, 1i64..200)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+fn arb_layout() -> impl Strategy<Value = Layout> {
+    prop::collection::vec(arb_rect(), 0..12).prop_map(Layout::from_rects)
+}
+
+proptest! {
+    /// Intersection is commutative and contained in both operands.
+    #[test]
+    fn intersection_commutes(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert!(i.area() <= a.area().min(b.area()));
+        }
+    }
+
+    /// The bounding union contains both operands and is the smallest
+    /// such rect on each axis.
+    #[test]
+    fn bounding_union_is_tight(a in arb_rect(), b in arb_rect()) {
+        let u = a.bounding_union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+        prop_assert_eq!(u.lo(), a.lo().min(b.lo()));
+        prop_assert_eq!(u.hi(), a.hi().max(b.hi()));
+    }
+
+    /// Translation preserves dimensions and round-trips.
+    #[test]
+    fn translate_round_trip(r in arb_rect(), dx in -300i64..300, dy in -300i64..300) {
+        let d = Point::new(dx, dy);
+        let t = r.translate(d);
+        prop_assert_eq!(t.width(), r.width());
+        prop_assert_eq!(t.height(), r.height());
+        prop_assert_eq!(t.translate(-d), r);
+    }
+
+    /// Coverage area is monotone under adding rects, bounded by the sum
+    /// of areas, and at least the max single area.
+    #[test]
+    fn coverage_bounds(rects in prop::collection::vec(arb_rect(), 1..10)) {
+        let layout = Layout::from_rects(rects.clone());
+        let cov = layout.coverage_area();
+        let sum: i64 = rects.iter().map(Rect::area).sum();
+        let max = rects.iter().map(Rect::area).max().unwrap();
+        prop_assert!(cov <= sum, "coverage {cov} > sum {sum}");
+        prop_assert!(cov >= max, "coverage {cov} < max {max}");
+
+        let mut bigger = layout.clone();
+        bigger.push(Rect::new(900, 900, 950, 950));
+        prop_assert_eq!(bigger.coverage_area(), cov + 2500);
+    }
+
+    /// Clipping to a window never increases coverage, and clipping to
+    /// the bounding box is a no-op for coverage.
+    #[test]
+    fn clip_monotone(layout in arb_layout(), w in arb_rect()) {
+        let clipped = layout.clip(w);
+        prop_assert!(clipped.coverage_area() <= layout.coverage_area());
+        if let Some(bb) = layout.bbox() {
+            prop_assert_eq!(layout.clip(bb).coverage_area(), layout.coverage_area());
+        }
+    }
+
+    /// Rasterized pixel count scales with coverage: a raster of a layout
+    /// equals pointwise sampling at pixel centres.
+    #[test]
+    fn raster_matches_sampling(layout in arb_layout()) {
+        let window = Rect::new(0, 0, 700, 700);
+        let raster = Raster::new(50);
+        let img = raster.rasterize(&layout, window);
+        for row in 0..14usize {
+            for col in 0..14usize {
+                let p = Point::new(col as i64 * 50 + 25, row as i64 * 50 + 25);
+                let expect = layout.iter().any(|r| r.contains(p));
+                prop_assert_eq!(img.get(col, row), expect, "pixel ({}, {})", col, row);
+            }
+        }
+    }
+
+    /// Horizontal + vertical flip of a raster equals rasterizing the
+    /// mirrored layout.
+    #[test]
+    fn flip_commutes_with_mirror(layout in arb_layout()) {
+        let window = Rect::new(0, 0, 700, 700);
+        let raster = Raster::new(50);
+        let img = raster.rasterize(&layout, window);
+        // Mirror about the window's vertical centre line.
+        let mirrored = layout.mirror_x(350);
+        let img_m = raster.rasterize(&mirrored, window);
+        prop_assert_eq!(img.flip_horizontal(), img_m);
+        let mirrored_y = layout.mirror_y(350);
+        let img_my = raster.rasterize(&mirrored_y, window);
+        prop_assert_eq!(img.flip_vertical(), img_my);
+    }
+
+    /// Bit-image set/clear round-trips and count_ones tracks mutations.
+    #[test]
+    fn bitimage_count_tracks_sets(coords in prop::collection::btree_set((0usize..96, 0usize..96), 0..64)) {
+        let mut img = BitImage::new(96, 96);
+        for &(x, y) in &coords {
+            img.set(x, y, true);
+        }
+        prop_assert_eq!(img.count_ones(), coords.len() as u64);
+        for &(x, y) in &coords {
+            prop_assert!(img.get(x, y));
+            img.set(x, y, false);
+        }
+        prop_assert_eq!(img.count_ones(), 0);
+    }
+
+    /// Downsample with threshold epsilon (any coverage) then upsample
+    /// check: every set source pixel maps to a set output pixel.
+    #[test]
+    fn downsample_any_coverage(coords in prop::collection::btree_set((0usize..64, 0usize..64), 0..32)) {
+        let mut img = BitImage::new(64, 64);
+        for &(x, y) in &coords {
+            img.set(x, y, true);
+        }
+        let d = img.downsample(4, 1e-9);
+        for &(x, y) in &coords {
+            prop_assert!(d.get(x / 4, y / 4));
+        }
+        // Output ones never exceed input ones.
+        prop_assert!(d.count_ones() <= img.count_ones().max(1));
+    }
+
+    /// Spacing is symmetric and zero only for touching rects.
+    #[test]
+    fn spacing_symmetric(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(measure::spacing(&a, &b), measure::spacing(&b, &a));
+        if let Some(s) = measure::spacing(&a, &b) {
+            prop_assert!(s >= 0);
+            if s == 0 {
+                prop_assert!(a.touches(&b));
+            }
+        } else {
+            prop_assert!(a.overlaps(&b));
+        }
+    }
+
+    /// Polygon rect-decomposition tiles exactly: disjoint and
+    /// area-preserving, for randomly generated staircase polygons.
+    #[test]
+    fn staircase_decomposition(steps in prop::collection::vec((1i64..40, 1i64..40), 1..6)) {
+        // Build a staircase polygon from the origin.
+        let mut pts = vec![Point::new(0, 0)];
+        let mut x = 0;
+        for &(dx, _) in &steps {
+            x += dx;
+        }
+        pts.push(Point::new(x, 0));
+        let mut y = 0;
+        for &(dx, dy) in steps.iter().rev() {
+            y += dy;
+            pts.push(Point::new(x, y));
+            x -= dx;
+            pts.push(Point::new(x, y));
+        }
+        let poly = Polygon::try_new(pts).expect("staircase is rectilinear");
+        let rects = poly.to_rects();
+        let total: i64 = rects.iter().map(Rect::area).sum();
+        prop_assert_eq!(total, poly.area());
+        for (i, a) in rects.iter().enumerate() {
+            for b in rects.iter().skip(i + 1) {
+                prop_assert!(!a.overlaps(b));
+            }
+        }
+    }
+}

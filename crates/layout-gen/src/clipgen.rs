@@ -1,0 +1,153 @@
+//! Random clip generation across pattern families.
+
+use crate::patterns::{generate_family, PatternFamily};
+use hotspot_geometry::{Layout, Rect};
+use rand::Rng;
+
+/// One generated layout clip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clip {
+    /// The clip geometry, origined at `(0, 0)`.
+    pub layout: Layout,
+    /// The family it was drawn from.
+    pub family: PatternFamily,
+}
+
+/// Draws random clips from a weighted mixture of pattern families.
+///
+/// # Example
+///
+/// ```
+/// use hotspot_layout_gen::ClipGenerator;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let gen = ClipGenerator::new(1280);
+/// let clip = gen.generate(&mut StdRng::seed_from_u64(1));
+/// assert!(gen.window().contains_rect(&clip.layout.bbox().expect("non-empty")));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClipGenerator {
+    extent: i64,
+    weights: Vec<(PatternFamily, u32)>,
+}
+
+impl ClipGenerator {
+    /// Creates a generator for `extent × extent` nm clips with the
+    /// default family mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `extent` is not positive.
+    pub fn new(extent: i64) -> Self {
+        assert!(extent > 0, "clip extent must be positive");
+        ClipGenerator {
+            extent,
+            // Line-like families dominate routed metal layers.
+            weights: vec![
+                (PatternFamily::LineSpace, 20),
+                (PatternFamily::TipToTip, 16),
+                (PatternFamily::Jog, 11),
+                (PatternFamily::Bend, 13),
+                (PatternFamily::ViaArray, 8),
+                (PatternFamily::RandomRoute, 12),
+                (PatternFamily::Comb, 8),
+                (PatternFamily::Serpentine, 7),
+                (PatternFamily::ViaChain, 5),
+            ],
+        }
+    }
+
+    /// The clip window (origin to extent).
+    pub fn window(&self) -> Rect {
+        Rect::new(0, 0, self.extent, self.extent)
+    }
+
+    /// Clip side length in nanometres.
+    pub fn extent(&self) -> i64 {
+        self.extent
+    }
+
+    /// Overrides the family mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weights` is empty or all weights are zero.
+    pub fn with_weights(mut self, weights: Vec<(PatternFamily, u32)>) -> Self {
+        let total: u32 = weights.iter().map(|&(_, w)| w).sum();
+        assert!(total > 0, "family weights must not all be zero");
+        self.weights = weights;
+        self
+    }
+
+    /// Generates one random clip.
+    pub fn generate<R: Rng>(&self, rng: &mut R) -> Clip {
+        let total: u32 = self.weights.iter().map(|&(_, w)| w).sum();
+        let mut pick = rng.gen_range(0..total);
+        let mut family = self.weights[0].0;
+        for &(f, w) in &self.weights {
+            if pick < w {
+                family = f;
+                break;
+            }
+            pick -= w;
+        }
+        Clip {
+            layout: generate_family(family, rng, self.extent),
+            family,
+        }
+    }
+}
+
+impl Default for ClipGenerator {
+    /// A generator for the paper-scale 1280 nm clip window (128 × 128
+    /// pixels at the default 10 nm raster).
+    fn default() -> Self {
+        ClipGenerator::new(1280)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn generates_all_families_over_many_draws() {
+        let gen = ClipGenerator::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seen: HashMap<PatternFamily, usize> = HashMap::new();
+        for _ in 0..300 {
+            let clip = gen.generate(&mut rng);
+            *seen.entry(clip.family).or_default() += 1;
+        }
+        for family in PatternFamily::ALL {
+            assert!(seen.contains_key(&family), "{family:?} never drawn");
+        }
+    }
+
+    #[test]
+    fn respects_custom_weights() {
+        let gen = ClipGenerator::new(1280)
+            .with_weights(vec![(PatternFamily::ViaArray, 1)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(gen.generate(&mut rng).family, PatternFamily::ViaArray);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let gen = ClipGenerator::default();
+        let a = gen.generate(&mut StdRng::seed_from_u64(9));
+        let b = gen.generate(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn zero_weights_rejected() {
+        let _ = ClipGenerator::new(100).with_weights(vec![(PatternFamily::Jog, 0)]);
+    }
+}

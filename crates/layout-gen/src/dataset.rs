@@ -1,0 +1,279 @@
+//! Dataset assembly with the paper's Table-2 class counts.
+
+use crate::clipgen::ClipGenerator;
+use crate::patterns::PatternFamily;
+use hotspot_geometry::BitImage;
+use hotspot_litho_sim::HotspotOracle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One labelled clip: its rasterized binary image and the oracle's
+/// verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledClip {
+    /// The rasterized clip (one pixel per raster step).
+    pub image: BitImage,
+    /// `true` for a lithography hotspot.
+    pub hotspot: bool,
+    /// The generating pattern family.
+    pub family: PatternFamily,
+}
+
+/// A train/test split of labelled clips.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SplitDataset {
+    /// Training clips.
+    pub train: Vec<LabeledClip>,
+    /// Testing clips.
+    pub test: Vec<LabeledClip>,
+}
+
+impl SplitDataset {
+    /// `(hotspots, non_hotspots)` in the training split.
+    pub fn train_counts(&self) -> (usize, usize) {
+        count(&self.train)
+    }
+
+    /// `(hotspots, non_hotspots)` in the testing split.
+    pub fn test_counts(&self) -> (usize, usize) {
+        count(&self.test)
+    }
+}
+
+fn count(clips: &[LabeledClip]) -> (usize, usize) {
+    let hs = clips.iter().filter(|c| c.hotspot).count();
+    (hs, clips.len() - hs)
+}
+
+/// Specification of a dataset build: target class counts per split plus
+/// generation parameters.
+///
+/// [`DatasetSpec::iccad2012_like`] reproduces the merged ICCAD-2012
+/// statistics of the paper's Table 2; [`DatasetSpec::scaled`] shrinks
+/// every count proportionally for laptop-scale runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Hotspots in the training split.
+    pub train_hs: usize,
+    /// Non-hotspots in the training split.
+    pub train_nhs: usize,
+    /// Hotspots in the testing split.
+    pub test_hs: usize,
+    /// Non-hotspots in the testing split.
+    pub test_nhs: usize,
+    /// Clip side length in nanometres.
+    pub extent: i64,
+    /// Master seed; candidate `i` derives from `seed + i`.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// The paper's Table 2: 1204 / 17096 train HS/NHS and 2524 / 13503
+    /// test HS/NHS (all five ICCAD-2012 testcases merged).
+    pub fn iccad2012_like() -> Self {
+        DatasetSpec {
+            train_hs: 1204,
+            train_nhs: 17096,
+            test_hs: 2524,
+            test_nhs: 13503,
+            extent: 1280,
+            seed: 2012,
+        }
+    }
+
+    /// Scales all class counts by `factor` (minimum 1 each).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is not in `(0, 1]`.
+    pub fn scaled(self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0, 1]");
+        let s = |n: usize| (((n as f64) * factor).round() as usize).max(1);
+        DatasetSpec {
+            train_hs: s(self.train_hs),
+            train_nhs: s(self.train_nhs),
+            test_hs: s(self.test_hs),
+            test_nhs: s(self.test_nhs),
+            ..self
+        }
+    }
+
+    /// Total clips needed across both splits.
+    pub fn total(&self) -> usize {
+        self.train_hs + self.train_nhs + self.test_hs + self.test_nhs
+    }
+
+    /// Builds the dataset by rejection sampling: candidates are
+    /// generated (in parallel) from per-index seeds, labelled by the
+    /// oracle, and accepted until every quota is filled.  The result is
+    /// deterministic for a given spec regardless of thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when quotas cannot be filled within a very generous
+    /// candidate budget (indicating a miscalibrated oracle).
+    pub fn build(&self, oracle: &HotspotOracle) -> SplitDataset {
+        let generator = ClipGenerator::new(self.extent);
+        let window = generator.window();
+        let mut dataset = SplitDataset::default();
+        let mut need_hs = self.train_hs + self.test_hs;
+        let mut need_nhs = self.train_nhs + self.test_nhs;
+        let mut hs_pool: Vec<LabeledClip> = Vec::new();
+        let mut nhs_pool: Vec<LabeledClip> = Vec::new();
+
+        const BATCH: usize = 256;
+        let budget = 200 * self.total().max(64);
+        let mut next_index = 0usize;
+        while (need_hs > 0 || need_nhs > 0) && next_index < budget {
+            let batch: Vec<LabeledClip> = (next_index..next_index + BATCH)
+                .into_par_iter()
+                .map(|i| {
+                    let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(i as u64));
+                    let clip = generator.generate(&mut rng);
+                    let hotspot = oracle.label(&clip.layout, window);
+                    let image = oracle.raster().rasterize(&clip.layout, window);
+                    LabeledClip {
+                        image,
+                        hotspot,
+                        family: clip.family,
+                    }
+                })
+                .collect();
+            next_index += BATCH;
+            for clip in batch {
+                if clip.hotspot && need_hs > 0 {
+                    hs_pool.push(clip);
+                    need_hs -= 1;
+                } else if !clip.hotspot && need_nhs > 0 {
+                    nhs_pool.push(clip);
+                    need_nhs -= 1;
+                }
+            }
+        }
+        assert!(
+            need_hs == 0 && need_nhs == 0,
+            "candidate budget exhausted: still need {need_hs} hotspots and {need_nhs} non-hotspots"
+        );
+
+        // Deterministic split: first quota goes to train.
+        dataset.train.extend(hs_pool.drain(..self.train_hs));
+        dataset.test.append(&mut hs_pool);
+        dataset.train.extend(nhs_pool.drain(..self.train_nhs));
+        dataset.test.append(&mut nhs_pool);
+        // Interleave so mini-batches see both classes even without
+        // shuffling.
+        interleave(&mut dataset.train);
+        interleave(&mut dataset.test);
+        dataset
+    }
+}
+
+/// Deterministically reorders clips so hotspots are spread through the
+/// list instead of clustered at the front.
+fn interleave(clips: &mut Vec<LabeledClip>) {
+    let (hs, nhs): (Vec<_>, Vec<_>) = clips.drain(..).partition(|c| c.hotspot);
+    if hs.is_empty() || nhs.is_empty() {
+        clips.extend(hs);
+        clips.extend(nhs);
+        return;
+    }
+    let stride = (nhs.len() / hs.len()).max(1);
+    let mut hs_iter = hs.into_iter();
+    let mut out = Vec::with_capacity(clips.capacity());
+    for (i, clip) in nhs.into_iter().enumerate() {
+        if i % stride == 0 {
+            if let Some(h) = hs_iter.next() {
+                out.push(h);
+            }
+        }
+        out.push(clip);
+    }
+    out.extend(hs_iter);
+    *clips = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_litho_sim::OpticalModel;
+
+    #[test]
+    fn table2_spec_matches_paper() {
+        let spec = DatasetSpec::iccad2012_like();
+        assert_eq!(spec.train_hs, 1204);
+        assert_eq!(spec.train_nhs, 17096);
+        assert_eq!(spec.test_hs, 2524);
+        assert_eq!(spec.test_nhs, 13503);
+        assert_eq!(spec.total(), 34327);
+    }
+
+    #[test]
+    fn scaling_preserves_ratios_roughly() {
+        let spec = DatasetSpec::iccad2012_like().scaled(0.01);
+        assert_eq!(spec.train_hs, 12);
+        assert_eq!(spec.train_nhs, 171);
+        assert_eq!(spec.test_hs, 25);
+        assert_eq!(spec.test_nhs, 135);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be in")]
+    fn zero_scale_rejected() {
+        DatasetSpec::iccad2012_like().scaled(0.0);
+    }
+
+    #[test]
+    fn small_build_fills_quotas_exactly() {
+        let spec = DatasetSpec {
+            train_hs: 6,
+            train_nhs: 20,
+            test_hs: 4,
+            test_nhs: 12,
+            extent: 1280,
+            seed: 7,
+        };
+        let oracle = HotspotOracle::new(OpticalModel::default());
+        let ds = spec.build(&oracle);
+        assert_eq!(ds.train_counts(), (6, 20));
+        assert_eq!(ds.test_counts(), (4, 12));
+        assert_eq!(ds.train.len(), 26);
+        assert_eq!(ds.test.len(), 16);
+        // Images are 128x128 at the default 10 nm raster.
+        assert_eq!(ds.train[0].image.width(), 128);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let spec = DatasetSpec {
+            train_hs: 2,
+            train_nhs: 6,
+            test_hs: 2,
+            test_nhs: 4,
+            extent: 1280,
+            seed: 99,
+        };
+        let oracle = HotspotOracle::new(OpticalModel::default());
+        let a = spec.build(&oracle);
+        let b = spec.build(&oracle);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn interleave_spreads_hotspots() {
+        let mk = |hotspot| LabeledClip {
+            image: BitImage::new(2, 2),
+            hotspot,
+            family: PatternFamily::LineSpace,
+        };
+        let mut clips: Vec<LabeledClip> =
+            (0..4).map(|_| mk(true)).chain((0..12).map(|_| mk(false))).collect();
+        interleave(&mut clips);
+        assert_eq!(clips.len(), 16);
+        // No prefix of half the list contains every hotspot.
+        let first_half_hs = clips[..8].iter().filter(|c| c.hotspot).count();
+        assert!(first_half_hs < 4, "hotspots still clustered");
+        assert_eq!(clips.iter().filter(|c| c.hotspot).count(), 4);
+    }
+}

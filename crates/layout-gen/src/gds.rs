@@ -1,0 +1,174 @@
+//! A minimal GDS-like text serialization for layouts.
+//!
+//! Real GDSII is a binary stream format; for interoperability inside
+//! this workspace (saving generated clips, shipping reproduction
+//! inputs) a line-oriented text form is sufficient and diff-friendly:
+//!
+//! ```text
+//! LAYOUT v1
+//! RECT 0 0 100 20
+//! RECT 0 80 100 100
+//! END
+//! ```
+
+use hotspot_geometry::{Layout, Rect};
+use std::error::Error;
+use std::fmt;
+
+/// Error from [`decode_layout`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseLayoutError {
+    /// The `LAYOUT v1` header is missing.
+    MissingHeader,
+    /// The `END` terminator is missing.
+    MissingEnd,
+    /// A line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+}
+
+impl fmt::Display for ParseLayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseLayoutError::MissingHeader => write!(f, "missing LAYOUT v1 header"),
+            ParseLayoutError::MissingEnd => write!(f, "missing END terminator"),
+            ParseLayoutError::BadLine { line, content } => {
+                write!(f, "cannot parse line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl Error for ParseLayoutError {}
+
+/// Encodes a layout to the text format.
+///
+/// # Example
+///
+/// ```
+/// use hotspot_geometry::{Layout, Rect};
+/// use hotspot_layout_gen::{decode_layout, encode_layout};
+///
+/// let layout = Layout::from_rects([Rect::new(0, 0, 10, 5)]);
+/// let text = encode_layout(&layout);
+/// assert_eq!(decode_layout(&text)?, layout);
+/// # Ok::<(), hotspot_layout_gen::ParseLayoutError>(())
+/// ```
+pub fn encode_layout(layout: &Layout) -> String {
+    let mut out = String::from("LAYOUT v1\n");
+    for r in layout.iter() {
+        out.push_str(&format!(
+            "RECT {} {} {} {}\n",
+            r.lo().x,
+            r.lo().y,
+            r.hi().x,
+            r.hi().y
+        ));
+    }
+    out.push_str("END\n");
+    out
+}
+
+/// Decodes a layout from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseLayoutError`] for missing header/terminator or
+/// malformed `RECT` lines.
+pub fn decode_layout(text: &str) -> Result<Layout, ParseLayoutError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, l)) if l.trim() == "LAYOUT v1" => {}
+        _ => return Err(ParseLayoutError::MissingHeader),
+    }
+    let mut layout = Layout::new();
+    let mut ended = false;
+    for (i, line) in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "END" {
+            ended = true;
+            break;
+        }
+        let mut parts = line.split_whitespace();
+        let bad = || ParseLayoutError::BadLine {
+            line: i + 1,
+            content: line.to_string(),
+        };
+        if parts.next() != Some("RECT") {
+            return Err(bad());
+        }
+        let mut coord = || -> Result<i64, ParseLayoutError> {
+            parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(bad)
+        };
+        let (x0, y0, x1, y1) = (coord()?, coord()?, coord()?, coord()?);
+        layout.push(Rect::new(x0, y0, x1, y1));
+    }
+    if !ended {
+        return Err(ParseLayoutError::MissingEnd);
+    }
+    Ok(layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let layout = Layout::from_rects([
+            Rect::new(0, 0, 100, 20),
+            Rect::new(-50, 30, 10, 90),
+        ]);
+        let text = encode_layout(&layout);
+        assert_eq!(decode_layout(&text).expect("round trip"), layout);
+    }
+
+    #[test]
+    fn empty_layout_round_trips() {
+        let layout = Layout::new();
+        assert_eq!(
+            decode_layout(&encode_layout(&layout)).expect("round trip"),
+            layout
+        );
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert_eq!(
+            decode_layout("RECT 0 0 1 1\nEND\n"),
+            Err(ParseLayoutError::MissingHeader)
+        );
+    }
+
+    #[test]
+    fn rejects_missing_end() {
+        assert_eq!(
+            decode_layout("LAYOUT v1\nRECT 0 0 1 1\n"),
+            Err(ParseLayoutError::MissingEnd)
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_line() {
+        let err = decode_layout("LAYOUT v1\nRECT 0 zero 1 1\nEND\n").unwrap_err();
+        assert!(matches!(err, ParseLayoutError::BadLine { line: 2, .. }));
+        let err2 = decode_layout("LAYOUT v1\nCIRCLE 1 2 3\nEND\n").unwrap_err();
+        assert!(matches!(err2, ParseLayoutError::BadLine { .. }));
+    }
+
+    #[test]
+    fn tolerates_blank_lines() {
+        let layout = decode_layout("LAYOUT v1\n\nRECT 0 0 5 5\n\nEND\n").expect("parse");
+        assert_eq!(layout.len(), 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Synthetic layout-clip and dataset generation.
+//!
+//! The ICCAD-2012 contest benchmark used by the paper is not
+//! redistributable, so this crate generates a stand-in with the same
+//! structure: square metal-layer clips drawn from the pattern families
+//! that dominate real routed layouts (line/space arrays, tip-to-tip
+//! line ends, jogs, L/T/U bends, via fields, and randomly routed
+//! Manhattan wiring), labelled *hotspot*/*non-hotspot* by the
+//! [`hotspot-litho-sim`] oracle, and assembled into train/test splits
+//! with exactly the class counts of the paper's Table 2.
+//!
+//! Generation is deterministic: candidate `i` of a build is derived
+//! from `seed + i`, so the same spec always yields the same dataset
+//! regardless of thread count.
+//!
+//! # Example
+//!
+//! ```
+//! use hotspot_layout_gen::{ClipGenerator, PatternFamily};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let gen = ClipGenerator::default();
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let clip = gen.generate(&mut rng);
+//! assert!(!clip.layout.is_empty());
+//! # let _: PatternFamily = clip.family;
+//! ```
+//!
+//! [`hotspot-litho-sim`]: ../hotspot_litho_sim/index.html
+
+pub mod clipgen;
+pub mod dataset;
+pub mod gds;
+pub mod patterns;
+
+pub use clipgen::{Clip, ClipGenerator};
+pub use dataset::{DatasetSpec, LabeledClip, SplitDataset};
+pub use gds::{decode_layout, encode_layout, ParseLayoutError};
+pub use patterns::PatternFamily;

@@ -1,0 +1,459 @@
+//! Parameterized layout pattern families.
+//!
+//! Parameter ranges straddle the printability limits of the default
+//! optical model (features below ≈60 nm width or ≈45 nm spacing fail),
+//! so each family produces a natural mixture of hotspots and clean
+//! clips whose label depends on fine geometry — the structure a
+//! detector must learn.
+
+use hotspot_geometry::{Layout, Rect};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The pattern family a generated clip belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternFamily {
+    /// Parallel line/space array.
+    LineSpace,
+    /// Line array with a tip-to-tip gap in one or more tracks.
+    TipToTip,
+    /// Lines with lateral jogs.
+    Jog,
+    /// L / T / U bends.
+    Bend,
+    /// Via (contact) array.
+    ViaArray,
+    /// Randomly routed Manhattan wiring.
+    RandomRoute,
+    /// Interdigitated comb fingers (tip-to-line spacings).
+    Comb,
+    /// A serpentine (snake) wire with many bends.
+    Serpentine,
+    /// Vias chained by short landing bars.
+    ViaChain,
+}
+
+impl PatternFamily {
+    /// All families, in generation-mix order.
+    pub const ALL: [PatternFamily; 9] = [
+        PatternFamily::LineSpace,
+        PatternFamily::TipToTip,
+        PatternFamily::Jog,
+        PatternFamily::Bend,
+        PatternFamily::ViaArray,
+        PatternFamily::RandomRoute,
+        PatternFamily::Comb,
+        PatternFamily::Serpentine,
+        PatternFamily::ViaChain,
+    ];
+}
+
+fn track_positions(rng: &mut impl Rng, extent: i64, width: i64, spacing: i64) -> Vec<i64> {
+    let pitch = width + spacing;
+    let offset = rng.gen_range(0..pitch.max(1));
+    let mut ys = Vec::new();
+    let mut y = offset;
+    while y + width <= extent {
+        ys.push(y);
+        y += pitch;
+    }
+    ys
+}
+
+/// A parallel line/space array.
+pub fn line_space(rng: &mut impl Rng, extent: i64) -> Layout {
+    let width = rng.gen_range(50..=140);
+    let spacing = rng.gen_range(40..=170);
+    let horizontal = rng.gen_bool(0.5);
+    let margin = rng.gen_range(20..=120);
+    let mut layout = Layout::new();
+    for y in track_positions(rng, extent, width, spacing) {
+        let r = Rect::new(margin, y, extent - margin, y + width);
+        layout.push(if horizontal { r } else { r.transpose() });
+    }
+    layout
+}
+
+/// A line array where one to three tracks carry a tip-to-tip gap.
+pub fn tip_to_tip(rng: &mut impl Rng, extent: i64) -> Layout {
+    let width = rng.gen_range(70..=140);
+    let spacing = rng.gen_range(60..=170);
+    let gap = rng.gen_range(30..=170);
+    let margin = rng.gen_range(20..=100);
+    let tracks = track_positions(rng, extent, width, spacing);
+    let n_split = rng.gen_range(1..=3usize.min(tracks.len().max(1)));
+    let mut split_idx: Vec<usize> = (0..tracks.len()).collect();
+    // Deterministic partial shuffle.
+    for i in 0..split_idx.len() {
+        let j = rng.gen_range(i..split_idx.len());
+        split_idx.swap(i, j);
+    }
+    let split_idx = &split_idx[..n_split.min(split_idx.len())];
+    let mut layout = Layout::new();
+    for (i, &y) in tracks.iter().enumerate() {
+        if split_idx.contains(&i) {
+            let cut = rng.gen_range(extent / 4..=3 * extent / 4);
+            layout.push(Rect::new(margin, y, cut - gap / 2, y + width));
+            layout.push(Rect::new(cut + gap - gap / 2, y, extent - margin, y + width));
+        } else {
+            layout.push(Rect::new(margin, y, extent - margin, y + width));
+        }
+    }
+    layout
+}
+
+/// Lines with a lateral jog in the middle.
+pub fn jog(rng: &mut impl Rng, extent: i64) -> Layout {
+    let width = rng.gen_range(50..=130);
+    let spacing = rng.gen_range(60..=170);
+    let jog_len = rng.gen_range(100..=300);
+    let margin = rng.gen_range(20..=100);
+    let mut layout = Layout::new();
+    for y in track_positions(rng, extent, width, spacing) {
+        let jog_at = rng.gen_range(extent / 3..=2 * extent / 3);
+        let dy = rng.gen_range(-(spacing / 2)..=spacing / 2);
+        if y + dy < 0 || y + dy + width > extent {
+            layout.push(Rect::new(margin, y, extent - margin, y + width));
+            continue;
+        }
+        // Left segment, vertical connector, right segment at offset.
+        layout.push(Rect::new(margin, y, jog_at, y + width));
+        let lo = y.min(y + dy);
+        let hi = (y + width).max(y + dy + width);
+        layout.push(Rect::new(jog_at - width.max(jog_len / 3), lo, jog_at, hi));
+        layout.push(Rect::new(jog_at, y + dy, extent - margin, y + dy + width));
+    }
+    layout
+}
+
+/// L, T and U bends.
+pub fn bend(rng: &mut impl Rng, extent: i64) -> Layout {
+    let width = rng.gen_range(50..=140);
+    let spacing = rng.gen_range(50..=180);
+    let pitch = 2 * width + spacing + rng.gen_range(100..=300);
+    let mut layout = Layout::new();
+    let mut base = rng.gen_range(40..=160);
+    while base + pitch < extent {
+        let arm = rng.gen_range(200..=500).min(extent - base - 40);
+        let kind = rng.gen_range(0..3);
+        match kind {
+            0 => {
+                // L: horizontal arm + vertical arm.
+                layout.push(Rect::new(base, base, base + arm, base + width));
+                layout.push(Rect::new(base, base, base + width, base + arm));
+            }
+            1 => {
+                // T: horizontal bar + vertical stem.
+                let bar_y = base + rng.gen_range(0..=spacing);
+                layout.push(Rect::new(base, bar_y, base + arm, bar_y + width));
+                let stem_x = base + arm / 2 - width / 2;
+                layout.push(Rect::new(stem_x, bar_y, stem_x + width, bar_y + arm / 2));
+            }
+            _ => {
+                // U: two verticals + a base.
+                layout.push(Rect::new(base, base, base + width, base + arm));
+                layout.push(Rect::new(
+                    base + width + spacing,
+                    base,
+                    base + 2 * width + spacing,
+                    base + arm,
+                ));
+                layout.push(Rect::new(base, base, base + 2 * width + spacing, base + width));
+            }
+        }
+        base += pitch;
+    }
+    if layout.is_empty() {
+        // Extent too small for the sampled pitch: emit a single L.
+        layout.push(Rect::new(100, 100, 100 + width, 600));
+        layout.push(Rect::new(100, 100, 600, 100 + width));
+    }
+    layout
+}
+
+/// A square via / contact array.
+pub fn via_array(rng: &mut impl Rng, extent: i64) -> Layout {
+    let size = rng.gen_range(50..=130);
+    let pitch = size + rng.gen_range(40..=250);
+    let ox = rng.gen_range(0..pitch);
+    let oy = rng.gen_range(0..pitch);
+    let mut layout = Layout::new();
+    let mut y = oy;
+    while y + size <= extent {
+        let mut x = ox;
+        while x + size <= extent {
+            layout.push(Rect::new(x, y, x + size, y + size));
+            x += pitch;
+        }
+        y += pitch;
+    }
+    if layout.is_empty() {
+        layout.push(Rect::centered(
+            hotspot_geometry::Point::new(extent / 2, extent / 2),
+            size,
+            size,
+        ));
+    }
+    layout
+}
+
+/// Randomly routed Manhattan wiring: horizontal trunks with vertical
+/// branches.
+pub fn random_route(rng: &mut impl Rng, extent: i64) -> Layout {
+    let mut layout = Layout::new();
+    let n_trunks = rng.gen_range(3..=6);
+    let mut used_y: Vec<(i64, i64)> = Vec::new();
+    for _ in 0..n_trunks {
+        let width = rng.gen_range(50..=130);
+        let y = rng.gen_range(0..extent - width);
+        // Keep trunks from stacking exactly.
+        if used_y.iter().any(|&(a, b)| y < b + 30 && a < y + width + 30) {
+            continue;
+        }
+        used_y.push((y, y + width));
+        let x0 = rng.gen_range(0..extent / 3);
+        let x1 = rng.gen_range(2 * extent / 3..extent);
+        layout.push(Rect::new(x0, y, x1, y + width));
+        // Branches.
+        for _ in 0..rng.gen_range(0..=2) {
+            let bw = rng.gen_range(50..=120);
+            let bx = rng.gen_range(x0..(x1 - bw).max(x0 + 1));
+            let blen = rng.gen_range(100..=400);
+            let up = rng.gen_bool(0.5);
+            let (by0, by1) = if up {
+                (y + width, (y + width + blen).min(extent))
+            } else {
+                ((y - blen).max(0), y)
+            };
+            layout.push(Rect::new(bx, by0, bx + bw, by1));
+        }
+    }
+    if layout.is_empty() {
+        layout.push(Rect::new(100, 100, extent - 100, 200));
+    }
+    layout
+}
+
+/// Interdigitated comb fingers: two buses with fingers reaching into
+/// each other's gaps — the finger tips face the opposing bus at a
+/// controlled tip-to-line distance, a hotspot mode distinct from
+/// tip-to-tip.
+pub fn comb(rng: &mut impl Rng, extent: i64) -> Layout {
+    let finger_w = rng.gen_range(60..=130);
+    let gap = rng.gen_range(60..=180); // finger-to-finger spacing
+    let tip_clearance = rng.gen_range(40..=200); // finger tip to opposing bus
+    let bus_w = rng.gen_range(100..=160);
+    let margin = rng.gen_range(20..=80);
+    let mut layout = Layout::new();
+    // Two horizontal buses, top and bottom.
+    layout.push(Rect::new(margin, margin, extent - margin, margin + bus_w));
+    layout.push(Rect::new(
+        margin,
+        extent - margin - bus_w,
+        extent - margin,
+        extent - margin,
+    ));
+    // Alternating fingers.
+    let pitch = finger_w + gap;
+    let mut x = margin + rng.gen_range(0..pitch);
+    let mut from_bottom = rng.gen_bool(0.5);
+    while x + finger_w <= extent - margin {
+        if from_bottom {
+            layout.push(Rect::new(
+                x,
+                margin + bus_w,
+                x + finger_w,
+                extent - margin - bus_w - tip_clearance,
+            ));
+        } else {
+            layout.push(Rect::new(
+                x,
+                margin + bus_w + tip_clearance,
+                x + finger_w,
+                extent - margin - bus_w,
+            ));
+        }
+        from_bottom = !from_bottom;
+        x += pitch;
+    }
+    layout
+}
+
+/// A serpentine wire snaking across the clip: long parallel runs
+/// joined by short turns, exercising bend-adjacent spacings.
+pub fn serpentine(rng: &mut impl Rng, extent: i64) -> Layout {
+    let width = rng.gen_range(60..=130);
+    let spacing = rng.gen_range(50..=170);
+    let margin = rng.gen_range(40..=120);
+    let pitch = width + spacing;
+    let mut layout = Layout::new();
+    let mut y = margin;
+    let mut leg = 0usize;
+    while y + width <= extent - margin {
+        layout.push(Rect::new(margin, y, extent - margin, y + width));
+        // Vertical joint alternating sides.
+        if y + pitch + width <= extent - margin {
+            let x = if leg.is_multiple_of(2) {
+                extent - margin - width
+            } else {
+                margin
+            };
+            layout.push(Rect::new(x, y, x + width, y + pitch + width));
+        }
+        y += pitch;
+        leg += 1;
+    }
+    if layout.is_empty() {
+        layout.push(Rect::new(margin, margin, extent - margin, margin + width));
+    }
+    layout
+}
+
+/// Vias chained by short landing bars: a sequence of square cuts each
+/// connected to the next by a narrow bar, exercising enclosure-like
+/// geometry.
+pub fn via_chain(rng: &mut impl Rng, extent: i64) -> Layout {
+    let via = rng.gen_range(60..=120);
+    let bar_w = rng.gen_range(50..=100);
+    let step = via + rng.gen_range(80..=240);
+    let mut layout = Layout::new();
+    let mut x = rng.gen_range(40..=120);
+    let mut y = rng.gen_range(40..=120);
+    let mut horizontal = true;
+    while x + via <= extent - 40 && y + via <= extent - 40 {
+        layout.push(Rect::new(x, y, x + via, y + via));
+        // Landing bar toward the next via.
+        let (nx, ny) = if horizontal { (x + step, y) } else { (x, y + step) };
+        if nx + via <= extent - 40 && ny + via <= extent - 40 {
+            if horizontal {
+                let mid = y + via / 2 - bar_w / 2;
+                layout.push(Rect::new(x + via, mid, nx, mid + bar_w));
+            } else {
+                let mid = x + via / 2 - bar_w / 2;
+                layout.push(Rect::new(mid, y + via, mid + bar_w, ny));
+            }
+        }
+        x = nx.min(extent);
+        y = ny.min(extent);
+        if rng.gen_bool(0.4) {
+            horizontal = !horizontal;
+        }
+    }
+    if layout.is_empty() {
+        layout.push(Rect::new(100, 100, 100 + via, 100 + via));
+    }
+    layout
+}
+
+/// Generates one clip of the given family.
+pub fn generate_family(family: PatternFamily, rng: &mut impl Rng, extent: i64) -> Layout {
+    match family {
+        PatternFamily::LineSpace => line_space(rng, extent),
+        PatternFamily::TipToTip => tip_to_tip(rng, extent),
+        PatternFamily::Jog => jog(rng, extent),
+        PatternFamily::Bend => bend(rng, extent),
+        PatternFamily::ViaArray => via_array(rng, extent),
+        PatternFamily::RandomRoute => random_route(rng, extent),
+        PatternFamily::Comb => comb(rng, extent),
+        PatternFamily::Serpentine => serpentine(rng, extent),
+        PatternFamily::ViaChain => via_chain(rng, extent),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_geometry::Rect as R;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const EXTENT: i64 = 1280;
+
+    fn in_bounds(layout: &Layout) -> bool {
+        let window = R::new(0, 0, EXTENT, EXTENT);
+        layout.iter().all(|r| window.contains_rect(r))
+    }
+
+    #[test]
+    fn all_families_generate_nonempty_in_bounds() {
+        for family in PatternFamily::ALL {
+            for seed in 0..30u64 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let layout = generate_family(family, &mut rng, EXTENT);
+                assert!(!layout.is_empty(), "{family:?} seed {seed} empty");
+                assert!(in_bounds(&layout), "{family:?} seed {seed} out of bounds");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for family in PatternFamily::ALL {
+            let a = generate_family(family, &mut StdRng::seed_from_u64(5), EXTENT);
+            let b = generate_family(family, &mut StdRng::seed_from_u64(5), EXTENT);
+            assert_eq!(a, b, "{family:?} not deterministic");
+        }
+    }
+
+    #[test]
+    fn tip_to_tip_has_a_gap() {
+        // At least one generated clip must have more rects than tracks
+        // (a split track produces two rects).
+        let mut found_split = false;
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let layout = tip_to_tip(&mut rng, EXTENT);
+            // Count tracks by distinct y-lo values.
+            let mut ys: Vec<i64> = layout.iter().map(|r| r.lo().y).collect();
+            ys.sort_unstable();
+            ys.dedup();
+            if layout.len() > ys.len() {
+                found_split = true;
+                break;
+            }
+        }
+        assert!(found_split, "no tip gap found in 20 seeds");
+    }
+
+    #[test]
+    fn via_array_is_regular() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let layout = via_array(&mut rng, EXTENT);
+        // All vias are squares of the same size.
+        let first = layout.rects()[0];
+        for r in layout.iter() {
+            assert_eq!(r.width(), r.height());
+            assert_eq!(r.width(), first.width());
+        }
+    }
+
+    #[test]
+    fn line_space_lines_are_parallel() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let layout = line_space(&mut rng, EXTENT);
+        let horizontal = layout.rects()[0].width() >= layout.rects()[0].height();
+        for r in layout.iter() {
+            assert_eq!(r.width() >= r.height(), horizontal);
+        }
+    }
+
+    #[test]
+    fn densities_are_reasonable() {
+        // Clips should be neither empty nor nearly solid.
+        let window = R::new(0, 0, EXTENT, EXTENT);
+        for family in PatternFamily::ALL {
+            let mut total = 0.0;
+            let n = 20;
+            for seed in 100..100 + n as u64 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let layout = generate_family(family, &mut rng, EXTENT);
+                total += layout.density(window);
+            }
+            let mean = total / n as f64;
+            assert!(
+                (0.01..0.8).contains(&mean),
+                "{family:?} mean density {mean}"
+            );
+        }
+    }
+}

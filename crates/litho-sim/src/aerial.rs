@@ -1,0 +1,253 @@
+//! Optical model and aerial-image computation.
+
+use hotspot_geometry::BitImage;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the simplified partially-coherent optical model.
+///
+/// The point-spread function is approximated by a two-term kernel
+/// stack (SOCS style): a main Gaussian of width `sigma_nm` and a wider
+/// defocus term.  The aerial image is
+/// `I = w₀ · blur(m, σ)² + w₁ · blur(m, σ_wide)²`
+/// where `m` is the 0/1 mask.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpticalModel {
+    /// Main PSF width in nanometres (≈ 0.4·λ/NA; 35 nm ≈ 193 nm
+    /// immersion lithography).
+    pub sigma_nm: f64,
+    /// Width of the secondary (background / flare) term.
+    pub sigma_wide_nm: f64,
+    /// Weight of the secondary term in the intensity sum.
+    pub wide_weight: f64,
+    /// Extra blur added at the defocus process corner, in nanometres.
+    pub defocus_extra_nm: f64,
+    /// Raster pixel pitch in nanometres.
+    pub pixel_nm: f64,
+    /// Resist threshold on the normalized aerial intensity.
+    pub threshold: f64,
+    /// Fractional dose latitude explored at the dose corners
+    /// (threshold is scaled by `1 ± dose_latitude`).
+    pub dose_latitude: f64,
+}
+
+impl Default for OpticalModel {
+    /// A 193 nm-immersion-flavoured model on a 10 nm raster.
+    fn default() -> Self {
+        OpticalModel {
+            sigma_nm: 40.0,
+            sigma_wide_nm: 110.0,
+            wide_weight: 0.15,
+            defocus_extra_nm: 25.0,
+            pixel_nm: 10.0,
+            threshold: 0.33,
+            dose_latitude: 0.10,
+        }
+    }
+}
+
+/// A process condition at which printing is checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcessCorner {
+    /// Best focus, nominal dose.
+    Nominal,
+    /// Defocused exposure (wider PSF).
+    Defocus,
+    /// Over-exposure (lower effective threshold: features fatten).
+    DosePlus,
+    /// Under-exposure (higher effective threshold: features thin).
+    DoseMinus,
+}
+
+impl ProcessCorner {
+    /// All corners, in evaluation order.
+    pub const ALL: [ProcessCorner; 4] = [
+        ProcessCorner::Nominal,
+        ProcessCorner::Defocus,
+        ProcessCorner::DosePlus,
+        ProcessCorner::DoseMinus,
+    ];
+}
+
+impl OpticalModel {
+    /// The PSF sigma (in pixels) for a corner.
+    pub fn sigma_px(&self, corner: ProcessCorner) -> f64 {
+        let extra = match corner {
+            ProcessCorner::Defocus => self.defocus_extra_nm,
+            _ => 0.0,
+        };
+        // Defocus adds in quadrature.
+        ((self.sigma_nm * self.sigma_nm + extra * extra).sqrt()) / self.pixel_nm
+    }
+
+    /// The resist threshold for a corner.
+    pub fn threshold_at(&self, corner: ProcessCorner) -> f64 {
+        match corner {
+            ProcessCorner::DosePlus => self.threshold * (1.0 - self.dose_latitude),
+            ProcessCorner::DoseMinus => self.threshold * (1.0 + self.dose_latitude),
+            _ => self.threshold,
+        }
+    }
+}
+
+/// Discrete 1-D Gaussian taps with ±3σ support, normalized to sum 1.
+fn gaussian_taps(sigma_px: f64) -> Vec<f64> {
+    let radius = (3.0 * sigma_px).ceil() as i64;
+    let mut taps = Vec::with_capacity((2 * radius + 1) as usize);
+    let inv = 1.0 / (2.0 * sigma_px * sigma_px);
+    for i in -radius..=radius {
+        taps.push((-(i * i) as f64 * inv).exp());
+    }
+    let sum: f64 = taps.iter().sum();
+    for t in &mut taps {
+        *t /= sum;
+    }
+    taps
+}
+
+/// Separable Gaussian blur of a row-major `h × w` plane.
+///
+/// Borders are handled by renormalizing over the in-bounds taps, so a
+/// constant plane stays constant.
+pub fn gaussian_blur(plane: &[f32], h: usize, w: usize, sigma_px: f64) -> Vec<f32> {
+    assert_eq!(plane.len(), h * w, "plane size mismatch");
+    assert!(sigma_px > 0.0, "sigma must be positive");
+    let taps = gaussian_taps(sigma_px);
+    let radius = (taps.len() / 2) as i64;
+
+    // Horizontal pass.
+    let mut tmp = vec![0.0f32; h * w];
+    for y in 0..h {
+        let row = &plane[y * w..(y + 1) * w];
+        for x in 0..w as i64 {
+            let mut acc = 0.0f64;
+            let mut norm = 0.0f64;
+            for (ti, &t) in taps.iter().enumerate() {
+                let ix = x + ti as i64 - radius;
+                if ix < 0 || ix >= w as i64 {
+                    continue;
+                }
+                acc += t * row[ix as usize] as f64;
+                norm += t;
+            }
+            tmp[y * w + x as usize] = (acc / norm) as f32;
+        }
+    }
+    // Vertical pass.
+    let mut out = vec![0.0f32; h * w];
+    for x in 0..w {
+        for y in 0..h as i64 {
+            let mut acc = 0.0f64;
+            let mut norm = 0.0f64;
+            for (ti, &t) in taps.iter().enumerate() {
+                let iy = y + ti as i64 - radius;
+                if iy < 0 || iy >= h as i64 {
+                    continue;
+                }
+                acc += t * tmp[iy as usize * w + x] as f64;
+                norm += t;
+            }
+            out[y as usize * w + x] = (acc / norm) as f32;
+        }
+    }
+    out
+}
+
+/// Computes the normalized aerial image of a binary mask at a process
+/// corner.  Returned intensities are in `[0, 1]` for a 0/1 mask.
+pub fn aerial_image(mask: &BitImage, model: &OpticalModel, corner: ProcessCorner) -> Vec<f32> {
+    let (w, h) = (mask.width(), mask.height());
+    let plane = mask.to_f32();
+    let sigma = model.sigma_px(corner);
+    let main = gaussian_blur(&plane, h, w, sigma);
+    let wide = gaussian_blur(&plane, h, w, model.sigma_wide_nm / model.pixel_nm);
+    let w0 = 1.0 - model.wide_weight;
+    let w1 = model.wide_weight;
+    main.iter()
+        .zip(&wide)
+        .map(|(&a, &b)| (w0 * (a as f64 * a as f64) + w1 * (b as f64 * b as f64)) as f32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taps_normalized_and_symmetric() {
+        let taps = gaussian_taps(2.0);
+        let sum: f64 = taps.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        let n = taps.len();
+        for i in 0..n / 2 {
+            assert!((taps[i] - taps[n - 1 - i]).abs() < 1e-12);
+        }
+        // Peak in the middle.
+        assert!(taps[n / 2] >= taps[0]);
+    }
+
+    #[test]
+    fn blur_preserves_constant_plane() {
+        let plane = vec![0.7f32; 20 * 20];
+        let out = gaussian_blur(&plane, 20, 20, 2.5);
+        for &v in &out {
+            assert!((v - 0.7).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn blur_preserves_mass_interior() {
+        // A point source spreads but keeps total mass (borders far away).
+        let mut plane = vec![0.0f32; 41 * 41];
+        plane[20 * 41 + 20] = 1.0;
+        let out = gaussian_blur(&plane, 41, 41, 2.0);
+        let total: f32 = out.iter().sum();
+        assert!((total - 1.0).abs() < 1e-4, "mass {total}");
+        // Spread is symmetric.
+        assert!((out[20 * 41 + 18] - out[20 * 41 + 22]).abs() < 1e-6);
+        assert!(out[20 * 41 + 20] > out[20 * 41 + 19]);
+    }
+
+    #[test]
+    fn aerial_intensity_in_unit_range() {
+        let mut mask = BitImage::new(64, 64);
+        for y in 20..44 {
+            mask.fill_row_span(y, 20, 44);
+        }
+        let model = OpticalModel::default();
+        let img = aerial_image(&mask, &model, ProcessCorner::Nominal);
+        assert!(img.iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+        // Bright inside the big feature, dark far away.
+        assert!(img[32 * 64 + 32] > 0.8);
+        assert!(img[2 * 64 + 2] < 0.05);
+    }
+
+    #[test]
+    fn defocus_blurs_more() {
+        // A narrow line loses peak intensity under defocus.
+        let mut mask = BitImage::new(64, 64);
+        for y in 0..64 {
+            mask.fill_row_span(y, 30, 34);
+        }
+        let model = OpticalModel::default();
+        let nominal = aerial_image(&mask, &model, ProcessCorner::Nominal);
+        let defocus = aerial_image(&mask, &model, ProcessCorner::Defocus);
+        assert!(
+            defocus[32 * 64 + 32] < nominal[32 * 64 + 32],
+            "defocus {} vs nominal {}",
+            defocus[32 * 64 + 32],
+            nominal[32 * 64 + 32]
+        );
+    }
+
+    #[test]
+    fn corner_thresholds_ordered() {
+        let m = OpticalModel::default();
+        assert!(m.threshold_at(ProcessCorner::DosePlus) < m.threshold_at(ProcessCorner::Nominal));
+        assert!(m.threshold_at(ProcessCorner::DoseMinus) > m.threshold_at(ProcessCorner::Nominal));
+        assert_eq!(
+            m.threshold_at(ProcessCorner::Defocus),
+            m.threshold_at(ProcessCorner::Nominal)
+        );
+        assert!(m.sigma_px(ProcessCorner::Defocus) > m.sigma_px(ProcessCorner::Nominal));
+    }
+}

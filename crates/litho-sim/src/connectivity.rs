@@ -1,0 +1,162 @@
+//! Connected-component labelling on binary images.
+
+use hotspot_geometry::BitImage;
+
+/// A labelling of the set pixels of a [`BitImage`] into 4-connected
+/// components.
+///
+/// Labels are `1..=count`; background pixels carry label `0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentMap {
+    width: usize,
+    height: usize,
+    labels: Vec<u32>,
+    count: usize,
+    sizes: Vec<usize>,
+}
+
+impl ComponentMap {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The label of pixel `(x, y)`; `0` for background.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn label(&self, x: usize, y: usize) -> u32 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.labels[y * self.width + x]
+    }
+
+    /// Pixel count of component `label` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics for label 0 or labels beyond [`count`](ComponentMap::count).
+    pub fn size(&self, label: u32) -> usize {
+        assert!(label >= 1 && (label as usize) <= self.count, "bad label {label}");
+        self.sizes[label as usize - 1]
+    }
+
+    /// Iterates over `(x, y, label)` of all labelled pixels.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, u32)> + '_ {
+        let w = self.width;
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l != 0)
+            .map(move |(i, &l)| (i % w, i / w, l))
+    }
+}
+
+/// Labels the 4-connected components of the set pixels of `img`.
+pub fn connected_components(img: &BitImage) -> ComponentMap {
+    let (w, h) = (img.width(), img.height());
+    let mut labels = vec![0u32; w * h];
+    let mut sizes = Vec::new();
+    let mut next = 1u32;
+    let mut stack = Vec::new();
+    for sy in 0..h {
+        for sx in 0..w {
+            if !img.get(sx, sy) || labels[sy * w + sx] != 0 {
+                continue;
+            }
+            // Flood fill.
+            let mut size = 0usize;
+            stack.push((sx, sy));
+            labels[sy * w + sx] = next;
+            while let Some((x, y)) = stack.pop() {
+                size += 1;
+                let mut visit = |nx: usize, ny: usize| {
+                    if img.get(nx, ny) && labels[ny * w + nx] == 0 {
+                        labels[ny * w + nx] = next;
+                        stack.push((nx, ny));
+                    }
+                };
+                if x > 0 {
+                    visit(x - 1, y);
+                }
+                if x + 1 < w {
+                    visit(x + 1, y);
+                }
+                if y > 0 {
+                    visit(x, y - 1);
+                }
+                if y + 1 < h {
+                    visit(x, y + 1);
+                }
+            }
+            sizes.push(size);
+            next += 1;
+        }
+    }
+    ComponentMap {
+        width: w,
+        height: h,
+        labels,
+        count: (next - 1) as usize,
+        sizes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_image_has_no_components() {
+        let img = BitImage::new(4, 4);
+        let cm = connected_components(&img);
+        assert_eq!(cm.count(), 0);
+        assert_eq!(cm.label(2, 2), 0);
+    }
+
+    #[test]
+    fn two_separate_blobs() {
+        let mut img = BitImage::new(8, 8);
+        img.fill_row_span(0, 0, 3);
+        img.fill_row_span(1, 0, 3);
+        img.fill_row_span(6, 5, 8);
+        let cm = connected_components(&img);
+        assert_eq!(cm.count(), 2);
+        assert_eq!(cm.size(1), 6);
+        assert_eq!(cm.size(2), 3);
+        assert_ne!(cm.label(0, 0), cm.label(5, 6));
+    }
+
+    #[test]
+    fn diagonal_touch_is_not_connected() {
+        let mut img = BitImage::new(4, 4);
+        img.set(0, 0, true);
+        img.set(1, 1, true);
+        let cm = connected_components(&img);
+        assert_eq!(cm.count(), 2);
+    }
+
+    #[test]
+    fn l_shaped_component_is_one() {
+        let mut img = BitImage::new(5, 5);
+        for y in 0..5 {
+            img.set(0, y, true);
+        }
+        img.fill_row_span(0, 0, 5);
+        let cm = connected_components(&img);
+        assert_eq!(cm.count(), 1);
+        assert_eq!(cm.size(1), 9);
+    }
+
+    #[test]
+    fn iter_visits_all_labelled_pixels() {
+        let mut img = BitImage::new(3, 3);
+        img.set(0, 0, true);
+        img.set(2, 2, true);
+        let cm = connected_components(&img);
+        let pixels: Vec<_> = cm.iter().collect();
+        assert_eq!(pixels.len(), 2);
+        assert!(pixels.contains(&(0, 0, cm.label(0, 0))));
+        assert!(pixels.contains(&(2, 2, cm.label(2, 2))));
+    }
+}

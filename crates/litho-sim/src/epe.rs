@@ -1,0 +1,209 @@
+//! Edge-placement-error (EPE) measurement.
+//!
+//! EPE is the standard lithography fidelity metric: the signed distance
+//! between a drawn (design) edge and the printed resist contour,
+//! measured along the edge normal.  Negative values mean the printed
+//! feature retracted inside the drawn edge (necking / pull-back),
+//! positive values mean it bulged outside (potential bridging).
+//!
+//! The hotspot oracle's bridge/open checks are topological; EPE adds a
+//! quantitative severity measure and is what an OPC flow would try to
+//! drive to zero.
+
+use hotspot_geometry::{BitImage, Rect};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over the sampled edge placement errors, in
+/// pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpeStats {
+    /// Number of edge sample points measured.
+    pub samples: usize,
+    /// Mean signed EPE.
+    pub mean: f64,
+    /// Largest outward excursion (bulge).
+    pub max: f64,
+    /// Largest inward excursion (pull-back), as a negative number.
+    pub min: f64,
+    /// Fraction of samples whose |EPE| exceeded the tolerance.
+    pub violations: f64,
+}
+
+/// Measures EPE for every design edge of `rects` against a printed
+/// image, sampling one point per pixel of edge length.
+///
+/// `rects` are in pixel coordinates (already divided by the raster
+/// resolution).  `search` bounds the contour search along the normal,
+/// and `tolerance` (pixels) defines a violation for the summary.
+///
+/// Returns `None` when no edge sample lies inside the image.
+///
+/// # Example
+///
+/// ```
+/// use hotspot_geometry::{BitImage, Rect};
+/// use hotspot_litho_sim::epe::measure_epe;
+///
+/// // Printed == drawn: EPE is zero everywhere.
+/// let mut printed = BitImage::new(32, 32);
+/// for y in 8..24 {
+///     printed.fill_row_span(y, 8, 24);
+/// }
+/// let stats = measure_epe(&[Rect::new(8, 8, 24, 24)], &printed, 6, 1.5)
+///     .expect("edges in range");
+/// assert_eq!(stats.mean, 0.0);
+/// assert_eq!(stats.violations, 0.0);
+/// ```
+pub fn measure_epe(
+    rects: &[Rect],
+    printed: &BitImage,
+    search: usize,
+    tolerance: f64,
+) -> Option<EpeStats> {
+    let (w, h) = (printed.width() as i64, printed.height() as i64);
+    let mut errors: Vec<f64> = Vec::new();
+
+    let mut probe = |x: i64, y: i64, nx: i64, ny: i64| {
+        // Walk outward along (nx, ny) to find the printed contour; the
+        // drawn edge sits between the inside pixel (x, y) and the
+        // outside pixel (x + nx, y + ny).
+        if x < 0 || y < 0 || x >= w || y >= h {
+            return;
+        }
+        let inside_printed = printed.get(x as usize, y as usize);
+        let mut epe: f64 = if inside_printed {
+            // Contour is at or beyond the edge: walk outward counting
+            // printed pixels beyond the drawn edge.
+            let mut d = 0.0;
+            for step in 1..=search as i64 {
+                let (px, py) = (x + nx * step, y + ny * step);
+                if px < 0 || py < 0 || px >= w || py >= h {
+                    break;
+                }
+                if printed.get(px as usize, py as usize) {
+                    d = step as f64;
+                } else {
+                    break;
+                }
+            }
+            d
+        } else {
+            // Contour retracted inside: walk inward.
+            let mut d = -(search as f64);
+            for step in 1..=search as i64 {
+                let (px, py) = (x - nx * step, y - ny * step);
+                if px < 0 || py < 0 || px >= w || py >= h {
+                    break;
+                }
+                if printed.get(px as usize, py as usize) {
+                    d = -(step as f64);
+                    break;
+                }
+            }
+            d
+        };
+        epe = epe.clamp(-(search as f64), search as f64);
+        errors.push(epe);
+    };
+
+    for r in rects {
+        let (x0, y0, x1, y1) = (r.lo().x, r.lo().y, r.hi().x, r.hi().y);
+        // Bottom and top edges: sample inside pixels just inside the
+        // rect, normals pointing out.
+        for x in x0..x1 {
+            probe(x, y0, 0, -1);
+            probe(x, y1 - 1, 0, 1);
+        }
+        // Left and right edges.
+        for y in y0..y1 {
+            probe(x0, y, -1, 0);
+            probe(x1 - 1, y, 1, 0);
+        }
+    }
+
+    if errors.is_empty() {
+        return None;
+    }
+    let samples = errors.len();
+    let mean = errors.iter().sum::<f64>() / samples as f64;
+    let max = errors.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = errors.iter().copied().fold(f64::INFINITY, f64::min);
+    let violations =
+        errors.iter().filter(|e| e.abs() > tolerance).count() as f64 / samples as f64;
+    Some(EpeStats {
+        samples,
+        mean,
+        max,
+        min,
+        violations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(x0: usize, y0: usize, x1: usize, y1: usize) -> BitImage {
+        let mut img = BitImage::new(32, 32);
+        for y in y0..y1 {
+            img.fill_row_span(y, x0, x1);
+        }
+        img
+    }
+
+    #[test]
+    fn exact_print_has_zero_epe() {
+        let printed = filled(8, 8, 24, 24);
+        let stats = measure_epe(&[Rect::new(8, 8, 24, 24)], &printed, 6, 1.5).expect("some");
+        assert_eq!(stats.mean, 0.0);
+        assert_eq!(stats.max, 0.0);
+        assert_eq!(stats.min, 0.0);
+        assert_eq!(stats.violations, 0.0);
+        assert_eq!(stats.samples, 4 * 16);
+    }
+
+    #[test]
+    fn uniform_shrink_gives_negative_epe() {
+        // Drawn 16 wide, printed eroded by 2 pixels on every side.
+        let printed = filled(10, 10, 22, 22);
+        let stats = measure_epe(&[Rect::new(8, 8, 24, 24)], &printed, 6, 1.5).expect("some");
+        assert!(stats.mean < -1.5, "mean {}", stats.mean);
+        assert!(stats.min <= -2.0);
+        assert!(stats.max <= 0.0);
+        assert!(stats.violations > 0.9);
+    }
+
+    #[test]
+    fn uniform_bloat_gives_positive_epe() {
+        let printed = filled(6, 6, 26, 26);
+        let stats = measure_epe(&[Rect::new(8, 8, 24, 24)], &printed, 6, 1.5).expect("some");
+        assert!(stats.mean > 1.5, "mean {}", stats.mean);
+        assert!(stats.max >= 2.0);
+        assert!(stats.violations > 0.9);
+    }
+
+    #[test]
+    fn fully_missing_feature_saturates_at_search_range() {
+        let printed = BitImage::new(32, 32);
+        let stats = measure_epe(&[Rect::new(8, 8, 24, 24)], &printed, 6, 1.5).expect("some");
+        assert_eq!(stats.mean, -6.0);
+        assert_eq!(stats.violations, 1.0);
+    }
+
+    #[test]
+    fn line_end_pullback_detected() {
+        // A horizontal line whose right end printed 4 px short.
+        let printed = filled(2, 14, 26, 18);
+        let stats = measure_epe(&[Rect::new(2, 14, 30, 18)], &printed, 6, 1.5).expect("some");
+        // Only the right-end samples are off; mean is mildly negative,
+        // min strongly so.
+        assert!(stats.min <= -4.0, "min {}", stats.min);
+        assert!(stats.violations > 0.0);
+    }
+
+    #[test]
+    fn out_of_frame_edges_are_skipped() {
+        let printed = BitImage::new(32, 32);
+        assert!(measure_epe(&[Rect::new(100, 100, 120, 120)], &printed, 4, 1.0).is_none());
+    }
+}

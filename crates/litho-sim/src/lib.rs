@@ -1,0 +1,43 @@
+//! A simplified lithography simulator and hotspot ground-truth oracle.
+//!
+//! The ICCAD-2012 benchmark labels its clips with an industrial
+//! lithography simulator that is not redistributable; this crate plays
+//! that role for the synthetic dataset.  It implements a compact
+//! partially-coherent imaging approximation in the SOCS spirit — the
+//! aerial image is a weighted sum of squared Gaussian-blurred copies of
+//! the mask — followed by a constant-threshold resist model, and labels
+//! a clip *hotspot* when the printed contours exhibit an open or bridge
+//! defect at any simulated process corner (nominal, defocus, dose ±).
+//!
+//! Because the labels derive from an actual optical model, they are
+//! physically correlated with pattern geometry (tip-to-tip gaps, narrow
+//! necks, dense line/space) — exactly the structure a learned hotspot
+//! detector must pick up.
+//!
+//! # Example
+//!
+//! ```
+//! use hotspot_geometry::{Layout, Rect};
+//! use hotspot_litho_sim::{HotspotOracle, OpticalModel};
+//!
+//! // Two wide, well-separated wires: prints cleanly.
+//! let layout = Layout::from_rects([
+//!     Rect::new(100, 200, 1100, 320),
+//!     Rect::new(100, 700, 1100, 820),
+//! ]);
+//! let oracle = HotspotOracle::new(OpticalModel::default());
+//! let report = oracle.analyze(&layout, Rect::new(0, 0, 1280, 1280));
+//! assert!(!report.is_hotspot());
+//! ```
+
+pub mod aerial;
+pub mod connectivity;
+pub mod epe;
+pub mod oracle;
+pub mod resist;
+
+pub use aerial::{aerial_image, gaussian_blur, OpticalModel, ProcessCorner};
+pub use connectivity::{connected_components, ComponentMap};
+pub use epe::{measure_epe, EpeStats};
+pub use oracle::{DefectKind, HotspotOracle, SimReport};
+pub use resist::develop;

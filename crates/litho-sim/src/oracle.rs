@@ -1,0 +1,339 @@
+//! The hotspot ground-truth oracle.
+
+use crate::aerial::{aerial_image, OpticalModel, ProcessCorner};
+use crate::connectivity::connected_components;
+use crate::epe::{measure_epe, EpeStats};
+use crate::resist::develop;
+use hotspot_geometry::{BitImage, Layout, Raster, Rect};
+use serde::{Deserialize, Serialize};
+
+/// A printing defect found at a process corner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DefectKind {
+    /// Printed resist connects two design shapes that should be
+    /// separate — a potential short.
+    Bridge {
+        /// The corner at which the bridge appears.
+        corner: ProcessCorner,
+    },
+    /// A design shape prints incompletely (missing or split) — a
+    /// potential open.
+    Open {
+        /// The corner at which the open appears.
+        corner: ProcessCorner,
+    },
+}
+
+/// The outcome of simulating one layout clip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    defects: Vec<DefectKind>,
+    mismatch: Vec<(ProcessCorner, f64)>,
+    epe: Option<EpeStats>,
+}
+
+impl SimReport {
+    /// `true` when any corner shows a printing defect — the clip is a
+    /// lithography hotspot.
+    pub fn is_hotspot(&self) -> bool {
+        !self.defects.is_empty()
+    }
+
+    /// The defects found, in corner evaluation order.
+    pub fn defects(&self) -> &[DefectKind] {
+        &self.defects
+    }
+
+    /// Per-corner fraction of pixels where the printed image differs
+    /// from the design raster (an EPE-like severity indicator).
+    pub fn mismatch(&self) -> &[(ProcessCorner, f64)] {
+        &self.mismatch
+    }
+
+    /// Edge-placement-error statistics at the nominal corner, when
+    /// any design edge lies inside the clip.
+    pub fn epe(&self) -> Option<&EpeStats> {
+        self.epe.as_ref()
+    }
+}
+
+/// Labels layout clips by simulating their printing at four process
+/// corners and checking the printed contours for bridges and opens.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotspotOracle {
+    model: OpticalModel,
+    raster: Raster,
+    /// A design component printing less than this fraction of its area
+    /// is an open.
+    open_coverage: f64,
+    /// Minimum pixel area for a printed fragment to count when
+    /// deciding that a shape printed split.
+    min_split_area: usize,
+    /// Design components smaller than this many pixels are ignored
+    /// (slivers from clip boundaries).
+    min_shape_area: usize,
+}
+
+impl HotspotOracle {
+    /// Creates an oracle with the given optical model and default
+    /// defect thresholds.
+    pub fn new(model: OpticalModel) -> Self {
+        let raster = Raster::new(model.pixel_nm as i64);
+        HotspotOracle {
+            model,
+            raster,
+            open_coverage: 0.55,
+            min_split_area: 5,
+            min_shape_area: 8,
+        }
+    }
+
+    /// The optical model in use.
+    pub fn model(&self) -> &OpticalModel {
+        &self.model
+    }
+
+    /// The raster used to discretize clips.
+    pub fn raster(&self) -> &Raster {
+        &self.raster
+    }
+
+    /// Simulates `layout` inside `window` and reports defects.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window is not a positive multiple of the raster
+    /// resolution.
+    pub fn analyze(&self, layout: &Layout, window: Rect) -> SimReport {
+        let design = self.raster.rasterize(layout, window);
+        let design_cm = connected_components(&design);
+        let (w, h) = (design.width(), design.height());
+
+        // Design rects in pixel coordinates, for EPE measurement.
+        let res = self.model.pixel_nm as i64;
+        let px_rects: Vec<Rect> = layout
+            .clip(window)
+            .iter()
+            .map(|r| {
+                Rect::new(
+                    (r.lo().x - window.lo().x) / res,
+                    (r.lo().y - window.lo().y) / res,
+                    (r.hi().x - window.lo().x) / res,
+                    (r.hi().y - window.lo().y) / res,
+                )
+            })
+            .collect();
+
+        let mut defects = Vec::new();
+        let mut mismatch = Vec::new();
+        let mut epe = None;
+        for corner in ProcessCorner::ALL {
+            let intensity = aerial_image(&design, &self.model, corner);
+            let printed = develop(&intensity, w, h, self.model.threshold_at(corner));
+            mismatch.push((corner, mismatch_fraction(&design, &printed)));
+
+            if self.has_bridge(&design_cm, &printed, w, h) {
+                defects.push(DefectKind::Bridge { corner });
+            }
+            if self.has_open(&design, &design_cm, &printed, w, h) {
+                defects.push(DefectKind::Open { corner });
+            }
+            if corner == ProcessCorner::Nominal {
+                epe = measure_epe(&px_rects, &printed, 8, 1.5);
+            }
+        }
+        SimReport {
+            defects,
+            mismatch,
+            epe,
+        }
+    }
+
+    /// Convenience wrapper: `true` when the clip is a hotspot.
+    pub fn label(&self, layout: &Layout, window: Rect) -> bool {
+        self.analyze(layout, window).is_hotspot()
+    }
+
+    fn has_bridge(
+        &self,
+        design_cm: &crate::connectivity::ComponentMap,
+        printed: &BitImage,
+        w: usize,
+        h: usize,
+    ) -> bool {
+        if design_cm.count() < 2 {
+            return false;
+        }
+        let printed_cm = connected_components(printed);
+        // For each printed component, which design components does it
+        // touch (only counting design shapes of meaningful size)?
+        let mut touched: Vec<Vec<u32>> = vec![Vec::new(); printed_cm.count()];
+        for y in 0..h {
+            for x in 0..w {
+                let p = printed_cm.label(x, y);
+                if p == 0 {
+                    continue;
+                }
+                let d = design_cm.label(x, y);
+                if d == 0 || design_cm.size(d) < self.min_shape_area {
+                    continue;
+                }
+                let list = &mut touched[p as usize - 1];
+                if !list.contains(&d) {
+                    list.push(d);
+                }
+            }
+        }
+        touched.iter().any(|list| list.len() >= 2)
+    }
+
+    fn has_open(
+        &self,
+        design: &BitImage,
+        design_cm: &crate::connectivity::ComponentMap,
+        printed: &BitImage,
+        w: usize,
+        h: usize,
+    ) -> bool {
+        if design_cm.count() == 0 {
+            return false;
+        }
+        // Coverage per design component.
+        let mut covered = vec![0usize; design_cm.count()];
+        let mut total = vec![0usize; design_cm.count()];
+        for y in 0..h {
+            for x in 0..w {
+                let d = design_cm.label(x, y);
+                if d == 0 {
+                    continue;
+                }
+                total[d as usize - 1] += 1;
+                if printed.get(x, y) {
+                    covered[d as usize - 1] += 1;
+                }
+            }
+        }
+        for label in 1..=design_cm.count() as u32 {
+            let tot = total[label as usize - 1];
+            if tot < self.min_shape_area {
+                continue; // boundary sliver
+            }
+            let cov = covered[label as usize - 1] as f64 / tot as f64;
+            if cov < self.open_coverage {
+                return true;
+            }
+            // Split check: the printed area inside this component must
+            // be a single piece (fragments smaller than
+            // min_split_area are tolerated as line-end erosion).
+            let mut inside = BitImage::new(w, h);
+            for y in 0..h {
+                for x in 0..w {
+                    if design_cm.label(x, y) == label && printed.get(x, y) {
+                        inside.set(x, y, true);
+                    }
+                }
+            }
+            let pieces = connected_components(&inside);
+            let significant = (1..=pieces.count() as u32)
+                .filter(|&l| pieces.size(l) >= self.min_split_area)
+                .count();
+            if significant >= 2 {
+                return true;
+            }
+        }
+        let _ = design;
+        false
+    }
+}
+
+fn mismatch_fraction(design: &BitImage, printed: &BitImage) -> f64 {
+    let (w, h) = (design.width(), design.height());
+    let mut diff = 0usize;
+    for y in 0..h {
+        for x in 0..w {
+            if design.get(x, y) != printed.get(x, y) {
+                diff += 1;
+            }
+        }
+    }
+    diff as f64 / (w * h) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> Rect {
+        Rect::new(0, 0, 1280, 1280)
+    }
+
+    fn oracle() -> HotspotOracle {
+        HotspotOracle::new(OpticalModel::default())
+    }
+
+    #[test]
+    fn empty_clip_is_clean() {
+        let report = oracle().analyze(&Layout::new(), window());
+        assert!(!report.is_hotspot());
+        assert!(report.defects().is_empty());
+    }
+
+    #[test]
+    fn wide_isolated_lines_print_clean() {
+        let layout = Layout::from_rects([
+            Rect::new(100, 200, 1180, 320),
+            Rect::new(100, 600, 1180, 720),
+            Rect::new(100, 1000, 1180, 1120),
+        ]);
+        let report = oracle().analyze(&layout, window());
+        assert!(!report.is_hotspot(), "defects: {:?}", report.defects());
+    }
+
+    #[test]
+    fn ultra_narrow_line_opens() {
+        // A 20 nm line is far below the printable width of this model.
+        let layout = Layout::from_rects([Rect::new(100, 630, 1180, 650)]);
+        let report = oracle().analyze(&layout, window());
+        assert!(report.is_hotspot());
+        assert!(report
+            .defects()
+            .iter()
+            .any(|d| matches!(d, DefectKind::Open { .. })));
+    }
+
+    #[test]
+    fn tight_tip_to_tip_bridges() {
+        // Two wide wires whose tips come within 30 nm.
+        let layout = Layout::from_rects([
+            Rect::new(100, 520, 620, 760),
+            Rect::new(650, 520, 1180, 760),
+        ]);
+        let report = oracle().analyze(&layout, window());
+        assert!(report.is_hotspot(), "mismatch: {:?}", report.mismatch());
+        assert!(report
+            .defects()
+            .iter()
+            .any(|d| matches!(d, DefectKind::Bridge { .. })));
+    }
+
+    #[test]
+    fn generous_tip_to_tip_is_clean() {
+        // Same wires with a 200 nm gap.
+        let layout = Layout::from_rects([
+            Rect::new(100, 580, 540, 700),
+            Rect::new(740, 580, 1180, 700),
+        ]);
+        let report = oracle().analyze(&layout, window());
+        assert!(!report.is_hotspot(), "defects: {:?}", report.defects());
+    }
+
+    #[test]
+    fn mismatch_reported_for_all_corners() {
+        let layout = Layout::from_rects([Rect::new(200, 200, 1000, 400)]);
+        let report = oracle().analyze(&layout, window());
+        assert_eq!(report.mismatch().len(), 4);
+        for &(_, frac) in report.mismatch() {
+            assert!((0.0..=1.0).contains(&frac));
+        }
+    }
+}

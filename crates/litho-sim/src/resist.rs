@@ -1,0 +1,51 @@
+//! Constant-threshold resist model.
+
+use hotspot_geometry::BitImage;
+
+/// Develops an aerial image into printed contours: a pixel prints when
+/// its intensity reaches `threshold`.
+///
+/// # Panics
+///
+/// Panics when `intensity` does not match `w × h`.
+pub fn develop(intensity: &[f32], w: usize, h: usize, threshold: f64) -> BitImage {
+    assert_eq!(intensity.len(), w * h, "intensity plane size mismatch");
+    let mut out = BitImage::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            if intensity[y * w + x] as f64 >= threshold {
+                out.set(x, y, true);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_partitions_pixels() {
+        let intensity = vec![0.1, 0.5, 0.35, 0.9];
+        let img = develop(&intensity, 2, 2, 0.36);
+        assert!(!img.get(0, 0));
+        assert!(img.get(1, 0));
+        assert!(!img.get(0, 1));
+        assert!(img.get(1, 1));
+    }
+
+    #[test]
+    fn lower_threshold_prints_more() {
+        let intensity: Vec<f32> = (0..100).map(|i| i as f32 / 100.0).collect();
+        let strict = develop(&intensity, 10, 10, 0.8);
+        let loose = develop(&intensity, 10, 10, 0.2);
+        assert!(loose.count_ones() > strict.count_ones());
+    }
+
+    #[test]
+    fn exact_threshold_prints() {
+        let img = develop(&[0.36], 1, 1, 0.36);
+        assert!(img.get(0, 0));
+    }
+}

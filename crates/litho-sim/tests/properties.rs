@@ -1,0 +1,97 @@
+//! Property-based tests for the lithography simulator.
+
+use hotspot_geometry::{BitImage, Layout, Rect};
+use hotspot_litho_sim::{
+    aerial_image, connected_components, develop, gaussian_blur, HotspotOracle, OpticalModel,
+    ProcessCorner,
+};
+use proptest::prelude::*;
+
+fn arb_mask() -> impl Strategy<Value = BitImage> {
+    prop::collection::vec((0usize..64, 0usize..64, 1usize..20, 1usize..20), 0..8).prop_map(
+        |rects| {
+            let mut img = BitImage::new(64, 64);
+            for (x, y, w, h) in rects {
+                for yy in y..(y + h).min(64) {
+                    img.fill_row_span(yy, x, (x + w).min(64));
+                }
+            }
+            img
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Blur output stays within the input's value range (a convex
+    /// combination of inputs under renormalized borders).
+    #[test]
+    fn blur_respects_range(mask in arb_mask(), sigma in 0.5f64..5.0) {
+        let plane = mask.to_f32();
+        let out = gaussian_blur(&plane, 64, 64, sigma);
+        for &v in &out {
+            prop_assert!((-1e-5..=1.0 + 1e-5).contains(&(v as f64)));
+        }
+    }
+
+    /// Aerial intensity is monotone in the mask: adding shapes never
+    /// darkens any pixel.
+    #[test]
+    fn aerial_is_monotone_in_mask(mask in arb_mask(), x in 5usize..59, y in 5usize..59) {
+        let model = OpticalModel::default();
+        let base = aerial_image(&mask, &model, ProcessCorner::Nominal);
+        let mut bigger = mask.clone();
+        for yy in y..(y + 5).min(64) {
+            bigger.fill_row_span(yy, x, (x + 5).min(64));
+        }
+        let brighter = aerial_image(&bigger, &model, ProcessCorner::Nominal);
+        for (a, b) in base.iter().zip(&brighter) {
+            prop_assert!(b + 1e-5 >= *a, "darkened: {} -> {}", a, b);
+        }
+    }
+
+    /// Developing at a lower threshold prints a superset of pixels.
+    #[test]
+    fn develop_is_monotone_in_threshold(mask in arb_mask()) {
+        let model = OpticalModel::default();
+        let intensity = aerial_image(&mask, &model, ProcessCorner::Nominal);
+        let strict = develop(&intensity, 64, 64, 0.5);
+        let loose = develop(&intensity, 64, 64, 0.2);
+        for yy in 0..64 {
+            for xx in 0..64 {
+                if strict.get(xx, yy) {
+                    prop_assert!(loose.get(xx, yy));
+                }
+            }
+        }
+    }
+
+    /// Component labelling: label count equals the number of distinct
+    /// labels, sizes sum to the pixel count.
+    #[test]
+    fn component_sizes_sum_to_pixels(mask in arb_mask()) {
+        let cm = connected_components(&mask);
+        let total: usize = (1..=cm.count() as u32).map(|l| cm.size(l)).sum();
+        prop_assert_eq!(total as u64, mask.count_ones());
+    }
+
+    /// Oracle verdicts are deterministic and translation-covariant:
+    /// shifting a layout together with its window leaves the label
+    /// unchanged.
+    #[test]
+    fn oracle_translation_invariant(dx in 0i64..5, dy in 0i64..5) {
+        let oracle = HotspotOracle::new(OpticalModel::default());
+        // A near-threshold tip-to-tip pattern.
+        let layout = Layout::from_rects([
+            Rect::new(100, 260, 300, 380),
+            Rect::new(340, 260, 540, 380),
+        ]);
+        let window = Rect::new(0, 0, 640, 640);
+        let base = oracle.label(&layout, window);
+        let shift = hotspot_geometry::Point::new(dx * 10, dy * 10);
+        let moved = layout.translate(shift);
+        let moved_window = window.translate(shift);
+        prop_assert_eq!(oracle.label(&moved, moved_window), base);
+    }
+}

@@ -1,0 +1,289 @@
+//! Datasets and mini-batch loading with flip augmentation.
+
+use hotspot_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Random augmentation applied during training.
+///
+/// The paper (§3.4.1) uses only horizontal and vertical flips, because
+/// hotspots can sit anywhere in the clip so cropping is inappropriate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Augment {
+    /// Randomly flip left-right with probability ½.
+    pub hflip: bool,
+    /// Randomly flip top-bottom with probability ½.
+    pub vflip: bool,
+}
+
+impl Augment {
+    /// The paper's augmentation: both flips enabled.
+    pub fn flips() -> Self {
+        Augment {
+            hflip: true,
+            vflip: true,
+        }
+    }
+
+    /// No augmentation (evaluation).
+    pub fn none() -> Self {
+        Augment {
+            hflip: false,
+            vflip: false,
+        }
+    }
+}
+
+/// An in-memory image classification dataset: CHW image tensors with
+/// integer class labels (`0` = non-hotspot, `1` = hotspot).
+#[derive(Debug, Clone, Default)]
+pub struct ImageDataset {
+    images: Vec<Tensor>,
+    labels: Vec<usize>,
+}
+
+impl ImageDataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        ImageDataset::default()
+    }
+
+    /// Adds one example.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the image is not 3-D (CHW) or its shape differs from
+    /// previously added images.
+    pub fn push(&mut self, image: Tensor, label: usize) {
+        assert_eq!(image.ndim(), 3, "images must be CHW");
+        if let Some(first) = self.images.first() {
+            assert_eq!(first.shape(), image.shape(), "inconsistent image shapes");
+        }
+        self.images.push(image);
+        self.labels.push(label);
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// `true` when the dataset holds no examples.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// The images.
+    pub fn images(&self) -> &[Tensor] {
+        &self.images
+    }
+
+    /// The labels, parallel to [`images`](ImageDataset::images).
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Counts per class: `(non_hotspots, hotspots)`.
+    pub fn class_counts(&self) -> (usize, usize) {
+        let hs = self.labels.iter().filter(|&&l| l == 1).count();
+        (self.labels.len() - hs, hs)
+    }
+
+    /// The CHW shape of the images, or `None` when empty.
+    pub fn image_shape(&self) -> Option<&[usize]> {
+        self.images.first().map(|t| t.shape())
+    }
+
+    /// Splits off the last `fraction` of examples as a validation set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fraction` is outside `(0, 1)`.
+    pub fn split_validation(mut self, fraction: f64) -> (ImageDataset, ImageDataset) {
+        assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0, 1)");
+        let n_val = ((self.len() as f64) * fraction).round() as usize;
+        let n_val = n_val.clamp(1, self.len().saturating_sub(1).max(1));
+        let split = self.len() - n_val;
+        let val_images = self.images.split_off(split);
+        let val_labels = self.labels.split_off(split);
+        (
+            self,
+            ImageDataset {
+                images: val_images,
+                labels: val_labels,
+            },
+        )
+    }
+}
+
+/// Flips a CHW tensor along the width axis.
+pub fn flip_chw_horizontal(t: &Tensor) -> Tensor {
+    let (c, h, w) = (t.shape()[0], t.shape()[1], t.shape()[2]);
+    let mut out = Tensor::zeros(t.shape());
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                *out.at_mut(&[ci, y, w - 1 - x]) = t.at(&[ci, y, x]);
+            }
+        }
+    }
+    out
+}
+
+/// Flips a CHW tensor along the height axis.
+pub fn flip_chw_vertical(t: &Tensor) -> Tensor {
+    let (c, h, w) = (t.shape()[0], t.shape()[1], t.shape()[2]);
+    let mut out = Tensor::zeros(t.shape());
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                *out.at_mut(&[ci, h - 1 - y, x]) = t.at(&[ci, y, x]);
+            }
+        }
+    }
+    out
+}
+
+/// Draws shuffled mini-batches from an [`ImageDataset`].
+///
+/// # Example
+///
+/// ```
+/// use hotspot_nn::{Augment, Batcher, ImageDataset};
+/// use hotspot_tensor::Tensor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut ds = ImageDataset::new();
+/// for i in 0..10 {
+///     ds.push(Tensor::full(&[1, 2, 2], i as f32), i % 2);
+/// }
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let batches: Vec<_> = Batcher::new(&ds, 4, Augment::none()).batches(&mut rng);
+/// assert_eq!(batches.len(), 3); // 4 + 4 + 2
+/// assert_eq!(batches[0].0.shape(), &[4, 1, 2, 2]);
+/// ```
+#[derive(Debug)]
+pub struct Batcher<'a> {
+    dataset: &'a ImageDataset,
+    batch_size: usize,
+    augment: Augment,
+}
+
+impl<'a> Batcher<'a> {
+    /// Creates a batcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch_size` is zero.
+    pub fn new(dataset: &'a ImageDataset, batch_size: usize, augment: Augment) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Batcher {
+            dataset,
+            batch_size,
+            augment,
+        }
+    }
+
+    /// Produces one epoch of shuffled, augmented mini-batches.
+    pub fn batches<R: Rng>(&self, rng: &mut R) -> Vec<(Tensor, Vec<usize>)> {
+        let mut order: Vec<usize> = (0..self.dataset.len()).collect();
+        order.shuffle(rng);
+        let mut out = Vec::new();
+        for chunk in order.chunks(self.batch_size) {
+            let mut items = Vec::with_capacity(chunk.len());
+            let mut labels = Vec::with_capacity(chunk.len());
+            for &i in chunk {
+                let mut img = self.dataset.images()[i].clone();
+                if self.augment.hflip && rng.gen_bool(0.5) {
+                    img = flip_chw_horizontal(&img);
+                }
+                if self.augment.vflip && rng.gen_bool(0.5) {
+                    img = flip_chw_vertical(&img);
+                }
+                items.push(img);
+                labels.push(self.dataset.labels()[i]);
+            }
+            out.push((Tensor::stack(&items), labels));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_dataset(n: usize) -> ImageDataset {
+        let mut ds = ImageDataset::new();
+        for i in 0..n {
+            ds.push(Tensor::full(&[1, 2, 2], i as f32), i % 2);
+        }
+        ds
+    }
+
+    #[test]
+    fn push_and_counts() {
+        let ds = tiny_dataset(7);
+        assert_eq!(ds.len(), 7);
+        assert_eq!(ds.class_counts(), (4, 3));
+        assert_eq!(ds.image_shape(), Some(&[1usize, 2, 2][..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent image shapes")]
+    fn shape_mismatch_rejected() {
+        let mut ds = tiny_dataset(1);
+        ds.push(Tensor::zeros(&[1, 3, 3]), 0);
+    }
+
+    #[test]
+    fn split_validation_partitions() {
+        let ds = tiny_dataset(10);
+        let (train, val) = ds.split_validation(0.2);
+        assert_eq!(train.len(), 8);
+        assert_eq!(val.len(), 2);
+    }
+
+    #[test]
+    fn batches_cover_every_example_once() {
+        let ds = tiny_dataset(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let batches = Batcher::new(&ds, 3, Augment::none()).batches(&mut rng);
+        assert_eq!(batches.len(), 4); // 3+3+3+1
+        let mut seen: Vec<f32> = batches
+            .iter()
+            .flat_map(|(t, _)| {
+                (0..t.shape()[0]).map(|i| t.batch_item(i)[0]).collect::<Vec<_>>()
+            })
+            .collect();
+        seen.sort_by(f32::total_cmp);
+        assert_eq!(seen, (0..10).map(|v| v as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn augmentation_preserves_pixel_multiset() {
+        let mut ds = ImageDataset::new();
+        let img = Tensor::from_vec(&[1, 2, 2], vec![1., 2., 3., 4.]);
+        ds.push(img, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let batches = Batcher::new(&ds, 1, Augment::flips()).batches(&mut rng);
+            let mut pixels = batches[0].0.as_slice().to_vec();
+            pixels.sort_by(f32::total_cmp);
+            assert_eq!(pixels, vec![1., 2., 3., 4.]);
+        }
+    }
+
+    #[test]
+    fn flip_helpers() {
+        let t = Tensor::from_vec(&[1, 2, 2], vec![1., 2., 3., 4.]);
+        assert_eq!(flip_chw_horizontal(&t).as_slice(), &[2., 1., 4., 3.]);
+        assert_eq!(flip_chw_vertical(&t).as_slice(), &[3., 4., 1., 2.]);
+        assert_eq!(
+            flip_chw_horizontal(&flip_chw_horizontal(&t)).as_slice(),
+            t.as_slice()
+        );
+    }
+}

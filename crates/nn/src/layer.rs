@@ -1,0 +1,170 @@
+//! The layer abstraction and sequential container.
+
+use crate::param::Param;
+use hotspot_tensor::Tensor;
+
+/// A differentiable network layer.
+///
+/// Layers cache whatever they need during [`forward`](Layer::forward)
+/// and consume that cache in [`backward`](Layer::backward), which
+/// accumulates parameter gradients internally and returns the gradient
+/// with respect to the layer input.
+///
+/// The contract is strictly call-paired: each `backward` must follow a
+/// `forward` with the same batch.
+pub trait Layer: Send {
+    /// Computes the layer output.  `training` switches batch-norm
+    /// statistics and any stochastic behaviour.
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor;
+
+    /// Propagates `grad_out` (gradient w.r.t. the forward output) back
+    /// through the layer, accumulating parameter gradients and returning
+    /// the gradient w.r.t. the forward input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when called without a preceding
+    /// [`forward`](Layer::forward).
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits every trainable parameter in a stable order.
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// A short human-readable description, e.g. `"conv3x3(16→32)"`.
+    fn describe(&self) -> String;
+
+    /// Total number of trainable scalars.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.for_each_param(&mut |p| n += p.numel());
+        n
+    }
+
+    /// Clears all accumulated gradients.
+    fn zero_grads(&mut self) {
+        self.for_each_param(&mut |p| p.zero_grad());
+    }
+}
+
+/// A container running layers in order.
+///
+/// # Example
+///
+/// ```
+/// use hotspot_nn::{Layer, Relu, Sequential};
+/// use hotspot_tensor::Tensor;
+///
+/// let mut net = Sequential::new(vec![Box::new(Relu::new()), Box::new(Relu::new())]);
+/// let y = net.forward(&Tensor::from_vec(&[1, 2], vec![-1.0, 2.0]), false);
+/// assert_eq!(y.as_slice(), &[0.0, 2.0]);
+/// ```
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates a sequential network from layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// The contained layers.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` when the container holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, training);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.for_each_param(f);
+        }
+    }
+
+    fn describe(&self) -> String {
+        let inner: Vec<String> = self.layers.iter().map(|l| l.describe()).collect();
+        format!("Sequential[{}]", inner.join(" → "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sequential_chains_forward_backward() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Sequential::new(vec![
+            Box::new(Dense::new(3, 4, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(4, 2, &mut rng)),
+        ]);
+        assert_eq!(net.len(), 3);
+        let x = Tensor::ones(&[2, 3]);
+        let y = net.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 2]);
+        let gx = net.backward(&Tensor::ones(&[2, 2]));
+        assert_eq!(gx.shape(), &[2, 3]);
+        // Params: two dense layers with weight+bias.
+        let mut count = 0;
+        net.for_each_param(&mut |_| count += 1);
+        assert_eq!(count, 4);
+        assert_eq!(net.param_count(), 3 * 4 + 4 + 4 * 2 + 2);
+    }
+
+    #[test]
+    fn zero_grads_clears_everything() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = Sequential::new(vec![Box::new(Dense::new(2, 2, &mut rng))]);
+        let x = Tensor::ones(&[1, 2]);
+        let _ = net.forward(&x, true);
+        let _ = net.backward(&Tensor::ones(&[1, 2]));
+        let mut total = 0.0;
+        net.for_each_param(&mut |p| total += p.grad.l1_norm());
+        assert!(total > 0.0);
+        net.zero_grads();
+        let mut total = 0.0;
+        net.for_each_param(&mut |p| total += p.grad.l1_norm());
+        assert_eq!(total, 0.0);
+    }
+
+    #[test]
+    fn describe_mentions_layers() {
+        let net = Sequential::new(vec![Box::new(Relu::new())]);
+        assert!(net.describe().contains("relu"));
+    }
+}

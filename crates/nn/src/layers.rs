@@ -1,0 +1,773 @@
+//! The standard layer zoo.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use hotspot_tensor::{
+    avg_pool2d, avg_pool2d_backward, conv2d, conv2d_backward, global_avg_pool,
+    global_avg_pool_backward, matmul, max_pool2d, max_pool2d_backward, xavier_uniform, Tensor,
+};
+use rand::Rng;
+
+/// A full-precision 2-D convolution layer (Xavier-initialised).
+///
+/// Weight shape `[out_channels, in_channels, k, k]`; square kernels and
+/// symmetric padding only, which covers every architecture in the paper.
+pub struct Conv2d {
+    weight: Param,
+    bias: Option<Param>,
+    stride: usize,
+    pad: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with a square `k × k` kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any dimension is zero.
+    pub fn new<R: Rng>(
+        in_channels: usize,
+        out_channels: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        bias: bool,
+        rng: &mut R,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0 && k > 0 && stride > 0);
+        let mut w = Tensor::zeros(&[out_channels, in_channels, k, k]);
+        xavier_uniform(&mut w, rng);
+        Conv2d {
+            weight: Param::new(w),
+            bias: bias.then(|| Param::new(Tensor::zeros(&[out_channels]))),
+            stride,
+            pad,
+            cached_input: None,
+        }
+    }
+
+    /// The weight parameter (for inspection in tests and benches).
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        self.cached_input = Some(input.clone());
+        conv2d(
+            input,
+            &self.weight.value,
+            self.bias.as_ref().map(|b| &b.value),
+            self.stride,
+            self.pad,
+        )
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("Conv2d::backward called before forward");
+        let grads = conv2d_backward(
+            &input,
+            &self.weight.value,
+            grad_out,
+            self.stride,
+            self.pad,
+            self.bias.is_some(),
+        );
+        self.weight.grad += &grads.weight;
+        if let (Some(b), Some(gb)) = (self.bias.as_mut(), grads.bias) {
+            b.grad += &gb;
+        }
+        grads.input
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = self.bias.as_mut() {
+            f(b);
+        }
+    }
+
+    fn describe(&self) -> String {
+        let s = self.weight.value.shape();
+        format!("conv{}x{}({}→{})/s{}", s[2], s[3], s[1], s[0], self.stride)
+    }
+}
+
+/// A fully connected layer: `y = x·Wᵀ + b`.
+pub struct Dense {
+    weight: Param, // [out, in]
+    bias: Param,   // [out]
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Xavier-initialised weights and zero
+    /// bias.
+    pub fn new<R: Rng>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
+        assert!(in_features > 0 && out_features > 0);
+        let mut w = Tensor::zeros(&[out_features, in_features]);
+        xavier_uniform(&mut w, rng);
+        Dense {
+            weight: Param::new(w),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            cached_input: None,
+        }
+    }
+
+    /// The weight parameter (`[out, in]`).
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// The bias parameter (`[out]`).
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+}
+
+fn transpose2(t: &Tensor) -> Tensor {
+    let (r, c) = (t.shape()[0], t.shape()[1]);
+    let mut out = vec![0.0f32; r * c];
+    let data = t.as_slice();
+    for i in 0..r {
+        for j in 0..c {
+            out[j * r + i] = data[i * c + j];
+        }
+    }
+    Tensor::from_vec(&[c, r], out)
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        assert_eq!(input.ndim(), 2, "Dense expects [batch, features]");
+        self.cached_input = Some(input.clone());
+        let wt = transpose2(&self.weight.value);
+        let mut y = matmul(input, &wt);
+        let out = self.bias.value.numel();
+        for row in y.as_mut_slice().chunks_mut(out) {
+            for (v, b) in row.iter_mut().zip(self.bias.value.as_slice()) {
+                *v += b;
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("Dense::backward called before forward");
+        // dW = gᵀ · x, db = Σ g, dx = g · W.
+        let gt = transpose2(grad_out);
+        self.weight.grad += &matmul(&gt, &input);
+        let out = self.bias.value.numel();
+        for row in grad_out.as_slice().chunks(out) {
+            for (b, &g) in self.bias.grad.as_mut_slice().iter_mut().zip(row) {
+                *b += g;
+            }
+        }
+        matmul(grad_out, &self.weight.value)
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn describe(&self) -> String {
+        let s = self.weight.value.shape();
+        format!("dense({}→{})", s[1], s[0])
+    }
+}
+
+/// Batch normalization over the channel axis of NCHW tensors
+/// (Ioffe & Szegedy 2015) — the first stage of every BNN block in the
+/// paper's Figure 3.
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    // Backward cache.
+    cached: Option<BnCache>,
+}
+
+struct BnCache {
+    xhat: Tensor,
+    inv_std: Vec<f32>,
+    input_shape: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0);
+        BatchNorm2d {
+            gamma: Param::new(Tensor::ones(&[channels])),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.9,
+            eps: 1e-5,
+            cached: None,
+        }
+    }
+
+    /// The learned per-channel scale γ.
+    pub fn gamma(&self) -> &Param {
+        &self.gamma
+    }
+
+    /// The learned per-channel shift β.
+    pub fn beta(&self) -> &Param {
+        &self.beta
+    }
+
+    /// The numerical-stability epsilon added to the variance.
+    pub fn epsilon(&self) -> f32 {
+        self.eps
+    }
+
+    /// The running (inference-time) mean per channel.
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// The running (inference-time) variance per channel.
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        assert_eq!(input.ndim(), 4, "BatchNorm2d expects NCHW");
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        assert_eq!(c, self.gamma.value.numel(), "channel count mismatch");
+        let m = (n * h * w) as f32;
+        let plane = h * w;
+        let data = input.as_slice();
+
+        #[allow(clippy::needless_range_loop)] // per-channel numeric loops read clearer indexed
+        let (mean, var): (Vec<f32>, Vec<f32>) = if training {
+            let mut mean = vec![0.0f32; c];
+            let mut var = vec![0.0f32; c];
+            for ci in 0..c {
+                let mut acc = 0.0;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * plane;
+                    acc += data[base..base + plane].iter().sum::<f32>();
+                }
+                mean[ci] = acc / m;
+            }
+            for ci in 0..c {
+                let mu = mean[ci];
+                let mut acc = 0.0;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * plane;
+                    acc += data[base..base + plane]
+                        .iter()
+                        .map(|&v| (v - mu) * (v - mu))
+                        .sum::<f32>();
+                }
+                var[ci] = acc / m;
+            }
+            for ci in 0..c {
+                self.running_mean[ci] =
+                    self.momentum * self.running_mean[ci] + (1.0 - self.momentum) * mean[ci];
+                self.running_var[ci] =
+                    self.momentum * self.running_var[ci] + (1.0 - self.momentum) * var[ci];
+            }
+            (mean, var)
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut xhat = Tensor::zeros(input.shape());
+        let mut out = Tensor::zeros(input.shape());
+        {
+            let xh = xhat.as_mut_slice();
+            let o = out.as_mut_slice();
+            for ni in 0..n {
+                for ci in 0..c {
+                    let base = (ni * c + ci) * plane;
+                    let (mu, is) = (mean[ci], inv_std[ci]);
+                    let (g, b) = (self.gamma.value.as_slice()[ci], self.beta.value.as_slice()[ci]);
+                    for i in base..base + plane {
+                        let v = (data[i] - mu) * is;
+                        xh[i] = v;
+                        o[i] = g * v + b;
+                    }
+                }
+            }
+        }
+        if training {
+            self.cached = Some(BnCache {
+                xhat,
+                inv_std,
+                input_shape: input.shape().to_vec(),
+            });
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cached
+            .take()
+            .expect("BatchNorm2d::backward called before a training forward");
+        let shape = &cache.input_shape;
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let plane = h * w;
+        let m = (n * h * w) as f32;
+        let g = grad_out.as_slice();
+        let xh = cache.xhat.as_slice();
+
+        let mut dgamma = vec![0.0f32; c];
+        let mut dbeta = vec![0.0f32; c];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * plane;
+                for i in base..base + plane {
+                    dgamma[ci] += g[i] * xh[i];
+                    dbeta[ci] += g[i];
+                }
+            }
+        }
+        for ci in 0..c {
+            self.gamma.grad.as_mut_slice()[ci] += dgamma[ci];
+            self.beta.grad.as_mut_slice()[ci] += dbeta[ci];
+        }
+
+        let mut grad_in = Tensor::zeros(shape);
+        let gi = grad_in.as_mut_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * plane;
+                let scale = self.gamma.value.as_slice()[ci] * cache.inv_std[ci];
+                let mg = dbeta[ci] / m;
+                let mgx = dgamma[ci] / m;
+                for i in base..base + plane {
+                    gi[i] = scale * (g[i] - mg - xh[i] * mgx);
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn describe(&self) -> String {
+        format!("bn({})", self.gamma.value.numel())
+    }
+}
+
+/// Rectified linear unit.
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Default for Relu {
+    fn default() -> Self {
+        Relu::new()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        let mask: Vec<bool> = input.as_slice().iter().map(|&v| v > 0.0).collect();
+        let out = input.map(|v| v.max(0.0));
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.take().expect("Relu::backward before forward");
+        let mut g = grad_out.clone();
+        for (v, keep) in g.as_mut_slice().iter_mut().zip(mask) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+
+    fn for_each_param(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn describe(&self) -> String {
+        "relu".into()
+    }
+}
+
+/// Square-window max pooling.
+pub struct MaxPool2d {
+    window: usize,
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (input shape, argmax)
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with a `window × window` kernel and
+    /// equal stride.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0);
+        MaxPool2d { window, cache: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        let (out, argmax) = max_pool2d(input, self.window);
+        self.cache = Some((input.shape().to_vec(), argmax));
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (shape, argmax) = self.cache.take().expect("MaxPool2d::backward before forward");
+        max_pool2d_backward(&shape, grad_out, &argmax)
+    }
+
+    fn for_each_param(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn describe(&self) -> String {
+        format!("maxpool{}", self.window)
+    }
+}
+
+/// Square-window average pooling.
+pub struct AvgPool2d {
+    window: usize,
+    input_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer with a `window × window` kernel and
+    /// equal stride.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0);
+        AvgPool2d {
+            window,
+            input_shape: None,
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        self.input_shape = Some(input.shape().to_vec());
+        avg_pool2d(input, self.window)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self
+            .input_shape
+            .take()
+            .expect("AvgPool2d::backward before forward");
+        avg_pool2d_backward(&shape, grad_out, self.window)
+    }
+
+    fn for_each_param(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn describe(&self) -> String {
+        format!("avgpool{}", self.window)
+    }
+}
+
+/// Global average pooling: `[n, c, h, w]` → `[n, c]`.
+pub struct GlobalAvgPool {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average-pool layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { input_shape: None }
+    }
+}
+
+impl Default for GlobalAvgPool {
+    fn default() -> Self {
+        GlobalAvgPool::new()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        self.input_shape = Some(input.shape().to_vec());
+        global_avg_pool(input)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self
+            .input_shape
+            .take()
+            .expect("GlobalAvgPool::backward before forward");
+        global_avg_pool_backward(&shape, grad_out)
+    }
+
+    fn for_each_param(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn describe(&self) -> String {
+        "gap".into()
+    }
+}
+
+/// Flattens `[n, ...]` to `[n, features]`.
+pub struct Flatten {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { input_shape: None }
+    }
+}
+
+impl Default for Flatten {
+    fn default() -> Self {
+        Flatten::new()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        self.input_shape = Some(input.shape().to_vec());
+        let n = input.shape()[0];
+        let rest: usize = input.shape()[1..].iter().product();
+        input.clone().reshape(&[n, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self
+            .input_shape
+            .take()
+            .expect("Flatten::backward before forward");
+        grad_out.clone().reshape(&shape)
+    }
+
+    fn for_each_param(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn describe(&self) -> String {
+        "flatten".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pseudo(shape: &[usize], seed: u32) -> Tensor {
+        let numel: usize = shape.iter().product();
+        let mut state = seed;
+        Tensor::from_vec(
+            shape,
+            (0..numel)
+                .map(|_| {
+                    state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                    (state >> 16) as f32 / 65536.0 - 0.5
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn conv_layer_shapes_and_grads() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut conv = Conv2d::new(2, 4, 3, 1, 1, true, &mut rng);
+        let x = pseudo(&[2, 2, 6, 6], 5);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 4, 6, 6]);
+        let gx = conv.backward(&Tensor::ones(y.shape()));
+        assert_eq!(gx.shape(), x.shape());
+        assert!(conv.weight().grad.l1_norm() > 0.0);
+        assert_eq!(conv.param_count(), 4 * 2 * 9 + 4);
+        assert_eq!(conv.describe(), "conv3x3(2→4)/s1");
+    }
+
+    #[test]
+    fn dense_forward_matches_manual() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut d = Dense::new(2, 2, &mut rng);
+        // Overwrite weights for a deterministic check.
+        d.weight.value = Tensor::from_vec(&[2, 2], vec![1., 2., 3., 4.]);
+        d.bias.value = Tensor::from_vec(&[2], vec![0.5, -0.5]);
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, -1.0]);
+        let y = d.forward(&x, true);
+        // y0 = 1*1 + 2*(-1) + 0.5 = -0.5 ; y1 = 3*1 + 4*(-1) - 0.5 = -1.5
+        assert_eq!(y.as_slice(), &[-0.5, -1.5]);
+        let gx = d.backward(&Tensor::from_vec(&[1, 2], vec![1.0, 1.0]));
+        // dx = g·W = [1+3, 2+4]
+        assert_eq!(gx.as_slice(), &[4.0, 6.0]);
+        assert_eq!(d.bias.grad.as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn dense_gradient_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut d = Dense::new(3, 2, &mut rng);
+        let x = pseudo(&[4, 3], 9);
+        let y = d.forward(&x, true);
+        let _ = d.backward(&Tensor::ones(y.shape()));
+        let eps = 1e-3;
+        for idx in 0..6 {
+            let analytic = d.weight.grad.as_slice()[idx];
+            let mut dp = d.weight.value.clone();
+            dp.as_mut_slice()[idx] += eps;
+            let mut dm = d.weight.value.clone();
+            dm.as_mut_slice()[idx] -= eps;
+            let orig = std::mem::replace(&mut d.weight.value, dp);
+            let fp = d.forward(&x, true).sum();
+            d.weight.value = dm;
+            let fm = d.forward(&x, true).sum();
+            d.weight.value = orig;
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "weight[{idx}]: {numeric} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn batchnorm_normalizes_in_training() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = pseudo(&[4, 2, 3, 3], 17);
+        let y = bn.forward(&x, true);
+        // Per-channel mean ≈ 0, var ≈ 1 (gamma=1, beta=0 initially).
+        for ci in 0..2 {
+            let mut vals = Vec::new();
+            for ni in 0..4 {
+                for hi in 0..3 {
+                    for wi in 0..3 {
+                        vals.push(y.at(&[ni, ci, hi, wi]));
+                    }
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::full(&[2, 1, 2, 2], 4.0);
+        // Train repeatedly so running stats converge toward (4, 0).
+        for _ in 0..200 {
+            let _ = bn.forward(&x, true);
+        }
+        assert!((bn.running_mean()[0] - 4.0).abs() < 0.1);
+        let y = bn.forward(&x, false);
+        // With mean≈4 and var≈0 the eval output should be ≈0.
+        assert!(y.l1_norm() < 1.0, "eval output {y}");
+    }
+
+    #[test]
+    fn batchnorm_backward_finite_difference() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = pseudo(&[2, 2, 3, 3], 23);
+        // Random-ish gamma/beta to avoid the trivial case.
+        bn.gamma.value = Tensor::from_vec(&[2], vec![1.3, 0.7]);
+        bn.beta.value = Tensor::from_vec(&[2], vec![0.2, -0.1]);
+        // Loss = weighted sum with pseudo weights.
+        let wts = pseudo(&[2, 2, 3, 3], 29);
+        let y = bn.forward(&x, true);
+        let _ = y;
+        let gx = bn.backward(&wts);
+        let eps = 1e-2;
+        for &idx in &[0usize, 5, 11, 17, 23, 31] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fp: f32 = bn
+                .forward(&xp, true)
+                .as_slice()
+                .iter()
+                .zip(wts.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let fm: f32 = bn
+                .forward(&xm, true)
+                .as_slice()
+                .iter()
+                .zip(wts.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            let analytic = gx.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "x[{idx}]: {numeric} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn relu_masks_gradient() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(&[1, 4], vec![-1.0, 2.0, 0.0, 3.0]);
+        let y = r.forward(&x, true);
+        assert_eq!(y.as_slice(), &[0.0, 2.0, 0.0, 3.0]);
+        let g = r.backward(&Tensor::ones(&[1, 4]));
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn flatten_round_trips() {
+        let mut f = Flatten::new();
+        let x = pseudo(&[2, 3, 4, 4], 31);
+        let y = f.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 48]);
+        let g = f.backward(&y);
+        assert_eq!(g.shape(), x.shape());
+        assert_eq!(g.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn pooling_layers_pair_with_backward() {
+        let x = pseudo(&[1, 2, 4, 4], 37);
+        let mut mp = MaxPool2d::new(2);
+        let y = mp.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 2, 2, 2]);
+        assert_eq!(mp.backward(&Tensor::ones(y.shape())).shape(), x.shape());
+
+        let mut ap = AvgPool2d::new(2);
+        let y = ap.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 2, 2, 2]);
+        assert_eq!(ap.backward(&Tensor::ones(y.shape())).shape(), x.shape());
+
+        let mut gp = GlobalAvgPool::new();
+        let y = gp.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(gp.backward(&Tensor::ones(y.shape())).shape(), x.shape());
+    }
+}

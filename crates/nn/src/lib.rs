@@ -1,0 +1,53 @@
+//! A from-scratch neural-network framework for hotspot detection.
+//!
+//! This crate layers a training framework over [`hotspot-tensor`]: a
+//! [`Layer`] trait with explicit forward/backward passes, the standard
+//! layer zoo (convolution, dense, batch-norm, ReLU, pooling), softmax
+//! cross-entropy with *biased* soft labels (the DAC'17/DAC'19
+//! biased-learning trick), SGD/Adam/NAdam optimizers, plateau learning-
+//! rate decay, and a mini-batch data loader with the paper's
+//! horizontal/vertical flip augmentation.
+//!
+//! The binarized layers of the DAC'19 paper live in [`hotspot-bnn`] and
+//! plug into the same [`Layer`] trait.
+//!
+//! # Example
+//!
+//! ```
+//! use hotspot_nn::{Dense, Layer, Relu, Sequential, SoftmaxCrossEntropy};
+//! use hotspot_tensor::Tensor;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut net = Sequential::new(vec![
+//!     Box::new(Dense::new(4, 8, &mut rng)),
+//!     Box::new(Relu::new()),
+//!     Box::new(Dense::new(8, 2, &mut rng)),
+//! ]);
+//! let x = Tensor::ones(&[3, 4]);
+//! let logits = net.forward(&x, true);
+//! assert_eq!(logits.shape(), &[3, 2]);
+//! let loss = SoftmaxCrossEntropy::new();
+//! # let _ = loss;
+//! ```
+//!
+//! [`hotspot-tensor`]: ../hotspot_tensor/index.html
+//! [`hotspot-bnn`]: ../hotspot_bnn/index.html
+
+pub mod data;
+pub mod layer;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod optim;
+pub mod param;
+pub mod schedule;
+
+pub use data::{Augment, Batcher, ImageDataset};
+pub use layer::{Layer, Sequential};
+pub use layers::{AvgPool2d, BatchNorm2d, Conv2d, Dense, Flatten, GlobalAvgPool, MaxPool2d, Relu};
+pub use loss::{BiasedLabels, SoftmaxCrossEntropy};
+pub use metrics::{accuracy, argmax_row};
+pub use optim::{Adam, NAdam, Optimizer, Sgd};
+pub use param::Param;
+pub use schedule::PlateauDecay;

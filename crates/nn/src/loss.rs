@@ -1,0 +1,214 @@
+//! Softmax cross-entropy with (optionally biased) soft labels.
+
+use hotspot_tensor::Tensor;
+
+/// The biased-label scheme of DAC'17 §biased learning, adopted by the
+/// DAC'19 paper (§3.4.3): hotspots keep the hard label `[0, 1]` while
+/// non-hotspots are softened to `[1−ε, ε]`, trading false alarms for
+/// detection accuracy during fine-tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiasedLabels {
+    /// The bias term ε in `[0, 0.5)`; `0` reproduces hard labels.
+    pub epsilon: f32,
+}
+
+impl BiasedLabels {
+    /// Creates a biased-label scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `epsilon` is outside `[0, 0.5)`.
+    pub fn new(epsilon: f32) -> Self {
+        assert!((0.0..0.5).contains(&epsilon), "epsilon must be in [0, 0.5), got {epsilon}");
+        BiasedLabels { epsilon }
+    }
+
+    /// The soft target distribution for a class label
+    /// (`0` = non-hotspot, `1` = hotspot).
+    pub fn target(&self, class: usize) -> [f32; 2] {
+        match class {
+            0 => [1.0 - self.epsilon, self.epsilon],
+            1 => [0.0, 1.0],
+            c => panic!("binary classification: class {c} out of range"),
+        }
+    }
+}
+
+impl Default for BiasedLabels {
+    /// Hard labels (ε = 0).
+    fn default() -> Self {
+        BiasedLabels { epsilon: 0.0 }
+    }
+}
+
+/// Softmax cross-entropy loss over two classes with soft targets.
+///
+/// # Example
+///
+/// ```
+/// use hotspot_nn::SoftmaxCrossEntropy;
+/// use hotspot_tensor::Tensor;
+///
+/// let loss = SoftmaxCrossEntropy::new();
+/// let logits = Tensor::from_vec(&[1, 2], vec![0.0, 10.0]);
+/// let (value, grad) = loss.forward(&logits, &[1]);
+/// assert!(value < 0.01); // confidently correct
+/// assert_eq!(grad.shape(), &[1, 2]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoftmaxCrossEntropy {
+    labels: BiasedLabels,
+}
+
+impl SoftmaxCrossEntropy {
+    /// Hard-label cross entropy.
+    pub fn new() -> Self {
+        SoftmaxCrossEntropy {
+            labels: BiasedLabels::default(),
+        }
+    }
+
+    /// Cross entropy against biased soft labels.
+    pub fn with_bias(labels: BiasedLabels) -> Self {
+        SoftmaxCrossEntropy { labels }
+    }
+
+    /// Computes the mean loss over the batch and the gradient with
+    /// respect to the logits.
+    ///
+    /// `logits` is `[n, 2]`; `classes` holds the integer label of each
+    /// row (`0` = non-hotspot, `1` = hotspot).
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes disagree or a class is out of range.
+    pub fn forward(&self, logits: &Tensor, classes: &[usize]) -> (f32, Tensor) {
+        assert_eq!(logits.ndim(), 2, "logits must be [n, 2]");
+        assert_eq!(logits.shape()[1], 2, "binary classification expects 2 logits");
+        let n = logits.shape()[0];
+        assert_eq!(classes.len(), n, "one class per row");
+
+        let mut grad = Tensor::zeros(logits.shape());
+        let mut total = 0.0f64;
+        let inv_n = 1.0 / n as f32;
+        #[allow(clippy::needless_range_loop)] // i indexes logits, grad and classes in lockstep
+        for i in 0..n {
+            let row = &logits.as_slice()[i * 2..(i + 1) * 2];
+            let target = self.labels.target(classes[i]);
+            // Stable softmax.
+            let m = row[0].max(row[1]);
+            let e0 = (row[0] - m).exp();
+            let e1 = (row[1] - m).exp();
+            let z = e0 + e1;
+            let p = [e0 / z, e1 / z];
+            let log_p = [(row[0] - m) - z.ln(), (row[1] - m) - z.ln()];
+            total += -(target[0] as f64 * log_p[0] as f64 + target[1] as f64 * log_p[1] as f64);
+            grad.as_mut_slice()[i * 2] = (p[0] - target[0]) * inv_n;
+            grad.as_mut_slice()[i * 2 + 1] = (p[1] - target[1]) * inv_n;
+        }
+        ((total / n as f64) as f32, grad)
+    }
+
+    /// Softmax probabilities for each row of `logits` (`[n, 2]` → per-row
+    /// `[p_nonhotspot, p_hotspot]`).
+    pub fn probabilities(logits: &Tensor) -> Vec<[f32; 2]> {
+        assert_eq!(logits.shape()[1], 2);
+        logits
+            .as_slice()
+            .chunks(2)
+            .map(|row| {
+                let m = row[0].max(row[1]);
+                let e0 = (row[0] - m).exp();
+                let e1 = (row[1] - m).exp();
+                let z = e0 + e1;
+                [e0 / z, e1 / z]
+            })
+            .collect()
+    }
+}
+
+impl Default for SoftmaxCrossEntropy {
+    fn default() -> Self {
+        SoftmaxCrossEntropy::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn biased_label_targets() {
+        let b = BiasedLabels::new(0.2);
+        assert_eq!(b.target(0), [0.8, 0.2]);
+        assert_eq!(b.target(1), [0.0, 1.0]);
+        let hard = BiasedLabels::default();
+        assert_eq!(hard.target(0), [1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in")]
+    fn epsilon_validated() {
+        BiasedLabels::new(0.6);
+    }
+
+    #[test]
+    fn loss_is_low_when_confidently_right() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(&[2, 2], vec![8.0, -8.0, -8.0, 8.0]);
+        let (v, _) = loss.forward(&logits, &[0, 1]);
+        assert!(v < 1e-3, "loss {v}");
+    }
+
+    #[test]
+    fn loss_is_high_when_confidently_wrong() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(&[1, 2], vec![8.0, -8.0]);
+        let (v, _) = loss.forward(&logits, &[1]);
+        assert!(v > 10.0, "loss {v}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let loss = SoftmaxCrossEntropy::with_bias(BiasedLabels::new(0.2));
+        let logits = Tensor::from_vec(&[2, 2], vec![0.3, -0.7, 1.2, 0.4]);
+        let classes = [0usize, 1];
+        let (_, grad) = loss.forward(&logits, &classes);
+        let eps = 1e-3;
+        for idx in 0..4 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[idx] -= eps;
+            let (fp, _) = loss.forward(&lp, &classes);
+            let (fm, _) = loss.forward(&lm, &classes);
+            let numeric = (fp - fm) / (2.0 * eps);
+            let analytic = grad.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-3,
+                "logit[{idx}]: {numeric} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let logits = Tensor::from_vec(&[3, 2], vec![0.0, 0.0, 5.0, -5.0, 100.0, 90.0]);
+        for p in SoftmaxCrossEntropy::probabilities(&logits) {
+            assert!((p[0] + p[1] - 1.0).abs() < 1e-6);
+            assert!(p[0] >= 0.0 && p[1] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn bias_pulls_gradient_toward_hotspot() {
+        // With epsilon > 0 a non-hotspot's gradient pushes some mass
+        // toward the hotspot logit compared to hard labels.
+        let logits = Tensor::from_vec(&[1, 2], vec![0.0, 0.0]);
+        let (_, g_hard) = SoftmaxCrossEntropy::new().forward(&logits, &[0]);
+        let (_, g_bias) =
+            SoftmaxCrossEntropy::with_bias(BiasedLabels::new(0.2)).forward(&logits, &[0]);
+        // Gradient on the hotspot logit is less positive under bias.
+        assert!(g_bias.as_slice()[1] < g_hard.as_slice()[1]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Basic classification metrics.
+//!
+//! The domain-specific hotspot metrics (accuracy Eq. 1, false alarms
+//! Eq. 2, ODST Eq. 3) live in `hotspot-core`; this module provides the
+//! generic pieces the training loop needs.
+
+use hotspot_tensor::Tensor;
+
+/// Index of the largest logit in row `i` of a `[n, k]` tensor.
+///
+/// # Panics
+///
+/// Panics when `logits` is not 2-D or `i` is out of range.
+pub fn argmax_row(logits: &Tensor, i: usize) -> usize {
+    assert_eq!(logits.ndim(), 2, "expected [n, k] logits");
+    let k = logits.shape()[1];
+    let row = &logits.as_slice()[i * k..(i + 1) * k];
+    row.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(j, _)| j)
+        .expect("logit rows are non-empty")
+}
+
+/// Fraction of rows whose argmax matches the label.
+///
+/// # Panics
+///
+/// Panics when lengths disagree or `labels` is empty.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    assert!(!labels.is_empty(), "cannot compute accuracy of zero examples");
+    assert_eq!(logits.shape()[0], labels.len(), "one label per row");
+    let correct = labels
+        .iter()
+        .enumerate()
+        .filter(|(i, &l)| argmax_row(logits, *i) == l)
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_picks_largest() {
+        let t = Tensor::from_vec(&[2, 3], vec![0.1, 0.9, 0.5, 3.0, -1.0, 2.0]);
+        assert_eq!(argmax_row(&t, 0), 1);
+        assert_eq!(argmax_row(&t, 1), 0);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let t = Tensor::from_vec(&[4, 2], vec![1., 0., 0., 1., 1., 0., 0., 1.]);
+        assert_eq!(accuracy(&t, &[0, 1, 0, 1]), 1.0);
+        assert_eq!(accuracy(&t, &[1, 0, 1, 0]), 0.0);
+        assert_eq!(accuracy(&t, &[0, 0, 0, 0]), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero examples")]
+    fn empty_labels_panics() {
+        accuracy(&Tensor::zeros(&[1, 2]), &[]);
+    }
+}

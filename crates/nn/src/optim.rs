@@ -1,0 +1,327 @@
+//! Optimizers: SGD with momentum, Adam, and NAdam.
+//!
+//! NAdam (Nesterov-accelerated Adam, Dozat 2016) is the optimizer the
+//! DAC'19 paper trains with (§3.4.2).
+
+use crate::layer::Layer;
+use crate::param::Param;
+use hotspot_tensor::Tensor;
+
+/// A gradient-descent optimizer.
+///
+/// Optimizers visit parameters through
+/// [`Layer::for_each_param`], which yields a stable order; stateful
+/// optimizers key their per-parameter buffers by that visit index.
+pub trait Optimizer {
+    /// Applies one update step using the gradients currently accumulated
+    /// in the network, then leaves the gradients untouched (call
+    /// [`Layer::zero_grads`] before the next backward pass).
+    fn step(&mut self, net: &mut dyn Layer);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (used by LR schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate and momentum
+    /// (`momentum = 0` gives plain SGD).
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive learning rates or momentum outside `[0, 1)`.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, net: &mut dyn Layer) {
+        let mut idx = 0;
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let velocity = &mut self.velocity;
+        net.for_each_param(&mut |p: &mut Param| {
+            if velocity.len() <= idx {
+                velocity.push(Tensor::zeros(p.value.shape()));
+            }
+            let v = &mut velocity[idx];
+            for ((v, g), w) in v
+                .as_mut_slice()
+                .iter_mut()
+                .zip(p.grad.as_slice())
+                .zip(p.value.as_mut_slice())
+            {
+                *v = momentum * *v + g;
+                *w -= lr * *v;
+            }
+            idx += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Shared Adam-family state and hyperparameters.
+#[derive(Debug)]
+struct AdamState {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: i32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl AdamState {
+    fn new(lr: f32, beta1: f32, beta2: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        AdamState {
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+}
+
+/// Adam (Kingma & Ba 2014).
+#[derive(Debug)]
+pub struct Adam {
+    state: AdamState,
+}
+
+impl Adam {
+    /// Creates Adam with default betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            state: AdamState::new(lr, 0.9, 0.999),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, net: &mut dyn Layer) {
+        let s = &mut self.state;
+        s.t += 1;
+        let bc1 = 1.0 - s.beta1.powi(s.t);
+        let bc2 = 1.0 - s.beta2.powi(s.t);
+        let mut idx = 0;
+        let (lr, b1, b2, eps) = (s.lr, s.beta1, s.beta2, s.eps);
+        let (ms, vs) = (&mut s.m, &mut s.v);
+        net.for_each_param(&mut |p: &mut Param| {
+            while ms.len() <= idx {
+                ms.push(Tensor::zeros(p.value.shape()));
+                vs.push(Tensor::zeros(p.value.shape()));
+            }
+            let m = ms[idx].as_mut_slice();
+            let v = vs[idx].as_mut_slice();
+            for (((m, v), g), w) in m
+                .iter_mut()
+                .zip(v.iter_mut())
+                .zip(p.grad.as_slice())
+                .zip(p.value.as_mut_slice())
+            {
+                *m = b1 * *m + (1.0 - b1) * g;
+                *v = b2 * *v + (1.0 - b2) * g * g;
+                let mhat = *m / bc1;
+                let vhat = *v / bc2;
+                *w -= lr * mhat / (vhat.sqrt() + eps);
+            }
+            idx += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.state.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.state.lr = lr;
+    }
+}
+
+/// NAdam: Adam with Nesterov momentum (Dozat 2016) — the paper's
+/// optimizer.
+///
+/// The update replaces Adam's bias-corrected first moment with a
+/// Nesterov-style look-ahead blend of the current gradient and the
+/// first-moment estimate.
+#[derive(Debug)]
+pub struct NAdam {
+    state: AdamState,
+}
+
+impl NAdam {
+    /// Creates NAdam with default betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        NAdam {
+            state: AdamState::new(lr, 0.9, 0.999),
+        }
+    }
+}
+
+impl Optimizer for NAdam {
+    fn step(&mut self, net: &mut dyn Layer) {
+        let s = &mut self.state;
+        s.t += 1;
+        let bc1 = 1.0 - s.beta1.powi(s.t);
+        let bc1_next = 1.0 - s.beta1.powi(s.t + 1);
+        let bc2 = 1.0 - s.beta2.powi(s.t);
+        let mut idx = 0;
+        let (lr, b1, b2, eps) = (s.lr, s.beta1, s.beta2, s.eps);
+        let (ms, vs) = (&mut s.m, &mut s.v);
+        net.for_each_param(&mut |p: &mut Param| {
+            while ms.len() <= idx {
+                ms.push(Tensor::zeros(p.value.shape()));
+                vs.push(Tensor::zeros(p.value.shape()));
+            }
+            let m = ms[idx].as_mut_slice();
+            let v = vs[idx].as_mut_slice();
+            for (((m, v), g), w) in m
+                .iter_mut()
+                .zip(v.iter_mut())
+                .zip(p.grad.as_slice())
+                .zip(p.value.as_mut_slice())
+            {
+                *m = b1 * *m + (1.0 - b1) * g;
+                *v = b2 * *v + (1.0 - b2) * g * g;
+                let vhat = *v / bc2;
+                // Nesterov look-ahead blend.
+                let m_nesterov = b1 * *m / bc1_next + (1.0 - b1) * g / bc1;
+                *w -= lr * m_nesterov / (vhat.sqrt() + eps);
+            }
+            idx += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.state.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.state.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Dense;
+    use crate::loss::SoftmaxCrossEntropy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Trains a tiny linear classifier on a separable problem and checks
+    /// the loss decreases — run for each optimizer.
+    fn converges(opt: &mut dyn Optimizer) -> (f32, f32) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut net = Dense::new(2, 2, &mut rng);
+        let loss = SoftmaxCrossEntropy::new();
+        // Class 0 at (-1, -1), class 1 at (1, 1) with noise-free labels.
+        let x = Tensor::from_vec(
+            &[4, 2],
+            vec![-1.0, -1.0, -0.8, -1.2, 1.0, 1.0, 1.2, 0.8],
+        );
+        let classes = [0usize, 0, 1, 1];
+        let (first, _) = loss.forward(&net.forward(&x, true), &classes);
+        let mut last = first;
+        for _ in 0..200 {
+            net.zero_grads();
+            let logits = net.forward(&x, true);
+            let (l, g) = loss.forward(&logits, &classes);
+            last = l;
+            let _ = net.backward(&g);
+            opt.step(&mut net);
+        }
+        (first, last)
+    }
+
+    #[test]
+    fn sgd_converges() {
+        let (first, last) = converges(&mut Sgd::new(0.5, 0.9));
+        assert!(last < first * 0.1, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn adam_converges() {
+        let (first, last) = converges(&mut Adam::new(0.05));
+        assert!(last < first * 0.1, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn nadam_converges() {
+        let (first, last) = converges(&mut NAdam::new(0.05));
+        assert!(last < first * 0.1, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn nadam_differs_from_adam_after_one_step() {
+        // Same seed, same gradient: the Nesterov blend must produce a
+        // different first step than plain Adam.
+        let make = || {
+            let mut rng = StdRng::seed_from_u64(7);
+            Dense::new(2, 2, &mut rng)
+        };
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, -2.0]);
+        let loss = SoftmaxCrossEntropy::new();
+
+        let mut a = make();
+        let (_, g) = loss.forward(&a.forward(&x, true), &[1]);
+        let _ = a.backward(&g);
+        Adam::new(0.1).step(&mut a);
+
+        let mut b = make();
+        let (_, g) = loss.forward(&b.forward(&x, true), &[1]);
+        let _ = b.backward(&g);
+        NAdam::new(0.1).step(&mut b);
+
+        let mut wa = Vec::new();
+        a.for_each_param(&mut |p| wa.extend_from_slice(p.value.as_slice()));
+        let mut wb = Vec::new();
+        b.for_each_param(&mut |p| wb.extend_from_slice(p.value.as_slice()));
+        assert_ne!(wa, wb);
+    }
+
+    #[test]
+    fn learning_rate_is_settable() {
+        let mut opt = NAdam::new(0.15);
+        assert_eq!(opt.learning_rate(), 0.15);
+        opt.set_learning_rate(0.015);
+        assert_eq!(opt.learning_rate(), 0.015);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn rejects_bad_lr() {
+        Sgd::new(0.0, 0.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Trainable parameters.
+
+use hotspot_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A trainable parameter: a value tensor and its accumulated gradient.
+///
+/// Layers own their parameters; optimizers visit them through
+/// [`Layer::for_each_param`](crate::Layer::for_each_param) in a stable
+/// order, which lets stateful optimizers (Adam, NAdam) key their moment
+/// buffers by visit index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    /// The current parameter value.
+    pub value: Tensor,
+    /// Gradient accumulated by the most recent backward pass.
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps a value tensor with a zeroed gradient of the same shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param { value, grad }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        for g in self.grad.as_mut_slice() {
+            *g = 0.0;
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Tensor::ones(&[2, 3]));
+        assert_eq!(p.grad.shape(), &[2, 3]);
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.numel(), 6);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::ones(&[4]));
+        p.grad = Tensor::full(&[4], 2.5);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+        // Value untouched.
+        assert_eq!(p.value.sum(), 4.0);
+    }
+}

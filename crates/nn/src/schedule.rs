@@ -1,0 +1,119 @@
+//! Learning-rate schedules.
+
+/// Exponential decay on validation-loss plateau — the schedule used by
+/// the paper (§3.4.2, following Szegedy et al.): each time the
+/// validation loss fails to improve for `patience` consecutive epochs,
+/// the learning rate is multiplied by `factor`.
+///
+/// # Example
+///
+/// ```
+/// use hotspot_nn::PlateauDecay;
+///
+/// let mut sched = PlateauDecay::new(0.15, 0.5, 2);
+/// assert_eq!(sched.observe(1.0), 0.15);  // first observation
+/// assert_eq!(sched.observe(0.9), 0.15);  // improved
+/// assert_eq!(sched.observe(0.95), 0.15); // 1 bad epoch
+/// assert_eq!(sched.observe(0.92), 0.075); // 2 bad epochs → decay
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlateauDecay {
+    lr: f32,
+    factor: f32,
+    patience: usize,
+    best: Option<f32>,
+    bad_epochs: usize,
+    min_lr: f32,
+}
+
+impl PlateauDecay {
+    /// Creates a plateau-decay schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `initial_lr` is not positive, `factor` is outside
+    /// `(0, 1)`, or `patience` is zero.
+    pub fn new(initial_lr: f32, factor: f32, patience: usize) -> Self {
+        assert!(initial_lr > 0.0, "initial learning rate must be positive");
+        assert!(factor > 0.0 && factor < 1.0, "decay factor must be in (0, 1)");
+        assert!(patience > 0, "patience must be positive");
+        PlateauDecay {
+            lr: initial_lr,
+            factor,
+            patience,
+            best: None,
+            bad_epochs: 0,
+            min_lr: 1e-6,
+        }
+    }
+
+    /// The current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Records an epoch's validation loss and returns the (possibly
+    /// decayed) learning rate to use next.
+    pub fn observe(&mut self, val_loss: f32) -> f32 {
+        match self.best {
+            None => {
+                self.best = Some(val_loss);
+            }
+            Some(best) if val_loss < best - 1e-6 => {
+                self.best = Some(val_loss);
+                self.bad_epochs = 0;
+            }
+            Some(_) => {
+                self.bad_epochs += 1;
+                if self.bad_epochs >= self.patience {
+                    self.lr = (self.lr * self.factor).max(self.min_lr);
+                    self.bad_epochs = 0;
+                }
+            }
+        }
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decays_only_on_plateau() {
+        let mut s = PlateauDecay::new(1.0, 0.1, 1);
+        assert_eq!(s.observe(5.0), 1.0);
+        assert_eq!(s.observe(4.0), 1.0);
+        assert_eq!(s.observe(3.0), 1.0);
+        // Plateau: worse than best.
+        assert!((s.observe(3.5) - 0.1).abs() < 1e-7);
+        // Improvement over the best resets.
+        assert!((s.observe(2.0) - 0.1).abs() < 1e-7);
+        assert!((s.observe(2.5) - 0.01).abs() < 1e-8);
+    }
+
+    #[test]
+    fn respects_patience() {
+        let mut s = PlateauDecay::new(1.0, 0.5, 3);
+        s.observe(1.0);
+        assert_eq!(s.observe(1.1), 1.0);
+        assert_eq!(s.observe(1.1), 1.0);
+        assert_eq!(s.observe(1.1), 0.5);
+    }
+
+    #[test]
+    fn floors_at_min_lr() {
+        let mut s = PlateauDecay::new(1e-5, 0.1, 1);
+        s.observe(1.0);
+        s.observe(2.0);
+        assert!(s.learning_rate() >= 1e-6);
+        s.observe(2.0);
+        assert!(s.learning_rate() >= 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "patience must be positive")]
+    fn zero_patience_rejected() {
+        PlateauDecay::new(0.1, 0.5, 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the NN framework.
+
+use hotspot_nn::{
+    accuracy, Augment, BatchNorm2d, Batcher, BiasedLabels, Dense, ImageDataset, Layer, Relu,
+    Sequential, SoftmaxCrossEntropy,
+};
+use hotspot_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_tensor(shape: &'static [usize]) -> impl Strategy<Value = Tensor> {
+    let numel: usize = shape.iter().product();
+    prop::collection::vec(-2.0f32..2.0, numel).prop_map(move |v| Tensor::from_vec(shape, v))
+}
+
+proptest! {
+    /// The loss gradient matches finite differences through a small
+    /// MLP, for random inputs and weights — the global check that
+    /// layer-local backward passes compose correctly.
+    #[test]
+    fn mlp_gradient_matches_finite_difference(x in arb_tensor(&[3, 4]), seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new(vec![
+            Box::new(Dense::new(4, 5, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(5, 2, &mut rng)),
+        ]);
+        let loss = SoftmaxCrossEntropy::new();
+        let classes = [0usize, 1, 0];
+
+        // Analytic input gradient.
+        let logits = net.forward(&x, true);
+        let (_, grad_logits) = loss.forward(&logits, &classes);
+        let grad_x = net.backward(&grad_logits);
+
+        let eps = 1e-2;
+        for idx in [0usize, 3, 7, 11] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let (fp, _) = loss.forward(&net.forward(&xp, true), &classes);
+            let (fm, _) = loss.forward(&net.forward(&xm, true), &classes);
+            let numeric = (fp - fm) / (2.0 * eps);
+            let analytic = grad_x.as_slice()[idx];
+            prop_assert!(
+                (numeric - analytic).abs() < 5e-2 * (1.0 + analytic.abs()),
+                "x[{}]: numeric {} vs analytic {}", idx, numeric, analytic
+            );
+        }
+    }
+
+    /// Batch norm in training mode always outputs (near) zero mean and
+    /// unit variance per channel, whatever the input distribution.
+    #[test]
+    fn batchnorm_output_is_normalized(x in arb_tensor(&[4, 2, 3, 3]), shift in -5.0f32..5.0, scale in 0.5f32..3.0) {
+        let shifted = x.map(|v| v * scale + shift);
+        let mut bn = BatchNorm2d::new(2);
+        let y = bn.forward(&shifted, true);
+        for c in 0..2 {
+            let mut vals = Vec::new();
+            for n in 0..4 {
+                for h in 0..3 {
+                    for w in 0..3 {
+                        vals.push(y.at(&[n, c, h, w]));
+                    }
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            prop_assert!(mean.abs() < 1e-3, "mean {}", mean);
+            // Degenerate (constant) channels normalize to ~0 variance.
+            prop_assert!(var < 1.1, "var {}", var);
+        }
+    }
+
+    /// Softmax cross-entropy is minimized by the target distribution:
+    /// loss at the target is below loss at any perturbed distribution.
+    #[test]
+    fn cross_entropy_minimized_at_target(eps in 0.0f32..0.4, delta in -3.0f32..3.0) {
+        let labels = BiasedLabels::new(eps);
+        let target = labels.target(0);
+        // Logits realizing the target distribution exactly.
+        let to_logit = |p: f32| (p.max(1e-6)).ln();
+        let ideal = Tensor::from_vec(&[1, 2], vec![to_logit(target[0]), to_logit(target[1])]);
+        let perturbed = Tensor::from_vec(
+            &[1, 2],
+            vec![to_logit(target[0]) + delta, to_logit(target[1])],
+        );
+        let loss = SoftmaxCrossEntropy::with_bias(labels);
+        let (l_ideal, _) = loss.forward(&ideal, &[0]);
+        let (l_pert, _) = loss.forward(&perturbed, &[0]);
+        prop_assert!(l_ideal <= l_pert + 1e-5, "{} vs {}", l_ideal, l_pert);
+    }
+
+    /// One epoch of batches covers each example exactly once, for any
+    /// batch size.
+    #[test]
+    fn batcher_partitions_epoch(n in 1usize..40, batch in 1usize..10) {
+        let mut ds = ImageDataset::new();
+        for i in 0..n {
+            ds.push(Tensor::full(&[1, 2, 2], i as f32), i % 2);
+        }
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let batches = Batcher::new(&ds, batch, Augment::none()).batches(&mut rng);
+        let total: usize = batches.iter().map(|(t, _)| t.shape()[0]).sum();
+        prop_assert_eq!(total, n);
+        let mut seen: Vec<f32> = batches
+            .iter()
+            .flat_map(|(t, _)| (0..t.shape()[0]).map(|i| t.batch_item(i)[0]).collect::<Vec<_>>())
+            .collect();
+        seen.sort_by(f32::total_cmp);
+        let expect: Vec<f32> = (0..n).map(|v| v as f32).collect();
+        prop_assert_eq!(seen, expect);
+    }
+
+    /// Accuracy of logits against their own argmax labels is 1.
+    #[test]
+    fn accuracy_of_self_labels_is_one(logits in arb_tensor(&[8, 2])) {
+        let labels: Vec<usize> = (0..8)
+            .map(|i| {
+                let row = &logits.as_slice()[i * 2..(i + 1) * 2];
+                if row[1] > row[0] { 1 } else { 0 }
+            })
+            .collect();
+        prop_assert_eq!(accuracy(&logits, &labels), 1.0);
+    }
+}

@@ -1,0 +1,479 @@
+//! 2-D convolution via im2col, with analytic backward pass.
+
+use crate::matmul::matmul;
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct ConvGrads {
+    /// Gradient with respect to the layer input, shaped like the input.
+    pub input: Tensor,
+    /// Gradient with respect to the weights, shaped like the weights.
+    pub weight: Tensor,
+    /// Gradient with respect to the bias (`[k]`), when a bias was used.
+    pub bias: Option<Tensor>,
+}
+
+/// Output spatial size of a convolution.
+///
+/// # Panics
+///
+/// Panics when the kernel (after padding) does not fit the input or the
+/// stride does not evenly step the padded extent.
+pub fn conv_output_size(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    let padded = input + 2 * pad;
+    assert!(padded >= kernel, "kernel {kernel} larger than padded input {padded}");
+    (padded - kernel) / stride + 1
+}
+
+/// Unfolds one batch item (`[c, h, w]` slice) into im2col columns:
+/// a `[c * kh * kw, oh * ow]` matrix where each column is the receptive
+/// field of one output pixel.
+///
+/// Out-of-bounds (padding) taps contribute zeros.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col(
+    item: &[f32],
+    channels: usize,
+    height: usize,
+    width: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let oh = conv_output_size(height, kh, stride, pad);
+    let ow = conv_output_size(width, kw, stride, pad);
+    let rows = channels * kh * kw;
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+    for c in 0..channels {
+        let plane = &item[c * height * width..(c + 1) * height * width];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = (c * kh + ky) * kw + kx;
+                let row_buf = &mut out[row * cols..(row + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= height as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix < 0 || ix >= width as isize {
+                            continue;
+                        }
+                        row_buf[oy * ow + ox] = plane[iy * width + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(&[rows, cols], out)
+}
+
+/// Folds im2col columns back into an image (the adjoint of [`im2col`]):
+/// overlapping taps accumulate.
+#[allow(clippy::too_many_arguments)]
+fn col2im(
+    cols: &Tensor,
+    channels: usize,
+    height: usize,
+    width: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> Vec<f32> {
+    let oh = conv_output_size(height, kh, stride, pad);
+    let ow = conv_output_size(width, kw, stride, pad);
+    let ncols = oh * ow;
+    let data = cols.as_slice();
+    let mut out = vec![0.0f32; channels * height * width];
+    for c in 0..channels {
+        let plane = &mut out[c * height * width..(c + 1) * height * width];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = (c * kh + ky) * kw + kx;
+                let row_buf = &data[row * ncols..(row + 1) * ncols];
+                for oy in 0..oh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= height as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix < 0 || ix >= width as isize {
+                            continue;
+                        }
+                        plane[iy * width + ix as usize] += row_buf[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Convolves `input` (`[n, c, h, w]`) with `weight` (`[k, c, kh, kw]`).
+///
+/// Returns `[n, k, oh, ow]`.  When `bias` (`[k]`) is given it is added to
+/// every output pixel of the corresponding channel.  Batch items are
+/// processed in parallel.
+///
+/// # Panics
+///
+/// Panics on rank or channel-count mismatches, or when the kernel does
+/// not fit the padded input.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    assert_eq!(input.ndim(), 4, "conv2d input must be NCHW");
+    assert_eq!(weight.ndim(), 4, "conv2d weight must be [k, c, kh, kw]");
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (k, wc, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    assert_eq!(c, wc, "input has {c} channels but weight expects {wc}");
+    if let Some(b) = bias {
+        assert_eq!(b.shape(), &[k], "bias must be [{k}]");
+    }
+    let oh = conv_output_size(h, kh, stride, pad);
+    let ow = conv_output_size(w, kw, stride, pad);
+
+    let wmat = weight.clone().reshape(&[k, c * kh * kw]);
+    let items: Vec<Vec<f32>> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let cols = im2col(input.batch_item(i), c, h, w, kh, kw, stride, pad);
+            let mut out = matmul(&wmat, &cols).into_vec();
+            if let Some(b) = bias {
+                for ch in 0..k {
+                    let bv = b.as_slice()[ch];
+                    for v in &mut out[ch * oh * ow..(ch + 1) * oh * ow] {
+                        *v += bv;
+                    }
+                }
+            }
+            out
+        })
+        .collect();
+
+    let mut data = Vec::with_capacity(n * k * oh * ow);
+    for item in items {
+        data.extend_from_slice(&item);
+    }
+    Tensor::from_vec(&[n, k, oh, ow], data)
+}
+
+/// Backward pass of [`conv2d`].
+///
+/// Given the forward inputs and the gradient of the loss with respect to
+/// the convolution output, returns the gradients with respect to the
+/// input, the weights, and (when `with_bias`) the bias.
+///
+/// # Panics
+///
+/// Panics when `grad_out`'s shape does not match the forward output
+/// shape implied by the other arguments.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    stride: usize,
+    pad: usize,
+    with_bias: bool,
+) -> ConvGrads {
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (k, _, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    let oh = conv_output_size(h, kh, stride, pad);
+    let ow = conv_output_size(w, kw, stride, pad);
+    assert_eq!(
+        grad_out.shape(),
+        &[n, k, oh, ow],
+        "grad_out shape mismatch"
+    );
+
+    let wmat = weight.clone().reshape(&[k, c * kh * kw]);
+    // Transpose of the weight matrix, for the input gradient.
+    let mut wt = vec![0.0f32; wmat.numel()];
+    let rows = k;
+    let cols = c * kh * kw;
+    for i in 0..rows {
+        for j in 0..cols {
+            wt[j * rows + i] = wmat.as_slice()[i * cols + j];
+        }
+    }
+    let wt = Tensor::from_vec(&[cols, rows], wt);
+
+    let per_item: Vec<(Vec<f32>, Vec<f32>)> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let go = Tensor::from_vec(&[k, oh * ow], grad_out.batch_item(i).to_vec());
+            // grad wrt columns, then fold back to the input image.
+            let gcols = matmul(&wt, &go);
+            let gin = col2im(&gcols, c, h, w, kh, kw, stride, pad);
+            // grad wrt weights: go [k, ohw] x colsT [ohw, ckhkw].
+            let icols = im2col(input.batch_item(i), c, h, w, kh, kw, stride, pad);
+            // Transpose columns.
+            let (r, cc) = (icols.shape()[0], icols.shape()[1]);
+            let mut ict = vec![0.0f32; r * cc];
+            for a in 0..r {
+                for b in 0..cc {
+                    ict[b * r + a] = icols.as_slice()[a * cc + b];
+                }
+            }
+            let ict = Tensor::from_vec(&[cc, r], ict);
+            let gw = matmul(&go, &ict).into_vec();
+            (gin, gw)
+        })
+        .collect();
+
+    let mut grad_input = Vec::with_capacity(input.numel());
+    let mut grad_weight = vec![0.0f32; weight.numel()];
+    for (gin, gw) in per_item {
+        grad_input.extend_from_slice(&gin);
+        for (acc, v) in grad_weight.iter_mut().zip(gw) {
+            *acc += v;
+        }
+    }
+
+    let bias = with_bias.then(|| {
+        let mut gb = vec![0.0f32; k];
+        for i in 0..n {
+            let go = grad_out.batch_item(i);
+            for (ch, slot) in gb.iter_mut().enumerate() {
+                *slot += go[ch * oh * ow..(ch + 1) * oh * ow].iter().sum::<f32>();
+            }
+        }
+        Tensor::from_vec(&[k], gb)
+    });
+
+    ConvGrads {
+        input: Tensor::from_vec(input.shape(), grad_input),
+        weight: Tensor::from_vec(weight.shape(), grad_weight),
+        bias,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct (no im2col) reference convolution.
+    fn conv_reference(
+        input: &Tensor,
+        weight: &Tensor,
+        stride: usize,
+        pad: usize,
+    ) -> Tensor {
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let (k, _, kh, kw) = (
+            weight.shape()[0],
+            weight.shape()[1],
+            weight.shape()[2],
+            weight.shape()[3],
+        );
+        let oh = conv_output_size(h, kh, stride, pad);
+        let ow = conv_output_size(w, kw, stride, pad);
+        let mut out = Tensor::zeros(&[n, k, oh, ow]);
+        for ni in 0..n {
+            for ki in 0..k {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0;
+                        for ci in 0..c {
+                            for ky in 0..kh {
+                                for kx in 0..kw {
+                                    let iy = (oy * stride + ky) as isize - pad as isize;
+                                    let ix = (ox * stride + kx) as isize - pad as isize;
+                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                        continue;
+                                    }
+                                    acc += input.at(&[ni, ci, iy as usize, ix as usize])
+                                        * weight.at(&[ki, ci, ky, kx]);
+                                }
+                            }
+                        }
+                        *out.at_mut(&[ni, ki, oy, ox]) = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn pseudo(shape: &[usize], seed: u32) -> Tensor {
+        let numel: usize = shape.iter().product();
+        let mut state = seed;
+        Tensor::from_vec(
+            shape,
+            (0..numel)
+                .map(|_| {
+                    state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                    (state >> 16) as f32 / 65536.0 - 0.5
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn output_size_math() {
+        assert_eq!(conv_output_size(8, 3, 1, 1), 8);
+        assert_eq!(conv_output_size(8, 3, 2, 1), 4);
+        assert_eq!(conv_output_size(8, 1, 1, 0), 8);
+        assert_eq!(conv_output_size(7, 3, 2, 0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than padded input")]
+    fn kernel_too_big_panics() {
+        conv_output_size(2, 5, 1, 0);
+    }
+
+    #[test]
+    fn conv_matches_reference_same_pad() {
+        let input = pseudo(&[2, 3, 6, 6], 7);
+        let weight = pseudo(&[4, 3, 3, 3], 9);
+        let fast = conv2d(&input, &weight, None, 1, 1);
+        let slow = conv_reference(&input, &weight, 1, 1);
+        assert_eq!(fast.shape(), slow.shape());
+        for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn conv_matches_reference_strided() {
+        let input = pseudo(&[1, 2, 8, 8], 3);
+        let weight = pseudo(&[3, 2, 3, 3], 4);
+        let fast = conv2d(&input, &weight, None, 2, 1);
+        let slow = conv_reference(&input, &weight, 2, 1);
+        assert_eq!(fast.shape(), &[1, 3, 4, 4]);
+        for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn conv_1x1_is_channel_mix() {
+        let input = pseudo(&[1, 2, 4, 4], 5);
+        let weight = Tensor::from_vec(&[1, 2, 1, 1], vec![2.0, -1.0]);
+        let out = conv2d(&input, &weight, None, 1, 0);
+        for y in 0..4 {
+            for x in 0..4 {
+                let expect = 2.0 * input.at(&[0, 0, y, x]) - input.at(&[0, 1, y, x]);
+                assert!((out.at(&[0, 0, y, x]) - expect).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn bias_is_added() {
+        let input = Tensor::zeros(&[1, 1, 2, 2]);
+        let weight = Tensor::zeros(&[2, 1, 1, 1]);
+        let bias = Tensor::from_vec(&[2], vec![0.5, -1.5]);
+        let out = conv2d(&input, &weight, Some(&bias), 1, 0);
+        assert_eq!(out.at(&[0, 0, 0, 0]), 0.5);
+        assert_eq!(out.at(&[0, 1, 1, 1]), -1.5);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let input = pseudo(&[1, 2, 5, 5], 11);
+        let weight = pseudo(&[2, 2, 3, 3], 13);
+        // Loss = sum of outputs, so grad_out = ones.
+        let out = conv2d(&input, &weight, None, 1, 1);
+        let grad_out = Tensor::ones(out.shape());
+        let grads = conv2d_backward(&input, &weight, &grad_out, 1, 1, true);
+
+        let eps = 1e-3;
+        // Check a scattering of weight coordinates.
+        for &idx in &[0usize, 5, 10, 17, 25, 35] {
+            let mut wp = weight.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = weight.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let fp = conv2d(&input, &wp, None, 1, 1).sum();
+            let fm = conv2d(&input, &wm, None, 1, 1).sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            let analytic = grads.weight.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "weight[{idx}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // Check a scattering of input coordinates.
+        for &idx in &[0usize, 7, 12, 24, 33, 49] {
+            let mut ip = input.clone();
+            ip.as_mut_slice()[idx] += eps;
+            let mut im = input.clone();
+            im.as_mut_slice()[idx] -= eps;
+            let fp = conv2d(&ip, &weight, None, 1, 1).sum();
+            let fm = conv2d(&im, &weight, None, 1, 1).sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            let analytic = grads.input.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "input[{idx}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // Bias gradient for a sum loss is the output pixel count per channel.
+        let gb = grads.bias.expect("bias grads requested");
+        assert_eq!(gb.as_slice(), &[25.0, 25.0]);
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // adjoint property used by the backward pass.
+        let x = pseudo(&[1, 2, 4, 4], 21);
+        let cols = im2col(x.batch_item(0), 2, 4, 4, 3, 3, 1, 1);
+        let y = pseudo(&[cols.shape()[0], cols.shape()[1]], 22);
+        let lhs: f32 = cols
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let folded = col2im(&y, 2, 4, 4, 3, 3, 1, 1);
+        let rhs: f32 = x
+            .batch_item(0)
+            .iter()
+            .zip(&folded)
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+}

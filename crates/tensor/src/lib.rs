@@ -1,0 +1,38 @@
+//! Dense `f32` tensor substrate for the hotspot-detection workspace.
+//!
+//! The deep-learning crates in this workspace ([`hotspot-nn`] and
+//! [`hotspot-bnn`]) are built from scratch; this crate supplies the
+//! numeric kernel they share: an owned, row-major [`Tensor`] in NCHW
+//! layout, blocked [`matmul()`], im2col-based [`conv2d`] with analytic
+//! backward passes, pooling, and deterministic random initialisation.
+//!
+//! Everything is CPU-only `f32`; batch-level loops are parallelised with
+//! rayon.
+//!
+//! # Example
+//!
+//! ```
+//! use hotspot_tensor::{conv2d, Tensor};
+//!
+//! let input = Tensor::ones(&[1, 1, 4, 4]);
+//! let weight = Tensor::full(&[2, 1, 3, 3], 0.5);
+//! let out = conv2d(&input, &weight, None, 1, 1);
+//! assert_eq!(out.shape(), &[1, 2, 4, 4]);
+//! // Centre pixels see the full 3x3 kernel: 9 * 0.5.
+//! assert_eq!(out.at(&[0, 0, 1, 1]), 4.5);
+//! ```
+//!
+//! [`hotspot-nn`]: ../hotspot_nn/index.html
+//! [`hotspot-bnn`]: ../hotspot_bnn/index.html
+
+pub mod conv;
+pub mod init;
+pub mod matmul;
+pub mod pool;
+pub mod tensor;
+
+pub use conv::{conv2d, conv2d_backward, im2col, ConvGrads};
+pub use init::{fill_normal, fill_uniform, xavier_uniform};
+pub use matmul::matmul;
+pub use pool::{avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d, max_pool2d_backward};
+pub use tensor::Tensor;

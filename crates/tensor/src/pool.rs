@@ -1,0 +1,227 @@
+//! Pooling operators with backward passes.
+
+use crate::tensor::Tensor;
+
+/// Max-pools `input` (`[n, c, h, w]`) with a square window and equal
+/// stride, returning the pooled tensor and the flat argmax index of each
+/// output element (needed by the backward pass).
+///
+/// # Panics
+///
+/// Panics when the window does not evenly tile the spatial dims.
+pub fn max_pool2d(input: &Tensor, window: usize) -> (Tensor, Vec<usize>) {
+    let (n, c, h, w) = dims4(input);
+    assert!(window > 0 && h % window == 0 && w % window == 0,
+        "window {window} must tile {h}x{w}");
+    let (oh, ow) = (h / window, w / window);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut argmax = vec![0usize; n * c * oh * ow];
+    let data = input.as_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for dy in 0..window {
+                        for dx in 0..window {
+                            let idx = base + (oy * window + dy) * w + ox * window + dx;
+                            if data[idx] > best {
+                                best = data[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let o = ((ni * c + ci) * oh + oy) * ow + ox;
+                    out.as_mut_slice()[o] = best;
+                    argmax[o] = best_idx;
+                }
+            }
+        }
+    }
+    (out, argmax)
+}
+
+/// Backward pass of [`max_pool2d`]: routes each output gradient to the
+/// input position that achieved the max.
+pub fn max_pool2d_backward(
+    input_shape: &[usize],
+    grad_out: &Tensor,
+    argmax: &[usize],
+) -> Tensor {
+    let mut grad_in = Tensor::zeros(input_shape);
+    for (o, &src) in argmax.iter().enumerate() {
+        grad_in.as_mut_slice()[src] += grad_out.as_slice()[o];
+    }
+    grad_in
+}
+
+/// Average-pools `input` (`[n, c, h, w]`) with a square window and equal
+/// stride.
+///
+/// # Panics
+///
+/// Panics when the window does not evenly tile the spatial dims.
+pub fn avg_pool2d(input: &Tensor, window: usize) -> Tensor {
+    let (n, c, h, w) = dims4(input);
+    assert!(window > 0 && h % window == 0 && w % window == 0,
+        "window {window} must tile {h}x{w}");
+    let (oh, ow) = (h / window, w / window);
+    let inv = 1.0 / (window * window) as f32;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let data = input.as_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for dy in 0..window {
+                        for dx in 0..window {
+                            acc += data[base + (oy * window + dy) * w + ox * window + dx];
+                        }
+                    }
+                    out.as_mut_slice()[((ni * c + ci) * oh + oy) * ow + ox] = acc * inv;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward pass of [`avg_pool2d`]: spreads each output gradient evenly
+/// over its window.
+pub fn avg_pool2d_backward(input_shape: &[usize], grad_out: &Tensor, window: usize) -> Tensor {
+    let (n, c, h, w) = (
+        input_shape[0],
+        input_shape[1],
+        input_shape[2],
+        input_shape[3],
+    );
+    let (oh, ow) = (h / window, w / window);
+    let inv = 1.0 / (window * window) as f32;
+    let mut grad_in = Tensor::zeros(input_shape);
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = grad_out.as_slice()[((ni * c + ci) * oh + oy) * ow + ox] * inv;
+                    for dy in 0..window {
+                        for dx in 0..window {
+                            grad_in.as_mut_slice()
+                                [base + (oy * window + dy) * w + ox * window + dx] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    grad_in
+}
+
+/// Global average pooling: `[n, c, h, w]` → `[n, c]`.
+pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    let (n, c, h, w) = dims4(input);
+    let inv = 1.0 / (h * w) as f32;
+    let mut out = Tensor::zeros(&[n, c]);
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            let s: f32 = input.as_slice()[base..base + h * w].iter().sum();
+            out.as_mut_slice()[ni * c + ci] = s * inv;
+        }
+    }
+    out
+}
+
+/// Backward pass of [`global_avg_pool`].
+pub fn global_avg_pool_backward(input_shape: &[usize], grad_out: &Tensor) -> Tensor {
+    let (n, c, h, w) = (
+        input_shape[0],
+        input_shape[1],
+        input_shape[2],
+        input_shape[3],
+    );
+    let inv = 1.0 / (h * w) as f32;
+    let mut grad_in = Tensor::zeros(input_shape);
+    for ni in 0..n {
+        for ci in 0..c {
+            let g = grad_out.as_slice()[ni * c + ci] * inv;
+            let base = (ni * c + ci) * h * w;
+            for v in &mut grad_in.as_mut_slice()[base..base + h * w] {
+                *v = g;
+            }
+        }
+    }
+    grad_in
+}
+
+fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
+    assert_eq!(t.ndim(), 4, "expected a 4-D NCHW tensor, got {:?}", t.shape());
+    (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_max_and_routes_grad() {
+        let input = Tensor::from_vec(
+            &[1, 1, 4, 4],
+            vec![
+                1., 2., 5., 3., //
+                4., 0., 1., 2., //
+                9., 1., 0., 0., //
+                1., 1., 0., 7.,
+            ],
+        );
+        let (out, argmax) = max_pool2d(&input, 2);
+        assert_eq!(out.as_slice(), &[4., 5., 9., 7.]);
+        let grad_out = Tensor::from_vec(&[1, 1, 2, 2], vec![1., 2., 3., 4.]);
+        let grad_in = max_pool2d_backward(input.shape(), &grad_out, &argmax);
+        assert_eq!(grad_in.at(&[0, 0, 1, 0]), 1.0); // 4 at (1,0)
+        assert_eq!(grad_in.at(&[0, 0, 0, 2]), 2.0); // 5 at (0,2)
+        assert_eq!(grad_in.at(&[0, 0, 2, 0]), 3.0); // 9 at (2,0)
+        assert_eq!(grad_in.at(&[0, 0, 3, 3]), 4.0); // 7 at (3,3)
+        assert_eq!(grad_in.sum(), 10.0);
+    }
+
+    #[test]
+    fn avg_pool_and_backward() {
+        let input = Tensor::from_vec(&[1, 1, 2, 2], vec![1., 3., 5., 7.]);
+        let out = avg_pool2d(&input, 2);
+        assert_eq!(out.as_slice(), &[4.0]);
+        let grad = avg_pool2d_backward(input.shape(), &Tensor::from_vec(&[1, 1, 1, 1], vec![8.0]), 2);
+        assert_eq!(grad.as_slice(), &[2., 2., 2., 2.]);
+    }
+
+    #[test]
+    fn global_avg_pool_and_backward() {
+        let input = Tensor::from_vec(&[1, 2, 2, 2], vec![1., 2., 3., 4., 10., 10., 10., 10.]);
+        let out = global_avg_pool(&input);
+        assert_eq!(out.as_slice(), &[2.5, 10.0]);
+        let grad = global_avg_pool_backward(input.shape(), &Tensor::from_vec(&[1, 2], vec![4.0, 8.0]));
+        assert_eq!(grad.as_slice(), &[1., 1., 1., 1., 2., 2., 2., 2.]);
+    }
+
+    #[test]
+    fn multi_batch_channels() {
+        let input = Tensor::from_vec(
+            &[2, 1, 2, 2],
+            vec![1., 2., 3., 4., -1., -2., -3., -4.],
+        );
+        let (out, _) = max_pool2d(&input, 2);
+        assert_eq!(out.as_slice(), &[4.0, -1.0]);
+        let avg = avg_pool2d(&input, 2);
+        assert_eq!(avg.as_slice(), &[2.5, -2.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must tile")]
+    fn window_must_tile() {
+        max_pool2d(&Tensor::zeros(&[1, 1, 5, 5]), 2);
+    }
+}

@@ -1,0 +1,430 @@
+//! The dense tensor type.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// An owned, row-major, dense `f32` tensor.
+///
+/// Network activations use the NCHW convention: `[batch, channels,
+/// height, width]`.  The type is deliberately simple — no views, no
+/// broadcasting — because every consumer in this workspace operates on
+/// whole, contiguous buffers.
+///
+/// # Example
+///
+/// ```
+/// use hotspot_tensor::Tensor;
+///
+/// let t = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+/// assert_eq!(t.at(&[1, 2]), 6.0);
+/// assert_eq!(t.sum(), 21.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shape is empty or has a zero dimension.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor::full(shape, 0.0)
+    }
+
+    /// Creates a tensor of ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shape is empty or has a zero dimension.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        assert!(!shape.is_empty(), "tensor shape must not be empty");
+        assert!(
+            shape.iter().all(|&d| d > 0),
+            "tensor dimensions must be positive, got {shape:?}"
+        );
+        let numel = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; numel],
+        }
+    }
+
+    /// Creates a tensor from an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` does not match the shape's element count.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        let numel: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            numel,
+            "buffer of {} elements does not fill shape {shape:?}",
+            data.len()
+        );
+        assert!(!shape.is_empty(), "tensor shape must not be empty");
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The underlying buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The underlying buffer, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Flat offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` has the wrong rank or is out of bounds.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.shape.len(), "index rank mismatch");
+        let mut off = 0;
+        for (i, (&ix, &dim)) in index.iter().zip(&self.shape).enumerate() {
+            assert!(ix < dim, "index {ix} out of bounds for dim {i} of size {dim}");
+            off = off * dim + ix;
+        }
+        off
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index has the wrong rank or is out of bounds.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.offset(index)]
+    }
+
+    /// Mutable element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index has the wrong rank or is out of bounds.
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut f32 {
+        let off = self.offset(index);
+        &mut self.data[off]
+    }
+
+    /// Reinterprets the buffer under a new shape with the same element
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the element counts differ.
+    pub fn reshape(mut self, shape: &[usize]) -> Tensor {
+        let numel: usize = shape.iter().product();
+        assert_eq!(numel, self.data.len(), "reshape to {shape:?} changes element count");
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Applies `f` to every element, in place.
+    pub fn map_inplace<F: Fn(f32) -> f32>(&mut self, f: F) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Returns a new tensor with `f` applied to every element.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Combines two same-shape tensors element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip<F: Fn(f32, f32) -> f32>(&self, other: &Tensor, f: F) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip shape mismatch");
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Multiplies every element by `s`, in place.
+    pub fn scale_inplace(&mut self, s: f32) {
+        self.map_inplace(|v| v * s);
+    }
+
+    /// Adds `other * s` into `self` (axpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, s: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.numel() as f32
+    }
+
+    /// Maximum element.
+    ///
+    /// # Panics
+    ///
+    /// Never — tensors are non-empty by construction.
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// L1 norm (sum of absolute values).
+    pub fn l1_norm(&self) -> f32 {
+        self.data.iter().map(|v| v.abs()).sum()
+    }
+
+    /// L2 norm.
+    pub fn l2_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// For a 4-D NCHW tensor, a borrowed view of one batch item's data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not 4-D or `n` is out of range.
+    pub fn batch_item(&self, n: usize) -> &[f32] {
+        assert_eq!(self.ndim(), 4, "batch_item requires a 4-D tensor");
+        let stride: usize = self.shape[1..].iter().product();
+        assert!(n < self.shape[0], "batch index {n} out of range");
+        &self.data[n * stride..(n + 1) * stride]
+    }
+
+    /// Stacks same-shape tensors along a new leading batch axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `items` is empty or shapes differ.
+    pub fn stack(items: &[Tensor]) -> Tensor {
+        assert!(!items.is_empty(), "cannot stack zero tensors");
+        let inner = items[0].shape.clone();
+        let mut data = Vec::with_capacity(items.len() * items[0].numel());
+        for t in items {
+            assert_eq!(t.shape, inner, "stack shape mismatch");
+            data.extend_from_slice(&t.data);
+        }
+        let mut shape = vec![items.len()];
+        shape.extend_from_slice(&inner);
+        Tensor { shape, data }
+    }
+}
+
+impl Add<&Tensor> for &Tensor {
+    type Output = Tensor;
+    /// Element-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    fn add(self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a + b)
+    }
+}
+
+impl Sub<&Tensor> for &Tensor {
+    type Output = Tensor;
+    /// Element-wise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a - b)
+    }
+}
+
+impl Mul<f32> for &Tensor {
+    type Output = Tensor;
+    fn mul(self, s: f32) -> Tensor {
+        self.map(|v| v * s)
+    }
+}
+
+impl AddAssign<&Tensor> for Tensor {
+    /// Element-wise accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    fn add_assign(&mut self, rhs: &Tensor) {
+        self.axpy(1.0, rhs);
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tensor{:?} (min {:.4}, max {:.4}, mean {:.4})",
+            self.shape,
+            self.min(),
+            self.max(),
+            self.mean()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_shape() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        assert_eq!(t.numel(), 24);
+        assert_eq!(t.ndim(), 3);
+        assert_eq!(t.sum(), 0.0);
+        let o = Tensor::ones(&[5]);
+        assert_eq!(o.sum(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dim_panics() {
+        Tensor::zeros(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fill shape")]
+    fn from_vec_wrong_len_panics() {
+        Tensor::from_vec(&[2, 2], vec![1.0; 5]);
+    }
+
+    #[test]
+    fn indexing_row_major() {
+        let t = Tensor::from_vec(&[2, 3], vec![0., 1., 2., 3., 4., 5.]);
+        assert_eq!(t.at(&[0, 0]), 0.0);
+        assert_eq!(t.at(&[0, 2]), 2.0);
+        assert_eq!(t.at(&[1, 0]), 3.0);
+        assert_eq!(t.at(&[1, 2]), 5.0);
+        let mut t = t;
+        *t.at_mut(&[1, 1]) = 10.0;
+        assert_eq!(t.at(&[1, 1]), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn indexing_out_of_bounds() {
+        Tensor::zeros(&[2, 2]).at(&[0, 2]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[2, 3], (0..6).map(|v| v as f32).collect());
+        let r = t.clone().reshape(&[3, 2]);
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert_eq!(r.shape(), &[3, 2]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(&[3], vec![1., 2., 3.]);
+        let b = Tensor::from_vec(&[3], vec![10., 20., 30.]);
+        assert_eq!((&a + &b).as_slice(), &[11., 22., 33.]);
+        assert_eq!((&b - &a).as_slice(), &[9., 18., 27.]);
+        assert_eq!((&a * 2.0).as_slice(), &[2., 4., 6.]);
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c.as_slice(), &[11., 22., 33.]);
+        c.axpy(-1.0, &b);
+        assert_eq!(c.as_slice(), &[1., 2., 3.]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(&[4], vec![-1., 2., -3., 4.]);
+        assert_eq!(t.sum(), 2.0);
+        assert_eq!(t.mean(), 0.5);
+        assert_eq!(t.max(), 4.0);
+        assert_eq!(t.min(), -3.0);
+        assert_eq!(t.l1_norm(), 10.0);
+        assert!((t.l2_norm() - 30f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batch_item_views() {
+        let t = Tensor::from_vec(&[2, 1, 2, 2], (0..8).map(|v| v as f32).collect());
+        assert_eq!(t.batch_item(0), &[0., 1., 2., 3.]);
+        assert_eq!(t.batch_item(1), &[4., 5., 6., 7.]);
+    }
+
+    #[test]
+    fn stack_tensors() {
+        let a = Tensor::from_vec(&[2], vec![1., 2.]);
+        let b = Tensor::from_vec(&[2], vec![3., 4.]);
+        let s = Tensor::stack(&[a, b]);
+        assert_eq!(s.shape(), &[2, 2]);
+        assert_eq!(s.as_slice(), &[1., 2., 3., 4.]);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let t = Tensor::ones(&[2, 2]);
+        let s = t.to_string();
+        assert!(s.contains("[2, 2]"));
+        assert!(s.contains("mean"));
+    }
+}

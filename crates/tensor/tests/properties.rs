@@ -1,0 +1,123 @@
+//! Property-based tests for the tensor substrate.
+
+use hotspot_tensor::{
+    avg_pool2d, avg_pool2d_backward, conv2d, conv2d_backward, global_avg_pool,
+    global_avg_pool_backward, matmul, max_pool2d, max_pool2d_backward, Tensor,
+};
+use proptest::prelude::*;
+
+fn arb_tensor(shape: &'static [usize]) -> impl Strategy<Value = Tensor> {
+    let numel: usize = shape.iter().product();
+    prop::collection::vec(-2.0f32..2.0, numel).prop_map(move |v| Tensor::from_vec(shape, v))
+}
+
+proptest! {
+    /// Matmul distributes over addition: (A + B)C == AC + BC.
+    #[test]
+    fn matmul_distributes(
+        a in arb_tensor(&[4, 5]),
+        b in arb_tensor(&[4, 5]),
+        c in arb_tensor(&[5, 3]),
+    ) {
+        let lhs = matmul(&(&a + &b), &c);
+        let rhs = &matmul(&a, &c) + &matmul(&b, &c);
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
+        }
+    }
+
+    /// Matmul is associative: (AB)C == A(BC).
+    #[test]
+    fn matmul_associates(
+        a in arb_tensor(&[3, 4]),
+        b in arb_tensor(&[4, 2]),
+        c in arb_tensor(&[2, 5]),
+    ) {
+        let lhs = matmul(&matmul(&a, &b), &c);
+        let rhs = matmul(&a, &matmul(&b, &c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-2, "{} vs {}", x, y);
+        }
+    }
+
+    /// Convolution is linear in its input.
+    #[test]
+    fn conv_linear_in_input(
+        x in arb_tensor(&[1, 2, 5, 5]),
+        y in arb_tensor(&[1, 2, 5, 5]),
+        w in arb_tensor(&[3, 2, 3, 3]),
+        s in 0.1f32..3.0,
+    ) {
+        let combined = conv2d(&(&(&x * s) + &y), &w, None, 1, 1);
+        let separate = &(&conv2d(&x, &w, None, 1, 1) * s) + &conv2d(&y, &w, None, 1, 1);
+        for (a, b) in combined.as_slice().iter().zip(separate.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-2, "{} vs {}", a, b);
+        }
+    }
+
+    /// The conv backward pass is the adjoint of the forward pass:
+    /// <conv(x), g> == <x, conv_backward(g).input>.
+    #[test]
+    fn conv_backward_is_adjoint(
+        x in arb_tensor(&[1, 2, 5, 5]),
+        w in arb_tensor(&[3, 2, 3, 3]),
+        g in arb_tensor(&[1, 3, 5, 5]),
+    ) {
+        let out = conv2d(&x, &w, None, 1, 1);
+        let lhs: f32 = out.as_slice().iter().zip(g.as_slice()).map(|(a, b)| a * b).sum();
+        let grads = conv2d_backward(&x, &w, &g, 1, 1, false);
+        let rhs: f32 = x.as_slice().iter().zip(grads.input.as_slice()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 0.05 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
+    }
+
+    /// Max pool output dominates avg pool output element-wise.
+    #[test]
+    fn max_dominates_avg(x in arb_tensor(&[2, 2, 4, 4])) {
+        let (mx, _) = max_pool2d(&x, 2);
+        let av = avg_pool2d(&x, 2);
+        for (m, a) in mx.as_slice().iter().zip(av.as_slice()) {
+            prop_assert!(m >= a);
+        }
+    }
+
+    /// Pooling backward passes conserve total gradient mass
+    /// (sum of grad_in == sum of grad_out for max/avg/global-avg).
+    #[test]
+    fn pool_backward_conserves_mass(
+        x in arb_tensor(&[1, 2, 4, 4]),
+        g in arb_tensor(&[1, 2, 2, 2]),
+        gg in arb_tensor(&[1, 2]),
+    ) {
+        let (_, argmax) = max_pool2d(&x, 2);
+        let gi = max_pool2d_backward(x.shape(), &g, &argmax);
+        prop_assert!((gi.sum() - g.sum()).abs() < 1e-3);
+
+        let gi2 = avg_pool2d_backward(x.shape(), &g, 2);
+        prop_assert!((gi2.sum() - g.sum()).abs() < 1e-3);
+
+        let _ = global_avg_pool(&x);
+        let gi3 = global_avg_pool_backward(x.shape(), &gg);
+        prop_assert!((gi3.sum() - gg.sum()).abs() < 1e-3);
+    }
+
+    /// Stack then batch_item round-trips.
+    #[test]
+    fn stack_batch_item_round_trip(
+        a in arb_tensor(&[2, 3, 3]),
+        b in arb_tensor(&[2, 3, 3]),
+    ) {
+        let s = Tensor::stack(&[a.clone(), b.clone()]);
+        prop_assert_eq!(s.shape(), &[2, 2, 3, 3]);
+        prop_assert_eq!(s.batch_item(0), a.as_slice());
+        prop_assert_eq!(s.batch_item(1), b.as_slice());
+    }
+
+    /// Norm identities: l1 >= l2, scaling is homogeneous.
+    #[test]
+    fn norm_identities(x in arb_tensor(&[16]), s in 0.0f32..4.0) {
+        prop_assert!(x.l1_norm() + 1e-6 >= x.l2_norm());
+        let scaled = &x * s;
+        prop_assert!((scaled.l1_norm() - s * x.l1_norm()).abs() < 1e-3);
+        prop_assert!((scaled.l2_norm() - s * x.l2_norm()).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,58 @@
+//! Trains all four detectors of the paper's Table 3 on a small
+//! synthetic dataset and prints a mini version of the table.
+//!
+//! ```text
+//! cargo run --release -p hotspot-core --example compare_detectors
+//! ```
+//!
+//! For the full-scale regeneration, use the benchmark harness:
+//! `cargo run --release -p hotspot-bench --bin tables -- --table 3`.
+
+use hotspot_core::{
+    evaluate, AdaBoostHotspotDetector, BnnDetector, BnnTrainConfig, CcsHotspotDetector,
+    DatasetSpec, DctCnnHotspotDetector, HotspotDetector, HotspotOracle, OpticalModel, RocCurve,
+};
+use std::time::Instant;
+
+fn main() {
+    println!("generating dataset (Table 2 scaled to 2%)...");
+    let oracle = HotspotOracle::new(OpticalModel::default());
+    let data = DatasetSpec::iccad2012_like().scaled(0.02).build(&oracle);
+    let (hs, nhs) = data.train_counts();
+    println!("  train {hs}/{nhs}, test {:?}\n", data.test_counts());
+
+    let mut detectors: Vec<Box<dyn HotspotDetector>> = vec![
+        Box::new(AdaBoostHotspotDetector::new()),
+        Box::new(CcsHotspotDetector::new()),
+        Box::new(DctCnnHotspotDetector::new()),
+        Box::new(BnnDetector::new(BnnTrainConfig::bench())),
+    ];
+
+    println!(
+        "{:<18} {:>6} {:>12} {:>10} {:>9} {:>7} {:>10}",
+        "Method", "FA#", "Runtime(ms)", "ODST(s)", "Accu(%)", "AUC", "train(s)"
+    );
+    println!("{}", "-".repeat(78));
+    let images: Vec<_> = data.test.iter().map(|c| c.image.clone()).collect();
+    let labels: Vec<bool> = data.test.iter().map(|c| c.hotspot).collect();
+    for det in &mut detectors {
+        let t0 = Instant::now();
+        det.fit(&data.train);
+        let train_time = t0.elapsed();
+        let result = evaluate(det.as_mut(), &data.test);
+        let scores = det.score_batch(&images);
+        let auc = RocCurve::from_scores(&scores, &labels).auc();
+        println!(
+            "{:<18} {:>6} {:>12.1} {:>10.0} {:>9.1} {:>7.3} {:>10.1}",
+            det.name(),
+            result.confusion.false_alarms(),
+            result.runtime.as_secs_f64() * 1e3,
+            result.odst_seconds(10.0),
+            100.0 * result.confusion.accuracy(),
+            auc,
+            train_time.as_secs_f64(),
+        );
+    }
+    println!("\n(shape, not absolute numbers, is the claim: the BNN should match or");
+    println!(" beat the DCT-CNN's accuracy while classifying much faster.)");
+}

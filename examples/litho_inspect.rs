@@ -1,0 +1,93 @@
+//! Inspects the lithography simulator on a tip-to-tip gap sweep: shows
+//! where the hotspot oracle starts firing and why, with aerial-image
+//! cross sections.
+//!
+//! ```text
+//! cargo run --release -p hotspot-core --example litho_inspect
+//! ```
+
+use hotspot_core::{HotspotOracle, Layout, OpticalModel, Rect};
+use hotspot_litho_sim::{aerial_image, ProcessCorner};
+
+fn main() {
+    let model = OpticalModel::default();
+    let oracle = HotspotOracle::new(model);
+    let window = Rect::new(0, 0, 1280, 1280);
+
+    println!("optical model: sigma {} nm, threshold {}, dose latitude ±{}%",
+        model.sigma_nm, model.threshold, model.dose_latitude * 100.0);
+    println!("\ntip-to-tip gap sweep (two 240 nm-wide wires):\n");
+    println!(
+        "{:>8} {:>14} {:>10} verdict",
+        "gap(nm)", "mid intensity", "threshold"
+    );
+
+    for gap in [20i64, 40, 60, 80, 120, 200, 300] {
+        let layout = Layout::from_rects([
+            Rect::new(100, 520, 640 - gap / 2, 760),
+            Rect::new(640 + gap - gap / 2, 520, 1180, 760),
+        ]);
+        let report = oracle.analyze(&layout, window);
+        // Mid-gap intensity at the over-exposure corner, where
+        // bridging appears first.
+        let design = oracle.raster().rasterize(&layout, window);
+        let intensity = aerial_image(&design, &model, ProcessCorner::DosePlus);
+        let mid = intensity[64 * 128 + 64];
+        let verdict = if report.is_hotspot() {
+            format!("HOTSPOT {:?}", report.defects())
+        } else {
+            "clean".to_string()
+        };
+        println!(
+            "{:>8} {:>14.3} {:>10.3} {}",
+            gap,
+            mid,
+            model.threshold_at(ProcessCorner::DosePlus),
+            verdict
+        );
+    }
+
+    println!("\nline-width sweep (isolated horizontal wire):\n");
+    println!("{:>10} verdict", "width(nm)");
+    for width in [20i64, 40, 60, 80, 100, 140] {
+        let layout = Layout::from_rects([Rect::new(
+            100,
+            640 - width / 2,
+            1180,
+            640 + width - width / 2,
+        )]);
+        let report = oracle.analyze(&layout, window);
+        let verdict = if report.is_hotspot() {
+            format!("HOTSPOT {:?}", report.defects())
+        } else {
+            "clean".to_string()
+        };
+        println!("{width:>10} {verdict}");
+    }
+
+    // Render one aerial cross-section for intuition.
+    println!("\naerial-intensity cross section through a 40 nm tip gap (DosePlus):");
+    let layout = Layout::from_rects([
+        Rect::new(100, 520, 620, 760),
+        Rect::new(660, 520, 1180, 760),
+    ]);
+    let design = oracle.raster().rasterize(&layout, window);
+    let intensity = aerial_image(&design, &model, ProcessCorner::DosePlus);
+    let thr = model.threshold_at(ProcessCorner::DosePlus);
+    let row = 64;
+    print!("  ");
+    for x in (40..90).step_by(1) {
+        let v = intensity[row * 128 + x] as f64;
+        print!(
+            "{}",
+            if v >= thr {
+                '#'
+            } else if v >= 0.5 * thr {
+                '+'
+            } else {
+                '.'
+            }
+        );
+    }
+    println!("\n  (# prints, + marginal, . dark — columns 40–90 of row 64)");
+}

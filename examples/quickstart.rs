@@ -1,0 +1,43 @@
+//! Quickstart: generate a small ICCAD-2012-like dataset, train the
+//! paper's BNN detector, and report Table-1/Eq-1..3 metrics.
+//!
+//! ```text
+//! cargo run --release -p hotspot-core --example quickstart
+//! ```
+
+use hotspot_core::{
+    evaluate, BnnDetector, BnnTrainConfig, DatasetSpec, HotspotDetector, HotspotOracle,
+    OpticalModel,
+};
+
+fn main() {
+    // 1. A scaled-down dataset with the paper's class ratios
+    //    (Table 2 scaled to ~1%), labelled by lithography simulation.
+    println!("generating dataset (litho-simulating every clip)...");
+    let oracle = HotspotOracle::new(OpticalModel::default());
+    let data = DatasetSpec::iccad2012_like().scaled(0.01).build(&oracle);
+    let (train_hs, train_nhs) = data.train_counts();
+    let (test_hs, test_nhs) = data.test_counts();
+    println!("  train: {train_hs} hotspots / {train_nhs} non-hotspots");
+    println!("  test:  {test_hs} hotspots / {test_nhs} non-hotspots");
+
+    // 2. Train the binarized residual network (Algorithm 1 + biased
+    //    fine-tune), then compile it to the XNOR inference engine.
+    println!("training the BNN detector...");
+    let mut config = BnnTrainConfig::bench();
+    config.verbose = true;
+    let mut detector = BnnDetector::new(config);
+    detector.fit(&data.train);
+
+    // 3. Evaluate with the paper's metrics.
+    let result = evaluate(&mut detector, &data.test);
+    println!("\nconfusion matrix (paper Table 1):");
+    println!("{}", result.confusion);
+    println!("\naccuracy (Eq. 1):    {:.1}%", 100.0 * result.confusion.accuracy());
+    println!("false alarms (Eq. 2): {}", result.confusion.false_alarms());
+    println!("inference runtime:    {:.2?}", result.runtime);
+    println!(
+        "ODST (Eq. 3, t_ls = 10 s): {:.0} s",
+        result.odst_seconds(10.0)
+    );
+}

@@ -1,0 +1,69 @@
+//! Score-based operating-point tuning: train the BNN, trace its ROC,
+//! pick the ODST-optimal threshold, and round-trip the compiled model
+//! through disk.
+//!
+//! ```text
+//! cargo run --release -p hotspot-core --example roc_tuning
+//! ```
+
+use hotspot_core::persist::{load_model, save_model};
+use hotspot_core::{
+    BnnDetector, BnnTrainConfig, DatasetSpec, HotspotDetector, HotspotOracle, OpticalModel,
+    RocCurve,
+};
+
+fn main() {
+    println!("generating dataset (Table 2 scaled to 1%)...");
+    let oracle = HotspotOracle::new(OpticalModel::default());
+    let data = DatasetSpec::iccad2012_like().scaled(0.01).build(&oracle);
+
+    println!("training the BNN detector...");
+    let mut detector = BnnDetector::new(BnnTrainConfig::bench());
+    detector.fit(&data.train);
+
+    // Continuous scores over the test split.
+    let images: Vec<_> = data.test.iter().map(|c| c.image.clone()).collect();
+    let labels: Vec<bool> = data.test.iter().map(|c| c.hotspot).collect();
+    let scores = detector.score_batch(&images);
+    let roc = RocCurve::from_scores(&scores, &labels);
+
+    println!("\nROC (AUC {:.3}):", roc.auc());
+    println!("{:>12} {:>8} {:>8} {:>6} {:>6}", "threshold", "TPR", "FPR", "TP", "FP");
+    // Print a decimated view of the curve.
+    let pts = roc.points();
+    for p in pts.iter().step_by((pts.len() / 12).max(1)) {
+        println!(
+            "{:>12.3} {:>8.3} {:>8.3} {:>6} {:>6}",
+            p.threshold, p.tpr, p.fpr, p.confusion.tp, p.confusion.fp
+        );
+    }
+
+    let youden = roc.youden_optimal();
+    println!(
+        "\nYouden-optimal threshold {:.3}: TPR {:.3}, FPR {:.3}",
+        youden.threshold, youden.tpr, youden.fpr
+    );
+    // ODST-optimal operating point under a 90% accuracy floor.
+    let odst_pt = roc.odst_optimal(10.0, 0.004, 0.9);
+    println!(
+        "ODST-optimal (accuracy ≥ 90%): threshold {:.3}, ODST {:.0} s, FA {}",
+        odst_pt.threshold,
+        odst_pt.confusion.odst(10.0, 0.004),
+        odst_pt.confusion.false_alarms()
+    );
+
+    // Persist the compiled XNOR model and prove the round trip.
+    let path = std::env::temp_dir().join("brnn_demo_model.brnn");
+    let model = detector.packed().expect("trained").clone();
+    save_model(&path, &model).expect("save model");
+    let restored = load_model(&path).expect("load model");
+    let probe = detector.clip_to_tensor(&images[0]);
+    let batch = hotspot_tensor::Tensor::stack(std::slice::from_ref(&probe));
+    assert_eq!(model.forward(&batch), restored.forward(&batch));
+    println!(
+        "\nmodel saved to {} ({} bytes) and reloaded bit-identically",
+        path.display(),
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0)
+    );
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerates every table, figure and ablation, writing outputs next to
+# EXPERIMENTS.md. Scale 0.02 keeps the whole sweep laptop-sized; pass a
+# different scale as $1 (e.g. 1.0 for the full Table-2 counts).
+set -u
+SCALE="${1:-0.02}"
+cd "$(dirname "$0")/.."
+RUN="cargo run --release -q -p hotspot-bench --bin tables --"
+mkdir -p results
+$RUN --table 2 --scale "$SCALE"            | tee results/table2.txt
+$RUN --table 3 --scale "$SCALE"            | tee results/table3.txt
+$RUN --figure 2                            | tee results/figure2.txt
+$RUN --ablation epsilon --scale "$SCALE"   | tee results/ablation_epsilon.txt
+$RUN --ablation scaling --scale "$SCALE"   | tee results/ablation_scaling.txt
+$RUN --ablation input-size --scale "$SCALE"| tee results/ablation_input_size.txt

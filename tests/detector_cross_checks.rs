@@ -1,0 +1,144 @@
+//! Cross-detector consistency checks and BNN-specific invariants.
+
+use hotspot_core::{
+    BitImage, BnnDetector, BnnTrainConfig, HotspotDetector, InferencePath, LabeledClip,
+    PatternFamily, ScalingMode,
+};
+use hotspot_bnn::{sign_tensor, xnor_conv2d, BitFilter, BitTensor, NetConfig};
+use hotspot_tensor::{conv2d, Tensor};
+
+fn stripes(step: usize, phase: usize, side: usize) -> BitImage {
+    let mut img = BitImage::new(side, side);
+    let mut y = phase;
+    while y < side {
+        img.fill_row_span(y, 0, side);
+        y += step;
+    }
+    img
+}
+
+fn stripe_clips(n: usize) -> Vec<LabeledClip> {
+    (0..n)
+        .map(|i| {
+            let hotspot = i % 2 == 0;
+            LabeledClip {
+                image: stripes(if hotspot { 4 } else { 12 }, i % 3, 32),
+                hotspot,
+                family: PatternFamily::LineSpace,
+            }
+        })
+        .collect()
+}
+
+/// The XNOR kernel agrees with the float sign-convolution on large
+/// random instances — the foundational equivalence behind the packed
+/// engine (checked here at integration scale; unit tests cover small
+/// shapes).
+#[test]
+fn xnor_kernel_matches_float_at_scale() {
+    let mut state = 99u32;
+    let mut fill = |shape: &[usize]| {
+        let numel: usize = shape.iter().product();
+        Tensor::from_vec(
+            shape,
+            (0..numel)
+                .map(|_| {
+                    state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                    (state >> 16) as f32 / 32768.0 - 1.0
+                })
+                .collect(),
+        )
+    };
+    let x = fill(&[2, 96, 32, 32]);
+    let w = fill(&[16, 96, 3, 3]);
+    let expect = conv2d(&sign_tensor(&x), &sign_tensor(&w), None, 1, 1);
+    let got = xnor_conv2d(
+        &BitTensor::from_tensor(&x),
+        &BitFilter::from_tensor(&w),
+        1,
+        1,
+    );
+    assert_eq!(got.shape(), expect.shape());
+    for (a, b) in got.as_slice().iter().zip(expect.as_slice()) {
+        assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+    }
+}
+
+/// Configured inference path is what predict_batch uses.
+#[test]
+fn inference_path_switch_is_respected() {
+    let clips = stripe_clips(24);
+    let images: Vec<_> = clips.iter().map(|c| c.image.clone()).collect();
+
+    let mut packed_cfg = BnnTrainConfig::fast();
+    packed_cfg.inference = InferencePath::Packed;
+    let mut det = BnnDetector::new(packed_cfg);
+    det.fit(&clips);
+    let via_trait = det.predict_batch(&images);
+    let direct = det.predict_batch_packed(&images);
+    assert_eq!(via_trait, direct);
+
+    let mut float_cfg = BnnTrainConfig::fast();
+    float_cfg.inference = InferencePath::Float;
+    let mut det = BnnDetector::new(float_cfg);
+    det.fit(&clips);
+    let via_trait = det.predict_batch(&images);
+    let direct = det.predict_batch_float(&images);
+    assert_eq!(via_trait, direct);
+}
+
+/// All three scaling modes train on the toy problem; the scaled modes
+/// should not be catastrophically worse than each other (the paper's
+/// §3.2 argument is about fine accuracy differences at scale).
+#[test]
+fn every_scaling_mode_learns_the_toy_problem() {
+    let clips = stripe_clips(40);
+    let images: Vec<_> = clips.iter().map(|c| c.image.clone()).collect();
+    for mode in [
+        ScalingMode::PlainSign,
+        ScalingMode::Shared,
+        ScalingMode::PerChannel,
+    ] {
+        let mut cfg = BnnTrainConfig::fast();
+        cfg.net = NetConfig {
+            scaling: mode,
+            ..NetConfig::tiny(32)
+        };
+        cfg.inference = InferencePath::Float;
+        // Per-channel scaling amplifies early gradients (the scale map
+        // multiplies both passes); it needs a gentler learning rate.
+        cfg.learning_rate = 0.01;
+        cfg.epochs = 16;
+        let mut det = BnnDetector::new(cfg);
+        det.fit(&clips);
+        let preds = det.predict_batch(&images);
+        let correct = preds
+            .iter()
+            .zip(&clips)
+            .filter(|(p, c)| **p == c.hotspot)
+            .count();
+        assert!(
+            correct >= 28,
+            "{mode:?}: only {correct}/40 on the training set"
+        );
+    }
+}
+
+/// The flip augmentation is label-preserving end to end: a trained
+/// detector sees flipped clips as the same distribution (predictions on
+/// flipped test clips match predictions on the originals for a
+/// clearly-separated toy problem).
+#[test]
+fn predictions_stable_under_flips() {
+    let clips = stripe_clips(40);
+    let mut cfg = BnnTrainConfig::fast();
+    cfg.augment = true;
+    let mut det = BnnDetector::new(cfg);
+    det.fit(&clips);
+    let images: Vec<_> = clips.iter().map(|c| c.image.clone()).collect();
+    let flipped: Vec<_> = images.iter().map(|i| i.flip_horizontal()).collect();
+    let a = det.predict_batch(&images);
+    let b = det.predict_batch(&flipped);
+    let agree = a.iter().zip(&b).filter(|(x, y)| x == y).count();
+    assert!(agree >= 36, "only {agree}/40 stable under horizontal flip");
+}

@@ -1,0 +1,143 @@
+//! End-to-end integration tests: generate → label → train → evaluate,
+//! for every detector in the Table-3 comparison.
+
+use hotspot_core::{
+    evaluate, AdaBoostHotspotDetector, BnnDetector, BnnTrainConfig, CcsHotspotDetector,
+    DatasetSpec, DctCnnHotspotDetector, HotspotDetector, HotspotOracle, OpticalModel,
+    SplitDataset,
+};
+
+fn tiny_dataset() -> &'static SplitDataset {
+    use std::sync::OnceLock;
+    static DATA: OnceLock<SplitDataset> = OnceLock::new();
+    DATA.get_or_init(|| {
+        let spec = DatasetSpec {
+            train_hs: 8,
+            train_nhs: 24,
+            test_hs: 6,
+            test_nhs: 18,
+            extent: 1280,
+            seed: 424242,
+        };
+        spec.build(&HotspotOracle::new(OpticalModel::default()))
+    })
+}
+
+/// The dataset builder respects its quotas and produces 128×128 clips.
+#[test]
+fn dataset_has_requested_statistics() {
+    let data = tiny_dataset();
+    assert_eq!(data.train_counts(), (8, 24));
+    assert_eq!(data.test_counts(), (6, 18));
+    for clip in data.train.iter().chain(&data.test) {
+        assert_eq!(clip.image.width(), 128);
+        assert_eq!(clip.image.height(), 128);
+        assert!(clip.image.count_ones() > 0, "blank clip generated");
+    }
+}
+
+/// Every detector trains and does meaningfully better than the
+/// all-hotspot / all-clean degenerate strategies on the *training*
+/// distribution (tiny data, so we check train-side separability).
+#[test]
+fn all_detectors_train_and_separate() {
+    let data = tiny_dataset();
+    let detectors: Vec<Box<dyn HotspotDetector>> = vec![
+        Box::new(AdaBoostHotspotDetector::with_params(8, 24)),
+        Box::new(CcsHotspotDetector::new()),
+        Box::new(DctCnnHotspotDetector::new()),
+        Box::new(BnnDetector::new(small_bnn_config())),
+    ];
+    for mut det in detectors {
+        det.fit(&data.train);
+        let result = evaluate(det.as_mut(), &data.train);
+        let cm = result.confusion;
+        // Better than labelling everything one class: some true
+        // positives AND some true negatives.
+        assert!(cm.tp > 0, "{}: no hotspots detected", det.name());
+        assert!(cm.tn > 0, "{}: everything flagged", det.name());
+        let balanced =
+            (cm.accuracy() + cm.tn as f64 / (cm.tn + cm.fp).max(1) as f64) / 2.0;
+        assert!(
+            balanced > 0.6,
+            "{}: balanced accuracy {balanced:.2} on training data",
+            det.name()
+        );
+    }
+}
+
+fn small_bnn_config() -> BnnTrainConfig {
+    let mut cfg = BnnTrainConfig::fast();
+    // The dataset clips are 128×128; fast() expects 32×32 inputs, which
+    // clip_to_tensor reaches by 4× down-sampling.
+    cfg.epochs = 10;
+    cfg.verbose = false;
+    cfg
+}
+
+/// The BNN's packed XNOR path and the float training path implement
+/// the same function under shared scaling: their predictions agree.
+#[test]
+fn bnn_packed_equals_float_inference() {
+    let data = tiny_dataset();
+    let mut det = BnnDetector::new(small_bnn_config());
+    det.fit(&data.train);
+    let images: Vec<_> = data.test.iter().map(|c| c.image.clone()).collect();
+    let float_preds = det.predict_batch_float(&images);
+    let packed_preds = det.predict_batch_packed(&images);
+    assert_eq!(float_preds, packed_preds);
+}
+
+/// ODST accounting: more false alarms must mean more simulation time.
+#[test]
+fn odst_increases_with_false_alarms() {
+    let data = tiny_dataset();
+
+    struct FlagAll;
+    impl HotspotDetector for FlagAll {
+        fn name(&self) -> &str {
+            "flag-all"
+        }
+        fn fit(&mut self, _c: &[hotspot_core::LabeledClip]) {}
+        fn predict_batch(&mut self, images: &[hotspot_core::BitImage]) -> Vec<bool> {
+            vec![true; images.len()]
+        }
+    }
+    struct FlagNone;
+    impl HotspotDetector for FlagNone {
+        fn name(&self) -> &str {
+            "flag-none"
+        }
+        fn fit(&mut self, _c: &[hotspot_core::LabeledClip]) {}
+        fn predict_batch(&mut self, images: &[hotspot_core::BitImage]) -> Vec<bool> {
+            vec![false; images.len()]
+        }
+    }
+
+    let all = evaluate(&mut FlagAll, &data.test);
+    let none = evaluate(&mut FlagNone, &data.test);
+    assert!(all.odst_seconds(10.0) > none.odst_seconds(10.0));
+    // Flag-all achieves perfect recall with maximal false alarms.
+    assert_eq!(all.confusion.accuracy(), 1.0);
+    assert_eq!(all.confusion.false_alarms(), 18);
+    assert_eq!(none.confusion.accuracy(), 0.0);
+    assert_eq!(none.confusion.false_alarms(), 0);
+}
+
+/// Training is reproducible: the same config and data give the same
+/// predictions.
+#[test]
+fn bnn_training_is_deterministic() {
+    let data = tiny_dataset();
+    let images: Vec<_> = data.test.iter().map(|c| c.image.clone()).collect();
+
+    let mut a = BnnDetector::new(small_bnn_config());
+    a.fit(&data.train);
+    let pa = a.predict_batch(&images);
+
+    let mut b = BnnDetector::new(small_bnn_config());
+    b.fit(&data.train);
+    let pb = b.predict_batch(&images);
+
+    assert_eq!(pa, pb);
+}

@@ -1,0 +1,91 @@
+//! Property-based tests spanning the whole pipeline.
+
+use hotspot_core::{BitImage, ConfusionMatrix, HotspotOracle, Layout, OpticalModel, Rect};
+use hotspot_layout_gen::{decode_layout, encode_layout, ClipGenerator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The oracle's label is invariant under mirroring the clip —
+    /// lithography does not care about layout chirality, and this is
+    /// exactly why the paper's flip augmentation is label-preserving.
+    #[test]
+    fn oracle_label_is_flip_invariant(seed in 0u64..200) {
+        let gen = ClipGenerator::new(640); // smaller clips: faster sim
+        let mut rng = StdRng::seed_from_u64(seed);
+        let clip = gen.generate(&mut rng);
+        let oracle = HotspotOracle::new(OpticalModel::default());
+        let window = gen.window();
+        let label = oracle.label(&clip.layout, window);
+        let mirrored = clip.layout.mirror_x(320);
+        prop_assert_eq!(oracle.label(&mirrored, window), label);
+        let mirrored_y = clip.layout.mirror_y(320);
+        prop_assert_eq!(oracle.label(&mirrored_y, window), label);
+    }
+
+    /// Layout text serialization round-trips for arbitrary rect soups.
+    #[test]
+    fn layout_serialization_round_trips(
+        rects in prop::collection::vec((0i64..2000, 0i64..2000, 1i64..500, 1i64..500), 0..20)
+    ) {
+        let layout = Layout::from_rects(
+            rects.into_iter().map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h)),
+        );
+        let text = encode_layout(&layout);
+        let back = decode_layout(&text).expect("round trip");
+        prop_assert_eq!(back, layout);
+    }
+
+    /// Confusion-matrix counts always conserve the number of examples,
+    /// and accuracy/false alarms stay within their ranges.
+    #[test]
+    fn confusion_conserves_counts(outcomes in prop::collection::vec((any::<bool>(), any::<bool>()), 1..300)) {
+        let mut cm = ConfusionMatrix::new();
+        for &(actual, pred) in &outcomes {
+            cm.record(actual, pred);
+        }
+        prop_assert_eq!(cm.total() as usize, outcomes.len());
+        prop_assert!((0.0..=1.0).contains(&cm.accuracy()));
+        prop_assert!(cm.false_alarms() <= cm.total());
+        let odst = cm.odst(10.0, 0.001);
+        prop_assert!(odst >= 0.0);
+        // ODST is monotone in t_ls when anything is flagged.
+        if cm.tp + cm.fp > 0 {
+            prop_assert!(cm.odst(20.0, 0.001) > odst);
+        }
+    }
+
+    /// Rasterizing a generated clip never produces more set pixels than
+    /// the clip's covered area implies (pixel-centre sampling bound).
+    #[test]
+    fn raster_density_tracks_layout_density(seed in 0u64..100) {
+        let gen = ClipGenerator::new(640);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let clip = gen.generate(&mut rng);
+        let window = gen.window();
+        let raster = hotspot_core::Raster::new(10);
+        let img = raster.rasterize(&clip.layout, window);
+        let raster_density = img.density();
+        let layout_density = clip.layout.density(window);
+        // Pixel-centre sampling of Manhattan shapes at 10 nm resolution
+        // tracks the true density closely.
+        prop_assert!((raster_density - layout_density).abs() < 0.1,
+            "raster {} vs layout {}", raster_density, layout_density);
+    }
+
+    /// Down-sampling a clip image preserves emptiness and fullness.
+    #[test]
+    fn downsample_preserves_extremes(fill in any::<bool>()) {
+        let mut img = BitImage::new(128, 128);
+        if fill {
+            for y in 0..128 {
+                img.fill_row_span(y, 0, 128);
+            }
+        }
+        let d = img.downsample(4, 0.5);
+        prop_assert_eq!(d.count_ones(), if fill { 32 * 32 } else { 0 });
+    }
+}
