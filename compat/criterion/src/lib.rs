@@ -1,0 +1,294 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Benches run a calibration/warm-up phase, then `sample_size` timed
+//! samples, and print per-iteration mean/min plus derived throughput.
+//! There are no statistical comparisons against saved baselines — this
+//! is a thin, dependency-free timing harness with a criterion-shaped
+//! API so the bench sources stay upstream-compatible.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Timing-harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time spent warming up / calibrating before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(
+            &id.to_string(),
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            None,
+            &mut f,
+        );
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput unit attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Two-part benchmark identifier (`function/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id made of a function name and a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput unit.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput unit reported for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.parent.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.parent.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(
+            &label,
+            self.parent.sample_size,
+            self.parent.warm_up_time,
+            self.parent.measurement_time,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one benchmark that closes over an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: impl Display, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Per-sample timing handle passed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench(
+    label: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Calibration: grow the iteration count until one batch is long
+    // enough to time reliably, spending at least the warm-up budget.
+    let mut iters: u64 = 1;
+    let mut per_iter = Duration::from_nanos(1);
+    let warm_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed > Duration::ZERO {
+            per_iter = b.elapsed / u32::try_from(iters).unwrap_or(u32::MAX).max(1);
+        }
+        if warm_start.elapsed() >= warm_up && b.elapsed >= Duration::from_micros(50) {
+            break;
+        }
+        if warm_start.elapsed() >= warm_up.max(Duration::from_secs(3)) {
+            break;
+        }
+        iters = iters.saturating_mul(if b.elapsed < Duration::from_millis(1) {
+            4
+        } else {
+            2
+        });
+        iters = iters.min(1 << 28);
+    }
+
+    let per_sample = measurement / u32::try_from(sample_size).unwrap_or(u32::MAX).max(1);
+    let per_iter_ns = per_iter.as_nanos().max(1);
+    let sample_iters =
+        u64::try_from((per_sample.as_nanos() / per_iter_ns).max(1)).unwrap_or(u64::MAX);
+
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    let mut timed_iters: u64 = 0;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: sample_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean = b.elapsed / u32::try_from(sample_iters).unwrap_or(u32::MAX).max(1);
+        total += b.elapsed;
+        timed_iters += sample_iters;
+        best = best.min(mean);
+    }
+    let mean = if timed_iters > 0 {
+        Duration::from_nanos(
+            u64::try_from(total.as_nanos() / u128::from(timed_iters)).unwrap_or(u64::MAX),
+        )
+    } else {
+        Duration::ZERO
+    };
+
+    let mut line = format!(
+        "bench: {label:<50} mean {:>12.3?}  min {:>12.3?}  ({sample_iters} iters x {sample_size} samples)",
+        mean, best
+    );
+    if let Some(tp) = throughput {
+        let mean_s = mean.as_secs_f64();
+        if mean_s > 0.0 {
+            match tp {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  {:>12.1} elem/s", n as f64 / mean_s));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(
+                        "  {:>12.1} MiB/s",
+                        n as f64 / mean_s / (1024.0 * 1024.0)
+                    ));
+                }
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Expands to a function running each target with a shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Expands to `main`, running each benchmark group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,123 @@
+//! Distributions: `Uniform` plus the range plumbing behind
+//! `Rng::gen_range`.
+
+use crate::Rng;
+
+/// A distribution sampling values of `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform distribution over a half-open range `[lo, hi)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    lo: T,
+    hi: T,
+}
+
+impl<T: uniform::SampleUniform> Uniform<T> {
+    /// Uniform over `[lo, hi)`.
+    pub fn new(lo: T, hi: T) -> Self {
+        Uniform { lo, hi }
+    }
+
+    /// Uniform over `[lo, hi]`.
+    pub fn new_inclusive(lo: T, hi: T) -> UniformInclusive<T> {
+        UniformInclusive { lo, hi }
+    }
+}
+
+impl<T: uniform::SampleUniform> Distribution<T> for Uniform<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_range(self.lo, self.hi, rng)
+    }
+}
+
+/// Uniform distribution over an inclusive range `[lo, hi]`.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformInclusive<T> {
+    lo: T,
+    hi: T,
+}
+
+impl<T: uniform::SampleUniform> Distribution<T> for UniformInclusive<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_inclusive(self.lo, self.hi, rng)
+    }
+}
+
+pub mod uniform {
+    //! Range-sampling traits mirroring `rand::distributions::uniform`.
+
+    use crate::{unit_f64, RngCore};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be drawn uniformly from a range.
+    pub trait SampleUniform: Copy {
+        /// Uniform sample from `[lo, hi)`; panics when the range is
+        /// empty.
+        fn sample_range<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+
+        /// Uniform sample from `[lo, hi]`; panics when `hi < lo`.
+        fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    }
+
+    macro_rules! int_uniform {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleUniform for $t {
+                fn sample_range<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                    assert!(lo < hi, "gen_range: empty range {lo}..{hi}");
+                    let span = (hi as i128 - lo as i128) as u128;
+                    let off = rng.next_u64() as u128 % span;
+                    (lo as i128 + off as i128) as $t
+                }
+
+                fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                    assert!(lo <= hi, "gen_range: empty range {lo}..={hi}");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = rng.next_u64() as u128 % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_uniform!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! float_uniform {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleUniform for $t {
+                fn sample_range<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                    assert!(lo < hi, "gen_range: empty range {lo}..{hi}");
+                    lo + (hi - lo) * (unit_f64(rng.next_u64()) as $t)
+                }
+
+                fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                    assert!(lo <= hi, "gen_range: empty range {lo}..={hi}");
+                    lo + (hi - lo) * (unit_f64(rng.next_u64()) as $t)
+                }
+            }
+        )*};
+    }
+
+    float_uniform!(f32, f64);
+
+    /// Ranges accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one sample from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_range(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_inclusive(*self.start(), *self.end(), rng)
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Sequence helpers.
+
+use crate::Rng;
+
+/// Slice shuffling, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! Work items are materialized into a `Vec`, then distributed over
+//! `std::thread::scope` workers through an atomic cursor (dynamic load
+//! balancing, like rayon's work stealing but coarser). Result order is
+//! always preserved, matching rayon's indexed parallel iterators.
+//!
+//! Supported surface: `par_iter`, `into_par_iter` (vectors and
+//! `Range<usize>`/`Range<u64>`), `par_chunks`, `par_chunks_mut`,
+//! `enumerate`, `map`, `for_each`, `collect`, `sum` and
+//! `current_num_threads`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+/// Number of worker threads a parallel call may use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Applies `f` to every item on a scoped thread pool, preserving input
+/// order in the result.
+fn run<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Each slot hands its item to exactly one worker and carries the
+    // result back; the cursor is the only shared mutable state.
+    let slots: Vec<Mutex<(Option<T>, Option<R>)>> = items
+        .into_iter()
+        .map(|item| Mutex::new((Some(item), None)))
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().0.take().unwrap();
+                let out = f(item);
+                slots[i].lock().unwrap().1 = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().1.unwrap())
+        .collect()
+}
+
+/// An eager "parallel iterator": the pending items, run on `for_each`
+/// / `collect`.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pairs every item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Lazily maps items; runs when the result is consumed.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` over all items in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        run(self.items, f);
+    }
+
+    /// Parallelism-hint no-op, kept for rayon API compatibility.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+/// A mapped [`ParIter`], consumed by `collect`/`for_each`/`sum`.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Runs the map in parallel and collects results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        run(self.items, self.f).into_iter().collect()
+    }
+
+    /// Runs the map in parallel, discarding results.
+    pub fn for_each<R, G>(self, g: G)
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        G: Fn(R) + Sync,
+    {
+        run(self.items, |item| g((self.f)(item)));
+    }
+
+    /// Runs the map in parallel and sums the results.
+    pub fn sum<R, S>(self) -> S
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        S: std::iter::Sum<R>,
+    {
+        run(self.items, self.f).into_iter().sum()
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type produced by the iterator.
+    type Item: Send;
+
+    /// Consumes `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Conversion into a parallel iterator over shared references.
+pub trait IntoParallelRefIterator<'data> {
+    /// Reference item type.
+    type Item: Send;
+
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Parallel chunking of shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Non-overlapping chunks of `chunk_size` (last may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// Parallel chunking of mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Non-overlapping mutable chunks of `chunk_size`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..257usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 257);
+        for (i, &sq) in squares.iter().enumerate() {
+            assert_eq!(sq, i * i);
+        }
+    }
+
+    #[test]
+    fn chunks_mut_touch_every_element() {
+        let mut data = vec![0u32; 100];
+        data.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x = i as u32 + 1;
+            }
+        });
+        assert!(data.iter().all(|&x| x > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[99], 15);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let words = vec!["a".to_string(), "bb".to_string(), "ccc".to_string()];
+        let lens: Vec<usize> = words.par_iter().map(|w| w.len()).collect();
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+}

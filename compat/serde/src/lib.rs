@@ -1,0 +1,39 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The container this workspace builds in has no network access and no
+//! cargo registry cache, so external crates cannot be fetched. Model
+//! and dataset persistence uses a hand-rolled binary codec (see
+//! `hotspot_core::persist`), which means nothing in the workspace
+//! actually drives a serde `Serializer`/`Deserializer`. This shim
+//! keeps the trait bounds and `#[derive(...)]` attributes compiling:
+//! `Serialize` and `Deserialize` are marker traits blanket-implemented
+//! for every type, and the derive macros expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; every type satisfies it.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; every type satisfies it.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub mod de {
+    //! Stand-ins for `serde::de`.
+
+    pub use crate::Deserialize;
+
+    /// Marker stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+
+    impl<T: ?Sized> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    //! Stand-ins for `serde::ser`.
+
+    pub use crate::Serialize;
+}

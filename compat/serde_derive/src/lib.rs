@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace vendors a minimal serde facade (see the sibling
+//! `serde` shim) whose `Serialize`/`Deserialize` traits are marker
+//! traits with blanket impls, so the derive macros here expand to
+//! nothing at all. They exist only so `#[derive(Serialize,
+//! Deserialize)]` keeps compiling without the crates.io dependency.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

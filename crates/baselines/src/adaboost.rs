@@ -187,7 +187,7 @@ impl AdaBoostDetector {
     /// # Panics
     ///
     /// Panics when inputs are empty or lengths disagree.
-    pub fn fit(&mut self, images: &[BitImage], labels: &[bool]) {
+    pub fn fit(&mut self, images: &[&BitImage], labels: &[bool]) {
         let features: Vec<Vec<f32>> = images.iter().map(|i| self.features(i)).collect();
         self.model = AdaBoostModel::fit(&features, labels, self.rounds);
     }
@@ -262,7 +262,7 @@ mod tests {
         let images: Vec<BitImage> = (0..10).map(|i| mk(i % 2 == 0)).collect();
         let labels: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
         let mut det = AdaBoostDetector::new(4, 10);
-        det.fit(&images, &labels);
+        det.fit(&images.iter().collect::<Vec<_>>(), &labels);
         assert!(det.predict(&mk(true)));
         assert!(!det.predict(&mk(false)));
         assert!(!det.model().stumps().is_empty());

@@ -76,7 +76,7 @@ impl CcsBoostDetector {
     /// # Panics
     ///
     /// Panics when inputs are empty or lengths disagree.
-    pub fn fit(&mut self, images: &[BitImage], labels: &[bool]) {
+    pub fn fit(&mut self, images: &[&BitImage], labels: &[bool]) {
         assert!(!images.is_empty(), "cannot train on zero examples");
         assert_eq!(images.len(), labels.len(), "one label per clip");
         let features: Vec<Vec<f32>> = images.iter().map(|i| self.features(i)).collect();
@@ -165,7 +165,7 @@ mod tests {
         let images: Vec<BitImage> = (0..12).map(|i| ring_image(i % 2 == 0)).collect();
         let labels: Vec<bool> = (0..12).map(|i| i % 2 == 0).collect();
         let mut det = CcsBoostDetector::new(8, 4);
-        det.fit(&images, &labels);
+        det.fit(&images.iter().collect::<Vec<_>>(), &labels);
         assert!(det.predict(&ring_image(true)));
         assert!(!det.predict(&ring_image(false)));
     }
@@ -175,7 +175,7 @@ mod tests {
         let images: Vec<BitImage> = (0..4).map(|i| ring_image(i % 2 == 0)).collect();
         let labels = vec![true, false, true, false];
         let mut det = CcsBoostDetector::new(6, 2);
-        det.fit(&images, &labels);
+        det.fit(&images.iter().collect::<Vec<_>>(), &labels);
         let p = det.probability(&ring_image(true));
         assert!((0.0..=1.0).contains(&p));
     }
@@ -185,7 +185,7 @@ mod tests {
         let images: Vec<BitImage> = (0..4).map(|i| ring_image(i % 2 == 0)).collect();
         let labels = vec![true, false, true, false];
         let mut det = CcsBoostDetector::new(6, 2).with_epochs(5);
-        det.fit(&images, &labels);
+        det.fit(&images.iter().collect::<Vec<_>>(), &labels);
         let before = det.probability(&ring_image(true));
         // Repeatedly tell it the inner pattern is NOT a hotspot.
         for _ in 0..200 {

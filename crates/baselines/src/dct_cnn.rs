@@ -114,7 +114,7 @@ impl DctCnnDetector {
     ///
     /// Panics when inputs are empty, lengths disagree, or the clip side
     /// is not a multiple of `4 × block` (two pool stages).
-    pub fn fit(&mut self, images: &[BitImage], labels: &[bool]) {
+    pub fn fit(&mut self, images: &[&BitImage], labels: &[bool]) {
         assert!(!images.is_empty(), "cannot train on zero examples");
         assert_eq!(images.len(), labels.len(), "one label per clip");
 
@@ -127,7 +127,7 @@ impl DctCnnDetector {
                 .iter()
                 .zip(labels)
                 .filter(|(_, &l)| l)
-                .map(|(i, _)| i)
+                .map(|(i, _)| *i)
                 .collect();
             let nhs = images.len() - hs.len();
             if !hs.is_empty() && nhs > 2 * hs.len() {
@@ -141,7 +141,10 @@ impl DctCnnDetector {
         }
         let shape = dataset.image_shape().expect("non-empty").to_vec();
         let nb = shape[1];
-        assert!(nb.is_multiple_of(4), "feature grid {nb} must be divisible by 4 (two pool stages)");
+        assert!(
+            nb.is_multiple_of(4),
+            "feature grid {nb} must be divisible by 4 (two pool stages)"
+        );
         let feat = self.config.channels.1 * (nb / 4) * (nb / 4);
 
         let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(1));
@@ -149,7 +152,15 @@ impl DctCnnDetector {
         let (c1, c2) = self.config.channels;
         let mut init_rng = StdRng::seed_from_u64(self.config.seed);
         self.net = Sequential::new(vec![
-            Box::new(Conv2d::new(self.config.keep, c1, 3, 1, 1, true, &mut init_rng)),
+            Box::new(Conv2d::new(
+                self.config.keep,
+                c1,
+                3,
+                1,
+                1,
+                true,
+                &mut init_rng,
+            )),
             Box::new(Relu::new()),
             Box::new(MaxPool2d::new(2)),
             Box::new(Conv2d::new(c1, c2, 3, 1, 1, true, &mut init_rng)),
@@ -172,8 +183,7 @@ impl DctCnnDetector {
             }
         }
         // Biased fine-tune (DAC'17 §biased learning).
-        let biased =
-            SoftmaxCrossEntropy::with_bias(BiasedLabels::new(self.config.bias_epsilon));
+        let biased = SoftmaxCrossEntropy::with_bias(BiasedLabels::new(self.config.bias_epsilon));
         for _ in 0..self.config.bias_epochs {
             for (batch, classes) in batcher.batches(&mut rng) {
                 self.net.zero_grads();
@@ -191,7 +201,7 @@ impl DctCnnDetector {
     /// # Panics
     ///
     /// Panics when called before [`fit`](DctCnnDetector::fit).
-    pub fn probabilities(&mut self, images: &[BitImage]) -> Vec<f32> {
+    pub fn probabilities(&mut self, images: &[&BitImage]) -> Vec<f32> {
         assert!(self.trained, "call fit before predicting");
         // Feature extraction dominates inference cost; parallelize it.
         let (block, keep) = (self.config.block, self.config.keep);
@@ -217,7 +227,7 @@ impl DctCnnDetector {
     ///
     /// Panics when called before [`fit`](DctCnnDetector::fit).
     pub fn predict(&mut self, image: &BitImage) -> bool {
-        self.probabilities(std::slice::from_ref(image))[0] >= 0.5
+        self.probabilities(&[image])[0] >= 0.5
     }
 }
 
@@ -244,11 +254,11 @@ mod tests {
             block: 8,
             keep: 6,
             channels: (4, 8),
-            epochs: 12,
+            epochs: 16,
             bias_epochs: 2,
             batch_size: 8,
-            learning_rate: 0.01,
-            bias_epsilon: 0.2,
+            learning_rate: 0.02,
+            bias_epsilon: 0.05,
             seed: 5,
             balance: true,
         }
@@ -259,7 +269,7 @@ mod tests {
         let images: Vec<BitImage> = (0..16).map(|i| striped(i % 2 == 0)).collect();
         let labels: Vec<bool> = (0..16).map(|i| i % 2 == 0).collect();
         let mut det = DctCnnDetector::new(quick_config());
-        det.fit(&images, &labels);
+        det.fit(&images.iter().collect::<Vec<_>>(), &labels);
         assert!(det.predict(&striped(true)));
         assert!(!det.predict(&striped(false)));
     }
@@ -269,8 +279,8 @@ mod tests {
         let images: Vec<BitImage> = (0..8).map(|i| striped(i % 2 == 0)).collect();
         let labels: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
         let mut det = DctCnnDetector::new(quick_config());
-        det.fit(&images, &labels);
-        for p in det.probabilities(&images) {
+        det.fit(&images.iter().collect::<Vec<_>>(), &labels);
+        for p in det.probabilities(&images.iter().collect::<Vec<_>>()) {
             assert!((0.0..=1.0).contains(&p));
         }
     }

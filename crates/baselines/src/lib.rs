@@ -27,7 +27,7 @@
 //! let labels = vec![true, false];
 //!
 //! let mut det = AdaBoostDetector::new(4, 20);
-//! det.fit(&images, &labels);
+//! det.fit(&images.iter().collect::<Vec<_>>(), &labels);
 //! assert!(det.predict(&hotspot));
 //! assert!(!det.predict(&clean));
 //! ```

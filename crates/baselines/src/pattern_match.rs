@@ -60,7 +60,7 @@ impl PatternMatchDetector {
     /// (non-hotspots contribute nothing — pattern matchers only encode
     /// known-bad geometry).  Near-duplicate templates are merged to
     /// keep matching fast.
-    pub fn fit(&mut self, images: &[BitImage], labels: &[bool]) {
+    pub fn fit(&mut self, images: &[&BitImage], labels: &[bool]) {
         assert_eq!(images.len(), labels.len(), "one label per clip");
         self.templates.clear();
         let dedup_radius = self.fuzziness / 2.0;
@@ -70,11 +70,7 @@ impl PatternMatchDetector {
             }
             // Store the clip and its flips (matching must be
             // orientation-robust, like real PM decks).
-            for variant in [
-                img.clone(),
-                img.flip_horizontal(),
-                img.flip_vertical(),
-            ] {
+            for variant in [(*img).clone(), img.flip_horizontal(), img.flip_vertical()] {
                 let sig = self.signature(&variant);
                 let dup = self
                     .templates
@@ -138,10 +134,10 @@ mod tests {
 
     #[test]
     fn matches_seen_patterns_exactly() {
-        let images = vec![stripes(4), stripes(12)];
+        let images = [stripes(4), stripes(12)];
         let labels = vec![true, false];
         let mut det = PatternMatchDetector::new(8, 0.05);
-        det.fit(&images, &labels);
+        det.fit(&images.iter().collect::<Vec<_>>(), &labels);
         assert!(det.template_count() >= 1);
         assert!(det.predict(&stripes(4)));
         assert!(!det.predict(&stripes(12)));
@@ -150,7 +146,7 @@ mod tests {
     #[test]
     fn matches_near_variants_within_fuzziness() {
         let mut det = PatternMatchDetector::new(4, 0.1);
-        det.fit(&[blob(8, 10)], &[true]);
+        det.fit(&[&blob(8, 10)], &[true]);
         // A slightly shifted blob still matches.
         assert!(det.predict(&blob(10, 10)));
         // A very different pattern does not.
@@ -162,15 +158,15 @@ mod tests {
         // The paper's core criticism: templates of horizontal-stripe
         // hotspots say nothing about an unseen blob hotspot.
         let mut det = PatternMatchDetector::new(8, 0.05);
-        det.fit(&[stripes(4)], &[true]);
+        det.fit(&[&stripes(4)], &[true]);
         assert!(!det.predict(&blob(12, 8)));
     }
 
     #[test]
     fn flip_variants_are_matched() {
         let mut det = PatternMatchDetector::new(8, 0.02);
-        det.fit(&[blob(2, 8)], &[true]); // blob near the left edge
-        // Horizontal flip puts it near the right edge; still a match.
+        det.fit(&[&blob(2, 8)], &[true]); // blob near the left edge
+                                          // Horizontal flip puts it near the right edge; still a match.
         assert!(det.predict(&blob(2, 8).flip_horizontal()));
     }
 
@@ -180,8 +176,12 @@ mod tests {
         let images: Vec<BitImage> = (0..20).map(|_| stripes(4)).collect();
         let labels = vec![true; 20];
         let mut det = PatternMatchDetector::new(8, 0.1);
-        det.fit(&images, &labels);
-        assert!(det.template_count() <= 3, "{} templates", det.template_count());
+        det.fit(&images.iter().collect::<Vec<_>>(), &labels);
+        assert!(
+            det.template_count() <= 3,
+            "{} templates",
+            det.template_count()
+        );
     }
 
     #[test]

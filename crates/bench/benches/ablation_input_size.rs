@@ -11,7 +11,7 @@ fn bench_input_sizes(c: &mut Criterion) {
     for &ls in &[32usize, 64, 128] {
         let det = quick_bnn(ls);
         let clips = stripe_clips(8, ls);
-        let images: Vec<_> = clips.iter().map(|c| c.image.clone()).collect();
+        let images: Vec<_> = clips.iter().map(|c| &c.image).collect();
         group.throughput(Throughput::Elements(images.len() as u64));
         group.bench_function(BenchmarkId::new("packed_inference", ls), |b| {
             b.iter(|| det.predict_batch_packed(black_box(&images)))

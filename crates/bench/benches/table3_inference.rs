@@ -17,7 +17,7 @@ fn bench_inference(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3_inference");
     let train = stripe_clips(16, 64);
     let eval = stripe_clips(32, 64);
-    let images: Vec<_> = eval.iter().map(|c| c.image.clone()).collect();
+    let images: Vec<_> = eval.iter().map(|c| &c.image).collect();
     group.throughput(Throughput::Elements(images.len() as u64));
 
     let mut adaboost = AdaBoostHotspotDetector::new();

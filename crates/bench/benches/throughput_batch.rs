@@ -1,0 +1,48 @@
+//! Batch classification throughput of the workspace-backed packed
+//! engine, in clips/sec.
+//!
+//! `table3_inference` measures per-detector latency on one mid-size
+//! batch; this bench sweeps the batch size through the `BnnDetector`
+//! packed path to show what the execution-plan refactor buys: small
+//! batches run on a single warm workspace, large batches shard across
+//! rayon workers with one workspace per worker, and neither regime
+//! allocates in steady state.  Criterion's `Throughput::Elements`
+//! reporting makes the clips/sec number the headline figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hotspot_bench::stripe_clips;
+use hotspot_core::{BnnDetector, BnnTrainConfig, HotspotDetector};
+use std::hint::black_box;
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput_batch");
+
+    let train = stripe_clips(16, 64);
+    let mut cfg = BnnTrainConfig::bench();
+    cfg.epochs = 2;
+    cfg.bias_epochs = 0;
+    let mut det = BnnDetector::new(cfg);
+    det.fit(&train);
+
+    // 1 exercises the single-clip fast path, 32 a sub-shard batch, 256
+    // a multi-shard batch that fans out across rayon workers.
+    for &batch in &[1usize, 32, 256] {
+        let eval = stripe_clips(batch, 64);
+        let images: Vec<_> = eval.iter().map(|c| &c.image).collect();
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(
+            BenchmarkId::new("packed_clips_per_sec", batch),
+            &images,
+            |b, images| b.iter(|| det.predict_batch(black_box(images))),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = hotspot_bench::quick_criterion();
+    targets = bench_throughput
+}
+criterion_main!(benches);

@@ -116,7 +116,7 @@ fn table3(scale: f64, verbose: bool) {
         "Method", "FA#", "Runtime(s)", "ODST(s)", "Accu(%)", "AUC", "train(s)"
     );
     println!("{}", "-".repeat(82));
-    let images: Vec<_> = data.test.iter().map(|c| c.image.clone()).collect();
+    let images: Vec<_> = data.test.iter().map(|c| &c.image).collect();
     let labels: Vec<bool> = data.test.iter().map(|c| c.hotspot).collect();
 
     let mut bnn_cfg = BnnTrainConfig::bench();
@@ -134,7 +134,7 @@ fn table3(scale: f64, verbose: bool) {
         let t0 = Instant::now();
         det.fit(&data.train);
         let train_time = t0.elapsed();
-        let result = evaluate(det.as_mut(), &data.test);
+        let result = evaluate(det.as_ref(), &data.test);
         let scores = det.score_batch(&images);
         let auc = RocCurve::from_scores(&scores, &labels).auc();
         println!(
@@ -149,10 +149,22 @@ fn table3(scale: f64, verbose: bool) {
         );
     }
     println!("\npaper (full ICCAD-2012, GTX 1060):");
-    println!("{:<20} {:>7} {:>12} {:>11} {:>9}", "SPIE'15", 2919, 2672, 53112, 84.2);
-    println!("{:<20} {:>7} {:>12} {:>11} {:>9}", "ICCAD'16", 4497, 1052, 70628, 97.7);
-    println!("{:<20} {:>7} {:>12} {:>11} {:>9}", "DAC'17", 3413, 482, 59402, 98.2);
-    println!("{:<20} {:>7} {:>12} {:>11} {:>9}", "Ours (paper)", 2787, 60, 52970, 99.2);
+    println!(
+        "{:<20} {:>7} {:>12} {:>11} {:>9}",
+        "SPIE'15", 2919, 2672, 53112, 84.2
+    );
+    println!(
+        "{:<20} {:>7} {:>12} {:>11} {:>9}",
+        "ICCAD'16", 4497, 1052, 70628, 97.7
+    );
+    println!(
+        "{:<20} {:>7} {:>12} {:>11} {:>9}",
+        "DAC'17", 3413, 482, 59402, 98.2
+    );
+    println!(
+        "{:<20} {:>7} {:>12} {:>11} {:>9}",
+        "Ours (paper)", 2787, 60, 52970, 99.2
+    );
 }
 
 /// Figure 2: the 12-layer architecture summary.
@@ -204,7 +216,7 @@ fn ablation_epsilon(scale: f64, verbose: bool) {
         cfg.verbose = verbose;
         let mut det = BnnDetector::new(cfg);
         det.fit(&data.train);
-        let result = evaluate(&mut det, &data.test);
+        let result = evaluate(&det, &data.test);
         println!(
             "{:>8.1} {:>9.1} {:>7}",
             eps,
@@ -234,7 +246,7 @@ fn ablation_scaling(scale: f64, verbose: bool) {
         cfg.verbose = verbose;
         let mut det = BnnDetector::new(cfg);
         det.fit(&data.train);
-        let result = evaluate(&mut det, &data.test);
+        let result = evaluate(&det, &data.test);
         println!(
             "{:<12} {:>9.1} {:>7}",
             name,
@@ -248,7 +260,10 @@ fn ablation_scaling(scale: f64, verbose: bool) {
 fn ablation_input_size(scale: f64, verbose: bool) {
     let data = build(scale);
     println!("\nAblation — input down-sampling size l_s (paper §3.4.1, l_s = 128):\n");
-    println!("{:>6} {:>9} {:>7} {:>12}", "l_s", "Accu(%)", "FA#", "Runtime(s)");
+    println!(
+        "{:>6} {:>9} {:>7} {:>12}",
+        "l_s", "Accu(%)", "FA#", "Runtime(s)"
+    );
     for ls in [32usize, 64, 128] {
         let mut cfg = BnnTrainConfig::bench();
         cfg.epochs = 8; // ablation sweep: lighter budget per point
@@ -257,7 +272,7 @@ fn ablation_input_size(scale: f64, verbose: bool) {
         cfg.verbose = verbose;
         let mut det = BnnDetector::new(cfg);
         det.fit(&data.train);
-        let result = evaluate(&mut det, &data.test);
+        let result = evaluate(&det, &data.test);
         println!(
             "{:>6} {:>9.1} {:>7} {:>12.3}",
             ls,

@@ -36,32 +36,7 @@ impl BitTensor {
         let (n, c, h, w) = (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3]);
         let wpp = c.div_ceil(64);
         let mut data = vec![0u64; n * h * w * wpp];
-        let src = t.as_slice();
-        // Pixel-major packing: accumulate each pixel's channel word(s)
-        // locally, touching the output buffer once per word.
-        let plane = h * w;
-        for ni in 0..n {
-            let item = &src[ni * c * plane..(ni + 1) * c * plane];
-            for p in 0..plane {
-                let base = (ni * plane + p) * wpp;
-                let mut word = 0u64;
-                let mut word_idx = 0;
-                for ci in 0..c {
-                    let bit = ci % 64;
-                    if item[ci * plane + p] >= 0.0 {
-                        word |= 1u64 << bit;
-                    }
-                    if bit == 63 {
-                        data[base + word_idx] = word;
-                        word = 0;
-                        word_idx += 1;
-                    }
-                }
-                if c % 64 != 0 {
-                    data[base + word_idx] = word;
-                }
-            }
-        }
+        pack_signs_into(t.as_slice(), n, c, h, w, &mut data);
         BitTensor {
             n,
             c,
@@ -126,6 +101,47 @@ impl BitTensor {
     }
 }
 
+/// Packs the signs of an NCHW float slice into channel-packed pixel
+/// words (the [`BitTensor`] layout) in a caller-provided buffer: bit
+/// `c % 64` of word `c / 64` at pixel `(n, y, x)` is `1` when the value
+/// is `≥ 0`.  Every word of `data` is overwritten, including the zero
+/// padding bits above channel `c` that the XNOR kernel relies on, so a
+/// reused scratch buffer needs no re-zeroing.
+///
+/// # Panics
+///
+/// Panics when either slice length disagrees with the dimensions.
+pub fn pack_signs_into(src: &[f32], n: usize, c: usize, h: usize, w: usize, data: &mut [u64]) {
+    let wpp = c.div_ceil(64);
+    let plane = h * w;
+    assert_eq!(src.len(), n * c * plane, "source length mismatch");
+    assert_eq!(data.len(), n * plane * wpp, "packed buffer length mismatch");
+    // Pixel-major packing: accumulate each pixel's channel word(s)
+    // locally, touching the output buffer once per word.
+    for ni in 0..n {
+        let item = &src[ni * c * plane..(ni + 1) * c * plane];
+        for p in 0..plane {
+            let base = (ni * plane + p) * wpp;
+            let mut word = 0u64;
+            let mut word_idx = 0;
+            for ci in 0..c {
+                let bit = ci % 64;
+                if item[ci * plane + p] >= 0.0 {
+                    word |= 1u64 << bit;
+                }
+                if bit == 63 {
+                    data[base + word_idx] = word;
+                    word = 0;
+                    word_idx += 1;
+                }
+            }
+            if !c.is_multiple_of(64) {
+                data[base + word_idx] = word;
+            }
+        }
+    }
+}
+
 /// Bit-packed ±1 convolution weights `[k, c, kh, kw]`, channel-packed
 /// to match [`BitTensor`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -174,6 +190,48 @@ impl BitFilter {
         }
     }
 
+    /// Rebuilds a filter from its raw dimensions and packed words, as
+    /// produced by [`BitFilter::as_words`]. Used by the wire codec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the word count does not match the
+    /// dimensions or a padding bit above channel `c` is set (the XNOR
+    /// kernel relies on zeroed padding bits).
+    pub fn from_raw_parts(
+        k: usize,
+        c: usize,
+        kh: usize,
+        kw: usize,
+        data: Vec<u64>,
+    ) -> Result<Self, String> {
+        if k == 0 || c == 0 || kh == 0 || kw == 0 {
+            return Err(format!("degenerate filter dims [{k}, {c}, {kh}, {kw}]"));
+        }
+        let wpt = c.div_ceil(64);
+        if data.len() != k * kh * kw * wpt {
+            return Err(format!(
+                "filter [{k}, {c}, {kh}, {kw}] needs {} words, got {}",
+                k * kh * kw * wpt,
+                data.len()
+            ));
+        }
+        if !c.is_multiple_of(64) {
+            let mask = !((1u64 << (c % 64)) - 1);
+            if data.chunks_exact(wpt).any(|tap| tap[wpt - 1] & mask != 0) {
+                return Err("padding bits above channel count are set".into());
+            }
+        }
+        Ok(BitFilter {
+            k,
+            c,
+            kh,
+            kw,
+            words_per_tap: wpt,
+            data,
+        })
+    }
+
     /// Shape as `(k, c, kh, kw)`.
     pub fn dims(&self) -> (usize, usize, usize, usize) {
         (self.k, self.c, self.kh, self.kw)
@@ -185,7 +243,10 @@ impl BitFilter {
     ///
     /// Panics when out of range.
     pub fn tap_words(&self, k: usize, ky: usize, kx: usize) -> &[u64] {
-        assert!(k < self.k && ky < self.kh && kx < self.kw, "tap out of range");
+        assert!(
+            k < self.k && ky < self.kh && kx < self.kw,
+            "tap out of range"
+        );
         let base = ((k * self.kh + ky) * self.kw + kx) * self.words_per_tap;
         &self.data[base..base + self.words_per_tap]
     }
@@ -250,10 +311,7 @@ mod tests {
 
     #[test]
     fn filter_pack_matches_signs() {
-        let w = Tensor::from_vec(
-            &[1, 2, 1, 2],
-            vec![0.5, -0.5, -0.1, 0.1],
-        );
+        let w = Tensor::from_vec(&[1, 2, 1, 2], vec![0.5, -0.5, -0.1, 0.1]);
         let f = BitFilter::from_tensor(&w);
         assert_eq!(f.dims(), (1, 2, 1, 2));
         // Tap (0,0,0): channels [0.5, -0.1] → bits 0b01.

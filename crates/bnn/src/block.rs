@@ -121,7 +121,9 @@ impl BinaryResidualBlock {
 
 impl Layer for BinaryResidualBlock {
     fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
-        let main = self.block2.forward(&self.block1.forward(input, training), training);
+        let main = self
+            .block2
+            .forward(&self.block1.forward(input, training), training);
         let short = match self.shortcut.as_mut() {
             Some(s) => s.forward(input, training),
             None => input.clone(),

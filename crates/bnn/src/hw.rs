@@ -90,8 +90,8 @@ pub fn estimate_hardware(summary: &[LayerSummary], config: &HwConfig) -> HwEstim
             // The summary folds them together, so approximate: weights
             // dominate; charge everything 1 bit plus a 32-bit affine
             // pair per output channel.
-            weight_bits += layer.params as u64
-                + 64 * layer.output_shape.first().copied().unwrap_or(0) as u64;
+            weight_bits +=
+                layer.params as u64 + 64 * layer.output_shape.first().copied().unwrap_or(0) as u64;
             binary_macs += layer.binary_ops;
         } else {
             weight_bits += 32 * layer.params as u64;
@@ -134,15 +134,31 @@ mod tests {
     fn weight_memory_fits_small_fpga() {
         let est = estimate_hardware(&paper_summary(), &HwConfig::default());
         // ~155k binary weights → well under 1 Mbit of weight storage.
-        assert!(est.weight_bits < 1_000_000, "weight bits {}", est.weight_bits);
+        assert!(
+            est.weight_bits < 1_000_000,
+            "weight bits {}",
+            est.weight_bits
+        );
         assert!(est.weight_bits > 100_000);
     }
 
     #[test]
     fn more_lanes_means_fewer_cycles() {
         let summary = paper_summary();
-        let slow = estimate_hardware(&summary, &HwConfig { lanes: 1, ..HwConfig::default() });
-        let fast = estimate_hardware(&summary, &HwConfig { lanes: 16, ..HwConfig::default() });
+        let slow = estimate_hardware(
+            &summary,
+            &HwConfig {
+                lanes: 1,
+                ..HwConfig::default()
+            },
+        );
+        let fast = estimate_hardware(
+            &summary,
+            &HwConfig {
+                lanes: 16,
+                ..HwConfig::default()
+            },
+        );
         assert!(fast.cycles_per_clip < slow.cycles_per_clip);
         assert!(fast.datapath_luts > slow.datapath_luts);
         // Throughput improves, Amdahl-limited by the scalar float
@@ -153,8 +169,20 @@ mod tests {
     #[test]
     fn clock_scales_throughput_linearly() {
         let summary = paper_summary();
-        let base = estimate_hardware(&summary, &HwConfig { clock_mhz: 100.0, ..HwConfig::default() });
-        let double = estimate_hardware(&summary, &HwConfig { clock_mhz: 200.0, ..HwConfig::default() });
+        let base = estimate_hardware(
+            &summary,
+            &HwConfig {
+                clock_mhz: 100.0,
+                ..HwConfig::default()
+            },
+        );
+        let double = estimate_hardware(
+            &summary,
+            &HwConfig {
+                clock_mhz: 200.0,
+                ..HwConfig::default()
+            },
+        );
         assert_eq!(base.cycles_per_clip, double.cycles_per_clip);
         assert!((double.clips_per_second / base.clips_per_second - 2.0).abs() < 1e-9);
     }
@@ -162,6 +190,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one lane")]
     fn zero_lanes_rejected() {
-        estimate_hardware(&paper_summary(), &HwConfig { lanes: 0, ..HwConfig::default() });
+        estimate_hardware(
+            &paper_summary(),
+            &HwConfig {
+                lanes: 0,
+                ..HwConfig::default()
+            },
+        );
     }
 }

@@ -48,7 +48,10 @@ fn mul_broadcast_map(t: &Tensor, map: &Tensor) -> Tensor {
         let plane = &m[ni * oh * ow..(ni + 1) * oh * ow];
         for ki in 0..k {
             let base = (ni * k + ki) * oh * ow;
-            for (v, &s) in out.as_mut_slice()[base..base + oh * ow].iter_mut().zip(plane) {
+            for (v, &s) in out.as_mut_slice()[base..base + oh * ow]
+                .iter_mut()
+                .zip(plane)
+            {
                 *v *= s;
             }
         }
@@ -154,7 +157,13 @@ impl Layer for BinConv2d {
             _ => weight_scale(&self.weight.value),
         };
         let binarized_weight = scale_filters(&sign_tensor(&self.weight.value), &alpha_w);
-        let mut out = conv2d(&binarized_input, &binarized_weight, None, self.stride, self.pad);
+        let mut out = conv2d(
+            &binarized_input,
+            &binarized_weight,
+            None,
+            self.stride,
+            self.pad,
+        );
         if let Some(s) = &output_scale {
             out = mul_broadcast_map(&out, s);
         }

@@ -37,22 +37,25 @@
 //! ```
 
 pub mod bitpack;
-pub mod hw;
 pub mod block;
+pub mod hw;
 pub mod layer;
 pub mod model;
 pub mod packed;
+pub mod plan;
 pub mod scaling;
 pub mod ste;
+pub mod wire;
 
-pub use bitpack::{BitFilter, BitTensor};
-pub use hw::{estimate_hardware, HwConfig, HwEstimate};
+pub use bitpack::{pack_signs_into, BitFilter, BitTensor};
 pub use block::{BinaryResidualBlock, BnnBlock};
+pub use hw::{estimate_hardware, HwConfig, HwEstimate};
 pub use layer::BinConv2d;
 pub use model::{BnnResNet, LayerSummary, NetConfig};
-pub use packed::{xnor_conv2d, PackedBnn, PackedConv, PackedResidual};
+pub use packed::{xnor_conv2d, xnor_conv2d_into, PackedBnn, PackedConv, PackedResidual};
+pub use plan::ExecPlan;
 pub use scaling::{
-    box_filter, input_scale_per_channel, input_scale_shared, output_scale_shared, weight_scale,
-    ScalingMode,
+    box_filter, box_filter_into, input_scale_per_channel, input_scale_shared, output_scale_shared,
+    output_scale_shared_into, weight_scale, ScalingMode,
 };
-pub use ste::{ste_grad, sign_tensor};
+pub use ste::{sign_tensor, ste_grad};

@@ -172,24 +172,26 @@ impl BnnResNet {
         let mut size = self.config.input_size;
         let mut channels = 1usize;
 
-        let conv_row = |name: &str,
-                        cin: usize,
-                        cout: usize,
-                        k: usize,
-                        out_size: usize|
-         -> LayerSummary {
-            let macs = (cin * k * k * cout) as u64 * (out_size * out_size) as u64;
-            LayerSummary {
-                name: name.to_string(),
-                output_shape: vec![cout, out_size, out_size],
-                // BN gamma/beta + binary conv weights.
-                params: 2 * cin + cout * cin * k * k,
-                binary_ops: macs,
-                float_ops: 0,
-            }
-        };
+        let conv_row =
+            |name: &str, cin: usize, cout: usize, k: usize, out_size: usize| -> LayerSummary {
+                let macs = (cin * k * k * cout) as u64 * (out_size * out_size) as u64;
+                LayerSummary {
+                    name: name.to_string(),
+                    output_shape: vec![cout, out_size, out_size],
+                    // BN gamma/beta + binary conv weights.
+                    params: 2 * cin + cout * cin * k * k,
+                    binary_ops: macs,
+                    float_ops: 0,
+                }
+            };
 
-        rows.push(conv_row("stem", channels, self.config.stem_filters, 3, size));
+        rows.push(conv_row(
+            "stem",
+            channels,
+            self.config.stem_filters,
+            3,
+            size,
+        ));
         channels = self.config.stem_filters;
         for (i, &(filters, stride)) in self.config.stages.iter().enumerate() {
             let out_size = size / stride;

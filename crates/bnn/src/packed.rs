@@ -11,10 +11,11 @@
 //!
 //! [`BnnResNet`]: crate::model::BnnResNet
 
-use crate::bitpack::{BitFilter, BitTensor};
+use crate::bitpack::{pack_signs_into, BitFilter, BitTensor};
 use crate::block::{BinaryResidualBlock, BnnBlock};
 use crate::model::BnnResNet;
-use crate::scaling::{output_scale_shared, weight_scale, ScalingMode};
+use crate::scaling::{output_scale_shared_into, weight_scale, ScalingMode};
+use hotspot_tensor::workspace::{global_pool, Workspace};
 use hotspot_tensor::Tensor;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -36,22 +37,124 @@ pub fn xnor_conv2d(input: &BitTensor, filter: &BitFilter, stride: usize, pad: us
     assert!(stride > 0, "stride must be positive");
     let oh = (h + 2 * pad - kh) / stride + 1;
     let ow = (w + 2 * pad - kw) / stride + 1;
-
-    let wpp = input.words_per_pixel();
     let in_words = input.as_words();
-    let f_words = filter.as_words();
-    let wpt = filter.words_per_tap();
-    debug_assert_eq!(wpp, wpt);
 
     let mut out = vec![0.0f32; n * k * oh * ow];
-    // Parallelize over (batch, filter) pairs; inside, iterate kernel
-    // taps in the outer loops so the innermost loop is a tight run
-    // over contiguous output pixels with no bounds checks.
-    out.par_chunks_mut(oh * ow).enumerate().for_each(|(chunk, plane)| {
+    // Parallelize over (batch, filter) pairs; each worker draws its
+    // integer scratch from the process-wide workspace pool.
+    out.par_chunks_mut(oh * ow)
+        .enumerate()
+        .for_each(|(chunk, plane)| {
+            let ni = chunk / k;
+            let ki = chunk % k;
+            let mut ws = global_pool().checkout();
+            let mut acc = ws.take_i32(oh * ow);
+            let mut taps_hit = ws.take_i32(oh * ow);
+            xnor_plane(
+                in_words,
+                (c, h, w),
+                filter,
+                stride,
+                pad,
+                ni,
+                ki,
+                &mut acc,
+                &mut taps_hit,
+                plane,
+            );
+            ws.give_i32(taps_hit);
+            ws.give_i32(acc);
+            global_pool().restore(ws);
+        });
+    Tensor::from_vec(&[n, k, oh, ow], out)
+}
+
+/// Binary convolution on raw [`BitTensor`]-layout words into a
+/// caller-provided `[n, k, oh, ow]` buffer, with caller-provided
+/// integer scratch — the sequential, allocation-free core behind
+/// [`xnor_conv2d`] and the [`crate::plan::ExecPlan`] engine.
+///
+/// `acc` and `taps_hit` must each hold `oh * ow` elements (contents
+/// ignored).  Every element of `out` is overwritten.
+///
+/// # Panics
+///
+/// Panics when the channel counts disagree or a buffer length does not
+/// match the dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn xnor_conv2d_into(
+    in_words: &[u64],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    filter: &BitFilter,
+    stride: usize,
+    pad: usize,
+    acc: &mut [i32],
+    taps_hit: &mut [i32],
+    out: &mut [f32],
+) {
+    let (k, fc, kh, kw) = filter.dims();
+    assert_eq!(c, fc, "input has {c} channels, filter expects {fc}");
+    assert!(stride > 0, "stride must be positive");
+    let wpp = c.div_ceil(64);
+    assert_eq!(
+        in_words.len(),
+        n * h * w * wpp,
+        "packed input length mismatch"
+    );
+    let oh = (h + 2 * pad - kh) / stride + 1;
+    let ow = (w + 2 * pad - kw) / stride + 1;
+    assert_eq!(acc.len(), oh * ow, "acc scratch length mismatch");
+    assert_eq!(taps_hit.len(), oh * ow, "taps scratch length mismatch");
+    assert_eq!(out.len(), n * k * oh * ow, "output length mismatch");
+    for chunk in 0..n * k {
+        let plane = &mut out[chunk * oh * ow..(chunk + 1) * oh * ow];
         let ni = chunk / k;
         let ki = chunk % k;
-        let mut acc = vec![0i32; oh * ow];
-        let mut taps_hit = vec![0i32; oh * ow];
+        xnor_plane(
+            in_words,
+            (c, h, w),
+            filter,
+            stride,
+            pad,
+            ni,
+            ki,
+            acc,
+            taps_hit,
+            plane,
+        );
+    }
+}
+
+/// One output plane (batch item `ni`, filter `ki`) of a binary
+/// convolution.  Kernel taps iterate in the outer loops so the
+/// innermost loop is a tight run over contiguous output pixels with no
+/// bounds checks.
+#[allow(clippy::too_many_arguments)]
+fn xnor_plane(
+    in_words: &[u64],
+    (c, h, w): (usize, usize, usize),
+    filter: &BitFilter,
+    stride: usize,
+    pad: usize,
+    ni: usize,
+    ki: usize,
+    acc: &mut [i32],
+    taps_hit: &mut [i32],
+    plane: &mut [f32],
+) {
+    let (_, _, kh, kw) = filter.dims();
+    let wpt = filter.words_per_tap();
+    let wpp = c.div_ceil(64);
+    let f_words = filter.as_words();
+    let oh = (h + 2 * pad - kh) / stride + 1;
+    let ow = (w + 2 * pad - kw) / stride + 1;
+    debug_assert_eq!(wpp, wpt);
+    {
+        acc.fill(0);
+        taps_hit.fill(0);
         for ky in 0..kh {
             for kx in 0..kw {
                 let tap_base = ((ki * kh + ky) * kw + kx) * wpt;
@@ -116,11 +219,10 @@ pub fn xnor_conv2d(input: &BitTensor, filter: &BitFilter, stride: usize, pad: us
             }
         }
         // dot = Σ_taps (c − 2·mismatches) = taps·c − 2·total_mismatches.
-        for ((o, &mism), &taps) in plane.iter_mut().zip(&acc).zip(&taps_hit) {
+        for ((o, &mism), &taps) in plane.iter_mut().zip(acc.iter()).zip(taps_hit.iter()) {
             *o = (taps * c as i32 - 2 * mism) as f32;
         }
-    });
-    Tensor::from_vec(&[n, k, oh, ow], out)
+    }
 }
 
 /// A compiled binary convolution block: batch-norm affine + packed
@@ -171,52 +273,198 @@ impl PackedConv {
         }
     }
 
+    /// Rebuilds a packed conv from its parts (wire codec + tests).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts(
+        bn_scale: Vec<f32>,
+        bn_shift: Vec<f32>,
+        filter: BitFilter,
+        alpha_w: Vec<f32>,
+        stride: usize,
+        pad: usize,
+        kernel: usize,
+        scaling: ScalingMode,
+    ) -> Self {
+        PackedConv {
+            bn_scale,
+            bn_shift,
+            filter,
+            alpha_w,
+            stride,
+            pad,
+            kernel,
+            scaling,
+        }
+    }
+
+    /// Folded batch-norm scale per input channel.
+    pub fn bn_scale(&self) -> &[f32] {
+        &self.bn_scale
+    }
+
+    /// Folded batch-norm shift per input channel.
+    pub fn bn_shift(&self) -> &[f32] {
+        &self.bn_shift
+    }
+
+    /// The bit-packed weights.
+    pub fn filter(&self) -> &BitFilter {
+        &self.filter
+    }
+
+    /// Per-filter weight scale `α_W`.
+    pub fn alpha_w(&self) -> &[f32] {
+        &self.alpha_w
+    }
+
+    /// Convolution stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding on each side.
+    pub fn pad(&self) -> usize {
+        self.pad
+    }
+
+    /// Square kernel side length.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// The activation-scaling mode this conv was compiled with.
+    pub fn scaling(&self) -> ScalingMode {
+        self.scaling
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.alpha_w.len()
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.bn_scale.len()
+    }
+
+    /// Output spatial size for an `h × w` input.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            (h + 2 * self.pad - self.kernel) / self.stride + 1,
+            (w + 2 * self.pad - self.kernel) / self.stride + 1,
+        )
+    }
+
     /// Runs the block on a real-valued NCHW activation.
     pub fn forward(&self, x: &Tensor) -> Tensor {
         let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         assert_eq!(c, self.bn_scale.len(), "channel mismatch");
+        let (oh, ow) = self.output_hw(h, w);
+        let mut out = vec![0.0f32; n * self.alpha_w.len() * oh * ow];
+        let mut ws = global_pool().checkout();
+        self.forward_into(x.as_slice(), n, h, w, &mut ws, &mut out);
+        global_pool().restore(ws);
+        Tensor::from_vec(&[n, self.alpha_w.len(), oh, ow], out)
+    }
+
+    /// Runs the block on a raw NCHW slice into a caller-provided
+    /// `[n, k, oh, ow]` buffer (overwritten), with every intermediate —
+    /// batch-norm fold, packed sign words, integer popcount scratch,
+    /// scale maps — drawn from `ws`.  After one warm-up call with the
+    /// same shapes, subsequent calls perform no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a slice length disagrees with the dimensions.
+    pub fn forward_into(
+        &self,
+        x: &[f32],
+        n: usize,
+        h: usize,
+        w: usize,
+        ws: &mut Workspace,
+        out: &mut [f32],
+    ) {
+        let c = self.bn_scale.len();
+        let plane = h * w;
+        assert_eq!(x.len(), n * c * plane, "input length mismatch");
+        let (oh, ow) = self.output_hw(h, w);
+        let ko = self.alpha_w.len();
+        assert_eq!(out.len(), n * ko * oh * ow, "output length mismatch");
+
         // Fold batch norm.
-        let mut normed = Tensor::zeros(x.shape());
-        {
-            let src = x.as_slice();
-            let dst = normed.as_mut_slice();
-            let plane = h * w;
+        let mut normed = ws.take_f32(n * c * plane);
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * plane;
+                let (s, b) = (self.bn_scale[ci], self.bn_shift[ci]);
+                for (dst, src) in normed[base..base + plane]
+                    .iter_mut()
+                    .zip(&x[base..base + plane])
+                {
+                    *dst = s * src + b;
+                }
+            }
+        }
+
+        // XNOR core on sign-packed words.
+        let wpp = c.div_ceil(64);
+        let mut words = ws.take_u64(n * plane * wpp);
+        pack_signs_into(&normed, n, c, h, w, &mut words);
+        let mut acc = ws.take_i32(oh * ow);
+        let mut taps_hit = ws.take_i32(oh * ow);
+        xnor_conv2d_into(
+            &words,
+            n,
+            c,
+            h,
+            w,
+            &self.filter,
+            self.stride,
+            self.pad,
+            &mut acc,
+            &mut taps_hit,
+            out,
+        );
+        ws.give_i32(taps_hit);
+        ws.give_i32(acc);
+        ws.give_u64(words);
+
+        if !matches!(self.scaling, ScalingMode::PlainSign) {
+            // Factored activation scale: the exact same map the float
+            // Shared path multiplies into its output, so compiled
+            // inference reproduces the training-path function.
+            // Networks trained with PerChannel scaling are
+            // approximated by this shared map at inference (see crate
+            // docs).
+            let mut smap = ws.take_f32(n * oh * ow);
+            let mut mean = ws.take_f32(plane);
+            output_scale_shared_into(
+                &normed,
+                n,
+                c,
+                h,
+                w,
+                self.kernel,
+                self.stride,
+                self.pad,
+                &mut mean,
+                &mut smap,
+            );
             for ni in 0..n {
-                for ci in 0..c {
-                    let base = (ni * c + ci) * plane;
-                    let (s, b) = (self.bn_scale[ci], self.bn_shift[ci]);
-                    for i in base..base + plane {
-                        dst[i] = s * src[i] + b;
+                let splane = &smap[ni * oh * ow..(ni + 1) * oh * ow];
+                for ki in 0..ko {
+                    let alpha = self.alpha_w[ki];
+                    let base = (ni * ko + ki) * oh * ow;
+                    for (v, s) in out[base..base + oh * ow].iter_mut().zip(splane) {
+                        *v *= alpha * s;
                     }
                 }
             }
+            ws.give_f32(mean);
+            ws.give_f32(smap);
         }
-        // XNOR core.
-        let bits = BitTensor::from_tensor(&normed);
-        let mut out = xnor_conv2d(&bits, &self.filter, self.stride, self.pad);
-
-        if matches!(self.scaling, ScalingMode::PlainSign) {
-            return out;
-        }
-        // Factored activation scale: the exact same map the float
-        // Shared path multiplies into its output, so compiled
-        // inference reproduces the training-path function.  Networks
-        // trained with PerChannel scaling are approximated by this
-        // shared map at inference (see crate docs).
-        let smap = output_scale_shared(&normed, self.kernel, self.stride, self.pad);
-        let (oh, ow) = (out.shape()[2], out.shape()[3]);
-        let ko = self.alpha_w.len();
-        for ni in 0..n {
-            let plane = &smap.as_slice()[ni * oh * ow..(ni + 1) * oh * ow];
-            for ki in 0..ko {
-                let alpha = self.alpha_w[ki];
-                let base = (ni * ko + ki) * oh * ow;
-                for (v, s) in out.as_mut_slice()[base..base + oh * ow].iter_mut().zip(plane) {
-                    *v *= alpha * s;
-                }
-            }
-        }
-        out
+        ws.give_f32(normed);
     }
 }
 
@@ -239,14 +487,94 @@ impl PackedResidual {
         }
     }
 
+    /// Rebuilds a residual block from its parts (wire codec + tests).
+    pub fn from_raw_parts(
+        conv1: PackedConv,
+        conv2: PackedConv,
+        shortcut: Option<PackedConv>,
+    ) -> Self {
+        PackedResidual {
+            conv1,
+            conv2,
+            shortcut,
+        }
+    }
+
+    /// First main-path conv (stride/channel change happens here).
+    pub fn conv1(&self) -> &PackedConv {
+        &self.conv1
+    }
+
+    /// Second main-path conv (stride 1).
+    pub fn conv2(&self) -> &PackedConv {
+        &self.conv2
+    }
+
+    /// The 1×1 projection shortcut, when the block reshapes.
+    pub fn shortcut(&self) -> Option<&PackedConv> {
+        self.shortcut.as_ref()
+    }
+
+    /// Output spatial size for an `h × w` input.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let (h1, w1) = self.conv1.output_hw(h, w);
+        self.conv2.output_hw(h1, w1)
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.conv2.out_channels()
+    }
+
     /// Runs the block.
     pub fn forward(&self, x: &Tensor) -> Tensor {
-        let main = self.conv2.forward(&self.conv1.forward(x));
-        let short = match &self.shortcut {
-            Some(s) => s.forward(x),
-            None => x.clone(),
-        };
-        &main + &short
+        let (n, _, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (oh, ow) = self.output_hw(h, w);
+        let ko = self.out_channels();
+        let mut out = vec![0.0f32; n * ko * oh * ow];
+        let mut ws = global_pool().checkout();
+        self.forward_into(x.as_slice(), n, h, w, &mut ws, &mut out);
+        global_pool().restore(ws);
+        Tensor::from_vec(&[n, ko, oh, ow], out)
+    }
+
+    /// Runs the block on a raw NCHW slice into a caller-provided
+    /// `[n, k, oh, ow]` buffer (overwritten), drawing every
+    /// intermediate activation from `ws`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a slice length disagrees with the dimensions.
+    pub fn forward_into(
+        &self,
+        x: &[f32],
+        n: usize,
+        h: usize,
+        w: usize,
+        ws: &mut Workspace,
+        out: &mut [f32],
+    ) {
+        let (h1, w1) = self.conv1.output_hw(h, w);
+        let mut mid = ws.take_f32(n * self.conv1.out_channels() * h1 * w1);
+        self.conv1.forward_into(x, n, h, w, ws, &mut mid);
+        self.conv2.forward_into(&mid, n, h1, w1, ws, out);
+        match &self.shortcut {
+            Some(s) => {
+                let mut short = ws.take_f32(out.len());
+                s.forward_into(x, n, h, w, ws, &mut short);
+                for (o, v) in out.iter_mut().zip(&short) {
+                    *o += v;
+                }
+                ws.give_f32(short);
+            }
+            None => {
+                assert_eq!(x.len(), out.len(), "identity shortcut shape mismatch");
+                for (o, v) in out.iter_mut().zip(x) {
+                    *o += v;
+                }
+            }
+        }
+        ws.give_f32(mid);
     }
 }
 
@@ -287,37 +615,54 @@ impl PackedBnn {
         }
     }
 
+    /// Rebuilds a model from its parts (wire codec + tests).
+    pub fn from_raw_parts(
+        stem: PackedConv,
+        blocks: Vec<PackedResidual>,
+        fc_weight: Tensor,
+        fc_bias: Tensor,
+    ) -> Self {
+        PackedBnn {
+            stem,
+            blocks,
+            fc_weight,
+            fc_bias,
+        }
+    }
+
+    /// The compiled stem conv.
+    pub fn stem(&self) -> &PackedConv {
+        &self.stem
+    }
+
+    /// The compiled residual blocks, in execution order.
+    pub fn blocks(&self) -> &[PackedResidual] {
+        &self.blocks
+    }
+
+    /// Full-precision classifier weight `[2, c]`.
+    pub fn fc_weight(&self) -> &Tensor {
+        &self.fc_weight
+    }
+
+    /// Full-precision classifier bias `[2]`.
+    pub fn fc_bias(&self) -> &Tensor {
+        &self.fc_bias
+    }
+
     /// Classifies a batch of clips (`[n, 1, h, w]` ±1 tensors),
     /// returning `[n, 2]` logits.
+    ///
+    /// Compiles a one-shot [`ExecPlan`](crate::plan::ExecPlan) for the
+    /// clip resolution and runs it with a pooled workspace.  Callers on
+    /// a hot path should compile the plan once and call
+    /// [`ExecPlan::run_into`](crate::plan::ExecPlan::run_into) instead.
     pub fn forward(&self, x: &Tensor) -> Tensor {
-        let mut a = self.stem.forward(x);
-        for b in &self.blocks {
-            a = b.forward(&a);
-        }
-        // Global average pool.
-        let (n, c, h, w) = (a.shape()[0], a.shape()[1], a.shape()[2], a.shape()[3]);
-        let inv = 1.0 / (h * w) as f32;
-        let mut pooled = Tensor::zeros(&[n, c]);
-        for ni in 0..n {
-            for ci in 0..c {
-                let base = (ni * c + ci) * h * w;
-                pooled.as_mut_slice()[ni * c + ci] =
-                    a.as_slice()[base..base + h * w].iter().sum::<f32>() * inv;
-            }
-        }
-        // Dense.
-        let (out, inp) = (self.fc_weight.shape()[0], self.fc_weight.shape()[1]);
-        let mut logits = Tensor::zeros(&[n, out]);
-        for ni in 0..n {
-            for oi in 0..out {
-                let mut acc = self.fc_bias.as_slice()[oi];
-                for ii in 0..inp {
-                    acc += self.fc_weight.as_slice()[oi * inp + ii]
-                        * pooled.as_slice()[ni * inp + ii];
-                }
-                logits.as_mut_slice()[ni * out + oi] = acc;
-            }
-        }
+        assert_eq!(x.ndim(), 4, "packed forward expects NCHW input");
+        let plan = self.plan((x.shape()[2], x.shape()[3]));
+        let mut ws = global_pool().checkout();
+        let logits = plan.run(x, &mut ws);
+        global_pool().restore(ws);
         logits
     }
 }

@@ -1,0 +1,442 @@
+//! An explicit, pre-compiled execution plan for packed inference.
+//!
+//! [`PackedBnn::forward`] walks the network structurally, deciding
+//! shapes and buffers as it goes.  An [`ExecPlan`] hoists all of that
+//! out of the hot path: [`PackedBnn::plan`] compiles the model, for one
+//! input resolution, into a flat sequence of [`Step`]s with every
+//! output shape precomputed and activations assigned to three
+//! ping-pong buffers (a residual block needs at most three live
+//! activations: block input, main path, and the accumulating output).
+//! [`ExecPlan::run_into`] then executes the steps with every buffer —
+//! activations, packed sign words, popcount scratch, scale maps, the
+//! pooled features — drawn from a [`Workspace`], so a warm plan
+//! performs **zero heap allocations per forward** (enforced by the
+//! `alloc_steady_state` integration test).
+//!
+//! The plan borrows the model (`ExecPlan<'m>`) and is immutable after
+//! compilation, so one plan can be shared by many rayon workers, each
+//! running chunks of a batch with its own workspace — this is how
+//! `BnnDetector` shards large batches.
+//!
+//! # Example
+//!
+//! ```
+//! use hotspot_bnn::{BnnResNet, NetConfig, PackedBnn};
+//! use hotspot_tensor::Workspace;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let net = BnnResNet::new(&NetConfig::tiny(16), &mut rng);
+//! let packed = PackedBnn::compile(&net);
+//! let plan = packed.plan((16, 16));
+//! let mut ws = Workspace::new();
+//! let input = vec![1.0f32; 2 * 16 * 16]; // two ±1 clips
+//! let mut logits = vec![0.0f32; 2 * 2];
+//! plan.run_into(&input, 2, &mut ws, &mut logits); // warm-up: allocates
+//! plan.run_into(&input, 2, &mut ws, &mut logits); // steady state: no allocs
+//! ```
+
+use crate::packed::{PackedBnn, PackedConv};
+use hotspot_tensor::workspace::Workspace;
+use hotspot_tensor::{global_avg_pool_into, Tensor};
+
+/// Where a step reads its activation from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Src {
+    /// The caller's input slice (only the stem reads here).
+    Input,
+    /// One of the three ping-pong activation buffers.
+    Buf(usize),
+}
+
+/// One layer-execution step of a compiled plan.
+#[derive(Debug)]
+enum Step<'m> {
+    /// Run a packed conv from `src` into buffer `dst` (overwrites it).
+    Conv {
+        conv: &'m PackedConv,
+        src: Src,
+        dst: usize,
+        in_hw: (usize, usize),
+        out_elems: usize,
+    },
+    /// Elementwise `buf[dst] += buf[src]` over `elems` per-item
+    /// elements (the residual shortcut merge).
+    Add {
+        src: usize,
+        dst: usize,
+        elems: usize,
+    },
+}
+
+/// A [`PackedBnn`] compiled into a flat layer sequence for one input
+/// resolution (see module docs).
+#[derive(Debug)]
+pub struct ExecPlan<'m> {
+    model: &'m PackedBnn,
+    input_c: usize,
+    input_hw: (usize, usize),
+    steps: Vec<Step<'m>>,
+    /// Per-item element capacity needed by each ping-pong buffer.
+    buf_elems: [usize; 3],
+    /// Channels, spatial size, and buffer holding the final feature map.
+    feat_c: usize,
+    final_hw: (usize, usize),
+    final_buf: usize,
+}
+
+impl<'m> ExecPlan<'m> {
+    pub(crate) fn compile(model: &'m PackedBnn, input_hw: (usize, usize)) -> Self {
+        let stem = model.stem();
+        let mut steps = Vec::new();
+        let mut buf_elems = [0usize; 3];
+
+        let (mut h, mut w) = stem.output_hw(input_hw.0, input_hw.1);
+        let mut c = stem.out_channels();
+        let mut cur = 0usize;
+        buf_elems[0] = c * h * w;
+        steps.push(Step::Conv {
+            conv: stem,
+            src: Src::Input,
+            dst: 0,
+            in_hw: input_hw,
+            out_elems: c * h * w,
+        });
+
+        for block in model.blocks() {
+            let a = cur;
+            // The two buffers not holding the block input: `b` for the
+            // mid activation (and later the projection shortcut, which
+            // may overwrite it), `d` for the block output.
+            let (b, d) = match a {
+                0 => (1, 2),
+                1 => (2, 0),
+                _ => (0, 1),
+            };
+            let conv1 = block.conv1();
+            let (h1, w1) = conv1.output_hw(h, w);
+            let e1 = conv1.out_channels() * h1 * w1;
+            buf_elems[b] = buf_elems[b].max(e1);
+            steps.push(Step::Conv {
+                conv: conv1,
+                src: Src::Buf(a),
+                dst: b,
+                in_hw: (h, w),
+                out_elems: e1,
+            });
+            let conv2 = block.conv2();
+            let (h2, w2) = conv2.output_hw(h1, w1);
+            let e2 = conv2.out_channels() * h2 * w2;
+            buf_elems[d] = buf_elems[d].max(e2);
+            steps.push(Step::Conv {
+                conv: conv2,
+                src: Src::Buf(b),
+                dst: d,
+                in_hw: (h1, w1),
+                out_elems: e2,
+            });
+            match block.shortcut() {
+                Some(sc) => {
+                    let (hs, ws) = sc.output_hw(h, w);
+                    let es = sc.out_channels() * hs * ws;
+                    assert_eq!(es, e2, "projection shortcut shape mismatch");
+                    buf_elems[b] = buf_elems[b].max(es);
+                    steps.push(Step::Conv {
+                        conv: sc,
+                        src: Src::Buf(a),
+                        dst: b,
+                        in_hw: (h, w),
+                        out_elems: es,
+                    });
+                    steps.push(Step::Add {
+                        src: b,
+                        dst: d,
+                        elems: e2,
+                    });
+                }
+                None => {
+                    assert_eq!(c * h * w, e2, "identity shortcut shape mismatch");
+                    steps.push(Step::Add {
+                        src: a,
+                        dst: d,
+                        elems: e2,
+                    });
+                }
+            }
+            cur = d;
+            c = conv2.out_channels();
+            h = h2;
+            w = w2;
+        }
+
+        ExecPlan {
+            model,
+            input_c: stem.in_channels(),
+            input_hw,
+            steps,
+            buf_elems,
+            feat_c: c,
+            final_hw: (h, w),
+            final_buf: cur,
+        }
+    }
+
+    /// The input resolution this plan was compiled for.
+    pub fn input_hw(&self) -> (usize, usize) {
+        self.input_hw
+    }
+
+    /// Number of layer steps (convs + shortcut merges).
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Per-item f32 capacity of the three ping-pong buffers —
+    /// the plan's activation footprint.
+    pub fn buffer_elems(&self) -> [usize; 3] {
+        self.buf_elems
+    }
+
+    /// Runs the plan on a `[n, c, h, w]` input slice (`±1` values,
+    /// `c`/`h`/`w` as compiled), writing `[n, classes]` logits into
+    /// `logits`.  All intermediates come from `ws`; after one warm-up
+    /// call with the same `n`, subsequent calls allocate nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a slice length disagrees with the compiled shapes.
+    pub fn run_into(&self, input: &[f32], n: usize, ws: &mut Workspace, logits: &mut [f32]) {
+        let (h, w) = self.input_hw;
+        assert_eq!(
+            input.len(),
+            n * self.input_c * h * w,
+            "input length mismatch"
+        );
+        let classes = self.model.fc_weight().shape()[0];
+        assert_eq!(logits.len(), n * classes, "logits length mismatch");
+
+        let mut bufs = [
+            ws.take_f32(n * self.buf_elems[0]),
+            ws.take_f32(n * self.buf_elems[1]),
+            ws.take_f32(n * self.buf_elems[2]),
+        ];
+        for step in &self.steps {
+            match step {
+                Step::Conv {
+                    conv,
+                    src,
+                    dst,
+                    in_hw,
+                    out_elems,
+                } => {
+                    let out_len = n * out_elems;
+                    match src {
+                        Src::Input => conv.forward_into(
+                            input,
+                            n,
+                            in_hw.0,
+                            in_hw.1,
+                            ws,
+                            &mut bufs[*dst][..out_len],
+                        ),
+                        Src::Buf(s) => {
+                            let in_len = n * conv.in_channels() * in_hw.0 * in_hw.1;
+                            let (src_buf, dst_buf) = two_bufs(&mut bufs, *s, *dst);
+                            conv.forward_into(
+                                &src_buf[..in_len],
+                                n,
+                                in_hw.0,
+                                in_hw.1,
+                                ws,
+                                &mut dst_buf[..out_len],
+                            );
+                        }
+                    }
+                }
+                Step::Add { src, dst, elems } => {
+                    let len = n * elems;
+                    let (src_buf, dst_buf) = two_bufs(&mut bufs, *src, *dst);
+                    for (o, v) in dst_buf[..len].iter_mut().zip(&src_buf[..len]) {
+                        *o += v;
+                    }
+                }
+            }
+        }
+
+        // Global average pool + full-precision classifier, with the
+        // same accumulation order as the structural forward.
+        let (fh, fw) = self.final_hw;
+        let mut pooled = ws.take_f32(n * self.feat_c);
+        global_avg_pool_into(
+            &bufs[self.final_buf][..n * self.feat_c * fh * fw],
+            n,
+            self.feat_c,
+            fh,
+            fw,
+            &mut pooled,
+        );
+        let fcw = self.model.fc_weight().as_slice();
+        let fcb = self.model.fc_bias().as_slice();
+        let inp = self.feat_c;
+        for ni in 0..n {
+            for oi in 0..classes {
+                let mut acc = fcb[oi];
+                for ii in 0..inp {
+                    acc += fcw[oi * inp + ii] * pooled[ni * inp + ii];
+                }
+                logits[ni * classes + oi] = acc;
+            }
+        }
+        ws.give_f32(pooled);
+        let [b0, b1, b2] = bufs;
+        ws.give_f32(b0);
+        ws.give_f32(b1);
+        ws.give_f32(b2);
+    }
+
+    /// Convenience wrapper: runs the plan on a `[n, c, h, w]` tensor
+    /// and returns `[n, classes]` logits (allocates the result).
+    pub fn run(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        assert_eq!(x.ndim(), 4, "plan input must be NCHW");
+        let n = x.shape()[0];
+        assert_eq!(x.shape()[1], self.input_c, "channel mismatch");
+        assert_eq!(
+            (x.shape()[2], x.shape()[3]),
+            self.input_hw,
+            "plan compiled for a different input resolution"
+        );
+        let classes = self.model.fc_weight().shape()[0];
+        let mut logits = vec![0.0f32; n * classes];
+        self.run_into(x.as_slice(), n, ws, &mut logits);
+        Tensor::from_vec(&[n, classes], logits)
+    }
+}
+
+/// Disjoint (source, destination) views of two ping-pong buffers.
+fn two_bufs(bufs: &mut [Vec<f32>; 3], src: usize, dst: usize) -> (&[f32], &mut [f32]) {
+    assert_ne!(src, dst, "a step cannot read and write the same buffer");
+    if src < dst {
+        let (lo, hi) = bufs.split_at_mut(dst);
+        (&lo[src], &mut hi[0])
+    } else {
+        let (lo, hi) = bufs.split_at_mut(src);
+        (&hi[0], &mut lo[dst])
+    }
+}
+
+impl PackedBnn {
+    /// Compiles the model into an [`ExecPlan`] for clips of the given
+    /// `(h, w)` input resolution.
+    pub fn plan(&self, input_hw: (usize, usize)) -> ExecPlan<'_> {
+        ExecPlan::compile(self, input_hw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BnnResNet, NetConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_packed(seed: u64) -> PackedBnn {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = BnnResNet::new(&NetConfig::tiny(16), &mut rng);
+        PackedBnn::compile(&net)
+    }
+
+    fn pm_input(n: usize, side: usize, seed: u32) -> Vec<f32> {
+        let mut state = seed;
+        (0..n * side * side)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                if state & 0x10000 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plan_matches_structural_forward_exactly() {
+        let packed = tiny_packed(42);
+        let input = pm_input(3, 16, 7);
+        let x = Tensor::from_vec(&[3, 1, 16, 16], input.clone());
+        let expect = packed.forward(&x);
+        let plan = packed.plan((16, 16));
+        let mut ws = Workspace::new();
+        let mut logits = vec![0.0f32; 3 * 2];
+        plan.run_into(&input, 3, &mut ws, &mut logits);
+        assert_eq!(expect.as_slice(), &logits[..], "plan must be bit-identical");
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        let packed = tiny_packed(9);
+        let input = pm_input(2, 16, 3);
+        let plan = packed.plan((16, 16));
+        let mut ws = Workspace::new();
+        let mut first = vec![0.0f32; 2 * 2];
+        plan.run_into(&input, 2, &mut ws, &mut first);
+        let mut second = vec![0.0f32; 2 * 2];
+        plan.run_into(&input, 2, &mut ws, &mut second);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn plan_handles_varying_batch_sizes_with_one_workspace() {
+        let packed = tiny_packed(5);
+        let plan = packed.plan((16, 16));
+        let mut ws = Workspace::new();
+        for n in [1usize, 4, 2, 8, 1] {
+            let input = pm_input(n, 16, n as u32);
+            let mut logits = vec![0.0f32; n * 2];
+            plan.run_into(&input, n, &mut ws, &mut logits);
+            let x = Tensor::from_vec(&[n, 1, 16, 16], input);
+            assert_eq!(packed.forward(&x).as_slice(), &logits[..], "n={n}");
+        }
+    }
+
+    #[test]
+    fn shared_plan_runs_from_multiple_threads() {
+        let packed = tiny_packed(11);
+        let plan = packed.plan((16, 16));
+        let input = pm_input(2, 16, 1);
+        let mut expect = vec![0.0f32; 2 * 2];
+        plan.run_into(&input, 2, &mut Workspace::new(), &mut expect);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let plan = &plan;
+                let input = &input;
+                let expect = &expect;
+                scope.spawn(move || {
+                    let mut ws = Workspace::new();
+                    let mut logits = vec![0.0f32; 2 * 2];
+                    plan.run_into(input, 2, &mut ws, &mut logits);
+                    assert_eq!(&logits, expect);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn step_count_covers_every_layer() {
+        let packed = tiny_packed(1);
+        let plan = packed.plan((16, 16));
+        // Stem + per block: conv1 + conv2 + merge (+ projection).
+        let min = 1 + packed.blocks().len() * 3;
+        assert!(plan.step_count() >= min, "{} < {min}", plan.step_count());
+        assert!(plan.buffer_elems().iter().all(|&e| e > 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "input length mismatch")]
+    fn wrong_input_length_rejected() {
+        let packed = tiny_packed(2);
+        let plan = packed.plan((16, 16));
+        let mut logits = vec![0.0f32; 2];
+        plan.run_into(&[0.0; 10], 1, &mut Workspace::new(), &mut logits);
+    }
+}

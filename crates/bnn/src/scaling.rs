@@ -58,8 +58,33 @@ pub fn box_filter(
 ) -> Vec<f32> {
     let oh = (h + 2 * pad - kh) / stride + 1;
     let ow = (w + 2 * pad - kw) / stride + 1;
-    let inv = 1.0 / (kh * kw) as f32;
     let mut out = vec![0.0f32; oh * ow];
+    box_filter_into(plane, h, w, kh, kw, stride, pad, &mut out);
+    out
+}
+
+/// [`box_filter`] into a caller-provided `oh × ow` buffer
+/// (overwritten).
+///
+/// # Panics
+///
+/// Panics when a slice length disagrees with the dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn box_filter_into(
+    plane: &[f32],
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    out: &mut [f32],
+) {
+    let oh = (h + 2 * pad - kh) / stride + 1;
+    let ow = (w + 2 * pad - kw) / stride + 1;
+    assert_eq!(plane.len(), h * w, "plane length mismatch");
+    assert_eq!(out.len(), oh * ow, "box filter output length mismatch");
+    let inv = 1.0 / (kh * kw) as f32;
     for oy in 0..oh {
         for ox in 0..ow {
             let mut acc = 0.0;
@@ -79,7 +104,6 @@ pub fn box_filter(
             out[oy * ow + ox] = acc * inv;
         }
     }
-    out
 }
 
 /// The paper's per-channel input scaling (Eq. 14):
@@ -119,20 +143,57 @@ pub fn input_scale_per_channel(x: &Tensor, kh: usize, kw: usize) -> Tensor {
 /// inference engine applies, so a float-path convolution using it is
 /// bit-for-bit consistent with [`xnor_conv2d`](crate::xnor_conv2d)
 /// inference.
-pub fn output_scale_shared(
-    x: &Tensor,
-    k: usize,
-    stride: usize,
-    pad: usize,
-) -> Tensor {
+pub fn output_scale_shared(x: &Tensor, k: usize, stride: usize, pad: usize) -> Tensor {
     assert_eq!(x.ndim(), 4, "activations must be NCHW");
     let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
     let oh = (h + 2 * pad - k) / stride + 1;
     let ow = (w + 2 * pad - k) / stride + 1;
     let mut out = Tensor::zeros(&[n, oh, ow]);
-    let data = x.as_slice();
+    let mut mean = vec![0.0f32; h * w];
+    output_scale_shared_into(
+        x.as_slice(),
+        n,
+        c,
+        h,
+        w,
+        k,
+        stride,
+        pad,
+        &mut mean,
+        out.as_mut_slice(),
+    );
+    out
+}
+
+/// [`output_scale_shared`] on a raw NCHW slice into a caller-provided
+/// `[n, oh, ow]` buffer (overwritten).  `mean_scratch` must be an
+/// `h * w` buffer (contents ignored); pass one from a
+/// [`hotspot_tensor::Workspace`] for allocation-free steady state.
+///
+/// # Panics
+///
+/// Panics when a slice length disagrees with the dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn output_scale_shared_into(
+    data: &[f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    mean_scratch: &mut [f32],
+    out: &mut [f32],
+) {
+    let oh = (h + 2 * pad - k) / stride + 1;
+    let ow = (w + 2 * pad - k) / stride + 1;
+    assert_eq!(data.len(), n * c * h * w, "activation length mismatch");
+    assert_eq!(mean_scratch.len(), h * w, "mean scratch length mismatch");
+    assert_eq!(out.len(), n * oh * ow, "scale map length mismatch");
     for ni in 0..n {
-        let mut a = vec![0.0f32; h * w];
+        let a = &mut *mean_scratch;
+        a.fill(0.0);
         for ci in 0..c {
             let base = (ni * c + ci) * h * w;
             for (slot, &v) in a.iter_mut().zip(&data[base..base + h * w]) {
@@ -140,13 +201,20 @@ pub fn output_scale_shared(
             }
         }
         let inv_c = 1.0 / c as f32;
-        for slot in &mut a {
+        for slot in a.iter_mut() {
             *slot *= inv_c;
         }
-        let filtered = box_filter(&a, h, w, k, k, stride, pad);
-        out.as_mut_slice()[ni * oh * ow..(ni + 1) * oh * ow].copy_from_slice(&filtered);
+        box_filter_into(
+            a,
+            h,
+            w,
+            k,
+            k,
+            stride,
+            pad,
+            &mut out[ni * oh * ow..(ni + 1) * oh * ow],
+        );
     }
-    out
 }
 
 /// XNOR-Net's shared input scaling: the channel-mean of `|X|` box-
@@ -202,7 +270,7 @@ mod tests {
         let f = box_filter(&plane, 5, 5, 3, 3, 1, 1);
         assert_eq!(f.len(), 25);
         assert!((f[12] - 3.0).abs() < 1e-6); // centre
-        // Corner sees only 4 of 9 taps.
+                                             // Corner sees only 4 of 9 taps.
         assert!((f[0] - 3.0 * 4.0 / 9.0).abs() < 1e-6);
     }
 
@@ -235,10 +303,7 @@ mod tests {
 
     #[test]
     fn shared_equals_per_channel_for_single_channel() {
-        let x = Tensor::from_vec(
-            &[1, 1, 3, 3],
-            vec![1., -2., 3., -4., 5., -6., 7., -8., 9.],
-        );
+        let x = Tensor::from_vec(&[1, 1, 3, 3], vec![1., -2., 3., -4., 5., -6., 7., -8., 9.]);
         let a = input_scale_per_channel(&x, 3, 3);
         let b = input_scale_shared(&x, 3, 3);
         for (p, q) in a.as_slice().iter().zip(b.as_slice()) {

@@ -1,0 +1,178 @@
+//! Binary wire codec for compiled models.
+//!
+//! Lives in this crate (rather than the persistence layer) because the
+//! packed types keep their fields private; the on-disk framing —
+//! magic, versioning, files — is `hotspot-core::persist`'s job.
+
+use crate::bitpack::BitFilter;
+use crate::packed::{PackedBnn, PackedConv, PackedResidual};
+use crate::scaling::ScalingMode;
+use hotspot_tensor::{WireError, WireReader, WireWriter};
+
+fn put_scaling(w: &mut WireWriter, s: ScalingMode) {
+    w.put_u8(match s {
+        ScalingMode::PlainSign => 0,
+        ScalingMode::Shared => 1,
+        ScalingMode::PerChannel => 2,
+    });
+}
+
+fn get_scaling(r: &mut WireReader<'_>) -> Result<ScalingMode, WireError> {
+    match r.get_u8()? {
+        0 => Ok(ScalingMode::PlainSign),
+        1 => Ok(ScalingMode::Shared),
+        2 => Ok(ScalingMode::PerChannel),
+        b => Err(WireError(format!("invalid scaling-mode byte {b}"))),
+    }
+}
+
+impl BitFilter {
+    pub(crate) fn encode_wire(&self, w: &mut WireWriter) {
+        let (k, c, kh, kw) = self.dims();
+        w.put_usize(k);
+        w.put_usize(c);
+        w.put_usize(kh);
+        w.put_usize(kw);
+        w.put_u64_slice(self.as_words());
+    }
+
+    pub(crate) fn decode_wire(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let k = r.get_usize()?;
+        let c = r.get_usize()?;
+        let kh = r.get_usize()?;
+        let kw = r.get_usize()?;
+        let words = r.get_u64_vec()?;
+        BitFilter::from_raw_parts(k, c, kh, kw, words)
+            .map_err(|m| WireError(format!("bit filter: {m}")))
+    }
+}
+
+impl PackedConv {
+    pub(crate) fn encode_wire(&self, w: &mut WireWriter) {
+        w.put_f32_slice(self.bn_scale());
+        w.put_f32_slice(self.bn_shift());
+        self.filter().encode_wire(w);
+        w.put_f32_slice(self.alpha_w());
+        w.put_usize(self.stride());
+        w.put_usize(self.pad());
+        w.put_usize(self.kernel());
+        put_scaling(w, self.scaling());
+    }
+
+    pub(crate) fn decode_wire(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let bn_scale = r.get_f32_vec()?;
+        let bn_shift = r.get_f32_vec()?;
+        let filter = BitFilter::decode_wire(r)?;
+        let alpha_w = r.get_f32_vec()?;
+        let stride = r.get_usize()?;
+        let pad = r.get_usize()?;
+        let kernel = r.get_usize()?;
+        let scaling = get_scaling(r)?;
+        if bn_scale.len() != bn_shift.len() {
+            return Err(WireError("bn scale/shift length mismatch".into()));
+        }
+        if alpha_w.len() != filter.dims().0 {
+            return Err(WireError("alpha_w/filter count mismatch".into()));
+        }
+        Ok(PackedConv::from_raw_parts(
+            bn_scale, bn_shift, filter, alpha_w, stride, pad, kernel, scaling,
+        ))
+    }
+}
+
+impl PackedResidual {
+    pub(crate) fn encode_wire(&self, w: &mut WireWriter) {
+        self.conv1().encode_wire(w);
+        self.conv2().encode_wire(w);
+        match self.shortcut() {
+            Some(s) => {
+                w.put_bool(true);
+                s.encode_wire(w);
+            }
+            None => w.put_bool(false),
+        }
+    }
+
+    pub(crate) fn decode_wire(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let conv1 = PackedConv::decode_wire(r)?;
+        let conv2 = PackedConv::decode_wire(r)?;
+        let shortcut = if r.get_bool()? {
+            Some(PackedConv::decode_wire(r)?)
+        } else {
+            None
+        };
+        Ok(PackedResidual::from_raw_parts(conv1, conv2, shortcut))
+    }
+}
+
+impl PackedBnn {
+    /// Encodes the model body (no header) into `w`.
+    pub fn encode_wire(&self, w: &mut WireWriter) {
+        self.stem().encode_wire(w);
+        w.put_usize(self.blocks().len());
+        for b in self.blocks() {
+            b.encode_wire(w);
+        }
+        w.put_tensor(self.fc_weight());
+        w.put_tensor(self.fc_bias());
+    }
+
+    /// Decodes a model body previously written by [`encode_wire`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncated or structurally invalid
+    /// input.
+    ///
+    /// [`encode_wire`]: PackedBnn::encode_wire
+    pub fn decode_wire(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let stem = PackedConv::decode_wire(r)?;
+        let n_blocks = r.get_usize()?;
+        if n_blocks > 1024 {
+            return Err(WireError(format!("implausible block count {n_blocks}")));
+        }
+        let mut blocks = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            blocks.push(PackedResidual::decode_wire(r)?);
+        }
+        let fc_weight = r.get_tensor()?;
+        let fc_bias = r.get_tensor()?;
+        Ok(PackedBnn::from_raw_parts(stem, blocks, fc_weight, fc_bias))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::{BnnResNet, NetConfig};
+    use crate::packed::PackedBnn;
+    use hotspot_tensor::{Tensor, WireReader, WireWriter};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn model_wire_round_trip_preserves_function() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let net = BnnResNet::new(&NetConfig::tiny(16), &mut rng);
+        let model = PackedBnn::compile(&net);
+        let mut w = WireWriter::new();
+        model.encode_wire(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let restored = PackedBnn::decode_wire(&mut r).expect("decode");
+        assert_eq!(r.remaining(), 0, "payload fully consumed");
+        let x = Tensor::ones(&[2, 1, 16, 16]);
+        assert_eq!(model.forward(&x), restored.forward(&x));
+    }
+
+    #[test]
+    fn truncated_model_rejected() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let net = BnnResNet::new(&NetConfig::tiny(16), &mut rng);
+        let model = PackedBnn::compile(&net);
+        let mut w = WireWriter::new();
+        model.encode_wire(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes[..bytes.len() / 2]);
+        assert!(PackedBnn::decode_wire(&mut r).is_err());
+    }
+}

@@ -1,11 +1,11 @@
 //! Property-based tests for the binarization machinery.
 
 use hotspot_bnn::{
-    input_scale_per_channel, output_scale_shared, sign_tensor, ste_grad, weight_scale,
-    xnor_conv2d, BinaryResidualBlock, BitFilter, BitTensor, ScalingMode,
+    input_scale_per_channel, output_scale_shared, sign_tensor, ste_grad, weight_scale, xnor_conv2d,
+    BinaryResidualBlock, BitFilter, BitTensor, BnnResNet, NetConfig, PackedBnn, ScalingMode,
 };
 use hotspot_nn::Layer;
-use hotspot_tensor::{conv2d, Tensor};
+use hotspot_tensor::{conv2d, Tensor, Workspace};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -92,6 +92,34 @@ proptest! {
         let sh = output_scale_shared(&x, 3, 1, 1);
         prop_assert_eq!(sh.shape(), &[1, 6, 6]);
         prop_assert!(sh.as_slice().iter().all(|&v| v >= 0.0 && v <= max_abs + 1e-5));
+    }
+
+    /// Workspace reuse never changes results: running a compiled plan
+    /// twice through one (dirty) workspace is bit-identical to a
+    /// fresh-workspace run and to the structural packed forward, for
+    /// random networks and inputs.
+    #[test]
+    fn plan_reuse_is_bit_identical(seed in 0u64..30, n in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = BnnResNet::new(&NetConfig::tiny(16), &mut rng);
+        let packed = PackedBnn::compile(&net);
+        let plan = packed.plan((16, 16));
+        let mut state = seed as u32 ^ 0xdead_beef;
+        let input: Vec<f32> = (0..n * 16 * 16).map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            if state & 0x8000 == 0 { 1.0 } else { -1.0 }
+        }).collect();
+        let mut ws = Workspace::new();
+        let mut first = vec![0.0f32; n * 2];
+        plan.run_into(&input, n, &mut ws, &mut first);
+        let mut second = vec![0.0f32; n * 2];
+        plan.run_into(&input, n, &mut ws, &mut second);
+        prop_assert_eq!(&first, &second);
+        let mut fresh = vec![0.0f32; n * 2];
+        plan.run_into(&input, n, &mut Workspace::new(), &mut fresh);
+        prop_assert_eq!(&first, &fresh);
+        let x = Tensor::from_vec(&[n, 1, 16, 16], input);
+        prop_assert_eq!(packed.forward(&x).as_slice(), &first[..]);
     }
 
     /// A residual block's backward returns a gradient of the input

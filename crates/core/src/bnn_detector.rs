@@ -9,9 +9,14 @@ use hotspot_nn::{
     Augment, Batcher, BiasedLabels, ImageDataset, Layer, NAdam, Optimizer, PlateauDecay,
     SoftmaxCrossEntropy,
 };
-use hotspot_tensor::Tensor;
+use hotspot_tensor::{Tensor, WorkspacePool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+
+/// Clips per inference shard: one ExecPlan execution, one workspace.
+const SHARD: usize = 64;
 
 /// Which forward path classifies at inference time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -172,8 +177,15 @@ impl BnnTrainConfig {
 /// network is compiled to the bit-packed XNOR engine for inference.
 pub struct BnnDetector {
     config: BnnTrainConfig,
-    net: Option<BnnResNet>,
+    /// The float network mutates activation caches during a forward
+    /// pass, so the reference path serialises through a mutex.  The
+    /// packed path never locks it.
+    net: Option<Mutex<BnnResNet>>,
     packed: Option<PackedBnn>,
+    /// Reusable scratch for the packed path: each rayon worker checks
+    /// out a [`hotspot_tensor::Workspace`] per shard, so steady-state
+    /// batch inference recycles buffers instead of reallocating.
+    ws_pool: WorkspacePool,
     history: Vec<EpochRecord>,
 }
 
@@ -203,6 +215,7 @@ impl BnnDetector {
             config,
             net: None,
             packed: None,
+            ws_pool: WorkspacePool::new(),
             history: Vec::new(),
         }
     }
@@ -213,8 +226,10 @@ impl BnnDetector {
     }
 
     /// The trained network, once [`fit`](HotspotDetector::fit) has run.
-    pub fn network(&self) -> Option<&BnnResNet> {
-        self.net.as_ref()
+    /// Returns a lock guard — the float path's activation caches make
+    /// the network single-borrower.
+    pub fn network(&self) -> Option<MutexGuard<'_, BnnResNet>> {
+        self.net.as_ref().map(|m| m.lock().unwrap())
     }
 
     /// The compiled XNOR engine, once trained.
@@ -260,22 +275,68 @@ impl BnnDetector {
         ds
     }
 
+    /// Logit margins (hotspot − non-hotspot) through the float path.
+    fn float_margins(&self, images: &[&BitImage]) -> Vec<f32> {
+        let tensors: Vec<Tensor> = images.iter().map(|i| self.clip_to_tensor(i)).collect();
+        let mut net = self
+            .net
+            .as_ref()
+            .expect("detector is not trained")
+            .lock()
+            .unwrap();
+        let mut out = Vec::with_capacity(images.len());
+        for chunk in tensors.chunks(SHARD) {
+            let logits = net.forward(&Tensor::stack(chunk), false);
+            for i in 0..chunk.len() {
+                out.push(logits.at(&[i, 1]) - logits.at(&[i, 0]));
+            }
+        }
+        out
+    }
+
+    /// Logit margins through the packed XNOR path: the model is
+    /// compiled once into an [`hotspot_bnn::ExecPlan`], the batch is
+    /// split into [`SHARD`]-clip shards, and rayon workers run shards
+    /// concurrently against the shared plan, each with a workspace
+    /// checked out from the detector's pool.
+    fn packed_margins(&self, images: &[&BitImage]) -> Vec<f32> {
+        let packed = self.packed.as_ref().expect("detector is not trained");
+        let side = self.config.input_size;
+        let plan = packed.plan((side, side));
+        let plane = side * side;
+        let shards: Vec<&[&BitImage]> = images.chunks(SHARD).collect();
+        let margins: Vec<Vec<f32>> = shards
+            .into_par_iter()
+            .map(|shard| {
+                let n = shard.len();
+                let mut ws = self.ws_pool.checkout();
+                let mut input = ws.take_f32(n * plane);
+                for (i, img) in shard.iter().enumerate() {
+                    let t = self.clip_to_tensor(img);
+                    input[i * plane..(i + 1) * plane].copy_from_slice(t.as_slice());
+                }
+                let mut logits = ws.take_f32(n * 2);
+                plan.run_into(&input, n, &mut ws, &mut logits);
+                let out: Vec<f32> = (0..n).map(|i| logits[2 * i + 1] - logits[2 * i]).collect();
+                ws.give_f32(logits);
+                ws.give_f32(input);
+                self.ws_pool.restore(ws);
+                out
+            })
+            .collect();
+        margins.into_iter().flatten().collect()
+    }
+
     /// Classifies clips through the float (training) path.
     ///
     /// # Panics
     ///
     /// Panics when called before training.
-    pub fn predict_batch_float(&mut self, images: &[BitImage]) -> Vec<bool> {
-        let tensors: Vec<Tensor> = images.iter().map(|i| self.clip_to_tensor(i)).collect();
-        let net = self.net.as_mut().expect("detector is not trained");
-        let mut out = Vec::with_capacity(images.len());
-        for chunk in tensors.chunks(64) {
-            let logits = net.forward(&Tensor::stack(chunk), false);
-            for i in 0..chunk.len() {
-                out.push(logits.at(&[i, 1]) >= logits.at(&[i, 0]));
-            }
-        }
-        out
+    pub fn predict_batch_float(&self, images: &[&BitImage]) -> Vec<bool> {
+        self.float_margins(images)
+            .into_iter()
+            .map(|m| m >= 0.0)
+            .collect()
     }
 
     /// Classifies clips through the packed XNOR path.
@@ -283,17 +344,11 @@ impl BnnDetector {
     /// # Panics
     ///
     /// Panics when called before training.
-    pub fn predict_batch_packed(&self, images: &[BitImage]) -> Vec<bool> {
-        let packed = self.packed.as_ref().expect("detector is not trained");
-        let tensors: Vec<Tensor> = images.iter().map(|i| self.clip_to_tensor(i)).collect();
-        let mut out = Vec::with_capacity(images.len());
-        for chunk in tensors.chunks(64) {
-            let logits = packed.forward(&Tensor::stack(chunk));
-            for i in 0..chunk.len() {
-                out.push(logits.at(&[i, 1]) >= logits.at(&[i, 0]));
-            }
-        }
-        out
+    pub fn predict_batch_packed(&self, images: &[&BitImage]) -> Vec<bool> {
+        self.packed_margins(images)
+            .into_iter()
+            .map(|m| m >= 0.0)
+            .collect()
     }
 }
 
@@ -387,41 +442,22 @@ impl HotspotDetector for BnnDetector {
 
         self.history = history;
         self.packed = Some(PackedBnn::compile(&net));
-        self.net = Some(net);
+        self.net = Some(Mutex::new(net));
     }
 
-    fn predict_batch(&mut self, images: &[BitImage]) -> Vec<bool> {
+    fn predict_batch(&self, images: &[&BitImage]) -> Vec<bool> {
         match self.config.inference {
             InferencePath::Packed => self.predict_batch_packed(images),
             InferencePath::Float => self.predict_batch_float(images),
         }
     }
 
-    fn score_batch(&mut self, images: &[BitImage]) -> Vec<f32> {
+    fn score_batch(&self, images: &[&BitImage]) -> Vec<f32> {
         // The logit margin (hotspot − non-hotspot) is the natural score.
-        let tensors: Vec<Tensor> = images.iter().map(|i| self.clip_to_tensor(i)).collect();
-        let mut out = Vec::with_capacity(images.len());
         match self.config.inference {
-            InferencePath::Packed => {
-                let packed = self.packed.as_ref().expect("detector is not trained");
-                for chunk in tensors.chunks(64) {
-                    let logits = packed.forward(&Tensor::stack(chunk));
-                    for i in 0..chunk.len() {
-                        out.push(logits.at(&[i, 1]) - logits.at(&[i, 0]));
-                    }
-                }
-            }
-            InferencePath::Float => {
-                let net = self.net.as_mut().expect("detector is not trained");
-                for chunk in tensors.chunks(64) {
-                    let logits = net.forward(&Tensor::stack(chunk), false);
-                    for i in 0..chunk.len() {
-                        out.push(logits.at(&[i, 1]) - logits.at(&[i, 0]));
-                    }
-                }
-            }
+            InferencePath::Packed => self.packed_margins(images),
+            InferencePath::Float => self.float_margins(images),
         }
-        out
     }
 }
 
@@ -500,7 +536,7 @@ mod tests {
         let clips = toy_clips(40, 32);
         let mut det = BnnDetector::new(BnnTrainConfig::fast());
         det.fit(&clips);
-        let images: Vec<BitImage> = clips.iter().map(|c| c.image.clone()).collect();
+        let images: Vec<&BitImage> = clips.iter().map(|c| &c.image).collect();
         let preds = det.predict_batch_float(&images);
         let correct = preds
             .iter()
@@ -515,7 +551,7 @@ mod tests {
         let clips = toy_clips(40, 32);
         let mut det = BnnDetector::new(BnnTrainConfig::fast());
         det.fit(&clips);
-        let images: Vec<BitImage> = clips.iter().map(|c| c.image.clone()).collect();
+        let images: Vec<&BitImage> = clips.iter().map(|c| &c.image).collect();
         let float_preds = det.predict_batch_float(&images);
         let packed_preds = det.predict_batch_packed(&images);
         let agree = float_preds
@@ -551,7 +587,9 @@ mod tests {
         assert_eq!(hist.len(), 5);
         assert!(hist[..3].iter().all(|e| !e.biased));
         assert!(hist[3..].iter().all(|e| e.biased));
-        assert!(hist.iter().all(|e| e.train_loss.is_finite() && e.learning_rate > 0.0));
+        assert!(hist
+            .iter()
+            .all(|e| e.train_loss.is_finite() && e.learning_rate > 0.0));
     }
 
     #[test]
@@ -581,7 +619,7 @@ mod tests {
     #[should_panic(expected = "not trained")]
     fn predict_before_fit_panics() {
         let det = BnnDetector::new(BnnTrainConfig::fast());
-        let _ = det.predict_batch_packed(&[BitImage::new(32, 32)]);
+        let _ = det.predict_batch_packed(&[&BitImage::new(32, 32)]);
     }
 
     #[test]

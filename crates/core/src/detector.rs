@@ -1,14 +1,22 @@
 //! The detector trait and adapters for the classical baselines.
 
-use hotspot_baselines::{AdaBoostDetector, CcsBoostDetector, DctCnnConfig, DctCnnDetector, PatternMatchDetector};
+use hotspot_baselines::{
+    AdaBoostDetector, CcsBoostDetector, DctCnnConfig, DctCnnDetector, PatternMatchDetector,
+};
 use hotspot_geometry::BitImage;
 use hotspot_layout_gen::LabeledClip;
+use std::sync::Mutex;
 
 /// A trainable layout hotspot detector.
 ///
 /// All detectors in the workspace — the paper's BNN and the three
 /// Table-3 baselines — implement this trait, which is what the
 /// evaluation harness and benchmark binaries drive.
+///
+/// Inference takes `&self`: a trained detector can be shared across
+/// threads (all implementations here are `Sync`), and batches are
+/// passed as slices of borrowed clips so callers never clone images
+/// just to classify them.
 pub trait HotspotDetector {
     /// Human-readable name, as it appears in Table 3.
     fn name(&self) -> &str;
@@ -17,13 +25,13 @@ pub trait HotspotDetector {
     fn fit(&mut self, clips: &[LabeledClip]);
 
     /// Classifies a batch of clips (`true` = hotspot).
-    fn predict_batch(&mut self, images: &[BitImage]) -> Vec<bool>;
+    fn predict_batch(&self, images: &[&BitImage]) -> Vec<bool>;
 
     /// Continuous hotspot scores (larger = more hotspot-like).  The
     /// default quantizes predictions to 0/1; detectors override this
     /// with their real margin or probability so ROC analysis
     /// ([`crate::roc`]) is meaningful.
-    fn score_batch(&mut self, images: &[BitImage]) -> Vec<f32> {
+    fn score_batch(&self, images: &[&BitImage]) -> Vec<f32> {
         self.predict_batch(images)
             .into_iter()
             .map(|p| if p { 1.0 } else { 0.0 })
@@ -31,14 +39,14 @@ pub trait HotspotDetector {
     }
 
     /// Classifies one clip.
-    fn predict(&mut self, image: &BitImage) -> bool {
-        self.predict_batch(std::slice::from_ref(image))[0]
+    fn predict(&self, image: &BitImage) -> bool {
+        self.predict_batch(&[image])[0]
     }
 }
 
-fn split(clips: &[LabeledClip]) -> (Vec<BitImage>, Vec<bool>) {
+fn split(clips: &[LabeledClip]) -> (Vec<&BitImage>, Vec<bool>) {
     (
-        clips.iter().map(|c| c.image.clone()).collect(),
+        clips.iter().map(|c| &c.image).collect(),
         clips.iter().map(|c| c.hotspot).collect(),
     )
 }
@@ -80,11 +88,11 @@ impl HotspotDetector for AdaBoostHotspotDetector {
         self.inner.fit(&images, &labels);
     }
 
-    fn predict_batch(&mut self, images: &[BitImage]) -> Vec<bool> {
+    fn predict_batch(&self, images: &[&BitImage]) -> Vec<bool> {
         images.iter().map(|i| self.inner.predict(i)).collect()
     }
 
-    fn score_batch(&mut self, images: &[BitImage]) -> Vec<f32> {
+    fn score_batch(&self, images: &[&BitImage]) -> Vec<f32> {
         images.iter().map(|i| self.inner.score(i)).collect()
     }
 }
@@ -120,33 +128,37 @@ impl HotspotDetector for CcsHotspotDetector {
         self.inner.fit(&images, &labels);
     }
 
-    fn predict_batch(&mut self, images: &[BitImage]) -> Vec<bool> {
+    fn predict_batch(&self, images: &[&BitImage]) -> Vec<bool> {
         images.iter().map(|i| self.inner.predict(i)).collect()
     }
 
-    fn score_batch(&mut self, images: &[BitImage]) -> Vec<f32> {
+    fn score_batch(&self, images: &[&BitImage]) -> Vec<f32> {
         images.iter().map(|i| self.inner.probability(i)).collect()
     }
 }
 
 /// The DAC'17 baseline behind the common trait: DCT feature tensor +
 /// float CNN with biased learning.
+///
+/// The inner network caches layer activations during a forward pass, so
+/// `&self` inference serialises through a mutex; the DCT front end is
+/// already parallel inside one batch.
 pub struct DctCnnHotspotDetector {
-    inner: DctCnnDetector,
+    inner: Mutex<DctCnnDetector>,
 }
 
 impl DctCnnHotspotDetector {
     /// Creates the detector with default hyperparameters.
     pub fn new() -> Self {
         DctCnnHotspotDetector {
-            inner: DctCnnDetector::new(DctCnnConfig::default()),
+            inner: Mutex::new(DctCnnDetector::new(DctCnnConfig::default())),
         }
     }
 
     /// Creates the detector with explicit hyperparameters.
     pub fn with_config(config: DctCnnConfig) -> Self {
         DctCnnHotspotDetector {
-            inner: DctCnnDetector::new(config),
+            inner: Mutex::new(DctCnnDetector::new(config)),
         }
     }
 }
@@ -164,19 +176,21 @@ impl HotspotDetector for DctCnnHotspotDetector {
 
     fn fit(&mut self, clips: &[LabeledClip]) {
         let (images, labels) = split(clips);
-        self.inner.fit(&images, &labels);
+        self.inner.get_mut().unwrap().fit(&images, &labels);
     }
 
-    fn predict_batch(&mut self, images: &[BitImage]) -> Vec<bool> {
+    fn predict_batch(&self, images: &[&BitImage]) -> Vec<bool> {
         self.inner
+            .lock()
+            .unwrap()
             .probabilities(images)
             .into_iter()
             .map(|p| p >= 0.5)
             .collect()
     }
 
-    fn score_batch(&mut self, images: &[BitImage]) -> Vec<f32> {
-        self.inner.probabilities(images)
+    fn score_batch(&self, images: &[&BitImage]) -> Vec<f32> {
+        self.inner.lock().unwrap().probabilities(images)
     }
 }
 
@@ -219,11 +233,11 @@ impl HotspotDetector for PatternMatchHotspotDetector {
         self.inner.fit(&images, &labels);
     }
 
-    fn predict_batch(&mut self, images: &[BitImage]) -> Vec<bool> {
+    fn predict_batch(&self, images: &[&BitImage]) -> Vec<bool> {
         images.iter().map(|i| self.inner.predict(i)).collect()
     }
 
-    fn score_batch(&mut self, images: &[BitImage]) -> Vec<f32> {
+    fn score_batch(&self, images: &[&BitImage]) -> Vec<f32> {
         images.iter().map(|i| self.inner.score(i)).collect()
     }
 }
@@ -259,7 +273,7 @@ mod tests {
         let clips = toy_clips();
         let mut det = AdaBoostHotspotDetector::with_params(4, 12);
         det.fit(&clips);
-        let preds = det.predict_batch(&clips.iter().map(|c| c.image.clone()).collect::<Vec<_>>());
+        let preds = det.predict_batch(&clips.iter().map(|c| &c.image).collect::<Vec<_>>());
         let correct = preds
             .iter()
             .zip(&clips)
@@ -275,7 +289,7 @@ mod tests {
         let mut det = CcsHotspotDetector::new();
         det.fit(&clips);
         // Training accuracy should beat chance clearly.
-        let preds = det.predict_batch(&clips.iter().map(|c| c.image.clone()).collect::<Vec<_>>());
+        let preds = det.predict_batch(&clips.iter().map(|c| &c.image).collect::<Vec<_>>());
         let correct = preds
             .iter()
             .zip(&clips)
@@ -291,7 +305,7 @@ mod tests {
         det.fit(&clips);
         let img = &clips[0].image;
         let single = det.predict(img);
-        let batch = det.predict_batch(std::slice::from_ref(img));
+        let batch = det.predict_batch(&[img]);
         assert_eq!(single, batch[0]);
     }
 }

@@ -40,18 +40,18 @@ impl EvalResult {
 ///
 /// ```no_run
 /// # use hotspot_core::{evaluate_by_family, AdaBoostHotspotDetector};
-/// # let mut det = AdaBoostHotspotDetector::new();
+/// # let det = AdaBoostHotspotDetector::new();
 /// # let clips = vec![];
-/// for (family, cm) in evaluate_by_family(&mut det, &clips) {
+/// for (family, cm) in evaluate_by_family(&det, &clips) {
 ///     println!("{family:?}: accuracy {:.2}", cm.accuracy());
 /// }
 /// ```
 pub fn evaluate_by_family<D: HotspotDetector + ?Sized>(
-    detector: &mut D,
+    detector: &D,
     clips: &[LabeledClip],
 ) -> BTreeMap<String, ConfusionMatrix> {
     assert!(!clips.is_empty(), "cannot evaluate on zero clips");
-    let images: Vec<BitImage> = clips.iter().map(|c| c.image.clone()).collect();
+    let images: Vec<&BitImage> = clips.iter().map(|c| &c.image).collect();
     let predictions = detector.predict_batch(&images);
     let mut out: BTreeMap<String, ConfusionMatrix> = BTreeMap::new();
     for (clip, &pred) in clips.iter().zip(&predictions) {
@@ -68,9 +68,9 @@ pub fn evaluate_by_family<D: HotspotDetector + ?Sized>(
 /// # Panics
 ///
 /// Panics when `clips` is empty.
-pub fn evaluate<D: HotspotDetector + ?Sized>(detector: &mut D, clips: &[LabeledClip]) -> EvalResult {
+pub fn evaluate<D: HotspotDetector + ?Sized>(detector: &D, clips: &[LabeledClip]) -> EvalResult {
     assert!(!clips.is_empty(), "cannot evaluate on zero clips");
-    let images: Vec<BitImage> = clips.iter().map(|c| c.image.clone()).collect();
+    let images: Vec<&BitImage> = clips.iter().map(|c| &c.image).collect();
     let start = Instant::now();
     let predictions = detector.predict_batch(&images);
     let runtime = start.elapsed();
@@ -95,7 +95,7 @@ mod tests {
             "density-threshold"
         }
         fn fit(&mut self, _clips: &[LabeledClip]) {}
-        fn predict_batch(&mut self, images: &[BitImage]) -> Vec<bool> {
+        fn predict_batch(&self, images: &[&BitImage]) -> Vec<bool> {
             images.iter().map(|i| i.density() > self.0).collect()
         }
     }
@@ -122,8 +122,8 @@ mod tests {
             clip(2, true),   // FN
             clip(2, false),  // TN
         ];
-        let mut det = DensityThreshold(0.5);
-        let result = evaluate(&mut det, &clips);
+        let det = DensityThreshold(0.5);
+        let result = evaluate(&det, &clips);
         assert_eq!(result.confusion.tp, 1);
         assert_eq!(result.confusion.fp, 1);
         assert_eq!(result.confusion.fn_, 1);
@@ -134,8 +134,8 @@ mod tests {
     #[test]
     fn odst_uses_measured_eval_time() {
         let clips = vec![clip(12, true), clip(2, false)];
-        let mut det = DensityThreshold(0.5);
-        let result = evaluate(&mut det, &clips);
+        let det = DensityThreshold(0.5);
+        let result = evaluate(&det, &clips);
         let odst = result.odst_seconds(10.0);
         // One flagged clip → 10 s of simulation plus tiny eval time.
         assert!((10.0..10.1).contains(&odst), "odst {odst}");
@@ -144,16 +144,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "zero clips")]
     fn empty_split_rejected() {
-        let mut det = DensityThreshold(0.5);
-        let _ = evaluate(&mut det, &[]);
+        let det = DensityThreshold(0.5);
+        let _ = evaluate(&det, &[]);
     }
 
     #[test]
     fn family_breakdown_partitions_counts() {
         let mut clips = vec![clip(12, true), clip(2, false), clip(12, false)];
         clips[1].family = PatternFamily::ViaArray;
-        let mut det = DensityThreshold(0.5);
-        let by_family = evaluate_by_family(&mut det, &clips);
+        let det = DensityThreshold(0.5);
+        let by_family = evaluate_by_family(&det, &clips);
         assert_eq!(by_family.len(), 2);
         let total: u64 = by_family.values().map(|cm| cm.total()).sum();
         assert_eq!(total, 3);

@@ -8,19 +8,23 @@
 //!   are stored bit-packed, so the paper-scale model is ~tens of KiB);
 //! * a [`SplitDataset`] — the labelled clips (bit-packed rasters).
 //!
-//! The on-disk format is bincode with a short magic/version header.
+//! The on-disk format is a short magic/version header followed by a
+//! hand-rolled little-endian payload (see `hotspot_tensor::wire`); the
+//! build environment is fully offline, so no external serialization
+//! crate is involved.
 
 use hotspot_bnn::PackedBnn;
-use hotspot_layout_gen::SplitDataset;
-use serde::de::DeserializeOwned;
-use serde::Serialize;
+use hotspot_geometry::BitImage;
+use hotspot_layout_gen::{LabeledClip, PatternFamily, SplitDataset};
+use hotspot_tensor::{WireError, WireReader, WireWriter};
 use std::error::Error;
 use std::fmt;
 use std::fs;
-use std::io::{Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"BRNNHS01";
+/// `BRNNHS` + format version. Bumped to `02` when the payload moved
+/// from bincode to the in-tree wire codec.
+const MAGIC: &[u8; 8] = b"BRNNHS02";
 
 /// Error from save/load operations.
 #[derive(Debug)]
@@ -58,24 +62,94 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
-fn save<T: Serialize>(path: &Path, value: &T) -> Result<(), PersistError> {
-    let body = bincode::serialize(value).map_err(|e| PersistError::Codec(e.to_string()))?;
-    let mut file = fs::File::create(path)?;
-    file.write_all(MAGIC)?;
-    file.write_all(&body)?;
+impl From<WireError> for PersistError {
+    fn from(e: WireError) -> Self {
+        PersistError::Codec(e.0)
+    }
+}
+
+fn save_payload(path: &Path, writer: WireWriter) -> Result<(), PersistError> {
+    let body = writer.into_bytes();
+    let mut framed = Vec::with_capacity(MAGIC.len() + body.len());
+    framed.extend_from_slice(MAGIC);
+    framed.extend_from_slice(&body);
+    fs::write(path, framed)?;
     Ok(())
 }
 
-fn load<T: DeserializeOwned>(path: &Path) -> Result<T, PersistError> {
-    let mut file = fs::File::open(path)?;
-    let mut magic = [0u8; 8];
-    file.read_exact(&mut magic).map_err(|_| PersistError::BadHeader)?;
-    if &magic != MAGIC {
-        return Err(PersistError::BadHeader);
+fn load_payload(path: &Path) -> Result<Vec<u8>, PersistError> {
+    let bytes = fs::read(path)?;
+    match bytes.strip_prefix(MAGIC) {
+        Some(body) => Ok(body.to_vec()),
+        None => Err(PersistError::BadHeader),
     }
-    let mut body = Vec::new();
-    file.read_to_end(&mut body)?;
-    bincode::deserialize(&body).map_err(|e| PersistError::Codec(e.to_string()))
+}
+
+fn family_to_u8(f: PatternFamily) -> u8 {
+    match f {
+        PatternFamily::LineSpace => 0,
+        PatternFamily::TipToTip => 1,
+        PatternFamily::Jog => 2,
+        PatternFamily::Bend => 3,
+        PatternFamily::ViaArray => 4,
+        PatternFamily::RandomRoute => 5,
+        PatternFamily::Comb => 6,
+        PatternFamily::Serpentine => 7,
+        PatternFamily::ViaChain => 8,
+    }
+}
+
+fn family_from_u8(b: u8) -> Result<PatternFamily, PersistError> {
+    Ok(match b {
+        0 => PatternFamily::LineSpace,
+        1 => PatternFamily::TipToTip,
+        2 => PatternFamily::Jog,
+        3 => PatternFamily::Bend,
+        4 => PatternFamily::ViaArray,
+        5 => PatternFamily::RandomRoute,
+        6 => PatternFamily::Comb,
+        7 => PatternFamily::Serpentine,
+        8 => PatternFamily::ViaChain,
+        _ => return Err(PersistError::Codec(format!("invalid pattern family {b}"))),
+    })
+}
+
+fn put_image(w: &mut WireWriter, img: &BitImage) {
+    w.put_usize(img.width());
+    w.put_usize(img.height());
+    w.put_u64_slice(img.as_words());
+}
+
+fn get_image(r: &mut WireReader<'_>) -> Result<BitImage, PersistError> {
+    let width = r.get_usize()?;
+    let height = r.get_usize()?;
+    let words = r.get_u64_vec()?;
+    BitImage::from_words(width, height, words).map_err(PersistError::Codec)
+}
+
+fn put_clips(w: &mut WireWriter, clips: &[LabeledClip]) {
+    w.put_usize(clips.len());
+    for clip in clips {
+        put_image(w, &clip.image);
+        w.put_bool(clip.hotspot);
+        w.put_u8(family_to_u8(clip.family));
+    }
+}
+
+fn get_clips(r: &mut WireReader<'_>) -> Result<Vec<LabeledClip>, PersistError> {
+    let n = r.get_usize()?;
+    let mut clips = Vec::new();
+    for _ in 0..n {
+        let image = get_image(r)?;
+        let hotspot = r.get_bool()?;
+        let family = family_from_u8(r.get_u8()?)?;
+        clips.push(LabeledClip {
+            image,
+            hotspot,
+            family,
+        });
+    }
+    Ok(clips)
 }
 
 /// Saves a compiled XNOR model.
@@ -99,7 +173,9 @@ fn load<T: DeserializeOwned>(path: &Path) -> Result<T, PersistError> {
 /// # Ok::<(), hotspot_core::persist::PersistError>(())
 /// ```
 pub fn save_model(path: &Path, model: &PackedBnn) -> Result<(), PersistError> {
-    save(path, model)
+    let mut w = WireWriter::new();
+    model.encode_wire(&mut w);
+    save_payload(path, w)
 }
 
 /// Loads a compiled XNOR model.
@@ -109,7 +185,16 @@ pub fn save_model(path: &Path, model: &PackedBnn) -> Result<(), PersistError> {
 /// Returns [`PersistError`] on I/O failure, wrong file type, or a
 /// corrupted payload.
 pub fn load_model(path: &Path) -> Result<PackedBnn, PersistError> {
-    load(path)
+    let body = load_payload(path)?;
+    let mut r = WireReader::new(&body);
+    let model = PackedBnn::decode_wire(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(PersistError::Codec(format!(
+            "{} trailing bytes after model payload",
+            r.remaining()
+        )));
+    }
+    Ok(model)
 }
 
 /// Saves a labelled dataset.
@@ -118,7 +203,10 @@ pub fn load_model(path: &Path) -> Result<PackedBnn, PersistError> {
 ///
 /// Returns [`PersistError`] on I/O or serialization failure.
 pub fn save_dataset(path: &Path, dataset: &SplitDataset) -> Result<(), PersistError> {
-    save(path, dataset)
+    let mut w = WireWriter::new();
+    put_clips(&mut w, &dataset.train);
+    put_clips(&mut w, &dataset.test);
+    save_payload(path, w)
 }
 
 /// Loads a labelled dataset.
@@ -128,15 +216,23 @@ pub fn save_dataset(path: &Path, dataset: &SplitDataset) -> Result<(), PersistEr
 /// Returns [`PersistError`] on I/O failure, wrong file type, or a
 /// corrupted payload.
 pub fn load_dataset(path: &Path) -> Result<SplitDataset, PersistError> {
-    load(path)
+    let body = load_payload(path)?;
+    let mut r = WireReader::new(&body);
+    let train = get_clips(&mut r)?;
+    let test = get_clips(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(PersistError::Codec(format!(
+            "{} trailing bytes after dataset payload",
+            r.remaining()
+        )));
+    }
+    Ok(SplitDataset { train, test })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use hotspot_bnn::{BnnResNet, NetConfig};
-    use hotspot_geometry::BitImage;
-    use hotspot_layout_gen::{LabeledClip, PatternFamily};
     use hotspot_tensor::Tensor;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -193,8 +289,31 @@ mod tests {
     }
 
     #[test]
+    fn truncated_model_is_codec_error() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = BnnResNet::new(&NetConfig::tiny(16), &mut rng);
+        let model = hotspot_bnn::PackedBnn::compile(&net);
+        let path = tmp("truncated");
+        save_model(&path, &model).expect("save");
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).expect("rewrite");
+        let err = load_model(&path).unwrap_err();
+        assert!(matches!(err, PersistError::Codec(_)), "got {err:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn missing_file_is_io_error() {
         let err = load_model("/nonexistent/definitely/missing.brnn".as_ref()).unwrap_err();
         assert!(matches!(err, PersistError::Io(_)));
+    }
+
+    #[test]
+    fn all_pattern_families_round_trip() {
+        for b in 0..9u8 {
+            let fam = family_from_u8(b).expect("family");
+            assert_eq!(family_to_u8(fam), b);
+        }
+        assert!(family_from_u8(9).is_err());
     }
 }

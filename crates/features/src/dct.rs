@@ -106,9 +106,16 @@ fn zigzag_order(n: usize) -> Vec<(usize, usize)> {
 /// Panics when `block` does not divide the image side, the image is
 /// not square, or `keep > block²`.
 pub fn dct_feature_tensor(img: &BitImage, block: usize, keep: usize) -> Tensor {
-    assert_eq!(img.width(), img.height(), "feature tensor expects square clips");
+    assert_eq!(
+        img.width(),
+        img.height(),
+        "feature tensor expects square clips"
+    );
     let side = img.width();
-    assert!(block > 0 && side.is_multiple_of(block), "block {block} must divide {side}");
+    assert!(
+        block > 0 && side.is_multiple_of(block),
+        "block {block} must divide {side}"
+    );
     assert!(keep >= 1 && keep <= block * block, "keep out of range");
     let nb = side / block;
     let order = zigzag_order(block);

@@ -35,7 +35,10 @@ impl BitImage {
     ///
     /// Panics when either dimension is zero.
     pub fn new(width: usize, height: usize) -> Self {
-        assert!(width > 0 && height > 0, "BitImage dimensions must be positive");
+        assert!(
+            width > 0 && height > 0,
+            "BitImage dimensions must be positive"
+        );
         let words_per_row = width.div_ceil(64);
         BitImage {
             width,
@@ -43,6 +46,49 @@ impl BitImage {
             words_per_row,
             words: vec![0; words_per_row * height],
         }
+    }
+
+    /// Rebuilds an image from its dimensions and packed row words, as
+    /// produced by [`BitImage::as_words`]. Used by the persistence
+    /// codec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the word count does not match the
+    /// dimensions or a padding bit beyond `width` is set.
+    pub fn from_words(width: usize, height: usize, words: Vec<u64>) -> Result<Self, String> {
+        if width == 0 || height == 0 {
+            return Err(format!("degenerate image dims {width}x{height}"));
+        }
+        let words_per_row = width.div_ceil(64);
+        if words.len() != words_per_row * height {
+            return Err(format!(
+                "{width}x{height} image needs {} words, got {}",
+                words_per_row * height,
+                words.len()
+            ));
+        }
+        if !width.is_multiple_of(64) {
+            let mask = !((1u64 << (width % 64)) - 1);
+            if words
+                .chunks_exact(words_per_row)
+                .any(|row| row[words_per_row - 1] & mask != 0)
+            {
+                return Err("padding bits beyond image width are set".into());
+            }
+        }
+        Ok(BitImage {
+            width,
+            height,
+            words_per_row,
+            words,
+        })
+    }
+
+    /// The raw packed words, row-major: row `y` occupies words
+    /// `y * ceil(width / 64) ..`.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Image width in pixels.
@@ -61,7 +107,10 @@ impl BitImage {
     ///
     /// Panics when out of bounds.
     pub fn get(&self, x: usize, y: usize) -> bool {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         let w = self.words[y * self.words_per_row + x / 64];
         (w >> (x % 64)) & 1 == 1
     }
@@ -72,7 +121,10 @@ impl BitImage {
     ///
     /// Panics when out of bounds.
     pub fn set(&mut self, x: usize, y: usize, value: bool) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         let w = &mut self.words[y * self.words_per_row + x / 64];
         if value {
             *w |= 1 << (x % 64);
@@ -87,14 +139,21 @@ impl BitImage {
     ///
     /// Panics when the run exceeds the image bounds.
     pub fn fill_row_span(&mut self, y: usize, x0: usize, x1: usize) {
-        assert!(y < self.height && x0 <= x1 && x1 <= self.width, "span out of bounds");
+        assert!(
+            y < self.height && x0 <= x1 && x1 <= self.width,
+            "span out of bounds"
+        );
         let base = y * self.words_per_row;
         let mut x = x0;
         while x < x1 {
             let word = x / 64;
             let bit = x % 64;
             let run = (x1 - x).min(64 - bit);
-            let mask = if run == 64 { !0u64 } else { ((1u64 << run) - 1) << bit };
+            let mask = if run == 64 {
+                !0u64
+            } else {
+                ((1u64 << run) - 1) << bit
+            };
             self.words[base + word] |= mask;
             x += run;
         }
@@ -158,7 +217,10 @@ impl BitImage {
             self.width,
             self.height
         );
-        assert!(threshold > 0.0 && threshold <= 1.0, "threshold must be in (0, 1]");
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "threshold must be in (0, 1]"
+        );
         let ow = self.width / factor;
         let oh = self.height / factor;
         let need = (threshold * (factor * factor) as f64).ceil() as usize;

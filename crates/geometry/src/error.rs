@@ -30,10 +30,16 @@ impl fmt::Display for GeometryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GeometryError::NotRectilinear { edge } => {
-                write!(f, "polygon edge starting at vertex {edge} is not axis-aligned")
+                write!(
+                    f,
+                    "polygon edge starting at vertex {edge} is not axis-aligned"
+                )
             }
             GeometryError::TooFewVertices { got } => {
-                write!(f, "rectilinear polygon needs at least 4 vertices, got {got}")
+                write!(
+                    f,
+                    "rectilinear polygon needs at least 4 vertices, got {got}"
+                )
             }
             GeometryError::DegenerateOutline => {
                 write!(f, "polygon outline is degenerate or self-intersecting")

@@ -58,9 +58,18 @@ pub fn edge_relation(a: &Rect, b: &Rect) -> EdgeRelation {
     let run_y = overlap_len(a.lo().y, a.hi().y, b.lo().y, b.hi().y);
     let run_x = overlap_len(a.lo().x, a.hi().x, b.lo().x, b.hi().x);
     match (gx > 0, gy > 0) {
-        (true, false) => EdgeRelation::FacingX { gap: gx, run: run_y },
-        (false, true) => EdgeRelation::FacingY { gap: gy, run: run_x },
-        (true, true) => EdgeRelation::Diagonal { gap_x: gx, gap_y: gy },
+        (true, false) => EdgeRelation::FacingX {
+            gap: gx,
+            run: run_y,
+        },
+        (false, true) => EdgeRelation::FacingY {
+            gap: gy,
+            run: run_x,
+        },
+        (true, true) => EdgeRelation::Diagonal {
+            gap_x: gx,
+            gap_y: gy,
+        },
         (false, false) => {
             // Touching boundaries: zero gap along the axis with zero
             // projection overlap.
@@ -110,10 +119,7 @@ pub fn min_spacing(layout: &Layout) -> Option<i64> {
 /// overlapping/abutting rectangles this is a conservative lower bound on
 /// the true drawn width.
 pub fn min_width(layout: &Layout) -> Option<i64> {
-    layout
-        .iter()
-        .map(|r| r.width().min(r.height()))
-        .min()
+    layout.iter().map(|r| r.width().min(r.height())).min()
 }
 
 fn overlap_len(a0: i64, a1: i64, b0: i64, b1: i64) -> i64 {
@@ -128,7 +134,10 @@ mod tests {
     fn facing_x() {
         let a = Rect::new(0, 0, 10, 40);
         let b = Rect::new(25, 10, 35, 30);
-        assert_eq!(edge_relation(&a, &b), EdgeRelation::FacingX { gap: 15, run: 20 });
+        assert_eq!(
+            edge_relation(&a, &b),
+            EdgeRelation::FacingX { gap: 15, run: 20 }
+        );
         assert_eq!(spacing(&a, &b), Some(15));
         // Symmetric.
         assert_eq!(spacing(&b, &a), Some(15));
@@ -139,7 +148,10 @@ mod tests {
         // Two vertical wires tip to tip: the classic hotspot pattern.
         let a = Rect::new(0, 0, 20, 100);
         let b = Rect::new(0, 130, 20, 230);
-        assert_eq!(edge_relation(&a, &b), EdgeRelation::FacingY { gap: 30, run: 20 });
+        assert_eq!(
+            edge_relation(&a, &b),
+            EdgeRelation::FacingY { gap: 30, run: 20 }
+        );
         assert_eq!(spacing(&a, &b), Some(30));
     }
 
@@ -147,7 +159,10 @@ mod tests {
     fn diagonal_uses_euclidean() {
         let a = Rect::new(0, 0, 10, 10);
         let b = Rect::new(13, 14, 20, 20);
-        assert_eq!(edge_relation(&a, &b), EdgeRelation::Diagonal { gap_x: 3, gap_y: 4 });
+        assert_eq!(
+            edge_relation(&a, &b),
+            EdgeRelation::Diagonal { gap_x: 3, gap_y: 4 }
+        );
         assert_eq!(spacing(&a, &b), Some(5));
     }
 
@@ -163,16 +178,19 @@ mod tests {
     fn touching_is_zero_gap() {
         let a = Rect::new(0, 0, 10, 10);
         let b = Rect::new(10, 0, 20, 10);
-        assert_eq!(edge_relation(&a, &b), EdgeRelation::FacingX { gap: 0, run: 10 });
+        assert_eq!(
+            edge_relation(&a, &b),
+            EdgeRelation::FacingX { gap: 0, run: 10 }
+        );
         assert_eq!(spacing(&a, &b), Some(0));
     }
 
     #[test]
     fn layout_min_spacing_and_width() {
         let layout = Layout::from_rects([
-            Rect::new(0, 0, 10, 100),   // width 10
-            Rect::new(40, 0, 55, 100),  // 30 away
-            Rect::new(70, 0, 90, 100),  // 15 away from the middle wire
+            Rect::new(0, 0, 10, 100),  // width 10
+            Rect::new(40, 0, 55, 100), // 30 away
+            Rect::new(70, 0, 90, 100), // 15 away from the middle wire
         ]);
         assert_eq!(min_spacing(&layout), Some(15));
         assert_eq!(min_width(&layout), Some(10));

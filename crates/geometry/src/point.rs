@@ -17,7 +17,9 @@ use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
 /// let p = Point::new(10, 20) + Point::new(-4, 6);
 /// assert_eq!(p, Point::new(6, 26));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Point {
     /// Horizontal coordinate in nanometres.
     pub x: i64,

@@ -36,7 +36,10 @@ impl Raster {
     ///
     /// Panics when `resolution` is not positive.
     pub fn new(resolution: i64) -> Self {
-        assert!(resolution > 0, "resolution must be positive, got {resolution}");
+        assert!(
+            resolution > 0,
+            "resolution must be positive, got {resolution}"
+        );
         Raster { resolution }
     }
 
@@ -67,7 +70,10 @@ impl Raster {
                 ),
             });
         }
-        Ok(((w / self.resolution) as usize, (h / self.resolution) as usize))
+        Ok((
+            (w / self.resolution) as usize,
+            (h / self.resolution) as usize,
+        ))
     }
 
     /// Rasterizes the part of `layout` inside `window`.
@@ -155,10 +161,7 @@ mod tests {
 
     #[test]
     fn rasterize_matches_pointwise_sampling() {
-        let layout = Layout::from_rects([
-            Rect::new(13, 7, 57, 33),
-            Rect::new(40, 20, 90, 60),
-        ]);
+        let layout = Layout::from_rects([Rect::new(13, 7, 57, 33), Rect::new(40, 20, 90, 60)]);
         let window = Rect::new(0, 0, 100, 70);
         let raster = Raster::new(10);
         let img = raster.rasterize(&layout, window);
@@ -166,9 +169,7 @@ mod tests {
             for col in 0..10 {
                 let cx = col as i64 * 10 + 5;
                 let cy = row as i64 * 10 + 5;
-                let expected = layout
-                    .iter()
-                    .any(|r| r.contains(crate::Point::new(cx, cy)));
+                let expected = layout.iter().any(|r| r.contains(crate::Point::new(cx, cy)));
                 assert_eq!(img.get(col, row), expected, "pixel ({col},{row})");
             }
         }

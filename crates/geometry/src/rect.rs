@@ -94,10 +94,7 @@ impl Rect {
 
     /// The centre point (coordinates rounded toward `lo`).
     pub fn center(&self) -> Point {
-        Point::new(
-            self.lo.x + self.width() / 2,
-            self.lo.y + self.height() / 2,
-        )
+        Point::new(self.lo.x + self.width() / 2, self.lo.y + self.height() / 2)
     }
 
     /// `true` when `p` lies inside or on the boundary.

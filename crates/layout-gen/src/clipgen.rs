@@ -129,8 +129,7 @@ mod tests {
 
     #[test]
     fn respects_custom_weights() {
-        let gen = ClipGenerator::new(1280)
-            .with_weights(vec![(PatternFamily::ViaArray, 1)]);
+        let gen = ClipGenerator::new(1280).with_weights(vec![(PatternFamily::ViaArray, 1)]);
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..10 {
             assert_eq!(gen.generate(&mut rng).family, PatternFamily::ViaArray);

@@ -267,8 +267,10 @@ mod tests {
             hotspot,
             family: PatternFamily::LineSpace,
         };
-        let mut clips: Vec<LabeledClip> =
-            (0..4).map(|_| mk(true)).chain((0..12).map(|_| mk(false))).collect();
+        let mut clips: Vec<LabeledClip> = (0..4)
+            .map(|_| mk(true))
+            .chain((0..12).map(|_| mk(false)))
+            .collect();
         interleave(&mut clips);
         assert_eq!(clips.len(), 16);
         // No prefix of half the list contains every hotspot.

@@ -105,10 +105,7 @@ pub fn decode_layout(text: &str) -> Result<Layout, ParseLayoutError> {
             return Err(bad());
         }
         let mut coord = || -> Result<i64, ParseLayoutError> {
-            parts
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or_else(bad)
+            parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)
         };
         let (x0, y0, x1, y1) = (coord()?, coord()?, coord()?, coord()?);
         layout.push(Rect::new(x0, y0, x1, y1));
@@ -125,10 +122,7 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let layout = Layout::from_rects([
-            Rect::new(0, 0, 100, 20),
-            Rect::new(-50, 30, 10, 90),
-        ]);
+        let layout = Layout::from_rects([Rect::new(0, 0, 100, 20), Rect::new(-50, 30, 10, 90)]);
         let text = encode_layout(&layout);
         assert_eq!(decode_layout(&text).expect("round trip"), layout);
     }

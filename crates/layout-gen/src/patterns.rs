@@ -94,7 +94,12 @@ pub fn tip_to_tip(rng: &mut impl Rng, extent: i64) -> Layout {
         if split_idx.contains(&i) {
             let cut = rng.gen_range(extent / 4..=3 * extent / 4);
             layout.push(Rect::new(margin, y, cut - gap / 2, y + width));
-            layout.push(Rect::new(cut + gap - gap / 2, y, extent - margin, y + width));
+            layout.push(Rect::new(
+                cut + gap - gap / 2,
+                y,
+                extent - margin,
+                y + width,
+            ));
         } else {
             layout.push(Rect::new(margin, y, extent - margin, y + width));
         }
@@ -158,7 +163,12 @@ pub fn bend(rng: &mut impl Rng, extent: i64) -> Layout {
                     base + 2 * width + spacing,
                     base + arm,
                 ));
-                layout.push(Rect::new(base, base, base + 2 * width + spacing, base + width));
+                layout.push(Rect::new(
+                    base,
+                    base,
+                    base + 2 * width + spacing,
+                    base + width,
+                ));
             }
         }
         base += pitch;
@@ -207,7 +217,10 @@ pub fn random_route(rng: &mut impl Rng, extent: i64) -> Layout {
         let width = rng.gen_range(50..=130);
         let y = rng.gen_range(0..extent - width);
         // Keep trunks from stacking exactly.
-        if used_y.iter().any(|&(a, b)| y < b + 30 && a < y + width + 30) {
+        if used_y
+            .iter()
+            .any(|&(a, b)| y < b + 30 && a < y + width + 30)
+        {
             continue;
         }
         used_y.push((y, y + width));
@@ -323,7 +336,11 @@ pub fn via_chain(rng: &mut impl Rng, extent: i64) -> Layout {
     while x + via <= extent - 40 && y + via <= extent - 40 {
         layout.push(Rect::new(x, y, x + via, y + via));
         // Landing bar toward the next via.
-        let (nx, ny) = if horizontal { (x + step, y) } else { (x, y + step) };
+        let (nx, ny) = if horizontal {
+            (x + step, y)
+        } else {
+            (x, y + step)
+        };
         if nx + via <= extent - 40 && ny + via <= extent - 40 {
             if horizontal {
                 let mid = y + via / 2 - bar_w / 2;

@@ -37,7 +37,10 @@ impl ComponentMap {
     ///
     /// Panics for label 0 or labels beyond [`count`](ComponentMap::count).
     pub fn size(&self, label: u32) -> usize {
-        assert!(label >= 1 && (label as usize) <= self.count, "bad label {label}");
+        assert!(
+            label >= 1 && (label as usize) <= self.count,
+            "bad label {label}"
+        );
         self.sizes[label as usize - 1]
     }
 

@@ -128,8 +128,7 @@ pub fn measure_epe(
     let mean = errors.iter().sum::<f64>() / samples as f64;
     let max = errors.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let min = errors.iter().copied().fold(f64::INFINITY, f64::min);
-    let violations =
-        errors.iter().filter(|e| e.abs() > tolerance).count() as f64 / samples as f64;
+    let violations = errors.iter().filter(|e| e.abs() > tolerance).count() as f64 / samples as f64;
     Some(EpeStats {
         samples,
         mean,

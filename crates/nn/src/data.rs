@@ -100,7 +100,10 @@ impl ImageDataset {
     ///
     /// Panics when `fraction` is outside `(0, 1)`.
     pub fn split_validation(mut self, fraction: f64) -> (ImageDataset, ImageDataset) {
-        assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0, 1)");
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "fraction must be in (0, 1)"
+        );
         let n_val = ((self.len() as f64) * fraction).round() as usize;
         let n_val = n_val.clamp(1, self.len().saturating_sub(1).max(1));
         let split = self.len() - n_val;
@@ -255,7 +258,9 @@ mod tests {
         let mut seen: Vec<f32> = batches
             .iter()
             .flat_map(|(t, _)| {
-                (0..t.shape()[0]).map(|i| t.batch_item(i)[0]).collect::<Vec<_>>()
+                (0..t.shape()[0])
+                    .map(|i| t.batch_item(i)[0])
+                    .collect::<Vec<_>>()
             })
             .collect();
         seen.sort_by(f32::total_cmp);

@@ -305,7 +305,10 @@ impl Layer for BatchNorm2d {
                 for ci in 0..c {
                     let base = (ni * c + ci) * plane;
                     let (mu, is) = (mean[ci], inv_std[ci]);
-                    let (g, b) = (self.gamma.value.as_slice()[ci], self.beta.value.as_slice()[ci]);
+                    let (g, b) = (
+                        self.gamma.value.as_slice()[ci],
+                        self.beta.value.as_slice()[ci],
+                    );
                     for i in base..base + plane {
                         let v = (data[i] - mu) * is;
                         xh[i] = v;
@@ -433,7 +436,10 @@ impl MaxPool2d {
     /// equal stride.
     pub fn new(window: usize) -> Self {
         assert!(window > 0);
-        MaxPool2d { window, cache: None }
+        MaxPool2d {
+            window,
+            cache: None,
+        }
     }
 }
 
@@ -445,7 +451,10 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (shape, argmax) = self.cache.take().expect("MaxPool2d::backward before forward");
+        let (shape, argmax) = self
+            .cache
+            .take()
+            .expect("MaxPool2d::backward before forward");
         max_pool2d_backward(&shape, grad_out, &argmax)
     }
 

@@ -19,7 +19,10 @@ impl BiasedLabels {
     ///
     /// Panics when `epsilon` is outside `[0, 0.5)`.
     pub fn new(epsilon: f32) -> Self {
-        assert!((0.0..0.5).contains(&epsilon), "epsilon must be in [0, 0.5), got {epsilon}");
+        assert!(
+            (0.0..0.5).contains(&epsilon),
+            "epsilon must be in [0, 0.5), got {epsilon}"
+        );
         BiasedLabels { epsilon }
     }
 
@@ -84,7 +87,11 @@ impl SoftmaxCrossEntropy {
     /// Panics when shapes disagree or a class is out of range.
     pub fn forward(&self, logits: &Tensor, classes: &[usize]) -> (f32, Tensor) {
         assert_eq!(logits.ndim(), 2, "logits must be [n, 2]");
-        assert_eq!(logits.shape()[1], 2, "binary classification expects 2 logits");
+        assert_eq!(
+            logits.shape()[1],
+            2,
+            "binary classification expects 2 logits"
+        );
         let n = logits.shape()[0];
         assert_eq!(classes.len(), n, "one class per row");
 

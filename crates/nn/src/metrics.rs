@@ -28,7 +28,10 @@ pub fn argmax_row(logits: &Tensor, i: usize) -> usize {
 ///
 /// Panics when lengths disagree or `labels` is empty.
 pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
-    assert!(!labels.is_empty(), "cannot compute accuracy of zero examples");
+    assert!(
+        !labels.is_empty(),
+        "cannot compute accuracy of zero examples"
+    );
     assert_eq!(logits.shape()[0], labels.len(), "one label per row");
     let correct = labels
         .iter()

@@ -110,7 +110,6 @@ impl AdamState {
             v: Vec::new(),
         }
     }
-
 }
 
 /// Adam (Kingma & Ba 2014).
@@ -247,10 +246,7 @@ mod tests {
         let mut net = Dense::new(2, 2, &mut rng);
         let loss = SoftmaxCrossEntropy::new();
         // Class 0 at (-1, -1), class 1 at (1, 1) with noise-free labels.
-        let x = Tensor::from_vec(
-            &[4, 2],
-            vec![-1.0, -1.0, -0.8, -1.2, 1.0, 1.0, 1.2, 0.8],
-        );
+        let x = Tensor::from_vec(&[4, 2], vec![-1.0, -1.0, -0.8, -1.2, 1.0, 1.0, 1.2, 0.8]);
         let classes = [0usize, 0, 1, 1];
         let (first, _) = loss.forward(&net.forward(&x, true), &classes);
         let mut last = first;

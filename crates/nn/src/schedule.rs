@@ -35,7 +35,10 @@ impl PlateauDecay {
     /// `(0, 1)`, or `patience` is zero.
     pub fn new(initial_lr: f32, factor: f32, patience: usize) -> Self {
         assert!(initial_lr > 0.0, "initial learning rate must be positive");
-        assert!(factor > 0.0 && factor < 1.0, "decay factor must be in (0, 1)");
+        assert!(
+            factor > 0.0 && factor < 1.0,
+            "decay factor must be in (0, 1)"
+        );
         assert!(patience > 0, "patience must be positive");
         PlateauDecay {
             lr: initial_lr,

@@ -1,7 +1,8 @@
 //! 2-D convolution via im2col, with analytic backward pass.
 
-use crate::matmul::matmul;
+use crate::matmul::{matmul, matmul_row};
 use crate::tensor::Tensor;
+use crate::workspace::{global_pool, Workspace};
 use rayon::prelude::*;
 
 /// Gradients produced by [`conv2d_backward`].
@@ -24,7 +25,10 @@ pub struct ConvGrads {
 pub fn conv_output_size(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
     assert!(stride > 0, "stride must be positive");
     let padded = input + 2 * pad;
-    assert!(padded >= kernel, "kernel {kernel} larger than padded input {padded}");
+    assert!(
+        padded >= kernel,
+        "kernel {kernel} larger than padded input {padded}"
+    );
     (padded - kernel) / stride + 1
 }
 
@@ -49,6 +53,47 @@ pub fn im2col(
     let rows = channels * kh * kw;
     let cols = oh * ow;
     let mut out = vec![0.0f32; rows * cols];
+    im2col_into(item, channels, height, width, kh, kw, stride, pad, &mut out);
+    Tensor::from_vec(&[rows, cols], out)
+}
+
+/// [`im2col`] into a caller-provided `[c * kh * kw, oh * ow]` buffer.
+///
+/// Only in-bounds taps are written; padding positions are left
+/// untouched, so `out` must arrive zero-filled (a buffer fresh from
+/// [`Workspace::take_f32`] is).  Reusing the same buffer across batch
+/// items of identical geometry is fine without re-zeroing: every
+/// in-bounds position is overwritten and every padding position stays
+/// zero.
+///
+/// # Panics
+///
+/// Panics when the slice lengths disagree with the dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_into(
+    item: &[f32],
+    channels: usize,
+    height: usize,
+    width: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    out: &mut [f32],
+) {
+    let oh = conv_output_size(height, kh, stride, pad);
+    let ow = conv_output_size(width, kw, stride, pad);
+    let cols = oh * ow;
+    assert_eq!(
+        item.len(),
+        channels * height * width,
+        "item length mismatch"
+    );
+    assert_eq!(
+        out.len(),
+        channels * kh * kw * cols,
+        "im2col buffer length mismatch"
+    );
     for c in 0..channels {
         let plane = &item[c * height * width..(c + 1) * height * width];
         for ky in 0..kh {
@@ -72,7 +117,6 @@ pub fn im2col(
             }
         }
     }
-    Tensor::from_vec(&[rows, cols], out)
 }
 
 /// Folds im2col columns back into an image (the adjoint of [`im2col`]):
@@ -157,20 +201,28 @@ pub fn conv2d(
     let oh = conv_output_size(h, kh, stride, pad);
     let ow = conv_output_size(w, kw, stride, pad);
 
-    let wmat = weight.clone().reshape(&[k, c * kh * kw]);
+    let wdata = weight.as_slice();
+    let bdata = bias.map(|b| b.as_slice());
     let items: Vec<Vec<f32>> = (0..n)
         .into_par_iter()
         .map(|i| {
-            let cols = im2col(input.batch_item(i), c, h, w, kh, kw, stride, pad);
-            let mut out = matmul(&wmat, &cols).into_vec();
-            if let Some(b) = bias {
-                for ch in 0..k {
-                    let bv = b.as_slice()[ch];
-                    for v in &mut out[ch * oh * ow..(ch + 1) * oh * ow] {
-                        *v += bv;
-                    }
-                }
-            }
+            // Scratch (the im2col matrix) comes from the process-wide
+            // workspace pool, so repeated training steps reuse one
+            // allocation per worker instead of reallocating per item.
+            let mut ws = global_pool().checkout();
+            let mut out = vec![0.0f32; k * oh * ow];
+            conv_item_into(
+                input.batch_item(i),
+                wdata,
+                bdata,
+                (c, h, w),
+                (k, kh, kw),
+                stride,
+                pad,
+                &mut ws,
+                &mut out,
+            );
+            global_pool().restore(ws);
             out
         })
         .collect();
@@ -180,6 +232,106 @@ pub fn conv2d(
         data.extend_from_slice(&item);
     }
     Tensor::from_vec(&[n, k, oh, ow], data)
+}
+
+/// Convolves one batch item into a caller-provided `[k, oh, ow]`
+/// buffer: im2col scratch from `ws`, then a sequential row-by-row
+/// matmul (bit-identical to [`conv2d`]'s per-item result).
+#[allow(clippy::too_many_arguments)]
+fn conv_item_into(
+    item: &[f32],
+    weight: &[f32],
+    bias: Option<&[f32]>,
+    (c, h, w): (usize, usize, usize),
+    (k, kh, kw): (usize, usize, usize),
+    stride: usize,
+    pad: usize,
+    ws: &mut Workspace,
+    out: &mut [f32],
+) {
+    let oh = conv_output_size(h, kh, stride, pad);
+    let ow = conv_output_size(w, kw, stride, pad);
+    let cols = oh * ow;
+    let taps = c * kh * kw;
+    assert_eq!(out.len(), k * cols, "conv output buffer length mismatch");
+    let mut col_buf = ws.take_f32(taps * cols);
+    im2col_into(item, c, h, w, kh, kw, stride, pad, &mut col_buf);
+    for ki in 0..k {
+        matmul_row(
+            &weight[ki * taps..(ki + 1) * taps],
+            &col_buf,
+            cols,
+            &mut out[ki * cols..(ki + 1) * cols],
+        );
+    }
+    if let Some(b) = bias {
+        for (ki, &bv) in b.iter().enumerate() {
+            for v in &mut out[ki * cols..(ki + 1) * cols] {
+                *v += bv;
+            }
+        }
+    }
+    ws.give_f32(col_buf);
+}
+
+/// [`conv2d`] into a caller-provided `[n, k, oh, ow]` buffer, with all
+/// scratch drawn from `ws`: after one warm-up call with the same
+/// shapes, subsequent calls perform no heap allocation.  Batch items
+/// run sequentially — batch-level parallelism belongs to the caller
+/// (one workspace per worker).
+///
+/// # Panics
+///
+/// Panics on the same shape mismatches as [`conv2d`], or when `out`
+/// has the wrong length.
+pub fn conv2d_into(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+    ws: &mut Workspace,
+    out: &mut [f32],
+) {
+    assert_eq!(input.ndim(), 4, "conv2d input must be NCHW");
+    assert_eq!(weight.ndim(), 4, "conv2d weight must be [k, c, kh, kw]");
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (k, wc, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    assert_eq!(c, wc, "input has {c} channels but weight expects {wc}");
+    if let Some(b) = bias {
+        assert_eq!(b.shape(), &[k], "bias must be [{k}]");
+    }
+    let oh = conv_output_size(h, kh, stride, pad);
+    let ow = conv_output_size(w, kw, stride, pad);
+    assert_eq!(
+        out.len(),
+        n * k * oh * ow,
+        "conv output buffer length mismatch"
+    );
+    let bdata = bias.map(|b| b.as_slice());
+    for i in 0..n {
+        conv_item_into(
+            input.batch_item(i),
+            weight.as_slice(),
+            bdata,
+            (c, h, w),
+            (k, kh, kw),
+            stride,
+            pad,
+            ws,
+            &mut out[i * k * oh * ow..(i + 1) * k * oh * ow],
+        );
+    }
 }
 
 /// Backward pass of [`conv2d`].
@@ -214,11 +366,7 @@ pub fn conv2d_backward(
     );
     let oh = conv_output_size(h, kh, stride, pad);
     let ow = conv_output_size(w, kw, stride, pad);
-    assert_eq!(
-        grad_out.shape(),
-        &[n, k, oh, ow],
-        "grad_out shape mismatch"
-    );
+    assert_eq!(grad_out.shape(), &[n, k, oh, ow], "grad_out shape mismatch");
 
     let wmat = weight.clone().reshape(&[k, c * kh * kw]);
     // Transpose of the weight matrix, for the input gradient.
@@ -287,12 +435,7 @@ mod tests {
     use super::*;
 
     /// Direct (no im2col) reference convolution.
-    fn conv_reference(
-        input: &Tensor,
-        weight: &Tensor,
-        stride: usize,
-        pad: usize,
-    ) -> Tensor {
+    fn conv_reference(input: &Tensor, weight: &Tensor, stride: usize, pad: usize) -> Tensor {
         let (n, c, h, w) = (
             input.shape()[0],
             input.shape()[1],

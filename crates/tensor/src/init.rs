@@ -85,8 +85,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         fill_normal(&mut t, &mut rng, 1.0, 2.0);
         let mean = t.mean();
-        let var = t.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
-            / t.numel() as f32;
+        let var = t.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / t.numel() as f32;
         assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
         assert!((var - 4.0).abs() < 0.2, "var {var}");
     }

@@ -30,9 +30,16 @@ pub mod init;
 pub mod matmul;
 pub mod pool;
 pub mod tensor;
+pub mod wire;
+pub mod workspace;
 
-pub use conv::{conv2d, conv2d_backward, im2col, ConvGrads};
+pub use conv::{conv2d, conv2d_backward, conv2d_into, im2col, im2col_into, ConvGrads};
 pub use init::{fill_normal, fill_uniform, xavier_uniform};
-pub use matmul::matmul;
-pub use pool::{avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d, max_pool2d_backward};
+pub use matmul::{matmul, matmul_into};
+pub use pool::{
+    avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward,
+    global_avg_pool_into, max_pool2d, max_pool2d_backward,
+};
 pub use tensor::Tensor;
+pub use wire::{WireError, WireReader, WireWriter};
+pub use workspace::{global_pool, Workspace, WorkspacePool};

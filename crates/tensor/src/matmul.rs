@@ -30,26 +30,45 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
 
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
     let mut out = vec![0.0f32; m * n];
+    matmul_into(a.as_slice(), b.as_slice(), m, k, n, &mut out);
+    Tensor::from_vec(&[m, n], out)
+}
 
+/// One output row of a matmul: `out_row = a_row · B`, overwriting
+/// `out_row`.  `a_row` is `[k]`, `b` is `[k, n]` row-major, `out_row`
+/// is `[n]`.  This is the sequential kernel both [`matmul_into`] and
+/// the im2col convolution loop are built from.
+pub(crate) fn matmul_row(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
+    out_row.fill(0.0);
+    for (p, &a_ip) in a_row.iter().enumerate() {
+        if a_ip == 0.0 {
+            continue;
+        }
+        let b_row = &b[p * n..(p + 1) * n];
+        for (r, &b_pj) in out_row.iter_mut().zip(b_row) {
+            *r += a_ip * b_pj;
+        }
+    }
+}
+
+/// Multiplies `a` (`[m, k]`) by `b` (`[k, n]`) into a caller-provided
+/// `[m, n]` buffer, overwriting it.  Rows are computed in parallel;
+/// the result is identical to [`matmul`] (each row's accumulation
+/// order is the same).
+///
+/// # Panics
+///
+/// Panics when any slice length disagrees with the given dimensions.
+pub fn matmul_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "lhs length mismatch");
+    assert_eq!(b.len(), k * n, "rhs length mismatch");
+    assert_eq!(out.len(), m * n, "output length mismatch");
     // Parallelize over output rows; each row is an independent
     // accumulation of k rank-1 updates.
     out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
-        let a_row = &a_data[i * k..(i + 1) * k];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b_data[p * n..(p + 1) * n];
-            for (r, &b_pj) in row.iter_mut().zip(b_row) {
-                *r += a_ip * b_pj;
-            }
-        }
+        matmul_row(&a[i * k..(i + 1) * k], b, n, row);
     });
-
-    Tensor::from_vec(&[m, n], out)
 }
 
 #[cfg(test)]

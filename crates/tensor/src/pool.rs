@@ -11,8 +11,10 @@ use crate::tensor::Tensor;
 /// Panics when the window does not evenly tile the spatial dims.
 pub fn max_pool2d(input: &Tensor, window: usize) -> (Tensor, Vec<usize>) {
     let (n, c, h, w) = dims4(input);
-    assert!(window > 0 && h % window == 0 && w % window == 0,
-        "window {window} must tile {h}x{w}");
+    assert!(
+        window > 0 && h % window == 0 && w % window == 0,
+        "window {window} must tile {h}x{w}"
+    );
     let (oh, ow) = (h / window, w / window);
     let mut out = Tensor::zeros(&[n, c, oh, ow]);
     let mut argmax = vec![0usize; n * c * oh * ow];
@@ -45,11 +47,7 @@ pub fn max_pool2d(input: &Tensor, window: usize) -> (Tensor, Vec<usize>) {
 
 /// Backward pass of [`max_pool2d`]: routes each output gradient to the
 /// input position that achieved the max.
-pub fn max_pool2d_backward(
-    input_shape: &[usize],
-    grad_out: &Tensor,
-    argmax: &[usize],
-) -> Tensor {
+pub fn max_pool2d_backward(input_shape: &[usize], grad_out: &Tensor, argmax: &[usize]) -> Tensor {
     let mut grad_in = Tensor::zeros(input_shape);
     for (o, &src) in argmax.iter().enumerate() {
         grad_in.as_mut_slice()[src] += grad_out.as_slice()[o];
@@ -65,8 +63,10 @@ pub fn max_pool2d_backward(
 /// Panics when the window does not evenly tile the spatial dims.
 pub fn avg_pool2d(input: &Tensor, window: usize) -> Tensor {
     let (n, c, h, w) = dims4(input);
-    assert!(window > 0 && h % window == 0 && w % window == 0,
-        "window {window} must tile {h}x{w}");
+    assert!(
+        window > 0 && h % window == 0 && w % window == 0,
+        "window {window} must tile {h}x{w}"
+    );
     let (oh, ow) = (h / window, w / window);
     let inv = 1.0 / (window * window) as f32;
     let mut out = Tensor::zeros(&[n, c, oh, ow]);
@@ -124,16 +124,35 @@ pub fn avg_pool2d_backward(input_shape: &[usize], grad_out: &Tensor, window: usi
 /// Global average pooling: `[n, c, h, w]` → `[n, c]`.
 pub fn global_avg_pool(input: &Tensor) -> Tensor {
     let (n, c, h, w) = dims4(input);
-    let inv = 1.0 / (h * w) as f32;
     let mut out = Tensor::zeros(&[n, c]);
+    global_avg_pool_into(input.as_slice(), n, c, h, w, out.as_mut_slice());
+    out
+}
+
+/// [`global_avg_pool`] on a raw NCHW slice into a caller-provided
+/// `[n, c]` buffer (overwritten).
+///
+/// # Panics
+///
+/// Panics when the slice lengths disagree with the dimensions.
+pub fn global_avg_pool_into(
+    input: &[f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(input.len(), n * c * h * w, "input length mismatch");
+    assert_eq!(out.len(), n * c, "output length mismatch");
+    let inv = 1.0 / (h * w) as f32;
     for ni in 0..n {
         for ci in 0..c {
             let base = (ni * c + ci) * h * w;
-            let s: f32 = input.as_slice()[base..base + h * w].iter().sum();
-            out.as_mut_slice()[ni * c + ci] = s * inv;
+            let s: f32 = input[base..base + h * w].iter().sum();
+            out[ni * c + ci] = s * inv;
         }
     }
-    out
 }
 
 /// Backward pass of [`global_avg_pool`].
@@ -159,7 +178,12 @@ pub fn global_avg_pool_backward(input_shape: &[usize], grad_out: &Tensor) -> Ten
 }
 
 fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
-    assert_eq!(t.ndim(), 4, "expected a 4-D NCHW tensor, got {:?}", t.shape());
+    assert_eq!(
+        t.ndim(),
+        4,
+        "expected a 4-D NCHW tensor, got {:?}",
+        t.shape()
+    );
     (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3])
 }
 
@@ -194,7 +218,11 @@ mod tests {
         let input = Tensor::from_vec(&[1, 1, 2, 2], vec![1., 3., 5., 7.]);
         let out = avg_pool2d(&input, 2);
         assert_eq!(out.as_slice(), &[4.0]);
-        let grad = avg_pool2d_backward(input.shape(), &Tensor::from_vec(&[1, 1, 1, 1], vec![8.0]), 2);
+        let grad = avg_pool2d_backward(
+            input.shape(),
+            &Tensor::from_vec(&[1, 1, 1, 1], vec![8.0]),
+            2,
+        );
         assert_eq!(grad.as_slice(), &[2., 2., 2., 2.]);
     }
 
@@ -203,16 +231,14 @@ mod tests {
         let input = Tensor::from_vec(&[1, 2, 2, 2], vec![1., 2., 3., 4., 10., 10., 10., 10.]);
         let out = global_avg_pool(&input);
         assert_eq!(out.as_slice(), &[2.5, 10.0]);
-        let grad = global_avg_pool_backward(input.shape(), &Tensor::from_vec(&[1, 2], vec![4.0, 8.0]));
+        let grad =
+            global_avg_pool_backward(input.shape(), &Tensor::from_vec(&[1, 2], vec![4.0, 8.0]));
         assert_eq!(grad.as_slice(), &[1., 1., 1., 1., 2., 2., 2., 2.]);
     }
 
     #[test]
     fn multi_batch_channels() {
-        let input = Tensor::from_vec(
-            &[2, 1, 2, 2],
-            vec![1., 2., 3., 4., -1., -2., -3., -4.],
-        );
+        let input = Tensor::from_vec(&[2, 1, 2, 2], vec![1., 2., 3., 4., -1., -2., -3., -4.]);
         let (out, _) = max_pool2d(&input, 2);
         assert_eq!(out.as_slice(), &[4.0, -1.0]);
         let avg = avg_pool2d(&input, 2);

@@ -118,7 +118,10 @@ impl Tensor {
         assert_eq!(index.len(), self.shape.len(), "index rank mismatch");
         let mut off = 0;
         for (i, (&ix, &dim)) in index.iter().zip(&self.shape).enumerate() {
-            assert!(ix < dim, "index {ix} out of bounds for dim {i} of size {dim}");
+            assert!(
+                ix < dim,
+                "index {ix} out of bounds for dim {i} of size {dim}"
+            );
             off = off * dim + ix;
         }
         off
@@ -151,7 +154,11 @@ impl Tensor {
     /// Panics when the element counts differ.
     pub fn reshape(mut self, shape: &[usize]) -> Tensor {
         let numel: usize = shape.iter().product();
-        assert_eq!(numel, self.data.len(), "reshape to {shape:?} changes element count");
+        assert_eq!(
+            numel,
+            self.data.len(),
+            "reshape to {shape:?} changes element count"
+        );
         self.shape = shape.to_vec();
         self
     }

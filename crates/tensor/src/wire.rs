@@ -1,0 +1,271 @@
+//! Minimal little-endian binary codec shared by the persistence layer.
+//!
+//! The workspace builds in a fully offline environment, so on-disk
+//! artifacts use this hand-rolled format instead of an external
+//! serialization crate. The format is deliberately simple: fixed-width
+//! little-endian scalars, length-prefixed sequences, no
+//! self-description — versioning lives in the artifact header written
+//! by `hotspot-core::persist`.
+
+use crate::Tensor;
+use std::fmt;
+
+/// Decode failure: truncated or structurally invalid payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn eof<T>(what: &str) -> Result<T, WireError> {
+    Err(WireError(format!("unexpected end of input reading {what}")))
+}
+
+/// Append-only encoder over a byte buffer.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// A fresh, empty writer.
+    pub fn new() -> Self {
+        WireWriter::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Raw bytes, verbatim (no length prefix).
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// One byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// A bool as one byte (0/1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// A usize as a u64.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Little-endian f32 bit pattern.
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Length-prefixed f32 sequence.
+    pub fn put_f32_slice(&mut self, vs: &[f32]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_f32(v);
+        }
+    }
+
+    /// Length-prefixed u64 sequence.
+    pub fn put_u64_slice(&mut self, vs: &[u64]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_u64(v);
+        }
+    }
+
+    /// Length-prefixed usize sequence.
+    pub fn put_usize_slice(&mut self, vs: &[usize]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_usize(v);
+        }
+    }
+
+    /// A tensor as shape + data.
+    pub fn put_tensor(&mut self, t: &Tensor) {
+        self.put_usize_slice(t.shape());
+        self.put_f32_slice(t.as_slice());
+    }
+}
+
+/// Cursor-style decoder over a byte slice.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        WireReader { rest: bytes }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.rest.len()
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        if self.rest.len() < n {
+            return eof(what);
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+
+    /// One byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// A bool encoded as 0/1.
+    pub fn get_bool(&mut self) -> Result<bool, WireError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError(format!("invalid bool byte {b}"))),
+        }
+    }
+
+    /// Little-endian u32.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Little-endian u64.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// A usize encoded as u64; rejects values that do not fit.
+    pub fn get_usize(&mut self) -> Result<usize, WireError> {
+        usize::try_from(self.get_u64()?).map_err(|_| WireError("usize overflow".into()))
+    }
+
+    /// A sequence length, sanity-capped against the remaining input so
+    /// corrupted prefixes cannot trigger huge allocations.
+    fn get_len(&mut self, elem_size: usize) -> Result<usize, WireError> {
+        let len = self.get_usize()?;
+        if len.saturating_mul(elem_size) > self.rest.len() {
+            return Err(WireError(format!(
+                "sequence length {len} exceeds remaining payload"
+            )));
+        }
+        Ok(len)
+    }
+
+    /// Little-endian f32.
+    pub fn get_f32(&mut self) -> Result<f32, WireError> {
+        let b = self.take(4, "f32")?;
+        Ok(f32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Length-prefixed f32 sequence.
+    pub fn get_f32_vec(&mut self) -> Result<Vec<f32>, WireError> {
+        let len = self.get_len(4)?;
+        (0..len).map(|_| self.get_f32()).collect()
+    }
+
+    /// Length-prefixed u64 sequence.
+    pub fn get_u64_vec(&mut self) -> Result<Vec<u64>, WireError> {
+        let len = self.get_len(8)?;
+        (0..len).map(|_| self.get_u64()).collect()
+    }
+
+    /// Length-prefixed usize sequence.
+    pub fn get_usize_vec(&mut self) -> Result<Vec<usize>, WireError> {
+        let len = self.get_len(8)?;
+        (0..len).map(|_| self.get_usize()).collect()
+    }
+
+    /// A tensor as shape + data.
+    pub fn get_tensor(&mut self) -> Result<Tensor, WireError> {
+        let shape = self.get_usize_vec()?;
+        let data = self.get_f32_vec()?;
+        let numel: usize = shape.iter().product();
+        if shape.is_empty() || shape.contains(&0) || numel != data.len() {
+            return Err(WireError(format!(
+                "tensor shape {shape:?} does not match {} data elements",
+                data.len()
+            )));
+        }
+        Ok(Tensor::from_vec(&shape, data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut w = WireWriter::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_usize(12345);
+        w.put_f32(-1.5);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_usize().unwrap(), 12345);
+        assert_eq!(r.get_f32().unwrap(), -1.5);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn tensor_round_trip() {
+        let t = Tensor::from_vec(&[2, 3], vec![1.0, -2.0, 3.5, 0.0, -0.25, 9.0]);
+        let mut w = WireWriter::new();
+        w.put_tensor(&t);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_tensor().unwrap(), t);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let mut w = WireWriter::new();
+        w.put_f32_slice(&[1.0, 2.0, 3.0]);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes[..bytes.len() - 2]);
+        assert!(r.get_f32_vec().is_err());
+    }
+
+    #[test]
+    fn hostile_length_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u64(u64::MAX / 2);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert!(r.get_f32_vec().is_err());
+    }
+}

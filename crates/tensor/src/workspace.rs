@@ -1,0 +1,206 @@
+//! Reusable scratch-buffer arenas for allocation-free inference.
+//!
+//! A [`Workspace`] owns free lists of `f32`, `i32` and `u64` buffers.
+//! Kernels *take* a buffer of the length they need (reusing a pooled
+//! allocation when one is large enough) and *give* it back when done;
+//! after a warm-up pass every take is served from the free list and the
+//! steady state performs no heap allocation.  See DESIGN.md §"Workspace
+//! and execution plan".
+//!
+//! A [`WorkspacePool`] is the `Sync` wrapper used by batch-parallel
+//! callers: each worker checks a whole `Workspace` out, runs any number
+//! of kernels with it, and returns it when the batch chunk is done.
+//!
+//! # Example
+//!
+//! ```
+//! use hotspot_tensor::Workspace;
+//!
+//! let mut ws = Workspace::new();
+//! let mut buf = ws.take_f32(1024); // zeroed, len == 1024
+//! buf[0] = 1.0;
+//! ws.give_f32(buf); // capacity returns to the pool
+//! let again = ws.take_f32(512); // served from the pooled allocation
+//! assert_eq!(again.len(), 512);
+//! assert!(again.iter().all(|&v| v == 0.0));
+//! ```
+
+use std::sync::Mutex;
+
+/// A growable arena of reusable scratch buffers (see module docs).
+#[derive(Debug, Default)]
+pub struct Workspace {
+    f32_bufs: Vec<Vec<f32>>,
+    i32_bufs: Vec<Vec<i32>>,
+    u64_bufs: Vec<Vec<u64>>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace; buffers are allocated on first use
+    /// and reused afterwards.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Total pooled capacity in bytes (diagnostic).
+    pub fn pooled_bytes(&self) -> usize {
+        self.f32_bufs
+            .iter()
+            .map(|b| b.capacity() * 4)
+            .sum::<usize>()
+            + self
+                .i32_bufs
+                .iter()
+                .map(|b| b.capacity() * 4)
+                .sum::<usize>()
+            + self
+                .u64_bufs
+                .iter()
+                .map(|b| b.capacity() * 8)
+                .sum::<usize>()
+    }
+}
+
+macro_rules! workspace_pool {
+    ($take:ident, $give:ident, $field:ident, $t:ty) => {
+        impl Workspace {
+            /// Takes a zeroed buffer of exactly `len` elements, reusing
+            /// a pooled allocation when one with enough capacity
+            /// exists.  Give it back with the matching `give_*` so the
+            /// allocation is reused.
+            pub fn $take(&mut self, len: usize) -> Vec<$t> {
+                let mut buf = match self.$field.iter().position(|b| b.capacity() >= len) {
+                    Some(i) => self.$field.swap_remove(i),
+                    // Nothing fits: grow the largest pooled buffer (so
+                    // repeated takes converge on one allocation per
+                    // concurrent buffer) or start fresh.
+                    None => {
+                        match (0..self.$field.len()).max_by_key(|&i| self.$field[i].capacity()) {
+                            Some(i) => self.$field.swap_remove(i),
+                            None => Vec::new(),
+                        }
+                    }
+                };
+                buf.clear();
+                buf.resize(len, 0 as $t);
+                buf
+            }
+
+            /// Returns a buffer's allocation to the pool for reuse.
+            pub fn $give(&mut self, buf: Vec<$t>) {
+                if buf.capacity() > 0 {
+                    self.$field.push(buf);
+                }
+            }
+        }
+    };
+}
+
+workspace_pool!(take_f32, give_f32, f32_bufs, f32);
+workspace_pool!(take_i32, give_i32, i32_bufs, i32);
+workspace_pool!(take_u64, give_u64, u64_bufs, u64);
+
+/// A shared pool of [`Workspace`]s for batch-parallel inference: each
+/// worker checks one out, runs its chunk, and returns it, so the warm
+/// buffers survive across batches without any per-thread state.
+#[derive(Debug, Default)]
+pub struct WorkspacePool {
+    inner: Mutex<Vec<Workspace>>,
+}
+
+impl WorkspacePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        WorkspacePool::default()
+    }
+
+    /// Checks a workspace out (a warm one when available).
+    pub fn checkout(&self) -> Workspace {
+        self.inner
+            .lock()
+            .expect("workspace pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a workspace to the pool.
+    pub fn restore(&self, ws: Workspace) {
+        self.inner.lock().expect("workspace pool poisoned").push(ws);
+    }
+
+    /// Number of idle workspaces currently pooled.
+    pub fn idle(&self) -> usize {
+        self.inner.lock().expect("workspace pool poisoned").len()
+    }
+}
+
+/// The process-wide pool used by the allocating convenience wrappers
+/// (`conv2d`, `PackedBnn::forward`, …) so even the non-`_into` API
+/// reuses scratch memory across calls.
+pub fn global_pool() -> &'static WorkspacePool {
+    static POOL: std::sync::OnceLock<WorkspacePool> = std::sync::OnceLock::new();
+    POOL.get_or_init(WorkspacePool::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_zeroed_even_after_dirty_give() {
+        let mut ws = Workspace::new();
+        let mut b = ws.take_f32(8);
+        b.iter_mut().for_each(|v| *v = 7.0);
+        ws.give_f32(b);
+        let b = ws.take_f32(8);
+        assert!(b.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn reuses_allocation_when_capacity_suffices() {
+        let mut ws = Workspace::new();
+        let b = ws.take_f32(1000);
+        let ptr = b.as_ptr();
+        ws.give_f32(b);
+        let b = ws.take_f32(500);
+        assert_eq!(b.as_ptr(), ptr, "smaller take must reuse the pooled buffer");
+        ws.give_f32(b);
+        let b = ws.take_f32(1000);
+        assert_eq!(b.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn growing_take_recycles_largest_instead_of_accumulating() {
+        let mut ws = Workspace::new();
+        let b = ws.take_u64(16);
+        ws.give_u64(b);
+        let b = ws.take_u64(64); // must grow, not add a second pool entry
+        ws.give_u64(b);
+        assert_eq!(ws.u64_bufs.len(), 1);
+        assert!(ws.u64_bufs[0].capacity() >= 64);
+    }
+
+    #[test]
+    fn distinct_concurrent_takes_get_distinct_buffers() {
+        let mut ws = Workspace::new();
+        let a = ws.take_i32(10);
+        let b = ws.take_i32(10);
+        assert_ne!(a.as_ptr(), b.as_ptr());
+        ws.give_i32(a);
+        ws.give_i32(b);
+    }
+
+    #[test]
+    fn pool_checkout_restore_round_trip() {
+        let pool = WorkspacePool::new();
+        let mut ws = pool.checkout();
+        assert_eq!(pool.idle(), 0);
+        let b = ws.take_f32(32);
+        ws.give_f32(b);
+        pool.restore(ws);
+        assert_eq!(pool.idle(), 1);
+        let ws = pool.checkout();
+        assert!(ws.pooled_bytes() >= 32 * 4, "warm workspace came back");
+        pool.restore(ws);
+    }
+}

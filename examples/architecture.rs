@@ -68,5 +68,8 @@ fn main() {
         total_params / 8 / 1024,
         total_params * 4 / 1024
     );
-    println!("\nweight layers: {} (11 binary convolutions + 1 dense)", config.layer_count());
+    println!(
+        "\nweight layers: {} (11 binary convolutions + 1 dense)",
+        config.layer_count()
+    );
 }

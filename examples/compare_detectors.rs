@@ -33,13 +33,13 @@ fn main() {
         "Method", "FA#", "Runtime(ms)", "ODST(s)", "Accu(%)", "AUC", "train(s)"
     );
     println!("{}", "-".repeat(78));
-    let images: Vec<_> = data.test.iter().map(|c| c.image.clone()).collect();
+    let images: Vec<_> = data.test.iter().map(|c| &c.image).collect();
     let labels: Vec<bool> = data.test.iter().map(|c| c.hotspot).collect();
     for det in &mut detectors {
         let t0 = Instant::now();
         det.fit(&data.train);
         let train_time = t0.elapsed();
-        let result = evaluate(det.as_mut(), &data.test);
+        let result = evaluate(det.as_ref(), &data.test);
         let scores = det.score_batch(&images);
         let auc = RocCurve::from_scores(&scores, &labels).auc();
         println!(

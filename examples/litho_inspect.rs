@@ -14,8 +14,12 @@ fn main() {
     let oracle = HotspotOracle::new(model);
     let window = Rect::new(0, 0, 1280, 1280);
 
-    println!("optical model: sigma {} nm, threshold {}, dose latitude ±{}%",
-        model.sigma_nm, model.threshold, model.dose_latitude * 100.0);
+    println!(
+        "optical model: sigma {} nm, threshold {}, dose latitude ±{}%",
+        model.sigma_nm,
+        model.threshold,
+        model.dose_latitude * 100.0
+    );
     println!("\ntip-to-tip gap sweep (two 240 nm-wide wires):\n");
     println!(
         "{:>8} {:>14} {:>10} verdict",

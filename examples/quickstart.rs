@@ -30,10 +30,13 @@ fn main() {
     detector.fit(&data.train);
 
     // 3. Evaluate with the paper's metrics.
-    let result = evaluate(&mut detector, &data.test);
+    let result = evaluate(&detector, &data.test);
     println!("\nconfusion matrix (paper Table 1):");
     println!("{}", result.confusion);
-    println!("\naccuracy (Eq. 1):    {:.1}%", 100.0 * result.confusion.accuracy());
+    println!(
+        "\naccuracy (Eq. 1):    {:.1}%",
+        100.0 * result.confusion.accuracy()
+    );
     println!("false alarms (Eq. 2): {}", result.confusion.false_alarms());
     println!("inference runtime:    {:.2?}", result.runtime);
     println!(

@@ -22,13 +22,16 @@ fn main() {
     detector.fit(&data.train);
 
     // Continuous scores over the test split.
-    let images: Vec<_> = data.test.iter().map(|c| c.image.clone()).collect();
+    let images: Vec<_> = data.test.iter().map(|c| &c.image).collect();
     let labels: Vec<bool> = data.test.iter().map(|c| c.hotspot).collect();
     let scores = detector.score_batch(&images);
     let roc = RocCurve::from_scores(&scores, &labels);
 
     println!("\nROC (AUC {:.3}):", roc.auc());
-    println!("{:>12} {:>8} {:>8} {:>6} {:>6}", "threshold", "TPR", "FPR", "TP", "FP");
+    println!(
+        "{:>12} {:>8} {:>8} {:>6} {:>6}",
+        "threshold", "TPR", "FPR", "TP", "FP"
+    );
     // Print a decimated view of the curve.
     let pts = roc.points();
     for p in pts.iter().step_by((pts.len() / 12).max(1)) {
@@ -57,7 +60,7 @@ fn main() {
     let model = detector.packed().expect("trained").clone();
     save_model(&path, &model).expect("save model");
     let restored = load_model(&path).expect("load model");
-    let probe = detector.clip_to_tensor(&images[0]);
+    let probe = detector.clip_to_tensor(images[0]);
     let batch = hotspot_tensor::Tensor::stack(std::slice::from_ref(&probe));
     assert_eq!(model.forward(&batch), restored.forward(&batch));
     println!(

@@ -1,10 +1,10 @@
 //! Cross-detector consistency checks and BNN-specific invariants.
 
+use hotspot_bnn::{sign_tensor, xnor_conv2d, BitFilter, BitTensor, NetConfig};
 use hotspot_core::{
     BitImage, BnnDetector, BnnTrainConfig, HotspotDetector, InferencePath, LabeledClip,
     PatternFamily, ScalingMode,
 };
-use hotspot_bnn::{sign_tensor, xnor_conv2d, BitFilter, BitTensor, NetConfig};
 use hotspot_tensor::{conv2d, Tensor};
 
 fn stripes(step: usize, phase: usize, side: usize) -> BitImage {
@@ -68,7 +68,7 @@ fn xnor_kernel_matches_float_at_scale() {
 #[test]
 fn inference_path_switch_is_respected() {
     let clips = stripe_clips(24);
-    let images: Vec<_> = clips.iter().map(|c| c.image.clone()).collect();
+    let images: Vec<_> = clips.iter().map(|c| &c.image).collect();
 
     let mut packed_cfg = BnnTrainConfig::fast();
     packed_cfg.inference = InferencePath::Packed;
@@ -93,7 +93,7 @@ fn inference_path_switch_is_respected() {
 #[test]
 fn every_scaling_mode_learns_the_toy_problem() {
     let clips = stripe_clips(40);
-    let images: Vec<_> = clips.iter().map(|c| c.image.clone()).collect();
+    let images: Vec<_> = clips.iter().map(|c| &c.image).collect();
     for mode in [
         ScalingMode::PlainSign,
         ScalingMode::Shared,
@@ -135,10 +135,10 @@ fn predictions_stable_under_flips() {
     cfg.augment = true;
     let mut det = BnnDetector::new(cfg);
     det.fit(&clips);
-    let images: Vec<_> = clips.iter().map(|c| c.image.clone()).collect();
+    let images: Vec<_> = clips.iter().map(|c| &c.image).collect();
     let flipped: Vec<_> = images.iter().map(|i| i.flip_horizontal()).collect();
     let a = det.predict_batch(&images);
-    let b = det.predict_batch(&flipped);
+    let b = det.predict_batch(&flipped.iter().collect::<Vec<_>>());
     let agree = a.iter().zip(&b).filter(|(x, y)| x == y).count();
     assert!(agree >= 36, "only {agree}/40 stable under horizontal flip");
 }

@@ -3,8 +3,7 @@
 
 use hotspot_core::{
     evaluate, AdaBoostHotspotDetector, BnnDetector, BnnTrainConfig, CcsHotspotDetector,
-    DatasetSpec, DctCnnHotspotDetector, HotspotDetector, HotspotOracle, OpticalModel,
-    SplitDataset,
+    DatasetSpec, DctCnnHotspotDetector, HotspotDetector, HotspotOracle, OpticalModel, SplitDataset,
 };
 
 fn tiny_dataset() -> &'static SplitDataset {
@@ -50,14 +49,13 @@ fn all_detectors_train_and_separate() {
     ];
     for mut det in detectors {
         det.fit(&data.train);
-        let result = evaluate(det.as_mut(), &data.train);
+        let result = evaluate(det.as_ref(), &data.train);
         let cm = result.confusion;
         // Better than labelling everything one class: some true
         // positives AND some true negatives.
         assert!(cm.tp > 0, "{}: no hotspots detected", det.name());
         assert!(cm.tn > 0, "{}: everything flagged", det.name());
-        let balanced =
-            (cm.accuracy() + cm.tn as f64 / (cm.tn + cm.fp).max(1) as f64) / 2.0;
+        let balanced = (cm.accuracy() + cm.tn as f64 / (cm.tn + cm.fp).max(1) as f64) / 2.0;
         assert!(
             balanced > 0.6,
             "{}: balanced accuracy {balanced:.2} on training data",
@@ -82,7 +80,7 @@ fn bnn_packed_equals_float_inference() {
     let data = tiny_dataset();
     let mut det = BnnDetector::new(small_bnn_config());
     det.fit(&data.train);
-    let images: Vec<_> = data.test.iter().map(|c| c.image.clone()).collect();
+    let images: Vec<_> = data.test.iter().map(|c| &c.image).collect();
     let float_preds = det.predict_batch_float(&images);
     let packed_preds = det.predict_batch_packed(&images);
     assert_eq!(float_preds, packed_preds);
@@ -99,7 +97,7 @@ fn odst_increases_with_false_alarms() {
             "flag-all"
         }
         fn fit(&mut self, _c: &[hotspot_core::LabeledClip]) {}
-        fn predict_batch(&mut self, images: &[hotspot_core::BitImage]) -> Vec<bool> {
+        fn predict_batch(&self, images: &[&hotspot_core::BitImage]) -> Vec<bool> {
             vec![true; images.len()]
         }
     }
@@ -109,13 +107,13 @@ fn odst_increases_with_false_alarms() {
             "flag-none"
         }
         fn fit(&mut self, _c: &[hotspot_core::LabeledClip]) {}
-        fn predict_batch(&mut self, images: &[hotspot_core::BitImage]) -> Vec<bool> {
+        fn predict_batch(&self, images: &[&hotspot_core::BitImage]) -> Vec<bool> {
             vec![false; images.len()]
         }
     }
 
-    let all = evaluate(&mut FlagAll, &data.test);
-    let none = evaluate(&mut FlagNone, &data.test);
+    let all = evaluate(&FlagAll, &data.test);
+    let none = evaluate(&FlagNone, &data.test);
     assert!(all.odst_seconds(10.0) > none.odst_seconds(10.0));
     // Flag-all achieves perfect recall with maximal false alarms.
     assert_eq!(all.confusion.accuracy(), 1.0);
@@ -129,7 +127,7 @@ fn odst_increases_with_false_alarms() {
 #[test]
 fn bnn_training_is_deterministic() {
     let data = tiny_dataset();
-    let images: Vec<_> = data.test.iter().map(|c| c.image.clone()).collect();
+    let images: Vec<_> = data.test.iter().map(|c| &c.image).collect();
 
     let mut a = BnnDetector::new(small_bnn_config());
     a.fit(&data.train);
