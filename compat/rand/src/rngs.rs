@@ -11,6 +11,30 @@ pub struct StdRng {
     s: [u64; 4],
 }
 
+impl StdRng {
+    /// The raw 256-bit generator state.
+    ///
+    /// Together with [`StdRng::from_state`] this lets training
+    /// checkpoints capture and restore the exact position in the
+    /// random stream (not part of upstream `rand`'s API; the upstream
+    /// equivalent is serializing the rng with serde).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator at an exact stream position previously
+    /// captured with [`StdRng::state`].
+    ///
+    /// The all-zero state is a fixed point of xoshiro256** and is
+    /// mapped to `seed_from_u64(0)` instead.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            return Self::seed_from_u64(0);
+        }
+        StdRng { s }
+    }
+}
+
 impl RngCore for StdRng {
     fn next_u64(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);

@@ -62,6 +62,11 @@ impl Layer for BnnBlock {
         self.conv.for_each_param(f);
     }
 
+    fn for_each_state(&mut self, f: &mut dyn FnMut(&mut [f32])) {
+        self.bn.for_each_state(f);
+        self.conv.for_each_state(f);
+    }
+
     fn describe(&self) -> String {
         format!("[{} → {}]", self.bn.describe(), self.conv.describe())
     }
@@ -150,6 +155,14 @@ impl Layer for BinaryResidualBlock {
         self.block2.for_each_param(f);
         if let Some(s) = self.shortcut.as_mut() {
             s.for_each_param(f);
+        }
+    }
+
+    fn for_each_state(&mut self, f: &mut dyn FnMut(&mut [f32])) {
+        self.block1.for_each_state(f);
+        self.block2.for_each_state(f);
+        if let Some(s) = self.shortcut.as_mut() {
+            s.for_each_state(f);
         }
     }
 

@@ -57,23 +57,45 @@ impl NetConfig {
         1 + 2 * self.stages.len() + 1
     }
 
+    /// Checks internal consistency, returning a description of the
+    /// first problem found.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the input size does not survive the stage
+    /// strides or any count is zero.
+    pub fn check(&self) -> Result<(), String> {
+        if self.input_size == 0 || self.stem_filters == 0 || self.stages.is_empty() {
+            return Err("input size, stem filters, and stages must all be non-empty".into());
+        }
+        let mut size = self.input_size;
+        for &(f, s) in &self.stages {
+            if f == 0 || s == 0 {
+                return Err("stage filters and stride must be positive".into());
+            }
+            if !size.is_multiple_of(s) {
+                return Err(format!(
+                    "stride {s} does not divide feature map size {size}"
+                ));
+            }
+            size /= s;
+            if size == 0 {
+                return Err("feature map shrank to zero".into());
+            }
+        }
+        Ok(())
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
     ///
     /// Panics when the input size does not survive the stage strides or
-    /// any count is zero.
+    /// any count is zero (see [`check`](NetConfig::check) for the
+    /// non-panicking variant).
     pub fn validate(&self) {
-        assert!(self.input_size > 0 && self.stem_filters > 0 && !self.stages.is_empty());
-        let mut size = self.input_size;
-        for &(f, s) in &self.stages {
-            assert!(f > 0 && s > 0, "stage filters and stride must be positive");
-            assert!(
-                size.is_multiple_of(s),
-                "stride {s} does not divide feature map size {size}"
-            );
-            size /= s;
-            assert!(size > 0, "feature map shrank to zero");
+        if let Err(m) = self.check() {
+            panic!("{m}");
         }
     }
 }
@@ -264,6 +286,14 @@ impl Layer for BnnResNet {
             b.for_each_param(f);
         }
         self.fc.for_each_param(f);
+    }
+
+    fn for_each_state(&mut self, f: &mut dyn FnMut(&mut [f32])) {
+        self.stem.for_each_state(f);
+        for b in &mut self.blocks {
+            b.for_each_state(f);
+        }
+        self.fc.for_each_state(f);
     }
 
     fn describe(&self) -> String {

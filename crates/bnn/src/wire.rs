@@ -127,10 +127,10 @@ impl PackedBnn {
     /// [`encode_wire`]: PackedBnn::encode_wire
     pub fn decode_wire(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         let stem = PackedConv::decode_wire(r)?;
-        let n_blocks = r.get_usize()?;
-        if n_blocks > 1024 {
-            return Err(WireError(format!("implausible block count {n_blocks}")));
-        }
+        // A residual block encodes to well over 32 bytes (two packed
+        // convs plus the shortcut flag); bounding the count by the
+        // remaining payload rejects hostile prefixes before allocating.
+        let n_blocks = r.get_count(32)?;
         let mut blocks = Vec::with_capacity(n_blocks);
         for _ in 0..n_blocks {
             blocks.push(PackedResidual::decode_wire(r)?);

@@ -1,7 +1,12 @@
 //! The paper's detector: a binarized residual network trained with
-//! Algorithm 1.
+//! Algorithm 1, hardened with checkpointing, resume, and a divergence
+//! watchdog (see DESIGN.md §"Fault-tolerant training").
 
+use crate::checkpoint::{
+    checkpoint_file_name, config_fingerprint, restore_net, snapshot_net, TrainCheckpoint,
+};
 use crate::detector::HotspotDetector;
+use crate::persist::{load_checkpoint, save_checkpoint, PersistError};
 use hotspot_bnn::{BnnResNet, NetConfig, PackedBnn};
 use hotspot_geometry::BitImage;
 use hotspot_layout_gen::LabeledClip;
@@ -13,10 +18,16 @@ use hotspot_tensor::{Tensor, WorkspacePool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
+use std::error::Error;
+use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::{Mutex, MutexGuard};
 
 /// Clips per inference shard: one ExecPlan execution, one workspace.
 const SHARD: usize = 64;
+
+/// Learning-rate factor applied by the watchdog on each rollback.
+const ROLLBACK_LR_FACTOR: f32 = 0.5;
 
 /// Which forward path classifies at inference time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -69,6 +80,21 @@ pub struct BnnTrainConfig {
     pub seed: u64,
     /// Log per-epoch progress to stderr.
     pub verbose: bool,
+    /// Directory that receives one `epochNNNN.brnnck` checkpoint per
+    /// [`checkpoint_every`](Self::checkpoint_every) completed epochs
+    /// (created on demand).  `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint cadence in epochs; the final epoch is always
+    /// checkpointed when a directory is set.
+    pub checkpoint_every: usize,
+    /// Divergence-watchdog budget: how many times a non-finite epoch
+    /// may be rolled back (with the learning rate halved) before
+    /// training gives up with [`TrainError::Diverged`].
+    pub max_rollbacks: usize,
+    /// Test-only fault injection: poison the first batch loss of this
+    /// epoch with a NaN, once (the injection disarms after the first
+    /// rollback so recovery paths can be exercised deterministically).
+    pub fault_nan_epoch: Option<usize>,
 }
 
 impl BnnTrainConfig {
@@ -98,6 +124,10 @@ impl BnnTrainConfig {
             inference: InferencePath::Packed,
             seed: 2019,
             verbose: false,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            max_rollbacks: 3,
+            fault_nan_epoch: None,
         }
     }
 
@@ -125,6 +155,10 @@ impl BnnTrainConfig {
             inference: InferencePath::Packed,
             seed: 2019,
             verbose: false,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            max_rollbacks: 3,
+            fault_nan_epoch: None,
         }
     }
 
@@ -148,23 +182,178 @@ impl BnnTrainConfig {
             inference: InferencePath::Packed,
             seed: 7,
             verbose: false,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            max_rollbacks: 3,
+            fault_nan_epoch: None,
         }
     }
 
-    /// Validates consistency between the input size and the network.
+    /// Validates the configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `input_size` differs from the network's configured
-    /// input or is zero.
-    pub fn validate(&self) {
-        assert!(self.input_size > 0, "input size must be positive");
-        assert_eq!(
-            self.input_size, self.net.input_size,
-            "detector input size must match the network config"
-        );
-        assert!(self.batch_size > 0 && self.epochs + self.bias_epochs > 0);
-        self.net.validate();
+    /// Returns the first [`TrainConfigError`] found: size mismatch with
+    /// the network, empty schedule, or out-of-range hyperparameters.
+    pub fn validate(&self) -> Result<(), TrainConfigError> {
+        if self.input_size == 0 {
+            return Err(TrainConfigError::ZeroInputSize);
+        }
+        if self.input_size != self.net.input_size {
+            return Err(TrainConfigError::InputSizeMismatch {
+                detector: self.input_size,
+                net: self.net.input_size,
+            });
+        }
+        if self.batch_size == 0 {
+            return Err(TrainConfigError::ZeroBatchSize);
+        }
+        if self.epochs + self.bias_epochs == 0 {
+            return Err(TrainConfigError::NoEpochs);
+        }
+        if !(self.learning_rate.is_finite() && self.learning_rate > 0.0) {
+            return Err(TrainConfigError::BadLearningRate(self.learning_rate));
+        }
+        if !(self.lr_decay > 0.0 && self.lr_decay < 1.0) {
+            return Err(TrainConfigError::BadLrDecay(self.lr_decay));
+        }
+        if self.lr_patience == 0 {
+            return Err(TrainConfigError::ZeroLrPatience);
+        }
+        if !(0.0..1.0).contains(&self.validation_fraction) {
+            return Err(TrainConfigError::BadValidationFraction(
+                self.validation_fraction,
+            ));
+        }
+        if !(0.0..1.0).contains(&self.epsilon) {
+            return Err(TrainConfigError::BadEpsilon(self.epsilon));
+        }
+        if self.checkpoint_every == 0 {
+            return Err(TrainConfigError::ZeroCheckpointCadence);
+        }
+        self.net.check().map_err(TrainConfigError::Net)
+    }
+}
+
+/// A rejected [`BnnTrainConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainConfigError {
+    /// `input_size` is zero.
+    ZeroInputSize,
+    /// `input_size` differs from the network's configured input.
+    InputSizeMismatch {
+        /// The detector-level input size.
+        detector: usize,
+        /// The network's configured input size.
+        net: usize,
+    },
+    /// `batch_size` is zero.
+    ZeroBatchSize,
+    /// Both epoch counts are zero.
+    NoEpochs,
+    /// Non-finite or non-positive learning rate.
+    BadLearningRate(f32),
+    /// `lr_decay` outside `(0, 1)`.
+    BadLrDecay(f32),
+    /// `lr_patience` is zero.
+    ZeroLrPatience,
+    /// `validation_fraction` outside `[0, 1)`.
+    BadValidationFraction(f64),
+    /// Biased-label ε outside `[0, 1)`.
+    BadEpsilon(f32),
+    /// `checkpoint_every` is zero.
+    ZeroCheckpointCadence,
+    /// The network architecture itself is inconsistent.
+    Net(String),
+}
+
+impl fmt::Display for TrainConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainConfigError::ZeroInputSize => write!(f, "input size must be positive"),
+            TrainConfigError::InputSizeMismatch { detector, net } => write!(
+                f,
+                "detector input size must match the network config ({detector} vs {net})"
+            ),
+            TrainConfigError::ZeroBatchSize => write!(f, "batch size must be positive"),
+            TrainConfigError::NoEpochs => write!(f, "total epoch count must be positive"),
+            TrainConfigError::BadLearningRate(lr) => {
+                write!(f, "learning rate must be positive and finite, got {lr}")
+            }
+            TrainConfigError::BadLrDecay(d) => write!(f, "lr decay must be in (0, 1), got {d}"),
+            TrainConfigError::ZeroLrPatience => write!(f, "lr patience must be positive"),
+            TrainConfigError::BadValidationFraction(v) => {
+                write!(f, "validation fraction must be in [0, 1), got {v}")
+            }
+            TrainConfigError::BadEpsilon(e) => {
+                write!(f, "bias epsilon must be in [0, 1), got {e}")
+            }
+            TrainConfigError::ZeroCheckpointCadence => {
+                write!(f, "checkpoint cadence must be positive")
+            }
+            TrainConfigError::Net(m) => write!(f, "network config: {m}"),
+        }
+    }
+}
+
+impl Error for TrainConfigError {}
+
+/// A failed training run.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The configuration was rejected.
+    Config(TrainConfigError),
+    /// No training clips were provided.
+    NoData,
+    /// Checkpoint I/O failed.
+    Persist(PersistError),
+    /// A checkpoint could not be applied (fingerprint mismatch,
+    /// architecture mismatch, or internally inconsistent state).
+    Checkpoint(String),
+    /// The watchdog exhausted its rollback budget.
+    Diverged {
+        /// Epoch (zero-based, counting both phases) that kept
+        /// producing non-finite losses or weights.
+        epoch: usize,
+        /// Rollbacks consumed before giving up.
+        rollbacks: usize,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Config(e) => write!(f, "invalid training configuration: {e}"),
+            TrainError::NoData => write!(f, "cannot train on zero clips"),
+            TrainError::Persist(e) => write!(f, "checkpoint i/o: {e}"),
+            TrainError::Checkpoint(m) => write!(f, "cannot resume: {m}"),
+            TrainError::Diverged { epoch, rollbacks } => write!(
+                f,
+                "training diverged at epoch {epoch} after {rollbacks} rollbacks"
+            ),
+        }
+    }
+}
+
+impl Error for TrainError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TrainError::Config(e) => Some(e),
+            TrainError::Persist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PersistError> for TrainError {
+    fn from(e: PersistError) -> Self {
+        TrainError::Persist(e)
+    }
+}
+
+impl From<TrainConfigError> for TrainError {
+    fn from(e: TrainConfigError) -> Self {
+        TrainError::Config(e)
     }
 }
 
@@ -175,6 +364,13 @@ impl BnnTrainConfig {
 /// NAdam updates of the real-valued master weights, plateau LR decay,
 /// flip augmentation, and a biased-label fine-tune.  After training the
 /// network is compiled to the bit-packed XNOR engine for inference.
+///
+/// Runs are fault-tolerant: with
+/// [`checkpoint_dir`](BnnTrainConfig::checkpoint_dir) set, every epoch
+/// boundary can be persisted and a killed run continued bit-identically
+/// via [`resume`](BnnDetector::resume); a NaN/Inf loss or weight rolls
+/// the epoch back with a halved learning rate instead of poisoning the
+/// model.
 pub struct BnnDetector {
     config: BnnTrainConfig,
     /// The float network mutates activation caches during a forward
@@ -187,6 +383,7 @@ pub struct BnnDetector {
     /// batch inference recycles buffers instead of reallocating.
     ws_pool: WorkspacePool,
     history: Vec<EpochRecord>,
+    rollbacks: usize,
 }
 
 /// One epoch of training telemetry.
@@ -208,16 +405,28 @@ impl BnnDetector {
     ///
     /// # Panics
     ///
-    /// Panics when the configuration is inconsistent.
+    /// Panics when the configuration is inconsistent; use
+    /// [`try_new`](BnnDetector::try_new) for a fallible constructor.
     pub fn new(config: BnnTrainConfig) -> Self {
-        config.validate();
-        BnnDetector {
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates an untrained detector, rejecting bad configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainConfigError`] when the configuration is
+    /// inconsistent.
+    pub fn try_new(config: BnnTrainConfig) -> Result<Self, TrainConfigError> {
+        config.validate()?;
+        Ok(BnnDetector {
             config,
             net: None,
             packed: None,
             ws_pool: WorkspacePool::new(),
             history: Vec::new(),
-        }
+            rollbacks: 0,
+        })
     }
 
     /// The configuration.
@@ -229,7 +438,12 @@ impl BnnDetector {
     /// Returns a lock guard — the float path's activation caches make
     /// the network single-borrower.
     pub fn network(&self) -> Option<MutexGuard<'_, BnnResNet>> {
-        self.net.as_ref().map(|m| m.lock().unwrap())
+        // A panic in a previous borrower only poisons the lock; the
+        // network state itself stays valid (forward caches are
+        // overwritten per pass), so recover rather than propagate.
+        self.net
+            .as_ref()
+            .map(|m| m.lock().unwrap_or_else(|p| p.into_inner()))
     }
 
     /// The compiled XNOR engine, once trained.
@@ -241,6 +455,11 @@ impl BnnDetector {
     /// [`fit`](HotspotDetector::fit).
     pub fn history(&self) -> &[EpochRecord] {
         &self.history
+    }
+
+    /// Watchdog rollbacks consumed by the most recent training run.
+    pub fn rollbacks(&self) -> usize {
+        self.rollbacks
     }
 
     /// Converts a clip image to the network's ±1 input tensor,
@@ -275,15 +494,246 @@ impl BnnDetector {
         ds
     }
 
+    /// Trains from scratch, returning errors instead of panicking.
+    ///
+    /// Equivalent to [`fit`](HotspotDetector::fit) with typed failure
+    /// reporting; checkpointing and the divergence watchdog are
+    /// governed by the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] on empty input, checkpoint I/O failure,
+    /// or unrecoverable divergence.
+    pub fn try_fit(&mut self, clips: &[LabeledClip]) -> Result<(), TrainError> {
+        self.train_impl(clips, None)
+    }
+
+    /// Continues a checkpointed run until training completes.
+    ///
+    /// `clips` must be the same training clips as the original run —
+    /// the dataset pipeline is deterministic, so checkpoint + clips
+    /// reproduce the uninterrupted trajectory bit-for-bit.  The
+    /// checkpoint stores a fingerprint of the trajectory-relevant
+    /// configuration and resume refuses a mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] when the checkpoint cannot be loaded or
+    /// applied, and on the same failures as
+    /// [`try_fit`](BnnDetector::try_fit).
+    pub fn resume(&mut self, path: &Path, clips: &[LabeledClip]) -> Result<(), TrainError> {
+        let ck = load_checkpoint(path)?;
+        self.train_impl(clips, Some(ck))
+    }
+
+    fn train_impl(
+        &mut self,
+        clips: &[LabeledClip],
+        start: Option<TrainCheckpoint>,
+    ) -> Result<(), TrainError> {
+        if clips.is_empty() {
+            return Err(TrainError::NoData);
+        }
+        let cfg = self.config.clone();
+        let fingerprint = config_fingerprint(&cfg);
+        let dataset = self.build_dataset(clips);
+        let (train, val) = if dataset.len() >= 10 {
+            let (t, v) = dataset.split_validation(cfg.validation_fraction);
+            (t, Some(v))
+        } else {
+            (dataset, None)
+        };
+        // Rebalance only the training portion (after the validation
+        // split, so held-out clips stay untouched and unduplicated).
+        let train = if cfg.balance_classes {
+            oversample_hotspots(train)
+        } else {
+            train
+        };
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut net = BnnResNet::new(&cfg.net, &mut rng);
+        let mut opt = NAdam::new(cfg.learning_rate);
+        let mut sched = PlateauDecay::new(cfg.learning_rate, cfg.lr_decay, cfg.lr_patience);
+        let mut history: Vec<EpochRecord> = Vec::with_capacity(cfg.epochs + cfg.bias_epochs);
+        let mut completed = 0usize;
+        let mut rollbacks = 0usize;
+        let total_epochs = cfg.epochs + cfg.bias_epochs;
+
+        if let Some(ck) = start {
+            if ck.fingerprint != fingerprint {
+                return Err(TrainError::Checkpoint(format!(
+                    "checkpoint fingerprint {:08x} does not match the current configuration \
+                     {fingerprint:08x} — resume requires identical training hyperparameters",
+                    ck.fingerprint
+                )));
+            }
+            if ck.completed_epochs > total_epochs || ck.history.len() != ck.completed_epochs {
+                return Err(TrainError::Checkpoint(format!(
+                    "inconsistent checkpoint: {} completed epochs, {} history records, \
+                     {total_epochs} total epochs configured",
+                    ck.completed_epochs,
+                    ck.history.len()
+                )));
+            }
+            restore_net(&mut net, &ck.params, &ck.state).map_err(TrainError::Checkpoint)?;
+            opt = ck.optimizer;
+            sched = ck.schedule;
+            rng = StdRng::from_state(ck.rng);
+            history = ck.history;
+            completed = ck.completed_epochs;
+            rollbacks = ck.rollbacks;
+        }
+
+        let augment = if cfg.augment {
+            Augment::flips()
+        } else {
+            Augment::none()
+        };
+        let batcher = Batcher::new(&train, cfg.batch_size, augment);
+        let hard = SoftmaxCrossEntropy::new();
+        let biased = SoftmaxCrossEntropy::with_bias(BiasedLabels::new(cfg.epsilon));
+
+        // Runs one epoch; `None` means a batch loss went non-finite and
+        // the epoch was abandoned before the poisoned gradient step.
+        let run_epoch = |net: &mut BnnResNet,
+                         rng: &mut StdRng,
+                         opt: &mut NAdam,
+                         loss: &SoftmaxCrossEntropy,
+                         inject_nan: bool|
+         -> Option<f64> {
+            let mut total = 0.0;
+            let mut batches = 0usize;
+            for (batch, classes) in batcher.batches(rng) {
+                net.zero_grads();
+                let logits = net.forward(&batch, true);
+                let (l, grad) = loss.forward(&logits, &classes);
+                let l = if inject_nan && batches == 0 {
+                    f32::NAN
+                } else {
+                    l
+                };
+                if !l.is_finite() {
+                    return None;
+                }
+                total += f64::from(l);
+                batches += 1;
+                let _ = net.backward(&grad);
+                opt.step(net);
+            }
+            Some(total / batches.max(1) as f64)
+        };
+
+        while completed < total_epochs {
+            let biased_phase = completed >= cfg.epochs;
+            // Watchdog snapshot: everything needed to replay this epoch.
+            let (snap_params, snap_state) = snapshot_net(&mut net);
+            let snap_opt = opt.clone();
+            let snap_sched = sched.clone();
+            let snap_rng = rng.state();
+
+            let inject = cfg.fault_nan_epoch == Some(completed) && rollbacks == 0;
+            let loss_fn = if biased_phase { &biased } else { &hard };
+            let epoch_loss = run_epoch(&mut net, &mut rng, &mut opt, loss_fn, inject);
+
+            let mut healthy = epoch_loss.filter(|l| l.is_finite() && net_is_finite(&mut net));
+            let mut observed = f64::NAN;
+            if let Some(train_loss) = healthy {
+                observed = if biased_phase {
+                    train_loss
+                } else {
+                    match &val {
+                        Some(val) => validation_loss(&mut net, val, cfg.batch_size, &hard),
+                        None => train_loss,
+                    }
+                };
+                if !observed.is_finite() {
+                    healthy = None;
+                }
+            }
+
+            match healthy {
+                Some(train_loss) => {
+                    let lr = if biased_phase {
+                        opt.learning_rate()
+                    } else {
+                        let lr = sched.observe(observed as f32);
+                        opt.set_learning_rate(lr);
+                        lr
+                    };
+                    history.push(EpochRecord {
+                        train_loss,
+                        val_loss: observed,
+                        learning_rate: lr,
+                        biased: biased_phase,
+                    });
+                    completed += 1;
+                    if cfg.verbose {
+                        let tag = if biased_phase { "bias epoch" } else { "epoch" };
+                        eprintln!(
+                            "[bnn] {tag} {}: train loss {train_loss:.4}, val loss {observed:.4}, lr {lr:.4}",
+                            completed - 1
+                        );
+                    }
+                    if let Some(dir) = &cfg.checkpoint_dir {
+                        let due = completed.is_multiple_of(cfg.checkpoint_every)
+                            || completed == total_epochs;
+                        if due {
+                            let (params, state) = snapshot_net(&mut net);
+                            let ck = TrainCheckpoint {
+                                fingerprint,
+                                completed_epochs: completed,
+                                rollbacks,
+                                params,
+                                state,
+                                optimizer: opt.clone(),
+                                schedule: sched.clone(),
+                                rng: rng.state(),
+                                history: history.clone(),
+                            };
+                            std::fs::create_dir_all(dir).map_err(PersistError::Io)?;
+                            save_checkpoint(&dir.join(checkpoint_file_name(completed)), &ck)?;
+                        }
+                    }
+                }
+                None => {
+                    if rollbacks >= cfg.max_rollbacks {
+                        return Err(TrainError::Diverged {
+                            epoch: completed,
+                            rollbacks,
+                        });
+                    }
+                    rollbacks += 1;
+                    restore_net(&mut net, &snap_params, &snap_state)
+                        .map_err(TrainError::Checkpoint)?;
+                    opt = snap_opt;
+                    sched = snap_sched;
+                    rng = StdRng::from_state(snap_rng);
+                    sched.scale_lr(ROLLBACK_LR_FACTOR);
+                    opt.set_learning_rate(sched.learning_rate());
+                    if cfg.verbose {
+                        eprintln!(
+                            "[bnn] watchdog: non-finite loss or weights at epoch {completed}; \
+                             rolled back (rollback {rollbacks}/{}), lr -> {:.5}",
+                            cfg.max_rollbacks,
+                            sched.learning_rate()
+                        );
+                    }
+                }
+            }
+        }
+
+        self.history = history;
+        self.rollbacks = rollbacks;
+        self.packed = Some(PackedBnn::compile(&net));
+        self.net = Some(Mutex::new(net));
+        Ok(())
+    }
+
     /// Logit margins (hotspot − non-hotspot) through the float path.
     fn float_margins(&self, images: &[&BitImage]) -> Vec<f32> {
         let tensors: Vec<Tensor> = images.iter().map(|i| self.clip_to_tensor(i)).collect();
-        let mut net = self
-            .net
-            .as_ref()
-            .expect("detector is not trained")
-            .lock()
-            .unwrap();
+        let mut net = self.network().expect("detector is not trained");
         let mut out = Vec::with_capacity(images.len());
         for chunk in tensors.chunks(SHARD) {
             let logits = net.forward(&Tensor::stack(chunk), false);
@@ -359,90 +809,9 @@ impl HotspotDetector for BnnDetector {
 
     fn fit(&mut self, clips: &[LabeledClip]) {
         assert!(!clips.is_empty(), "cannot train on zero clips");
-        let cfg = &self.config;
-        let dataset = self.build_dataset(clips);
-        let (train, val) = if dataset.len() >= 10 {
-            let (t, v) = dataset.split_validation(cfg.validation_fraction);
-            (t, Some(v))
-        } else {
-            (dataset, None)
-        };
-        // Rebalance only the training portion (after the validation
-        // split, so held-out clips stay untouched and unduplicated).
-        let train = if cfg.balance_classes {
-            oversample_hotspots(train)
-        } else {
-            train
-        };
-
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut net = BnnResNet::new(&cfg.net, &mut rng);
-        let mut opt = NAdam::new(cfg.learning_rate);
-        let mut sched = PlateauDecay::new(cfg.learning_rate, cfg.lr_decay, cfg.lr_patience);
-        let augment = if cfg.augment {
-            Augment::flips()
-        } else {
-            Augment::none()
-        };
-        let batcher = Batcher::new(&train, cfg.batch_size, augment);
-        let hard = SoftmaxCrossEntropy::new();
-        let biased = SoftmaxCrossEntropy::with_bias(BiasedLabels::new(cfg.epsilon));
-
-        let run_epoch =
-            |net: &mut BnnResNet, rng: &mut StdRng, opt: &mut NAdam, loss: &SoftmaxCrossEntropy| {
-                let mut total = 0.0;
-                let mut batches = 0;
-                for (batch, classes) in batcher.batches(rng) {
-                    net.zero_grads();
-                    let logits = net.forward(&batch, true);
-                    let (l, grad) = loss.forward(&logits, &classes);
-                    total += l as f64;
-                    batches += 1;
-                    let _ = net.backward(&grad);
-                    opt.step(net);
-                }
-                total / batches.max(1) as f64
-            };
-
-        let mut history = Vec::with_capacity(cfg.epochs + cfg.bias_epochs);
-        for epoch in 0..cfg.epochs {
-            let train_loss = run_epoch(&mut net, &mut rng, &mut opt, &hard);
-            let observed = match &val {
-                Some(val) => validation_loss(&mut net, val, cfg.batch_size, &hard),
-                None => train_loss,
-            };
-            let lr = sched.observe(observed as f32);
-            opt.set_learning_rate(lr);
-            history.push(EpochRecord {
-                train_loss,
-                val_loss: observed,
-                learning_rate: lr,
-                biased: false,
-            });
-            if cfg.verbose {
-                eprintln!(
-                    "[bnn] epoch {epoch}: train loss {train_loss:.4}, val loss {observed:.4}, lr {lr:.4}"
-                );
-            }
+        if let Err(e) = self.try_fit(clips) {
+            panic!("training failed: {e}");
         }
-        // Biased fine-tune (§3.4.3): non-hotspot targets soften to
-        // [1-ε, ε], raising recall at some false-alarm cost.
-        for epoch in 0..cfg.bias_epochs {
-            let l = run_epoch(&mut net, &mut rng, &mut opt, &biased);
-            history.push(EpochRecord {
-                train_loss: l,
-                val_loss: l,
-                learning_rate: opt.learning_rate(),
-                biased: true,
-            });
-            if cfg.verbose {
-                eprintln!("[bnn] bias epoch {epoch}: loss {l:.4}");
-            }
-        }
-
-        self.history = history;
-        self.packed = Some(PackedBnn::compile(&net));
-        self.net = Some(Mutex::new(net));
     }
 
     fn predict_batch(&self, images: &[&BitImage]) -> Vec<bool> {
@@ -459,6 +828,25 @@ impl HotspotDetector for BnnDetector {
             InferencePath::Float => self.float_margins(images),
         }
     }
+}
+
+/// `true` when every parameter, gradient-free state buffer, and master
+/// weight in the network is finite.
+fn net_is_finite(net: &mut BnnResNet) -> bool {
+    let mut ok = true;
+    net.for_each_param(&mut |p| {
+        if ok && !p.value.as_slice().iter().all(|v| v.is_finite()) {
+            ok = false;
+        }
+    });
+    if ok {
+        net.for_each_state(&mut |s| {
+            if ok && !s.iter().all(|v| v.is_finite()) {
+                ok = false;
+            }
+        });
+    }
+    ok
 }
 
 /// Repeats hotspot examples until the class ratio is at most 1:2.
@@ -497,7 +885,7 @@ fn validation_loss(
         let batch = Tensor::stack(&images[i..end]);
         let logits = net.forward(&batch, false);
         let (l, _) = loss.forward(&logits, &labels[i..end]);
-        total += l as f64;
+        total += f64::from(l);
         batches += 1;
         i = end;
     }
@@ -590,6 +978,7 @@ mod tests {
         assert!(hist
             .iter()
             .all(|e| e.train_loss.is_finite() && e.learning_rate > 0.0));
+        assert_eq!(det.rollbacks(), 0);
     }
 
     #[test]
@@ -628,5 +1017,76 @@ mod tests {
         let mut cfg = BnnTrainConfig::fast();
         cfg.input_size = 64; // net still expects 32
         let _ = BnnDetector::new(cfg);
+    }
+
+    #[test]
+    fn validate_returns_typed_errors() {
+        let ok = BnnTrainConfig::fast();
+        assert_eq!(ok.validate(), Ok(()));
+
+        let mut c = ok.clone();
+        c.input_size = 64;
+        assert!(matches!(
+            c.validate(),
+            Err(TrainConfigError::InputSizeMismatch {
+                detector: 64,
+                net: 32
+            })
+        ));
+
+        let mut c = ok.clone();
+        c.batch_size = 0;
+        assert_eq!(c.validate(), Err(TrainConfigError::ZeroBatchSize));
+
+        let mut c = ok.clone();
+        c.epochs = 0;
+        c.bias_epochs = 0;
+        assert_eq!(c.validate(), Err(TrainConfigError::NoEpochs));
+
+        let mut c = ok.clone();
+        c.learning_rate = f32::NAN;
+        assert!(matches!(
+            c.validate(),
+            Err(TrainConfigError::BadLearningRate(_))
+        ));
+
+        let mut c = ok.clone();
+        c.lr_decay = 1.0;
+        assert!(matches!(c.validate(), Err(TrainConfigError::BadLrDecay(_))));
+
+        let mut c = ok.clone();
+        c.lr_patience = 0;
+        assert_eq!(c.validate(), Err(TrainConfigError::ZeroLrPatience));
+
+        let mut c = ok.clone();
+        c.validation_fraction = 1.0;
+        assert!(matches!(
+            c.validate(),
+            Err(TrainConfigError::BadValidationFraction(_))
+        ));
+
+        let mut c = ok.clone();
+        c.epsilon = -0.1;
+        assert!(matches!(c.validate(), Err(TrainConfigError::BadEpsilon(_))));
+
+        let mut c = ok.clone();
+        c.checkpoint_every = 0;
+        assert_eq!(c.validate(), Err(TrainConfigError::ZeroCheckpointCadence));
+
+        // try_new surfaces the same rejection without panicking.
+        let mut c = ok.clone();
+        c.input_size = 0;
+        assert!(matches!(
+            BnnDetector::try_new(c),
+            Err(TrainConfigError::ZeroInputSize)
+        ));
+    }
+
+    #[test]
+    fn try_fit_rejects_empty_input() {
+        let mut det = BnnDetector::new(BnnTrainConfig::fast());
+        assert!(matches!(det.try_fit(&[]), Err(TrainError::NoData)));
+        // And the message matches the legacy panic text.
+        assert_eq!(TrainError::NoData.to_string(), "cannot train on zero clips");
     }
 }

@@ -1,0 +1,402 @@
+//! Full-training-state checkpoints for fault-tolerant BNN training.
+//!
+//! A [`TrainCheckpoint`] captures everything [`crate::BnnDetector`]
+//! needs to continue a run bit-identically to one that was never
+//! interrupted: the float master weights and non-trainable state
+//! (batch-norm running statistics) of the [`BnnResNet`], the `NAdam`
+//! moment buffers and step counter, the [`PlateauDecay`] schedule, the
+//! exact RNG stream position, the per-epoch telemetry so far, and a
+//! fingerprint of the training configuration so a checkpoint can never
+//! silently resume under different hyperparameters.
+//!
+//! On-disk framing (magic, CRC footer, atomic writes) is
+//! [`crate::persist`]'s job; this module defines the payload and the
+//! capture/restore plumbing.
+
+use crate::bnn_detector::{BnnTrainConfig, EpochRecord};
+use hotspot_bnn::BnnResNet;
+use hotspot_nn::{Layer, NAdam, PlateauDecay};
+use hotspot_tensor::{crc32, Tensor, WireError, WireReader, WireWriter};
+use std::path::{Path, PathBuf};
+
+/// A complete snapshot of an in-progress training run.
+///
+/// `completed_epochs` counts finished epochs across both training
+/// phases (standard epochs first, then biased fine-tune epochs), so a
+/// checkpoint taken anywhere in the run resumes into the right phase.
+#[derive(Debug, Clone)]
+pub struct TrainCheckpoint {
+    /// Fingerprint of the trajectory-relevant configuration fields
+    /// (see [`config_fingerprint`]); resume refuses a mismatch.
+    pub fingerprint: u32,
+    /// Epochs fully completed (standard + biased).
+    pub completed_epochs: usize,
+    /// Watchdog rollbacks consumed so far.
+    pub rollbacks: usize,
+    /// Master weights in [`Layer::for_each_param`] visit order.
+    pub params: Vec<Tensor>,
+    /// Non-trainable buffers in [`Layer::for_each_state`] visit order.
+    pub state: Vec<Vec<f32>>,
+    /// Optimizer state (moment buffers, step counter, learning rate).
+    pub optimizer: NAdam,
+    /// Plateau-decay schedule state.
+    pub schedule: PlateauDecay,
+    /// RNG stream position at the epoch boundary.
+    pub rng: [u64; 4],
+    /// Per-epoch telemetry up to `completed_epochs`.
+    pub history: Vec<EpochRecord>,
+}
+
+/// Fingerprints the configuration fields that determine the training
+/// trajectory.
+///
+/// Two configs with the same fingerprint produce bit-identical runs, so
+/// a checkpoint from one may resume under the other.  Knobs that do not
+/// affect the trajectory (verbosity, inference path, checkpoint cadence
+/// and directory, watchdog budget) are deliberately excluded.
+pub fn config_fingerprint(cfg: &BnnTrainConfig) -> u32 {
+    let mut w = WireWriter::new();
+    w.put_usize(cfg.net.input_size);
+    w.put_usize(cfg.net.stem_filters);
+    w.put_usize(cfg.net.stages.len());
+    for &(f, s) in &cfg.net.stages {
+        w.put_usize(f);
+        w.put_usize(s);
+    }
+    w.put_u8(match cfg.net.scaling {
+        hotspot_bnn::ScalingMode::PlainSign => 0,
+        hotspot_bnn::ScalingMode::Shared => 1,
+        hotspot_bnn::ScalingMode::PerChannel => 2,
+    });
+    w.put_usize(cfg.input_size);
+    w.put_usize(cfg.epochs);
+    w.put_usize(cfg.bias_epochs);
+    w.put_u32(cfg.epsilon.to_bits());
+    w.put_usize(cfg.batch_size);
+    w.put_u32(cfg.learning_rate.to_bits());
+    w.put_u32(cfg.lr_decay.to_bits());
+    w.put_usize(cfg.lr_patience);
+    w.put_u64(cfg.validation_fraction.to_bits());
+    w.put_bool(cfg.augment);
+    w.put_bool(cfg.balance_classes);
+    w.put_u64(cfg.seed);
+    crc32(&w.into_bytes())
+}
+
+/// Copies every parameter tensor and state buffer out of `net`.
+pub fn snapshot_net(net: &mut BnnResNet) -> (Vec<Tensor>, Vec<Vec<f32>>) {
+    let mut params = Vec::new();
+    net.for_each_param(&mut |p| params.push(p.value.clone()));
+    let mut state = Vec::new();
+    net.for_each_state(&mut |s| state.push(s.to_vec()));
+    (params, state)
+}
+
+/// Copies parameters and state buffers back into `net`.
+///
+/// # Errors
+///
+/// Returns a message when counts or shapes disagree with the network —
+/// the checkpoint was taken from a different architecture.
+pub fn restore_net(
+    net: &mut BnnResNet,
+    params: &[Tensor],
+    state: &[Vec<f32>],
+) -> Result<(), String> {
+    let mut count = 0usize;
+    let mut shape_err = None;
+    net.for_each_param(&mut |p| {
+        if let Some(src) = params.get(count) {
+            if src.shape() == p.value.shape() {
+                p.value.as_mut_slice().copy_from_slice(src.as_slice());
+            } else if shape_err.is_none() {
+                shape_err = Some(format!(
+                    "parameter {count} shape mismatch: checkpoint {:?} vs network {:?}",
+                    src.shape(),
+                    p.value.shape()
+                ));
+            }
+        }
+        count += 1;
+    });
+    if let Some(e) = shape_err {
+        return Err(e);
+    }
+    if count != params.len() {
+        return Err(format!(
+            "parameter count mismatch: checkpoint has {}, network has {count}",
+            params.len()
+        ));
+    }
+    let mut scount = 0usize;
+    let mut state_err = None;
+    net.for_each_state(&mut |s| {
+        if let Some(src) = state.get(scount) {
+            if src.len() == s.len() {
+                s.copy_from_slice(src);
+            } else if state_err.is_none() {
+                state_err = Some(format!(
+                    "state buffer {scount} length mismatch: checkpoint {} vs network {}",
+                    src.len(),
+                    s.len()
+                ));
+            }
+        }
+        scount += 1;
+    });
+    if let Some(e) = state_err {
+        return Err(e);
+    }
+    if scount != state.len() {
+        return Err(format!(
+            "state buffer count mismatch: checkpoint has {}, network has {scount}",
+            state.len()
+        ));
+    }
+    Ok(())
+}
+
+fn put_record(w: &mut WireWriter, r: &EpochRecord) {
+    w.put_f64(r.train_loss);
+    w.put_f64(r.val_loss);
+    w.put_u32(r.learning_rate.to_bits());
+    w.put_bool(r.biased);
+}
+
+fn get_record(r: &mut WireReader<'_>) -> Result<EpochRecord, WireError> {
+    Ok(EpochRecord {
+        train_loss: r.get_f64()?,
+        val_loss: r.get_f64()?,
+        learning_rate: f32::from_bits(r.get_u32()?),
+        biased: r.get_bool()?,
+    })
+}
+
+impl TrainCheckpoint {
+    /// Encodes the checkpoint body (no header) into `w`.
+    pub fn encode_wire(&self, w: &mut WireWriter) {
+        w.put_u32(self.fingerprint);
+        w.put_usize(self.completed_epochs);
+        w.put_usize(self.rollbacks);
+        w.put_usize(self.params.len());
+        for t in &self.params {
+            w.put_tensor(t);
+        }
+        w.put_usize(self.state.len());
+        for s in &self.state {
+            w.put_f32_slice(s);
+        }
+        self.optimizer.encode_wire(w);
+        self.schedule.encode_wire(w);
+        for word in self.rng {
+            w.put_u64(word);
+        }
+        w.put_usize(self.history.len());
+        for rec in &self.history {
+            put_record(w, rec);
+        }
+    }
+
+    /// Decodes a checkpoint body previously written by
+    /// [`encode_wire`](TrainCheckpoint::encode_wire).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncated or structurally invalid
+    /// input.
+    pub fn decode_wire(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let fingerprint = r.get_u32()?;
+        let completed_epochs = r.get_usize()?;
+        let rollbacks = r.get_usize()?;
+        let n_params = r.get_count(16)?;
+        let params = (0..n_params)
+            .map(|_| r.get_tensor())
+            .collect::<Result<Vec<_>, _>>()?;
+        let n_state = r.get_count(8)?;
+        let state = (0..n_state)
+            .map(|_| r.get_f32_vec())
+            .collect::<Result<Vec<_>, _>>()?;
+        let optimizer = NAdam::decode_wire(r)?;
+        let schedule = PlateauDecay::decode_wire(r)?;
+        let mut rng = [0u64; 4];
+        for word in &mut rng {
+            *word = r.get_u64()?;
+        }
+        let n_hist = r.get_count(21)?; // 8 + 8 + 4 + 1 bytes per record
+        let history = (0..n_hist)
+            .map(|_| get_record(r))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(TrainCheckpoint {
+            fingerprint,
+            completed_epochs,
+            rollbacks,
+            params,
+            state,
+            optimizer,
+            schedule,
+            rng,
+            history,
+        })
+    }
+}
+
+/// File name for the checkpoint taken after `completed_epochs` epochs.
+pub fn checkpoint_file_name(completed_epochs: usize) -> String {
+    format!("epoch{completed_epochs:04}.brnnck")
+}
+
+/// The most recent checkpoint in `dir`, by completed-epoch number.
+///
+/// Scans for files named by [`checkpoint_file_name`] and returns the
+/// highest epoch, or `None` when the directory is missing or holds no
+/// checkpoints.
+pub fn latest_checkpoint(dir: &Path) -> Option<PathBuf> {
+    let entries = std::fs::read_dir(dir).ok()?;
+    let mut best: Option<(usize, PathBuf)> = None;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let Some(epoch) = name
+            .strip_prefix("epoch")
+            .and_then(|rest| rest.strip_suffix(".brnnck"))
+            .and_then(|digits| digits.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(e, _)| epoch > *e) {
+            best = Some((epoch, entry.path()));
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_bnn::NetConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ck_fixture() -> TrainCheckpoint {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = BnnResNet::new(&NetConfig::tiny(16), &mut rng);
+        let (params, state) = snapshot_net(&mut net);
+        TrainCheckpoint {
+            fingerprint: 0xDEAD_BEEF,
+            completed_epochs: 7,
+            rollbacks: 1,
+            params,
+            state,
+            optimizer: NAdam::new(0.05),
+            schedule: PlateauDecay::new(0.05, 0.5, 2),
+            rng: rng.state(),
+            history: vec![EpochRecord {
+                train_loss: 0.5,
+                val_loss: 0.6,
+                learning_rate: 0.05,
+                biased: false,
+            }],
+        }
+    }
+
+    #[test]
+    fn checkpoint_wire_round_trip() {
+        let ck = ck_fixture();
+        let mut w = WireWriter::new();
+        ck.encode_wire(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let restored = TrainCheckpoint::decode_wire(&mut r).expect("decode");
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(restored.fingerprint, ck.fingerprint);
+        assert_eq!(restored.completed_epochs, 7);
+        assert_eq!(restored.rollbacks, 1);
+        assert_eq!(restored.params, ck.params);
+        assert_eq!(restored.state, ck.state);
+        assert_eq!(restored.rng, ck.rng);
+        assert_eq!(restored.history, ck.history);
+    }
+
+    #[test]
+    fn truncated_checkpoint_rejected() {
+        let ck = ck_fixture();
+        let mut w = WireWriter::new();
+        ck.encode_wire(&mut w);
+        let bytes = w.into_bytes();
+        for frac in [1, 3, 10] {
+            let cut = bytes.len() * frac / 11;
+            let mut r = WireReader::new(&bytes[..cut]);
+            assert!(TrainCheckpoint::decode_wire(&mut r).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_is_lossless() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = BnnResNet::new(&NetConfig::tiny(16), &mut rng);
+        let (params, state) = snapshot_net(&mut net);
+        // Perturb, then restore.
+        net.for_each_param(&mut |p| {
+            for v in p.value.as_mut_slice() {
+                *v += 1.0;
+            }
+        });
+        net.for_each_state(&mut |s| {
+            for v in s.iter_mut() {
+                *v -= 3.0;
+            }
+        });
+        restore_net(&mut net, &params, &state).expect("restore");
+        let (params2, state2) = snapshot_net(&mut net);
+        assert_eq!(params, params2);
+        assert_eq!(state, state2);
+    }
+
+    #[test]
+    fn restore_rejects_architecture_mismatch() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut small = BnnResNet::new(&NetConfig::tiny(16), &mut rng);
+        let mut big = BnnResNet::new(
+            &NetConfig {
+                input_size: 16,
+                stem_filters: 8,
+                stages: vec![(8, 1), (16, 2), (16, 2)],
+                scaling: hotspot_bnn::ScalingMode::PerChannel,
+            },
+            &mut rng,
+        );
+        let (params, state) = snapshot_net(&mut small);
+        assert!(restore_net(&mut big, &params, &state).is_err());
+    }
+
+    #[test]
+    fn fingerprint_tracks_trajectory_fields_only() {
+        let base = BnnTrainConfig::fast();
+        let fp = config_fingerprint(&base);
+        let mut same = base.clone();
+        same.verbose = !same.verbose;
+        same.checkpoint_every = 5;
+        same.max_rollbacks = 9;
+        assert_eq!(config_fingerprint(&same), fp);
+        let mut diff = base.clone();
+        diff.seed += 1;
+        assert_ne!(config_fingerprint(&diff), fp);
+        let mut diff2 = base.clone();
+        diff2.learning_rate *= 2.0;
+        assert_ne!(config_fingerprint(&diff2), fp);
+    }
+
+    #[test]
+    fn latest_checkpoint_picks_highest_epoch() {
+        let dir = std::env::temp_dir().join(format!("brnn_ck_scan_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        for e in [1usize, 12, 3] {
+            std::fs::write(dir.join(checkpoint_file_name(e)), b"x").expect("write");
+        }
+        std::fs::write(dir.join("unrelated.txt"), b"y").expect("write");
+        let latest = latest_checkpoint(&dir).expect("found");
+        assert!(latest.ends_with("epoch0012.brnnck"));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(latest_checkpoint(&dir).is_none());
+    }
+}

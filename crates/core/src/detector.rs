@@ -176,13 +176,18 @@ impl HotspotDetector for DctCnnHotspotDetector {
 
     fn fit(&mut self, clips: &[LabeledClip]) {
         let (images, labels) = split(clips);
-        self.inner.get_mut().unwrap().fit(&images, &labels);
+        // A poisoned lock only means a previous borrower panicked; the
+        // detector state itself stays usable, so recover the guard.
+        self.inner
+            .get_mut()
+            .unwrap_or_else(|p| p.into_inner())
+            .fit(&images, &labels);
     }
 
     fn predict_batch(&self, images: &[&BitImage]) -> Vec<bool> {
         self.inner
             .lock()
-            .unwrap()
+            .unwrap_or_else(|p| p.into_inner())
             .probabilities(images)
             .into_iter()
             .map(|p| p >= 0.5)
@@ -190,7 +195,10 @@ impl HotspotDetector for DctCnnHotspotDetector {
     }
 
     fn score_batch(&self, images: &[&BitImage]) -> Vec<f32> {
-        self.inner.lock().unwrap().probabilities(images)
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .probabilities(images)
     }
 }
 

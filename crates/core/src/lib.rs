@@ -51,19 +51,24 @@
 //! | [`hotspot_baselines`] | SPIE'15 / ICCAD'16 / DAC'17 baselines |
 
 pub mod bnn_detector;
+pub mod checkpoint;
 pub mod detector;
 pub mod evaluate;
 pub mod metrics;
 pub mod persist;
 pub mod roc;
 
-pub use bnn_detector::{BnnDetector, BnnTrainConfig, EpochRecord, InferencePath};
+pub use bnn_detector::{
+    BnnDetector, BnnTrainConfig, EpochRecord, InferencePath, TrainConfigError, TrainError,
+};
+pub use checkpoint::{latest_checkpoint, TrainCheckpoint};
 pub use detector::{
     AdaBoostHotspotDetector, CcsHotspotDetector, DctCnnHotspotDetector, HotspotDetector,
     PatternMatchHotspotDetector,
 };
 pub use evaluate::{evaluate, evaluate_by_family, EvalResult};
 pub use metrics::ConfusionMatrix;
+pub use persist::PersistError;
 pub use roc::{RocCurve, RocPoint};
 
 // Re-export the pieces users need to drive the pipeline end to end.
@@ -71,3 +76,4 @@ pub use hotspot_bnn::{BnnResNet, NetConfig, PackedBnn, ScalingMode};
 pub use hotspot_geometry::{BitImage, Layout, Point, Raster, Rect};
 pub use hotspot_layout_gen::{DatasetSpec, LabeledClip, PatternFamily, SplitDataset};
 pub use hotspot_litho_sim::{HotspotOracle, OpticalModel};
+pub use hotspot_tensor::Tensor;

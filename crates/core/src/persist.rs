@@ -1,4 +1,4 @@
-//! Model and dataset persistence.
+//! Model, dataset, and checkpoint persistence.
 //!
 //! Training the BNN and litho-labelling a dataset are the two expensive
 //! steps of the pipeline; both artifacts serialize compactly so they
@@ -6,25 +6,41 @@
 //!
 //! * a compiled [`PackedBnn`] — the deployment artifact (binary weights
 //!   are stored bit-packed, so the paper-scale model is ~tens of KiB);
-//! * a [`SplitDataset`] — the labelled clips (bit-packed rasters).
+//! * a [`SplitDataset`] — the labelled clips (bit-packed rasters);
+//! * a [`TrainCheckpoint`] — the full mid-run training state for
+//!   fault-tolerant resume (see [`crate::checkpoint`]).
 //!
-//! The on-disk format is a short magic/version header followed by a
-//! hand-rolled little-endian payload (see `hotspot_tensor::wire`); the
-//! build environment is fully offline, so no external serialization
-//! crate is involved.
+//! The on-disk format is a short magic/version header, a hand-rolled
+//! little-endian payload (see `hotspot_tensor::wire`), and — since
+//! version `03` — a CRC32 footer over header and payload.  Writes are
+//! atomic: the bytes land in a same-directory temp file which is
+//! fsynced and then renamed over the destination, so a crash mid-save
+//! can never leave a half-written artifact under the final name.
+//! Version-`02` files (no footer) remain loadable.  The build
+//! environment is fully offline, so no external serialization crate is
+//! involved.
 
+use crate::checkpoint::TrainCheckpoint;
 use hotspot_bnn::PackedBnn;
 use hotspot_geometry::BitImage;
 use hotspot_layout_gen::{LabeledClip, PatternFamily, SplitDataset};
-use hotspot_tensor::{WireError, WireReader, WireWriter};
+use hotspot_tensor::{crc32, WireError, WireReader, WireWriter};
 use std::error::Error;
 use std::fmt;
 use std::fs;
+use std::io::Write as _;
 use std::path::Path;
 
-/// `BRNNHS` + format version. Bumped to `02` when the payload moved
-/// from bincode to the in-tree wire codec.
-const MAGIC: &[u8; 8] = b"BRNNHS02";
+/// `BRNNHS` + format version. `03` added the CRC32 footer and atomic
+/// writes; `02` (the bincode → wire-codec move) is still readable.
+const MAGIC: &[u8; 8] = b"BRNNHS03";
+
+/// Previous artifact version: same payload, no integrity footer.
+const MAGIC_V2: &[u8; 8] = b"BRNNHS02";
+
+/// Training-checkpoint artifact. Checkpoints never existed before the
+/// CRC era, so there is no footer-less fallback for them.
+const MAGIC_CK: &[u8; 8] = b"BRNNCK01";
 
 /// Error from save/load operations.
 #[derive(Debug)]
@@ -33,6 +49,9 @@ pub enum PersistError {
     Io(std::io::Error),
     /// The file is not a brnn-hotspot artifact (bad magic/version).
     BadHeader,
+    /// The CRC32 footer does not match the stored bytes — the file was
+    /// corrupted or truncated after it was written.
+    BadChecksum,
     /// The payload failed to (de)serialize.
     Codec(String),
 }
@@ -42,6 +61,9 @@ impl fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "i/o error: {e}"),
             PersistError::BadHeader => write!(f, "not a brnn-hotspot artifact (bad header)"),
+            PersistError::BadChecksum => {
+                write!(f, "artifact failed its integrity check (bad CRC32)")
+            }
             PersistError::Codec(m) => write!(f, "serialization error: {m}"),
         }
     }
@@ -68,18 +90,70 @@ impl From<WireError> for PersistError {
     }
 }
 
-fn save_payload(path: &Path, writer: WireWriter) -> Result<(), PersistError> {
+/// Writes `bytes` to `path` atomically: temp sibling → fsync → rename,
+/// then fsync of the parent directory so the rename itself is durable.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    let result = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)?;
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            // Directory fsync makes the rename durable; not every
+            // filesystem supports it, so failure here is non-fatal.
+            if let Ok(dir) = fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Frames `body` as `magic ‖ body ‖ crc32(magic ‖ body)` and writes it
+/// atomically.
+fn save_framed(path: &Path, magic: &[u8; 8], writer: WireWriter) -> Result<(), PersistError> {
     let body = writer.into_bytes();
-    let mut framed = Vec::with_capacity(MAGIC.len() + body.len());
-    framed.extend_from_slice(MAGIC);
+    let mut framed = Vec::with_capacity(magic.len() + body.len() + 4);
+    framed.extend_from_slice(magic);
     framed.extend_from_slice(&body);
-    fs::write(path, framed)?;
-    Ok(())
+    let crc = crc32(&framed);
+    framed.extend_from_slice(&crc.to_le_bytes());
+    write_atomic(path, &framed)
+}
+
+/// Strips the CRC footer (verifying it) and the magic, returning the
+/// raw payload.
+fn unframe_checked(bytes: &[u8], magic: &[u8; 8]) -> Result<Vec<u8>, PersistError> {
+    let covered_len = match bytes.len().checked_sub(4) {
+        Some(n) if n >= magic.len() => n,
+        _ => return Err(PersistError::BadChecksum),
+    };
+    let stored = u32::from_le_bytes(bytes[covered_len..].try_into().expect("4-byte footer"));
+    if crc32(&bytes[..covered_len]) != stored {
+        return Err(PersistError::BadChecksum);
+    }
+    Ok(bytes[magic.len()..covered_len].to_vec())
+}
+
+fn save_payload(path: &Path, writer: WireWriter) -> Result<(), PersistError> {
+    save_framed(path, MAGIC, writer)
 }
 
 fn load_payload(path: &Path) -> Result<Vec<u8>, PersistError> {
     let bytes = fs::read(path)?;
-    match bytes.strip_prefix(MAGIC) {
+    if bytes.starts_with(MAGIC) {
+        return unframe_checked(&bytes, MAGIC);
+    }
+    // Legacy version-02 artifacts predate the integrity footer.
+    match bytes.strip_prefix(MAGIC_V2) {
         Some(body) => Ok(body.to_vec()),
         None => Err(PersistError::BadHeader),
     }
@@ -137,8 +211,11 @@ fn put_clips(w: &mut WireWriter, clips: &[LabeledClip]) {
 }
 
 fn get_clips(r: &mut WireReader<'_>) -> Result<Vec<LabeledClip>, PersistError> {
-    let n = r.get_usize()?;
-    let mut clips = Vec::new();
+    // A clip encodes to at least width + height + word-count prefix +
+    // hotspot flag + family byte = 26 bytes; bounding the clip count by
+    // the remaining payload rejects hostile prefixes before allocating.
+    let n = r.get_count(26)?;
+    let mut clips = Vec::with_capacity(n);
     for _ in 0..n {
         let image = get_image(r)?;
         let hotspot = r.get_bool()?;
@@ -153,6 +230,9 @@ fn get_clips(r: &mut WireReader<'_>) -> Result<Vec<LabeledClip>, PersistError> {
 }
 
 /// Saves a compiled XNOR model.
+///
+/// The write is atomic and the file carries a CRC32 footer; see the
+/// module docs.
 ///
 /// # Errors
 ///
@@ -182,8 +262,8 @@ pub fn save_model(path: &Path, model: &PackedBnn) -> Result<(), PersistError> {
 ///
 /// # Errors
 ///
-/// Returns [`PersistError`] on I/O failure, wrong file type, or a
-/// corrupted payload.
+/// Returns [`PersistError`] on I/O failure, wrong file type, a failed
+/// integrity check, or a corrupted payload.
 pub fn load_model(path: &Path) -> Result<PackedBnn, PersistError> {
     let body = load_payload(path)?;
     let mut r = WireReader::new(&body);
@@ -199,6 +279,9 @@ pub fn load_model(path: &Path) -> Result<PackedBnn, PersistError> {
 
 /// Saves a labelled dataset.
 ///
+/// The write is atomic and the file carries a CRC32 footer; see the
+/// module docs.
+///
 /// # Errors
 ///
 /// Returns [`PersistError`] on I/O or serialization failure.
@@ -213,8 +296,8 @@ pub fn save_dataset(path: &Path, dataset: &SplitDataset) -> Result<(), PersistEr
 ///
 /// # Errors
 ///
-/// Returns [`PersistError`] on I/O failure, wrong file type, or a
-/// corrupted payload.
+/// Returns [`PersistError`] on I/O failure, wrong file type, a failed
+/// integrity check, or a corrupted payload.
 pub fn load_dataset(path: &Path) -> Result<SplitDataset, PersistError> {
     let body = load_payload(path)?;
     let mut r = WireReader::new(&body);
@@ -229,10 +312,46 @@ pub fn load_dataset(path: &Path) -> Result<SplitDataset, PersistError> {
     Ok(SplitDataset { train, test })
 }
 
+/// Saves a training checkpoint (magic `BRNNCK01`, CRC32 footer, atomic
+/// write).
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on I/O or serialization failure.
+pub fn save_checkpoint(path: &Path, ck: &TrainCheckpoint) -> Result<(), PersistError> {
+    let mut w = WireWriter::new();
+    ck.encode_wire(&mut w);
+    save_framed(path, MAGIC_CK, w)
+}
+
+/// Loads a training checkpoint.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on I/O failure, wrong file type, a failed
+/// integrity check, or a corrupted payload.
+pub fn load_checkpoint(path: &Path) -> Result<TrainCheckpoint, PersistError> {
+    let bytes = fs::read(path)?;
+    if !bytes.starts_with(MAGIC_CK) {
+        return Err(PersistError::BadHeader);
+    }
+    let body = unframe_checked(&bytes, MAGIC_CK)?;
+    let mut r = WireReader::new(&body);
+    let ck = TrainCheckpoint::decode_wire(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(PersistError::Codec(format!(
+            "{} trailing bytes after checkpoint payload",
+            r.remaining()
+        )));
+    }
+    Ok(ck)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use hotspot_bnn::{BnnResNet, NetConfig};
+    use hotspot_nn::{NAdam, PlateauDecay};
     use hotspot_tensor::Tensor;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -289,7 +408,7 @@ mod tests {
     }
 
     #[test]
-    fn truncated_model_is_codec_error() {
+    fn truncated_model_fails_integrity_check() {
         let mut rng = StdRng::seed_from_u64(5);
         let net = BnnResNet::new(&NetConfig::tiny(16), &mut rng);
         let model = hotspot_bnn::PackedBnn::compile(&net);
@@ -298,8 +417,101 @@ mod tests {
         let bytes = std::fs::read(&path).expect("read");
         std::fs::write(&path, &bytes[..bytes.len() - 7]).expect("rewrite");
         let err = load_model(&path).unwrap_err();
-        assert!(matches!(err, PersistError::Codec(_)), "got {err:?}");
+        assert!(matches!(err, PersistError::BadChecksum), "got {err:?}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flipped_byte_fails_integrity_check() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let net = BnnResNet::new(&NetConfig::tiny(16), &mut rng);
+        let model = hotspot_bnn::PackedBnn::compile(&net);
+        let path = tmp("flipped");
+        save_model(&path, &model).expect("save");
+        let mut bytes = std::fs::read(&path).expect("read");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        let err = load_model(&path).unwrap_err();
+        assert!(matches!(err, PersistError::BadChecksum), "got {err:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn legacy_v02_artifact_still_loads() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = BnnResNet::new(&NetConfig::tiny(16), &mut rng);
+        let model = hotspot_bnn::PackedBnn::compile(&net);
+        let mut w = WireWriter::new();
+        model.encode_wire(&mut w);
+        let mut legacy = Vec::new();
+        legacy.extend_from_slice(MAGIC_V2);
+        legacy.extend_from_slice(&w.into_bytes());
+        let path = tmp("legacy");
+        std::fs::write(&path, &legacy).expect("write");
+        let restored = load_model(&path).expect("legacy load");
+        let x = Tensor::ones(&[2, 1, 16, 16]);
+        assert_eq!(model.forward(&x), restored.forward(&x));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn save_leaves_no_temp_files_behind() {
+        let dir = std::env::temp_dir().join(format!("brnn_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let mut rng = StdRng::seed_from_u64(8);
+        let net = BnnResNet::new(&NetConfig::tiny(16), &mut rng);
+        let model = hotspot_bnn::PackedBnn::compile(&net);
+        let path = dir.join("model.brnn");
+        save_model(&path, &model).expect("save");
+        // Overwrite an existing file too — same invariant.
+        save_model(&path, &model).expect("second save");
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["model.brnn".to_string()], "dir: {names:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_and_cross_type_rejection() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut net = BnnResNet::new(&NetConfig::tiny(16), &mut rng);
+        let (params, state) = crate::checkpoint::snapshot_net(&mut net);
+        let ck = TrainCheckpoint {
+            fingerprint: 0x1234_5678,
+            completed_epochs: 2,
+            rollbacks: 0,
+            params,
+            state,
+            optimizer: NAdam::new(0.01),
+            schedule: PlateauDecay::new(0.01, 0.5, 2),
+            rng: rng.state(),
+            history: Vec::new(),
+        };
+        let path = tmp("checkpoint");
+        save_checkpoint(&path, &ck).expect("save");
+        let restored = load_checkpoint(&path).expect("load");
+        assert_eq!(restored.fingerprint, ck.fingerprint);
+        assert_eq!(restored.completed_epochs, 2);
+        assert_eq!(restored.params, ck.params);
+        assert_eq!(restored.rng, ck.rng);
+        // A checkpoint is not a model, and vice versa.
+        assert!(matches!(
+            load_model(&path).unwrap_err(),
+            PersistError::BadHeader
+        ));
+        let model_path = tmp("not_a_checkpoint");
+        let model = hotspot_bnn::PackedBnn::compile(&net);
+        save_model(&model_path, &model).expect("save model");
+        assert!(matches!(
+            load_checkpoint(&model_path).unwrap_err(),
+            PersistError::BadHeader
+        ));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&model_path);
     }
 
     #[test]

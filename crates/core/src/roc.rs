@@ -124,8 +124,17 @@ impl RocCurve {
     /// # Panics
     ///
     /// Panics when no point satisfies the accuracy floor (use 0.0 to
-    /// always succeed).
+    /// always succeed, or [`try_odst_optimal`](Self::try_odst_optimal)
+    /// for a fallible variant).
     pub fn odst_optimal(&self, t_ls: f64, t_ev: f64, min_accuracy: f64) -> RocPoint {
+        self.try_odst_optimal(t_ls, t_ev, min_accuracy)
+            .unwrap_or_else(|| panic!("no operating point reaches accuracy {min_accuracy}"))
+    }
+
+    /// Like [`odst_optimal`](Self::odst_optimal), but returns `None`
+    /// when no swept point reaches the accuracy floor instead of
+    /// panicking.
+    pub fn try_odst_optimal(&self, t_ls: f64, t_ev: f64, min_accuracy: f64) -> Option<RocPoint> {
         self.points
             .iter()
             .filter(|p| p.tpr >= min_accuracy)
@@ -135,7 +144,6 @@ impl RocCurve {
                     .total_cmp(&b.confusion.odst(t_ls, t_ev))
             })
             .copied()
-            .unwrap_or_else(|| panic!("no operating point reaches accuracy {min_accuracy}"))
     }
 
     /// The point with maximal Youden index (tpr − fpr), a
@@ -213,6 +221,14 @@ mod tests {
         // Without a floor, flag nothing (Eq. 3 charges only flags).
         let free = roc.odst_optimal(10.0, 0.0, 0.0);
         assert_eq!(free.confusion.tp + free.confusion.fp, 0);
+    }
+
+    #[test]
+    fn try_odst_optimal_reports_unreachable_floor() {
+        let roc = RocCurve::from_scores(&[0.9, 0.7, 0.3, 0.2], &[true, true, false, false]);
+        assert!(roc.try_odst_optimal(10.0, 0.01, 1.5).is_none());
+        let pt = roc.try_odst_optimal(10.0, 0.01, 1.0).expect("reachable");
+        assert_eq!(pt.tpr, 1.0);
     }
 
     #[test]

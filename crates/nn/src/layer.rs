@@ -30,6 +30,16 @@ pub trait Layer: Send {
     /// Visits every trainable parameter in a stable order.
     fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param));
 
+    /// Visits every non-trainable state buffer in a stable order —
+    /// buffers that evolve during training but receive no gradient,
+    /// such as batch-norm running statistics.
+    ///
+    /// Checkpointing walks this alongside
+    /// [`for_each_param`](Layer::for_each_param); a network restored
+    /// from both visitations reproduces the original bit for bit.
+    /// Stateless layers keep the default no-op.
+    fn for_each_state(&mut self, _f: &mut dyn FnMut(&mut [f32])) {}
+
     /// A short human-readable description, e.g. `"conv3x3(16→32)"`.
     fn describe(&self) -> String;
 
@@ -109,6 +119,12 @@ impl Layer for Sequential {
     fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
         for layer in &mut self.layers {
             layer.for_each_param(f);
+        }
+    }
+
+    fn for_each_state(&mut self, f: &mut dyn FnMut(&mut [f32])) {
+        for layer in &mut self.layers {
+            layer.for_each_state(f);
         }
     }
 

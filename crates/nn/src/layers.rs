@@ -376,6 +376,11 @@ impl Layer for BatchNorm2d {
         f(&mut self.beta);
     }
 
+    fn for_each_state(&mut self, f: &mut dyn FnMut(&mut [f32])) {
+        f(&mut self.running_mean);
+        f(&mut self.running_var);
+    }
+
     fn describe(&self) -> String {
         format!("bn({})", self.gamma.value.numel())
     }

@@ -5,7 +5,21 @@
 
 use crate::layer::Layer;
 use crate::param::Param;
-use hotspot_tensor::Tensor;
+use hotspot_tensor::{Tensor, WireError, WireReader, WireWriter};
+
+fn put_tensor_vec(w: &mut WireWriter, ts: &[Tensor]) {
+    w.put_usize(ts.len());
+    for t in ts {
+        w.put_tensor(t);
+    }
+}
+
+fn get_tensor_vec(r: &mut WireReader<'_>) -> Result<Vec<Tensor>, WireError> {
+    // A tensor encodes to ≥ 17 bytes (shape len + one dim + data len +
+    // one f32); 16 is a safe lower bound for the hostile-length check.
+    let n = r.get_count(16)?;
+    (0..n).map(|_| r.get_tensor()).collect()
+}
 
 /// A gradient-descent optimizer.
 ///
@@ -26,7 +40,7 @@ pub trait Optimizer {
 }
 
 /// Stochastic gradient descent with classical momentum.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Sgd {
     lr: f32,
     momentum: f32,
@@ -48,6 +62,37 @@ impl Sgd {
             momentum,
             velocity: Vec::new(),
         }
+    }
+
+    /// Encodes the full optimizer state (hyperparameters and velocity
+    /// buffers) for checkpointing.
+    pub fn encode_wire(&self, w: &mut WireWriter) {
+        w.put_f32(self.lr);
+        w.put_f32(self.momentum);
+        put_tensor_vec(w, &self.velocity);
+    }
+
+    /// Decodes state written by [`encode_wire`](Sgd::encode_wire).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncated or structurally invalid
+    /// input.
+    pub fn decode_wire(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let lr = r.get_f32()?;
+        let momentum = r.get_f32()?;
+        let velocity = get_tensor_vec(r)?;
+        let lr_ok = lr.is_finite() && lr > 0.0;
+        if !lr_ok || !(0.0..1.0).contains(&momentum) {
+            return Err(WireError(format!(
+                "invalid sgd hyperparameters lr={lr} momentum={momentum}"
+            )));
+        }
+        Ok(Sgd {
+            lr,
+            momentum,
+            velocity,
+        })
     }
 }
 
@@ -85,7 +130,7 @@ impl Optimizer for Sgd {
 }
 
 /// Shared Adam-family state and hyperparameters.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct AdamState {
     lr: f32,
     beta1: f32,
@@ -110,10 +155,52 @@ impl AdamState {
             v: Vec::new(),
         }
     }
+
+    fn encode_wire(&self, w: &mut WireWriter) {
+        w.put_f32(self.lr);
+        w.put_f32(self.beta1);
+        w.put_f32(self.beta2);
+        w.put_f32(self.eps);
+        w.put_u32(self.t as u32);
+        put_tensor_vec(w, &self.m);
+        put_tensor_vec(w, &self.v);
+    }
+
+    fn decode_wire(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let lr = r.get_f32()?;
+        let beta1 = r.get_f32()?;
+        let beta2 = r.get_f32()?;
+        let eps = r.get_f32()?;
+        let t = r.get_u32()? as i32;
+        let m = get_tensor_vec(r)?;
+        let v = get_tensor_vec(r)?;
+        let lr_ok = lr.is_finite() && lr > 0.0;
+        if !lr_ok || !(0.0..1.0).contains(&beta1) || !(0.0..1.0).contains(&beta2) || t < 0 {
+            return Err(WireError(format!(
+                "invalid adam hyperparameters lr={lr} betas=({beta1}, {beta2}) t={t}"
+            )));
+        }
+        if m.len() != v.len() {
+            return Err(WireError(format!(
+                "adam moment buffer count mismatch: {} vs {}",
+                m.len(),
+                v.len()
+            )));
+        }
+        Ok(AdamState {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t,
+            m,
+            v,
+        })
+    }
 }
 
 /// Adam (Kingma & Ba 2014).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Adam {
     state: AdamState,
 }
@@ -124,6 +211,23 @@ impl Adam {
         Adam {
             state: AdamState::new(lr, 0.9, 0.999),
         }
+    }
+
+    /// Encodes the full optimizer state for checkpointing.
+    pub fn encode_wire(&self, w: &mut WireWriter) {
+        self.state.encode_wire(w);
+    }
+
+    /// Decodes state written by [`encode_wire`](Adam::encode_wire).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncated or structurally invalid
+    /// input.
+    pub fn decode_wire(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Adam {
+            state: AdamState::decode_wire(r)?,
+        })
     }
 }
 
@@ -174,7 +278,7 @@ impl Optimizer for Adam {
 /// The update replaces Adam's bias-corrected first moment with a
 /// Nesterov-style look-ahead blend of the current gradient and the
 /// first-moment estimate.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NAdam {
     state: AdamState,
 }
@@ -185,6 +289,24 @@ impl NAdam {
         NAdam {
             state: AdamState::new(lr, 0.9, 0.999),
         }
+    }
+
+    /// Encodes the full optimizer state (hyperparameters, step counter,
+    /// and both moment buffers) for checkpointing.
+    pub fn encode_wire(&self, w: &mut WireWriter) {
+        self.state.encode_wire(w);
+    }
+
+    /// Decodes state written by [`encode_wire`](NAdam::encode_wire).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncated or structurally invalid
+    /// input.
+    pub fn decode_wire(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(NAdam {
+            state: AdamState::decode_wire(r)?,
+        })
     }
 }
 
@@ -319,5 +441,94 @@ mod tests {
     #[should_panic(expected = "learning rate must be positive")]
     fn rejects_bad_lr() {
         Sgd::new(0.0, 0.0);
+    }
+
+    /// Steps an optimizer a few times, round-trips it through the wire
+    /// codec, and checks restored and original produce identical
+    /// updates from identical gradients.
+    fn wire_preserves_trajectory<O: Optimizer>(
+        mut opt: O,
+        encode: impl Fn(&O, &mut hotspot_tensor::WireWriter),
+        decode: impl Fn(&mut hotspot_tensor::WireReader<'_>) -> O,
+    ) {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut net = Dense::new(2, 2, &mut rng);
+        let loss = SoftmaxCrossEntropy::new();
+        let x = Tensor::from_vec(&[2, 2], vec![1.0, -1.0, -0.5, 2.0]);
+        let step = |net: &mut Dense, opt: &mut O| {
+            net.zero_grads();
+            let logits = net.forward(&x, true);
+            let (_, g) = loss.forward(&logits, &[0, 1]);
+            let _ = net.backward(&g);
+            opt.step(net);
+        };
+        for _ in 0..3 {
+            step(&mut net, &mut opt);
+        }
+        let mut w = hotspot_tensor::WireWriter::new();
+        encode(&opt, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = hotspot_tensor::WireReader::new(&bytes);
+        let mut restored = decode(&mut r);
+        assert_eq!(r.remaining(), 0);
+
+        // Continue both from a cloned network: steps must match exactly.
+        let mut net2 = Dense::new(2, 2, &mut StdRng::seed_from_u64(9));
+        let snapshot: Vec<Vec<f32>> = {
+            let mut s = Vec::new();
+            net.for_each_param(&mut |p| s.push(p.value.as_slice().to_vec()));
+            s
+        };
+        let mut i = 0;
+        net2.for_each_param(&mut |p| {
+            p.value.as_mut_slice().copy_from_slice(&snapshot[i]);
+            i += 1;
+        });
+        step(&mut net, &mut opt);
+        step(&mut net2, &mut restored);
+        let mut wa = Vec::new();
+        net.for_each_param(&mut |p| wa.extend_from_slice(p.value.as_slice()));
+        let mut wb = Vec::new();
+        net2.for_each_param(&mut |p| wb.extend_from_slice(p.value.as_slice()));
+        assert_eq!(wa, wb);
+    }
+
+    #[test]
+    fn nadam_wire_round_trip_is_bit_identical() {
+        wire_preserves_trajectory(
+            NAdam::new(0.05),
+            |o, w| o.encode_wire(w),
+            |r| NAdam::decode_wire(r).expect("decode"),
+        );
+    }
+
+    #[test]
+    fn sgd_wire_round_trip_is_bit_identical() {
+        wire_preserves_trajectory(
+            Sgd::new(0.1, 0.9),
+            |o, w| o.encode_wire(w),
+            |r| Sgd::decode_wire(r).expect("decode"),
+        );
+    }
+
+    #[test]
+    fn adam_wire_round_trip_is_bit_identical() {
+        wire_preserves_trajectory(
+            Adam::new(0.05),
+            |o, w| o.encode_wire(w),
+            |r| Adam::decode_wire(r).expect("decode"),
+        );
+    }
+
+    #[test]
+    fn truncated_optimizer_state_rejected() {
+        let opt = NAdam::new(0.05);
+        let mut w = hotspot_tensor::WireWriter::new();
+        opt.encode_wire(&mut w);
+        let bytes = w.into_bytes();
+        for cut in [0, 3, bytes.len() - 1] {
+            let mut r = hotspot_tensor::WireReader::new(&bytes[..cut]);
+            assert!(NAdam::decode_wire(&mut r).is_err(), "cut at {cut}");
+        }
     }
 }

@@ -1,5 +1,7 @@
 //! Learning-rate schedules.
 
+use hotspot_tensor::{WireError, WireReader, WireWriter};
+
 /// Exponential decay on validation-loss plateau — the schedule used by
 /// the paper (§3.4.2, following Szegedy et al.): each time the
 /// validation loss fails to improve for `patience` consecutive epochs,
@@ -53,6 +55,73 @@ impl PlateauDecay {
     /// The current learning rate.
     pub fn learning_rate(&self) -> f32 {
         self.lr
+    }
+
+    /// Multiplies the current learning rate by `factor` (floored at the
+    /// schedule's minimum), outside the normal plateau logic.
+    ///
+    /// Used by the training watchdog when rolling back a diverged
+    /// epoch: later plateau decays then compound on the reduced rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is not in `(0, 1]`.
+    pub fn scale_lr(&mut self, factor: f32) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "scale factor must be in (0, 1]"
+        );
+        self.lr = (self.lr * factor).max(self.min_lr);
+    }
+
+    /// Encodes the full schedule state for checkpointing.
+    pub fn encode_wire(&self, w: &mut WireWriter) {
+        w.put_f32(self.lr);
+        w.put_f32(self.factor);
+        w.put_usize(self.patience);
+        match self.best {
+            Some(b) => {
+                w.put_bool(true);
+                w.put_f32(b);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_usize(self.bad_epochs);
+        w.put_f32(self.min_lr);
+    }
+
+    /// Decodes state written by [`encode_wire`](PlateauDecay::encode_wire).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncated or structurally invalid
+    /// input.
+    pub fn decode_wire(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let lr = r.get_f32()?;
+        let factor = r.get_f32()?;
+        let patience = r.get_usize()?;
+        let best = if r.get_bool()? {
+            Some(r.get_f32()?)
+        } else {
+            None
+        };
+        let bad_epochs = r.get_usize()?;
+        let min_lr = r.get_f32()?;
+        let lr_ok = lr.is_finite() && lr > 0.0;
+        let factor_ok = factor > 0.0 && factor < 1.0;
+        if !lr_ok || !factor_ok || patience == 0 {
+            return Err(WireError(format!(
+                "invalid schedule state lr={lr} factor={factor} patience={patience}"
+            )));
+        }
+        Ok(PlateauDecay {
+            lr,
+            factor,
+            patience,
+            best,
+            bad_epochs,
+            min_lr,
+        })
     }
 
     /// Records an epoch's validation loss and returns the (possibly
@@ -118,5 +187,45 @@ mod tests {
     #[should_panic(expected = "patience must be positive")]
     fn zero_patience_rejected() {
         PlateauDecay::new(0.1, 0.5, 0);
+    }
+
+    #[test]
+    fn scale_lr_compounds_with_plateau_decay() {
+        let mut s = PlateauDecay::new(0.8, 0.5, 1);
+        s.observe(1.0);
+        s.scale_lr(0.5);
+        assert_eq!(s.learning_rate(), 0.4);
+        // Next plateau decays from the scaled rate.
+        assert_eq!(s.observe(2.0), 0.2);
+        // Floored at min_lr.
+        s.scale_lr(1e-12);
+        assert!(s.learning_rate() >= 1e-6);
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_state() {
+        let mut s = PlateauDecay::new(0.15, 0.5, 2);
+        s.observe(1.0);
+        s.observe(1.2); // one bad epoch pending
+        let mut w = hotspot_tensor::WireWriter::new();
+        s.encode_wire(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = hotspot_tensor::WireReader::new(&bytes);
+        let mut restored = PlateauDecay::decode_wire(&mut r).expect("decode");
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(restored, s);
+        // Both hit the patience limit on the same next observation.
+        assert_eq!(s.observe(1.3), restored.observe(1.3));
+        assert_eq!(restored.learning_rate(), 0.075);
+    }
+
+    #[test]
+    fn truncated_schedule_state_rejected() {
+        let s = PlateauDecay::new(0.15, 0.5, 2);
+        let mut w = hotspot_tensor::WireWriter::new();
+        s.encode_wire(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = hotspot_tensor::WireReader::new(&bytes[..bytes.len() - 2]);
+        assert!(PlateauDecay::decode_wire(&mut r).is_err());
     }
 }

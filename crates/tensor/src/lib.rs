@@ -41,5 +41,5 @@ pub use pool::{
     global_avg_pool_into, max_pool2d, max_pool2d_backward,
 };
 pub use tensor::Tensor;
-pub use wire::{WireError, WireReader, WireWriter};
+pub use wire::{crc32, WireError, WireReader, WireWriter};
 pub use workspace::{global_pool, Workspace, WorkspacePool};

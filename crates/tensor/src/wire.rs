@@ -78,6 +78,11 @@ impl WireWriter {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Little-endian f64 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
     /// Length-prefixed f32 sequence.
     pub fn put_f32_slice(&mut self, vs: &[f32]) {
         self.put_usize(vs.len());
@@ -178,10 +183,33 @@ impl<'a> WireReader<'a> {
         Ok(len)
     }
 
+    /// Reads an element count that the caller will decode item by item,
+    /// rejecting any count implying more than the remaining bytes
+    /// (`min_elem_size` is a lower bound on one element's encoding).
+    ///
+    /// Decoders of variable-size records should read their counts
+    /// through this instead of [`get_usize`](WireReader::get_usize), so
+    /// a corrupt or hostile prefix errors out before any allocation is
+    /// sized from it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncated input or an implausible
+    /// count.
+    pub fn get_count(&mut self, min_elem_size: usize) -> Result<usize, WireError> {
+        self.get_len(min_elem_size.max(1))
+    }
+
     /// Little-endian f32.
     pub fn get_f32(&mut self) -> Result<f32, WireError> {
         let b = self.take(4, "f32")?;
         Ok(f32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Little-endian f64.
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        let b = self.take(8, "f64")?;
+        Ok(f64::from_le_bytes(b.try_into().unwrap()))
     }
 
     /// Length-prefixed f32 sequence.
@@ -215,6 +243,24 @@ impl<'a> WireReader<'a> {
         }
         Ok(Tensor::from_vec(&shape, data))
     }
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) over `bytes`.
+///
+/// Used by the persistence layer to frame artifacts with an integrity
+/// footer; implemented in-tree because the build environment is
+/// offline. Matches the ubiquitous zlib/PNG/Ethernet checksum, so
+/// artifacts can be verified with standard external tools.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = 0u32.wrapping_sub(crc & 1);
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
 }
 
 #[cfg(test)]
@@ -267,5 +313,68 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = WireReader::new(&bytes);
         assert!(r.get_f32_vec().is_err());
+    }
+
+    #[test]
+    fn hostile_length_rejected_for_every_vec_getter() {
+        // A prefix claiming ~u64::MAX elements with almost no payload
+        // behind it must error cleanly in each decoder, never allocate.
+        for huge in [u64::MAX, u64::MAX / 8, 1 << 40] {
+            let mut w = WireWriter::new();
+            w.put_u64(huge);
+            w.put_u32(0); // a few trailing bytes, fewer than claimed
+            let bytes = w.into_bytes();
+            assert!(WireReader::new(&bytes).get_f32_vec().is_err());
+            assert!(WireReader::new(&bytes).get_u64_vec().is_err());
+            assert!(WireReader::new(&bytes).get_usize_vec().is_err());
+            assert!(WireReader::new(&bytes).get_tensor().is_err());
+            assert!(WireReader::new(&bytes).get_count(1).is_err());
+        }
+    }
+
+    #[test]
+    fn get_count_bounds_by_element_size() {
+        let mut w = WireWriter::new();
+        w.put_usize(4);
+        w.put_raw(&[0u8; 12]); // room for 12 one-byte elems, not 4×4
+        let bytes = w.into_bytes();
+        assert_eq!(WireReader::new(&bytes).get_count(3).unwrap(), 4);
+        assert!(WireReader::new(&bytes).get_count(4).is_err());
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let mut w = WireWriter::new();
+        w.put_f64(-1.25e300);
+        w.put_f64(f64::MIN_POSITIVE);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_f64().unwrap(), -1.25e300);
+        assert_eq!(r.get_f64().unwrap(), f64::MIN_POSITIVE);
+        assert!(r.get_f64().is_err());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let data = b"binarized residual neural network".to_vec();
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut copy = data.clone();
+                copy[i] ^= 1 << bit;
+                assert_ne!(crc32(&copy), base, "flip at byte {i} bit {bit}");
+            }
+        }
     }
 }

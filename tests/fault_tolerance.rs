@@ -1,0 +1,277 @@
+//! Fault-tolerance integration tests: artifact corruption is always a
+//! typed error, checkpointed training resumes bit-identically, and the
+//! divergence watchdog rolls back NaN epochs instead of shipping a
+//! poisoned model.
+
+use hotspot_core::checkpoint::snapshot_net;
+use hotspot_core::persist::{
+    load_checkpoint, load_dataset, load_model, save_checkpoint, save_dataset, save_model,
+};
+use hotspot_core::{
+    latest_checkpoint, BitImage, BnnDetector, BnnTrainConfig, LabeledClip, PackedBnn,
+    PatternFamily, SplitDataset, TrainError,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Dense vs. sparse stripe clips: a learnable toy problem.
+fn toy_clips(n: usize, side: usize) -> Vec<LabeledClip> {
+    (0..n)
+        .map(|i| {
+            let hotspot = i % 2 == 0;
+            let mut img = BitImage::new(side, side);
+            let step = if hotspot { 4 } else { 12 };
+            let mut y = i % 3;
+            while y < side {
+                img.fill_row_span(y, 0, side);
+                y += step;
+            }
+            LabeledClip {
+                image: img,
+                hotspot,
+                family: PatternFamily::LineSpace,
+            }
+        })
+        .collect()
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("brnn_ft_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// Collects the network's parameters and state buffers for exact
+/// comparison between two trained detectors.
+fn weights_of(det: &BnnDetector) -> (Vec<hotspot_core::Tensor>, Vec<Vec<f32>>) {
+    let mut guard = det.network().expect("trained");
+    snapshot_net(&mut guard)
+}
+
+// ---------------------------------------------------------------------
+// Resume determinism
+// ---------------------------------------------------------------------
+
+#[test]
+fn interrupted_then_resumed_matches_uninterrupted_run() {
+    let clips = toy_clips(24, 32);
+    let dir = scratch_dir("resume");
+    let mut cfg = BnnTrainConfig::fast();
+    cfg.epochs = 4;
+    cfg.bias_epochs = 1;
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.checkpoint_every = 1;
+
+    // Reference: one uninterrupted run, checkpointing every epoch.
+    let mut full = BnnDetector::new(cfg.clone());
+    full.try_fit(&clips).expect("uninterrupted run");
+    let full_weights = weights_of(&full);
+
+    // "Kill" after epoch 2: a fresh process would find epoch0002.brnnck
+    // on disk and continue from there.
+    let mut resumed = BnnDetector::new(cfg.clone());
+    resumed
+        .resume(&dir.join("epoch0002.brnnck"), &clips)
+        .expect("resume");
+
+    assert_eq!(
+        resumed.history(),
+        full.history(),
+        "EpochRecord history must be bit-identical"
+    );
+    let resumed_weights = weights_of(&resumed);
+    assert_eq!(resumed_weights.0, full_weights.0, "parameters diverged");
+    assert_eq!(
+        resumed_weights.1, full_weights.1,
+        "batch-norm state diverged"
+    );
+
+    // latest_checkpoint finds the final epoch's file.
+    let latest = latest_checkpoint(&dir).expect("checkpoints written");
+    assert!(latest.ends_with("epoch0005.brnnck"), "got {latest:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_rejects_mismatched_configuration() {
+    let clips = toy_clips(16, 32);
+    let dir = scratch_dir("fingerprint");
+    let mut cfg = BnnTrainConfig::fast();
+    cfg.epochs = 2;
+    cfg.bias_epochs = 0;
+    cfg.checkpoint_dir = Some(dir.clone());
+    let mut det = BnnDetector::new(cfg.clone());
+    det.try_fit(&clips).expect("train");
+    let ck = latest_checkpoint(&dir).expect("checkpoint");
+
+    // Same architecture, different trajectory (seed): refused.
+    let mut other_cfg = cfg.clone();
+    other_cfg.seed += 1;
+    let mut other = BnnDetector::new(other_cfg);
+    let err = other.resume(&ck, &clips).unwrap_err();
+    assert!(
+        matches!(err, TrainError::Checkpoint(_)),
+        "expected fingerprint rejection, got {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Divergence watchdog
+// ---------------------------------------------------------------------
+
+#[test]
+fn injected_nan_rolls_back_and_recovers() {
+    let clips = toy_clips(24, 32);
+    let mut cfg = BnnTrainConfig::fast();
+    cfg.epochs = 3;
+    cfg.bias_epochs = 0;
+    cfg.fault_nan_epoch = Some(1);
+    cfg.max_rollbacks = 3;
+    let mut det = BnnDetector::new(cfg);
+    det.try_fit(&clips).expect("watchdog must absorb the NaN");
+    assert_eq!(det.rollbacks(), 1, "exactly one rollback expected");
+    assert_eq!(det.history().len(), 3);
+    assert!(
+        det.history()
+            .iter()
+            .all(|e| e.train_loss.is_finite() && e.val_loss.is_finite()),
+        "history carries no non-finite losses"
+    );
+    // Every weight in the shipped model is finite.
+    let (params, state) = weights_of(&det);
+    assert!(params
+        .iter()
+        .all(|t| t.as_slice().iter().all(|v| v.is_finite())));
+    assert!(state.iter().all(|s| s.iter().all(|v| v.is_finite())));
+    // The retried epoch ran at a halved learning rate.
+    assert!(
+        det.history()[1].learning_rate <= det.history()[0].learning_rate / 2.0 + f32::EPSILON,
+        "lr not halved: {:?}",
+        det.history()
+    );
+}
+
+#[test]
+fn exhausted_rollback_budget_is_a_typed_divergence() {
+    let clips = toy_clips(16, 32);
+    let mut cfg = BnnTrainConfig::fast();
+    cfg.epochs = 2;
+    cfg.bias_epochs = 0;
+    cfg.fault_nan_epoch = Some(0);
+    cfg.max_rollbacks = 0;
+    let mut det = BnnDetector::new(cfg);
+    match det.try_fit(&clips) {
+        Err(TrainError::Diverged { epoch, rollbacks }) => {
+            assert_eq!(epoch, 0);
+            assert_eq!(rollbacks, 0);
+        }
+        other => panic!("expected Diverged, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Corruption property test
+// ---------------------------------------------------------------------
+
+/// One pristine on-disk copy of each artifact kind: model, dataset,
+/// checkpoint.
+fn artifacts() -> &'static [Vec<u8>; 3] {
+    static ARTIFACTS: OnceLock<[Vec<u8>; 3]> = OnceLock::new();
+    ARTIFACTS.get_or_init(|| {
+        let dir = scratch_dir("pristine");
+        let clips = toy_clips(16, 32);
+        let mut cfg = BnnTrainConfig::fast();
+        cfg.epochs = 1;
+        cfg.bias_epochs = 0;
+        cfg.checkpoint_dir = Some(dir.clone());
+        let mut det = BnnDetector::new(cfg);
+        det.try_fit(&clips).expect("train");
+
+        let model_path = dir.join("model.brnn");
+        let packed: &PackedBnn = det.packed().expect("trained");
+        save_model(&model_path, packed).expect("save model");
+
+        let ds = SplitDataset {
+            train: clips[..12].to_vec(),
+            test: clips[12..].to_vec(),
+        };
+        let ds_path = dir.join("dataset.brnn");
+        save_dataset(&ds_path, &ds).expect("save dataset");
+
+        let ck_path = latest_checkpoint(&dir).expect("checkpoint");
+        // Round-trip once so the fixture is known-good before mutation.
+        let ck = load_checkpoint(&ck_path).expect("pristine checkpoint loads");
+        save_checkpoint(&ck_path, &ck).expect("re-save checkpoint");
+
+        let out = [
+            std::fs::read(&model_path).expect("read model"),
+            std::fs::read(&ds_path).expect("read dataset"),
+            std::fs::read(&ck_path).expect("read checkpoint"),
+        ];
+        let _ = std::fs::remove_dir_all(&dir);
+        out
+    })
+}
+
+fn load_any(kind: usize, path: &std::path::Path) -> Result<(), hotspot_core::PersistError> {
+    match kind {
+        0 => load_model(path).map(|_| ()),
+        1 => load_dataset(path).map(|_| ()),
+        _ => load_checkpoint(path).map(|_| ()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any single bit flip or truncation of a saved artifact makes its
+    /// load return `Err` — never a panic, never a silent success.
+    #[test]
+    fn corrupted_artifacts_never_load(
+        kind in 0usize..3,
+        pos in any::<u64>(),
+        bit in 0u8..8,
+        truncate in any::<bool>(),
+    ) {
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let pristine = &artifacts()[kind];
+        let mutated = if truncate {
+            pristine[..pos as usize % pristine.len()].to_vec()
+        } else {
+            let mut m = pristine.clone();
+            let i = pos as usize % m.len();
+            m[i] ^= 1 << bit;
+            m
+        };
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "brnn_ft_corrupt_{}_{case}",
+            std::process::id()
+        ));
+        std::fs::write(&path, &mutated).expect("write mutated artifact");
+        let result = load_any(kind, &path);
+        let _ = std::fs::remove_file(&path);
+        prop_assert!(
+            result.is_err(),
+            "kind {kind}: corrupted artifact loaded successfully \
+             (truncate={truncate}, pos={pos}, bit={bit})"
+        );
+    }
+}
+
+/// The pristine fixtures themselves load fine — the property above is
+/// rejecting the corruption, not the format.
+#[test]
+fn pristine_artifacts_load() {
+    let dir = scratch_dir("pristine_check");
+    for (kind, bytes) in artifacts().iter().enumerate() {
+        let path = dir.join(format!("artifact{kind}"));
+        std::fs::write(&path, bytes).expect("write");
+        load_any(kind, &path).expect("pristine artifact must load");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
