@@ -37,8 +37,10 @@
 //! ```
 
 use crate::packed::{PackedBnn, PackedConv};
+use hotspot_telemetry::{Clock, SlotProfiler};
 use hotspot_tensor::workspace::Workspace;
 use hotspot_tensor::{global_avg_pool_into, Tensor};
+use std::sync::Arc;
 
 /// Where a step reads its activation from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +79,10 @@ pub struct ExecPlan<'m> {
     input_c: usize,
     input_hw: (usize, usize),
     steps: Vec<Step<'m>>,
+    /// One profiling-slot name per step (same order as `steps`),
+    /// matching [`crate::BnnResNet::summary`] naming: `stem`,
+    /// `resN.conv1/.conv2/.shortcut`, plus `resN.add` for the merges.
+    step_names: Vec<String>,
     /// Per-item element capacity needed by each ping-pong buffer.
     buf_elems: [usize; 3],
     /// Channels, spatial size, and buffer holding the final feature map.
@@ -89,6 +95,7 @@ impl<'m> ExecPlan<'m> {
     pub(crate) fn compile(model: &'m PackedBnn, input_hw: (usize, usize)) -> Self {
         let stem = model.stem();
         let mut steps = Vec::new();
+        let mut step_names = Vec::new();
         let mut buf_elems = [0usize; 3];
 
         let (mut h, mut w) = stem.output_hw(input_hw.0, input_hw.1);
@@ -102,8 +109,9 @@ impl<'m> ExecPlan<'m> {
             in_hw: input_hw,
             out_elems: c * h * w,
         });
+        step_names.push("stem".to_string());
 
-        for block in model.blocks() {
+        for (bi, block) in model.blocks().iter().enumerate() {
             let a = cur;
             // The two buffers not holding the block input: `b` for the
             // mid activation (and later the projection shortcut, which
@@ -124,6 +132,7 @@ impl<'m> ExecPlan<'m> {
                 in_hw: (h, w),
                 out_elems: e1,
             });
+            step_names.push(format!("res{}.conv1", bi + 1));
             let conv2 = block.conv2();
             let (h2, w2) = conv2.output_hw(h1, w1);
             let e2 = conv2.out_channels() * h2 * w2;
@@ -135,6 +144,7 @@ impl<'m> ExecPlan<'m> {
                 in_hw: (h1, w1),
                 out_elems: e2,
             });
+            step_names.push(format!("res{}.conv2", bi + 1));
             match block.shortcut() {
                 Some(sc) => {
                     let (hs, ws) = sc.output_hw(h, w);
@@ -148,11 +158,13 @@ impl<'m> ExecPlan<'m> {
                         in_hw: (h, w),
                         out_elems: es,
                     });
+                    step_names.push(format!("res{}.shortcut", bi + 1));
                     steps.push(Step::Add {
                         src: b,
                         dst: d,
                         elems: e2,
                     });
+                    step_names.push(format!("res{}.add", bi + 1));
                 }
                 None => {
                     assert_eq!(c * h * w, e2, "identity shortcut shape mismatch");
@@ -161,6 +173,7 @@ impl<'m> ExecPlan<'m> {
                         dst: d,
                         elems: e2,
                     });
+                    step_names.push(format!("res{}.add", bi + 1));
                 }
             }
             cur = d;
@@ -174,6 +187,7 @@ impl<'m> ExecPlan<'m> {
             input_c: stem.in_channels(),
             input_hw,
             steps,
+            step_names,
             buf_elems,
             feat_c: c,
             final_hw: (h, w),
@@ -197,6 +211,29 @@ impl<'m> ExecPlan<'m> {
         self.buf_elems
     }
 
+    /// Profiling-slot names for this plan: one per step (in `steps`
+    /// order, named after [`crate::BnnResNet::summary`] layers), then
+    /// `gap` and `fc` for the classifier head.
+    pub fn slot_names(&self) -> Vec<String> {
+        let mut names = self.step_names.clone();
+        names.push("gap".to_string());
+        names.push("fc".to_string());
+        names
+    }
+
+    /// A [`SlotProfiler`] sized and named for this plan, for use with
+    /// [`run_into_profiled`](ExecPlan::run_into_profiled).  Parallel
+    /// workers build one each and [`SlotProfiler::merge`] afterwards.
+    pub fn profiler(&self) -> SlotProfiler {
+        SlotProfiler::new(self.slot_names())
+    }
+
+    /// Like [`profiler`](ExecPlan::profiler) with an explicit clock
+    /// (deterministic tests).
+    pub fn profiler_with_clock(&self, clock: Arc<dyn Clock>) -> SlotProfiler {
+        SlotProfiler::with_clock(self.slot_names(), clock)
+    }
+
     /// Runs the plan on a `[n, c, h, w]` input slice (`±1` values,
     /// `c`/`h`/`w` as compiled), writing `[n, classes]` logits into
     /// `logits`.  All intermediates come from `ws`; after one warm-up
@@ -206,6 +243,44 @@ impl<'m> ExecPlan<'m> {
     ///
     /// Panics when a slice length disagrees with the compiled shapes.
     pub fn run_into(&self, input: &[f32], n: usize, ws: &mut Workspace, logits: &mut [f32]) {
+        self.run_impl(input, n, ws, logits, None);
+    }
+
+    /// [`run_into`](ExecPlan::run_into) with per-layer timing: each
+    /// step's wall-clock nanoseconds accumulate into the matching slot
+    /// of `prof` (built by [`profiler`](ExecPlan::profiler)).  The
+    /// profiled path performs the same zero heap allocations as the
+    /// unprofiled one once warm — profiling only adds clock reads and
+    /// `u64` arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches (as [`run_into`](ExecPlan::run_into))
+    /// or when `prof` was built for a different plan shape.
+    pub fn run_into_profiled(
+        &self,
+        input: &[f32],
+        n: usize,
+        ws: &mut Workspace,
+        logits: &mut [f32],
+        prof: &mut SlotProfiler,
+    ) {
+        assert_eq!(
+            prof.slot_count(),
+            self.steps.len() + 2,
+            "profiler was built for a different plan"
+        );
+        self.run_impl(input, n, ws, logits, Some(prof));
+    }
+
+    fn run_impl(
+        &self,
+        input: &[f32],
+        n: usize,
+        ws: &mut Workspace,
+        logits: &mut [f32],
+        mut prof: Option<&mut SlotProfiler>,
+    ) {
         let (h, w) = self.input_hw;
         assert_eq!(
             input.len(),
@@ -220,7 +295,8 @@ impl<'m> ExecPlan<'m> {
             ws.take_f32(n * self.buf_elems[1]),
             ws.take_f32(n * self.buf_elems[2]),
         ];
-        for step in &self.steps {
+        for (si, step) in self.steps.iter().enumerate() {
+            let t0 = prof.as_ref().map(|p| p.begin());
             match step {
                 Step::Conv {
                     conv,
@@ -261,10 +337,15 @@ impl<'m> ExecPlan<'m> {
                     }
                 }
             }
+            if let (Some(p), Some(t)) = (prof.as_deref_mut(), t0) {
+                p.record_since(si, t);
+            }
         }
 
         // Global average pool + full-precision classifier, with the
         // same accumulation order as the structural forward.
+        let gap_slot = self.steps.len();
+        let t0 = prof.as_ref().map(|p| p.begin());
         let (fh, fw) = self.final_hw;
         let mut pooled = ws.take_f32(n * self.feat_c);
         global_avg_pool_into(
@@ -275,6 +356,10 @@ impl<'m> ExecPlan<'m> {
             fw,
             &mut pooled,
         );
+        if let (Some(p), Some(t)) = (prof.as_deref_mut(), t0) {
+            p.record_since(gap_slot, t);
+        }
+        let t0 = prof.as_ref().map(|p| p.begin());
         let fcw = self.model.fc_weight().as_slice();
         let fcb = self.model.fc_bias().as_slice();
         let inp = self.feat_c;
@@ -286,6 +371,9 @@ impl<'m> ExecPlan<'m> {
                 }
                 logits[ni * classes + oi] = acc;
             }
+        }
+        if let (Some(p), Some(t)) = (prof, t0) {
+            p.record_since(gap_slot + 1, t);
         }
         ws.give_f32(pooled);
         let [b0, b1, b2] = bufs;
@@ -429,6 +517,61 @@ mod tests {
         let min = 1 + packed.blocks().len() * 3;
         assert!(plan.step_count() >= min, "{} < {min}", plan.step_count());
         assert!(plan.buffer_elems().iter().all(|&e| e > 0));
+    }
+
+    #[test]
+    fn profiled_run_is_bit_identical_and_covers_every_slot() {
+        let packed = tiny_packed(21);
+        let plan = packed.plan((16, 16));
+        let input = pm_input(2, 16, 5);
+        let mut ws = Workspace::new();
+        let mut plain = vec![0.0f32; 2 * 2];
+        plan.run_into(&input, 2, &mut ws, &mut plain);
+        let mut prof = plan.profiler();
+        let mut profiled = vec![0.0f32; 2 * 2];
+        plan.run_into_profiled(&input, 2, &mut ws, &mut profiled, &mut prof);
+        assert_eq!(plain, profiled, "profiling must not change the math");
+
+        let report = prof.report();
+        assert_eq!(report.len(), plan.step_count() + 2);
+        assert!(report.iter().all(|s| s.calls == 1), "{report:?}");
+        assert_eq!(report[0].name, "stem");
+        assert_eq!(report[report.len() - 2].name, "gap");
+        assert_eq!(report[report.len() - 1].name, "fc");
+        assert!(report.iter().any(|s| s.name == "res1.conv1"));
+        assert!(report.iter().any(|s| s.name == "res2.shortcut"));
+        // A second profiled run doubles every call count.
+        plan.run_into_profiled(&input, 2, &mut ws, &mut profiled, &mut prof);
+        assert!(prof.report().iter().all(|s| s.calls == 2));
+    }
+
+    #[test]
+    fn profiler_slots_cover_all_conv_layers_of_the_paper_net() {
+        use crate::model::{BnnResNet, NetConfig};
+        let mut rng = StdRng::seed_from_u64(12);
+        let net = BnnResNet::new(&NetConfig::paper_12layer(), &mut rng);
+        let packed = PackedBnn::compile(&net);
+        let plan = packed.plan((128, 128));
+        let names = plan.slot_names();
+        // 11 binary conv layers (stem + 5 blocks × 2) + fc = the
+        // paper's 12 weight layers, every one with its own slot.
+        let convs = names
+            .iter()
+            .filter(|n| *n == "stem" || n.ends_with(".conv1") || n.ends_with(".conv2"))
+            .count();
+        assert_eq!(convs, 11, "{names:?}");
+        assert!(names.contains(&"fc".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "different plan")]
+    fn mismatched_profiler_rejected() {
+        let packed = tiny_packed(4);
+        let plan = packed.plan((16, 16));
+        let mut prof = hotspot_telemetry::SlotProfiler::new(vec!["only".into()]);
+        let input = pm_input(1, 16, 2);
+        let mut logits = vec![0.0f32; 2];
+        plan.run_into_profiled(&input, 1, &mut Workspace::new(), &mut logits, &mut prof);
     }
 
     #[test]

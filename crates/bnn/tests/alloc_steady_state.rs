@@ -98,4 +98,26 @@ fn warm_plan_forward_performs_zero_heap_allocations() {
     );
     // And the answer is still right (identical to the warm-up run).
     assert_eq!(logits, warm);
+
+    // Telemetry contract (DESIGN.md §5e): a warm profiled forward also
+    // allocates nothing — SlotProfiler::record_since is plain u64
+    // arithmetic into preallocated slot arrays, and the clock is a
+    // monotonic counter read.  The profiler itself allocates at build
+    // time, outside the measured window.
+    let mut prof = plan.profiler();
+    plan.run_into_profiled(&input, n, &mut ws, &mut logits, &mut prof);
+
+    ALLOC_CALLS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    plan.run_into_profiled(&input, n, &mut ws, &mut logits, &mut prof);
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocs = ALLOC_CALLS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        allocs, 0,
+        "warm profiled forward allocated {allocs} time(s); \
+         per-layer timing must stay allocation-free"
+    );
+    assert_eq!(logits, warm, "profiling must not change the math");
+    assert!(prof.report().iter().all(|s| s.calls == 2));
 }

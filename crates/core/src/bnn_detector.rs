@@ -14,6 +14,9 @@ use hotspot_nn::{
     Augment, Batcher, BiasedLabels, ImageDataset, Layer, NAdam, Optimizer, PlateauDecay,
     SoftmaxCrossEntropy,
 };
+use hotspot_telemetry::{
+    metrics, span, trace, MonotonicClock, SlotProfiler, StderrSubscriber, Timer, Value,
+};
 use hotspot_tensor::{Tensor, WorkspacePool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -398,6 +401,26 @@ pub struct EpochRecord {
     pub learning_rate: f32,
     /// `true` for the biased fine-tune epochs.
     pub biased: bool,
+    /// Wall-clock duration of the epoch in seconds (forward, backward,
+    /// optimizer and validation; checkpoint I/O excluded).  Persisted
+    /// in checkpoints, so a resumed run still reports the cumulative
+    /// training time of the epochs it did not re-run.  Legacy
+    /// `BRNNCK01` checkpoints predate the field and load as `0.0`.
+    pub duration_secs: f64,
+}
+
+impl EpochRecord {
+    /// `true` when `other` describes the same training trajectory
+    /// point: every field equal except the wall-clock
+    /// [`duration_secs`](EpochRecord::duration_secs), which is
+    /// machine- and run-dependent by nature.  This is the right
+    /// comparison for resume-determinism checks.
+    pub fn same_trajectory(&self, other: &EpochRecord) -> bool {
+        self.train_loss == other.train_loss
+            && self.val_loss == other.val_loss
+            && self.learning_rate == other.learning_rate
+            && self.biased == other.biased
+    }
 }
 
 impl BnnDetector {
@@ -460,6 +483,15 @@ impl BnnDetector {
     /// Watchdog rollbacks consumed by the most recent training run.
     pub fn rollbacks(&self) -> usize {
         self.rollbacks
+    }
+
+    /// Cumulative wall-clock training time in seconds, summed over the
+    /// per-epoch durations in [`history`](BnnDetector::history).  For a
+    /// resumed run this includes the epochs restored from the
+    /// checkpoint, so the total reflects the whole logical run rather
+    /// than just the final process.
+    pub fn total_training_secs(&self) -> f64 {
+        self.history.iter().map(|e| e.duration_secs).sum()
     }
 
     /// Converts a clip image to the network's ±1 input tensor,
@@ -585,6 +617,31 @@ impl BnnDetector {
             rollbacks = ck.rollbacks;
         }
 
+        // Structured telemetry: events always reach the process-global
+        // subscriber (a no-op when none is installed); verbose mode
+        // additionally pretty-prints the same events to stderr through
+        // a run-local sink so it never perturbs global state.
+        let verbose_sink = cfg.verbose.then_some(StderrSubscriber);
+        let emit = |name: &'static str, fields: &[trace::Field]| {
+            trace::dispatch_event(name, fields);
+            if let Some(sink) = &verbose_sink {
+                trace::dispatch_event_to(sink, name, fields);
+            }
+        };
+        let registry = metrics::global();
+        let epochs_counter = registry.counter("train_epochs_total");
+        let rollback_counter = registry.counter("train_rollbacks_total");
+        let checkpoint_counter = registry.counter("train_checkpoint_writes_total");
+        let epoch_hist =
+            registry.histogram("train_epoch_duration_ns", &metrics::duration_ns_buckets());
+        let clock = MonotonicClock;
+        let _fit_span = span!(
+            "train.fit",
+            total_epochs = total_epochs,
+            start_epoch = completed,
+            clips = clips.len()
+        );
+
         let augment = if cfg.augment {
             Augment::flips()
         } else {
@@ -626,6 +683,8 @@ impl BnnDetector {
 
         while completed < total_epochs {
             let biased_phase = completed >= cfg.epochs;
+            let _epoch_span = span!("train.epoch", epoch = completed, biased = biased_phase);
+            let epoch_timer = Timer::start(&clock);
             // Watchdog snapshot: everything needed to replay this epoch.
             let (snap_params, snap_state) = snapshot_net(&mut net);
             let snap_opt = opt.clone();
@@ -661,20 +720,29 @@ impl BnnDetector {
                         opt.set_learning_rate(lr);
                         lr
                     };
+                    let duration_ns = epoch_timer.elapsed_ns();
+                    let duration_secs = duration_ns as f64 / 1e9;
                     history.push(EpochRecord {
                         train_loss,
                         val_loss: observed,
                         learning_rate: lr,
                         biased: biased_phase,
+                        duration_secs,
                     });
                     completed += 1;
-                    if cfg.verbose {
-                        let tag = if biased_phase { "bias epoch" } else { "epoch" };
-                        eprintln!(
-                            "[bnn] {tag} {}: train loss {train_loss:.4}, val loss {observed:.4}, lr {lr:.4}",
-                            completed - 1
-                        );
-                    }
+                    epochs_counter.inc();
+                    epoch_hist.observe(duration_ns as f64);
+                    emit(
+                        "train.epoch",
+                        &[
+                            ("epoch", Value::from(completed - 1)),
+                            ("biased", Value::from(biased_phase)),
+                            ("train_loss", Value::from(train_loss)),
+                            ("val_loss", Value::from(observed)),
+                            ("lr", Value::from(lr)),
+                            ("duration_secs", Value::from(duration_secs)),
+                        ],
+                    );
                     if let Some(dir) = &cfg.checkpoint_dir {
                         let due = completed.is_multiple_of(cfg.checkpoint_every)
                             || completed == total_epochs;
@@ -692,12 +760,28 @@ impl BnnDetector {
                                 history: history.clone(),
                             };
                             std::fs::create_dir_all(dir).map_err(PersistError::Io)?;
+                            let ck_timer = Timer::start(&clock);
                             save_checkpoint(&dir.join(checkpoint_file_name(completed)), &ck)?;
+                            checkpoint_counter.inc();
+                            emit(
+                                "train.checkpoint",
+                                &[
+                                    ("epoch", Value::from(completed)),
+                                    ("write_ms", Value::from(ck_timer.elapsed_ns() as f64 / 1e6)),
+                                ],
+                            );
                         }
                     }
                 }
                 None => {
                     if rollbacks >= cfg.max_rollbacks {
+                        emit(
+                            "train.diverged",
+                            &[
+                                ("epoch", Value::from(completed)),
+                                ("rollbacks", Value::from(rollbacks)),
+                            ],
+                        );
                         return Err(TrainError::Diverged {
                             epoch: completed,
                             rollbacks,
@@ -711,14 +795,16 @@ impl BnnDetector {
                     rng = StdRng::from_state(snap_rng);
                     sched.scale_lr(ROLLBACK_LR_FACTOR);
                     opt.set_learning_rate(sched.learning_rate());
-                    if cfg.verbose {
-                        eprintln!(
-                            "[bnn] watchdog: non-finite loss or weights at epoch {completed}; \
-                             rolled back (rollback {rollbacks}/{}), lr -> {:.5}",
-                            cfg.max_rollbacks,
-                            sched.learning_rate()
-                        );
-                    }
+                    rollback_counter.inc();
+                    emit(
+                        "train.rollback",
+                        &[
+                            ("epoch", Value::from(completed)),
+                            ("rollback", Value::from(rollbacks)),
+                            ("max_rollbacks", Value::from(cfg.max_rollbacks)),
+                            ("lr", Value::from(sched.learning_rate())),
+                        ],
+                    );
                 }
             }
         }
@@ -775,6 +861,57 @@ impl BnnDetector {
             })
             .collect();
         margins.into_iter().flatten().collect()
+    }
+
+    /// Runs the packed XNOR path over `images` with per-layer timing.
+    ///
+    /// Identical to the packed [`score_batch`](HotspotDetector::score_batch)
+    /// — same shards, same rayon workers, same workspace pool — except
+    /// each worker times every execution-plan step into its own
+    /// [`SlotProfiler`]; the per-worker profilers are merged into one
+    /// report covering every layer of the network (`"stem"`,
+    /// `"resN.conv1"`, …, `"gap"`, `"fc"`).  Returns the logit margins
+    /// alongside the merged profiler so callers get timing without a
+    /// second forward pass.  The unprofiled path is untouched: when you
+    /// don't call this, inference pays zero instrumentation cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before training.
+    pub fn profile_packed_inference(&self, images: &[&BitImage]) -> (Vec<f32>, SlotProfiler) {
+        let packed = self.packed.as_ref().expect("detector is not trained");
+        let side = self.config.input_size;
+        let plan = packed.plan((side, side));
+        let plane = side * side;
+        let _span = span!("infer.packed_profiled", clips = images.len());
+        let shards: Vec<&[&BitImage]> = images.chunks(SHARD).collect();
+        let results: Vec<(Vec<f32>, SlotProfiler)> = shards
+            .into_par_iter()
+            .map(|shard| {
+                let n = shard.len();
+                let mut prof = plan.profiler();
+                let mut ws = self.ws_pool.checkout();
+                let mut input = ws.take_f32(n * plane);
+                for (i, img) in shard.iter().enumerate() {
+                    let t = self.clip_to_tensor(img);
+                    input[i * plane..(i + 1) * plane].copy_from_slice(t.as_slice());
+                }
+                let mut logits = ws.take_f32(n * 2);
+                plan.run_into_profiled(&input, n, &mut ws, &mut logits, &mut prof);
+                let out: Vec<f32> = (0..n).map(|i| logits[2 * i + 1] - logits[2 * i]).collect();
+                ws.give_f32(logits);
+                ws.give_f32(input);
+                self.ws_pool.restore(ws);
+                (out, prof)
+            })
+            .collect();
+        let mut merged = plan.profiler();
+        let mut margins = Vec::with_capacity(images.len());
+        for (out, prof) in results {
+            margins.extend(out);
+            merged.merge(&prof);
+        }
+        (margins, merged)
     }
 
     /// Classifies clips through the float (training) path.
@@ -978,7 +1115,47 @@ mod tests {
         assert!(hist
             .iter()
             .all(|e| e.train_loss.is_finite() && e.learning_rate > 0.0));
+        // Wall-clock durations: recorded, finite, non-negative, and
+        // their sum is exactly what total_training_secs reports.
+        assert!(hist
+            .iter()
+            .all(|e| e.duration_secs.is_finite() && e.duration_secs >= 0.0));
+        let sum: f64 = hist.iter().map(|e| e.duration_secs).sum();
+        assert_eq!(det.total_training_secs(), sum);
         assert_eq!(det.rollbacks(), 0);
+    }
+
+    #[test]
+    fn profiled_inference_matches_and_covers_all_layers() {
+        let clips = toy_clips(20, 32);
+        let mut det = BnnDetector::new(BnnTrainConfig::fast());
+        det.fit(&clips);
+        let images: Vec<&BitImage> = clips.iter().map(|c| &c.image).collect();
+        let plain = det.score_batch(&images);
+        let (margins, prof) = det.profile_packed_inference(&images);
+        assert_eq!(margins, plain, "profiling must not change the scores");
+        let report = prof.report();
+        assert_eq!(report[0].name, "stem");
+        assert_eq!(report[report.len() - 1].name, "fc");
+        // Every slot ran once per shard (20 clips < SHARD → one shard).
+        assert!(report.iter().all(|s| s.calls == 1), "{report:?}");
+        assert!(prof.total_ns() > 0 || report.iter().all(|s| s.total_ns == 0));
+    }
+
+    #[test]
+    fn same_trajectory_ignores_duration_only() {
+        let a = EpochRecord {
+            train_loss: 0.5,
+            val_loss: 0.6,
+            learning_rate: 0.01,
+            biased: false,
+            duration_secs: 1.0,
+        };
+        let mut b = a;
+        b.duration_secs = 99.0;
+        assert!(a.same_trajectory(&b));
+        b.train_loss += 1e-12;
+        assert!(!a.same_trajectory(&b));
     }
 
     #[test]

@@ -161,14 +161,19 @@ fn put_record(w: &mut WireWriter, r: &EpochRecord) {
     w.put_f64(r.val_loss);
     w.put_u32(r.learning_rate.to_bits());
     w.put_bool(r.biased);
+    w.put_f64(r.duration_secs);
 }
 
-fn get_record(r: &mut WireReader<'_>) -> Result<EpochRecord, WireError> {
+/// Decodes one epoch record.  `with_duration` selects the layout:
+/// version-`02` checkpoints append the wall-clock epoch duration;
+/// version-`01` records predate it and decode with a zero duration.
+fn get_record(r: &mut WireReader<'_>, with_duration: bool) -> Result<EpochRecord, WireError> {
     Ok(EpochRecord {
         train_loss: r.get_f64()?,
         val_loss: r.get_f64()?,
         learning_rate: f32::from_bits(r.get_u32()?),
         biased: r.get_bool()?,
+        duration_secs: if with_duration { r.get_f64()? } else { 0.0 },
     })
 }
 
@@ -198,13 +203,32 @@ impl TrainCheckpoint {
     }
 
     /// Decodes a checkpoint body previously written by
-    /// [`encode_wire`](TrainCheckpoint::encode_wire).
+    /// [`encode_wire`](TrainCheckpoint::encode_wire) (the current,
+    /// version-`02` layout with per-epoch durations).
     ///
     /// # Errors
     ///
     /// Returns [`WireError`] on truncated or structurally invalid
     /// input.
     pub fn decode_wire(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Self::decode_wire_versioned(r, true)
+    }
+
+    /// Decodes a legacy version-`01` checkpoint body (no per-epoch
+    /// durations; they load as `0.0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncated or structurally invalid
+    /// input.
+    pub fn decode_wire_v1(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Self::decode_wire_versioned(r, false)
+    }
+
+    fn decode_wire_versioned(
+        r: &mut WireReader<'_>,
+        with_duration: bool,
+    ) -> Result<Self, WireError> {
         let fingerprint = r.get_u32()?;
         let completed_epochs = r.get_usize()?;
         let rollbacks = r.get_usize()?;
@@ -222,9 +246,11 @@ impl TrainCheckpoint {
         for word in &mut rng {
             *word = r.get_u64()?;
         }
-        let n_hist = r.get_count(21)?; // 8 + 8 + 4 + 1 bytes per record
+        // v02 records are 8 + 8 + 4 + 1 + 8 bytes; v01 lacks the
+        // trailing duration.
+        let n_hist = r.get_count(if with_duration { 29 } else { 21 })?;
         let history = (0..n_hist)
-            .map(|_| get_record(r))
+            .map(|_| get_record(r, with_duration))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(TrainCheckpoint {
             fingerprint,
@@ -295,6 +321,7 @@ mod tests {
                 val_loss: 0.6,
                 learning_rate: 0.05,
                 biased: false,
+                duration_secs: 12.25,
             }],
         }
     }
@@ -315,6 +342,52 @@ mod tests {
         assert_eq!(restored.state, ck.state);
         assert_eq!(restored.rng, ck.rng);
         assert_eq!(restored.history, ck.history);
+    }
+
+    #[test]
+    fn legacy_v1_history_decodes_with_zero_durations() {
+        let ck = ck_fixture();
+        // Encode the version-01 layout by hand: identical to
+        // encode_wire except epoch records carry no duration.
+        let mut w = WireWriter::new();
+        w.put_u32(ck.fingerprint);
+        w.put_usize(ck.completed_epochs);
+        w.put_usize(ck.rollbacks);
+        w.put_usize(ck.params.len());
+        for t in &ck.params {
+            w.put_tensor(t);
+        }
+        w.put_usize(ck.state.len());
+        for s in &ck.state {
+            w.put_f32_slice(s);
+        }
+        ck.optimizer.encode_wire(&mut w);
+        ck.schedule.encode_wire(&mut w);
+        for word in ck.rng {
+            w.put_u64(word);
+        }
+        w.put_usize(ck.history.len());
+        for rec in &ck.history {
+            w.put_f64(rec.train_loss);
+            w.put_f64(rec.val_loss);
+            w.put_u32(rec.learning_rate.to_bits());
+            w.put_bool(rec.biased);
+        }
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let restored = TrainCheckpoint::decode_wire_v1(&mut r).expect("v1 decode");
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(restored.history.len(), ck.history.len());
+        assert!(restored.history[0].same_trajectory(&ck.history[0]));
+        assert_eq!(restored.history[0].duration_secs, 0.0);
+        // The v1 decoder applied to a v2 body (or vice versa) fails or
+        // leaves bytes over instead of silently misreading.
+        let mut w2 = WireWriter::new();
+        ck.encode_wire(&mut w2);
+        let v2_bytes = w2.into_bytes();
+        let mut r2 = WireReader::new(&v2_bytes);
+        let misread = TrainCheckpoint::decode_wire_v1(&mut r2);
+        assert!(misread.is_err() || r2.remaining() != 0);
     }
 
     #[test]

@@ -38,9 +38,14 @@ const MAGIC: &[u8; 8] = b"BRNNHS03";
 /// Previous artifact version: same payload, no integrity footer.
 const MAGIC_V2: &[u8; 8] = b"BRNNHS02";
 
-/// Training-checkpoint artifact. Checkpoints never existed before the
-/// CRC era, so there is no footer-less fallback for them.
-const MAGIC_CK: &[u8; 8] = b"BRNNCK01";
+/// Training-checkpoint artifact.  `02` added per-epoch wall-clock
+/// durations to the history records.  Checkpoints never existed before
+/// the CRC era, so every version carries the footer.
+const MAGIC_CK: &[u8; 8] = b"BRNNCK02";
+
+/// Previous checkpoint version: epoch records without durations.  Still
+/// loadable; the missing durations read back as zero.
+const MAGIC_CK_V1: &[u8; 8] = b"BRNNCK01";
 
 /// Error from save/load operations.
 #[derive(Debug)]
@@ -312,7 +317,7 @@ pub fn load_dataset(path: &Path) -> Result<SplitDataset, PersistError> {
     Ok(SplitDataset { train, test })
 }
 
-/// Saves a training checkpoint (magic `BRNNCK01`, CRC32 footer, atomic
+/// Saves a training checkpoint (magic `BRNNCK02`, CRC32 footer, atomic
 /// write).
 ///
 /// # Errors
@@ -332,12 +337,20 @@ pub fn save_checkpoint(path: &Path, ck: &TrainCheckpoint) -> Result<(), PersistE
 /// integrity check, or a corrupted payload.
 pub fn load_checkpoint(path: &Path) -> Result<TrainCheckpoint, PersistError> {
     let bytes = fs::read(path)?;
-    if !bytes.starts_with(MAGIC_CK) {
+    let (magic, legacy) = if bytes.starts_with(MAGIC_CK) {
+        (MAGIC_CK, false)
+    } else if bytes.starts_with(MAGIC_CK_V1) {
+        (MAGIC_CK_V1, true)
+    } else {
         return Err(PersistError::BadHeader);
-    }
-    let body = unframe_checked(&bytes, MAGIC_CK)?;
+    };
+    let body = unframe_checked(&bytes, magic)?;
     let mut r = WireReader::new(&body);
-    let ck = TrainCheckpoint::decode_wire(&mut r)?;
+    let ck = if legacy {
+        TrainCheckpoint::decode_wire_v1(&mut r)?
+    } else {
+        TrainCheckpoint::decode_wire(&mut r)?
+    };
     if r.remaining() != 0 {
         return Err(PersistError::Codec(format!(
             "{} trailing bytes after checkpoint payload",
@@ -512,6 +525,60 @@ mod tests {
         ));
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(&model_path);
+    }
+
+    #[test]
+    fn legacy_ck01_checkpoint_still_loads() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut net = BnnResNet::new(&NetConfig::tiny(16), &mut rng);
+        let (params, state) = crate::checkpoint::snapshot_net(&mut net);
+        // Encode the version-01 body by hand (epoch records carry no
+        // duration) and frame it under the old magic.
+        let mut w = WireWriter::new();
+        w.put_u32(0xABCD_0123);
+        w.put_usize(1); // completed_epochs
+        w.put_usize(0); // rollbacks
+        w.put_usize(params.len());
+        for t in &params {
+            w.put_tensor(t);
+        }
+        w.put_usize(state.len());
+        for s in &state {
+            w.put_f32_slice(s);
+        }
+        NAdam::new(0.02).encode_wire(&mut w);
+        PlateauDecay::new(0.02, 0.5, 2).encode_wire(&mut w);
+        for word in rng.state() {
+            w.put_u64(word);
+        }
+        w.put_usize(1); // one history record, v1 layout
+        w.put_f64(0.75);
+        w.put_f64(0.8);
+        w.put_u32(0.02f32.to_bits());
+        w.put_bool(false);
+        let body = w.into_bytes();
+        let mut framed = Vec::with_capacity(MAGIC_CK_V1.len() + body.len() + 4);
+        framed.extend_from_slice(MAGIC_CK_V1);
+        framed.extend_from_slice(&body);
+        let crc = crc32(&framed);
+        framed.extend_from_slice(&crc.to_le_bytes());
+
+        let path = tmp("legacy_ck01");
+        std::fs::write(&path, &framed).expect("write");
+        let restored = load_checkpoint(&path).expect("ck01 must still load");
+        assert_eq!(restored.fingerprint, 0xABCD_0123);
+        assert_eq!(restored.completed_epochs, 1);
+        assert_eq!(restored.history.len(), 1);
+        assert_eq!(restored.history[0].train_loss, 0.75);
+        assert_eq!(
+            restored.history[0].duration_secs, 0.0,
+            "missing durations default to zero"
+        );
+        // Re-saving upgrades the artifact to the current version.
+        save_checkpoint(&path, &restored).expect("re-save");
+        let upgraded = std::fs::read(&path).expect("read");
+        assert!(upgraded.starts_with(MAGIC_CK));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

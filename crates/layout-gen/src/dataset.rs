@@ -4,6 +4,7 @@ use crate::clipgen::ClipGenerator;
 use crate::patterns::PatternFamily;
 use hotspot_geometry::BitImage;
 use hotspot_litho_sim::HotspotOracle;
+use hotspot_telemetry::{event, metrics, span};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -123,6 +124,24 @@ impl DatasetSpec {
         let mut hs_pool: Vec<LabeledClip> = Vec::new();
         let mut nhs_pool: Vec<LabeledClip> = Vec::new();
 
+        // Generation telemetry: candidate volume and per-class accept
+        // counts make rejection-sampling efficiency observable (a
+        // miscalibrated oracle shows up as an exploding rejected count
+        // long before the budget assert fires).
+        let registry = metrics::global();
+        let candidates = registry.counter("dataset_candidates_total");
+        let accepted_hs =
+            registry.counter_with("dataset_clips_accepted_total", &[("class", "hotspot")]);
+        let accepted_nhs =
+            registry.counter_with("dataset_clips_accepted_total", &[("class", "non_hotspot")]);
+        let rejected = registry.counter("dataset_clips_rejected_total");
+        let _span = span!(
+            "dataset.build",
+            total = self.total(),
+            extent = self.extent,
+            seed = self.seed
+        );
+
         const BATCH: usize = 256;
         let budget = 200 * self.total().max(64);
         let mut next_index = 0usize;
@@ -142,16 +161,27 @@ impl DatasetSpec {
                 })
                 .collect();
             next_index += BATCH;
+            candidates.add(BATCH as u64);
             for clip in batch {
                 if clip.hotspot && need_hs > 0 {
                     hs_pool.push(clip);
+                    accepted_hs.inc();
                     need_hs -= 1;
                 } else if !clip.hotspot && need_nhs > 0 {
                     nhs_pool.push(clip);
+                    accepted_nhs.inc();
                     need_nhs -= 1;
+                } else {
+                    rejected.inc();
                 }
             }
         }
+        event!(
+            "dataset.built",
+            candidates = next_index,
+            hotspots = hs_pool.len(),
+            non_hotspots = nhs_pool.len()
+        );
         assert!(
             need_hs == 0 && need_nhs == 0,
             "candidate budget exhausted: still need {need_hs} hotspots and {need_nhs} non-hotspots"

@@ -1,0 +1,125 @@
+//! Cheap monotonic timing with a mockable clock.
+//!
+//! Everything in this crate that measures durations does so through
+//! [`Clock`], so tests can substitute a [`MockClock`] and assert exact
+//! nanosecond values instead of sleeping.  The production
+//! [`MonotonicClock`] anchors `std::time::Instant` at first use and
+//! reports nanoseconds since that anchor — a single `u64` that is cheap
+//! to subtract, store in atomics, and serialize.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A source of monotonic nanosecond timestamps.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Nanoseconds elapsed since an arbitrary fixed origin.  Must never
+    /// decrease between two calls observed by one thread.
+    fn now_ns(&self) -> u64;
+}
+
+/// The process anchor shared by every [`MonotonicClock`], so timestamps
+/// from different clock instances are comparable.
+fn anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+/// Wall clock: `std::time::Instant` relative to a process-wide anchor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MonotonicClock;
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        anchor().elapsed().as_nanos() as u64
+    }
+}
+
+/// A deterministic clock for tests: time only moves when
+/// [`advance`](MockClock::advance) is called.
+#[derive(Debug, Default)]
+pub struct MockClock {
+    now: AtomicU64,
+}
+
+impl MockClock {
+    /// A clock frozen at t = 0.
+    pub fn new() -> Self {
+        MockClock::default()
+    }
+
+    /// Moves the clock forward by `ns` nanoseconds.
+    pub fn advance(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::SeqCst);
+    }
+}
+
+impl Clock for MockClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+/// Measures one duration against a borrowed clock.
+///
+/// ```
+/// use hotspot_telemetry::{MockClock, Timer};
+///
+/// let clock = MockClock::new();
+/// let timer = Timer::start(&clock);
+/// clock.advance(1_500);
+/// assert_eq!(timer.elapsed_ns(), 1_500);
+/// ```
+#[derive(Debug)]
+pub struct Timer<'c> {
+    clock: &'c dyn Clock,
+    start_ns: u64,
+}
+
+impl<'c> Timer<'c> {
+    /// Starts timing now.
+    pub fn start(clock: &'c dyn Clock) -> Self {
+        Timer {
+            clock,
+            start_ns: clock.now_ns(),
+        }
+    }
+
+    /// Nanoseconds since [`start`](Timer::start); the timer keeps
+    /// running.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.clock.now_ns().saturating_sub(self.start_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let clock = MonotonicClock;
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn mock_clock_is_deterministic() {
+        let clock = MockClock::new();
+        assert_eq!(clock.now_ns(), 0);
+        clock.advance(42);
+        assert_eq!(clock.now_ns(), 42);
+        let t = Timer::start(&clock);
+        clock.advance(8);
+        clock.advance(2);
+        assert_eq!(t.elapsed_ns(), 10);
+    }
+
+    #[test]
+    fn shared_anchor_makes_clock_instances_comparable() {
+        let a = MonotonicClock.now_ns();
+        let b = MonotonicClock.now_ns();
+        assert!(b >= a, "fresh instances must share the anchor");
+    }
+}

@@ -1,0 +1,70 @@
+//! A minimal JSON *writer* — just enough to emit JSONL trace records
+//! and metric snapshots without an external serialization crate (the
+//! build environment is fully offline; see the workspace `compat/`
+//! philosophy).  There is deliberately no parser here: consumers of the
+//! emitted files bring their own.
+
+use std::fmt::Write as _;
+
+/// Appends `s` as a JSON string literal (with quotes) to `out`.
+pub fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number.  JSON has no NaN/Infinity, so
+/// non-finite values become `null` (the consumer treats a null sample
+/// as "measurement unavailable").
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &str) -> String {
+        let mut out = String::new();
+        push_str_literal(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn escapes_quotes_backslashes_and_control_chars() {
+        assert_eq!(lit("plain"), "\"plain\"");
+        assert_eq!(lit("a\"b"), "\"a\\\"b\"");
+        assert_eq!(lit("a\\b"), "\"a\\\\b\"");
+        assert_eq!(lit("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(lit("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        let mut out = String::new();
+        push_f64(&mut out, 1.5);
+        assert_eq!(out, "1.5");
+        out.clear();
+        push_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+        out.clear();
+        push_f64(&mut out, f64::INFINITY);
+        assert_eq!(out, "null");
+    }
+}

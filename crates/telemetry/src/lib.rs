@@ -1,0 +1,55 @@
+//! In-tree observability for the BRNN hotspot workspace: structured
+//! tracing spans, a metrics registry, and per-layer profiling
+//! primitives — with no external dependencies, mirroring the offline
+//! `compat/` philosophy (this build environment has no network).
+//!
+//! Three cooperating pieces (see DESIGN.md §5e):
+//!
+//! * **Tracing facade** ([`trace`], [`span!`], [`event!`]): producers
+//!   emit named, typed-field spans and events; a process-wide
+//!   [`Subscriber`] receives them.  Disabled cost is one relaxed
+//!   atomic load.  Stock sinks: [`JsonlSubscriber`] (machine-readable
+//!   trace files) and [`StderrSubscriber`] (pretty progress lines).
+//! * **Metrics** ([`metrics`]): thread-safe counters, gauges, and
+//!   fixed-bucket histograms with p50/p95/p99 summaries, exportable as
+//!   Prometheus text format or JSON.  A [`metrics::global`] registry
+//!   serves the library wiring; tests build their own.
+//! * **Profiling** ([`profile`], [`clock`]): [`SlotProfiler`]
+//!   accumulates per-layer nanoseconds with zero heap traffic in the
+//!   hot loop, against a mockable [`Clock`].
+//!
+//! # Example
+//!
+//! ```
+//! use hotspot_telemetry::subscribers::CollectingSubscriber;
+//! use hotspot_telemetry::{event, span, trace};
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(CollectingSubscriber::new());
+//! let old = trace::set_subscriber(sink.clone());
+//! {
+//!     let _epoch = span!("train.epoch", epoch = 0usize);
+//!     event!("train.loss", loss = 0.41f64);
+//! }
+//! match old {
+//!     Some(prev) => { trace::set_subscriber(prev); }
+//!     None => { trace::clear_subscriber(); }
+//! }
+//! assert_eq!(sink.records().len(), 3); // span start, event, span end
+//! ```
+
+pub mod clock;
+pub mod json;
+pub mod metrics;
+pub mod profile;
+pub mod subscribers;
+pub mod trace;
+
+pub use clock::{Clock, MockClock, MonotonicClock, Timer};
+pub use metrics::{
+    duration_ns_buckets, exponential_buckets, Counter, Gauge, Histogram, HistogramSnapshot,
+    MetricsRegistry,
+};
+pub use profile::{SlotProfiler, SlotTiming};
+pub use subscribers::{CollectingSubscriber, JsonlSubscriber, Record, StderrSubscriber};
+pub use trace::{SpanGuard, Subscriber, Value};

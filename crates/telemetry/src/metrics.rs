@@ -1,0 +1,667 @@
+//! A thread-safe metrics registry: counters, gauges, and fixed-bucket
+//! histograms with p50/p95/p99 summaries, exportable as Prometheus text
+//! format and as JSON.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`
+//! clones over atomics: register once, then update from any thread
+//! without touching the registry lock again.  Registration is
+//! idempotent — the same name + label set always returns the same
+//! underlying metric, so independent subsystems can share a series
+//! without coordination.
+//!
+//! # Example
+//!
+//! ```
+//! use hotspot_telemetry::metrics::MetricsRegistry;
+//!
+//! let reg = MetricsRegistry::new();
+//! reg.counter("clips_total").add(3);
+//! reg.gauge("last_loss").set(0.25);
+//! let h = reg.histogram("step_ns", &[10.0, 100.0, 1000.0]);
+//! h.observe(42.0);
+//! let text = reg.to_prometheus();
+//! assert!(text.contains("clips_total 3"));
+//! ```
+
+use crate::json::{push_f64, push_str_literal};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A label set attached to a metric series (sorted at registration so
+/// `[a, b]` and `[b, a]` are the same series).
+pub type Labels = Vec<(String, String)>;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding one `f64` (stored as bits in an atomic).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Upper bounds of the finite buckets, strictly increasing.  An
+    /// implicit +∞ bucket (index `bounds.len()`) catches the rest.
+    bounds: Vec<f64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` entries).
+    counts: Vec<AtomicU64>,
+    /// Sum of observations, as CAS-updated f64 bits.
+    sum_bits: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `f64` observations.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Records one observation (non-finite values are dropped — a NaN
+    /// sample must not poison the running sum).
+    pub fn observe(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let core = &self.0;
+        let idx = core
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(core.bounds.len());
+        core.counts[idx].fetch_add(1, Ordering::Relaxed);
+        let mut old = core.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(old) + v).to_bits();
+            match core.sum_bits.compare_exchange_weak(
+                old,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(cur) => old = cur,
+            }
+        }
+    }
+
+    /// A consistent-enough point-in-time copy (individual bucket loads
+    /// are relaxed; concurrent writers may land between loads, which is
+    /// acceptable for monitoring output).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let core = &self.0;
+        let counts: Vec<u64> = core
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            bounds: core.bounds.clone(),
+            count: counts.iter().sum(),
+            sum: f64::from_bits(core.sum_bits.load(Ordering::Relaxed)),
+            counts,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], with quantile estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Finite bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (`bounds.len() + 1`, last is the +∞ bucket).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Estimates the `q`-quantile (`0 < q <= 1`) by linear
+    /// interpolation inside the bucket containing the target rank,
+    /// Prometheus-style: the first bucket interpolates from zero, and
+    /// a rank landing in the +∞ bucket reports the highest finite
+    /// bound.  Returns `None` for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is outside `(0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1], got {q}");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if (cum as f64) >= rank {
+                if i >= self.bounds.len() {
+                    // +∞ bucket: the best point estimate is the largest
+                    // finite bound (or the sum itself when there are no
+                    // finite buckets at all).
+                    return Some(self.bounds.last().copied().unwrap_or(self.sum));
+                }
+                let upper = self.bounds[i];
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let into_bucket = rank - (cum - c) as f64;
+                return Some(lower + (upper - lower) * into_bucket / c as f64);
+            }
+        }
+        Some(self.bounds.last().copied().unwrap_or(self.sum))
+    }
+
+    /// The p50/p95/p99 summary, or `None` when empty.
+    pub fn percentiles(&self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.quantile(0.50)?,
+            self.quantile(0.95)?,
+            self.quantile(0.99)?,
+        ))
+    }
+}
+
+/// `count` exponential bucket bounds starting at `start`, each `factor`
+/// times the previous — the standard shape for latency histograms.
+///
+/// # Panics
+///
+/// Panics on a non-positive `start`, a `factor <= 1`, or `count == 0`.
+pub fn exponential_buckets(start: f64, factor: f64, count: usize) -> Vec<f64> {
+    assert!(start > 0.0, "start must be positive");
+    assert!(factor > 1.0, "factor must exceed 1");
+    assert!(count > 0, "count must be positive");
+    let mut out = Vec::with_capacity(count);
+    let mut b = start;
+    for _ in 0..count {
+        out.push(b);
+        b *= factor;
+    }
+    out
+}
+
+/// The default nanosecond-latency buckets used by the profiling hooks:
+/// 1 µs to ~17 s in ×4 steps.
+pub fn duration_ns_buckets() -> Vec<f64> {
+    exponential_buckets(1_000.0, 4.0, 13)
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// `(name, sorted labels)` — the identity of one series.
+type Key = (String, Labels);
+
+/// A thread-safe registry of named metrics (see module docs).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    series: Mutex<BTreeMap<Key, Metric>>,
+}
+
+fn make_key(name: &str, labels: &[(&str, &str)]) -> Key {
+    let mut labels: Labels = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    labels.sort();
+    (name.to_string(), labels)
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Registers (or fetches) an unlabelled counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Registers (or fetches) a labelled counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the series already exists with a different metric
+    /// kind.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let mut series = self.series.lock().unwrap_or_else(|p| p.into_inner());
+        match series
+            .entry(make_key(name, labels))
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name} is already registered with a different kind"),
+        }
+    }
+
+    /// Registers (or fetches) an unlabelled gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// Registers (or fetches) a labelled gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the series already exists with a different metric
+    /// kind.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let mut series = self.series.lock().unwrap_or_else(|p| p.into_inner());
+        match series
+            .entry(make_key(name, labels))
+            .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name} is already registered with a different kind"),
+        }
+    }
+
+    /// Registers (or fetches) an unlabelled histogram with the given
+    /// finite bucket bounds (strictly increasing; an implicit +∞ bucket
+    /// is appended).  When the series already exists its original
+    /// buckets win.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        self.histogram_with(name, &[], bounds)
+    }
+
+    /// Registers (or fetches) a labelled histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unsorted bounds or when the series already exists with
+    /// a different metric kind.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)], bounds: &[f64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let mut series = self.series.lock().unwrap_or_else(|p| p.into_inner());
+        match series.entry(make_key(name, labels)).or_insert_with(|| {
+            Metric::Histogram(Histogram(Arc::new(HistogramCore {
+                bounds: bounds.to_vec(),
+                counts: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+            })))
+        }) {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name} is already registered with a different kind"),
+        }
+    }
+
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.series.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn sorted_series(&self) -> Vec<(Key, Metric)> {
+        self.series
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Renders every series in the Prometheus text exposition format.
+    /// Labelled series of the same family share one `# TYPE` line, as
+    /// the exposition format requires.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        // sorted_series orders by (name, labels), so one family's
+        // series are adjacent and the TYPE line is emitted once.
+        let mut last_family: Option<String> = None;
+        for ((name, labels), metric) in self.sorted_series() {
+            let new_family = last_family.as_deref() != Some(name.as_str());
+            if new_family {
+                last_family = Some(name.clone());
+            }
+            match metric {
+                Metric::Counter(c) => {
+                    if new_family {
+                        let _ = writeln!(out, "# TYPE {name} counter");
+                    }
+                    let _ = writeln!(out, "{name}{} {}", prom_labels(&labels, None), c.get());
+                }
+                Metric::Gauge(g) => {
+                    if new_family {
+                        let _ = writeln!(out, "# TYPE {name} gauge");
+                    }
+                    let _ = writeln!(out, "{name}{} {}", prom_labels(&labels, None), g.get());
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    if new_family {
+                        let _ = writeln!(out, "# TYPE {name} histogram");
+                    }
+                    let mut cum = 0u64;
+                    for (i, &bound) in snap.bounds.iter().enumerate() {
+                        cum += snap.counts[i];
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {cum}",
+                            prom_labels(&labels, Some(&format!("{bound}")))
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{} {}",
+                        prom_labels(&labels, Some("+Inf")),
+                        snap.count
+                    );
+                    let _ = writeln!(out, "{name}_sum{} {}", prom_labels(&labels, None), snap.sum);
+                    let _ = writeln!(
+                        out,
+                        "{name}_count{} {}",
+                        prom_labels(&labels, None),
+                        snap.count
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders every series as one JSON object:
+    /// `{"counters": [...], "gauges": [...], "histograms": [...]}`,
+    /// histograms carrying count/sum/mean and the p50/p95/p99 summary.
+    pub fn to_json(&self) -> String {
+        let mut counters = String::new();
+        let mut gauges = String::new();
+        let mut histograms = String::new();
+        for ((name, labels), metric) in self.sorted_series() {
+            match metric {
+                Metric::Counter(c) => {
+                    let mut rec = String::new();
+                    json_series_head(&mut rec, &name, &labels);
+                    let _ = write!(rec, "\"value\":{}}}", c.get());
+                    push_sep(&mut counters, &rec);
+                }
+                Metric::Gauge(g) => {
+                    let mut rec = String::new();
+                    json_series_head(&mut rec, &name, &labels);
+                    rec.push_str("\"value\":");
+                    push_f64(&mut rec, g.get());
+                    rec.push('}');
+                    push_sep(&mut gauges, &rec);
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let mut rec = String::new();
+                    json_series_head(&mut rec, &name, &labels);
+                    let _ = write!(rec, "\"count\":{},\"sum\":", snap.count);
+                    push_f64(&mut rec, snap.sum);
+                    for (key, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                        let _ = write!(rec, ",\"{key}\":");
+                        match snap.quantile(q) {
+                            Some(v) => push_f64(&mut rec, v),
+                            None => rec.push_str("null"),
+                        }
+                    }
+                    rec.push_str(",\"buckets\":[");
+                    for (i, &b) in snap.bounds.iter().enumerate() {
+                        if i > 0 {
+                            rec.push(',');
+                        }
+                        rec.push_str("{\"le\":");
+                        push_f64(&mut rec, b);
+                        let _ = write!(rec, ",\"count\":{}}}", snap.counts[i]);
+                    }
+                    let _ = write!(
+                        rec,
+                        "{}{{\"le\":\"+Inf\",\"count\":{}}}]}}",
+                        if snap.bounds.is_empty() { "" } else { "," },
+                        snap.counts[snap.bounds.len()]
+                    );
+                    push_sep(&mut histograms, &rec);
+                }
+            }
+        }
+        format!("{{\"counters\":[{counters}],\"gauges\":[{gauges}],\"histograms\":[{histograms}]}}")
+    }
+}
+
+fn push_sep(list: &mut String, rec: &str) {
+    if !list.is_empty() {
+        list.push(',');
+    }
+    list.push_str(rec);
+}
+
+fn json_series_head(rec: &mut String, name: &str, labels: &Labels) {
+    rec.push_str("{\"name\":");
+    push_str_literal(rec, name);
+    rec.push_str(",\"labels\":{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            rec.push(',');
+        }
+        push_str_literal(rec, k);
+        rec.push(':');
+        push_str_literal(rec, v);
+    }
+    rec.push_str("},");
+}
+
+/// Renders a Prometheus label block, optionally with a trailing `le`.
+fn prom_labels(labels: &Labels, le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{k}=\"{}\"",
+            v.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+    }
+    if let Some(le) = le {
+        if !labels.is_empty() {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// The process-wide registry used by the library wiring (training,
+/// inference profiling, dataset generation).  Tests that need isolation
+/// create their own [`MetricsRegistry`]; counters here are monotonic,
+/// so concurrent test threads only ever add.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("hits_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name → same series.
+        assert_eq!(reg.counter("hits_total").get(), 5);
+        let g = reg.gauge("loss");
+        g.set(0.75);
+        assert_eq!(reg.gauge("loss").get(), 0.75);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn labels_distinguish_series_regardless_of_order() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("x", &[("a", "1"), ("b", "2")]).add(3);
+        assert_eq!(reg.counter_with("x", &[("b", "2"), ("a", "1")]).get(), 3);
+        reg.counter_with("x", &[("a", "2")]).add(9);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflicts_are_rejected() {
+        let reg = MetricsRegistry::new();
+        reg.counter("m");
+        reg.gauge("m");
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", &[1.0, 10.0, 100.0]);
+        for v in [0.5, 5.0, 5.0, 50.0, 500.0] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.counts, vec![1, 2, 1, 1]);
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 560.5);
+        assert_eq!(snap.mean(), Some(112.1));
+    }
+
+    #[test]
+    fn non_finite_observations_are_dropped() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", &[1.0]);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(0.5);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum, 0.5);
+    }
+
+    #[test]
+    fn exponential_buckets_grow_by_factor() {
+        assert_eq!(exponential_buckets(1.0, 10.0, 3), vec![1.0, 10.0, 100.0]);
+        let b = duration_ns_buckets();
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn prometheus_text_format() {
+        let reg = MetricsRegistry::new();
+        reg.counter("reqs_total").add(7);
+        reg.gauge_with("temp", &[("zone", "a")]).set(1.5);
+        reg.histogram("lat", &[1.0, 2.0]).observe(1.5);
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE reqs_total counter"), "{text}");
+        assert!(text.contains("reqs_total 7"), "{text}");
+        assert!(text.contains("temp{zone=\"a\"} 1.5"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"1\"} 0"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"2\"} 1"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 1"), "{text}");
+        assert!(text.contains("lat_sum 1.5"), "{text}");
+        assert!(text.contains("lat_count 1"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_type_line_emitted_once_per_family() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("layer_ns_total", &[("layer", "stem")])
+            .add(1);
+        reg.counter_with("layer_ns_total", &[("layer", "fc")])
+            .add(2);
+        reg.counter("other_total").inc();
+        let text = reg.to_prometheus();
+        assert_eq!(
+            text.matches("# TYPE layer_ns_total counter").count(),
+            1,
+            "one TYPE line per family:\n{text}"
+        );
+        assert!(text.contains("layer_ns_total{layer=\"fc\"} 2"), "{text}");
+        assert!(text.contains("layer_ns_total{layer=\"stem\"} 1"), "{text}");
+        assert!(text.contains("# TYPE other_total counter"), "{text}");
+    }
+
+    #[test]
+    fn json_export_carries_percentiles() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", &[10.0, 100.0]);
+        for _ in 0..10 {
+            h.observe(5.0);
+        }
+        let json = reg.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"name\":\"lat\""), "{json}");
+        assert!(json.contains("\"count\":10"), "{json}");
+        assert!(json.contains("\"p50\":"), "{json}");
+        assert!(json.contains("\"le\":\"+Inf\""), "{json}");
+    }
+
+    #[test]
+    fn concurrent_updates_lose_nothing() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("n");
+        let h = reg.histogram("h", &[1e6]);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                let h = h.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                        h.observe(1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 8000);
+        assert_eq!(snap.sum, 8000.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Fixed-slot accumulating profilers for hot paths.
+//!
+//! A [`SlotProfiler`] is the allocation-free half of per-layer
+//! profiling: it is constructed once (naming one slot per layer/step),
+//! then the hot loop calls [`begin`](SlotProfiler::begin) /
+//! [`record_since`](SlotProfiler::record_since) around each step —
+//! plain `u64` arithmetic against a monotonic clock, no atomics, no
+//! heap.  Per-worker profilers from a parallel run are combined with
+//! [`merge`](SlotProfiler::merge), and the totals are published to a
+//! [`MetricsRegistry`](crate::metrics::MetricsRegistry) with
+//! [`export_to`](SlotProfiler::export_to).
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::metrics::MetricsRegistry;
+use std::sync::Arc;
+
+/// Aggregated timing for one slot, as reported by
+/// [`SlotProfiler::report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotTiming {
+    /// Slot (layer/step) name.
+    pub name: String,
+    /// Times the slot was recorded.
+    pub calls: u64,
+    /// Accumulated nanoseconds across all calls.
+    pub total_ns: u64,
+}
+
+impl SlotTiming {
+    /// Mean nanoseconds per call (0 when never called).
+    pub fn mean_ns(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.calls as f64
+        }
+    }
+}
+
+/// A fixed set of named timing accumulators (see module docs).
+#[derive(Debug, Clone)]
+pub struct SlotProfiler {
+    names: Arc<[String]>,
+    total_ns: Vec<u64>,
+    calls: Vec<u64>,
+    clock: Arc<dyn Clock>,
+}
+
+impl SlotProfiler {
+    /// A profiler over `names`, timed by the real monotonic clock.
+    pub fn new(names: Vec<String>) -> Self {
+        Self::with_clock(names, Arc::new(MonotonicClock))
+    }
+
+    /// A profiler with an explicit clock (tests use
+    /// [`MockClock`](crate::clock::MockClock) for exact assertions).
+    pub fn with_clock(names: Vec<String>, clock: Arc<dyn Clock>) -> Self {
+        let n = names.len();
+        SlotProfiler {
+            names: names.into(),
+            total_ns: vec![0; n],
+            calls: vec![0; n],
+            clock,
+        }
+    }
+
+    /// Number of slots.
+    pub fn slot_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Slot names in index order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Current clock reading — pass the result to
+    /// [`record_since`](SlotProfiler::record_since) after the timed
+    /// section.
+    #[inline]
+    pub fn begin(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Credits the time since `start_ns` to `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slot` is out of range.
+    #[inline]
+    pub fn record_since(&mut self, slot: usize, start_ns: u64) {
+        let now = self.clock.now_ns();
+        self.add(slot, now.saturating_sub(start_ns));
+    }
+
+    /// Credits `ns` nanoseconds to `slot` directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slot` is out of range.
+    #[inline]
+    pub fn add(&mut self, slot: usize, ns: u64) {
+        self.total_ns[slot] += ns;
+        self.calls[slot] += 1;
+    }
+
+    /// Folds another profiler's accumulators into this one (the way a
+    /// parallel run combines per-worker profilers).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two profilers have different slot names.
+    pub fn merge(&mut self, other: &SlotProfiler) {
+        assert_eq!(
+            self.names, other.names,
+            "cannot merge profilers with different slots"
+        );
+        for i in 0..self.total_ns.len() {
+            self.total_ns[i] += other.total_ns[i];
+            self.calls[i] += other.calls[i];
+        }
+    }
+
+    /// Resets every accumulator to zero (names stay).
+    pub fn reset(&mut self) {
+        self.total_ns.iter_mut().for_each(|v| *v = 0);
+        self.calls.iter_mut().for_each(|v| *v = 0);
+    }
+
+    /// Per-slot totals in index order.
+    pub fn report(&self) -> Vec<SlotTiming> {
+        self.names
+            .iter()
+            .zip(self.total_ns.iter().zip(&self.calls))
+            .map(|(name, (&total_ns, &calls))| SlotTiming {
+                name: name.clone(),
+                calls,
+                total_ns,
+            })
+            .collect()
+    }
+
+    /// Sum of all slots' accumulated nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.iter().sum()
+    }
+
+    /// Publishes the accumulated totals into `registry` as two labelled
+    /// counter families, `{prefix}_ns_total{{{label}="slot"}}` and
+    /// `{prefix}_calls_total{{{label}="slot"}}`.
+    pub fn export_to(&self, registry: &MetricsRegistry, prefix: &str, label: &str) {
+        let ns_name = format!("{prefix}_ns_total");
+        let calls_name = format!("{prefix}_calls_total");
+        for (i, name) in self.names.iter().enumerate() {
+            registry
+                .counter_with(&ns_name, &[(label, name)])
+                .add(self.total_ns[i]);
+            registry
+                .counter_with(&calls_name, &[(label, name)])
+                .add(self.calls[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::MockClock;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("slot{i}")).collect()
+    }
+
+    #[test]
+    fn records_exact_durations_under_mock_clock() {
+        let clock = Arc::new(MockClock::new());
+        let mut prof = SlotProfiler::with_clock(names(2), clock.clone());
+        let t = prof.begin();
+        clock.advance(100);
+        prof.record_since(0, t);
+        let t = prof.begin();
+        clock.advance(40);
+        prof.record_since(1, t);
+        prof.add(1, 10);
+        let report = prof.report();
+        assert_eq!(report[0].total_ns, 100);
+        assert_eq!(report[0].calls, 1);
+        assert_eq!(report[1].total_ns, 50);
+        assert_eq!(report[1].calls, 2);
+        assert_eq!(report[1].mean_ns(), 25.0);
+        assert_eq!(prof.total_ns(), 150);
+    }
+
+    #[test]
+    fn merge_sums_and_reset_clears() {
+        let mut a = SlotProfiler::new(names(2));
+        let mut b = SlotProfiler::new(names(2));
+        a.add(0, 5);
+        b.add(0, 7);
+        b.add(1, 1);
+        a.merge(&b);
+        assert_eq!(a.report()[0].total_ns, 12);
+        assert_eq!(a.report()[0].calls, 2);
+        assert_eq!(a.report()[1].total_ns, 1);
+        a.reset();
+        assert_eq!(a.total_ns(), 0);
+        assert_eq!(a.report()[0].calls, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different slots")]
+    fn merge_rejects_mismatched_slots() {
+        let mut a = SlotProfiler::new(names(2));
+        a.merge(&SlotProfiler::new(names(3)));
+    }
+
+    #[test]
+    fn export_publishes_labelled_counters() {
+        let mut prof = SlotProfiler::new(vec!["stem".into(), "head".into()]);
+        prof.add(0, 100);
+        prof.add(0, 100);
+        prof.add(1, 30);
+        let reg = MetricsRegistry::new();
+        prof.export_to(&reg, "inference_layer", "layer");
+        assert_eq!(
+            reg.counter_with("inference_layer_ns_total", &[("layer", "stem")])
+                .get(),
+            200
+        );
+        assert_eq!(
+            reg.counter_with("inference_layer_calls_total", &[("layer", "stem")])
+                .get(),
+            2
+        );
+        assert_eq!(
+            reg.counter_with("inference_layer_ns_total", &[("layer", "head")])
+                .get(),
+            30
+        );
+    }
+}

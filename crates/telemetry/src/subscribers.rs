@@ -1,0 +1,279 @@
+//! Stock [`Subscriber`] implementations: a JSONL file writer, a pretty
+//! stderr printer, and an in-memory collector for tests.
+
+use crate::json::{push_f64, push_str_literal};
+use crate::trace::{EventRecord, Field, SpanEndRecord, SpanStartRecord, Subscriber, Value};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+fn push_value_json(out: &mut String, v: &Value) {
+    match v {
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(f) => push_f64(out, *f),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Str(s) => push_str_literal(out, s),
+    }
+}
+
+fn push_fields_json(out: &mut String, fields: &[Field]) {
+    out.push('{');
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str_literal(out, k);
+        out.push(':');
+        push_value_json(out, v);
+    }
+    out.push('}');
+}
+
+/// Writes one JSON object per line to a file: `{"type":"event"|
+/// "span_start"|"span_end", "ts_ns":…, …}`.  Lines are buffered;
+/// [`flush`](JsonlSubscriber::flush) or drop forces them out.
+#[derive(Debug)]
+pub struct JsonlSubscriber {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSubscriber {
+    /// Creates (truncating) the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be
+    /// created.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(JsonlSubscriber {
+            out: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+
+    /// Flushes buffered lines to disk.
+    pub fn flush(&self) {
+        let mut out = self.out.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = out.flush();
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut out = self.out.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+impl Drop for JsonlSubscriber {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+impl Subscriber for JsonlSubscriber {
+    fn on_event(&self, event: &EventRecord<'_>) {
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{{\"type\":\"event\",\"ts_ns\":{},\"name\":",
+            event.ts_ns
+        );
+        push_str_literal(&mut line, event.name);
+        match event.span {
+            Some(id) => {
+                let _ = write!(line, ",\"span\":{id}");
+            }
+            None => line.push_str(",\"span\":null"),
+        }
+        line.push_str(",\"fields\":");
+        push_fields_json(&mut line, event.fields);
+        line.push('}');
+        self.write_line(&line);
+    }
+
+    fn on_span_start(&self, span: &SpanStartRecord<'_>) {
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{{\"type\":\"span_start\",\"ts_ns\":{},\"id\":{},\"parent\":",
+            span.ts_ns, span.id
+        );
+        match span.parent {
+            Some(p) => {
+                let _ = write!(line, "{p}");
+            }
+            None => line.push_str("null"),
+        }
+        line.push_str(",\"name\":");
+        push_str_literal(&mut line, span.name);
+        line.push_str(",\"fields\":");
+        push_fields_json(&mut line, span.fields);
+        line.push('}');
+        self.write_line(&line);
+    }
+
+    fn on_span_end(&self, span: &SpanEndRecord<'_>) {
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{{\"type\":\"span_end\",\"ts_ns\":{},\"id\":{},\"name\":",
+            span.ts_ns, span.id
+        );
+        push_str_literal(&mut line, span.name);
+        let _ = write!(line, ",\"duration_ns\":{}}}", span.duration_ns);
+        self.write_line(&line);
+    }
+}
+
+fn push_value_pretty(out: &mut String, v: &Value) {
+    match v {
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(f) => {
+            let _ = write!(out, "{f:.4}");
+        }
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Str(s) => {
+            let _ = write!(out, "{s}");
+        }
+    }
+}
+
+fn pretty_fields(fields: &[Field]) -> String {
+    let mut out = String::new();
+    for (k, v) in fields {
+        let _ = write!(out, " {k}=");
+        push_value_pretty(&mut out, v);
+    }
+    out
+}
+
+/// Human-readable one-line-per-record output on stderr, e.g.
+/// `[telemetry] train.epoch epoch=3 loss=0.4210 lr=0.0200`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StderrSubscriber;
+
+impl Subscriber for StderrSubscriber {
+    fn on_event(&self, event: &EventRecord<'_>) {
+        eprintln!("[telemetry] {}{}", event.name, pretty_fields(event.fields));
+    }
+
+    fn on_span_start(&self, span: &SpanStartRecord<'_>) {
+        eprintln!(
+            "[telemetry] {} started{}",
+            span.name,
+            pretty_fields(span.fields)
+        );
+    }
+
+    fn on_span_end(&self, span: &SpanEndRecord<'_>) {
+        eprintln!(
+            "[telemetry] {} finished in {:.3} ms",
+            span.name,
+            span.duration_ns as f64 / 1e6
+        );
+    }
+}
+
+/// One owned trace record captured by a [`CollectingSubscriber`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// An event with its enclosing span id and fields.
+    Event {
+        /// Event name.
+        name: String,
+        /// Enclosing span id on the emitting thread.
+        span: Option<u64>,
+        /// Owned copies of the fields.
+        fields: Vec<(String, Value)>,
+    },
+    /// A span opened.
+    SpanStart {
+        /// Span id.
+        id: u64,
+        /// Parent span id on the opening thread.
+        parent: Option<u64>,
+        /// Span name.
+        name: String,
+    },
+    /// A span closed.
+    SpanEnd {
+        /// Span id.
+        id: u64,
+        /// Span name.
+        name: String,
+        /// Measured duration.
+        duration_ns: u64,
+    },
+}
+
+/// Buffers every record in memory — the assertion surface for tests.
+#[derive(Debug, Default)]
+pub struct CollectingSubscriber {
+    records: Mutex<Vec<Record>>,
+}
+
+impl CollectingSubscriber {
+    /// An empty collector.
+    pub fn new() -> Self {
+        CollectingSubscriber::default()
+    }
+
+    /// Copies out everything captured so far.
+    pub fn records(&self) -> Vec<Record> {
+        self.records
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    fn push(&self, r: Record) {
+        self.records
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(r);
+    }
+}
+
+impl Subscriber for CollectingSubscriber {
+    fn on_event(&self, event: &EventRecord<'_>) {
+        self.push(Record::Event {
+            name: event.name.to_string(),
+            span: event.span,
+            fields: event
+                .fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+    }
+
+    fn on_span_start(&self, span: &SpanStartRecord<'_>) {
+        self.push(Record::SpanStart {
+            id: span.id,
+            parent: span.parent,
+            name: span.name.to_string(),
+        });
+    }
+
+    fn on_span_end(&self, span: &SpanEndRecord<'_>) {
+        self.push(Record::SpanEnd {
+            id: span.id,
+            name: span.name.to_string(),
+            duration_ns: span.duration_ns,
+        });
+    }
+}

@@ -1,0 +1,103 @@
+//! Histogram percentile math: exact-bucket edge cases, the empty
+//! histogram, and the single-sample histogram (ISSUE 3 satellite).
+
+use hotspot_telemetry::MetricsRegistry;
+
+#[test]
+fn empty_histogram_has_no_percentiles() {
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram("empty", &[1.0, 2.0]);
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 0);
+    assert_eq!(snap.quantile(0.5), None);
+    assert_eq!(snap.percentiles(), None);
+    assert_eq!(snap.mean(), None);
+}
+
+#[test]
+fn single_sample_every_quantile_lands_in_its_bucket() {
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram("one", &[10.0, 100.0, 1000.0]);
+    h.observe(50.0); // second bucket, (10, 100]
+    let snap = h.snapshot();
+    for q in [0.01, 0.5, 0.95, 0.99, 1.0] {
+        let v = snap.quantile(q).expect("non-empty");
+        assert!(
+            (10.0..=100.0).contains(&v),
+            "q={q}: estimate {v} escaped the sample's bucket"
+        );
+    }
+    // q = 1.0 is exactly the bucket's upper bound.
+    assert_eq!(snap.quantile(1.0), Some(100.0));
+}
+
+#[test]
+fn quantile_on_exact_bucket_boundaries() {
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram("edges", &[10.0, 20.0, 30.0, 40.0]);
+    // A value equal to a bound belongs to that bound's bucket (`<=`).
+    for v in [10.0, 20.0, 30.0, 40.0] {
+        h.observe(v);
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.counts, vec![1, 1, 1, 1, 0]);
+    // Rank q*n hits each cumulative-count boundary exactly: the
+    // estimate is the bucket's upper bound, with no bleed into the
+    // next bucket.
+    assert_eq!(snap.quantile(0.25), Some(10.0));
+    assert_eq!(snap.quantile(0.50), Some(20.0));
+    assert_eq!(snap.quantile(0.75), Some(30.0));
+    assert_eq!(snap.quantile(1.00), Some(40.0));
+}
+
+#[test]
+fn first_bucket_interpolates_from_zero() {
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram("low", &[100.0]);
+    for _ in 0..4 {
+        h.observe(1.0);
+    }
+    let snap = h.snapshot();
+    // Uniform-in-bucket assumption: p50 of 4 samples in (0, 100] is at
+    // rank 2 of 4 → halfway up the bucket.
+    assert_eq!(snap.quantile(0.5), Some(50.0));
+    assert_eq!(snap.quantile(0.25), Some(25.0));
+}
+
+#[test]
+fn overflow_bucket_reports_highest_finite_bound() {
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram("over", &[10.0, 100.0]);
+    h.observe(1e9);
+    h.observe(1e9);
+    let snap = h.snapshot();
+    assert_eq!(snap.counts, vec![0, 0, 2]);
+    // The +∞ bucket has no upper edge; the estimator clamps to the
+    // highest finite bound rather than inventing a number.
+    assert_eq!(snap.quantile(0.5), Some(100.0));
+    assert_eq!(snap.quantile(0.99), Some(100.0));
+}
+
+#[test]
+fn percentiles_are_ordered_on_a_spread_distribution() {
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram(
+        "spread",
+        &hotspot_telemetry::exponential_buckets(1.0, 2.0, 16),
+    );
+    for i in 0..1000 {
+        h.observe(1.0 + (i as f64) * 37.0 % 30000.0);
+    }
+    let (p50, p95, p99) = h.snapshot().percentiles().expect("non-empty");
+    assert!(p50 <= p95 && p95 <= p99, "({p50}, {p95}, {p99})");
+    assert!(p50 > 0.0);
+}
+
+#[test]
+#[should_panic(expected = "quantile must be in")]
+fn out_of_range_quantile_is_rejected() {
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram("bad", &[1.0]);
+    h.observe(0.5);
+    let _ = h.snapshot().quantile(0.0);
+}

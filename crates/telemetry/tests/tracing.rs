@@ -1,0 +1,240 @@
+//! Tracing facade behaviour: span nesting and parent links, per-thread
+//! stacks, subscriber swap semantics, and concurrent emission safety.
+//!
+//! The subscriber registration is process-global, so every test that
+//! installs one serialises through [`GLOBAL_LOCK`].
+
+use hotspot_telemetry::subscribers::{CollectingSubscriber, Record};
+use hotspot_telemetry::{event, span, trace};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+fn global_lock() -> MutexGuard<'static, ()> {
+    static GLOBAL_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    GLOBAL_LOCK
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+/// Installs a fresh collector, runs `f`, restores the previous
+/// subscriber, and returns what was captured.
+fn with_collector(f: impl FnOnce()) -> Vec<Record> {
+    let sink = Arc::new(CollectingSubscriber::new());
+    let old = trace::set_subscriber(sink.clone());
+    f();
+    match old {
+        Some(prev) => {
+            trace::set_subscriber(prev);
+        }
+        None => {
+            trace::clear_subscriber();
+        }
+    }
+    sink.records()
+}
+
+#[test]
+fn no_subscriber_means_no_records_and_no_panic() {
+    let _guard = global_lock();
+    trace::clear_subscriber();
+    assert!(!trace::enabled());
+    let g = span!("quiet.span", n = 1usize);
+    event!("quiet.event", ok = true);
+    assert_eq!(g.id(), None, "disabled span carries no id");
+    drop(g);
+    assert_eq!(trace::current_span(), None);
+}
+
+#[test]
+fn nested_spans_link_parents_and_events_attach_to_innermost() {
+    let _guard = global_lock();
+    let records = with_collector(|| {
+        let outer = span!("outer", depth = 0usize);
+        let outer_id = outer.id().expect("enabled");
+        {
+            let inner = span!("inner", depth = 1usize);
+            assert_eq!(trace::current_span(), inner.id());
+            event!("leaf", v = 7u64);
+        }
+        assert_eq!(trace::current_span(), Some(outer_id));
+        event!("after_inner");
+    });
+
+    let starts: Vec<_> = records
+        .iter()
+        .filter_map(|r| match r {
+            Record::SpanStart { id, parent, name } => Some((*id, *parent, name.clone())),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(starts.len(), 2);
+    let (outer_id, outer_parent, _) = starts[0].clone();
+    let (inner_id, inner_parent, inner_name) = starts[1].clone();
+    assert_eq!(outer_parent, None);
+    assert_eq!(inner_parent, Some(outer_id), "inner must link to outer");
+    assert_eq!(inner_name, "inner");
+
+    // Events land in the innermost open span at emission time.
+    let events: Vec<_> = records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Event { name, span, .. } => Some((name.clone(), *span)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(events[0], ("leaf".to_string(), Some(inner_id)));
+    assert_eq!(events[1], ("after_inner".to_string(), Some(outer_id)));
+
+    // Both spans closed, inner first.
+    let ends: Vec<_> = records
+        .iter()
+        .filter_map(|r| match r {
+            Record::SpanEnd { id, .. } => Some(*id),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(ends, vec![inner_id, outer_id]);
+}
+
+#[test]
+fn span_stacks_are_per_thread() {
+    let _guard = global_lock();
+    let records = with_collector(|| {
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                s.spawn(move || {
+                    let _sp = span!("worker", thread = t as u64);
+                    event!("work", thread = t as u64);
+                });
+            }
+        });
+    });
+    // Every worker produced exactly one start, one event, one end — and
+    // no worker's span is parented to another thread's span.
+    let mut starts = 0;
+    for r in &records {
+        if let Record::SpanStart { parent, .. } = r {
+            assert_eq!(*parent, None, "cross-thread parent leak");
+            starts += 1;
+        }
+    }
+    assert_eq!(starts, 4);
+    // Each event is attached to a span that this collector saw start.
+    let ids: Vec<u64> = records
+        .iter()
+        .filter_map(|r| match r {
+            Record::SpanStart { id, .. } => Some(*id),
+            _ => None,
+        })
+        .collect();
+    for r in &records {
+        if let Record::Event { span, .. } = r {
+            let id = span.expect("event inside a span");
+            assert!(ids.contains(&id));
+        }
+    }
+}
+
+#[test]
+fn concurrent_emission_drops_nothing() {
+    let _guard = global_lock();
+    const THREADS: usize = 8;
+    const EVENTS: usize = 250;
+    let records = with_collector(|| {
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                s.spawn(move || {
+                    for i in 0..EVENTS {
+                        let _sp = span!("hot", t = t as u64);
+                        event!("tick", i = i as u64);
+                    }
+                });
+            }
+        });
+    });
+    let events = records
+        .iter()
+        .filter(|r| matches!(r, Record::Event { .. }))
+        .count();
+    let starts = records
+        .iter()
+        .filter(|r| matches!(r, Record::SpanStart { .. }))
+        .count();
+    let ends = records
+        .iter()
+        .filter(|r| matches!(r, Record::SpanEnd { .. }))
+        .count();
+    assert_eq!(events, THREADS * EVENTS);
+    assert_eq!(starts, THREADS * EVENTS);
+    assert_eq!(ends, starts, "every span must close");
+}
+
+#[test]
+fn field_values_round_trip_through_the_subscriber() {
+    let _guard = global_lock();
+    let records = with_collector(|| {
+        event!(
+            "typed",
+            u = 3usize,
+            i = -4i64,
+            f = 2.5f64,
+            b = true,
+            s = "text"
+        );
+    });
+    let Record::Event { fields, .. } = &records[0] else {
+        panic!("expected event, got {records:?}");
+    };
+    use hotspot_telemetry::Value;
+    assert_eq!(fields[0], ("u".to_string(), Value::U64(3)));
+    assert_eq!(fields[1], ("i".to_string(), Value::I64(-4)));
+    assert_eq!(fields[2], ("f".to_string(), Value::F64(2.5)));
+    assert_eq!(fields[3], ("b".to_string(), Value::Bool(true)));
+    assert_eq!(fields[4], ("s".to_string(), Value::Str("text".into())));
+}
+
+#[test]
+fn jsonl_subscriber_writes_parseable_lines() {
+    let _guard = global_lock();
+    let path = std::env::temp_dir().join(format!("brnn_telemetry_jsonl_{}", std::process::id()));
+    {
+        let sink = Arc::new(hotspot_telemetry::JsonlSubscriber::create(&path).expect("create"));
+        let old = trace::set_subscriber(sink.clone());
+        {
+            let _sp = span!("io.span", n = 1usize);
+            event!("io.event", msg = "hello \"world\"\n");
+        }
+        match old {
+            Some(prev) => {
+                trace::set_subscriber(prev);
+            }
+            None => {
+                trace::clear_subscriber();
+            }
+        }
+        sink.flush();
+    }
+    let text = std::fs::read_to_string(&path).expect("read");
+    let _ = std::fs::remove_file(&path);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "span_start + event + span_end:\n{text}");
+    assert!(lines[0].contains("\"type\":\"span_start\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"name\":\"io.span\""), "{}", lines[0]);
+    assert!(lines[1].contains("\"type\":\"event\""), "{}", lines[1]);
+    assert!(
+        lines[1].contains("\\\"world\\\"\\n"),
+        "escaping broken: {}",
+        lines[1]
+    );
+    assert!(lines[2].contains("\"duration_ns\""), "{}", lines[2]);
+    // Balanced braces and quotes on every line (cheap well-formedness
+    // check without a JSON parser).
+    for line in &lines {
+        assert_eq!(
+            line.matches('{').count(),
+            line.matches('}').count(),
+            "unbalanced braces: {line}"
+        );
+        assert!(line.starts_with('{') && line.ends_with('}'));
+    }
+}

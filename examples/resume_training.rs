@@ -80,11 +80,22 @@ fn main() {
     let mut resumed = BnnDetector::new(cfg);
     resumed.resume(&ck, &clips).expect("resume");
 
-    // The resumed trajectory is bit-identical to the uninterrupted one.
-    assert_eq!(
-        resumed.history(),
-        reference.history(),
+    // The resumed trajectory is bit-identical to the uninterrupted one
+    // (wall-clock epoch durations are machine-dependent and excluded).
+    assert_eq!(resumed.history().len(), reference.history().len());
+    assert!(
+        resumed
+            .history()
+            .iter()
+            .zip(reference.history())
+            .all(|(r, f)| r.same_trajectory(f)),
         "per-epoch history must match"
+    );
+    println!(
+        "cumulative training time: reference {:.2}s, resumed {:.2}s \
+         (resumed includes checkpointed epochs)",
+        reference.total_training_secs(),
+        resumed.total_training_secs()
     );
     let res_weights = {
         let mut net = resumed.network().expect("trained");

@@ -1,0 +1,144 @@
+//! A guided tour of the telemetry layer: install a JSONL trace
+//! subscriber, train a small detector (spans, epoch events, checkpoint
+//! timings), profile packed inference per layer, then dump the global
+//! metrics registry as Prometheus text and verify the trace file is
+//! well-formed.
+//!
+//! ```sh
+//! cargo run --release --example telemetry_inspect [TRACE.jsonl]
+//! ```
+
+use hotspot_core::{BitImage, BnnDetector, BnnTrainConfig, LabeledClip};
+use hotspot_layout_gen::PatternFamily;
+use hotspot_telemetry::subscribers::JsonlSubscriber;
+use hotspot_telemetry::{metrics, trace};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Dense vs. sparse stripe clips: a tiny learnable problem.
+fn toy_clips(n: usize, side: usize) -> Vec<LabeledClip> {
+    (0..n)
+        .map(|i| {
+            let hotspot = i % 2 == 0;
+            let mut img = BitImage::new(side, side);
+            let step = if hotspot { 4 } else { 12 };
+            let mut y = i % 3;
+            while y < side {
+                img.fill_row_span(y, 0, side);
+                y += step;
+            }
+            LabeledClip {
+                image: img,
+                hotspot,
+                family: PatternFamily::LineSpace,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let trace_path: PathBuf = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("brnn_telemetry_inspect.jsonl"));
+    let ck_dir = std::env::temp_dir().join(format!("brnn_inspect_ck_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ck_dir);
+
+    // 1. Install the JSONL trace sink: from here on every span and
+    //    event in the pipeline lands in the file, one object per line.
+    let sink = Arc::new(JsonlSubscriber::create(&trace_path).expect("create trace file"));
+    trace::set_subscriber(sink.clone());
+
+    // 2. Train: emits train.fit/train.epoch spans, per-epoch events
+    //    with loss and learning rate, and checkpoint write timings.
+    let clips = toy_clips(24, 32);
+    let mut cfg = BnnTrainConfig::fast();
+    cfg.epochs = 3;
+    cfg.bias_epochs = 1;
+    cfg.checkpoint_dir = Some(ck_dir.clone());
+    let mut det = BnnDetector::new(cfg);
+    det.try_fit(&clips).expect("training");
+    println!(
+        "trained {} epochs in {:.2}s wall-clock",
+        det.history().len(),
+        det.total_training_secs()
+    );
+
+    // 3. Profile packed inference: every execution-plan step gets its
+    //    own timing slot; export them into the global registry.
+    let images: Vec<&BitImage> = clips.iter().map(|c| &c.image).collect();
+    let (margins, prof) = det.profile_packed_inference(&images);
+    println!(
+        "scored {} clips through the profiled XNOR path",
+        margins.len()
+    );
+    prof.export_to(metrics::global(), "inference_layer", "layer");
+    println!("\n== per-layer inference timing ==");
+    for slot in prof.report() {
+        println!(
+            "{:<16} {:>4} calls {:>12} ns total {:>10.1} ns mean",
+            slot.name,
+            slot.calls,
+            slot.total_ns,
+            slot.mean_ns()
+        );
+    }
+
+    // 4. The global metrics registry, Prometheus exposition format.
+    let prom = metrics::global().to_prometheus();
+    println!("\n== metrics (prometheus) ==\n{prom}");
+    for required in [
+        "train_epochs_total",
+        "train_epoch_duration_ns",
+        "train_checkpoint_writes_total",
+        "inference_layer_ns_total",
+    ] {
+        assert!(
+            prom.contains(required),
+            "metric {required} missing:\n{prom}"
+        );
+    }
+
+    // 5. Tear down the subscriber and verify the trace parses: every
+    //    line is a braced object with a type tag, and the span graph
+    //    carries the training epochs.
+    trace::clear_subscriber();
+    sink.flush();
+    let text = std::fs::read_to_string(&trace_path).expect("read trace");
+    let mut events = 0usize;
+    let mut span_starts = 0usize;
+    let mut span_ends = 0usize;
+    for line in text.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "malformed trace line: {line}"
+        );
+        assert_eq!(
+            line.matches('{').count(),
+            line.matches('}').count(),
+            "unbalanced braces: {line}"
+        );
+        match () {
+            _ if line.contains("\"type\":\"event\"") => events += 1,
+            _ if line.contains("\"type\":\"span_start\"") => span_starts += 1,
+            _ if line.contains("\"type\":\"span_end\"") => span_ends += 1,
+            _ => panic!("unknown record type: {line}"),
+        }
+    }
+    assert_eq!(span_starts, span_ends, "every span must close");
+    assert!(
+        text.contains("\"name\":\"train.epoch\""),
+        "trace carries no epoch spans"
+    );
+    assert!(
+        text.contains("\"name\":\"train.checkpoint\""),
+        "trace carries no checkpoint events"
+    );
+    println!(
+        "trace ok: {} events, {} spans in {}",
+        events,
+        span_starts,
+        trace_path.display()
+    );
+    let _ = std::fs::remove_dir_all(&ck_dir);
+}

@@ -1,0 +1,256 @@
+//! Telemetry integration: training emits structured events with the
+//! right fields, profiled packed inference reports every layer without
+//! changing the scores, and the tracing facade stays consistent when
+//! records arrive from rayon worker threads.
+//!
+//! The trace subscriber is process-global, so every test that installs
+//! one serialises through [`global_lock`].
+
+use hotspot_core::{BitImage, BnnDetector, BnnTrainConfig, HotspotDetector, LabeledClip};
+use hotspot_layout_gen::PatternFamily;
+use hotspot_telemetry::subscribers::{CollectingSubscriber, Record};
+use hotspot_telemetry::{event, metrics, span, trace, Value};
+use rayon::prelude::*;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+fn global_lock() -> MutexGuard<'static, ()> {
+    static GLOBAL_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    GLOBAL_LOCK
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+fn with_collector(f: impl FnOnce()) -> Vec<Record> {
+    let sink = Arc::new(CollectingSubscriber::new());
+    let old = trace::set_subscriber(sink.clone());
+    f();
+    match old {
+        Some(prev) => {
+            trace::set_subscriber(prev);
+        }
+        None => {
+            trace::clear_subscriber();
+        }
+    }
+    sink.records()
+}
+
+/// Dense vs. sparse stripe clips: a tiny learnable problem.
+fn toy_clips(n: usize, side: usize) -> Vec<LabeledClip> {
+    (0..n)
+        .map(|i| {
+            let hotspot = i % 2 == 0;
+            let mut img = BitImage::new(side, side);
+            let step = if hotspot { 4 } else { 12 };
+            let mut y = i % 3;
+            while y < side {
+                img.fill_row_span(y, 0, side);
+                y += step;
+            }
+            LabeledClip {
+                image: img,
+                hotspot,
+                family: PatternFamily::LineSpace,
+            }
+        })
+        .collect()
+}
+
+fn field<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+#[test]
+fn training_emits_epoch_events_with_loss_and_lr() {
+    let _guard = global_lock();
+    let clips = toy_clips(24, 32);
+    let mut cfg = BnnTrainConfig::fast();
+    cfg.epochs = 2;
+    cfg.bias_epochs = 1;
+    let mut history_len = 0;
+    let records = with_collector(|| {
+        let mut det = BnnDetector::new(cfg);
+        det.try_fit(&clips).expect("train");
+        history_len = det.history().len();
+    });
+
+    let epoch_events: Vec<_> = records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Event { name, fields, .. } if name == "train.epoch" => Some(fields),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(epoch_events.len(), history_len, "one event per epoch");
+    for (i, fields) in epoch_events.iter().enumerate() {
+        assert_eq!(field(fields, "epoch"), Some(&Value::U64(i as u64)));
+        for key in ["train_loss", "val_loss", "lr", "duration_secs"] {
+            match field(fields, key) {
+                Some(Value::F64(v)) => assert!(v.is_finite(), "{key} not finite"),
+                other => panic!("epoch event missing {key}: {other:?}"),
+            }
+        }
+    }
+    // The last epoch is the biased fine-tune phase.
+    assert_eq!(
+        field(epoch_events[2], "biased"),
+        Some(&Value::Bool(true)),
+        "bias epoch flagged"
+    );
+    // Training is wrapped in train.fit with nested train.epoch spans.
+    let fit_span = records.iter().find_map(|r| match r {
+        Record::SpanStart { id, name, .. } if name == "train.fit" => Some(*id),
+        _ => None,
+    });
+    let fit_id = fit_span.expect("train.fit span opened");
+    let nested_epochs = records
+        .iter()
+        .filter(|r| {
+            matches!(r, Record::SpanStart { parent, name, .. }
+                if name == "train.epoch" && *parent == Some(fit_id))
+        })
+        .count();
+    assert_eq!(nested_epochs, 3, "epoch spans nest under train.fit");
+}
+
+#[test]
+fn rollback_event_reports_halved_lr() {
+    let _guard = global_lock();
+    let clips = toy_clips(16, 32);
+    let mut cfg = BnnTrainConfig::fast();
+    cfg.epochs = 2;
+    cfg.bias_epochs = 0;
+    cfg.fault_nan_epoch = Some(0);
+    let records = with_collector(|| {
+        let mut det = BnnDetector::new(cfg);
+        det.try_fit(&clips).expect("watchdog absorbs the NaN");
+    });
+    let rollback = records
+        .iter()
+        .find_map(|r| match r {
+            Record::Event { name, fields, .. } if name == "train.rollback" => Some(fields),
+            _ => None,
+        })
+        .expect("rollback event emitted");
+    assert_eq!(field(rollback, "epoch"), Some(&Value::U64(0)));
+    assert_eq!(field(rollback, "rollback"), Some(&Value::U64(1)));
+    match field(rollback, "lr") {
+        Some(Value::F64(lr)) => assert!(*lr > 0.0 && lr.is_finite()),
+        other => panic!("rollback event missing lr: {other:?}"),
+    }
+}
+
+#[test]
+fn profiled_parallel_inference_traces_consistently() {
+    let _guard = global_lock();
+    let clips = toy_clips(24, 32);
+    let mut det = BnnDetector::new(BnnTrainConfig::fast());
+    det.fit(&clips);
+    // 200 images → 4 shards of SHARD=64, so rayon genuinely fans out.
+    let many: Vec<BitImage> = (0..200).map(|i| clips[i % 24].image.clone()).collect();
+    let images: Vec<&BitImage> = many.iter().collect();
+    let plain = det.score_batch(&images);
+
+    let mut profiled = Vec::new();
+    let records = with_collector(|| {
+        let (margins, prof) = det.profile_packed_inference(&images);
+        profiled = margins;
+        // Each of the 4 shards ran the full plan once.
+        assert!(
+            prof.report().iter().all(|s| s.calls == 4),
+            "{:?}",
+            prof.report()
+        );
+    });
+    assert_eq!(profiled, plain, "profiling must not change the scores");
+
+    // The inference span opened and closed exactly once, with no
+    // orphaned records from the worker threads.
+    let starts: Vec<_> = records
+        .iter()
+        .filter(|r| matches!(r, Record::SpanStart { name, .. } if name == "infer.packed_profiled"))
+        .collect();
+    assert_eq!(starts.len(), 1);
+    let span_starts = records
+        .iter()
+        .filter(|r| matches!(r, Record::SpanStart { .. }))
+        .count();
+    let span_ends = records
+        .iter()
+        .filter(|r| matches!(r, Record::SpanEnd { .. }))
+        .count();
+    assert_eq!(span_starts, span_ends, "every span closes");
+}
+
+#[test]
+fn spans_and_events_survive_rayon_fanout() {
+    let _guard = global_lock();
+    const ITEMS: usize = 64;
+    let records = with_collector(|| {
+        let _outer = span!("fanout.outer", items = ITEMS);
+        let sum: u64 = (0..ITEMS)
+            .collect::<Vec<_>>()
+            .par_iter()
+            .map(|&i| {
+                // Worker threads have their own span stacks: these
+                // spans must NOT parent to fanout.outer (it lives on
+                // the caller's thread), and nothing may be lost.
+                let _sp = span!("fanout.worker", item = i);
+                event!("fanout.tick", item = i);
+                i as u64
+            })
+            .sum();
+        assert_eq!(sum, (ITEMS as u64 * (ITEMS as u64 - 1)) / 2);
+    });
+    let outer_id = records
+        .iter()
+        .find_map(|r| match r {
+            Record::SpanStart { id, name, .. } if name == "fanout.outer" => Some(*id),
+            _ => None,
+        })
+        .expect("outer span");
+    let worker_starts: Vec<_> = records
+        .iter()
+        .filter_map(|r| match r {
+            Record::SpanStart { id, parent, name } if name == "fanout.worker" => {
+                Some((*id, *parent))
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(worker_starts.len(), ITEMS, "no worker span lost");
+    // The rayon shim may run items on the caller thread (where the
+    // outer span is open) or on spawned workers (where it is not);
+    // either way a worker span can only parent to the outer span or to
+    // nothing — never to another worker's span.
+    for (id, parent) in &worker_starts {
+        assert!(
+            parent.is_none() || *parent == Some(outer_id),
+            "worker span {id} has a cross-thread parent: {parent:?}"
+        );
+    }
+    let events = records
+        .iter()
+        .filter(|r| matches!(r, Record::Event { name, .. } if name == "fanout.tick"))
+        .count();
+    assert_eq!(events, ITEMS, "no event lost under concurrency");
+}
+
+#[test]
+fn global_registry_accumulates_training_counters() {
+    let _guard = global_lock();
+    let registry = metrics::global();
+    let before = registry.counter("train_epochs_total").get();
+    let clips = toy_clips(16, 32);
+    let mut cfg = BnnTrainConfig::fast();
+    cfg.epochs = 2;
+    cfg.bias_epochs = 0;
+    let mut det = BnnDetector::new(cfg);
+    det.try_fit(&clips).expect("train");
+    let after = registry.counter("train_epochs_total").get();
+    assert_eq!(after - before, 2, "two epochs counted");
+    assert!(registry
+        .to_prometheus()
+        .contains("# TYPE train_epochs_total counter"));
+}
