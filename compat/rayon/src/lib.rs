@@ -7,8 +7,8 @@
 //!
 //! Supported surface: `par_iter`, `into_par_iter` (vectors and
 //! `Range<usize>`/`Range<u64>`), `par_chunks`, `par_chunks_mut`,
-//! `enumerate`, `map`, `for_each`, `collect`, `sum` and
-//! `current_num_threads`.
+//! `enumerate`, `map`, `for_each`, `for_each_init`, `collect`, `sum`
+//! and `current_num_threads`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -89,6 +89,45 @@ impl<T: Send> ParIter<T> {
     /// Runs `f` over all items in parallel.
     pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
         run(self.items, f);
+    }
+
+    /// Runs `f` over all items in parallel, handing each worker thread
+    /// one value built by `init` that it reuses for every item it
+    /// processes (rayon's `for_each_init`).  Use this for per-worker
+    /// scratch — e.g. checking a [`Workspace`] out of a pool once per
+    /// worker instead of once per item.
+    pub fn for_each_init<S, I, F>(self, init: I, f: F)
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, T) + Sync,
+    {
+        let items = self.items;
+        let n = items.len();
+        let threads = current_num_threads().min(n);
+        if threads <= 1 {
+            let mut state = init();
+            for item in items {
+                f(&mut state, item);
+            }
+            return;
+        }
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut state = init();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = slots[i].lock().unwrap().take().unwrap();
+                        f(&mut state, item);
+                    }
+                });
+            }
+        });
     }
 
     /// Parallelism-hint no-op, kept for rayon API compatibility.
@@ -253,6 +292,27 @@ mod tests {
         assert!(data.iter().all(|&x| x > 0));
         assert_eq!(data[0], 1);
         assert_eq!(data[99], 15);
+    }
+
+    #[test]
+    fn for_each_init_reuses_state_per_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let mut data = vec![0u32; 64];
+        data.par_chunks_mut(1).enumerate().for_each_init(
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                7u32
+            },
+            |state, (i, chunk)| {
+                chunk[0] = *state + i as u32;
+            },
+        );
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, 7 + i as u32);
+        }
+        // One init per worker thread, not per item.
+        assert!(inits.load(Ordering::Relaxed) <= crate::current_num_threads());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! cargo run --release -p hotspot-bench --bin bench_inference [OUT.json] [CLIPS] [RUNS]
 //! ```
 
-use hotspot_bnn::{BnnResNet, NetConfig, PackedBnn};
+use hotspot_bnn::{dispatch_report, BnnResNet, NetConfig, PackedBnn};
 use hotspot_telemetry::{metrics, MetricsRegistry, MonotonicClock, Timer};
 use hotspot_tensor::Workspace;
 use rand::rngs::StdRng;
@@ -82,11 +82,16 @@ fn main() {
         "expected the paper's 12 weight layers in the profile: {report:?}"
     );
 
+    let dispatch = dispatch_report();
+    let clips_per_sec = (clips * runs) as f64 / (wall_ns as f64 / 1e9);
+
     let mut json = String::new();
     json.push_str("{\n  \"benchmark\": \"packed_inference\",\n");
     let _ = writeln!(json, "  \"input_size\": {side},");
     let _ = write!(json, "  \"clips\": {clips},\n  \"runs\": {runs},\n");
     let _ = writeln!(json, "  \"wall_ns\": {wall_ns},");
+    let _ = writeln!(json, "  \"clips_per_sec\": {clips_per_sec:.1},");
+    let _ = writeln!(json, "  \"kernel_backend\": \"{}\",", plan.backend().name());
     let _ = writeln!(json, "  \"weight_layers\": {weight_layers},");
     json.push_str("  \"layers\": [\n");
     for (i, slot) in report.iter().enumerate() {
@@ -125,8 +130,9 @@ fn main() {
         "total {:.3} ms over {} runs ({:.1} clips/s)",
         total as f64 / 1e6,
         runs,
-        (clips * runs) as f64 / (wall_ns as f64 / 1e9)
+        clips_per_sec
     );
+    println!("{}", dispatch.summary());
     // A local-registry sanity check keeps the exported names honest.
     let check = MetricsRegistry::new();
     prof.export_to(&check, "inference_layer", "layer");

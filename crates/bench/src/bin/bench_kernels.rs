@@ -1,0 +1,196 @@
+//! Kernel-backend comparison benchmark: times the packed 128×128
+//! single-clip forward of the paper's 12-layer network once per
+//! available XNOR kernel backend (scalar reference, portable SWAR,
+//! and whichever SIMD paths this CPU supports) and writes
+//! `BENCH_kernels.json`.
+//!
+//! Every backend is bit-identical by construction (and re-verified
+//! here against the scalar logits), so the numbers isolate pure
+//! inner-loop throughput: same plan, same geometry tables, same fused
+//! binarize-pack — only the popcount kernel changes.
+//!
+//! ```sh
+//! cargo run --release -p hotspot-bench --bin bench_kernels \
+//!     [OUT.json] [--quick] [--check]
+//! ```
+//!
+//! `--quick` shrinks the run count for CI smoke use; `--check` exits
+//! nonzero if the auto-dispatched backend is slower than the scalar
+//! reference (a dispatch regression — picking SIMD should never lose).
+//! `--ref-ns N` records an external reference time (e.g. the pre-PR
+//! scalar path, measured from a checkout of the previous revision) so
+//! the JSON carries the cross-revision speedup too.  Cross-revision
+//! speedups compare best-of-run times: on shared hardware the minimum
+//! is the statistic least distorted by scheduling noise, and the
+//! reference should be a best-of measurement too.
+
+use hotspot_bnn::{dispatch_report, BnnResNet, KernelBackend, NetConfig, PackedBnn};
+use hotspot_telemetry::{MonotonicClock, Timer};
+use hotspot_tensor::Workspace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+struct BackendResult {
+    backend: KernelBackend,
+    mean_ns_per_clip: f64,
+    best_ns_per_clip: f64,
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_kernels.json");
+    let mut quick = false;
+    let mut check = false;
+    let mut ref_ns: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--check" => check = true,
+            "--ref-ns" => {
+                ref_ns = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--ref-ns needs a nanosecond count"),
+                );
+            }
+            other => out_path = other.to_string(),
+        }
+    }
+    let runs: usize = if quick { 3 } else { 10 };
+
+    let config = NetConfig::paper_12layer();
+    let side = config.input_size;
+    let mut rng = StdRng::seed_from_u64(2019);
+    let net = BnnResNet::new(&config, &mut rng);
+    let packed = PackedBnn::compile(&net);
+
+    // One random ±1 clip: XNOR kernel cost is data-independent.
+    let mut state = 0xb17_u32;
+    let input: Vec<f32> = (0..side * side)
+        .map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            if state & 0x8000 == 0 {
+                1.0
+            } else {
+                -1.0
+            }
+        })
+        .collect();
+
+    let clock = MonotonicClock;
+    let dispatch = dispatch_report();
+    let mut reference: Option<Vec<f32>> = None;
+    let mut results = Vec::new();
+    for backend in KernelBackend::available() {
+        let plan = packed.plan_with_backend((side, side), backend);
+        let mut ws = Workspace::new();
+        let mut logits = vec![0.0f32; 2];
+        plan.run_into(&input, 1, &mut ws, &mut logits); // warm-up
+        match &reference {
+            None => reference = Some(logits.clone()),
+            Some(r) => assert_eq!(
+                &logits,
+                r,
+                "backend {} diverged from the scalar reference",
+                backend.name()
+            ),
+        }
+        let mut best = u64::MAX;
+        let total = Timer::start(&clock);
+        for _ in 0..runs {
+            let t = Timer::start(&clock);
+            plan.run_into(&input, 1, &mut ws, &mut logits);
+            best = best.min(t.elapsed_ns());
+        }
+        let wall_ns = total.elapsed_ns();
+        results.push(BackendResult {
+            backend,
+            mean_ns_per_clip: wall_ns as f64 / runs as f64,
+            best_ns_per_clip: best as f64,
+        });
+    }
+
+    let scalar_mean = results
+        .iter()
+        .find(|r| r.backend == KernelBackend::Scalar)
+        .expect("scalar backend is always available")
+        .mean_ns_per_clip;
+
+    let mut json = String::new();
+    json.push_str("{\n  \"benchmark\": \"kernel_backends\",\n");
+    let _ = writeln!(json, "  \"input_size\": {side},");
+    let _ = writeln!(json, "  \"runs\": {runs},");
+    let _ = writeln!(json, "  \"dispatched\": \"{}\",", dispatch.active.name());
+    if let Some(r) = ref_ns {
+        let _ = writeln!(json, "  \"reference_ns_per_clip\": {r:.0},");
+        json.push_str(
+            "  \"reference_note\": \"best-of-run single-clip forward of the \
+             pre-kernel-dispatch scalar path, measured back-to-back on the \
+             same machine; speedup_vs_reference compares best times\",\n",
+        );
+    }
+    json.push_str("  \"backends\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let mut entry = format!(
+            "    {{\"name\": \"{}\", \"u64_lanes\": {}, \"mean_ns_per_clip\": {:.0}, \
+             \"best_ns_per_clip\": {:.0}, \"clips_per_sec\": {:.1}, \"speedup_vs_scalar\": {:.2}",
+            r.backend.name(),
+            r.backend.u64_lanes(),
+            r.mean_ns_per_clip,
+            r.best_ns_per_clip,
+            1e9 / r.mean_ns_per_clip,
+            scalar_mean / r.mean_ns_per_clip,
+        );
+        if let Some(refn) = ref_ns {
+            let _ = write!(
+                entry,
+                ", \"speedup_vs_reference\": {:.2}",
+                refn / r.best_ns_per_clip
+            );
+        }
+        let _ = writeln!(
+            json,
+            "{entry}}}{}",
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+
+    println!("wrote {out_path} ({side}x{side} single clip, {runs} runs/backend)");
+    println!("{}", dispatch.summary());
+    println!(
+        "{:<8} {:>14} {:>14} {:>12} {:>10}",
+        "backend", "mean_ns/clip", "best_ns/clip", "clips/s", "vs scalar"
+    );
+    for r in &results {
+        println!(
+            "{:<8} {:>14.0} {:>14.0} {:>12.1} {:>9.2}x",
+            r.backend.name(),
+            r.mean_ns_per_clip,
+            r.best_ns_per_clip,
+            1e9 / r.mean_ns_per_clip,
+            scalar_mean / r.mean_ns_per_clip
+        );
+    }
+
+    if check {
+        let active = results
+            .iter()
+            .find(|r| r.backend == dispatch.active)
+            .expect("dispatched backend was benchmarked");
+        assert!(
+            active.mean_ns_per_clip <= scalar_mean,
+            "dispatch regression: {} ({:.0} ns/clip) is slower than scalar ({:.0} ns/clip)",
+            active.backend.name(),
+            active.mean_ns_per_clip,
+            scalar_mean
+        );
+        println!(
+            "check ok: dispatched {} is {:.2}x scalar",
+            active.backend.name(),
+            scalar_mean / active.mean_ns_per_clip
+        );
+    }
+}

@@ -142,6 +142,229 @@ pub fn pack_signs_into(src: &[f32], n: usize, c: usize, h: usize, w: usize, data
     }
 }
 
+/// A per-channel binarization rule: which raw inputs pack to bit `1`.
+///
+/// [`exact_sign_rule`] folds a batch-norm affine `s·x + b` into one of
+/// these so the packed path can binarize **raw** activations directly —
+/// `rule.bit(x)` equals `s·x + b >= 0.0` bit-for-bit (in `f32`, for
+/// every non-NaN finite-affine case) without ever materializing the
+/// normalized tensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SignRule {
+    /// Bit is `1` iff `x >= threshold` (positive scale).
+    Ge(f32),
+    /// Bit is `1` iff `x <= threshold` (negative scale).
+    Le(f32),
+    /// Bit is constant regardless of `x` (zero scale, or an affine
+    /// whose sign never changes).
+    Const(bool),
+}
+
+impl SignRule {
+    /// Evaluates the rule on a raw activation.
+    #[inline]
+    pub fn bit(self, x: f32) -> bool {
+        match self {
+            SignRule::Ge(t) => x >= t,
+            SignRule::Le(t) => x <= t,
+            SignRule::Const(b) => b,
+        }
+    }
+}
+
+/// Maps an `f32` onto the order-preserving unsigned key line (negative
+/// floats reversed below positive ones); inverse of [`f32_from_key`].
+#[inline]
+fn f32_key(x: f32) -> u32 {
+    let b = x.to_bits();
+    if b & 0x8000_0000 != 0 {
+        !b
+    } else {
+        b | 0x8000_0000
+    }
+}
+
+#[inline]
+fn f32_from_key(k: u32) -> f32 {
+    f32::from_bits(if k & 0x8000_0000 != 0 {
+        k & 0x7fff_ffff
+    } else {
+        !k
+    })
+}
+
+/// Derives the [`SignRule`] that reproduces `s·x + b >= 0.0` exactly.
+///
+/// Naively comparing `x` against `−b/s` is *not* bit-identical to the
+/// `f32` affine (division rounds differently than the multiply–add
+/// chain).  Instead this exploits that `x ↦ (s·x + b >= 0.0)` is
+/// monotone in `x` for fixed `s, b` (IEEE multiply and add are
+/// monotone), and binary-searches the ordered-key line of all non-NaN
+/// `f32` values for the exact crossover.  The returned rule agrees with
+/// the affine comparison for every non-NaN `x` (`Const` rules may
+/// disagree only on NaN/infinite-affine corner cases, which the float
+/// reference path never produces).
+pub fn exact_sign_rule(scale: f32, shift: f32) -> SignRule {
+    if scale.is_nan() || shift.is_nan() {
+        return SignRule::Const(false); // affine is NaN for every x
+    }
+    if scale == 0.0 {
+        return SignRule::Const(shift >= 0.0);
+    }
+    let pred = |x: f32| scale * x + shift >= 0.0;
+    let p_neg = pred(f32::NEG_INFINITY);
+    let p_pos = pred(f32::INFINITY);
+    let key_neg_inf = f32_key(f32::NEG_INFINITY);
+    let key_pos_inf = f32_key(f32::INFINITY);
+    if scale > 0.0 {
+        // pred is monotone non-decreasing along the key line.
+        if p_neg {
+            return SignRule::Const(true);
+        }
+        if !p_pos {
+            return SignRule::Const(false);
+        }
+        let (mut lo, mut hi) = (key_neg_inf, key_pos_inf);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if pred(f32_from_key(mid)) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        SignRule::Ge(f32_from_key(hi))
+    } else {
+        // pred is monotone non-increasing along the key line.
+        if p_pos {
+            return SignRule::Const(true);
+        }
+        if !p_neg {
+            return SignRule::Const(false);
+        }
+        let (mut lo, mut hi) = (key_neg_inf, key_pos_inf);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if pred(f32_from_key(mid)) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        SignRule::Le(f32_from_key(lo))
+    }
+}
+
+/// Packs raw NCHW activations through per-channel [`SignRule`]s into
+/// the [`BitTensor`] pixel-word layout — the fused binarize+pack used
+/// by the `PlainSign` packed path (no `normed` buffer).  Every word of
+/// `data` is overwritten, padding bits included.
+///
+/// # Panics
+///
+/// Panics when a slice length disagrees with the dimensions or
+/// `rules.len() != c`.
+pub fn pack_rules_into(
+    src: &[f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    rules: &[SignRule],
+    data: &mut [u64],
+) {
+    let wpp = c.div_ceil(64);
+    let plane = h * w;
+    assert_eq!(src.len(), n * c * plane, "source length mismatch");
+    assert_eq!(data.len(), n * plane * wpp, "packed buffer length mismatch");
+    assert_eq!(rules.len(), c, "one SignRule per channel");
+    for ni in 0..n {
+        let item = &src[ni * c * plane..(ni + 1) * c * plane];
+        for p in 0..plane {
+            let base = (ni * plane + p) * wpp;
+            let mut word = 0u64;
+            let mut word_idx = 0;
+            for (ci, rule) in rules.iter().enumerate() {
+                let bit = ci % 64;
+                if rule.bit(item[ci * plane + p]) {
+                    word |= 1u64 << bit;
+                }
+                if bit == 63 {
+                    data[base + word_idx] = word;
+                    word = 0;
+                    word_idx += 1;
+                }
+            }
+            if !c.is_multiple_of(64) {
+                data[base + word_idx] = word;
+            }
+        }
+    }
+}
+
+/// Fused pass for the scaled packed path, one batch item at a time:
+/// applies the batch-norm affine `v = s·x + b`, packs `v >= 0.0` into
+/// pixel words, and accumulates the `|v|` channel mean into `mean`
+/// (`h·w`) — the `K = |T_in|·(1/c)` map the scale filter consumes —
+/// without materializing the normalized tensor.  Every word of `data`
+/// is overwritten.
+///
+/// The loop is channel-outer so each channel plane streams
+/// sequentially through the cache (the input is channel-major;
+/// pixel-outer iteration would stride by a whole plane per read).
+/// Each pixel's mean still accumulates its channels in ascending
+/// order, so the sums are bit-identical to the old materializing path.
+///
+/// # Panics
+///
+/// Panics when a slice length disagrees with the dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn pack_affine_mean_into(
+    item: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    scale: &[f32],
+    shift: &[f32],
+    data: &mut [u64],
+    mean: &mut [f32],
+) {
+    let wpp = c.div_ceil(64);
+    let plane = h * w;
+    assert_eq!(item.len(), c * plane, "source length mismatch");
+    assert_eq!(data.len(), plane * wpp, "packed buffer length mismatch");
+    assert_eq!(mean.len(), plane, "mean buffer length mismatch");
+    assert!(
+        scale.len() == c && shift.len() == c,
+        "one affine per channel"
+    );
+    data.fill(0);
+    mean.fill(0.0);
+    for ci in 0..c {
+        let (s, b) = (scale[ci], shift[ci]);
+        let bit = (ci % 64) as u32;
+        let src = &item[ci * plane..(ci + 1) * plane];
+        if wpp == 1 {
+            for ((&x, word), m) in src.iter().zip(data.iter_mut()).zip(mean.iter_mut()) {
+                let v = s * x + b;
+                *word |= ((v >= 0.0) as u64) << bit;
+                *m += v.abs();
+            }
+        } else {
+            let words = data.iter_mut().skip(ci / 64).step_by(wpp);
+            for ((&x, word), m) in src.iter().zip(words).zip(mean.iter_mut()) {
+                let v = s * x + b;
+                *word |= ((v >= 0.0) as u64) << bit;
+                *m += v.abs();
+            }
+        }
+    }
+    let inv_c = 1.0 / c as f32;
+    for m in mean.iter_mut() {
+        *m *= inv_c;
+    }
+}
+
 /// Bit-packed ±1 convolution weights `[k, c, kh, kw]`, channel-packed
 /// to match [`BitTensor`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -325,5 +548,99 @@ mod tests {
     fn pixel_bounds_checked() {
         let t = Tensor::zeros(&[1, 1, 2, 2]);
         BitTensor::from_tensor(&t).pixel_words(0, 2, 0);
+    }
+
+    /// Steps an f32 to its successor/predecessor on the key line.
+    fn nudge(x: f32, up: bool) -> f32 {
+        let k = f32_key(x);
+        f32_from_key(if up { k + 1 } else { k - 1 })
+    }
+
+    #[test]
+    fn exact_sign_rule_matches_affine_at_boundaries() {
+        let scales = [2.5f32, -1.75, 0.3, -0.0001, 1e-30, -1e30, 0.0, -0.0];
+        let shifts = [0.0f32, -0.0, 1.0, -1.0, 0.37, -12345.678, 1e-38, -3e38];
+        let probes = [
+            0.0f32, -0.0, 1.0, -1.0, 0.5, -0.5, 1e30, -1e30, 3.4e38, -3.4e38,
+        ];
+        for &s in &scales {
+            for &b in &shifts {
+                let rule = exact_sign_rule(s, b);
+                let check = |x: f32| {
+                    assert_eq!(
+                        rule.bit(x),
+                        s * x + b >= 0.0,
+                        "s={s} b={b} x={x} rule={rule:?}"
+                    );
+                };
+                for &x in &probes {
+                    check(x);
+                    check(nudge(x, true));
+                    check(nudge(x, false));
+                }
+                // Probe around the rule's own threshold too.
+                if let SignRule::Ge(t) | SignRule::Le(t) = rule {
+                    check(t);
+                    check(nudge(t, true));
+                    check(nudge(t, false));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_rules_matches_pack_signs_on_normed_data() {
+        // 70 channels crosses the word boundary.
+        let (n, c, h, w) = (2usize, 70usize, 3usize, 2usize);
+        let plane = h * w;
+        let mut raw = vec![0.0f32; n * c * plane];
+        let mut state = 99u32;
+        for v in raw.iter_mut() {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            *v = (state >> 16) as f32 / 16384.0 - 2.0;
+        }
+        let scale: Vec<f32> = (0..c).map(|i| (i as f32 - 35.0) * 0.11).collect();
+        let shift: Vec<f32> = (0..c).map(|i| 0.5 - i as f32 * 0.017).collect();
+        // Reference: materialize the affine, pack by sign.
+        let mut normed = raw.clone();
+        for ni in 0..n {
+            for ci in 0..c {
+                for p in 0..plane {
+                    let i = (ni * c + ci) * plane + p;
+                    normed[i] = scale[ci] * raw[i] + shift[ci];
+                }
+            }
+        }
+        let wpp = c.div_ceil(64);
+        let mut expect = vec![0u64; n * plane * wpp];
+        pack_signs_into(&normed, n, c, h, w, &mut expect);
+        // Fused: rules over raw data.
+        let rules: Vec<SignRule> = scale
+            .iter()
+            .zip(&shift)
+            .map(|(&s, &b)| exact_sign_rule(s, b))
+            .collect();
+        let mut got = vec![!0u64; n * plane * wpp]; // dirty buffer
+        pack_rules_into(&raw, n, c, h, w, &rules, &mut got);
+        assert_eq!(got, expect);
+        // Fused affine+mean pass agrees as well.
+        let mut got2 = vec![!0u64; plane * wpp];
+        let mut mean = vec![0.0f32; plane];
+        pack_affine_mean_into(
+            &raw[..c * plane],
+            c,
+            h,
+            w,
+            &scale,
+            &shift,
+            &mut got2,
+            &mut mean,
+        );
+        assert_eq!(got2, expect[..plane * wpp]);
+        for (p, &m) in mean.iter().enumerate() {
+            let want: f32 =
+                (0..c).map(|ci| normed[ci * plane + p].abs()).sum::<f32>() * (1.0 / c as f32);
+            assert_eq!(m, want, "mean at {p}");
+        }
     }
 }

@@ -18,8 +18,51 @@
 //! * float ops (GAP, dense head, scale multiplies) run on a scalar
 //!   multiply–accumulate unit, one op per cycle.
 
+use crate::kernels::{active_backend, KernelBackend};
 use crate::model::LayerSummary;
 use serde::{Deserialize, Serialize};
+
+/// What the software XNOR kernel dispatcher resolved to on this CPU —
+/// the software analogue of the [`HwConfig`] datapath description.
+/// Benchmarks embed this next to their timings so a recorded number can
+/// be traced to the inner loop that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DispatchReport {
+    /// Backend every [`ExecPlan`](crate::ExecPlan) compiled via
+    /// [`PackedBnn::plan`](crate::PackedBnn::plan) dispatches to.
+    pub active: KernelBackend,
+    /// All backends this CPU supports (scalar and SWAR are always
+    /// present; SIMD entries appear per `is_x86_feature_detected!`).
+    pub available: Vec<KernelBackend>,
+    /// 64-bit words the active backend's inner loop consumes per
+    /// iteration.
+    pub u64_lanes: usize,
+}
+
+impl DispatchReport {
+    /// One-line human-readable form, e.g.
+    /// `kernel backend: avx2 (4x u64/iter; available: scalar, swar, ssse3, avx2)`.
+    pub fn summary(&self) -> String {
+        let avail: Vec<&str> = self.available.iter().map(|b| b.name()).collect();
+        format!(
+            "kernel backend: {} ({}x u64/iter; available: {})",
+            self.active.name(),
+            self.u64_lanes,
+            avail.join(", ")
+        )
+    }
+}
+
+/// Snapshot of the process-wide kernel dispatch decision (see
+/// [`active_backend`]).
+pub fn dispatch_report() -> DispatchReport {
+    let active = active_backend();
+    DispatchReport {
+        active,
+        available: KernelBackend::available(),
+        u64_lanes: active.u64_lanes(),
+    }
+}
 
 /// Datapath parameters of the modelled accelerator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

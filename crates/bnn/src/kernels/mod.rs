@@ -1,0 +1,300 @@
+//! Runtime-dispatched XNOR+popcount inner loops.
+//!
+//! The packed convolution spends essentially all of its time in two
+//! tiny primitives over channel-packed `u64` words:
+//!
+//! * [`xor_popcount`] — total mismatch count between two equal-length
+//!   word spans (the per-pixel inner product for multi-word channels);
+//! * [`accum_xor_popcount`] / [`accum_xor_popcount_x4`] — for a run of
+//!   stride-1 output pixels, `acc[i] += popcount(src[i] ^ w)` against a
+//!   broadcast filter word (the single-word-per-pixel fast path; the
+//!   `_x4` form reuses each loaded input word across four output
+//!   filters).
+//!
+//! Four implementations exist, selected **once** per
+//! [`ExecPlan`](crate::plan::ExecPlan) compile (not per call):
+//!
+//! * [`KernelBackend::Scalar`] — the always-correct reference:
+//!   one-word-at-a-time `u64::count_ones`.
+//! * [`KernelBackend::Swar`] — portable SWAR popcount, four
+//!   independent accumulator chains per iteration for instruction-level
+//!   parallelism.  Works on every architecture.
+//! * [`KernelBackend::Ssse3`] — `pshufb` nibble-lookup popcount on
+//!   128-bit lanes (`std::arch`, gated by `is_x86_feature_detected!`).
+//! * [`KernelBackend::Avx2`] — the same lookup on 256-bit lanes, four
+//!   `u64` words per iteration.
+//!
+//! All backends compute identical integer counts, so every backend
+//! produces **bit-identical logits** (enforced by the
+//! `kernel_backends_*` property tests).  [`active_backend`] picks the
+//! best supported backend at first use; the `HOTSPOT_KERNEL_BACKEND`
+//! environment variable (`scalar`/`swar`/`ssse3`/`avx2`) overrides the
+//! choice for benchmarking and CI equivalence runs.
+
+pub mod geom;
+mod scalar;
+mod swar;
+#[cfg(target_arch = "x86_64")]
+mod x86;
+
+pub use geom::ConvGeometry;
+
+use std::sync::OnceLock;
+
+/// One of the compiled-in XNOR kernel implementations (see module
+/// docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelBackend {
+    /// One-word-at-a-time reference loop.
+    Scalar,
+    /// Portable SWAR popcount, 4 `u64` lanes per iteration for ILP.
+    Swar,
+    /// SSE `pshufb` nibble-lookup popcount (x86-64 only).
+    Ssse3,
+    /// AVX2 nibble-lookup popcount, 4 `u64` words per vector
+    /// (x86-64 only).
+    Avx2,
+}
+
+impl KernelBackend {
+    /// Stable lowercase name (also the `HOTSPOT_KERNEL_BACKEND`
+    /// spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Swar => "swar",
+            KernelBackend::Ssse3 => "ssse3",
+            KernelBackend::Avx2 => "avx2",
+        }
+    }
+
+    /// Parses a backend name as spelled by [`KernelBackend::name`].
+    pub fn parse(s: &str) -> Option<KernelBackend> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(KernelBackend::Scalar),
+            "swar" => Some(KernelBackend::Swar),
+            "ssse3" => Some(KernelBackend::Ssse3),
+            "avx2" => Some(KernelBackend::Avx2),
+            _ => None,
+        }
+    }
+
+    /// `u64` words processed per inner-loop iteration (reporting).
+    pub fn u64_lanes(self) -> usize {
+        match self {
+            KernelBackend::Scalar => 1,
+            KernelBackend::Swar | KernelBackend::Avx2 => 4,
+            KernelBackend::Ssse3 => 2,
+        }
+    }
+
+    /// Whether this backend can run on the current CPU.
+    pub fn is_supported(self) -> bool {
+        match self {
+            KernelBackend::Scalar | KernelBackend::Swar => true,
+            #[cfg(target_arch = "x86_64")]
+            KernelBackend::Ssse3 => std::arch::is_x86_feature_detected!("ssse3"),
+            #[cfg(target_arch = "x86_64")]
+            KernelBackend::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+
+    /// Every backend the current CPU supports, reference first.
+    pub fn available() -> Vec<KernelBackend> {
+        [
+            KernelBackend::Scalar,
+            KernelBackend::Swar,
+            KernelBackend::Ssse3,
+            KernelBackend::Avx2,
+        ]
+        .into_iter()
+        .filter(|b| b.is_supported())
+        .collect()
+    }
+
+    /// The best supported backend on this CPU.
+    pub fn detect() -> KernelBackend {
+        if KernelBackend::Avx2.is_supported() {
+            KernelBackend::Avx2
+        } else if KernelBackend::Ssse3.is_supported() {
+            KernelBackend::Ssse3
+        } else {
+            KernelBackend::Swar
+        }
+    }
+}
+
+/// The process-wide dispatched backend: `HOTSPOT_KERNEL_BACKEND` when
+/// set to a supported backend name, otherwise [`KernelBackend::detect`]
+/// — resolved once and cached.
+pub fn active_backend() -> KernelBackend {
+    static ACTIVE: OnceLock<KernelBackend> = OnceLock::new();
+    *ACTIVE.get_or_init(|| match std::env::var("HOTSPOT_KERNEL_BACKEND") {
+        Ok(name) => match KernelBackend::parse(&name) {
+            Some(b) if b.is_supported() => b,
+            Some(b) => {
+                eprintln!(
+                    "HOTSPOT_KERNEL_BACKEND={} not supported on this CPU; using {}",
+                    b.name(),
+                    KernelBackend::detect().name()
+                );
+                KernelBackend::detect()
+            }
+            None => {
+                eprintln!("unknown HOTSPOT_KERNEL_BACKEND={name:?}; using autodetect");
+                KernelBackend::detect()
+            }
+        },
+        Err(_) => KernelBackend::detect(),
+    })
+}
+
+/// Total popcount of `x[i] ^ y[i]` over two equal-length word spans.
+///
+/// # Panics
+///
+/// Panics (debug) when the lengths differ.
+#[inline]
+pub fn xor_popcount(backend: KernelBackend, x: &[u64], y: &[u64]) -> u32 {
+    debug_assert_eq!(x.len(), y.len());
+    match backend {
+        KernelBackend::Scalar => scalar::xor_popcount(x, y),
+        KernelBackend::Swar => swar::xor_popcount(x, y),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: backends are only selected when
+        // `is_x86_feature_detected!` confirmed the feature.
+        KernelBackend::Ssse3 => unsafe { x86::xor_popcount_ssse3(x, y) },
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx2 => unsafe { x86::xor_popcount_avx2(x, y) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => swar::xor_popcount(x, y),
+    }
+}
+
+/// `acc[i] += popcount(src[i] ^ w)` over a run of stride-1 pixels.
+///
+/// # Panics
+///
+/// Panics (debug) when the lengths differ.
+#[inline]
+pub fn accum_xor_popcount(backend: KernelBackend, acc: &mut [i32], src: &[u64], w: u64) {
+    debug_assert_eq!(acc.len(), src.len());
+    match backend {
+        KernelBackend::Scalar => scalar::accum_xor_popcount(acc, src, w),
+        KernelBackend::Swar => swar::accum_xor_popcount(acc, src, w),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: see `xor_popcount`.
+        KernelBackend::Ssse3 => unsafe { x86::accum_xor_popcount_ssse3(acc, src, w) },
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx2 => unsafe { x86::accum_xor_popcount_avx2(acc, src, w) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => swar::accum_xor_popcount(acc, src, w),
+    }
+}
+
+/// Four-filter form of [`accum_xor_popcount`]: each loaded input word
+/// is XNOR-accumulated against four filter words into four accumulator
+/// rows (the filter-blocked interior loop).
+///
+/// # Panics
+///
+/// Panics (debug) when any accumulator length differs from `src`.
+#[inline]
+pub fn accum_xor_popcount_x4(
+    backend: KernelBackend,
+    acc: [&mut [i32]; 4],
+    src: &[u64],
+    ws: [u64; 4],
+) {
+    debug_assert!(acc.iter().all(|a| a.len() == src.len()));
+    match backend {
+        KernelBackend::Scalar => scalar::accum_xor_popcount_x4(acc, src, ws),
+        KernelBackend::Swar => swar::accum_xor_popcount_x4(acc, src, ws),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: see `xor_popcount`.
+        KernelBackend::Ssse3 => unsafe { x86::accum_xor_popcount_x4_ssse3(acc, src, ws) },
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx2 => unsafe { x86::accum_xor_popcount_x4_avx2(acc, src, ws) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => swar::accum_xor_popcount_x4(acc, src, ws),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(seed: u64, n: usize) -> Vec<u64> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                s ^ (s >> 31)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn backends_match_scalar_on_random_spans() {
+        let x = words(1, 257);
+        let y = words(2, 257);
+        let expect = xor_popcount(KernelBackend::Scalar, &x, &y);
+        for backend in KernelBackend::available() {
+            for len in [0, 1, 2, 3, 4, 5, 7, 8, 63, 64, 255, 257] {
+                let e = xor_popcount(KernelBackend::Scalar, &x[..len], &y[..len]);
+                assert_eq!(
+                    xor_popcount(backend, &x[..len], &y[..len]),
+                    e,
+                    "{} len {len}",
+                    backend.name()
+                );
+            }
+            assert_eq!(xor_popcount(backend, &x, &y), expect, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn accum_backends_match_scalar() {
+        let src = words(3, 133);
+        let w = 0xdead_beef_f00d_cafe;
+        let mut expect = vec![5i32; src.len()];
+        accum_xor_popcount(KernelBackend::Scalar, &mut expect, &src, w);
+        for backend in KernelBackend::available() {
+            let mut acc = vec![5i32; src.len()];
+            accum_xor_popcount(backend, &mut acc, &src, w);
+            assert_eq!(acc, expect, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn accum_x4_matches_four_single_accums() {
+        let src = words(4, 67);
+        let ws4 = [1u64, !0u64, 0x5555_5555_5555_5555, 0x0123_4567_89ab_cdef];
+        let mut expect = vec![vec![0i32; src.len()]; 4];
+        for (f, e) in expect.iter_mut().enumerate() {
+            accum_xor_popcount(KernelBackend::Scalar, e, &src, ws4[f]);
+        }
+        for backend in KernelBackend::available() {
+            let mut acc = vec![vec![0i32; src.len()]; 4];
+            let [a0, a1, a2, a3] = &mut acc[..] else {
+                unreachable!()
+            };
+            accum_xor_popcount_x4(backend, [a0, a1, a2, a3], &src, ws4);
+            assert_eq!(acc, expect, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn detect_is_supported_and_named() {
+        let b = KernelBackend::detect();
+        assert!(b.is_supported());
+        assert_eq!(KernelBackend::parse(b.name()), Some(b));
+        assert!(KernelBackend::available().contains(&KernelBackend::Scalar));
+        assert!(active_backend().is_supported());
+        assert!(b.u64_lanes() >= 1);
+    }
+}

@@ -39,6 +39,7 @@
 pub mod bitpack;
 pub mod block;
 pub mod hw;
+pub mod kernels;
 pub mod layer;
 pub mod model;
 pub mod packed;
@@ -47,15 +48,22 @@ pub mod scaling;
 pub mod ste;
 pub mod wire;
 
-pub use bitpack::{pack_signs_into, BitFilter, BitTensor};
+pub use bitpack::{
+    exact_sign_rule, pack_affine_mean_into, pack_rules_into, pack_signs_into, BitFilter, BitTensor,
+    SignRule,
+};
 pub use block::{BinaryResidualBlock, BnnBlock};
-pub use hw::{estimate_hardware, HwConfig, HwEstimate};
+pub use hw::{dispatch_report, estimate_hardware, DispatchReport, HwConfig, HwEstimate};
+pub use kernels::{active_backend, ConvGeometry, KernelBackend};
 pub use layer::BinConv2d;
 pub use model::{BnnResNet, LayerSummary, NetConfig};
-pub use packed::{xnor_conv2d, xnor_conv2d_into, PackedBnn, PackedConv, PackedResidual};
+pub use packed::{
+    xnor_conv2d, xnor_conv2d_backend, xnor_conv2d_into, xnor_conv2d_into_backend, ConvPrep,
+    PackedBnn, PackedConv, PackedResidual, ACC_PLANES,
+};
 pub use plan::ExecPlan;
 pub use scaling::{
-    box_filter, box_filter_into, input_scale_per_channel, input_scale_shared, output_scale_shared,
-    output_scale_shared_into, weight_scale, ScalingMode,
+    box_filter, box_filter_into, box_filter_sliding_into, input_scale_per_channel,
+    input_scale_shared, output_scale_shared, output_scale_shared_into, weight_scale, ScalingMode,
 };
 pub use ste::{sign_tensor, ste_grad};

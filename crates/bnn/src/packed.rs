@@ -11,14 +11,22 @@
 //!
 //! [`BnnResNet`]: crate::model::BnnResNet
 
-use crate::bitpack::{pack_signs_into, BitFilter, BitTensor};
+use crate::bitpack::{
+    exact_sign_rule, pack_affine_mean_into, pack_rules_into, BitFilter, BitTensor, SignRule,
+};
 use crate::block::{BinaryResidualBlock, BnnBlock};
+use crate::kernels::geom::Interior;
+use crate::kernels::{self, active_backend, ConvGeometry, KernelBackend};
 use crate::model::BnnResNet;
-use crate::scaling::{output_scale_shared_into, weight_scale, ScalingMode};
+use crate::scaling::{box_filter_sliding_into, weight_scale, ScalingMode};
 use hotspot_tensor::workspace::{global_pool, Workspace};
 use hotspot_tensor::Tensor;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Integer scratch rows [`xnor_conv2d_into`] needs: one accumulator
+/// plane per filter in a block of four.
+pub const ACC_PLANES: usize = 4;
 
 /// Binary convolution on bit-packed operands.
 ///
@@ -31,197 +39,421 @@ use serde::{Deserialize, Serialize};
 ///
 /// Panics when the channel counts disagree.
 pub fn xnor_conv2d(input: &BitTensor, filter: &BitFilter, stride: usize, pad: usize) -> Tensor {
+    xnor_conv2d_backend(active_backend(), input, filter, stride, pad)
+}
+
+/// [`xnor_conv2d`] with an explicit kernel backend (all backends are
+/// bit-identical; this entry point exists for equivalence tests and
+/// benchmarks).
+///
+/// # Panics
+///
+/// Panics when the channel counts disagree.
+pub fn xnor_conv2d_backend(
+    backend: KernelBackend,
+    input: &BitTensor,
+    filter: &BitFilter,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
     let (n, c, h, w) = input.dims();
     let (k, fc, kh, kw) = filter.dims();
     assert_eq!(c, fc, "input has {c} channels, filter expects {fc}");
     assert!(stride > 0, "stride must be positive");
-    let oh = (h + 2 * pad - kh) / stride + 1;
-    let ow = (w + 2 * pad - kw) / stride + 1;
+    let geom = ConvGeometry::new(c, h, w, kh, kw, stride, pad);
+    let (oh, ow) = (geom.oh, geom.ow);
+    let oplane = oh * ow;
     let in_words = input.as_words();
 
-    let mut out = vec![0.0f32; n * k * oh * ow];
-    // Parallelize over (batch, filter) pairs; each worker draws its
-    // integer scratch from the process-wide workspace pool.
-    out.par_chunks_mut(oh * ow)
-        .enumerate()
-        .for_each(|(chunk, plane)| {
-            let ni = chunk / k;
-            let ki = chunk % k;
-            let mut ws = global_pool().checkout();
-            let mut acc = ws.take_i32(oh * ow);
-            let mut taps_hit = ws.take_i32(oh * ow);
-            xnor_plane(
-                in_words,
-                (c, h, w),
-                filter,
-                stride,
-                pad,
-                ni,
-                ki,
-                &mut acc,
-                &mut taps_hit,
-                plane,
-            );
-            ws.give_i32(taps_hit);
+    let mut out = vec![0.0f32; n * k * oplane];
+    // Parallelize over batch items; each worker checks one workspace
+    // out of the process-wide pool and reuses it for every item it
+    // processes (the guard restores it when the worker retires).
+    out.par_chunks_mut(k * oplane).enumerate().for_each_init(
+        || global_pool().checkout_guard(),
+        |ws, (ni, chunk)| {
+            let mut acc = ws.take_i32(ACC_PLANES * geom.ow);
+            xnor_item(backend, in_words, &geom, filter, ni, None, &mut acc, chunk);
             ws.give_i32(acc);
-            global_pool().restore(ws);
-        });
+        },
+    );
     Tensor::from_vec(&[n, k, oh, ow], out)
 }
 
 /// Binary convolution on raw [`BitTensor`]-layout words into a
 /// caller-provided `[n, k, oh, ow]` buffer, with caller-provided
 /// integer scratch — the sequential, allocation-free core behind
-/// [`xnor_conv2d`] and the [`crate::plan::ExecPlan`] engine.
+/// [`xnor_conv2d`] and the [`crate::plan::ExecPlan`] engine.  The
+/// geometry tables are precomputed by the caller (once per plan step)
+/// instead of being rebuilt per plane.
 ///
-/// `acc` and `taps_hit` must each hold `oh * ow` elements (contents
+/// `acc` must hold [`ACC_PLANES`]` * ow` elements — one output row of
+/// accumulators per filter in a block; rows finalize straight out of
+/// this L1-resident buffer (contents
 /// ignored).  Every element of `out` is overwritten.
 ///
 /// # Panics
 ///
-/// Panics when the channel counts disagree or a buffer length does not
-/// match the dimensions.
-#[allow(clippy::too_many_arguments)]
+/// Panics when the filter disagrees with the geometry or a buffer
+/// length does not match the dimensions.
 pub fn xnor_conv2d_into(
     in_words: &[u64],
     n: usize,
-    c: usize,
-    h: usize,
-    w: usize,
+    geom: &ConvGeometry,
     filter: &BitFilter,
-    stride: usize,
-    pad: usize,
     acc: &mut [i32],
-    taps_hit: &mut [i32],
+    out: &mut [f32],
+) {
+    xnor_conv2d_into_backend(active_backend(), in_words, n, geom, filter, acc, out)
+}
+
+/// [`xnor_conv2d_into`] with an explicit kernel backend.
+///
+/// # Panics
+///
+/// See [`xnor_conv2d_into`].
+pub fn xnor_conv2d_into_backend(
+    backend: KernelBackend,
+    in_words: &[u64],
+    n: usize,
+    geom: &ConvGeometry,
+    filter: &BitFilter,
+    acc: &mut [i32],
+    out: &mut [f32],
+) {
+    xnor_conv2d_scaled(backend, in_words, n, geom, filter, None, acc, out);
+}
+
+/// Core conv loop shared by the scaled and unscaled paths.  When
+/// `scale` is `Some((alpha, smap))` — per-filter weight scales and the
+/// per-item `[n, oh, ow]` activation scale map — the finalize pass
+/// multiplies each output by `alpha[f] * smap[pixel]` in place of the
+/// separate full-tensor pass the scaled forward used to make
+/// (bit-identical: same multiply, same order, one less sweep).
+#[allow(clippy::too_many_arguments)]
+fn xnor_conv2d_scaled(
+    backend: KernelBackend,
+    in_words: &[u64],
+    n: usize,
+    geom: &ConvGeometry,
+    filter: &BitFilter,
+    scale: Option<(&[f32], &[f32])>,
+    acc: &mut [i32],
     out: &mut [f32],
 ) {
     let (k, fc, kh, kw) = filter.dims();
-    assert_eq!(c, fc, "input has {c} channels, filter expects {fc}");
-    assert!(stride > 0, "stride must be positive");
-    let wpp = c.div_ceil(64);
+    assert_eq!(
+        (fc, kh, kw),
+        (geom.c, geom.kh, geom.kw),
+        "filter shape disagrees with geometry"
+    );
+    let oplane = geom.oh * geom.ow;
     assert_eq!(
         in_words.len(),
-        n * h * w * wpp,
+        n * geom.h * geom.w * geom.wpp,
         "packed input length mismatch"
     );
-    let oh = (h + 2 * pad - kh) / stride + 1;
-    let ow = (w + 2 * pad - kw) / stride + 1;
-    assert_eq!(acc.len(), oh * ow, "acc scratch length mismatch");
-    assert_eq!(taps_hit.len(), oh * ow, "taps scratch length mismatch");
-    assert_eq!(out.len(), n * k * oh * ow, "output length mismatch");
-    for chunk in 0..n * k {
-        let plane = &mut out[chunk * oh * ow..(chunk + 1) * oh * ow];
-        let ni = chunk / k;
-        let ki = chunk % k;
-        xnor_plane(
-            in_words,
-            (c, h, w),
-            filter,
-            stride,
-            pad,
-            ni,
-            ki,
-            acc,
-            taps_hit,
-            plane,
-        );
+    assert_eq!(
+        acc.len(),
+        ACC_PLANES * geom.ow,
+        "acc scratch length mismatch"
+    );
+    assert_eq!(out.len(), n * k * oplane, "output length mismatch");
+    if let Some((alpha, smap)) = scale {
+        assert_eq!(alpha.len(), k, "one weight scale per filter");
+        assert_eq!(smap.len(), n * oplane, "scale map length mismatch");
+    }
+    for ni in 0..n {
+        let item = &mut out[ni * k * oplane..(ni + 1) * k * oplane];
+        let item_scale = scale.map(|(a, s)| (a, &s[ni * oplane..(ni + 1) * oplane]));
+        xnor_item(backend, in_words, geom, filter, ni, item_scale, acc, item);
     }
 }
 
-/// One output plane (batch item `ni`, filter `ki`) of a binary
-/// convolution.  Kernel taps iterate in the outer loops so the
-/// innermost loop is a tight run over contiguous output pixels with no
-/// bounds checks.
-#[allow(clippy::too_many_arguments)]
-fn xnor_plane(
-    in_words: &[u64],
-    (c, h, w): (usize, usize, usize),
-    filter: &BitFilter,
-    stride: usize,
-    pad: usize,
-    ni: usize,
-    ki: usize,
-    acc: &mut [i32],
-    taps_hit: &mut [i32],
-    plane: &mut [f32],
+/// Visits every output pixel outside the interior rectangle.
+fn for_each_border(
+    oh: usize,
+    ow: usize,
+    interior: Option<Interior>,
+    mut f: impl FnMut(usize, usize),
 ) {
-    let (_, _, kh, kw) = filter.dims();
-    let wpt = filter.words_per_tap();
-    let wpp = c.div_ceil(64);
-    let f_words = filter.as_words();
-    let oh = (h + 2 * pad - kh) / stride + 1;
-    let ow = (w + 2 * pad - kw) / stride + 1;
-    debug_assert_eq!(wpp, wpt);
-    {
-        acc.fill(0);
-        taps_hit.fill(0);
-        for ky in 0..kh {
-            for kx in 0..kw {
-                let tap_base = ((ki * kh + ky) * kw + kx) * wpt;
-                // Valid output ranges where the tap lands in bounds:
-                // iy = oy*stride + ky - pad ∈ [0, h).
-                let oy_lo = pad.saturating_sub(ky).div_ceil(stride);
-                let oy_hi = if h + pad > ky {
-                    (((h + pad - ky - 1) / stride) + 1).min(oh)
-                } else {
-                    0
-                };
-                let ox_lo = pad.saturating_sub(kx).div_ceil(stride);
-                let ox_hi = if w + pad > kx {
-                    (((w + pad - kx - 1) / stride) + 1).min(ow)
-                } else {
-                    0
-                };
-                if oy_lo >= oy_hi || ox_lo >= ox_hi {
-                    continue;
+    match interior {
+        None => {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    f(oy, ox);
                 }
-                if wpp == 1 {
-                    let wword = f_words[tap_base];
-                    for oy in oy_lo..oy_hi {
+            }
+        }
+        Some(int) => {
+            for oy in 0..int.oy0 {
+                for ox in 0..ow {
+                    f(oy, ox);
+                }
+            }
+            for oy in int.oy0..int.oy1 {
+                for ox in 0..int.ox0 {
+                    f(oy, ox);
+                }
+                for ox in int.ox1..ow {
+                    f(oy, ox);
+                }
+            }
+            for oy in int.oy1..oh {
+                for ox in 0..ow {
+                    f(oy, ox);
+                }
+            }
+        }
+    }
+}
+
+/// Writes one finalized output value:
+/// `dot = taps·c − 2·mismatches`, times the fused activation scale
+/// when present.
+#[inline]
+fn finalize(hit: i32, c: usize, mism: i32, scale: f32) -> f32 {
+    (hit * c as i32 - 2 * mism) as f32 * scale
+}
+
+/// One batch item (`k` output planes) of a binary convolution.
+///
+/// Filters are processed in blocks of up to four so every input word
+/// loaded in the interior loop is reused across the block.  The output
+/// plane splits into the precomputed interior rectangle — all taps in
+/// bounds, handled by the branch-free dispatched kernels — and a thin
+/// border handled by the general bounds-checked path.
+///
+/// Interior loops are *row-outer*: each output row accumulates its
+/// `kh·kw` taps into an `ACC_PLANES × ow` row buffer that stays
+/// L1-resident and is finalized straight into `out` before moving to
+/// the next row.  (A tap-outer loop would stream whole `oh·ow`
+/// accumulator planes through the cache `kh·kw` times.)  Border pixels
+/// accumulate their few taps in registers and finalize immediately, so
+/// no full-plane integer scratch exists anywhere.
+#[allow(clippy::too_many_arguments)]
+fn xnor_item(
+    backend: KernelBackend,
+    in_words: &[u64],
+    geom: &ConvGeometry,
+    filter: &BitFilter,
+    ni: usize,
+    scale: Option<(&[f32], &[f32])>,
+    acc: &mut [i32],
+    out: &mut [f32],
+) {
+    let (k, _, kh, kw) = filter.dims();
+    let (c, h, w) = (geom.c, geom.h, geom.w);
+    let (stride, pad) = (geom.stride, geom.pad);
+    let (oh, ow, wpp) = (geom.oh, geom.ow, geom.wpp);
+    let oplane = oh * ow;
+    let f_words = filter.as_words();
+    debug_assert_eq!(wpp, filter.words_per_tap());
+    debug_assert_eq!(acc.len(), ACC_PLANES * ow);
+    debug_assert_eq!(out.len(), k * oplane);
+    let taps = geom.taps_hit();
+    let full_hit = (kh * kw) as i32;
+    // Per-filter finalize scale: alpha[f] * smap[pixel], or 1.
+    let fscale = |f: usize, p: usize| match scale {
+        None => 1.0,
+        Some((alpha, splane)) => alpha[f] * splane[p],
+    };
+
+    let mut ki = 0;
+    while ki < k {
+        let fb = (k - ki).min(ACC_PLANES);
+
+        if let Some(int) = geom.interior() {
+            let run = int.ox1 - int.ox0;
+            if wpp == 1 {
+                for oy in int.oy0..int.oy1 {
+                    let row_acc = &mut acc[..ACC_PLANES * run];
+                    row_acc.fill(0);
+                    let (a0, rest) = row_acc.split_at_mut(run);
+                    let (a1, rest) = rest.split_at_mut(run);
+                    let (a2, a3) = rest.split_at_mut(run);
+                    let mut rows = [a0, a1, a2, a3];
+                    for ky in 0..kh {
                         let iy = oy * stride + ky - pad;
-                        let row = &in_words[(ni * h + iy) * w..(ni * h + iy + 1) * w];
-                        let arow = &mut acc[oy * ow..oy * ow + ow];
-                        let trow = &mut taps_hit[oy * ow..oy * ow + ow];
-                        if stride == 1 {
-                            let ix0 = ox_lo + kx - pad;
-                            for (i, (a, t)) in arow[ox_lo..ox_hi]
-                                .iter_mut()
-                                .zip(&mut trow[ox_lo..ox_hi])
-                                .enumerate()
-                            {
-                                *a += (row[ix0 + i] ^ wword).count_ones() as i32;
-                                *t += 1;
+                        for kx in 0..kw {
+                            let mut ws4 = [0u64; ACC_PLANES];
+                            for (f, slot) in ws4.iter_mut().enumerate().take(fb) {
+                                *slot = f_words[((ki + f) * kh + ky) * kw + kx];
                             }
-                        } else {
-                            for ox in ox_lo..ox_hi {
-                                let ix = ox * stride + kx - pad;
-                                arow[ox] += (row[ix] ^ wword).count_ones() as i32;
-                                trow[ox] += 1;
+                            let ix0 = int.ox0 * stride + kx - pad;
+                            if stride == 1 {
+                                let src = &in_words[(ni * h + iy) * w + ix0..][..run];
+                                if fb == ACC_PLANES {
+                                    let [r0, r1, r2, r3] = &mut rows;
+                                    kernels::accum_xor_popcount_x4(
+                                        backend,
+                                        [&mut r0[..], &mut r1[..], &mut r2[..], &mut r3[..]],
+                                        src,
+                                        ws4,
+                                    );
+                                } else {
+                                    for (f, &wword) in ws4.iter().enumerate().take(fb) {
+                                        kernels::accum_xor_popcount(
+                                            backend,
+                                            &mut rows[f][..],
+                                            src,
+                                            wword,
+                                        );
+                                    }
+                                }
+                            } else {
+                                // Strided rows: gather each chunk into a
+                                // stack scratch once, then reuse the
+                                // contiguous dispatched kernels — the
+                                // gather cost is paid once per chunk
+                                // instead of once per filter.
+                                const GATHER: usize = 128;
+                                let row = &in_words[(ni * h + iy) * w..];
+                                let mut gat = [0u64; GATHER];
+                                let mut done = 0;
+                                while done < run {
+                                    let m = (run - done).min(GATHER);
+                                    for (i, slot) in gat.iter_mut().enumerate().take(m) {
+                                        *slot = row[ix0 + (done + i) * stride];
+                                    }
+                                    if fb == ACC_PLANES {
+                                        let [r0, r1, r2, r3] = &mut rows;
+                                        kernels::accum_xor_popcount_x4(
+                                            backend,
+                                            [
+                                                &mut r0[done..done + m],
+                                                &mut r1[done..done + m],
+                                                &mut r2[done..done + m],
+                                                &mut r3[done..done + m],
+                                            ],
+                                            &gat[..m],
+                                            ws4,
+                                        );
+                                    } else {
+                                        for (f, &wword) in ws4.iter().enumerate().take(fb) {
+                                            kernels::accum_xor_popcount(
+                                                backend,
+                                                &mut rows[f][done..done + m],
+                                                &gat[..m],
+                                                wword,
+                                            );
+                                        }
+                                    }
+                                    done += m;
+                                }
                             }
                         }
                     }
-                } else {
-                    let wtap = &f_words[tap_base..tap_base + wpt];
-                    for oy in oy_lo..oy_hi {
-                        let iy = oy * stride + ky - pad;
-                        for ox in ox_lo..ox_hi {
-                            let ix = ox * stride + kx - pad;
-                            let base = ((ni * h + iy) * w + ix) * wpp;
-                            let mut mism = 0u32;
-                            for (a, b) in in_words[base..base + wpp].iter().zip(wtap) {
-                                mism += (a ^ b).count_ones();
+                    // Finalize this row straight from the hot buffer.
+                    let row_off = oy * ow + int.ox0;
+                    for (f, row) in rows.iter().enumerate().take(fb) {
+                        let dst = &mut out[(ki + f) * oplane + row_off..][..run];
+                        match scale {
+                            None => {
+                                for (o, &mism) in dst.iter_mut().zip(row.iter()) {
+                                    *o = finalize(full_hit, c, mism, 1.0);
+                                }
                             }
-                            acc[oy * ow + ox] += mism as i32;
-                            taps_hit[oy * ow + ox] += 1;
+                            Some((alpha, splane)) => {
+                                let a = alpha[ki + f];
+                                let srow = &splane[row_off..row_off + run];
+                                for ((o, &mism), &s) in dst.iter_mut().zip(row.iter()).zip(srow) {
+                                    *o = finalize(full_hit, c, mism, a * s);
+                                }
+                            }
+                        }
+                    }
+                }
+            } else {
+                // Multi-word channels: per pixel, each kernel row is a
+                // contiguous kw*wpp span for the dispatched popcount;
+                // finalize immediately.
+                for oy in int.oy0..int.oy1 {
+                    let iy0 = oy * stride - pad;
+                    for ox in int.ox0..int.ox1 {
+                        let ix0 = ox * stride - pad;
+                        let p = oy * ow + ox;
+                        for f in 0..fb {
+                            let mut mism = 0u32;
+                            for ky in 0..kh {
+                                let ibase = ((ni * h + iy0 + ky) * w + ix0) * wpp;
+                                let fbase = ((ki + f) * kh + ky) * kw * wpp;
+                                mism += kernels::xor_popcount(
+                                    backend,
+                                    &in_words[ibase..ibase + kw * wpp],
+                                    &f_words[fbase..fbase + kw * wpp],
+                                );
+                            }
+                            out[(ki + f) * oplane + p] =
+                                finalize(full_hit, c, mism as i32, fscale(ki + f, p));
                         }
                     }
                 }
             }
         }
-        // dot = Σ_taps (c − 2·mismatches) = taps·c − 2·total_mismatches.
-        for ((o, &mism), &taps) in plane.iter_mut().zip(acc.iter()).zip(taps_hit.iter()) {
-            *o = (taps * c as i32 - 2 * mism) as f32;
-        }
+
+        // Border pixels: general per-tap path with bounds checks,
+        // accumulating each filter's mismatches in a register and
+        // finalizing in place.
+        for_each_border(oh, ow, geom.interior(), |oy, ox| {
+            let p = oy * ow + ox;
+            let mut mism4 = [0i32; ACC_PLANES];
+            for ky in 0..kh {
+                let iy = oy * stride + ky;
+                if iy < pad || iy - pad >= h {
+                    continue;
+                }
+                let iy = iy - pad;
+                for kx in 0..kw {
+                    let ix = ox * stride + kx;
+                    if ix < pad || ix - pad >= w {
+                        continue;
+                    }
+                    let ix = ix - pad;
+                    let ibase = ((ni * h + iy) * w + ix) * wpp;
+                    let src = &in_words[ibase..ibase + wpp];
+                    for (f, m) in mism4.iter_mut().enumerate().take(fb) {
+                        let fbase = (((ki + f) * kh + ky) * kw + kx) * wpp;
+                        for (a, b) in src.iter().zip(&f_words[fbase..fbase + wpp]) {
+                            *m += (a ^ b).count_ones() as i32;
+                        }
+                    }
+                }
+            }
+            for (f, &mism) in mism4.iter().enumerate().take(fb) {
+                out[(ki + f) * oplane + p] = finalize(taps[p], c, mism, fscale(ki + f, p));
+            }
+        });
+
+        ki += fb;
+    }
+}
+
+/// Shape-derived state for running one [`PackedConv`] at a fixed input
+/// resolution: the precomputed [`ConvGeometry`], the fused
+/// binarization [`SignRule`]s (PlainSign mode), and the kernel backend
+/// — everything `forward_prepped` needs that does not depend on the
+/// activations.  Built once per `Step::Conv` at plan-compile time.
+///
+/// This is deliberately *not* stored on [`PackedConv`] itself: the
+/// conv is a serialized wire-format struct, and prep state is
+/// derivable, per-resolution, and backend-specific.
+#[derive(Debug, Clone)]
+pub struct ConvPrep {
+    geom: ConvGeometry,
+    rules: Vec<SignRule>,
+    backend: KernelBackend,
+}
+
+impl ConvPrep {
+    /// The precomputed geometry tables.
+    pub fn geometry(&self) -> &ConvGeometry {
+        &self.geom
+    }
+
+    /// The kernel backend this prep dispatches to.
+    pub fn backend(&self) -> KernelBackend {
+        self.backend
     }
 }
 
@@ -367,11 +599,45 @@ impl PackedConv {
         Tensor::from_vec(&[n, self.alpha_w.len(), oh, ow], out)
     }
 
+    /// Builds the shape-derived [`ConvPrep`] for an `h × w` input,
+    /// dispatching to [`active_backend`].
+    pub fn prepare(&self, h: usize, w: usize) -> ConvPrep {
+        self.prepare_with_backend(h, w, active_backend())
+    }
+
+    /// [`PackedConv::prepare`] with an explicit kernel backend.
+    pub fn prepare_with_backend(&self, h: usize, w: usize, backend: KernelBackend) -> ConvPrep {
+        let c = self.bn_scale.len();
+        let geom = ConvGeometry::new(c, h, w, self.kernel, self.kernel, self.stride, self.pad);
+        // PlainSign binarizes sign(s·x + b); fold the affine into one
+        // exact threshold rule per channel so the forward pass packs
+        // bits straight from the raw input.  The scaled modes need the
+        // affine values themselves (for the |T_in| mean) and use the
+        // fused pack+mean pass instead.
+        let rules = if matches!(self.scaling, ScalingMode::PlainSign) {
+            self.bn_scale
+                .iter()
+                .zip(&self.bn_shift)
+                .map(|(&s, &b)| exact_sign_rule(s, b))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        ConvPrep {
+            geom,
+            rules,
+            backend,
+        }
+    }
+
     /// Runs the block on a raw NCHW slice into a caller-provided
     /// `[n, k, oh, ow]` buffer (overwritten), with every intermediate —
-    /// batch-norm fold, packed sign words, integer popcount scratch,
-    /// scale maps — drawn from `ws`.  After one warm-up call with the
-    /// same shapes, subsequent calls perform no heap allocation.
+    /// packed sign words, integer popcount scratch, scale maps — drawn
+    /// from `ws`.  After one warm-up call with the same shapes,
+    /// subsequent calls perform no heap allocation.
+    ///
+    /// Builds a fresh [`ConvPrep`] per call; plan-driven callers build
+    /// it once and use [`PackedConv::forward_prepped`].
     ///
     /// # Panics
     ///
@@ -385,86 +651,105 @@ impl PackedConv {
         ws: &mut Workspace,
         out: &mut [f32],
     ) {
+        let prep = self.prepare(h, w);
+        self.forward_prepped(&prep, x, n, ws, out);
+    }
+
+    /// [`PackedConv::forward_into`] with precomputed shape-derived
+    /// state (the input resolution is fixed by `prep`).
+    ///
+    /// The batch-norm affine is fused into the binarize+pack pass, so
+    /// no normalized f32 tensor is ever materialized: PlainSign packs
+    /// through exact per-channel threshold rules; the scaled modes use
+    /// one fused pass that packs and accumulates the `|T_in|` channel
+    /// mean together, then box-filters it with the O(1) sliding window.
+    /// The result is bit-for-bit identical to the old materializing
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a slice length disagrees with the dimensions or
+    /// `prep` was built for a different conv shape.
+    pub fn forward_prepped(
+        &self,
+        prep: &ConvPrep,
+        x: &[f32],
+        n: usize,
+        ws: &mut Workspace,
+        out: &mut [f32],
+    ) {
         let c = self.bn_scale.len();
+        let geom = &prep.geom;
+        assert_eq!(
+            (geom.c, geom.kh, geom.stride, geom.pad),
+            (c, self.kernel, self.stride, self.pad),
+            "prep was built for a different conv"
+        );
+        let (h, w) = (geom.h, geom.w);
         let plane = h * w;
         assert_eq!(x.len(), n * c * plane, "input length mismatch");
-        let (oh, ow) = self.output_hw(h, w);
+        let (oh, ow) = (geom.oh, geom.ow);
+        let oplane = oh * ow;
         let ko = self.alpha_w.len();
-        assert_eq!(out.len(), n * ko * oh * ow, "output length mismatch");
-
-        // Fold batch norm.
-        let mut normed = ws.take_f32(n * c * plane);
-        for ni in 0..n {
-            for ci in 0..c {
-                let base = (ni * c + ci) * plane;
-                let (s, b) = (self.bn_scale[ci], self.bn_shift[ci]);
-                for (dst, src) in normed[base..base + plane]
-                    .iter_mut()
-                    .zip(&x[base..base + plane])
-                {
-                    *dst = s * src + b;
-                }
-            }
-        }
-
-        // XNOR core on sign-packed words.
-        let wpp = c.div_ceil(64);
+        assert_eq!(out.len(), n * ko * oplane, "output length mismatch");
+        let wpp = geom.wpp;
         let mut words = ws.take_u64(n * plane * wpp);
-        pack_signs_into(&normed, n, c, h, w, &mut words);
-        let mut acc = ws.take_i32(oh * ow);
-        let mut taps_hit = ws.take_i32(oh * ow);
-        xnor_conv2d_into(
-            &words,
-            n,
-            c,
-            h,
-            w,
-            &self.filter,
-            self.stride,
-            self.pad,
-            &mut acc,
-            &mut taps_hit,
-            out,
-        );
-        ws.give_i32(taps_hit);
-        ws.give_i32(acc);
-        ws.give_u64(words);
 
-        if !matches!(self.scaling, ScalingMode::PlainSign) {
+        if matches!(self.scaling, ScalingMode::PlainSign) {
+            pack_rules_into(x, n, c, h, w, &prep.rules, &mut words);
+            let mut acc = ws.take_i32(ACC_PLANES * ow);
+            xnor_conv2d_into_backend(prep.backend, &words, n, geom, &self.filter, &mut acc, out);
+            ws.give_i32(acc);
+        } else {
             // Factored activation scale: the exact same map the float
             // Shared path multiplies into its output, so compiled
             // inference reproduces the training-path function.
             // Networks trained with PerChannel scaling are
             // approximated by this shared map at inference (see crate
             // docs).
-            let mut smap = ws.take_f32(n * oh * ow);
+            let mut smap = ws.take_f32(n * oplane);
             let mut mean = ws.take_f32(plane);
-            output_scale_shared_into(
-                &normed,
-                n,
-                c,
-                h,
-                w,
-                self.kernel,
-                self.stride,
-                self.pad,
-                &mut mean,
-                &mut smap,
-            );
+            let mut colsum = ws.take_f64(w);
             for ni in 0..n {
-                let splane = &smap[ni * oh * ow..(ni + 1) * oh * ow];
-                for ki in 0..ko {
-                    let alpha = self.alpha_w[ki];
-                    let base = (ni * ko + ki) * oh * ow;
-                    for (v, s) in out[base..base + oh * ow].iter_mut().zip(splane) {
-                        *v *= alpha * s;
-                    }
-                }
+                pack_affine_mean_into(
+                    &x[ni * c * plane..(ni + 1) * c * plane],
+                    c,
+                    h,
+                    w,
+                    &self.bn_scale,
+                    &self.bn_shift,
+                    &mut words[ni * plane * wpp..(ni + 1) * plane * wpp],
+                    &mut mean,
+                );
+                box_filter_sliding_into(
+                    &mean,
+                    h,
+                    w,
+                    self.kernel,
+                    self.kernel,
+                    self.stride,
+                    self.pad,
+                    &mut colsum,
+                    &mut smap[ni * oplane..(ni + 1) * oplane],
+                );
             }
+            ws.give_f64(colsum);
             ws.give_f32(mean);
+            let mut acc = ws.take_i32(ACC_PLANES * ow);
+            xnor_conv2d_scaled(
+                prep.backend,
+                &words,
+                n,
+                geom,
+                &self.filter,
+                Some((&self.alpha_w, &smap)),
+                &mut acc,
+                out,
+            );
+            ws.give_i32(acc);
             ws.give_f32(smap);
         }
-        ws.give_f32(normed);
+        ws.give_u64(words);
     }
 }
 

@@ -36,7 +36,8 @@
 //! plan.run_into(&input, 2, &mut ws, &mut logits); // steady state: no allocs
 //! ```
 
-use crate::packed::{PackedBnn, PackedConv};
+use crate::kernels::{active_backend, KernelBackend};
+use crate::packed::{ConvPrep, PackedBnn, PackedConv};
 use hotspot_telemetry::{Clock, SlotProfiler};
 use hotspot_tensor::workspace::Workspace;
 use hotspot_tensor::{global_avg_pool_into, Tensor};
@@ -55,8 +56,12 @@ enum Src {
 #[derive(Debug)]
 enum Step<'m> {
     /// Run a packed conv from `src` into buffer `dst` (overwrites it).
+    /// `prep` carries the shape-derived state — geometry tables, fused
+    /// sign rules, kernel backend — precomputed at plan-compile time.
+    /// Boxed so the `Add` variant stays small.
     Conv {
         conv: &'m PackedConv,
+        prep: Box<ConvPrep>,
         src: Src,
         dst: usize,
         in_hw: (usize, usize),
@@ -76,6 +81,7 @@ enum Step<'m> {
 #[derive(Debug)]
 pub struct ExecPlan<'m> {
     model: &'m PackedBnn,
+    backend: KernelBackend,
     input_c: usize,
     input_hw: (usize, usize),
     steps: Vec<Step<'m>>,
@@ -93,6 +99,16 @@ pub struct ExecPlan<'m> {
 
 impl<'m> ExecPlan<'m> {
     pub(crate) fn compile(model: &'m PackedBnn, input_hw: (usize, usize)) -> Self {
+        ExecPlan::compile_with_backend(model, input_hw, active_backend())
+    }
+
+    /// Compiles with an explicit kernel backend (all backends are
+    /// bit-identical; used by equivalence tests and benchmarks).
+    pub(crate) fn compile_with_backend(
+        model: &'m PackedBnn,
+        input_hw: (usize, usize),
+        backend: KernelBackend,
+    ) -> Self {
         let stem = model.stem();
         let mut steps = Vec::new();
         let mut step_names = Vec::new();
@@ -104,6 +120,7 @@ impl<'m> ExecPlan<'m> {
         buf_elems[0] = c * h * w;
         steps.push(Step::Conv {
             conv: stem,
+            prep: Box::new(stem.prepare_with_backend(input_hw.0, input_hw.1, backend)),
             src: Src::Input,
             dst: 0,
             in_hw: input_hw,
@@ -127,6 +144,7 @@ impl<'m> ExecPlan<'m> {
             buf_elems[b] = buf_elems[b].max(e1);
             steps.push(Step::Conv {
                 conv: conv1,
+                prep: Box::new(conv1.prepare_with_backend(h, w, backend)),
                 src: Src::Buf(a),
                 dst: b,
                 in_hw: (h, w),
@@ -139,6 +157,7 @@ impl<'m> ExecPlan<'m> {
             buf_elems[d] = buf_elems[d].max(e2);
             steps.push(Step::Conv {
                 conv: conv2,
+                prep: Box::new(conv2.prepare_with_backend(h1, w1, backend)),
                 src: Src::Buf(b),
                 dst: d,
                 in_hw: (h1, w1),
@@ -153,6 +172,7 @@ impl<'m> ExecPlan<'m> {
                     buf_elems[b] = buf_elems[b].max(es);
                     steps.push(Step::Conv {
                         conv: sc,
+                        prep: Box::new(sc.prepare_with_backend(h, w, backend)),
                         src: Src::Buf(a),
                         dst: b,
                         in_hw: (h, w),
@@ -184,6 +204,7 @@ impl<'m> ExecPlan<'m> {
 
         ExecPlan {
             model,
+            backend,
             input_c: stem.in_channels(),
             input_hw,
             steps,
@@ -198,6 +219,11 @@ impl<'m> ExecPlan<'m> {
     /// The input resolution this plan was compiled for.
     pub fn input_hw(&self) -> (usize, usize) {
         self.input_hw
+    }
+
+    /// The kernel backend every conv step of this plan dispatches to.
+    pub fn backend(&self) -> KernelBackend {
+        self.backend
     }
 
     /// Number of layer steps (convs + shortcut merges).
@@ -300,6 +326,7 @@ impl<'m> ExecPlan<'m> {
             match step {
                 Step::Conv {
                     conv,
+                    prep,
                     src,
                     dst,
                     in_hw,
@@ -307,22 +334,16 @@ impl<'m> ExecPlan<'m> {
                 } => {
                     let out_len = n * out_elems;
                     match src {
-                        Src::Input => conv.forward_into(
-                            input,
-                            n,
-                            in_hw.0,
-                            in_hw.1,
-                            ws,
-                            &mut bufs[*dst][..out_len],
-                        ),
+                        Src::Input => {
+                            conv.forward_prepped(prep, input, n, ws, &mut bufs[*dst][..out_len])
+                        }
                         Src::Buf(s) => {
                             let in_len = n * conv.in_channels() * in_hw.0 * in_hw.1;
                             let (src_buf, dst_buf) = two_bufs(&mut bufs, *s, *dst);
-                            conv.forward_into(
+                            conv.forward_prepped(
+                                prep,
                                 &src_buf[..in_len],
                                 n,
-                                in_hw.0,
-                                in_hw.1,
                                 ws,
                                 &mut dst_buf[..out_len],
                             );
@@ -414,9 +435,22 @@ fn two_bufs(bufs: &mut [Vec<f32>; 3], src: usize, dst: usize) -> (&[f32], &mut [
 
 impl PackedBnn {
     /// Compiles the model into an [`ExecPlan`] for clips of the given
-    /// `(h, w)` input resolution.
+    /// `(h, w)` input resolution, dispatching conv steps to the best
+    /// kernel backend for this CPU (see
+    /// [`active_backend`](crate::kernels::active_backend)).
     pub fn plan(&self, input_hw: (usize, usize)) -> ExecPlan<'_> {
         ExecPlan::compile(self, input_hw)
+    }
+
+    /// [`PackedBnn::plan`] pinned to an explicit kernel backend (all
+    /// backends are bit-identical; used by equivalence tests and
+    /// benchmarks).
+    pub fn plan_with_backend(
+        &self,
+        input_hw: (usize, usize),
+        backend: KernelBackend,
+    ) -> ExecPlan<'_> {
+        ExecPlan::compile_with_backend(self, input_hw, backend)
     }
 }
 

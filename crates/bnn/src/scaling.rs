@@ -46,7 +46,9 @@ pub fn weight_scale(w: &Tensor) -> Vec<f32> {
 /// padding as the convolution it scales.
 ///
 /// `plane` is `h × w` row-major; returns the `oh × ow` scale map for
-/// the given stride/pad.
+/// the given stride/pad.  The filter targets magnitude maps (which are
+/// non-negative), and its output is clamped at zero so incremental
+/// summation can never produce a negative scale factor.
 pub fn box_filter(
     plane: &[f32],
     h: usize,
@@ -80,28 +82,97 @@ pub fn box_filter_into(
     pad: usize,
     out: &mut [f32],
 ) {
+    let mut colsum = vec![0.0f64; w];
+    box_filter_sliding_into(plane, h, w, kh, kw, stride, pad, &mut colsum, out);
+}
+
+/// Row-sliding incremental box filter: O(1) amortized work per output
+/// pixel instead of the naive O(kh·kw).
+///
+/// `colsum[x]` holds the vertical window sum of column `x` for the
+/// current output row; moving to the next row subtracts departing rows
+/// and adds entering ones, and a horizontal running sum does the same
+/// across columns.  Sums are kept in `f64` so the incremental
+/// subtract/add path introduces no drift against the windowed values
+/// (and a final `max(0.0)` clamp guarantees non-negative maps for
+/// non-negative input planes regardless of rounding).
+///
+/// `colsum` is caller-provided `w`-length scratch (contents ignored) so
+/// the packed inference path can run allocation-free; `out` is the
+/// `oh × ow` map, overwritten.
+///
+/// # Panics
+///
+/// Panics when a slice length disagrees with the dimensions or
+/// `stride == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn box_filter_sliding_into(
+    plane: &[f32],
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    colsum: &mut [f64],
+    out: &mut [f32],
+) {
+    assert!(stride > 0, "stride must be positive");
     let oh = (h + 2 * pad - kh) / stride + 1;
     let ow = (w + 2 * pad - kw) / stride + 1;
     assert_eq!(plane.len(), h * w, "plane length mismatch");
+    assert_eq!(colsum.len(), w, "column scratch length mismatch");
     assert_eq!(out.len(), oh * ow, "box filter output length mismatch");
-    let inv = 1.0 / (kh * kw) as f32;
+    let inv = 1.0 / (kh * kw) as f64;
+    // Clamped in-bounds input range of a window starting at `o*stride - pad`.
+    let span = |o: usize, k: usize, dim: usize| {
+        let lo = (o * stride).saturating_sub(pad).min(dim);
+        let hi = (o * stride + k).saturating_sub(pad).min(dim);
+        (lo, hi)
+    };
+    let mut prev_rows = (0usize, 0usize);
     for oy in 0..oh {
-        for ox in 0..ow {
-            let mut acc = 0.0;
-            for ky in 0..kh {
-                let iy = (oy * stride + ky) as isize - pad as isize;
-                if iy < 0 || iy >= h as isize {
-                    continue;
-                }
-                for kx in 0..kw {
-                    let ix = (ox * stride + kx) as isize - pad as isize;
-                    if ix < 0 || ix >= w as isize {
-                        continue;
-                    }
-                    acc += plane[iy as usize * w + ix as usize];
+        let (y0, y1) = span(oy, kh, h);
+        if oy == 0 {
+            colsum.fill(0.0);
+            for y in y0..y1 {
+                for (cs, &v) in colsum.iter_mut().zip(&plane[y * w..(y + 1) * w]) {
+                    *cs += v as f64;
                 }
             }
-            out[oy * ow + ox] = acc * inv;
+        } else {
+            // The window moves monotonically down: drop departed rows,
+            // add entered ones.  (With stride > kh the windows are
+            // disjoint, so both ranges clamp to the old/new window.)
+            for y in prev_rows.0..y0.min(prev_rows.1) {
+                for (cs, &v) in colsum.iter_mut().zip(&plane[y * w..(y + 1) * w]) {
+                    *cs -= v as f64;
+                }
+            }
+            for y in prev_rows.1.max(y0)..y1 {
+                for (cs, &v) in colsum.iter_mut().zip(&plane[y * w..(y + 1) * w]) {
+                    *cs += v as f64;
+                }
+            }
+        }
+        prev_rows = (y0, y1);
+        let row_out = &mut out[oy * ow..(oy + 1) * ow];
+        let mut hsum = 0.0f64;
+        let mut prev_cols = (0usize, 0usize);
+        for (ox, slot) in row_out.iter_mut().enumerate() {
+            let (x0, x1) = span(ox, kw, w);
+            if ox == 0 {
+                hsum = colsum[x0..x1].iter().sum();
+            } else {
+                for &cs in &colsum[prev_cols.0..x0.min(prev_cols.1)] {
+                    hsum -= cs;
+                }
+                for &cs in &colsum[prev_cols.1.max(x0)..x1] {
+                    hsum += cs;
+                }
+            }
+            prev_cols = (x0, x1);
+            *slot = (hsum.max(0.0) * inv) as f32;
         }
     }
 }
@@ -308,6 +379,71 @@ mod tests {
         let b = input_scale_shared(&x, 3, 3);
         for (p, q) in a.as_slice().iter().zip(b.as_slice()) {
             assert!((p - q).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sliding_filter_matches_naive_reference() {
+        // The pre-sliding O(k²)-per-pixel loop, kept as the oracle.
+        let naive = |plane: &[f32], h: usize, w: usize, k: usize, stride: usize, pad: usize| {
+            let oh = (h + 2 * pad - k) / stride + 1;
+            let ow = (w + 2 * pad - k) / stride + 1;
+            let mut out = vec![0.0f32; oh * ow];
+            let inv = 1.0 / (k * k) as f64;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f64;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                                acc += plane[iy as usize * w + ix as usize] as f64;
+                            }
+                        }
+                    }
+                    out[oy * ow + ox] = (acc * inv) as f32;
+                }
+            }
+            out
+        };
+        let mut state = 7u32;
+        for (h, w) in [(1usize, 1usize), (3, 5), (5, 5), (8, 4), (9, 9), (2, 7)] {
+            let plane: Vec<f32> = (0..h * w)
+                .map(|_| {
+                    state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                    (state >> 16) as f32 / 65536.0 * 3.0
+                })
+                .collect();
+            for k in 1..=3usize {
+                for stride in 1..=3usize {
+                    for pad in 0..=2usize {
+                        if h + 2 * pad < k || w + 2 * pad < k {
+                            continue;
+                        }
+                        let expect = naive(&plane, h, w, k, stride, pad);
+                        let mut got = vec![-1.0f32; expect.len()];
+                        let mut colsum = vec![0.0f64; w];
+                        box_filter_sliding_into(
+                            &plane,
+                            h,
+                            w,
+                            k,
+                            k,
+                            stride,
+                            pad,
+                            &mut colsum,
+                            &mut got,
+                        );
+                        for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+                            assert!(
+                                (g - e).abs() <= 1e-5 * e.abs().max(1.0),
+                                "h={h} w={w} k={k} s={stride} p={pad} i={i}: {g} vs {e}"
+                            );
+                        }
+                    }
+                }
+            }
         }
     }
 

@@ -99,6 +99,26 @@ fn warm_plan_forward_performs_zero_heap_allocations() {
     // And the answer is still right (identical to the warm-up run).
     assert_eq!(logits, warm);
 
+    // Working-set shape (DESIGN.md §5f): the fused binarize-pack path
+    // removed the full-resolution `normed` f32 staging buffer, so a
+    // scaled conv step now holds at most five f32 buffers at once —
+    // the three plan ping-pong buffers plus the scale map and the
+    // per-pixel channel mean.  The old path needed a sixth.  Pinning
+    // the pool shape here catches that buffer (or any new staging
+    // temporary) sneaking back into the hot path.
+    let [f32s, i32s, u64s, f64s] = ws.pooled_buffer_counts();
+    assert!(
+        f32s <= 5,
+        "expected at most 5 pooled f32 buffers (plan b0/b1/b2 + scale \
+         map + channel mean), got {f32s}"
+    );
+    assert!(i32s <= 1, "one popcount accumulator block, got {i32s}");
+    assert!(u64s <= 1, "one packed-words buffer, got {u64s}");
+    assert!(
+        f64s <= 1,
+        "one sliding-filter column-sum buffer, got {f64s}"
+    );
+
     // Telemetry contract (DESIGN.md §5e): a warm profiled forward also
     // allocates nothing — SlotProfiler::record_since is plain u64
     // arithmetic into preallocated slot arrays, and the clock is a

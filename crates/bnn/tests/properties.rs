@@ -1,8 +1,9 @@
 //! Property-based tests for the binarization machinery.
 
 use hotspot_bnn::{
-    input_scale_per_channel, output_scale_shared, sign_tensor, ste_grad, weight_scale, xnor_conv2d,
-    BinaryResidualBlock, BitFilter, BitTensor, BnnResNet, NetConfig, PackedBnn, ScalingMode,
+    exact_sign_rule, input_scale_per_channel, output_scale_shared, sign_tensor, ste_grad,
+    weight_scale, xnor_conv2d, xnor_conv2d_backend, BinaryResidualBlock, BitFilter, BitTensor,
+    BnnResNet, KernelBackend, NetConfig, PackedBnn, ScalingMode,
 };
 use hotspot_nn::Layer;
 use hotspot_tensor::{conv2d, Tensor, Workspace};
@@ -120,6 +121,92 @@ proptest! {
         prop_assert_eq!(&first, &fresh);
         let x = Tensor::from_vec(&[n, 1, 16, 16], input);
         prop_assert_eq!(packed.forward(&x).as_slice(), &first[..]);
+    }
+
+    /// Every compiled-in kernel backend produces **bit-identical**
+    /// XNOR conv outputs to the scalar reference, across random
+    /// shapes, strides, pads, and channel counts that cross the 64-bit
+    /// word boundary (including the `c = 1` stem and 1×1 shortcut
+    /// convolutions).  Popcounts are integer arithmetic, so equality
+    /// is exact — no tolerance.
+    #[test]
+    fn kernel_backends_bit_identical(
+        seed in 0u64..1000,
+        c_idx in 0usize..8,
+        k in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        let c = [1usize, 3, 5, 63, 64, 65, 127, 130][c_idx];
+        let (h, w) = (6usize, 7usize); // always >= k, so every case is valid
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut pm1 = |len: usize| -> Vec<f32> {
+            (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    if state >> 63 == 0 { 1.0 } else { -1.0 }
+                })
+                .collect()
+        };
+        let x = Tensor::from_vec(&[2, c, h, w], pm1(2 * c * h * w));
+        let wt = Tensor::from_vec(&[3, c, k, k], pm1(3 * c * k * k));
+        let bx = BitTensor::from_tensor(&x);
+        let bw = BitFilter::from_tensor(&wt);
+        let reference = xnor_conv2d_backend(KernelBackend::Scalar, &bx, &bw, stride, pad);
+        for backend in KernelBackend::available() {
+            let got = xnor_conv2d_backend(backend, &bx, &bw, stride, pad);
+            prop_assert_eq!(got.shape(), reference.shape());
+            prop_assert_eq!(
+                got.as_slice(), reference.as_slice(),
+                "backend {} diverged from scalar (c={}, k={}, s={}, p={})",
+                backend.name(), c, k, stride, pad
+            );
+        }
+    }
+
+    /// The exact sign rule agrees with the batch-norm affine compare
+    /// `scale*x + shift >= 0` for every finite input — the property
+    /// the fused binarize-pack path relies on for bit-exactness.
+    #[test]
+    fn sign_rule_matches_affine_compare(
+        scale in -8.0f32..8.0,
+        shift in -8.0f32..8.0,
+        x in -16.0f32..16.0,
+    ) {
+        let rule = exact_sign_rule(scale, shift);
+        prop_assert_eq!(
+            rule.bit(x),
+            scale * x + shift >= 0.0,
+            "rule {:?} scale={} shift={} x={}", rule, scale, shift, x
+        );
+    }
+
+    /// End-to-end: plans pinned to each available backend produce
+    /// bit-identical logits for random networks and inputs.
+    #[test]
+    fn plan_backends_bit_identical(seed in 0u64..20, n in 1usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = BnnResNet::new(&NetConfig::tiny(16), &mut rng);
+        let packed = PackedBnn::compile(&net);
+        let mut state = seed as u32 ^ 0xabcd_1234;
+        let input: Vec<f32> = (0..n * 16 * 16).map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            if state & 0x8000 == 0 { 1.0 } else { -1.0 }
+        }).collect();
+        let mut reference = vec![0.0f32; n * 2];
+        packed
+            .plan_with_backend((16, 16), KernelBackend::Scalar)
+            .run_into(&input, n, &mut Workspace::new(), &mut reference);
+        for backend in KernelBackend::available() {
+            let plan = packed.plan_with_backend((16, 16), backend);
+            prop_assert_eq!(plan.backend(), backend);
+            let mut logits = vec![0.0f32; n * 2];
+            plan.run_into(&input, n, &mut Workspace::new(), &mut logits);
+            prop_assert_eq!(
+                &logits, &reference,
+                "plan backend {} diverged from scalar", backend.name()
+            );
+        }
     }
 
     /// A residual block's backward returns a gradient of the input

@@ -33,6 +33,7 @@ pub struct Workspace {
     f32_bufs: Vec<Vec<f32>>,
     i32_bufs: Vec<Vec<i32>>,
     u64_bufs: Vec<Vec<u64>>,
+    f64_bufs: Vec<Vec<f64>>,
 }
 
 impl Workspace {
@@ -58,6 +59,24 @@ impl Workspace {
                 .iter()
                 .map(|b| b.capacity() * 8)
                 .sum::<usize>()
+            + self
+                .f64_bufs
+                .iter()
+                .map(|b| b.capacity() * 8)
+                .sum::<usize>()
+    }
+
+    /// Number of idle pooled buffers per element type, as
+    /// `[f32, i32, u64, f64]` (diagnostic).  The steady-state count is
+    /// the number of concurrently-live scratch buffers a workload
+    /// needs, so regression tests can pin a kernel's working-set shape.
+    pub fn pooled_buffer_counts(&self) -> [usize; 4] {
+        [
+            self.f32_bufs.len(),
+            self.i32_bufs.len(),
+            self.u64_bufs.len(),
+            self.f64_bufs.len(),
+        ]
     }
 }
 
@@ -99,6 +118,7 @@ macro_rules! workspace_pool {
 workspace_pool!(take_f32, give_f32, f32_bufs, f32);
 workspace_pool!(take_i32, give_i32, i32_bufs, i32);
 workspace_pool!(take_u64, give_u64, u64_bufs, u64);
+workspace_pool!(take_f64, give_f64, f64_bufs, f64);
 
 /// A shared pool of [`Workspace`]s for batch-parallel inference: each
 /// worker checks one out, runs its chunk, and returns it, so the warm
@@ -131,6 +151,49 @@ impl WorkspacePool {
     /// Number of idle workspaces currently pooled.
     pub fn idle(&self) -> usize {
         self.inner.lock().expect("workspace pool poisoned").len()
+    }
+
+    /// Checks a workspace out behind a guard that returns it to the
+    /// pool on drop.  This is the shape `for_each_init`-style parallel
+    /// loops need: each worker creates one guard up front, uses it for
+    /// every item it processes, and the warm workspace flows back to
+    /// the pool when the worker retires.
+    pub fn checkout_guard(&self) -> WorkspaceGuard<'_> {
+        WorkspaceGuard {
+            ws: Some(self.checkout()),
+            pool: self,
+        }
+    }
+}
+
+/// A checked-out [`Workspace`] that restores itself to its
+/// [`WorkspacePool`] when dropped (see
+/// [`WorkspacePool::checkout_guard`]).
+#[derive(Debug)]
+pub struct WorkspaceGuard<'p> {
+    ws: Option<Workspace>,
+    pool: &'p WorkspacePool,
+}
+
+impl std::ops::Deref for WorkspaceGuard<'_> {
+    type Target = Workspace;
+
+    fn deref(&self) -> &Workspace {
+        self.ws.as_ref().expect("workspace present until drop")
+    }
+}
+
+impl std::ops::DerefMut for WorkspaceGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Workspace {
+        self.ws.as_mut().expect("workspace present until drop")
+    }
+}
+
+impl Drop for WorkspaceGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            self.pool.restore(ws);
+        }
     }
 }
 
@@ -188,6 +251,24 @@ mod tests {
         assert_ne!(a.as_ptr(), b.as_ptr());
         ws.give_i32(a);
         ws.give_i32(b);
+    }
+
+    #[test]
+    fn guard_restores_on_drop() {
+        let pool = WorkspacePool::new();
+        {
+            let mut guard = pool.checkout_guard();
+            let b = guard.take_f64(16);
+            assert_eq!(b.len(), 16);
+            assert!(b.iter().all(|&v| v == 0.0));
+            guard.give_f64(b);
+            assert_eq!(pool.idle(), 0, "guard holds the workspace");
+        }
+        assert_eq!(pool.idle(), 1, "drop returned the workspace");
+        let ws = pool.checkout();
+        assert_eq!(ws.pooled_buffer_counts(), [0, 0, 0, 1]);
+        assert!(ws.pooled_bytes() >= 16 * 8, "warm f64 buffer came back");
+        pool.restore(ws);
     }
 
     #[test]
