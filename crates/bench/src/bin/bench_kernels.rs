@@ -117,6 +117,31 @@ fn main() {
         .expect("scalar backend is always available")
         .mean_ns_per_clip;
 
+    // Residual-level scaling: one 3-level model of the same topology,
+    // executed at M = 1, 2, 3 via capped plans on the dispatched
+    // backend.  Level 0 of the M-level stack is exactly the
+    // single-level representation, so these numbers isolate the
+    // per-clip cost of each extra correction plane (one more pass of
+    // the same popcount kernels per binary conv).
+    let mut rng = StdRng::seed_from_u64(2019);
+    let multi = PackedBnn::compile(&BnnResNet::new(&config.clone().with_levels(3), &mut rng));
+    let mut level_results = Vec::new();
+    for m in 1..=3usize {
+        let plan = multi.plan_capped_with_backend((side, side), dispatch.active, m);
+        let mut ws = Workspace::new();
+        let mut logits = vec![0.0f32; 2];
+        plan.run_into(&input, 1, &mut ws, &mut logits); // warm-up
+        let mut best = u64::MAX;
+        let total = Timer::start(&clock);
+        for _ in 0..runs {
+            let t = Timer::start(&clock);
+            plan.run_into(&input, 1, &mut ws, &mut logits);
+            best = best.min(t.elapsed_ns());
+        }
+        let wall_ns = total.elapsed_ns();
+        level_results.push((m, wall_ns as f64 / runs as f64, best as f64));
+    }
+
     let mut json = String::new();
     json.push_str("{\n  \"benchmark\": \"kernel_backends\",\n");
     let _ = writeln!(json, "  \"input_size\": {side},");
@@ -155,6 +180,16 @@ fn main() {
             if i + 1 < results.len() { "," } else { "" }
         );
     }
+    json.push_str("  ],\n  \"residual_levels\": [\n");
+    for (i, (m, mean, best)) in level_results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"levels\": {m}, \"mean_ns_per_clip\": {mean:.0}, \
+             \"best_ns_per_clip\": {best:.0}, \"clips_per_sec\": {:.1}}}{}",
+            1e9 / mean,
+            if i + 1 < level_results.len() { "," } else { "" }
+        );
+    }
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write benchmark json");
 
@@ -172,6 +207,20 @@ fn main() {
             r.best_ns_per_clip,
             1e9 / r.mean_ns_per_clip,
             scalar_mean / r.mean_ns_per_clip
+        );
+    }
+
+    println!(
+        "{:<8} {:>14} {:>14} {:>12}",
+        "levels", "mean_ns/clip", "best_ns/clip", "clips/s"
+    );
+    for (m, mean, best) in &level_results {
+        println!(
+            "M={:<6} {:>14.0} {:>14.0} {:>12.1}",
+            m,
+            mean,
+            best,
+            1e9 / mean
         );
     }
 

@@ -7,6 +7,7 @@
 //! tables --ablation epsilon           # §3.4.3: biased-learning ε sweep
 //! tables --ablation scaling           # §3.2: scaling-mode ablation
 //! tables --ablation input-size        # §3.4.1: l_s sweep
+//! tables --ablation levels            # residual-level M frontier + cascade
 //! ```
 //!
 //! `--scale` shrinks the Table-2 class counts (default 0.02 ≈ 690
@@ -71,8 +72,9 @@ fn main() {
         (_, _, Some("epsilon")) => ablation_epsilon(scale, verbose),
         (_, _, Some("scaling")) => ablation_scaling(scale, verbose),
         (_, _, Some("input-size")) => ablation_input_size(scale, verbose),
+        (_, _, Some("levels")) => ablation_levels(scale, verbose),
         _ => {
-            eprintln!("usage: tables --table 2|3 | --figure 2 | --ablation epsilon|scaling|input-size [--scale F] [--full] [--verbose]");
+            eprintln!("usage: tables --table 2|3 | --figure 2 | --ablation epsilon|scaling|input-size|levels [--scale F] [--full] [--verbose]");
             std::process::exit(2);
         }
     }
@@ -282,4 +284,76 @@ fn ablation_input_size(scale: f64, verbose: bool) {
         );
     }
     println!("\nexpected shape: accuracy saturates by l_s = 128 while runtime grows.");
+}
+
+/// Residual binarization levels: the accuracy-vs-throughput frontier at
+/// M = 1, 2, 3 plus the triage→confirm cascade built from the M = 2
+/// model (fast single-level pass everywhere, full-precision-packed
+/// confirmation only on low-margin clips).
+fn ablation_levels(scale: f64, verbose: bool) {
+    let data = build(scale);
+    println!("\nAblation — residual binarization levels M (accuracy / throughput frontier):\n");
+    println!(
+        "{:<14} {:>7} {:>9} {:>7} {:>12} {:>12}",
+        "model", "Acc(%)", "Accu(%)", "FA#", "Runtime(s)", "clips/s"
+    );
+    let images: Vec<_> = data.test.iter().map(|c| &c.image).collect();
+    let labels: Vec<bool> = data.test.iter().map(|c| c.hotspot).collect();
+    let mut confirm: Option<BnnDetector> = None;
+    for m in [1usize, 2, 3] {
+        let mut cfg = BnnTrainConfig::bench();
+        cfg.epochs = 8; // ablation sweep: lighter budget per point
+        cfg.net.levels = m;
+        cfg.verbose = verbose;
+        let mut det = BnnDetector::new(cfg);
+        det.fit(&data.train);
+        let result = evaluate(&det, &data.test);
+        let c = &result.confusion;
+        println!(
+            "M={:<12} {:>7.1} {:>9.1} {:>7} {:>12.3} {:>12.1}",
+            m,
+            100.0 * (c.tp + c.tn) as f64 / c.total() as f64,
+            100.0 * c.accuracy(),
+            c.false_alarms(),
+            result.runtime.as_secs_f64(),
+            images.len() as f64 / result.runtime.as_secs_f64()
+        );
+        if m == 2 {
+            confirm = Some(det);
+        }
+    }
+    // The cascade reuses the M = 2 model: its level-0 planes are the
+    // fast triage pass, the full stack confirms only low-margin clips.
+    let det = confirm.expect("M = 2 detector was trained above");
+    for threshold in [0.05f32, 0.15, 0.5] {
+        let t0 = Instant::now();
+        let (preds, escalated) = det.classify_cascade_with_stats(&images, threshold);
+        let secs = t0.elapsed().as_secs_f64();
+        let correct = preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
+        let tp = preds
+            .iter()
+            .zip(&labels)
+            .filter(|(p, l)| **p && **l)
+            .count();
+        let hotspots = labels.iter().filter(|l| **l).count().max(1);
+        let fa = preds
+            .iter()
+            .zip(&labels)
+            .filter(|(p, l)| **p && !**l)
+            .count();
+        println!(
+            "cascade@{:<5} {:>7.1} {:>9.1} {:>7} {:>12.3} {:>12.1}  ({}/{} escalated)",
+            threshold,
+            100.0 * correct as f64 / preds.len() as f64,
+            100.0 * tp as f64 / hotspots as f64,
+            fa,
+            secs,
+            images.len() as f64 / secs,
+            escalated,
+            images.len()
+        );
+    }
+    println!("\nAcc = overall validation accuracy, Accu = contest hotspot recall (Eq. 1).");
+    println!("expected shape: Acc rises with M while clips/s falls; the cascade");
+    println!("tracks the M=2 decisions at a fraction of the escalations.");
 }

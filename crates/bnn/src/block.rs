@@ -44,6 +44,12 @@ impl BnnBlock {
     pub fn batch_norm(&self) -> &BatchNorm2d {
         &self.bn
     }
+
+    /// Sets the residual binarization level count of the inner
+    /// convolution (see [`BinConv2d::set_levels`]).
+    pub fn set_levels(&mut self, levels: usize) {
+        self.conv.set_levels(levels);
+    }
 }
 
 impl Layer for BnnBlock {
@@ -121,6 +127,16 @@ impl BinaryResidualBlock {
     /// The projection shortcut, when present.
     pub fn projection(&self) -> Option<&BnnBlock> {
         self.shortcut.as_ref()
+    }
+
+    /// Sets the residual binarization level count on every convolution
+    /// in the block (main path and projection shortcut alike).
+    pub fn set_levels(&mut self, levels: usize) {
+        self.block1.set_levels(levels);
+        self.block2.set_levels(levels);
+        if let Some(s) = self.shortcut.as_mut() {
+            s.set_levels(levels);
+        }
     }
 }
 

@@ -126,29 +126,58 @@ impl KernelBackend {
     }
 }
 
+/// Resolves a `HOTSPOT_KERNEL_BACKEND` override (`None` = unset) to
+/// the backend to dispatch, falling back to [`KernelBackend::detect`]
+/// on an unusable value.  Every fallback is reported twice: as a
+/// structured `kernels.backend_fallback` telemetry event (so headless
+/// runs surface the misconfiguration to whatever subscriber is
+/// installed) and as a stderr line for interactive use.
+fn resolve_backend(requested: Option<&str>) -> KernelBackend {
+    let Some(name) = requested else {
+        return KernelBackend::detect();
+    };
+    let fallback = |reason: &'static str| {
+        let detected = KernelBackend::detect();
+        hotspot_telemetry::trace::dispatch_event(
+            "kernels.backend_fallback",
+            &[
+                ("requested", hotspot_telemetry::Value::from(name)),
+                ("reason", hotspot_telemetry::Value::from(reason)),
+                ("using", hotspot_telemetry::Value::from(detected.name())),
+            ],
+        );
+        detected
+    };
+    match KernelBackend::parse(name) {
+        Some(b) if b.is_supported() => b,
+        Some(b) => {
+            let detected = fallback("unsupported_on_cpu");
+            eprintln!(
+                "HOTSPOT_KERNEL_BACKEND={} not supported on this CPU; using {}",
+                b.name(),
+                detected.name()
+            );
+            detected
+        }
+        None => {
+            let detected = fallback("unrecognized_value");
+            eprintln!(
+                "unknown HOTSPOT_KERNEL_BACKEND={name:?}; using {}",
+                detected.name()
+            );
+            detected
+        }
+    }
+}
+
 /// The process-wide dispatched backend: `HOTSPOT_KERNEL_BACKEND` when
 /// set to a supported backend name, otherwise [`KernelBackend::detect`]
-/// — resolved once and cached.
+/// — resolved once and cached.  An unrecognized or unsupported value
+/// emits a `kernels.backend_fallback` telemetry event instead of being
+/// silently replaced by auto-detection.
 pub fn active_backend() -> KernelBackend {
     static ACTIVE: OnceLock<KernelBackend> = OnceLock::new();
-    *ACTIVE.get_or_init(|| match std::env::var("HOTSPOT_KERNEL_BACKEND") {
-        Ok(name) => match KernelBackend::parse(&name) {
-            Some(b) if b.is_supported() => b,
-            Some(b) => {
-                eprintln!(
-                    "HOTSPOT_KERNEL_BACKEND={} not supported on this CPU; using {}",
-                    b.name(),
-                    KernelBackend::detect().name()
-                );
-                KernelBackend::detect()
-            }
-            None => {
-                eprintln!("unknown HOTSPOT_KERNEL_BACKEND={name:?}; using autodetect");
-                KernelBackend::detect()
-            }
-        },
-        Err(_) => KernelBackend::detect(),
-    })
+    *ACTIVE.get_or_init(|| resolve_backend(std::env::var("HOTSPOT_KERNEL_BACKEND").ok().as_deref()))
 }
 
 /// Total popcount of `x[i] ^ y[i]` over two equal-length word spans.
@@ -236,6 +265,50 @@ mod tests {
                 s ^ (s >> 31)
             })
             .collect()
+    }
+
+    #[test]
+    fn resolve_backend_reports_bad_values_via_telemetry() {
+        use hotspot_telemetry::{trace, CollectingSubscriber, Record};
+        use std::sync::Arc;
+
+        // Unset and valid values resolve silently.
+        assert_eq!(resolve_backend(None), KernelBackend::detect());
+        assert_eq!(resolve_backend(Some("scalar")), KernelBackend::Scalar);
+
+        let sink = Arc::new(CollectingSubscriber::new());
+        let prev = trace::set_subscriber(sink.clone());
+        let resolved = resolve_backend(Some("quantum"));
+        match prev {
+            Some(p) => {
+                trace::set_subscriber(p);
+            }
+            None => {
+                trace::clear_subscriber();
+            }
+        }
+        assert_eq!(resolved, KernelBackend::detect());
+        let fallback_events: Vec<_> = sink
+            .records()
+            .into_iter()
+            .filter_map(|r| match r {
+                Record::Event { name, fields, .. } if name == "kernels.backend_fallback" => {
+                    Some(fields)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fallback_events.len(), 1, "exactly one fallback event");
+        let fields = &fallback_events[0];
+        let get = |key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| format!("{v:?}"))
+                .unwrap_or_default()
+        };
+        assert!(get("requested").contains("quantum"), "{fields:?}");
+        assert!(get("reason").contains("unrecognized_value"), "{fields:?}");
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! The binary convolution layer (training path).
 
-use crate::scaling::{input_scale_per_channel, output_scale_shared, weight_scale, ScalingMode};
+use crate::scaling::{
+    input_scale_per_channel, output_scale_shared, residual_weight_levels, ScalingMode,
+};
 use crate::ste::sign_tensor;
 use hotspot_nn::{Layer, Param};
 use hotspot_tensor::{conv2d, conv2d_backward, xavier_uniform, Tensor};
@@ -23,6 +25,8 @@ pub struct BinConv2d {
     stride: usize,
     pad: usize,
     mode: ScalingMode,
+    /// Residual binarization levels `M` (1 = classic single-bit).
+    levels: usize,
     cache: Option<Cache>,
 }
 
@@ -83,8 +87,27 @@ impl BinConv2d {
             stride,
             pad,
             mode,
+            levels: 1,
             cache: None,
         }
+    }
+
+    /// Sets the number of residual binarization levels `M ≥ 1` used by
+    /// the weight approximation `W ≈ Σ_ℓ α_ℓ ⊙ sign(r_ℓ)`
+    /// (see [`residual_weight_levels`]).  `M = 1` is the classic
+    /// single-bit forward, bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `levels == 0`.
+    pub fn set_levels(&mut self, levels: usize) {
+        assert!(levels >= 1, "at least one binarization level");
+        self.levels = levels;
+    }
+
+    /// The number of residual binarization levels `M`.
+    pub fn levels(&self) -> usize {
+        self.levels
     }
 
     /// The real-valued master weights.
@@ -107,14 +130,30 @@ impl BinConv2d {
         self.pad
     }
 
-    /// The binarized weights `α_W ⊙ sign(W)` as used in the forward
-    /// pass (exposed for compilation to the packed inference engine).
+    /// The binarized weights as used in the forward pass (exposed for
+    /// compilation to the packed inference engine): `α_W ⊙ sign(W)`
+    /// for a single level, `Σ_ℓ α_ℓ ⊙ sign(r_ℓ)` for `M` residual
+    /// levels.
     pub fn binarized_weight(&self) -> Tensor {
-        let signs = sign_tensor(&self.weight.value);
-        match self.mode {
-            ScalingMode::PlainSign => signs,
-            _ => scale_filters(&signs, &weight_scale(&self.weight.value)),
+        self.effective_weight().0
+    }
+
+    /// The M-level weight reconstruction `Σ_ℓ α_ℓ ⊙ sign(r_ℓ)` plus
+    /// the summed per-filter scales `Σ_ℓ α_ℓ` the Eq. 13 backward
+    /// uses as its effective `α_W`.
+    fn effective_weight(&self) -> (Tensor, Vec<f32>) {
+        let plain = self.mode == ScalingMode::PlainSign;
+        let lv = residual_weight_levels(&self.weight.value, self.levels, plain);
+        let mut alpha_eff = lv[0].1.clone();
+        let mut w = scale_filters(&sign_tensor(&lv[0].0), &lv[0].1);
+        for (residual, alpha) in &lv[1..] {
+            let term = scale_filters(&sign_tensor(residual), alpha);
+            w = w.zip(&term, |a, b| a + b);
+            for (e, a) in alpha_eff.iter_mut().zip(alpha) {
+                *e += a;
+            }
         }
+        (w, alpha_eff)
     }
 }
 
@@ -152,11 +191,11 @@ impl Layer for BinConv2d {
                 (signs.zip(&s, |a, b| a * b), Some(s), None)
             }
         };
-        let alpha_w = match self.mode {
-            ScalingMode::PlainSign => vec![1.0; self.weight.value.shape()[0]],
-            _ => weight_scale(&self.weight.value),
-        };
-        let binarized_weight = scale_filters(&sign_tensor(&self.weight.value), &alpha_w);
+        // Residual-of-residual weight binarization: M = 1 yields
+        // exactly the old `α_W ⊙ sign(W)`; deeper levels add
+        // `α_ℓ ⊙ sign(r_ℓ)` correction planes (the packed engine runs
+        // one XNOR pass per plane).
+        let (binarized_weight, alpha_w) = self.effective_weight();
         let mut out = conv2d(
             &binarized_input,
             &binarized_weight,
@@ -251,6 +290,7 @@ impl Layer for BinConv2d {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scaling::weight_scale;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -313,6 +353,59 @@ mod tests {
             let expect = alpha[0] * if w >= 0.0 { 1.0 } else { -1.0 };
             assert!((b - expect).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn two_level_weights_approximate_better() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut conv = BinConv2d::new(2, 3, 3, 1, 1, ScalingMode::Shared, &mut rng);
+        let err = |c: &BinConv2d| -> f32 {
+            c.binarized_weight()
+                .as_slice()
+                .iter()
+                .zip(c.weight().value.as_slice())
+                .map(|(b, w)| (b - w) * (b - w))
+                .sum()
+        };
+        let e1 = err(&conv);
+        conv.set_levels(2);
+        assert_eq!(conv.levels(), 2);
+        let e2 = err(&conv);
+        assert!(e2 < e1, "2-level error {e2} not below 1-level {e1}");
+    }
+
+    #[test]
+    fn multilevel_forward_backward_finite() {
+        for mode in [
+            ScalingMode::PlainSign,
+            ScalingMode::Shared,
+            ScalingMode::PerChannel,
+        ] {
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut conv = BinConv2d::new(2, 4, 3, 1, 1, mode, &mut rng);
+            conv.set_levels(3);
+            let x = pseudo(&[2, 2, 6, 6], 13);
+            let y = conv.forward(&x, true);
+            assert_eq!(y.shape(), &[2, 4, 6, 6]);
+            assert!(y.as_slice().iter().all(|v| v.is_finite()));
+            let gx = conv.backward(&Tensor::ones(y.shape()));
+            assert_eq!(gx.shape(), x.shape());
+            assert!(gx.as_slice().iter().all(|v| v.is_finite()));
+            assert!(conv.weight().grad.l1_norm() > 0.0);
+        }
+    }
+
+    #[test]
+    fn single_level_matches_pre_refactor_formula() {
+        // levels = 1 must reproduce α_W ⊙ sign(W) exactly — the
+        // invariant the packed M=1 bit-identity rests on.
+        let mut rng = StdRng::seed_from_u64(10);
+        let conv = BinConv2d::new(2, 3, 3, 1, 1, ScalingMode::PerChannel, &mut rng);
+        let expect = scale_filters(
+            &sign_tensor(&conv.weight().value),
+            &weight_scale(&conv.weight().value),
+        );
+        assert_eq!(conv.binarized_weight().as_slice(), expect.as_slice());
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub use packed::{
 pub use plan::ExecPlan;
 pub use scaling::{
     box_filter, box_filter_into, box_filter_sliding_into, input_scale_per_channel,
-    input_scale_shared, output_scale_shared, output_scale_shared_into, weight_scale, ScalingMode,
+    input_scale_shared, output_scale_shared, output_scale_shared_into, residual_weight_levels,
+    weight_scale, ScalingMode,
 };
-pub use ste::{sign_tensor, ste_grad};
+pub use ste::{residual_binarize, sign_tensor, ste_grad};

@@ -22,6 +22,10 @@ pub struct NetConfig {
     pub stages: Vec<(usize, usize)>,
     /// Binarization scaling mode (the paper's default is per-channel).
     pub scaling: ScalingMode,
+    /// Residual binarization levels `M` per weight tensor (ReBNet-style
+    /// residual-of-residual binarization; 1 = the classic single-bit
+    /// network, bit-for-bit).
+    pub levels: usize,
 }
 
 impl NetConfig {
@@ -35,6 +39,7 @@ impl NetConfig {
             stem_filters: 8,
             stages: vec![(8, 1), (16, 2), (32, 2), (64, 2), (64, 2)],
             scaling: ScalingMode::PerChannel,
+            levels: 1,
         }
     }
 
@@ -47,7 +52,16 @@ impl NetConfig {
             stem_filters: 4,
             stages: vec![(4, 1), (8, 2)],
             scaling: ScalingMode::PerChannel,
+            levels: 1,
         }
+    }
+
+    /// Returns the configuration with `levels` residual binarization
+    /// levels per weight tensor (builder-style).
+    #[must_use]
+    pub fn with_levels(mut self, levels: usize) -> Self {
+        self.levels = levels;
+        self
     }
 
     /// Number of weight layers (binary convolutions + the final dense).
@@ -67,6 +81,12 @@ impl NetConfig {
     pub fn check(&self) -> Result<(), String> {
         if self.input_size == 0 || self.stem_filters == 0 || self.stages.is_empty() {
             return Err("input size, stem filters, and stages must all be non-empty".into());
+        }
+        if self.levels == 0 || self.levels > 8 {
+            return Err(format!(
+                "residual binarization levels must be in 1..=8, got {}",
+                self.levels
+            ));
         }
         let mut size = self.input_size;
         for &(f, s) in &self.stages {
@@ -138,17 +158,15 @@ impl BnnResNet {
     /// [`NetConfig::validate`]).
     pub fn new<R: Rng>(config: &NetConfig, rng: &mut R) -> Self {
         config.validate();
-        let stem = BnnBlock::new(1, config.stem_filters, 3, 1, 1, config.scaling, rng);
+        let mut stem = BnnBlock::new(1, config.stem_filters, 3, 1, 1, config.scaling, rng);
+        stem.set_levels(config.levels);
         let mut blocks = Vec::new();
         let mut channels = config.stem_filters;
         for &(filters, stride) in &config.stages {
-            blocks.push(BinaryResidualBlock::new(
-                channels,
-                filters,
-                stride,
-                config.scaling,
-                rng,
-            ));
+            let mut block =
+                BinaryResidualBlock::new(channels, filters, stride, config.scaling, rng);
+            block.set_levels(config.levels);
+            blocks.push(block);
             channels = filters;
         }
         let fc = Dense::new(channels, 2, rng);
@@ -376,8 +394,28 @@ mod tests {
             stem_filters: 4,
             stages: vec![(8, 2)],
             scaling: ScalingMode::PerChannel,
+            levels: 1,
         }
         .validate();
+    }
+
+    #[test]
+    fn levels_validated_and_propagated() {
+        assert!(NetConfig::tiny(16).with_levels(0).check().is_err());
+        assert!(NetConfig::tiny(16).with_levels(9).check().is_err());
+        let cfg = NetConfig::tiny(16).with_levels(2);
+        cfg.validate();
+        let mut rng = StdRng::seed_from_u64(6);
+        let net = BnnResNet::new(&cfg, &mut rng);
+        assert_eq!(net.stem().conv().levels(), 2);
+        for b in net.blocks() {
+            let (b1, b2) = b.main_path();
+            assert_eq!(b1.conv().levels(), 2);
+            assert_eq!(b2.conv().levels(), 2);
+            if let Some(s) = b.projection() {
+                assert_eq!(s.conv().levels(), 2);
+            }
+        }
     }
 
     #[test]

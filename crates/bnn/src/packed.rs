@@ -18,7 +18,7 @@ use crate::block::{BinaryResidualBlock, BnnBlock};
 use crate::kernels::geom::Interior;
 use crate::kernels::{self, active_backend, ConvGeometry, KernelBackend};
 use crate::model::BnnResNet;
-use crate::scaling::{box_filter_sliding_into, weight_scale, ScalingMode};
+use crate::scaling::{box_filter_sliding_into, residual_weight_levels, ScalingMode};
 use hotspot_tensor::workspace::{global_pool, Workspace};
 use hotspot_tensor::Tensor;
 use rayon::prelude::*;
@@ -443,6 +443,10 @@ pub struct ConvPrep {
     geom: ConvGeometry,
     rules: Vec<SignRule>,
     backend: KernelBackend,
+    /// Effective residual level count for this prep: the conv's own
+    /// level count, possibly capped lower (cascade triage runs an
+    /// M-level model at M = 1).
+    levels: usize,
 }
 
 impl ConvPrep {
@@ -455,10 +459,23 @@ impl ConvPrep {
     pub fn backend(&self) -> KernelBackend {
         self.backend
     }
+
+    /// Residual binarization levels this prep will execute.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
 }
 
 /// A compiled binary convolution block: batch-norm affine + packed
 /// weights + output scaling.
+///
+/// The packed weights are a stack of M residual bit planes (ReBNet's
+/// residual binarization, `W ≈ Σ_ℓ α_ℓ ⊙ sign(r_ℓ)`): `filter` /
+/// `alpha_w` hold level 0 — exactly the classic single-bit
+/// representation — and `extra_levels` holds the `M − 1` correction
+/// planes with their per-level, per-filter scales.  Inference runs one
+/// XNOR pass of the *same* popcount kernels per plane and accumulates;
+/// an empty `extra_levels` is bit-for-bit the old single-level conv.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PackedConv {
     bn_scale: Vec<f32>,
@@ -469,6 +486,7 @@ pub struct PackedConv {
     pad: usize,
     kernel: usize,
     scaling: ScalingMode,
+    extra_levels: Vec<(BitFilter, Vec<f32>)>,
 }
 
 impl PackedConv {
@@ -489,23 +507,32 @@ impl PackedConv {
         }
         let w = &conv.weight().value;
         let scaling = conv.scaling_mode();
-        let alpha_w = match scaling {
-            ScalingMode::PlainSign => vec![1.0; w.shape()[0]],
-            _ => weight_scale(w),
-        };
+        // Residual weight binarization: level 0 is the classic
+        // single-bit plane (r_0 = W, so its BitFilter and α_W match
+        // the old compile exactly); levels 1.. pack the sign bits of
+        // the successive residuals with their own per-filter scales.
+        let plain = matches!(scaling, ScalingMode::PlainSign);
+        let mut lv = residual_weight_levels(w, conv.levels(), plain).into_iter();
+        let (r0, alpha_w) = lv.next().expect("at least one level");
+        let extra_levels = lv
+            .map(|(r, alpha)| (BitFilter::from_tensor(&r), alpha))
+            .collect();
         PackedConv {
             bn_scale,
             bn_shift,
-            filter: BitFilter::from_tensor(w),
+            filter: BitFilter::from_tensor(&r0),
             alpha_w,
             stride: conv.stride(),
             pad: conv.pad(),
             kernel: w.shape()[2],
             scaling,
+            extra_levels,
         }
     }
 
     /// Rebuilds a packed conv from its parts (wire codec + tests).
+    /// `extra_levels` holds the residual correction planes beyond the
+    /// first; pass an empty vector for a classic single-level conv.
     #[allow(clippy::too_many_arguments)]
     pub fn from_raw_parts(
         bn_scale: Vec<f32>,
@@ -516,6 +543,7 @@ impl PackedConv {
         pad: usize,
         kernel: usize,
         scaling: ScalingMode,
+        extra_levels: Vec<(BitFilter, Vec<f32>)>,
     ) -> Self {
         PackedConv {
             bn_scale,
@@ -526,6 +554,7 @@ impl PackedConv {
             pad,
             kernel,
             scaling,
+            extra_levels,
         }
     }
 
@@ -544,9 +573,20 @@ impl PackedConv {
         &self.filter
     }
 
-    /// Per-filter weight scale `α_W`.
+    /// Per-filter weight scale `α_W` (level 0).
     pub fn alpha_w(&self) -> &[f32] {
         &self.alpha_w
+    }
+
+    /// Residual binarization level count `M` (1 = single-bit).
+    pub fn levels(&self) -> usize {
+        1 + self.extra_levels.len()
+    }
+
+    /// The residual correction planes beyond level 0, each with its
+    /// per-filter scales.
+    pub fn extra_levels(&self) -> &[(BitFilter, Vec<f32>)] {
+        &self.extra_levels
     }
 
     /// Convolution stride.
@@ -605,8 +645,23 @@ impl PackedConv {
         self.prepare_with_backend(h, w, active_backend())
     }
 
-    /// [`PackedConv::prepare`] with an explicit kernel backend.
+    /// [`PackedConv::prepare`] with an explicit kernel backend, running
+    /// all compiled-in residual levels.
     pub fn prepare_with_backend(&self, h: usize, w: usize, backend: KernelBackend) -> ConvPrep {
+        self.prepare_capped(h, w, backend, usize::MAX)
+    }
+
+    /// [`PackedConv::prepare_with_backend`] with the executed residual
+    /// level count capped at `max_levels` (clamped to `1..=M`): the
+    /// cascade's triage stage runs an M-level model at M = 1 without
+    /// recompiling it.
+    pub fn prepare_capped(
+        &self,
+        h: usize,
+        w: usize,
+        backend: KernelBackend,
+        max_levels: usize,
+    ) -> ConvPrep {
         let c = self.bn_scale.len();
         let geom = ConvGeometry::new(c, h, w, self.kernel, self.kernel, self.stride, self.pad);
         // PlainSign binarizes sign(s·x + b); fold the affine into one
@@ -627,6 +682,7 @@ impl PackedConv {
             geom,
             rules,
             backend,
+            levels: max_levels.clamp(1, self.levels()),
         }
     }
 
@@ -695,10 +751,35 @@ impl PackedConv {
         let wpp = geom.wpp;
         let mut words = ws.take_u64(n * plane * wpp);
 
+        // Residual levels beyond the first to execute: the prep can cap
+        // below the compiled-in count (cascade triage).  With none, the
+        // code below is call-for-call the single-level path.
+        let extra = prep.levels.min(self.levels()).saturating_sub(1);
+
         if matches!(self.scaling, ScalingMode::PlainSign) {
             pack_rules_into(x, n, c, h, w, &prep.rules, &mut words);
             let mut acc = ws.take_i32(ACC_PLANES * ow);
             xnor_conv2d_into_backend(prep.backend, &words, n, geom, &self.filter, &mut acc, out);
+            if extra > 0 {
+                // Each correction plane is one more pass of the same
+                // popcount kernels over the already-packed activations;
+                // its per-filter scale α_ℓ weights the accumulation
+                // (level 0 of PlainSign is unscaled, residuals are not).
+                let mut scratch = ws.take_f32(out.len());
+                for (filter_l, alpha_l) in &self.extra_levels[..extra] {
+                    xnor_conv2d_into_backend(
+                        prep.backend,
+                        &words,
+                        n,
+                        geom,
+                        filter_l,
+                        &mut acc,
+                        &mut scratch,
+                    );
+                    accumulate_scaled(out, &scratch, alpha_l, n, oplane);
+                }
+                ws.give_f32(scratch);
+            }
             ws.give_i32(acc);
         } else {
             // Factored activation scale: the exact same map the float
@@ -746,10 +827,52 @@ impl PackedConv {
                 &mut acc,
                 out,
             );
+            if extra > 0 {
+                // Correction planes reuse the packed activations *and*
+                // the sliding scale map: level ℓ's finalize multiplies
+                // α_ℓ[f] · smap[pixel], exactly like level 0 with its
+                // per-level α — then accumulates into the output.
+                let mut scratch = ws.take_f32(out.len());
+                for (filter_l, alpha_l) in &self.extra_levels[..extra] {
+                    xnor_conv2d_scaled(
+                        prep.backend,
+                        &words,
+                        n,
+                        geom,
+                        filter_l,
+                        Some((alpha_l, &smap)),
+                        &mut acc,
+                        &mut scratch,
+                    );
+                    for (o, s) in out.iter_mut().zip(&*scratch) {
+                        *o += s;
+                    }
+                }
+                ws.give_f32(scratch);
+            }
             ws.give_i32(acc);
             ws.give_f32(smap);
         }
         ws.give_u64(words);
+    }
+}
+
+/// `out[n, k, ·] += alpha[k] · src[n, k, ·]` over `[n, k, oplane]`
+/// buffers — the per-filter-scaled accumulation of a PlainSign residual
+/// correction plane.
+fn accumulate_scaled(out: &mut [f32], src: &[f32], alpha: &[f32], n: usize, oplane: usize) {
+    debug_assert_eq!(out.len(), src.len());
+    debug_assert_eq!(out.len(), n * alpha.len() * oplane);
+    for ni in 0..n {
+        for (ki, &a) in alpha.iter().enumerate() {
+            let base = (ni * alpha.len() + ki) * oplane;
+            for (o, s) in out[base..base + oplane]
+                .iter_mut()
+                .zip(&src[base..base + oplane])
+            {
+                *o += a * s;
+            }
+        }
     }
 }
 
@@ -933,6 +1056,20 @@ impl PackedBnn {
     /// Full-precision classifier bias `[2]`.
     pub fn fc_bias(&self) -> &Tensor {
         &self.fc_bias
+    }
+
+    /// The model's residual binarization level count `M` (the maximum
+    /// over its convolutions; 1 = classic single-bit).
+    pub fn levels(&self) -> usize {
+        let conv_levels = |c: &PackedConv| c.levels();
+        let mut m = conv_levels(&self.stem);
+        for b in &self.blocks {
+            m = m.max(conv_levels(b.conv1())).max(conv_levels(b.conv2()));
+            if let Some(s) = b.shortcut() {
+                m = m.max(conv_levels(s));
+            }
+        }
+        m
     }
 
     /// Classifies a batch of clips (`[n, 1, h, w]` ±1 tensors),

@@ -109,6 +109,19 @@ impl<'m> ExecPlan<'m> {
         input_hw: (usize, usize),
         backend: KernelBackend,
     ) -> Self {
+        ExecPlan::compile_capped(model, input_hw, backend, usize::MAX)
+    }
+
+    /// Compiles with the executed residual level count capped at
+    /// `max_levels` (clamped per conv to `1..=M`).  The cascade's
+    /// triage stage uses this to run an M-level model in single-bit
+    /// mode without recompiling or duplicating it.
+    pub(crate) fn compile_capped(
+        model: &'m PackedBnn,
+        input_hw: (usize, usize),
+        backend: KernelBackend,
+        max_levels: usize,
+    ) -> Self {
         let stem = model.stem();
         let mut steps = Vec::new();
         let mut step_names = Vec::new();
@@ -120,7 +133,7 @@ impl<'m> ExecPlan<'m> {
         buf_elems[0] = c * h * w;
         steps.push(Step::Conv {
             conv: stem,
-            prep: Box::new(stem.prepare_with_backend(input_hw.0, input_hw.1, backend)),
+            prep: Box::new(stem.prepare_capped(input_hw.0, input_hw.1, backend, max_levels)),
             src: Src::Input,
             dst: 0,
             in_hw: input_hw,
@@ -144,7 +157,7 @@ impl<'m> ExecPlan<'m> {
             buf_elems[b] = buf_elems[b].max(e1);
             steps.push(Step::Conv {
                 conv: conv1,
-                prep: Box::new(conv1.prepare_with_backend(h, w, backend)),
+                prep: Box::new(conv1.prepare_capped(h, w, backend, max_levels)),
                 src: Src::Buf(a),
                 dst: b,
                 in_hw: (h, w),
@@ -157,7 +170,7 @@ impl<'m> ExecPlan<'m> {
             buf_elems[d] = buf_elems[d].max(e2);
             steps.push(Step::Conv {
                 conv: conv2,
-                prep: Box::new(conv2.prepare_with_backend(h1, w1, backend)),
+                prep: Box::new(conv2.prepare_capped(h1, w1, backend, max_levels)),
                 src: Src::Buf(b),
                 dst: d,
                 in_hw: (h1, w1),
@@ -172,7 +185,7 @@ impl<'m> ExecPlan<'m> {
                     buf_elems[b] = buf_elems[b].max(es);
                     steps.push(Step::Conv {
                         conv: sc,
-                        prep: Box::new(sc.prepare_with_backend(h, w, backend)),
+                        prep: Box::new(sc.prepare_capped(h, w, backend, max_levels)),
                         src: Src::Buf(a),
                         dst: b,
                         in_hw: (h, w),
@@ -224,6 +237,19 @@ impl<'m> ExecPlan<'m> {
     /// The kernel backend every conv step of this plan dispatches to.
     pub fn backend(&self) -> KernelBackend {
         self.backend
+    }
+
+    /// The residual binarization level count this plan executes — the
+    /// maximum over its conv steps after any `plan_capped` clamp.
+    pub fn levels(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                Step::Conv { prep, .. } => prep.levels(),
+                Step::Add { .. } => 1,
+            })
+            .max()
+            .unwrap_or(1)
     }
 
     /// Number of layer steps (convs + shortcut merges).
@@ -452,6 +478,26 @@ impl PackedBnn {
     ) -> ExecPlan<'_> {
         ExecPlan::compile_with_backend(self, input_hw, backend)
     }
+
+    /// [`PackedBnn::plan`] with the executed residual level count
+    /// capped at `max_levels` (clamped per conv to `1..=M`).  An
+    /// M-level model capped at 1 runs — bit for bit — as the
+    /// single-level model built from the same level-0 planes; this is
+    /// the cascade's fast triage stage, and also how one trained model
+    /// yields the whole accuracy-vs-throughput frontier.
+    pub fn plan_capped(&self, input_hw: (usize, usize), max_levels: usize) -> ExecPlan<'_> {
+        ExecPlan::compile_capped(self, input_hw, active_backend(), max_levels)
+    }
+
+    /// [`PackedBnn::plan_capped`] pinned to an explicit kernel backend.
+    pub fn plan_capped_with_backend(
+        &self,
+        input_hw: (usize, usize),
+        backend: KernelBackend,
+        max_levels: usize,
+    ) -> ExecPlan<'_> {
+        ExecPlan::compile_capped(self, input_hw, backend, max_levels)
+    }
 }
 
 #[cfg(test)]
@@ -541,6 +587,42 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn multilevel_plan_matches_structural_forward_exactly() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let net = BnnResNet::new(&NetConfig::tiny(16).with_levels(2), &mut rng);
+        let packed = PackedBnn::compile(&net);
+        let input = pm_input(3, 16, 13);
+        let x = Tensor::from_vec(&[3, 1, 16, 16], input.clone());
+        let expect = packed.forward(&x);
+        let plan = packed.plan((16, 16));
+        assert_eq!(plan.levels(), 2);
+        let mut ws = Workspace::new();
+        let mut logits = vec![0.0f32; 3 * 2];
+        plan.run_into(&input, 3, &mut ws, &mut logits);
+        assert_eq!(expect.as_slice(), &logits[..], "plan must be bit-identical");
+    }
+
+    #[test]
+    fn capped_plan_runs_level_zero_only() {
+        let mut rng = StdRng::seed_from_u64(88);
+        let net = BnnResNet::new(&NetConfig::tiny(16).with_levels(3), &mut rng);
+        let packed = PackedBnn::compile(&net);
+        let full = packed.plan((16, 16));
+        let capped = packed.plan_capped((16, 16), 1);
+        assert_eq!(full.levels(), 3);
+        assert_eq!(capped.levels(), 1);
+        let input = pm_input(2, 16, 17);
+        let mut ws = Workspace::new();
+        let mut lo = vec![0.0f32; 2 * 2];
+        let mut hi = vec![0.0f32; 2 * 2];
+        capped.run_into(&input, 2, &mut ws, &mut lo);
+        full.run_into(&input, 2, &mut ws, &mut hi);
+        // Correction planes must actually change the logits; a capped
+        // plan that silently ran all levels would make these equal.
+        assert_ne!(lo, hi, "residual levels should perturb the logits");
     }
 
     #[test]

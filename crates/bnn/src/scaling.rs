@@ -41,6 +41,66 @@ pub fn weight_scale(w: &Tensor) -> Vec<f32> {
         .collect()
 }
 
+/// Residual-of-residual weight binarization (ReBNet-style, PAPERS.md):
+/// level 0 binarizes `W` itself, and every further level binarizes the
+/// residual the previous levels left unexplained,
+/// `r_{ℓ+1} = r_ℓ − α_ℓ ⊙ sign(r_ℓ)`, so that
+/// `W ≈ Σ_ℓ α_ℓ ⊙ sign(r_ℓ)` with per-level, per-filter scales
+/// `α_ℓ = ‖r_ℓ‖₁ / n` (Eq. 8 applied level by level).
+///
+/// Returns one `(residual, α)` pair per level; consumers binarize each
+/// residual with `sign` (the packed path packs its sign bits directly).
+/// With `plain_sign` the level-0 scale is pinned to 1 — plain
+/// `sign(W)` — matching [`ScalingMode::PlainSign`]'s unscaled first
+/// level, while the residual levels still carry their own scales
+/// (a residual without a scale cannot shrink the error).
+///
+/// `levels == 1` reproduces today's single-level binarization exactly:
+/// the returned pair is `(W, weight_scale(W))` (or `(W, 1)` for plain
+/// sign) and no residual is formed.
+///
+/// # Panics
+///
+/// Panics when `w` is not 4-D or `levels == 0`.
+pub fn residual_weight_levels(
+    w: &Tensor,
+    levels: usize,
+    plain_sign: bool,
+) -> Vec<(Tensor, Vec<f32>)> {
+    assert!(levels >= 1, "at least one binarization level");
+    assert_eq!(w.ndim(), 4, "weights must be [k, c, kh, kw]");
+    let k = w.shape()[0];
+    let per: usize = w.shape()[1..].iter().product();
+    let mut out = Vec::with_capacity(levels);
+    let mut residual = w.clone();
+    for level in 0..levels {
+        let alpha = if level == 0 && plain_sign {
+            vec![1.0; k]
+        } else {
+            weight_scale(&residual)
+        };
+        let next = if level + 1 < levels {
+            let mut nr = residual.clone();
+            let data = nr.as_mut_slice();
+            #[allow(clippy::needless_range_loop)] // ki addresses strided filter slabs
+            for ki in 0..k {
+                let a = alpha[ki];
+                for v in &mut data[ki * per..(ki + 1) * per] {
+                    *v -= a * if *v >= 0.0 { 1.0 } else { -1.0 };
+                }
+            }
+            Some(nr)
+        } else {
+            None
+        };
+        out.push((residual.clone(), alpha));
+        if let Some(nr) = next {
+            residual = nr;
+        }
+    }
+    out
+}
+
 /// Box-filters a single-channel plane with the `kh × kw` averaging
 /// kernel `K` of §3.4.3 (every element `1/(kh·kw)`), using the same
 /// padding as the convolution it scales.
@@ -445,6 +505,60 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn residual_levels_shrink_reconstruction_error() {
+        let mut state = 11u32;
+        let w = Tensor::from_vec(
+            &[3, 2, 3, 3],
+            (0..3 * 2 * 3 * 3)
+                .map(|_| {
+                    state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                    (state >> 16) as f32 / 32768.0 - 1.0
+                })
+                .collect(),
+        );
+        let per = 2 * 3 * 3;
+        for plain_sign in [false, true] {
+            let mut prev_err = f32::INFINITY;
+            for m in 1..=3usize {
+                let lv = residual_weight_levels(&w, m, plain_sign);
+                assert_eq!(lv.len(), m);
+                // Reconstruct Σ α_ℓ ⊙ sign(r_ℓ) and measure the error.
+                let mut recon = vec![0.0f32; w.numel()];
+                for (r, alpha) in &lv {
+                    for (i, &v) in r.as_slice().iter().enumerate() {
+                        recon[i] += alpha[i / per] * if v >= 0.0 { 1.0 } else { -1.0 };
+                    }
+                }
+                let err: f32 = w
+                    .as_slice()
+                    .iter()
+                    .zip(&recon)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                assert!(
+                    err < prev_err,
+                    "level {m} error {err} did not shrink from {prev_err} (plain={plain_sign})"
+                );
+                prev_err = err;
+            }
+        }
+    }
+
+    #[test]
+    fn residual_level_one_is_todays_binarization() {
+        let w = Tensor::from_vec(
+            &[2, 1, 2, 2],
+            vec![1.0, -1.0, 2.0, -2.0, 0.5, 0.5, 0.5, 0.5],
+        );
+        let lv = residual_weight_levels(&w, 1, false);
+        assert_eq!(lv.len(), 1);
+        assert_eq!(lv[0].0.as_slice(), w.as_slice());
+        assert_eq!(lv[0].1, weight_scale(&w));
+        let plain = residual_weight_levels(&w, 1, true);
+        assert_eq!(plain[0].1, vec![1.0, 1.0]);
     }
 
     #[test]

@@ -32,6 +32,57 @@ pub fn ste_grad(x: &Tensor, grad_out: &Tensor) -> Tensor {
     x.zip(grad_out, |xi, g| if xi.abs() < 1.0 { g } else { 0.0 })
 }
 
+/// Residual-of-residual binarization of a whole tensor (ReBNet): level
+/// 0 is `(sign(x), mean |x|)`, and each further level binarizes what
+/// the previous levels left over, `r_{ℓ+1} = r_ℓ − γ_ℓ · sign(r_ℓ)`
+/// with `γ_ℓ = mean |r_ℓ|`, giving `x ≈ Σ_ℓ γ_ℓ · sign(r_ℓ)`.
+///
+/// This is the scalar-scale form used in the STE forward's M-level
+/// weight approximation (the per-filter variant lives in
+/// [`crate::residual_weight_levels`]); the scales are *estimated* from
+/// the data each call, so during training they track the master
+/// weights exactly like the single-level `α_W` always has.
+///
+/// # Panics
+///
+/// Panics when `levels == 0` or `x` is empty.
+///
+/// # Example
+///
+/// ```
+/// use hotspot_bnn::residual_binarize;
+/// use hotspot_tensor::Tensor;
+///
+/// let x = Tensor::from_vec(&[4], vec![0.9, -0.1, 0.4, -0.6]);
+/// let lv = residual_binarize(&x, 2);
+/// assert_eq!(lv.len(), 2);
+/// // The two-level reconstruction is closer than one level alone.
+/// let err = |m: usize| -> f32 {
+///     let lv = residual_binarize(&x, m);
+///     x.as_slice().iter().enumerate().map(|(i, &v)| {
+///         let approx: f32 = lv.iter().map(|(b, g)| g * b.as_slice()[i]).sum();
+///         (v - approx).powi(2)
+///     }).sum()
+/// };
+/// assert!(err(2) < err(1));
+/// ```
+pub fn residual_binarize(x: &Tensor, levels: usize) -> Vec<(Tensor, f32)> {
+    assert!(levels >= 1, "at least one binarization level");
+    assert!(x.numel() > 0, "cannot binarize an empty tensor");
+    let inv_n = 1.0 / x.numel() as f32;
+    let mut out = Vec::with_capacity(levels);
+    let mut residual = x.clone();
+    for level in 0..levels {
+        let signs = sign_tensor(&residual);
+        let gamma = residual.as_slice().iter().map(|v| v.abs()).sum::<f32>() * inv_n;
+        if level + 1 < levels {
+            residual = residual.zip(&signs, |r, s| r - gamma * s);
+        }
+        out.push((signs, gamma));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,6 +109,44 @@ mod tests {
         let x = Tensor::from_vec(&[3], vec![-1.0, 0.999, 1.0]);
         let g = Tensor::ones(&[3]);
         assert_eq!(ste_grad(&x, &g).as_slice(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn residual_binarize_single_level_is_plain_sign() {
+        let x = Tensor::from_vec(&[4], vec![0.5, -1.5, 2.0, -0.25]);
+        let lv = residual_binarize(&x, 1);
+        assert_eq!(lv.len(), 1);
+        assert_eq!(&lv[0].0, &sign_tensor(&x));
+        assert!((lv[0].1 - (0.5 + 1.5 + 2.0 + 0.25) / 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn residual_binarize_levels_monotonically_improve() {
+        let mut state = 3u32;
+        let x = Tensor::from_vec(
+            &[64],
+            (0..64)
+                .map(|_| {
+                    state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                    (state >> 16) as f32 / 32768.0 - 1.0
+                })
+                .collect(),
+        );
+        let err = |m: usize| -> f32 {
+            let lv = residual_binarize(&x, m);
+            x.as_slice()
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    let approx: f32 = lv.iter().map(|(b, g)| g * b.as_slice()[i]).sum();
+                    (v - approx).powi(2)
+                })
+                .sum()
+        };
+        let errs: Vec<f32> = (1..=4).map(err).collect();
+        for pair in errs.windows(2) {
+            assert!(pair[1] < pair[0], "errors not decreasing: {errs:?}");
+        }
     }
 
     #[test]

@@ -48,7 +48,7 @@ impl BitFilter {
 }
 
 impl PackedConv {
-    pub(crate) fn encode_wire(&self, w: &mut WireWriter) {
+    pub(crate) fn encode_wire(&self, w: &mut WireWriter, multilevel: bool) {
         w.put_f32_slice(self.bn_scale());
         w.put_f32_slice(self.bn_shift());
         self.filter().encode_wire(w);
@@ -57,9 +57,21 @@ impl PackedConv {
         w.put_usize(self.pad());
         w.put_usize(self.kernel());
         put_scaling(w, self.scaling());
+        if multilevel {
+            w.put_usize(self.extra_levels().len());
+            for (filter, alpha) in self.extra_levels() {
+                filter.encode_wire(w);
+                w.put_f32_slice(alpha);
+            }
+        } else {
+            assert!(
+                self.extra_levels().is_empty(),
+                "single-level wire format cannot carry residual levels"
+            );
+        }
     }
 
-    pub(crate) fn decode_wire(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+    pub(crate) fn decode_wire(r: &mut WireReader<'_>, multilevel: bool) -> Result<Self, WireError> {
         let bn_scale = r.get_f32_vec()?;
         let bn_shift = r.get_f32_vec()?;
         let filter = BitFilter::decode_wire(r)?;
@@ -74,30 +86,61 @@ impl PackedConv {
         if alpha_w.len() != filter.dims().0 {
             return Err(WireError("alpha_w/filter count mismatch".into()));
         }
+        let extra_levels = if multilevel {
+            // A residual level encodes to well past 32 bytes (a bit
+            // filter plus a per-filter scale vector); bounding by the
+            // remaining payload rejects hostile counts up front.
+            let n_extra = r.get_count(32)?;
+            let mut extra = Vec::with_capacity(n_extra);
+            for _ in 0..n_extra {
+                let lf = BitFilter::decode_wire(r)?;
+                let alpha = r.get_f32_vec()?;
+                if lf.dims() != filter.dims() {
+                    return Err(WireError("residual level filter shape mismatch".into()));
+                }
+                if alpha.len() != lf.dims().0 {
+                    return Err(WireError(
+                        "residual level alpha/filter count mismatch".into(),
+                    ));
+                }
+                extra.push((lf, alpha));
+            }
+            extra
+        } else {
+            Vec::new()
+        };
         Ok(PackedConv::from_raw_parts(
-            bn_scale, bn_shift, filter, alpha_w, stride, pad, kernel, scaling,
+            bn_scale,
+            bn_shift,
+            filter,
+            alpha_w,
+            stride,
+            pad,
+            kernel,
+            scaling,
+            extra_levels,
         ))
     }
 }
 
 impl PackedResidual {
-    pub(crate) fn encode_wire(&self, w: &mut WireWriter) {
-        self.conv1().encode_wire(w);
-        self.conv2().encode_wire(w);
+    pub(crate) fn encode_wire(&self, w: &mut WireWriter, multilevel: bool) {
+        self.conv1().encode_wire(w, multilevel);
+        self.conv2().encode_wire(w, multilevel);
         match self.shortcut() {
             Some(s) => {
                 w.put_bool(true);
-                s.encode_wire(w);
+                s.encode_wire(w, multilevel);
             }
             None => w.put_bool(false),
         }
     }
 
-    pub(crate) fn decode_wire(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        let conv1 = PackedConv::decode_wire(r)?;
-        let conv2 = PackedConv::decode_wire(r)?;
+    pub(crate) fn decode_wire(r: &mut WireReader<'_>, multilevel: bool) -> Result<Self, WireError> {
+        let conv1 = PackedConv::decode_wire(r, multilevel)?;
+        let conv2 = PackedConv::decode_wire(r, multilevel)?;
         let shortcut = if r.get_bool()? {
-            Some(PackedConv::decode_wire(r)?)
+            Some(PackedConv::decode_wire(r, multilevel)?)
         } else {
             None
         };
@@ -106,12 +149,28 @@ impl PackedResidual {
 }
 
 impl PackedBnn {
-    /// Encodes the model body (no header) into `w`.
+    /// Encodes the model body (no header) into `w` in the current
+    /// (multi-level) wire layout: each packed convolution carries its
+    /// residual bit planes and per-level scales after the base fields.
     pub fn encode_wire(&self, w: &mut WireWriter) {
-        self.stem().encode_wire(w);
+        self.encode_wire_versioned(w, true);
+    }
+
+    /// Encodes the model body in the *legacy* single-level layout used
+    /// by pre-`BRNNHS04` artifacts.  Only models with `levels() == 1`
+    /// can be framed this way; the codec panics otherwise.  Exists so
+    /// tests (and tooling) can fabricate legacy fixtures without
+    /// keeping binary blobs in the tree.
+    #[doc(hidden)]
+    pub fn encode_wire_v3(&self, w: &mut WireWriter) {
+        self.encode_wire_versioned(w, false);
+    }
+
+    fn encode_wire_versioned(&self, w: &mut WireWriter, multilevel: bool) {
+        self.stem().encode_wire(w, multilevel);
         w.put_usize(self.blocks().len());
         for b in self.blocks() {
-            b.encode_wire(w);
+            b.encode_wire(w, multilevel);
         }
         w.put_tensor(self.fc_weight());
         w.put_tensor(self.fc_bias());
@@ -126,14 +185,30 @@ impl PackedBnn {
     ///
     /// [`encode_wire`]: PackedBnn::encode_wire
     pub fn decode_wire(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        let stem = PackedConv::decode_wire(r)?;
+        Self::decode_wire_versioned(r, true)
+    }
+
+    /// Decodes a legacy single-level body (pre-`BRNNHS04` layouts,
+    /// which predate residual levels).  The result always has
+    /// `levels() == 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncated or structurally invalid
+    /// input.
+    pub fn decode_wire_v3(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Self::decode_wire_versioned(r, false)
+    }
+
+    fn decode_wire_versioned(r: &mut WireReader<'_>, multilevel: bool) -> Result<Self, WireError> {
+        let stem = PackedConv::decode_wire(r, multilevel)?;
         // A residual block encodes to well over 32 bytes (two packed
         // convs plus the shortcut flag); bounding the count by the
         // remaining payload rejects hostile prefixes before allocating.
         let n_blocks = r.get_count(32)?;
         let mut blocks = Vec::with_capacity(n_blocks);
         for _ in 0..n_blocks {
-            blocks.push(PackedResidual::decode_wire(r)?);
+            blocks.push(PackedResidual::decode_wire(r, multilevel)?);
         }
         let fc_weight = r.get_tensor()?;
         let fc_bias = r.get_tensor()?;
@@ -162,6 +237,49 @@ mod tests {
         assert_eq!(r.remaining(), 0, "payload fully consumed");
         let x = Tensor::ones(&[2, 1, 16, 16]);
         assert_eq!(model.forward(&x), restored.forward(&x));
+    }
+
+    #[test]
+    fn multilevel_model_wire_round_trip_preserves_function() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let net = BnnResNet::new(&NetConfig::tiny(16).with_levels(2), &mut rng);
+        let model = PackedBnn::compile(&net);
+        assert_eq!(model.levels(), 2);
+        let mut w = WireWriter::new();
+        model.encode_wire(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let restored = PackedBnn::decode_wire(&mut r).expect("decode");
+        assert_eq!(r.remaining(), 0, "payload fully consumed");
+        assert_eq!(restored.levels(), 2);
+        let x = Tensor::ones(&[2, 1, 16, 16]);
+        assert_eq!(model.forward(&x), restored.forward(&x));
+    }
+
+    #[test]
+    fn legacy_v3_wire_round_trip_preserves_function() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let net = BnnResNet::new(&NetConfig::tiny(16), &mut rng);
+        let model = PackedBnn::compile(&net);
+        let mut w = WireWriter::new();
+        model.encode_wire_v3(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let restored = PackedBnn::decode_wire_v3(&mut r).expect("decode");
+        assert_eq!(r.remaining(), 0, "payload fully consumed");
+        assert_eq!(restored.levels(), 1);
+        let x = Tensor::ones(&[2, 1, 16, 16]);
+        assert_eq!(model.forward(&x), restored.forward(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "single-level wire format")]
+    fn legacy_encoder_rejects_multilevel_models() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let net = BnnResNet::new(&NetConfig::tiny(16).with_levels(2), &mut rng);
+        let model = PackedBnn::compile(&net);
+        let mut w = WireWriter::new();
+        model.encode_wire_v3(&mut w);
     }
 
     #[test]

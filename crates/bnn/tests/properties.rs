@@ -209,6 +209,82 @@ proptest! {
         }
     }
 
+    /// Residual levels are strictly additive: an M-level model capped
+    /// at M = 1 produces **bit-identical** logits to the single-level
+    /// model compiled from the same weights, on every compiled-in
+    /// kernel backend and for every scaling mode.  This is the
+    /// refactor's backward-compatibility contract — level 0 of the
+    /// residual stack *is* the pre-M-level representation.
+    #[test]
+    fn plan_mlevel_capped_at_one_matches_single_level(
+        seed in 0u64..12,
+        n in 1usize..4,
+        mode_idx in 0usize..3,
+    ) {
+        let mode = [ScalingMode::PlainSign, ScalingMode::Shared, ScalingMode::PerChannel][mode_idx];
+        let mut cfg = NetConfig::tiny(16);
+        cfg.scaling = mode;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let single = PackedBnn::compile(&BnnResNet::new(&cfg, &mut rng));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let multi = PackedBnn::compile(&BnnResNet::new(&cfg.clone().with_levels(2), &mut rng));
+        prop_assert_eq!(single.levels(), 1);
+        prop_assert_eq!(multi.levels(), 2);
+        let mut state = seed as u32 ^ 0x5a5a_5a5a;
+        let input: Vec<f32> = (0..n * 16 * 16).map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            if state & 0x8000 == 0 { 1.0 } else { -1.0 }
+        }).collect();
+        for backend in KernelBackend::available() {
+            let mut expect = vec![0.0f32; n * 2];
+            single
+                .plan_with_backend((16, 16), backend)
+                .run_into(&input, n, &mut Workspace::new(), &mut expect);
+            let mut capped = vec![0.0f32; n * 2];
+            multi
+                .plan_capped_with_backend((16, 16), backend, 1)
+                .run_into(&input, n, &mut Workspace::new(), &mut capped);
+            prop_assert_eq!(
+                &capped, &expect,
+                "capped M=2 model diverged from M=1 on {} ({:?})", backend.name(), mode
+            );
+        }
+    }
+
+    /// M-level plans are bit-identical across every compiled-in kernel
+    /// backend, for M ∈ {1, 2}: the correction planes run through the
+    /// same popcount kernels as level 0, so backend equivalence must
+    /// hold at every level count.
+    #[test]
+    fn plan_mlevel_backends_bit_identical(
+        seed in 0u64..10,
+        n in 1usize..4,
+        levels in 1usize..3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = BnnResNet::new(&NetConfig::tiny(16).with_levels(levels), &mut rng);
+        let packed = PackedBnn::compile(&net);
+        prop_assert_eq!(packed.levels(), levels);
+        let mut state = seed as u32 ^ 0x00c0_ffee;
+        let input: Vec<f32> = (0..n * 16 * 16).map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            if state & 0x8000 == 0 { 1.0 } else { -1.0 }
+        }).collect();
+        let mut reference = vec![0.0f32; n * 2];
+        packed
+            .plan_with_backend((16, 16), KernelBackend::Scalar)
+            .run_into(&input, n, &mut Workspace::new(), &mut reference);
+        for backend in KernelBackend::available() {
+            let plan = packed.plan_with_backend((16, 16), backend);
+            let mut logits = vec![0.0f32; n * 2];
+            plan.run_into(&input, n, &mut Workspace::new(), &mut logits);
+            prop_assert_eq!(
+                &logits, &reference,
+                "M={} plan on backend {} diverged from scalar", levels, backend.name()
+            );
+        }
+    }
+
     /// A residual block's backward returns a gradient of the input
     /// shape with finite values, for every scaling mode.
     #[test]

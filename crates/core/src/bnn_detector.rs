@@ -7,7 +7,7 @@ use crate::checkpoint::{
 };
 use crate::detector::HotspotDetector;
 use crate::persist::{load_checkpoint, save_checkpoint, PersistError};
-use hotspot_bnn::{BnnResNet, NetConfig, PackedBnn};
+use hotspot_bnn::{BnnResNet, ExecPlan, NetConfig, PackedBnn};
 use hotspot_geometry::BitImage;
 use hotspot_layout_gen::LabeledClip;
 use hotspot_nn::{
@@ -143,6 +143,7 @@ impl BnnTrainConfig {
                 stem_filters: 8,
                 stages: vec![(8, 1), (16, 2), (32, 2), (32, 2)],
                 scaling: hotspot_bnn::ScalingMode::Shared,
+                levels: 1,
             },
             input_size: 64,
             epochs: 20,
@@ -600,6 +601,13 @@ impl BnnDetector {
                     ck.fingerprint
                 )));
             }
+            if ck.levels != cfg.net.levels {
+                return Err(TrainError::Checkpoint(format!(
+                    "checkpoint was trained with {} residual binarization level(s) but the \
+                     current configuration uses {}",
+                    ck.levels, cfg.net.levels
+                )));
+            }
             if ck.completed_epochs > total_epochs || ck.history.len() != ck.completed_epochs {
                 return Err(TrainError::Checkpoint(format!(
                     "inconsistent checkpoint: {} completed epochs, {} history records, \
@@ -750,6 +758,7 @@ impl BnnDetector {
                             let (params, state) = snapshot_net(&mut net);
                             let ck = TrainCheckpoint {
                                 fingerprint,
+                                levels: cfg.net.levels,
                                 completed_epochs: completed,
                                 rollbacks,
                                 params,
@@ -839,6 +848,13 @@ impl BnnDetector {
         let packed = self.packed.as_ref().expect("detector is not trained");
         let side = self.config.input_size;
         let plan = packed.plan((side, side));
+        self.margins_with_plan(&plan, images)
+    }
+
+    /// Shard-parallel logit margins through an already-compiled plan
+    /// (shared by the plain packed path and both cascade stages).
+    fn margins_with_plan(&self, plan: &ExecPlan<'_>, images: &[&BitImage]) -> Vec<f32> {
+        let side = self.config.input_size;
         let plane = side * side;
         let shards: Vec<&[&BitImage]> = images.chunks(SHARD).collect();
         let margins: Vec<Vec<f32>> = shards
@@ -936,6 +952,80 @@ impl BnnDetector {
             .into_iter()
             .map(|m| m >= 0.0)
             .collect()
+    }
+
+    /// Two-stage cascade classification: a fast single-bit triage pass
+    /// scores every clip, and only clips whose logit margin falls
+    /// inside `(-threshold, threshold)` — too close to the decision
+    /// boundary to trust — are re-scored by the full M-level model.
+    ///
+    /// Both stages run the *same* compiled model: triage is a
+    /// [`plan_capped`](PackedBnn::plan_capped) execution at M = 1
+    /// (bit-for-bit the classic single-level network, since level 0 of
+    /// the residual stack is exactly the old representation), so the
+    /// cascade costs one model in memory.  With a single-level model,
+    /// or `threshold == 0`, this is identical to
+    /// [`predict_batch_packed`](BnnDetector::predict_batch_packed)'s
+    /// decision at M = 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before training, or when `threshold` is
+    /// negative or non-finite.
+    pub fn classify_cascade(&self, images: &[&BitImage], threshold: f32) -> Vec<bool> {
+        self.classify_cascade_with_stats(images, threshold).0
+    }
+
+    /// [`classify_cascade`](BnnDetector::classify_cascade) plus the
+    /// number of clips escalated to the confirmation stage — the
+    /// quantity that sets the cascade's effective throughput.
+    ///
+    /// # Panics
+    ///
+    /// As [`classify_cascade`](BnnDetector::classify_cascade).
+    pub fn classify_cascade_with_stats(
+        &self,
+        images: &[&BitImage],
+        threshold: f32,
+    ) -> (Vec<bool>, usize) {
+        assert!(
+            threshold >= 0.0 && threshold.is_finite(),
+            "cascade threshold must be finite and non-negative, got {threshold}"
+        );
+        let packed = self.packed.as_ref().expect("detector is not trained");
+        let side = self.config.input_size;
+        let _span = span!("infer.cascade", clips = images.len());
+        let triage = packed.plan_capped((side, side), 1);
+        let margins = self.margins_with_plan(&triage, images);
+        let mut preds: Vec<bool> = margins.iter().map(|&m| m >= 0.0).collect();
+        if packed.levels() == 1 {
+            return (preds, 0);
+        }
+        let flagged: Vec<usize> = margins
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.abs() < threshold)
+            .map(|(i, _)| i)
+            .collect();
+        if !flagged.is_empty() {
+            let confirm = packed.plan((side, side));
+            let flagged_images: Vec<&BitImage> = flagged.iter().map(|&i| images[i]).collect();
+            for (&i, &m) in flagged
+                .iter()
+                .zip(&self.margins_with_plan(&confirm, &flagged_images))
+            {
+                preds[i] = m >= 0.0;
+            }
+        }
+        trace::dispatch_event(
+            "infer.cascade",
+            &[
+                ("clips", Value::from(images.len())),
+                ("escalated", Value::from(flagged.len())),
+                ("levels", Value::from(packed.levels())),
+            ],
+        );
+        (preds, flagged.len())
     }
 }
 
@@ -1085,6 +1175,57 @@ mod tests {
             .filter(|(a, b)| a == b)
             .count();
         assert!(agree >= 32, "only {agree}/40 agreement");
+    }
+
+    #[test]
+    fn cascade_extremes_match_triage_and_full_paths() {
+        let clips = toy_clips(24, 32);
+        let mut cfg = BnnTrainConfig::fast();
+        cfg.net.levels = 2;
+        cfg.epochs = 4;
+        cfg.bias_epochs = 1;
+        let mut det = BnnDetector::new(cfg);
+        det.fit(&clips);
+        assert_eq!(det.packed().unwrap().levels(), 2);
+        let images: Vec<&BitImage> = clips.iter().map(|c| &c.image).collect();
+
+        // An infinite-for-practical-purposes threshold escalates every
+        // clip, so the cascade must reproduce the full M-level path.
+        let full = det.predict_batch_packed(&images);
+        let (all, escalated) = det.classify_cascade_with_stats(&images, f32::MAX);
+        assert_eq!(escalated, images.len());
+        assert_eq!(all, full);
+
+        // Threshold zero escalates nothing: pure single-bit triage.
+        let (_, escalated) = det.classify_cascade_with_stats(&images, 0.0);
+        assert_eq!(escalated, 0);
+    }
+
+    #[test]
+    fn cascade_on_single_level_model_never_escalates() {
+        let clips = toy_clips(20, 32);
+        let mut cfg = BnnTrainConfig::fast();
+        cfg.epochs = 3;
+        cfg.bias_epochs = 0;
+        let mut det = BnnDetector::new(cfg);
+        det.fit(&clips);
+        let images: Vec<&BitImage> = clips.iter().map(|c| &c.image).collect();
+        let (preds, escalated) = det.classify_cascade_with_stats(&images, f32::MAX);
+        assert_eq!(escalated, 0, "M=1 has no confirmation stage");
+        assert_eq!(preds, det.predict_batch_packed(&images));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn cascade_rejects_negative_threshold() {
+        let clips = toy_clips(20, 32);
+        let mut cfg = BnnTrainConfig::fast();
+        cfg.epochs = 2;
+        cfg.bias_epochs = 0;
+        let mut det = BnnDetector::new(cfg);
+        det.fit(&clips);
+        let images: Vec<&BitImage> = clips.iter().map(|c| &c.image).collect();
+        let _ = det.classify_cascade(&images, -1.0);
     }
 
     #[test]

@@ -29,6 +29,10 @@ pub struct TrainCheckpoint {
     /// Fingerprint of the trajectory-relevant configuration fields
     /// (see [`config_fingerprint`]); resume refuses a mismatch.
     pub fingerprint: u32,
+    /// Residual binarization level count `M` of the network being
+    /// trained.  Legacy (pre-`BRNNCK03`) checkpoints predate residual
+    /// levels and load as `1`.
+    pub levels: usize,
     /// Epochs fully completed (standard + biased).
     pub completed_epochs: usize,
     /// Watchdog rollbacks consumed so far.
@@ -80,6 +84,13 @@ pub fn config_fingerprint(cfg: &BnnTrainConfig) -> u32 {
     w.put_bool(cfg.augment);
     w.put_bool(cfg.balance_classes);
     w.put_u64(cfg.seed);
+    // Residual binarization levels joined the config after the
+    // fingerprint scheme shipped; hashing the field only when it is
+    // not the single-level default keeps every pre-existing M = 1
+    // checkpoint resumable under its original fingerprint.
+    if cfg.net.levels != 1 {
+        w.put_usize(cfg.net.levels);
+    }
     crc32(&w.into_bytes())
 }
 
@@ -178,9 +189,12 @@ fn get_record(r: &mut WireReader<'_>, with_duration: bool) -> Result<EpochRecord
 }
 
 impl TrainCheckpoint {
-    /// Encodes the checkpoint body (no header) into `w`.
+    /// Encodes the checkpoint body (no header) into `w` (the current,
+    /// version-`03` layout: residual level count after the
+    /// fingerprint).
     pub fn encode_wire(&self, w: &mut WireWriter) {
         w.put_u32(self.fingerprint);
+        w.put_usize(self.levels);
         w.put_usize(self.completed_epochs);
         w.put_usize(self.rollbacks);
         w.put_usize(self.params.len());
@@ -204,32 +218,49 @@ impl TrainCheckpoint {
 
     /// Decodes a checkpoint body previously written by
     /// [`encode_wire`](TrainCheckpoint::encode_wire) (the current,
-    /// version-`02` layout with per-epoch durations).
+    /// version-`03` layout: residual level count + per-epoch
+    /// durations).
     ///
     /// # Errors
     ///
     /// Returns [`WireError`] on truncated or structurally invalid
     /// input.
     pub fn decode_wire(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        Self::decode_wire_versioned(r, true)
+        Self::decode_wire_versioned(r, true, true)
+    }
+
+    /// Decodes a legacy version-`02` checkpoint body (per-epoch
+    /// durations, no residual level count; levels load as `1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncated or structurally invalid
+    /// input.
+    pub fn decode_wire_v2(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Self::decode_wire_versioned(r, false, true)
     }
 
     /// Decodes a legacy version-`01` checkpoint body (no per-epoch
-    /// durations; they load as `0.0`).
+    /// durations, no residual level count).
     ///
     /// # Errors
     ///
     /// Returns [`WireError`] on truncated or structurally invalid
     /// input.
     pub fn decode_wire_v1(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        Self::decode_wire_versioned(r, false)
+        Self::decode_wire_versioned(r, false, false)
     }
 
     fn decode_wire_versioned(
         r: &mut WireReader<'_>,
+        with_levels: bool,
         with_duration: bool,
     ) -> Result<Self, WireError> {
         let fingerprint = r.get_u32()?;
+        let levels = if with_levels { r.get_usize()? } else { 1 };
+        if levels == 0 {
+            return Err(WireError("checkpoint level count cannot be zero".into()));
+        }
         let completed_epochs = r.get_usize()?;
         let rollbacks = r.get_usize()?;
         let n_params = r.get_count(16)?;
@@ -254,6 +285,7 @@ impl TrainCheckpoint {
             .collect::<Result<Vec<_>, _>>()?;
         Ok(TrainCheckpoint {
             fingerprint,
+            levels,
             completed_epochs,
             rollbacks,
             params,
@@ -309,6 +341,7 @@ mod tests {
         let (params, state) = snapshot_net(&mut net);
         TrainCheckpoint {
             fingerprint: 0xDEAD_BEEF,
+            levels: 1,
             completed_epochs: 7,
             rollbacks: 1,
             params,
@@ -391,6 +424,69 @@ mod tests {
     }
 
     #[test]
+    fn multilevel_checkpoint_round_trips_levels() {
+        let mut ck = ck_fixture();
+        ck.levels = 3;
+        let mut w = WireWriter::new();
+        ck.encode_wire(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let restored = TrainCheckpoint::decode_wire(&mut r).expect("decode");
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(restored.levels, 3);
+        assert_eq!(restored.params, ck.params);
+    }
+
+    #[test]
+    fn legacy_v2_body_decodes_with_single_level() {
+        let ck = ck_fixture();
+        // Encode the version-02 layout by hand: identical to
+        // encode_wire except no level count after the fingerprint.
+        let mut w = WireWriter::new();
+        w.put_u32(ck.fingerprint);
+        w.put_usize(ck.completed_epochs);
+        w.put_usize(ck.rollbacks);
+        w.put_usize(ck.params.len());
+        for t in &ck.params {
+            w.put_tensor(t);
+        }
+        w.put_usize(ck.state.len());
+        for s in &ck.state {
+            w.put_f32_slice(s);
+        }
+        ck.optimizer.encode_wire(&mut w);
+        ck.schedule.encode_wire(&mut w);
+        for word in ck.rng {
+            w.put_u64(word);
+        }
+        w.put_usize(ck.history.len());
+        for rec in &ck.history {
+            put_record(&mut w, rec);
+        }
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let restored = TrainCheckpoint::decode_wire_v2(&mut r).expect("v2 decode");
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(restored.levels, 1, "pre-level checkpoints imply M = 1");
+        assert_eq!(restored.history, ck.history);
+    }
+
+    #[test]
+    fn fingerprint_ignores_default_levels_but_tracks_extra() {
+        // M = 1 must hash exactly as it did before the field existed,
+        // so every legacy checkpoint keeps its original fingerprint.
+        let base = BnnTrainConfig::fast();
+        assert_eq!(base.net.levels, 1);
+        let fp = config_fingerprint(&base);
+        let mut multi = base.clone();
+        multi.net.levels = 2;
+        assert_ne!(config_fingerprint(&multi), fp);
+        let mut multi3 = base.clone();
+        multi3.net.levels = 3;
+        assert_ne!(config_fingerprint(&multi3), config_fingerprint(&multi));
+    }
+
+    #[test]
     fn truncated_checkpoint_rejected() {
         let ck = ck_fixture();
         let mut w = WireWriter::new();
@@ -435,6 +531,7 @@ mod tests {
                 stem_filters: 8,
                 stages: vec![(8, 1), (16, 2), (16, 2)],
                 scaling: hotspot_bnn::ScalingMode::PerChannel,
+                levels: 1,
             },
             &mut rng,
         );

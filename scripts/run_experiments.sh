@@ -13,3 +13,4 @@ $RUN --figure 2                            | tee results/figure2.txt
 $RUN --ablation epsilon --scale "$SCALE"   | tee results/ablation_epsilon.txt
 $RUN --ablation scaling --scale "$SCALE"   | tee results/ablation_scaling.txt
 $RUN --ablation input-size --scale "$SCALE"| tee results/ablation_input_size.txt
+$RUN --ablation levels --scale "$SCALE"    | tee results/ablation_levels.txt
