@@ -20,7 +20,7 @@ use crate::kernels::{self, active_backend, ConvGeometry, KernelBackend};
 use crate::model::BnnResNet;
 use crate::scaling::{box_filter_sliding_into, residual_weight_levels, ScalingMode};
 use hotspot_tensor::workspace::{global_pool, Workspace};
-use hotspot_tensor::Tensor;
+use hotspot_tensor::{crc32, Tensor, WireWriter};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -1072,6 +1072,42 @@ impl PackedBnn {
         m
     }
 
+    /// A CRC32 fingerprint of the model's *architecture*: every layer's
+    /// filter dimensions, stride, padding, scaling mode and residual
+    /// level count, plus the classifier head shape — but none of the
+    /// weights.  Two models trained from the same [`NetConfig`] share a
+    /// fingerprint; any topology change breaks it.  The serving layer
+    /// uses this to validate a hot-swap candidate before publishing it:
+    /// a model with a different fingerprint would silently change the
+    /// service's input contract or cost profile.
+    ///
+    /// [`NetConfig`]: crate::model::NetConfig
+    pub fn arch_fingerprint(&self) -> u32 {
+        let mut w = WireWriter::new();
+        let push_conv = |w: &mut WireWriter, conv: &PackedConv| {
+            let (k, c, kh, kw) = conv.filter().dims();
+            w.put_usize_slice(&[k, c, kh, kw, conv.stride(), conv.pad(), conv.levels()]);
+            w.put_u8(match conv.scaling() {
+                ScalingMode::PlainSign => 0,
+                ScalingMode::Shared => 1,
+                ScalingMode::PerChannel => 2,
+            });
+        };
+        push_conv(&mut w, &self.stem);
+        w.put_usize(self.blocks.len());
+        for b in &self.blocks {
+            push_conv(&mut w, b.conv1());
+            push_conv(&mut w, b.conv2());
+            w.put_bool(b.shortcut().is_some());
+            if let Some(s) = b.shortcut() {
+                push_conv(&mut w, s);
+            }
+        }
+        w.put_usize_slice(self.fc_weight.shape());
+        w.put_usize_slice(self.fc_bias.shape());
+        crc32(&w.into_bytes())
+    }
+
     /// Classifies a batch of clips (`[n, 1, h, w]` ±1 tensors),
     /// returning `[n, 2]` logits.
     ///
@@ -1211,6 +1247,36 @@ mod tests {
         let b = packed.forward(&x);
         assert_eq!(a, b);
         assert_eq!(a.shape(), &[3, 2]);
+    }
+
+    #[test]
+    fn arch_fingerprint_tracks_topology_not_weights() {
+        let compile = |seed: u64, cfg: &crate::NetConfig| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            PackedBnn::compile(&crate::BnnResNet::new(cfg, &mut rng))
+        };
+        let cfg = crate::NetConfig::tiny(16);
+        let a = compile(1, &cfg);
+        let b = compile(2, &cfg);
+        assert_eq!(
+            a.arch_fingerprint(),
+            b.arch_fingerprint(),
+            "same topology, different weights → same fingerprint"
+        );
+        // Any topology change breaks the fingerprint.
+        let mut wider = cfg.clone();
+        wider.stem_filters = 8;
+        assert_ne!(
+            a.arch_fingerprint(),
+            compile(1, &wider).arch_fingerprint(),
+            "stem width is part of the fingerprint"
+        );
+        let leveled = cfg.clone().with_levels(2);
+        assert_ne!(
+            a.arch_fingerprint(),
+            compile(1, &leveled).arch_fingerprint(),
+            "residual level count is part of the fingerprint"
+        );
     }
 
     #[test]

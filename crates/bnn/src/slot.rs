@@ -1,0 +1,135 @@
+//! A swap-safe handle to the serving model.
+//!
+//! [`ModelSlot`] holds the `Arc<PackedBnn>` a long-running service
+//! classifies with and lets a background thread replace it atomically:
+//! readers grab a cheap `Arc` clone per batch and keep using the model
+//! they started with, while [`swap`](ModelSlot::swap) publishes a new
+//! one for every *subsequent* batch.  Each successful swap bumps a
+//! monotonically increasing generation counter so callers can attribute
+//! work (and failures) to the exact model that produced it — the hook
+//! the serving layer's post-swap rollback monitor hangs off.
+//!
+//! The slot recovers from lock poisoning by construction: the guarded
+//! state is an `Arc` plus a counter, both valid at every instruction
+//! boundary, so a panicking reader can never wedge the service.
+
+use crate::packed::PackedBnn;
+use std::sync::{Arc, RwLock};
+
+struct Entry {
+    model: Arc<PackedBnn>,
+    generation: u64,
+}
+
+/// An atomically swappable, generation-counted model handle (see the
+/// module docs).
+pub struct ModelSlot {
+    inner: RwLock<Entry>,
+}
+
+impl ModelSlot {
+    /// Wraps a model as generation 1.
+    pub fn new(model: PackedBnn) -> Self {
+        Self::from_arc(Arc::new(model))
+    }
+
+    /// Wraps an already-shared model as generation 1.
+    pub fn from_arc(model: Arc<PackedBnn>) -> Self {
+        ModelSlot {
+            inner: RwLock::new(Entry {
+                model,
+                generation: 1,
+            }),
+        }
+    }
+
+    /// The current model and its generation.  The returned `Arc` stays
+    /// valid across concurrent swaps — a worker mid-batch keeps the
+    /// model it started with.
+    pub fn current(&self) -> (Arc<PackedBnn>, u64) {
+        let entry = self.inner.read().unwrap_or_else(|p| p.into_inner());
+        (entry.model.clone(), entry.generation)
+    }
+
+    /// The current generation number.
+    pub fn generation(&self) -> u64 {
+        self.inner
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .generation
+    }
+
+    /// Publishes `model` as the new current model, returning
+    /// `(previous model, new generation)`.  The previous `Arc` is handed
+    /// back so a rollback monitor can restore it without reloading from
+    /// disk.
+    pub fn swap(&self, model: Arc<PackedBnn>) -> (Arc<PackedBnn>, u64) {
+        let mut entry = self.inner.write().unwrap_or_else(|p| p.into_inner());
+        entry.generation += 1;
+        let prev = std::mem::replace(&mut entry.model, model);
+        (prev, entry.generation)
+    }
+}
+
+impl std::fmt::Debug for ModelSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let entry = self.inner.read().unwrap_or_else(|p| p.into_inner());
+        f.debug_struct("ModelSlot")
+            .field("generation", &entry.generation)
+            .field("levels", &entry.model.levels())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BnnResNet, NetConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn packed(seed: u64) -> PackedBnn {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PackedBnn::compile(&BnnResNet::new(&NetConfig::tiny(16), &mut rng))
+    }
+
+    #[test]
+    fn swap_bumps_generation_and_returns_previous() {
+        let slot = ModelSlot::new(packed(1));
+        let (first, g1) = slot.current();
+        assert_eq!(g1, 1);
+        let (prev, g2) = slot.swap(Arc::new(packed(2)));
+        assert_eq!(g2, 2);
+        assert!(Arc::ptr_eq(&prev, &first), "swap hands the old model back");
+        let (cur, g) = slot.current();
+        assert_eq!(g, 2);
+        assert!(!Arc::ptr_eq(&cur, &first));
+        assert_eq!(slot.generation(), 2);
+    }
+
+    #[test]
+    fn readers_keep_their_model_across_a_swap() {
+        let slot = ModelSlot::new(packed(3));
+        let (held, _) = slot.current();
+        let held_fp = held.arch_fingerprint();
+        slot.swap(Arc::new(packed(4)));
+        // The held Arc is unaffected by the swap.
+        assert_eq!(held.arch_fingerprint(), held_fp);
+    }
+
+    #[test]
+    fn slot_recovers_from_poisoned_lock() {
+        let slot = std::sync::Arc::new(ModelSlot::new(packed(5)));
+        let s = slot.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = s.inner.write().unwrap();
+            panic!("poison the slot lock");
+        })
+        .join();
+        assert!(slot.inner.is_poisoned(), "setup: lock must be poisoned");
+        let (_, g) = slot.current();
+        assert_eq!(g, 1);
+        let (_, g) = slot.swap(Arc::new(packed(6)));
+        assert_eq!(g, 2, "swap still works after poisoning");
+    }
+}

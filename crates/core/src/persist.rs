@@ -152,7 +152,12 @@ fn unframe_checked(bytes: &[u8], magic: &[u8; 8]) -> Result<Vec<u8>, PersistErro
         Some(n) if n >= magic.len() => n,
         _ => return Err(PersistError::BadChecksum),
     };
-    let stored = u32::from_le_bytes(bytes[covered_len..].try_into().expect("4-byte footer"));
+    let stored = match <[u8; 4]>::try_from(&bytes[covered_len..]) {
+        Ok(footer) => u32::from_le_bytes(footer),
+        // covered_len = len - 4, so the footer is always 4 bytes; a
+        // typed error keeps even that invariant off the panic path.
+        Err(_) => return Err(PersistError::BadChecksum),
+    };
     if crc32(&bytes[..covered_len]) != stored {
         return Err(PersistError::BadChecksum);
     }

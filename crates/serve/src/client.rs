@@ -1,0 +1,195 @@
+//! A small blocking client for the serving protocol, used by the
+//! integration tests, the soak harness, the benchmark, and the
+//! example.
+//!
+//! The protocol allows pipelining (responses carry the request id), so
+//! the client exposes both a lock-step [`request`](ServeClient::request)
+//! helper and split [`send`](ServeClient::send) /
+//! [`read_response`](ServeClient::read_response) halves for callers
+//! that keep several requests in flight and match replies by id.
+
+use crate::proto::{
+    decode_response, encode_request, read_frame_body, write_frame, FrameError, Request, Response,
+    MAX_FRAME_LEN,
+};
+use hotspot_geometry::BitImage;
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A failed client operation.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (including the server closing the
+    /// connection).
+    Io(io::Error),
+    /// The server sent bytes that do not decode as a response.
+    Frame(FrameError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Frame(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for ClientError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Frame(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// A blocking connection to a hotspot server (see module docs).
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects with a generous read timeout so a wedged server fails
+    /// a test instead of hanging it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(ServeClient { stream })
+    }
+
+    /// Sends a request without waiting for the reply (pipelining).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        write_frame(&mut self.stream, &encode_request(req))
+    }
+
+    /// Writes raw bytes straight to the socket — the corrupt-frame
+    /// test harness.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        self.stream.write_all(bytes)
+    }
+
+    /// Reads the next response frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on transport failure or a malformed
+    /// frame.
+    pub fn read_response(&mut self) -> Result<Response, ClientError> {
+        let mut prefix = [0u8; 4];
+        self.stream.read_exact(&mut prefix)?;
+        let payload = read_frame_body(&mut self.stream, prefix, MAX_FRAME_LEN)??;
+        Ok(decode_response(&payload)?)
+    }
+
+    /// Sends one request and reads one response (lock-step).
+    ///
+    /// # Errors
+    ///
+    /// As [`read_response`](ServeClient::read_response).
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.send(req)?;
+        self.read_response()
+    }
+
+    /// Classifies one clip: builds the `Classify` request from a
+    /// [`BitImage`] and returns the server's (typed) answer, which may
+    /// be a `Classify` result or an `Error` rejection.
+    ///
+    /// # Errors
+    ///
+    /// As [`read_response`](ServeClient::read_response).
+    pub fn classify(
+        &mut self,
+        id: u64,
+        image: &BitImage,
+        deadline_ms: u32,
+    ) -> Result<Response, ClientError> {
+        self.request(&Request::Classify {
+            id,
+            deadline_ms,
+            width: image.width() as u32,
+            height: image.height() as u32,
+            words: image.as_words().to_vec(),
+        })
+    }
+
+    /// Liveness probe; `true` when the server answered the ping.
+    ///
+    /// # Errors
+    ///
+    /// As [`read_response`](ServeClient::read_response).
+    pub fn ping(&mut self, id: u64) -> Result<bool, ClientError> {
+        Ok(matches!(
+            self.request(&Request::Ping { id })?,
+            Response::Pong { id: got } if got == id
+        ))
+    }
+
+    /// Fetches the Prometheus metrics text over the binary protocol.
+    ///
+    /// # Errors
+    ///
+    /// As [`read_response`](ServeClient::read_response), plus a frame
+    /// error when the server answers with anything else.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::MetricsText(text) => Ok(text),
+            other => Err(ClientError::Frame(FrameError(format!(
+                "expected metrics text, got {other:?}"
+            )))),
+        }
+    }
+
+    /// Asks the server to hot-swap to the artifact at `path`
+    /// (server-local).  Returns the typed response — `SwapOk` or an
+    /// `Error { code: SwapFailed, .. }`.
+    ///
+    /// # Errors
+    ///
+    /// As [`read_response`](ServeClient::read_response).
+    pub fn swap_model(&mut self, id: u64, path: &str) -> Result<Response, ClientError> {
+        self.request(&Request::SwapModel {
+            id,
+            path: path.to_string(),
+        })
+    }
+
+    /// Fetches the serving status snapshot.
+    ///
+    /// # Errors
+    ///
+    /// As [`read_response`](ServeClient::read_response).
+    pub fn stats(&mut self, id: u64) -> Result<Response, ClientError> {
+        self.request(&Request::Stats { id })
+    }
+}

@@ -1,0 +1,162 @@
+//! The graceful-degradation ladder: cascade → triage-only and back,
+//! with hysteresis.
+//!
+//! Under sustained overload the server trades a little accuracy for a
+//! lot of throughput by skipping the cascade's full-M confirmation
+//! stage and serving M = 1 triage decisions alone (the cheap pass is
+//! exactly the classic single-level BNN, so quality degrades to the
+//! paper's non-residual baseline rather than to garbage).
+//!
+//! The controller watches the queue depth each time a request is
+//! admitted.  It enters degraded mode only after `enter_after`
+//! *consecutive* observations at or above the high-water mark, and
+//! leaves only after `exit_after` consecutive observations at or below
+//! the low-water mark — two thresholds plus consecutive-count
+//! hysteresis, so a queue hovering near the boundary cannot flap the
+//! service between modes.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+struct Runs {
+    over: usize,
+    under: usize,
+}
+
+/// Hysteresis state machine deciding when to serve triage-only (see
+/// module docs).
+pub struct DegradeController {
+    high_water: usize,
+    low_water: usize,
+    enter_after: usize,
+    exit_after: usize,
+    runs: Mutex<Runs>,
+    /// Read on the worker hot path without taking the mutex.
+    degraded: AtomicBool,
+}
+
+impl DegradeController {
+    /// A controller entering degradation after `enter_after`
+    /// consecutive depths ≥ `high_water` and leaving after `exit_after`
+    /// consecutive depths ≤ `low_water`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `low_water < high_water` and both counts are
+    /// positive.
+    pub fn new(high_water: usize, low_water: usize, enter_after: usize, exit_after: usize) -> Self {
+        assert!(
+            low_water < high_water,
+            "low water ({low_water}) must sit below high water ({high_water})"
+        );
+        assert!(
+            enter_after > 0 && exit_after > 0,
+            "hysteresis counts must be positive"
+        );
+        DegradeController {
+            high_water,
+            low_water,
+            enter_after,
+            exit_after,
+            runs: Mutex::new(Runs { over: 0, under: 0 }),
+            degraded: AtomicBool::new(false),
+        }
+    }
+
+    /// Feeds one queue-depth observation; returns the mode in effect
+    /// *after* the observation (`true` = triage-only).
+    pub fn observe(&self, depth: usize) -> bool {
+        let mut runs = self.runs.lock().unwrap_or_else(|p| p.into_inner());
+        if depth >= self.high_water {
+            runs.over += 1;
+            runs.under = 0;
+        } else if depth <= self.low_water {
+            runs.under += 1;
+            runs.over = 0;
+        } else {
+            // Between the marks: break both streaks (hysteresis band).
+            runs.over = 0;
+            runs.under = 0;
+        }
+        let was = self.degraded.load(Ordering::Relaxed);
+        let now = if !was && runs.over >= self.enter_after {
+            true
+        } else if was && runs.under >= self.exit_after {
+            false
+        } else {
+            was
+        };
+        if now != was {
+            self.degraded.store(now, Ordering::Relaxed);
+        }
+        now
+    }
+
+    /// The current mode (`true` = triage-only), lock-free.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// The high-water mark.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enters_only_after_sustained_overload() {
+        let c = DegradeController::new(8, 2, 3, 2);
+        assert!(!c.observe(9));
+        assert!(!c.observe(10));
+        assert!(!c.is_degraded(), "two observations are not enough");
+        assert!(c.observe(8), "third consecutive high-water entry degrades");
+        assert!(c.is_degraded());
+    }
+
+    #[test]
+    fn a_single_dip_resets_the_entry_streak() {
+        let c = DegradeController::new(8, 2, 3, 2);
+        c.observe(9);
+        c.observe(9);
+        c.observe(1); // dip breaks the streak
+        c.observe(9);
+        c.observe(9);
+        assert!(!c.is_degraded(), "streak restarted after the dip");
+        assert!(c.observe(9));
+    }
+
+    #[test]
+    fn exits_only_after_sustained_calm_below_low_water() {
+        let c = DegradeController::new(8, 2, 1, 3);
+        assert!(c.observe(8), "enter immediately (enter_after = 1)");
+        // Mid-band depths keep it degraded and break the exit streak.
+        assert!(c.observe(5));
+        assert!(c.observe(2));
+        assert!(c.observe(1));
+        assert!(c.is_degraded(), "two calm observations are not enough");
+        assert!(!c.observe(0), "third calm observation exits");
+        assert!(!c.is_degraded());
+    }
+
+    #[test]
+    fn mid_band_depths_never_change_mode() {
+        let c = DegradeController::new(8, 2, 1, 1);
+        for _ in 0..10 {
+            assert!(!c.observe(5), "between the marks: stays healthy");
+        }
+        c.observe(8);
+        for _ in 0..10 {
+            assert!(c.observe(5), "between the marks: stays degraded");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below high water")]
+    fn rejects_inverted_watermarks() {
+        let _ = DegradeController::new(2, 8, 1, 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Deterministic fault injection for the serving core.
+//!
+//! A [`FaultPlan`] is a set of atomically-toggled trip wires the
+//! integration tests arm to reproduce production failure modes on
+//! demand, with zero cost when disarmed (one relaxed atomic load per
+//! check).  The plan is compiled in unconditionally — the same
+//! philosophy as `BnnTrainConfig::fault_nan_epoch` — because a fault
+//! path that only exists in test builds is a fault path that ships
+//! untested.
+//!
+//! Injection points:
+//!
+//! * **Slow worker** ([`slow_worker_ms`](FaultPlan::set_slow_worker_ms)):
+//!   every worker sleeps before running a batch, forcing deadline
+//!   expiries and queue growth without any timing races.
+//! * **Poisoned request**
+//!   ([`poison_request`](FaultPlan::poison_request)): the worker panics
+//!   while executing any batch containing the given request id — the
+//!   harness for panic isolation (the poisoned request must fail
+//!   `Internal`, its batch-mates must still succeed).
+//! * **Poisoned generation**
+//!   ([`panic_on_generation`](FaultPlan::panic_on_generation)): every
+//!   batch executed against the given model generation panics — the
+//!   harness for the post-swap rollback monitor.
+//! * **Failed canary** ([`fail_canary`](FaultPlan::set_fail_canary)):
+//!   hot-swap canary validation reports failure regardless of the
+//!   candidate model, exercising the swap-rejection path.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Sentinel meaning "no id/generation armed" (request ids and
+/// generations are both ≥ 1 in normal operation).
+const NONE: u64 = 0;
+
+/// Deterministic trip wires for serving failure modes (see module
+/// docs).  All methods are lock-free and callable from any thread.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    slow_worker_ms: AtomicU64,
+    poison_request_id: AtomicU64,
+    panic_generation: AtomicU64,
+    fail_canary: AtomicBool,
+}
+
+impl FaultPlan {
+    /// A plan with every injection disarmed.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Arms (non-zero) or disarms (zero) the per-batch worker sleep.
+    pub fn set_slow_worker_ms(&self, ms: u64) {
+        self.slow_worker_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// The armed per-batch sleep, if any.
+    pub fn slow_worker_ms(&self) -> Option<u64> {
+        match self.slow_worker_ms.load(Ordering::Relaxed) {
+            0 => None,
+            ms => Some(ms),
+        }
+    }
+
+    /// Arms a panic for any batch containing request `id`.
+    pub fn poison_request(&self, id: u64) {
+        self.poison_request_id.store(id, Ordering::Relaxed);
+    }
+
+    /// Disarms the poisoned request.
+    pub fn clear_poison_request(&self) {
+        self.poison_request_id.store(NONE, Ordering::Relaxed);
+    }
+
+    /// `true` when request `id` is the armed poison.
+    pub fn is_poisoned_request(&self, id: u64) -> bool {
+        let armed = self.poison_request_id.load(Ordering::Relaxed);
+        armed != NONE && armed == id
+    }
+
+    /// Arms a panic for every batch run against model generation `g`.
+    pub fn panic_on_generation(&self, g: u64) {
+        self.panic_generation.store(g, Ordering::Relaxed);
+    }
+
+    /// `true` when generation `g` is armed to panic.
+    pub fn is_poisoned_generation(&self, g: u64) -> bool {
+        let armed = self.panic_generation.load(Ordering::Relaxed);
+        armed != NONE && armed == g
+    }
+
+    /// Forces (`true`) or restores (`false`) canary-validation failure.
+    pub fn set_fail_canary(&self, fail: bool) {
+        self.fail_canary.store(fail, Ordering::Relaxed);
+    }
+
+    /// `true` when the canary is armed to fail.
+    pub fn fail_canary(&self) -> bool {
+        self.fail_canary.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everything_starts_disarmed() {
+        let f = FaultPlan::new();
+        assert_eq!(f.slow_worker_ms(), None);
+        assert!(!f.is_poisoned_request(1));
+        assert!(!f.is_poisoned_generation(1));
+        assert!(!f.fail_canary());
+    }
+
+    #[test]
+    fn arming_and_disarming_round_trips() {
+        let f = FaultPlan::new();
+        f.set_slow_worker_ms(25);
+        assert_eq!(f.slow_worker_ms(), Some(25));
+        f.set_slow_worker_ms(0);
+        assert_eq!(f.slow_worker_ms(), None);
+
+        f.poison_request(42);
+        assert!(f.is_poisoned_request(42));
+        assert!(!f.is_poisoned_request(43));
+        f.clear_poison_request();
+        assert!(!f.is_poisoned_request(42));
+
+        f.panic_on_generation(2);
+        assert!(f.is_poisoned_generation(2));
+        assert!(!f.is_poisoned_generation(3));
+
+        f.set_fail_canary(true);
+        assert!(f.fail_canary());
+        f.set_fail_canary(false);
+        assert!(!f.fail_canary());
+    }
+
+    #[test]
+    fn zero_is_never_poisoned() {
+        // Id 0 doubles as the "disarmed" sentinel; a disarmed plan must
+        // not treat it as armed.
+        let f = FaultPlan::new();
+        assert!(!f.is_poisoned_request(0));
+        assert!(!f.is_poisoned_generation(0));
+    }
+}

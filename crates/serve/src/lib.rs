@@ -1,0 +1,64 @@
+//! Hardened serving core for the BNN hotspot detector.
+//!
+//! Everything upstream of this crate answers "is this clip a
+//! hotspot?"; this crate answers it *continuously* — as a long-running
+//! service that batches work, sheds load, meets deadlines, survives
+//! panics and corrupt inputs, and swaps models without dropping a
+//! request.  See DESIGN.md §5h for the full architecture.
+//!
+//! The pieces, bottom-up:
+//!
+//! * [`proto`] — the length-prefixed TCP wire protocol (typed
+//!   requests, typed rejections, a Prometheus scrape on the same
+//!   listener).
+//! * [`queue`] — the bounded MPMC job queue: admission control and
+//!   adaptive batch formation.
+//! * [`degrade`] — the hysteresis ladder that trades the cascade's
+//!   confirmation stage for throughput under sustained overload.
+//! * [`swap`] — hot-swap validation (CRC → architecture fingerprint →
+//!   canary batch) and the post-swap auto-rollback monitor.
+//! * [`fault`] — deterministic fault injection, compiled in
+//!   unconditionally so the failure paths ship tested.
+//! * [`server`] / [`client`] — the serving loop and a small blocking
+//!   client.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use hotspot_bnn::{BnnResNet, NetConfig, PackedBnn};
+//! use hotspot_geometry::BitImage;
+//! use hotspot_serve::{Response, ServeClient, ServeConfig, Server};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let model = PackedBnn::compile(&BnnResNet::new(&NetConfig::tiny(32), &mut rng));
+//! let server = Server::start(ServeConfig::new(32), model)?;
+//!
+//! let mut client = ServeClient::connect(server.addr())?;
+//! let clip = BitImage::new(32, 32);
+//! match client.classify(1, &clip, 100)? {
+//!     Response::Classify { hotspot, margin, .. } => {
+//!         println!("hotspot={hotspot} margin={margin:+.3}");
+//!     }
+//!     Response::Error { code, msg, .. } => println!("rejected ({code}): {msg}"),
+//!     other => println!("unexpected reply: {other:?}"),
+//! }
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod client;
+pub mod degrade;
+pub mod fault;
+pub mod proto;
+pub mod queue;
+pub mod server;
+pub mod swap;
+
+pub use client::{ClientError, ServeClient};
+pub use degrade::DegradeController;
+pub use fault::FaultPlan;
+pub use proto::{ErrorCode, FrameError, Request, Response, MAX_FRAME_LEN};
+pub use queue::{BoundedQueue, PushRejected};
+pub use server::{ServeConfig, Server, ShutdownReport};
+pub use swap::{validate_and_swap, SwapError, SwapMonitor, SwapVerdict};

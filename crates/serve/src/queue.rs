@@ -1,0 +1,253 @@
+//! A bounded MPMC queue with batch pop — the admission-control heart
+//! of the server.
+//!
+//! Producers (connection readers) [`push`](BoundedQueue::push) one job
+//! per request; a full queue rejects the push immediately, handing the
+//! job back so the caller can answer with a typed `Overloaded`
+//! response instead of buffering unboundedly.  Consumers (workers)
+//! [`pop_batch`](BoundedQueue::pop_batch) up to `max` jobs at once:
+//! the batch size adapts to load for free, because a worker takes
+//! whatever has accumulated while it was busy (one job under light
+//! load, a full batch under pressure).
+//!
+//! [`close`](BoundedQueue::close) starts shutdown: pushes fail, and
+//! `pop_batch` keeps draining until the queue is empty before
+//! returning `None`.  All lock acquisitions recover from poisoning —
+//! the queue state is a plain `VecDeque`, valid at every instruction
+//! boundary, so a panicking thread can never wedge admission control.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+struct State<T> {
+    jobs: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer job queue (see module docs).
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    /// Signalled on push and on close.
+    available: Condvar,
+    capacity: usize,
+}
+
+/// Why a [`push`](BoundedQueue::push) was refused; the job is handed
+/// back untouched so the caller can answer it.
+#[derive(Debug)]
+pub enum PushRejected<T> {
+    /// The queue already holds `capacity` jobs.
+    Full(T),
+    /// The queue is closed for shutdown.
+    Closed(T),
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            state: Mutex::new(State {
+                jobs: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Enqueues a job, returning the queue depth after the push.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job back as [`PushRejected`] when the queue is full
+    /// or closed — never blocks, never buffers past the bound.
+    pub fn push(&self, job: T) -> Result<usize, PushRejected<T>> {
+        let mut st = self.lock();
+        if st.closed {
+            return Err(PushRejected::Closed(job));
+        }
+        if st.jobs.len() >= self.capacity {
+            return Err(PushRejected::Full(job));
+        }
+        st.jobs.push_back(job);
+        let depth = st.jobs.len();
+        drop(st);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until at least one job is available, then takes up to
+    /// `max` jobs.  Returns `None` once the queue is closed *and*
+    /// drained — consumers exit only after finishing all admitted work.
+    pub fn pop_batch(&self, max: usize) -> Option<Vec<T>> {
+        let max = max.max(1);
+        let mut st = self.lock();
+        loop {
+            if !st.jobs.is_empty() {
+                let n = st.jobs.len().min(max);
+                return Some(st.jobs.drain(..n).collect());
+            }
+            if st.closed {
+                return None;
+            }
+            st = self
+                .available
+                .wait_timeout(st, Duration::from_millis(50))
+                .unwrap_or_else(|p| p.into_inner())
+                .0;
+        }
+    }
+
+    /// Marks the queue closed: pushes fail from now on, consumers drain
+    /// what remains.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// `true` once [`close`](BoundedQueue::close) has run.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().jobs.len()
+    }
+
+    /// `true` when no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Removes and returns every queued job (used by shutdown to flush
+    /// leftovers with typed errors after the drain timeout).
+    pub fn drain_remaining(&self) -> Vec<T> {
+        self.lock().jobs.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_respects_the_bound_and_hands_the_job_back() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.push(1).unwrap(), 1);
+        assert_eq!(q.push(2).unwrap(), 2);
+        match q.push(3) {
+            Err(PushRejected::Full(j)) => assert_eq!(j, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_batch_takes_what_accumulated_up_to_max() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.pop_batch(3).unwrap(), vec![0, 1, 2]);
+        assert_eq!(q.pop_batch(10).unwrap(), vec![3, 4]);
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains_consumers() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.close();
+        assert!(matches!(q.push(2), Err(PushRejected::Closed(2))));
+        assert_eq!(q.pop_batch(4).unwrap(), vec![1]);
+        assert_eq!(q.pop_batch(4), None, "closed and drained");
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop_batch(4));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        let q = Arc::new(BoundedQueue::new(16));
+        let total = 400u64;
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    for i in 0..total / 4 {
+                        let job = p * 1000 + i;
+                        loop {
+                            match q.push(job) {
+                                Ok(_) => break,
+                                Err(PushRejected::Full(_)) => std::thread::yield_now(),
+                                Err(PushRejected::Closed(_)) => panic!("closed early"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(batch) = q.pop_batch(5) {
+                        got.extend(batch);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), total as usize, "every job delivered once");
+        all.dedup();
+        assert_eq!(all.len(), total as usize, "no duplicates");
+    }
+
+    #[test]
+    fn queue_recovers_from_a_poisoned_lock() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.push(1).unwrap();
+        let q2 = q.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = q2.state.lock().unwrap();
+            panic!("poison the queue lock");
+        })
+        .join();
+        assert!(q.state.is_poisoned(), "setup: lock must be poisoned");
+        q.push(2).unwrap();
+        assert_eq!(q.pop_batch(4).unwrap(), vec![1, 2]);
+    }
+}

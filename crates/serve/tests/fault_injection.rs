@@ -1,0 +1,540 @@
+//! Fault-injection harness for the serving core.
+//!
+//! Each test arms one failure mode — deadline expiry, queue overload,
+//! a panicking worker, a corrupt frame, a failed hot-swap — and
+//! asserts the contract the server owes its clients: a *typed*
+//! response for every admitted request (zero lost requests), blast
+//! radius limited to the culpable request, and a server that is still
+//! healthy afterwards.
+
+use hotspot_bnn::{BnnResNet, NetConfig, PackedBnn};
+use hotspot_core::persist::save_model;
+use hotspot_geometry::BitImage;
+use hotspot_serve::{ErrorCode, Request, Response, ServeClient, ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::time::Duration;
+
+const SIDE: usize = 32;
+
+/// An untrained compiled model — the protocol does not care about
+/// accuracy, and skipping training keeps the harness fast.
+fn model(seed: u64) -> PackedBnn {
+    let mut rng = StdRng::seed_from_u64(seed);
+    PackedBnn::compile(&BnnResNet::new(&NetConfig::tiny(SIDE), &mut rng))
+}
+
+/// Same topology with M = 2 residual levels (a different deployment
+/// contract, used by cascade and arch-mismatch tests).
+fn model_m2(seed: u64) -> PackedBnn {
+    let mut rng = StdRng::seed_from_u64(seed);
+    PackedBnn::compile(&BnnResNet::new(
+        &NetConfig::tiny(SIDE).with_levels(2),
+        &mut rng,
+    ))
+}
+
+/// A deterministic clip with some geometry in it.
+fn clip(variant: u64) -> BitImage {
+    let mut img = BitImage::new(SIDE, SIDE);
+    let step = 3 + (variant % 5) as usize;
+    let mut y = (variant % 3) as usize;
+    while y < SIDE {
+        img.fill_row_span(y, 0, SIDE);
+        y += step;
+    }
+    img
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("serve_fault_{name}_{}", std::process::id()))
+}
+
+/// Reads `n` responses and indexes them by request id.
+fn collect(client: &mut ServeClient, n: usize) -> HashMap<u64, Response> {
+    let mut got = HashMap::new();
+    for _ in 0..n {
+        let resp = client.read_response().expect("a response per request");
+        let id = match &resp {
+            Response::Classify { id, .. }
+            | Response::Error { id, .. }
+            | Response::Pong { id }
+            | Response::SwapOk { id, .. }
+            | Response::Stats { id, .. } => *id,
+            Response::MetricsText(_) => panic!("unexpected metrics frame"),
+        };
+        assert!(got.insert(id, resp).is_none(), "duplicate response id {id}");
+    }
+    got
+}
+
+#[test]
+fn expired_deadlines_get_typed_rejections_not_silence() {
+    let mut cfg = ServeConfig::new(SIDE);
+    cfg.workers = 1;
+    cfg.max_batch = 1;
+    let server = Server::start(cfg, model(1)).unwrap();
+    // Every batch stalls 60 ms; a 20 ms budget cannot survive that.
+    server.fault().set_slow_worker_ms(60);
+
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let n = 3u64;
+    for id in 1..=n {
+        client
+            .send(&Request::Classify {
+                id,
+                deadline_ms: 20,
+                width: SIDE as u32,
+                height: SIDE as u32,
+                words: clip(id).as_words().to_vec(),
+            })
+            .unwrap();
+    }
+    let got = collect(&mut client, n as usize);
+    for id in 1..=n {
+        match &got[&id] {
+            Response::Error { code, .. } => assert_eq!(*code, ErrorCode::Deadline),
+            other => panic!("request {id}: expected Deadline, got {other:?}"),
+        }
+    }
+    // The server recovers the moment the stall is lifted.
+    server.fault().set_slow_worker_ms(0);
+    assert!(matches!(
+        client.classify(99, &clip(0), 5_000).unwrap(),
+        Response::Classify { id: 99, .. }
+    ));
+    assert_eq!(
+        server.metrics().counter("serve_deadline_miss_total").get(),
+        n
+    );
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_with_typed_overloaded_and_answers_everything() {
+    let mut cfg = ServeConfig::new(SIDE);
+    cfg.workers = 1;
+    cfg.max_batch = 4;
+    cfg.queue_capacity = 4;
+    cfg.high_water = 3;
+    cfg.low_water = 1;
+    let server = Server::start(cfg, model(2)).unwrap();
+    server.fault().set_slow_worker_ms(150);
+
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let n = 20u64;
+    for id in 1..=n {
+        client
+            .send(&Request::Classify {
+                id,
+                deadline_ms: 10_000,
+                width: SIDE as u32,
+                height: SIDE as u32,
+                words: clip(id).as_words().to_vec(),
+            })
+            .unwrap();
+    }
+    let got = collect(&mut client, n as usize);
+    assert_eq!(got.len(), n as usize, "every request answered exactly once");
+    let mut served = 0u64;
+    let mut shed = 0u64;
+    for (id, resp) in &got {
+        match resp {
+            Response::Classify { .. } => served += 1,
+            Response::Error { code, .. } if *code == ErrorCode::Overloaded => shed += 1,
+            other => panic!("request {id}: unexpected {other:?}"),
+        }
+    }
+    assert!(shed > 0, "a 20-deep burst into a 4-slot queue must shed");
+    assert!(served > 0, "admitted requests are still served");
+    assert_eq!(served + shed, n);
+    assert_eq!(server.metrics().counter("serve_shed_total").get(), shed);
+    server.fault().set_slow_worker_ms(0);
+    server.shutdown();
+}
+
+#[test]
+fn sustained_overload_degrades_to_triage_and_recovers_with_hysteresis() {
+    let mut cfg = ServeConfig::new(SIDE);
+    cfg.workers = 1;
+    cfg.max_batch = 2;
+    cfg.queue_capacity = 8;
+    cfg.high_water = 3;
+    cfg.low_water = 1;
+    cfg.degrade_enter_after = 2;
+    cfg.degrade_exit_after = 2;
+    // Escalate every clip when healthy: degradation is then directly
+    // observable as escalated == false.
+    cfg.cascade_threshold = f32::MAX;
+    let server = Server::start(cfg, model_m2(3)).unwrap();
+    server.fault().set_slow_worker_ms(40);
+
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let n = 8u64;
+    for id in 1..=n {
+        client
+            .send(&Request::Classify {
+                id,
+                deadline_ms: 10_000,
+                width: SIDE as u32,
+                height: SIDE as u32,
+                words: clip(id).as_words().to_vec(),
+            })
+            .unwrap();
+    }
+    let got = collect(&mut client, n as usize);
+    let degraded_serves = got
+        .values()
+        .filter(|r| {
+            matches!(
+                r,
+                Response::Classify {
+                    degraded: true,
+                    escalated: false,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert!(
+        degraded_serves > 0,
+        "sustained depth >= 3 must flip the service to triage-only: {got:?}"
+    );
+
+    // Recovery: unhurried lock-step traffic keeps the depth at 1
+    // (== low_water); after exit_after such observations the cascade
+    // returns, visible as escalated == true.
+    server.fault().set_slow_worker_ms(0);
+    let mut recovered = false;
+    for id in 100..130 {
+        match client.classify(id, &clip(id), 10_000).unwrap() {
+            Response::Classify {
+                degraded: false,
+                escalated: true,
+                ..
+            } => {
+                recovered = true;
+                break;
+            }
+            Response::Classify { .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(recovered, "the ladder must exit degradation once calm");
+    assert!(!server.is_degraded());
+    server.shutdown();
+}
+
+#[test]
+fn a_poisoned_request_fails_alone_and_its_batchmates_still_get_answers() {
+    let mut cfg = ServeConfig::new(SIDE);
+    cfg.workers = 1;
+    cfg.max_batch = 8;
+    let server = Server::start(cfg, model(4)).unwrap();
+    let fault = server.fault();
+    fault.poison_request(13);
+    // Stall each batch briefly so the burst accumulates into one batch
+    // behind the first request.
+    fault.set_slow_worker_ms(80);
+
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let ids = [11u64, 12, 13, 14, 15];
+    for &id in &ids {
+        client
+            .send(&Request::Classify {
+                id,
+                deadline_ms: 10_000,
+                width: SIDE as u32,
+                height: SIDE as u32,
+                words: clip(id).as_words().to_vec(),
+            })
+            .unwrap();
+    }
+    let got = collect(&mut client, ids.len());
+    for &id in &ids {
+        match &got[&id] {
+            Response::Error { code, .. } if id == 13 => {
+                assert_eq!(
+                    *code,
+                    ErrorCode::Internal,
+                    "the poisoned request fails typed"
+                );
+            }
+            Response::Classify { .. } if id != 13 => {}
+            other => panic!("request {id}: unexpected {other:?}"),
+        }
+    }
+    assert!(
+        server.metrics().counter("serve_worker_panics_total").get() >= 1,
+        "the panic was counted"
+    );
+
+    // The worker thread survived: disarm and keep serving.
+    fault.clear_poison_request();
+    fault.set_slow_worker_ms(0);
+    assert!(matches!(
+        client.classify(13, &clip(13), 5_000).unwrap(),
+        Response::Classify { id: 13, .. }
+    ));
+    server.shutdown();
+}
+
+#[test]
+fn corrupt_truncated_and_oversized_frames_are_contained() {
+    let server = Server::start(ServeConfig::new(SIDE), model(5)).unwrap();
+
+    // Garbage payload under a valid length prefix: typed CorruptFrame,
+    // then the connection closes.
+    let mut c1 = ServeClient::connect(server.addr()).unwrap();
+    let mut garbage = vec![0u8; 4 + 8];
+    garbage[..4].copy_from_slice(&8u32.to_le_bytes());
+    garbage[4] = 0x7F; // no such request type
+    c1.send_raw(&garbage).unwrap();
+    match c1.read_response().unwrap() {
+        Response::Error { id, code, .. } => {
+            assert_eq!(id, 0, "no request id could be recovered");
+            assert_eq!(code, ErrorCode::CorruptFrame);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Oversized length prefix: refused before any allocation.
+    let mut c2 = ServeClient::connect(server.addr()).unwrap();
+    c2.send_raw(&u32::MAX.to_le_bytes()).unwrap();
+    match c2.read_response().unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::CorruptFrame),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Truncated frame: the peer dies mid-payload.  No request ever
+    // formed, so nothing is owed — but the server must not wedge.
+    {
+        let mut c3 = ServeClient::connect(server.addr()).unwrap();
+        c3.send_raw(&100u32.to_le_bytes()).unwrap();
+        c3.send_raw(&[1, 2, 3]).unwrap();
+        // c3 drops here, closing the socket mid-frame.
+    }
+
+    // A classify whose raster words disagree with its dimensions is a
+    // BadRequest, not a decode error — the frame itself was valid.
+    let mut c4 = ServeClient::connect(server.addr()).unwrap();
+    match c4
+        .request(&Request::Classify {
+            id: 41,
+            deadline_ms: 1_000,
+            width: SIDE as u32,
+            height: SIDE as u32,
+            words: vec![0; 3], // far too few words for 32x32
+        })
+        .unwrap()
+    {
+        Response::Error { id, code, .. } => {
+            assert_eq!(id, 41);
+            assert_eq!(code, ErrorCode::BadRequest);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // Wrong clip size entirely: also typed.
+    match c4
+        .request(&Request::Classify {
+            id: 42,
+            deadline_ms: 1_000,
+            width: 16,
+            height: 16,
+            words: vec![0; 4],
+        })
+        .unwrap()
+    {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // After all of that: a fresh connection serves normally.
+    assert!(matches!(
+        c4.classify(43, &clip(0), 5_000).unwrap(),
+        Response::Classify { id: 43, .. }
+    ));
+    assert!(server.metrics().counter("serve_bad_frames_total").get() >= 2);
+    server.shutdown();
+}
+
+#[test]
+fn failed_swaps_are_rejected_typed_and_leave_the_service_untouched() {
+    let server = Server::start(ServeConfig::new(SIDE), model(6)).unwrap();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    // Mid-swap artifact corruption: a bit flip breaks the CRC.
+    let corrupt = tmp("corrupt");
+    save_model(&corrupt, &model(7)).unwrap();
+    let mut bytes = std::fs::read(&corrupt).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&corrupt, &bytes).unwrap();
+    match client.swap_model(1, corrupt.to_str().unwrap()).unwrap() {
+        Response::Error { code, msg, .. } => {
+            assert_eq!(code, ErrorCode::SwapFailed);
+            assert!(msg.contains("integrity"), "CRC failure surfaced: {msg}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Architecture mismatch: an M = 2 artifact against an M = 1 server.
+    let wrong_arch = tmp("arch");
+    save_model(&wrong_arch, &model_m2(8)).unwrap();
+    match client.swap_model(2, wrong_arch.to_str().unwrap()).unwrap() {
+        Response::Error { code, msg, .. } => {
+            assert_eq!(code, ErrorCode::SwapFailed);
+            assert!(msg.contains("fingerprint"), "{msg}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Failed canary on an otherwise valid artifact.
+    let valid = tmp("valid");
+    save_model(&valid, &model(9)).unwrap();
+    server.fault().set_fail_canary(true);
+    match client.swap_model(3, valid.to_str().unwrap()).unwrap() {
+        Response::Error { code, msg, .. } => {
+            assert_eq!(code, ErrorCode::SwapFailed);
+            assert!(msg.contains("canary"), "{msg}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    server.fault().set_fail_canary(false);
+
+    // Three rejections later: still generation 1, still serving.
+    assert_eq!(server.generation(), 1);
+    assert!(matches!(
+        client.classify(4, &clip(0), 5_000).unwrap(),
+        Response::Classify { id: 4, .. }
+    ));
+
+    // And the same artifact swaps cleanly once the canary is honest.
+    match client.swap_model(5, valid.to_str().unwrap()).unwrap() {
+        Response::SwapOk { generation, .. } => assert_eq!(generation, 2),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(server.generation(), 2);
+
+    for p in [&corrupt, &wrong_arch, &valid] {
+        let _ = std::fs::remove_file(p);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn a_bad_generation_rolls_back_automatically_without_failing_clients() {
+    let mut cfg = ServeConfig::new(SIDE);
+    cfg.workers = 1;
+    cfg.swap_window = 4;
+    cfg.swap_max_failures = 1;
+    let server = Server::start(cfg, model(10)).unwrap();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    let artifact = tmp("rollback");
+    save_model(&artifact, &model(11)).unwrap();
+    match client.swap_model(1, artifact.to_str().unwrap()).unwrap() {
+        Response::SwapOk { generation, .. } => assert_eq!(generation, 2),
+        other => panic!("unexpected {other:?}"),
+    }
+    // Generation 2 "misbehaves": every batch against it panics.
+    server.fault().panic_on_generation(2);
+
+    // The very first classify trips the monitor; the per-request retry
+    // then runs against the rolled-back (healthy) model, so the client
+    // sees a normal answer — a bad swap costs zero client errors.
+    match client.classify(2, &clip(1), 10_000).unwrap() {
+        Response::Classify { id, .. } => assert_eq!(id, 2),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(
+        server.generation(),
+        3,
+        "rollback republished the previous model as generation 3"
+    );
+    assert_eq!(server.metrics().counter("serve_rollbacks_total").get(), 1);
+
+    // Steady state after rollback.
+    for id in 10..14 {
+        assert!(matches!(
+            client.classify(id, &clip(id), 5_000).unwrap(),
+            Response::Classify { .. }
+        ));
+    }
+    let _ = std::fs::remove_file(&artifact);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests_and_flushes_the_rest_typed() {
+    let mut cfg = ServeConfig::new(SIDE);
+    cfg.workers = 1;
+    cfg.max_batch = 1;
+    cfg.queue_capacity = 16;
+    cfg.high_water = 12;
+    cfg.low_water = 4;
+    cfg.drain_timeout = Duration::from_millis(120);
+    let server = Server::start(cfg, model(12)).unwrap();
+    // Slow enough that a burst cannot drain inside the timeout.
+    server.fault().set_slow_worker_ms(60);
+
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let n = 10u64;
+    for id in 1..=n {
+        client
+            .send(&Request::Classify {
+                id,
+                deadline_ms: 30_000,
+                width: SIDE as u32,
+                height: SIDE as u32,
+                words: clip(id).as_words().to_vec(),
+            })
+            .unwrap();
+    }
+    // Give the reader a moment to admit the burst, then pull the plug.
+    std::thread::sleep(Duration::from_millis(50));
+    let report = server.shutdown();
+    assert!(
+        report.flushed > 0,
+        "a 60 ms/batch worker cannot drain 10 jobs in 120 ms"
+    );
+
+    // Every admitted request was answered: some classified during the
+    // drain window, the rest typed Shutdown.  Nothing vanished.
+    let got = collect(&mut client, n as usize);
+    let classified = got
+        .values()
+        .filter(|r| matches!(r, Response::Classify { .. }))
+        .count();
+    let shut = got
+        .values()
+        .filter(|r| matches!(r, Response::Error { code, .. } if *code == ErrorCode::Shutdown))
+        .count();
+    assert_eq!(classified + shut, n as usize, "{got:?}");
+    assert_eq!(shut, report.flushed);
+}
+
+#[test]
+fn http_scrape_on_the_same_listener_returns_prometheus_text() {
+    use std::io::{Read as _, Write as _};
+    let server = Server::start(ServeConfig::new(SIDE), model(13)).unwrap();
+    // Generate a little traffic first.
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let _ = client.classify(1, &clip(1), 5_000).unwrap();
+
+    let mut http = std::net::TcpStream::connect(server.addr()).unwrap();
+    http.write_all(b"GET /metrics HTTP/1.0\r\nHost: localhost\r\n\r\n")
+        .unwrap();
+    let mut body = String::new();
+    http.read_to_string(&mut body).unwrap();
+    assert!(body.starts_with("HTTP/1.0 200 OK"), "{body}");
+    assert!(body.contains("serve_requests_total"), "{body}");
+    assert!(body.contains("serve_latency_ns"), "{body}");
+
+    // The binary-protocol metrics frame carries the same registry.
+    let text = client.metrics_text().unwrap();
+    assert!(text.contains("serve_requests_total"));
+    server.shutdown();
+}

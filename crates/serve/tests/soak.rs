@@ -1,0 +1,166 @@
+//! Loopback soak: concurrent clients, mixed deadlines, a mid-run
+//! hot-swap, and one injected worker panic — with the invariant that
+//! every request gets exactly one correctly-framed response carrying
+//! its own id, and the server is still healthy at the end.
+//!
+//! CI runs this in release mode (`--test soak --release`); it also
+//! passes unoptimized, just more slowly.
+
+use hotspot_bnn::{BnnResNet, NetConfig, PackedBnn};
+use hotspot_core::persist::save_model;
+use hotspot_geometry::BitImage;
+use hotspot_serve::{ErrorCode, Response, ServeClient, ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SIDE: usize = 32;
+const CLIENTS: u64 = 4;
+const PER_CLIENT: u64 = 150;
+/// One request is poisoned to panic its worker batch mid-run; its
+/// typed Internal response still counts as answered.
+const POISONED_ID: u64 = 2 * 10_000 + 77;
+
+fn model(seed: u64) -> PackedBnn {
+    let mut rng = StdRng::seed_from_u64(seed);
+    PackedBnn::compile(&BnnResNet::new(&NetConfig::tiny(SIDE), &mut rng))
+}
+
+fn clip(variant: u64) -> BitImage {
+    let mut img = BitImage::new(SIDE, SIDE);
+    let step = 3 + (variant % 7) as usize;
+    let mut y = (variant % 4) as usize;
+    while y < SIDE {
+        img.fill_row_span(y, 0, SIDE);
+        y += step;
+    }
+    img
+}
+
+#[test]
+fn soak_zero_lost_responses_across_swap_and_panic() {
+    let mut cfg = ServeConfig::new(SIDE);
+    cfg.workers = 2;
+    cfg.max_batch = 8;
+    cfg.queue_capacity = 64;
+    let server = Arc::new(Server::start(cfg, model(100)).unwrap());
+    server.fault().poison_request(POISONED_ID);
+
+    let artifact =
+        std::env::temp_dir().join(format!("serve_soak_swap_{}.brnn", std::process::id()));
+    save_model(&artifact, &model(101)).unwrap();
+
+    let answered = Arc::new(AtomicU64::new(0));
+    let internals = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicU64::new(0));
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            let server = Arc::clone(&server);
+            let answered = Arc::clone(&answered);
+            let internals = Arc::clone(&internals);
+            let rejected = Arc::clone(&rejected);
+            std::thread::Builder::new()
+                .name(format!("soak-client-{t}"))
+                .spawn(move || {
+                    let mut client = ServeClient::connect(server.addr()).unwrap();
+                    for i in 0..PER_CLIENT {
+                        let id = t * 10_000 + i;
+                        // Mixed budgets: mostly roomy, every 9th tight
+                        // enough that it may (or may not) expire.
+                        let deadline_ms = if i % 9 == 8 { 2 } else { 10_000 };
+                        let resp = client
+                            .classify(id, &clip(id), deadline_ms)
+                            .unwrap_or_else(|e| panic!("client {t} req {id}: transport {e}"));
+                        match resp {
+                            Response::Classify { id: rid, .. } => {
+                                assert_eq!(rid, id, "response id matches request id");
+                                answered.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Response::Error { id: rid, code, .. } => {
+                                assert_eq!(rid, id);
+                                match code {
+                                    ErrorCode::Internal => {
+                                        assert_eq!(
+                                            id, POISONED_ID,
+                                            "only the poisoned request may fail internally"
+                                        );
+                                        internals.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    ErrorCode::Deadline | ErrorCode::Overloaded => {
+                                        rejected.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    other => panic!("req {id}: unexpected error {other}"),
+                                }
+                            }
+                            other => panic!("req {id}: unexpected {other:?}"),
+                        }
+                    }
+                })
+                .unwrap()
+        })
+        .collect();
+
+    // Mid-run: hot-swap to the on-disk artifact while traffic flows.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut admin = ServeClient::connect(server.addr()).unwrap();
+    match admin
+        .swap_model(9_000_000, artifact.to_str().unwrap())
+        .unwrap()
+    {
+        Response::SwapOk { generation, .. } => assert!(generation >= 2),
+        other => panic!("mid-run swap failed: {other:?}"),
+    }
+
+    for handle in clients {
+        handle.join().expect("client thread panicked");
+    }
+
+    let total = answered.load(Ordering::Relaxed)
+        + internals.load(Ordering::Relaxed)
+        + rejected.load(Ordering::Relaxed);
+    assert_eq!(
+        total,
+        CLIENTS * PER_CLIENT,
+        "every request produced exactly one typed response"
+    );
+    assert_eq!(
+        internals.load(Ordering::Relaxed),
+        1,
+        "the injected panic surfaced exactly once, as a typed Internal"
+    );
+
+    // Post-soak health: the panic was isolated and the swap stuck.
+    assert!(admin.ping(9_000_001).unwrap());
+    assert!(matches!(
+        admin.classify(9_000_002, &clip(0), 5_000).unwrap(),
+        Response::Classify { .. }
+    ));
+    assert!(server.generation() >= 2, "no rollback of the valid swap");
+    assert!(
+        server.metrics().counter("serve_worker_panics_total").get() >= 1,
+        "the panic was counted"
+    );
+    // The wire never mis-framed: responses_total covers everything the
+    // dispatcher answered.
+    // The counter increments just after the reply is handed to the
+    // writer thread, so the last read can race it by a few µs — poll
+    // briefly instead of asserting an instantaneous value.
+    let counter = server.metrics().counter("serve_responses_total");
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while counter.get() < total && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let responses = counter.get();
+    assert!(
+        responses >= total,
+        "responses_total={responses} total={total}"
+    );
+
+    let _ = std::fs::remove_file(&artifact);
+    let server = Arc::try_unwrap(server)
+        .unwrap_or_else(|_| panic!("all client handles returned; sole owner expected"));
+    server.shutdown();
+}

@@ -47,8 +47,8 @@ pub mod trace;
 
 pub use clock::{Clock, MockClock, MonotonicClock, Timer};
 pub use metrics::{
-    duration_ns_buckets, exponential_buckets, Counter, Gauge, Histogram, HistogramSnapshot,
-    MetricsRegistry,
+    depth_buckets, duration_ns_buckets, exponential_buckets, serving_latency_ns_buckets, Counter,
+    Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
 };
 pub use profile::{SlotProfiler, SlotTiming};
 pub use subscribers::{CollectingSubscriber, JsonlSubscriber, Record, StderrSubscriber};

@@ -221,6 +221,23 @@ pub fn duration_ns_buckets() -> Vec<f64> {
     exponential_buckets(1_000.0, 4.0, 13)
 }
 
+/// Nanosecond-latency buckets at serving resolution: 10 µs to ~42 s in
+/// ×2 steps.  Request-latency SLOs live in a narrow band (hundreds of
+/// microseconds to tens of milliseconds), where the coarse ×4 profiling
+/// buckets would smear p95/p99 estimates across a 4× range; the ×2
+/// ladder keeps interpolated quantiles within a factor of two of the
+/// true value across the whole band.
+pub fn serving_latency_ns_buckets() -> Vec<f64> {
+    exponential_buckets(10_000.0, 2.0, 22)
+}
+
+/// Small-integer buckets (1..=`max`, then +∞) for batch-fill and
+/// queue-depth histograms, where the interesting values are exact small
+/// counts rather than orders of magnitude.
+pub fn depth_buckets(max: usize) -> Vec<f64> {
+    (1..=max).map(|v| v as f64).collect()
+}
+
 #[derive(Debug, Clone)]
 enum Metric {
     Counter(Counter),
@@ -589,6 +606,28 @@ mod tests {
         assert_eq!(exponential_buckets(1.0, 10.0, 3), vec![1.0, 10.0, 100.0]);
         let b = duration_ns_buckets();
         assert!(b.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn serving_buckets_cover_the_slo_band_at_2x_resolution() {
+        let b = serving_latency_ns_buckets();
+        assert!(b.windows(2).all(|w| w[1] == w[0] * 2.0));
+        assert_eq!(b[0], 10_000.0, "floor at 10 µs");
+        assert!(
+            *b.last().unwrap() > 10e9,
+            "ceiling past 10 s so drain-timeout tails stay finite"
+        );
+        // A 3 ms observation lands in a bucket no wider than ×2.
+        let h = MetricsRegistry::new().histogram("lat_ns", &b);
+        h.observe(3.0e6);
+        let q = h.snapshot().quantile(0.99).unwrap();
+        assert!((1.5e6..=6.0e6).contains(&q), "p99 estimate {q} off by > 2x");
+    }
+
+    #[test]
+    fn depth_buckets_are_exact_small_counts() {
+        assert_eq!(depth_buckets(4), vec![1.0, 2.0, 3.0, 4.0]);
+        assert!(depth_buckets(0).is_empty());
     }
 
     #[test]

@@ -42,4 +42,4 @@ pub use pool::{
 };
 pub use tensor::Tensor;
 pub use wire::{crc32, WireError, WireReader, WireWriter};
-pub use workspace::{global_pool, Workspace, WorkspaceGuard, WorkspacePool};
+pub use workspace::{global_pool, PoolExhausted, Workspace, WorkspaceGuard, WorkspacePool};

@@ -140,6 +140,14 @@ impl<'a> WireReader<'a> {
         Ok(head)
     }
 
+    /// [`take`](WireReader::take) as a fixed-size array; the length
+    /// mismatch arm is unreachable but stays a typed error so decode
+    /// paths carry no panic sites.
+    fn take_array<const N: usize>(&mut self, what: &str) -> Result<[u8; N], WireError> {
+        let head = self.take(N, what)?;
+        <[u8; N]>::try_from(head).map_err(|_| WireError(format!("internal: {what} slice length")))
+    }
+
     /// One byte.
     pub fn get_u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1, "u8")?[0])
@@ -156,14 +164,12 @@ impl<'a> WireReader<'a> {
 
     /// Little-endian u32.
     pub fn get_u32(&mut self) -> Result<u32, WireError> {
-        let b = self.take(4, "u32")?;
-        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array("u32")?))
     }
 
     /// Little-endian u64.
     pub fn get_u64(&mut self) -> Result<u64, WireError> {
-        let b = self.take(8, "u64")?;
-        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array("u64")?))
     }
 
     /// A usize encoded as u64; rejects values that do not fit.
@@ -202,14 +208,12 @@ impl<'a> WireReader<'a> {
 
     /// Little-endian f32.
     pub fn get_f32(&mut self) -> Result<f32, WireError> {
-        let b = self.take(4, "f32")?;
-        Ok(f32::from_le_bytes(b.try_into().unwrap()))
+        Ok(f32::from_le_bytes(self.take_array("f32")?))
     }
 
     /// Little-endian f64.
     pub fn get_f64(&mut self) -> Result<f64, WireError> {
-        let b = self.take(8, "f64")?;
-        Ok(f64::from_le_bytes(b.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.take_array("f64")?))
     }
 
     /// Length-prefixed f32 sequence.

@@ -25,7 +25,10 @@
 //! assert!(again.iter().all(|&v| v == 0.0));
 //! ```
 
-use std::sync::Mutex;
+use std::error::Error;
+use std::fmt;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// A growable arena of reusable scratch buffers (see module docs).
 #[derive(Debug, Default)]
@@ -120,37 +123,152 @@ workspace_pool!(take_i32, give_i32, i32_bufs, i32);
 workspace_pool!(take_u64, give_u64, u64_bufs, u64);
 workspace_pool!(take_f64, give_f64, f64_bufs, f64);
 
+/// Checkout from a bounded [`WorkspacePool`] timed out: every
+/// workspace stayed checked out for the whole wait.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolExhausted {
+    /// The pool's checkout bound.
+    pub max_outstanding: usize,
+    /// How long the caller waited before giving up.
+    pub waited: Duration,
+}
+
+impl fmt::Display for PoolExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "workspace pool exhausted: all {} workspaces stayed checked out for {:?}",
+            self.max_outstanding, self.waited
+        )
+    }
+}
+
+impl Error for PoolExhausted {}
+
+#[derive(Debug, Default)]
+struct PoolState {
+    idle: Vec<Workspace>,
+    /// Workspaces currently checked out (bounded pools only track this
+    /// to enforce the cap; it is maintained for diagnostics either way).
+    outstanding: usize,
+}
+
 /// A shared pool of [`Workspace`]s for batch-parallel inference: each
 /// worker checks one out, runs its chunk, and returns it, so the warm
 /// buffers survive across batches without any per-thread state.
+///
+/// By default the pool is *unbounded*: [`checkout`](Self::checkout)
+/// never blocks and simply creates a fresh workspace when none is
+/// idle.  A pool built with [`bounded`](Self::bounded) caps the number
+/// of concurrently checked-out workspaces instead — under contention
+/// `checkout` blocks until one is restored, and
+/// [`checkout_timeout`](Self::checkout_timeout) returns a typed
+/// [`PoolExhausted`] error rather than growing the working set without
+/// limit.
 #[derive(Debug, Default)]
 pub struct WorkspacePool {
-    inner: Mutex<Vec<Workspace>>,
+    inner: Mutex<PoolState>,
+    returned: Condvar,
+    max_outstanding: Option<usize>,
 }
 
 impl WorkspacePool {
-    /// Creates an empty pool.
+    /// Creates an empty, unbounded pool.
     pub fn new() -> Self {
         WorkspacePool::default()
     }
 
-    /// Checks a workspace out (a warm one when available).
-    pub fn checkout(&self) -> Workspace {
-        self.inner
-            .lock()
-            .expect("workspace pool poisoned")
-            .pop()
-            .unwrap_or_default()
+    /// Creates an empty pool capped at `max` concurrent checkouts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max` is zero (such a pool could never serve a
+    /// checkout).
+    pub fn bounded(max: usize) -> Self {
+        assert!(max > 0, "a bounded pool needs at least one workspace");
+        WorkspacePool {
+            inner: Mutex::new(PoolState::default()),
+            returned: Condvar::new(),
+            max_outstanding: Some(max),
+        }
     }
 
-    /// Returns a workspace to the pool.
+    /// The checkout cap, or `None` for an unbounded pool.
+    pub fn capacity(&self) -> Option<usize> {
+        self.max_outstanding
+    }
+
+    /// Locks the pool state, recovering from poison: the state is a
+    /// plain free list plus a counter, both valid at every instruction
+    /// boundary, so a panic in another thread must not wedge every
+    /// inference worker behind a poisoned mutex.
+    fn lock_state(&self) -> MutexGuard<'_, PoolState> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Checks a workspace out (a warm one when available).  On an
+    /// unbounded pool this never blocks; on a bounded pool it waits —
+    /// without limit — for a workspace to be restored once the cap is
+    /// reached.  Serving-style callers that need a deadline should use
+    /// [`checkout_timeout`](Self::checkout_timeout).
+    pub fn checkout(&self) -> Workspace {
+        let mut state = self.lock_state();
+        if let Some(max) = self.max_outstanding {
+            while state.idle.is_empty() && state.outstanding >= max {
+                state = self.returned.wait(state).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+        state.outstanding += 1;
+        state.idle.pop().unwrap_or_default()
+    }
+
+    /// Checks a workspace out, waiting at most `timeout` when a bounded
+    /// pool is at its cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolExhausted`] when the cap held for the whole wait.
+    /// On an unbounded pool this never fails.
+    pub fn checkout_timeout(&self, timeout: Duration) -> Result<Workspace, PoolExhausted> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.lock_state();
+        if let Some(max) = self.max_outstanding {
+            while state.idle.is_empty() && state.outstanding >= max {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Err(PoolExhausted {
+                        max_outstanding: max,
+                        waited: timeout,
+                    });
+                }
+                let (guard, _) = self
+                    .returned
+                    .wait_timeout(state, left)
+                    .unwrap_or_else(|p| p.into_inner());
+                state = guard;
+            }
+        }
+        state.outstanding += 1;
+        Ok(state.idle.pop().unwrap_or_default())
+    }
+
+    /// Returns a workspace to the pool and wakes one blocked checkout.
     pub fn restore(&self, ws: Workspace) {
-        self.inner.lock().expect("workspace pool poisoned").push(ws);
+        let mut state = self.lock_state();
+        state.outstanding = state.outstanding.saturating_sub(1);
+        state.idle.push(ws);
+        drop(state);
+        self.returned.notify_one();
     }
 
     /// Number of idle workspaces currently pooled.
     pub fn idle(&self) -> usize {
-        self.inner.lock().expect("workspace pool poisoned").len()
+        self.lock_state().idle.len()
+    }
+
+    /// Number of workspaces currently checked out.
+    pub fn outstanding(&self) -> usize {
+        self.lock_state().outstanding
     }
 
     /// Checks a workspace out behind a guard that returns it to the
@@ -268,6 +386,88 @@ mod tests {
         let ws = pool.checkout();
         assert_eq!(ws.pooled_buffer_counts(), [0, 0, 0, 1]);
         assert!(ws.pooled_bytes() >= 16 * 8, "warm f64 buffer came back");
+        pool.restore(ws);
+    }
+
+    #[test]
+    fn bounded_pool_times_out_with_typed_error_instead_of_growing() {
+        let pool = WorkspacePool::bounded(1);
+        assert_eq!(pool.capacity(), Some(1));
+        let ws = pool.checkout();
+        assert_eq!(pool.outstanding(), 1);
+        // The cap is reached: a second checkout must fail with the
+        // typed error rather than minting workspace #2.
+        let err = pool
+            .checkout_timeout(Duration::from_millis(10))
+            .expect_err("cap must hold");
+        assert_eq!(err.max_outstanding, 1);
+        assert!(err.to_string().contains("exhausted"));
+        assert_eq!(pool.outstanding(), 1, "failed checkout must not leak");
+        pool.restore(ws);
+        // After a restore the same call succeeds.
+        let ws = pool
+            .checkout_timeout(Duration::from_millis(10))
+            .expect("restored workspace is available");
+        pool.restore(ws);
+    }
+
+    #[test]
+    fn bounded_pool_blocking_checkout_wakes_on_restore() {
+        let pool = std::sync::Arc::new(WorkspacePool::bounded(1));
+        let ws = pool.checkout();
+        let waiter = {
+            let pool = pool.clone();
+            std::thread::spawn(move || {
+                // Blocks until the main thread restores.
+                let ws = pool.checkout();
+                pool.restore(ws);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        pool.restore(ws);
+        waiter.join().expect("waiter must finish after restore");
+        assert_eq!(pool.outstanding(), 0);
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn unbounded_checkout_timeout_never_fails() {
+        let pool = WorkspacePool::new();
+        let a = pool.checkout_timeout(Duration::ZERO).expect("unbounded");
+        let b = pool.checkout_timeout(Duration::ZERO).expect("unbounded");
+        pool.restore(a);
+        pool.restore(b);
+        assert_eq!(pool.idle(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one workspace")]
+    fn bounded_pool_rejects_zero_capacity() {
+        let _ = WorkspacePool::bounded(0);
+    }
+
+    #[test]
+    fn pool_recovers_from_poisoned_lock() {
+        let pool = std::sync::Arc::new(WorkspacePool::bounded(2));
+        // Poison the internal mutex: a thread panics while holding it.
+        let p = pool.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = p.inner.lock().unwrap();
+            panic!("poison the pool lock");
+        })
+        .join();
+        assert!(pool.inner.is_poisoned(), "setup: lock must be poisoned");
+        // Every entry point still works: the free list is valid at any
+        // instruction boundary, so checkout/restore recover.
+        let mut ws = pool.checkout();
+        let buf = ws.take_f32(8);
+        ws.give_f32(buf);
+        pool.restore(ws);
+        assert_eq!(pool.idle(), 1);
+        assert_eq!(pool.outstanding(), 0);
+        let ws = pool
+            .checkout_timeout(Duration::from_millis(5))
+            .expect("poisoned pool must still serve checkouts");
         pool.restore(ws);
     }
 
