@@ -1,0 +1,301 @@
+//! Flight-recorder dump analyzer: reads the JSONL that
+//! `GET /debug/requests` returns (or that a test wrote to disk) and
+//! prints the slowest-request timelines plus a per-stage breakdown —
+//! the offline half of the serving observability story (DESIGN.md §5i).
+//!
+//! ```sh
+//! # Offline: analyze a saved dump.
+//! cargo run --release -p hotspot-bench --bin trace_dump -- dump.jsonl [--top N]
+//!
+//! # Self-exercise (CI): start a loopback server, drive traffic, fetch
+//! # /debug/requests and /metrics over HTTP, write both as artifacts
+//! # into DIR, analyze the dump, and exit nonzero if any request that
+//! # completed inference is missing part of its stage timeline.
+//! cargo run --release -p hotspot-bench --bin trace_dump -- --serve-and-dump [DIR]
+//! ```
+
+use hotspot_bnn::{BnnResNet, NetConfig, PackedBnn};
+use hotspot_geometry::BitImage;
+use hotspot_serve::{Response, ServeClient, ServeConfig, Server};
+use hotspot_telemetry::{Outcome, RequestRecord, STAGE_NAMES};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+
+const DEFAULT_TOP: usize = 5;
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Parses every record line in a dump, counting the lines that failed.
+fn parse_dump(text: &str) -> (Vec<RequestRecord>, usize) {
+    let mut records = Vec::new();
+    let mut bad = 0usize;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match RequestRecord::parse_jsonl(line) {
+            Some(rec) => records.push(rec),
+            None => bad += 1,
+        }
+    }
+    (records, bad)
+}
+
+/// Prints the analysis and returns the records whose outcome implies a
+/// full pipeline traversal but whose timeline is incomplete.
+fn analyze(records: &[RequestRecord], top: usize) -> Vec<RequestRecord> {
+    println!("{} request(s) in dump", records.len());
+    if records.is_empty() {
+        return Vec::new();
+    }
+
+    // Outcome mix.
+    let mut by_outcome: Vec<(&str, usize)> = Vec::new();
+    for rec in records {
+        let name = rec.outcome.name();
+        match by_outcome.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, c)) => *c += 1,
+            None => by_outcome.push((name, 1)),
+        }
+    }
+    let escalated = records.iter().filter(|r| r.escalated).count();
+    let degraded = records.iter().filter(|r| r.degraded).count();
+    print!("outcomes:");
+    for (name, count) in &by_outcome {
+        print!(" {name}={count}");
+    }
+    println!("  escalated={escalated} degraded={degraded}");
+
+    // Per-stage breakdown over records that carry the stage.
+    println!(
+        "\n{:>10} {:>8} {:>12} {:>12} {:>12}",
+        "stage", "records", "mean_ms", "max_ms", "total_ms"
+    );
+    for (i, name) in STAGE_NAMES.iter().enumerate() {
+        let durations: Vec<u64> = records
+            .iter()
+            .filter(|r| r.stages_recorded & (1 << i) != 0)
+            .map(|r| r.stage_ns[i])
+            .collect();
+        if durations.is_empty() {
+            continue;
+        }
+        let total: u64 = durations.iter().sum();
+        let max = *durations.iter().max().expect("non-empty");
+        println!(
+            "{:>10} {:>8} {:>12.3} {:>12.3} {:>12.3}",
+            name,
+            durations.len(),
+            ms(total) / durations.len() as f64,
+            ms(max),
+            ms(total)
+        );
+    }
+
+    // Slowest requests, end-to-end.
+    let mut slowest: Vec<&RequestRecord> = records.iter().collect();
+    slowest.sort_by_key(|r| std::cmp::Reverse(r.total_ns()));
+    println!("\nslowest {} request(s):", top.min(slowest.len()));
+    for rec in slowest.iter().take(top) {
+        println!(
+            "  trace {:016x}  req {}  {:.3} ms total  outcome={} batch={} M={}{}{}",
+            rec.trace_id,
+            rec.request_id,
+            ms(rec.total_ns()),
+            rec.outcome.name(),
+            rec.batch_size,
+            rec.m_level,
+            if rec.escalated { " escalated" } else { "" },
+            if rec.degraded { " degraded" } else { "" },
+        );
+        for (i, name) in STAGE_NAMES.iter().enumerate() {
+            if rec.stages_recorded & (1 << i) != 0 {
+                println!("    {:>10} {:>12.3} ms", name, ms(rec.stage_ns[i]));
+            }
+        }
+    }
+
+    // Completeness audit: anything that completed inference (or was
+    // deadline-expired at dispatch) must carry all six stages.  Shed
+    // and shutdown requests legitimately stop early.
+    records
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.outcome,
+                Outcome::Ok | Outcome::Deadline | Outcome::Internal
+            )
+        })
+        .filter(|r| !r.complete_timeline())
+        .copied()
+        .collect()
+}
+
+/// One blocking HTTP/1.1 GET against the server's mixed-protocol
+/// listener; returns the response body (the server closes after one
+/// response).
+fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(10)))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n")?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let body_at = raw
+        .find("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::other(format!("no header/body split in {path} reply")))?;
+    Ok(raw[body_at + 4..].to_string())
+}
+
+fn bench_clip(side: usize, variant: u64) -> BitImage {
+    let mut img = BitImage::new(side, side);
+    let step = 3 + (variant % 7) as usize;
+    let mut y = (variant % 4) as usize;
+    while y < side {
+        img.fill_row_span(y, 0, side);
+        y += step;
+    }
+    img
+}
+
+/// CI self-exercise: serve, drive, dump, audit (see module docs).
+fn serve_and_dump(dir: &std::path::Path) -> Result<(), String> {
+    const SIDE: usize = 32;
+    const REQUESTS: u64 = 200;
+
+    let mut rng = StdRng::seed_from_u64(2019);
+    let model = PackedBnn::compile(&BnnResNet::new(
+        &NetConfig::tiny(SIDE).with_levels(2),
+        &mut rng,
+    ));
+    let mut cfg = ServeConfig::new(SIDE);
+    cfg.workers = 2;
+    cfg.max_batch = 8;
+    let server = Server::start(cfg, model).map_err(|e| format!("start server: {e}"))?;
+
+    let mut client =
+        ServeClient::connect(server.addr()).map_err(|e| format!("connect client: {e}"))?;
+    for i in 0..REQUESTS {
+        // Half the requests carry a client-chosen trace id, half let
+        // the server mint one — both shapes must land in the recorder.
+        let trace = if i % 2 == 0 { 0xC1_0000 + i } else { 0 };
+        match client
+            .classify_traced(i, &bench_clip(SIDE, i), 30_000, trace)
+            .map_err(|e| format!("request {i}: {e}"))?
+        {
+            Response::Classify { trace_id, .. } => {
+                if trace != 0 && trace_id != trace {
+                    return Err(format!("request {i}: trace id not echoed"));
+                }
+                if trace_id == 0 {
+                    return Err(format!("request {i}: server minted no trace id"));
+                }
+            }
+            other => return Err(format!("request {i}: unexpected {other:?}")),
+        }
+    }
+
+    // The recorder files a record just after the reply is written, so
+    // the last request's record can trail the response by microseconds.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+    while server.flight().total_recorded() < REQUESTS && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    let dump = http_get(server.addr(), "/debug/requests")
+        .map_err(|e| format!("GET /debug/requests: {e}"))?;
+    let metrics = http_get(server.addr(), "/metrics").map_err(|e| format!("GET /metrics: {e}"))?;
+    server.shutdown();
+
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let dump_path = dir.join("debug_requests.jsonl");
+    let metrics_path = dir.join("metrics.prom");
+    std::fs::write(&dump_path, &dump).map_err(|e| format!("write dump: {e}"))?;
+    std::fs::write(&metrics_path, &metrics).map_err(|e| format!("write metrics: {e}"))?;
+    println!(
+        "artifacts: {} ({} bytes), {} ({} bytes)\n",
+        dump_path.display(),
+        dump.len(),
+        metrics_path.display(),
+        metrics.len()
+    );
+
+    let (records, bad) = parse_dump(&dump);
+    if bad > 0 {
+        return Err(format!("{bad} dump line(s) failed to parse"));
+    }
+    if records.len() < REQUESTS as usize {
+        return Err(format!(
+            "expected {REQUESTS} records in the dump, found {}",
+            records.len()
+        ));
+    }
+    if !metrics.contains("serve_latency_window_p99_ns") {
+        return Err("scrape is missing the windowed latency gauges".into());
+    }
+    let incomplete = analyze(&records, DEFAULT_TOP);
+    if !incomplete.is_empty() {
+        return Err(format!(
+            "{} completed request(s) lack a full stage timeline, e.g. {:?}",
+            incomplete.len(),
+            incomplete[0]
+        ));
+    }
+    println!(
+        "\nall {} completed requests carry full stage timelines",
+        records.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--serve-and-dump") {
+        let dir = args
+            .get(1)
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| "trace_artifacts".into());
+        return match serve_and_dump(&dir) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("serve-and-dump failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let Some(path) = args.first() else {
+        eprintln!("usage: trace_dump <dump.jsonl> [--top N] | --serve-and-dump [DIR]");
+        return ExitCode::FAILURE;
+    };
+    let top = args
+        .iter()
+        .position(|a| a == "--top")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(DEFAULT_TOP);
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (records, bad) = parse_dump(&text);
+    if bad > 0 {
+        eprintln!("warning: {bad} line(s) did not parse as request records");
+    }
+    let incomplete = analyze(&records, top);
+    if !incomplete.is_empty() {
+        eprintln!(
+            "\n{} completed request(s) lack a full stage timeline",
+            incomplete.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -14,17 +14,23 @@
 //! boundary, so a panicking reader can never wedge the service.
 
 use crate::packed::PackedBnn;
+use hotspot_telemetry::{Clock, MonotonicClock};
 use std::sync::{Arc, RwLock};
 
 struct Entry {
     model: Arc<PackedBnn>,
     generation: u64,
+    /// Clock reading when this model was published (construction for
+    /// generation 1, the `swap` call otherwise) — the anchor for
+    /// "how long has this model been serving" observability queries.
+    published_at_ns: u64,
 }
 
 /// An atomically swappable, generation-counted model handle (see the
 /// module docs).
 pub struct ModelSlot {
     inner: RwLock<Entry>,
+    clock: Arc<dyn Clock>,
 }
 
 impl ModelSlot {
@@ -35,11 +41,20 @@ impl ModelSlot {
 
     /// Wraps an already-shared model as generation 1.
     pub fn from_arc(model: Arc<PackedBnn>) -> Self {
+        Self::from_arc_with_clock(model, Arc::new(MonotonicClock))
+    }
+
+    /// As [`from_arc`](ModelSlot::from_arc) with an injected clock, so
+    /// tests can pin the publish timestamps deterministically.
+    pub fn from_arc_with_clock(model: Arc<PackedBnn>, clock: Arc<dyn Clock>) -> Self {
+        let now = clock.now_ns();
         ModelSlot {
             inner: RwLock::new(Entry {
                 model,
                 generation: 1,
+                published_at_ns: now,
             }),
+            clock,
         }
     }
 
@@ -59,13 +74,32 @@ impl ModelSlot {
             .generation
     }
 
+    /// Clock reading at which the current model was published:
+    /// construction time for generation 1, the most recent
+    /// [`swap`](ModelSlot::swap) otherwise.
+    pub fn last_swap_ns(&self) -> u64 {
+        self.inner
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .published_at_ns
+    }
+
+    /// Nanoseconds the current model has been serving, measured on the
+    /// slot's own clock.
+    pub fn model_age_ns(&self) -> u64 {
+        let published = self.last_swap_ns();
+        self.clock.now_ns().saturating_sub(published)
+    }
+
     /// Publishes `model` as the new current model, returning
     /// `(previous model, new generation)`.  The previous `Arc` is handed
     /// back so a rollback monitor can restore it without reloading from
     /// disk.
     pub fn swap(&self, model: Arc<PackedBnn>) -> (Arc<PackedBnn>, u64) {
+        let now = self.clock.now_ns();
         let mut entry = self.inner.write().unwrap_or_else(|p| p.into_inner());
         entry.generation += 1;
+        entry.published_at_ns = now;
         let prev = std::mem::replace(&mut entry.model, model);
         (prev, entry.generation)
     }
@@ -115,6 +149,21 @@ mod tests {
         slot.swap(Arc::new(packed(4)));
         // The held Arc is unaffected by the swap.
         assert_eq!(held.arch_fingerprint(), held_fp);
+    }
+
+    #[test]
+    fn swap_timestamps_come_from_the_injected_clock() {
+        let clock = Arc::new(hotspot_telemetry::MockClock::new());
+        clock.advance(1_000);
+        let slot = ModelSlot::from_arc_with_clock(Arc::new(packed(7)), clock.clone());
+        assert_eq!(slot.last_swap_ns(), 1_000, "generation 1 stamps creation");
+        clock.advance(4_000);
+        assert_eq!(slot.model_age_ns(), 4_000);
+        slot.swap(Arc::new(packed(8)));
+        assert_eq!(slot.last_swap_ns(), 5_000, "swap re-stamps");
+        assert_eq!(slot.model_age_ns(), 0);
+        clock.advance(250);
+        assert_eq!(slot.model_age_ns(), 250);
     }
 
     #[test]

@@ -995,8 +995,11 @@ impl BnnDetector {
         let packed = self.packed.as_ref().expect("detector is not trained");
         let side = self.config.input_size;
         let _span = span!("infer.cascade", clips = images.len());
+        let clock = MonotonicClock;
+        let triage_timer = Timer::start(&clock);
         let triage = packed.plan_capped((side, side), 1);
         let margins = self.margins_with_plan(&triage, images);
+        let triage_ns = triage_timer.elapsed_ns();
         let mut preds: Vec<bool> = margins.iter().map(|&m| m >= 0.0).collect();
         if packed.levels() == 1 {
             return (preds, 0);
@@ -1007,6 +1010,7 @@ impl BnnDetector {
             .filter(|(_, m)| m.abs() < threshold)
             .map(|(i, _)| i)
             .collect();
+        let confirm_timer = Timer::start(&clock);
         if !flagged.is_empty() {
             let confirm = packed.plan((side, side));
             let flagged_images: Vec<&BitImage> = flagged.iter().map(|&i| images[i]).collect();
@@ -1017,12 +1021,15 @@ impl BnnDetector {
                 preds[i] = m >= 0.0;
             }
         }
+        let confirm_ns = confirm_timer.elapsed_ns();
         trace::dispatch_event(
             "infer.cascade",
             &[
                 ("clips", Value::from(images.len())),
                 ("escalated", Value::from(flagged.len())),
                 ("levels", Value::from(packed.levels())),
+                ("triage_ns", Value::from(triage_ns)),
+                ("confirm_ns", Value::from(confirm_ns)),
             ],
         );
         (preds, flagged.len())

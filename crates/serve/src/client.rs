@@ -134,12 +134,32 @@ impl ServeClient {
         image: &BitImage,
         deadline_ms: u32,
     ) -> Result<Response, ClientError> {
+        self.classify_traced(id, image, deadline_ms, 0)
+    }
+
+    /// As [`classify`](ServeClient::classify), carrying a caller-chosen
+    /// trace id (non-zero) that the server threads through its flight
+    /// recorder — the request becomes retrievable from
+    /// `GET /debug/requests` under this id.  Pass 0 to let the server
+    /// mint one (echoed in the `Classify` response).
+    ///
+    /// # Errors
+    ///
+    /// As [`read_response`](ServeClient::read_response).
+    pub fn classify_traced(
+        &mut self,
+        id: u64,
+        image: &BitImage,
+        deadline_ms: u32,
+        trace_id: u64,
+    ) -> Result<Response, ClientError> {
         self.request(&Request::Classify {
             id,
             deadline_ms,
             width: image.width() as u32,
             height: image.height() as u32,
             words: image.as_words().to_vec(),
+            trace_id,
         })
     }
 

@@ -15,12 +15,30 @@
 //! hysteresis, so a queue hovering near the boundary cannot flap the
 //! service between modes.
 
+use hotspot_telemetry::{trace, Clock, MonotonicClock};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+/// How many of the most recent mode transitions the controller
+/// remembers for `/healthz` and post-mortem inspection.
+const TRANSITION_LOG: usize = 64;
 
 struct Runs {
     over: usize,
     under: usize,
+}
+
+/// One recorded mode change, stamped by the controller's [`Clock`] —
+/// with a [`MockClock`](hotspot_telemetry::MockClock) these make
+/// degradation decisions assertable at exact timestamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeTransition {
+    /// Clock reading when the mode flipped.
+    pub at_ns: u64,
+    /// `true` = entered triage-only degradation, `false` = recovered.
+    pub entered: bool,
+    /// The queue depth observation that tipped the hysteresis.
+    pub depth: usize,
 }
 
 /// Hysteresis state machine deciding when to serve triage-only (see
@@ -33,6 +51,9 @@ pub struct DegradeController {
     runs: Mutex<Runs>,
     /// Read on the worker hot path without taking the mutex.
     degraded: AtomicBool,
+    clock: Arc<dyn Clock>,
+    /// Ring of the last [`TRANSITION_LOG`] mode changes, oldest first.
+    transitions: Mutex<Vec<DegradeTransition>>,
 }
 
 impl DegradeController {
@@ -45,6 +66,25 @@ impl DegradeController {
     /// Panics unless `low_water < high_water` and both counts are
     /// positive.
     pub fn new(high_water: usize, low_water: usize, enter_after: usize, exit_after: usize) -> Self {
+        Self::with_clock(
+            high_water,
+            low_water,
+            enter_after,
+            exit_after,
+            Arc::new(MonotonicClock),
+        )
+    }
+
+    /// As [`new`](Self::new), with an explicit clock stamping the
+    /// transition log (tests inject a
+    /// [`MockClock`](hotspot_telemetry::MockClock)).
+    pub fn with_clock(
+        high_water: usize,
+        low_water: usize,
+        enter_after: usize,
+        exit_after: usize,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
         assert!(
             low_water < high_water,
             "low water ({low_water}) must sit below high water ({high_water})"
@@ -60,6 +100,8 @@ impl DegradeController {
             exit_after,
             runs: Mutex::new(Runs { over: 0, under: 0 }),
             degraded: AtomicBool::new(false),
+            clock,
+            transitions: Mutex::new(Vec::with_capacity(TRANSITION_LOG)),
         }
     }
 
@@ -88,8 +130,35 @@ impl DegradeController {
         };
         if now != was {
             self.degraded.store(now, Ordering::Relaxed);
+            let at_ns = self.clock.now_ns();
+            {
+                let mut log = self.transitions.lock().unwrap_or_else(|p| p.into_inner());
+                if log.len() == TRANSITION_LOG {
+                    log.remove(0);
+                }
+                log.push(DegradeTransition {
+                    at_ns,
+                    entered: now,
+                    depth,
+                });
+            }
+            trace::dispatch_event(
+                if now { "degrade.enter" } else { "degrade.exit" },
+                &[
+                    ("depth", trace::Value::from(depth)),
+                    ("at_ns", trace::Value::from(at_ns)),
+                ],
+            );
         }
         now
+    }
+
+    /// The most recent mode transitions (oldest first, bounded ring).
+    pub fn transitions(&self) -> Vec<DegradeTransition> {
+        self.transitions
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
     }
 
     /// The current mode (`true` = triage-only), lock-free.
@@ -158,5 +227,54 @@ mod tests {
     #[should_panic(expected = "below high water")]
     fn rejects_inverted_watermarks() {
         let _ = DegradeController::new(2, 8, 1, 1);
+    }
+
+    #[test]
+    fn transitions_are_clock_stamped_and_ordered() {
+        use hotspot_telemetry::MockClock;
+
+        let clock = Arc::new(MockClock::new());
+        let c = DegradeController::with_clock(8, 2, 2, 2, clock.clone());
+        assert!(c.transitions().is_empty(), "no transitions yet");
+
+        clock.advance(1_000);
+        c.observe(9);
+        assert!(c.transitions().is_empty(), "streak of one: no transition");
+        clock.advance(1_000);
+        c.observe(9); // enters at t = 2000
+        clock.advance(1_000);
+        c.observe(1);
+        clock.advance(1_000);
+        c.observe(1); // exits at t = 4000
+
+        let log = c.transitions();
+        assert_eq!(
+            log,
+            vec![
+                DegradeTransition {
+                    at_ns: 2_000,
+                    entered: true,
+                    depth: 9
+                },
+                DegradeTransition {
+                    at_ns: 4_000,
+                    entered: false,
+                    depth: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn transition_log_is_bounded() {
+        let c = DegradeController::new(8, 2, 1, 1);
+        for _ in 0..200 {
+            c.observe(9);
+            c.observe(0);
+        }
+        let log = c.transitions();
+        assert_eq!(log.len(), TRANSITION_LOG);
+        // Oldest entries were evicted: the ring ends on the latest exit.
+        assert!(!log.last().unwrap().entered);
     }
 }

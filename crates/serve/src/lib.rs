@@ -56,7 +56,7 @@ pub mod server;
 pub mod swap;
 
 pub use client::{ClientError, ServeClient};
-pub use degrade::DegradeController;
+pub use degrade::{DegradeController, DegradeTransition};
 pub use fault::FaultPlan;
 pub use proto::{ErrorCode, FrameError, Request, Response, MAX_FRAME_LEN};
 pub use queue::{BoundedQueue, PushRejected};

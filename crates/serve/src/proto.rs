@@ -134,6 +134,10 @@ pub enum Request {
         height: u32,
         /// Bit-packed raster words.
         words: Vec<u64>,
+        /// Client-supplied trace id, or 0 to let the server mint one at
+        /// admission.  Encoded as an *optional trailing* field: frames
+        /// from older clients simply omit it and still parse.
+        trace_id: u64,
     },
     /// Liveness probe.
     Ping {
@@ -174,6 +178,10 @@ pub enum Response {
         /// `true` when the cascade escalated this clip to the full
         /// M-level confirmation pass.
         escalated: bool,
+        /// The trace id that indexes this request in the flight
+        /// recorder (`GET /debug/requests`).  Optional trailing field;
+        /// 0 from servers that predate tracing.
+        trace_id: u64,
     },
     /// A typed rejection.
     Error {
@@ -236,6 +244,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             width,
             height,
             words,
+            trace_id,
         } => {
             w.put_u8(T_CLASSIFY);
             w.put_u64(*id);
@@ -243,6 +252,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             w.put_u32(*width);
             w.put_u32(*height);
             w.put_u64_slice(words);
+            // Optional trailing field: only written when set, so the
+            // zero case stays byte-identical to the pre-tracing frame.
+            if *trace_id != 0 {
+                w.put_u64(*trace_id);
+            }
         }
         Request::Ping { id } => {
             w.put_u8(T_PING);
@@ -278,6 +292,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, FrameError> {
             width: r.get_u32()?,
             height: r.get_u32()?,
             words: r.get_u64_vec()?,
+            trace_id: if r.remaining() > 0 { r.get_u64()? } else { 0 },
         },
         T_PING => Request::Ping { id: r.get_u64()? },
         T_METRICS => Request::Metrics,
@@ -307,6 +322,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             margin,
             degraded,
             escalated,
+            trace_id,
         } => {
             w.put_u8(T_R_CLASSIFY);
             w.put_u64(*id);
@@ -314,6 +330,9 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.put_f32(*margin);
             w.put_bool(*degraded);
             w.put_bool(*escalated);
+            if *trace_id != 0 {
+                w.put_u64(*trace_id);
+            }
         }
         Response::Error { id, code, msg } => {
             w.put_u8(T_R_ERROR);
@@ -366,6 +385,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, FrameError> {
             margin: r.get_f32()?,
             degraded: r.get_bool()?,
             escalated: r.get_bool()?,
+            trace_id: if r.remaining() > 0 { r.get_u64()? } else { 0 },
         },
         T_R_ERROR => Response::Error {
             id: r.get_u64()?,
@@ -455,6 +475,15 @@ mod tests {
                 width: 64,
                 height: 64,
                 words: vec![0xDEAD_BEEF; 64],
+                trace_id: 0,
+            },
+            Request::Classify {
+                id: 43,
+                deadline_ms: 250,
+                width: 64,
+                height: 64,
+                words: vec![0xDEAD_BEEF; 64],
+                trace_id: 0xFACE_FEED,
             },
             Request::Ping { id: 7 },
             Request::Metrics,
@@ -479,6 +508,15 @@ mod tests {
                 margin: -0.75,
                 degraded: false,
                 escalated: true,
+                trace_id: 0,
+            },
+            Response::Classify {
+                id: 6,
+                hotspot: false,
+                margin: 0.25,
+                degraded: true,
+                escalated: false,
+                trace_id: 0x1234_5678_9ABC,
             },
             Response::Error {
                 id: 2,
@@ -505,6 +543,47 @@ mod tests {
     }
 
     #[test]
+    fn pre_tracing_classify_frames_still_parse() {
+        // A frame without the trailing trace id — exactly what an old
+        // client sends — decodes with trace_id 0; and a zero trace id
+        // encodes byte-identically to the old framing, so old servers
+        // can also read new clients that don't opt in.
+        let old_style = strip(encode_request(&Request::Classify {
+            id: 5,
+            deadline_ms: 100,
+            width: 32,
+            height: 32,
+            words: vec![7, 8],
+            trace_id: 0,
+        }));
+        let traced = strip(encode_request(&Request::Classify {
+            id: 5,
+            deadline_ms: 100,
+            width: 32,
+            height: 32,
+            words: vec![7, 8],
+            trace_id: 99,
+        }));
+        assert_eq!(traced.len(), old_style.len() + 8);
+        match decode_request(&old_style).unwrap() {
+            Request::Classify { trace_id, .. } => assert_eq!(trace_id, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        let old_resp = strip(encode_response(&Response::Classify {
+            id: 5,
+            hotspot: true,
+            margin: 1.5,
+            degraded: false,
+            escalated: false,
+            trace_id: 0,
+        }));
+        match decode_response(&old_resp).unwrap() {
+            Response::Classify { trace_id, .. } => assert_eq!(trace_id, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn truncated_and_unknown_frames_are_typed_errors() {
         let payload = strip(encode_request(&Request::Classify {
             id: 1,
@@ -512,6 +591,7 @@ mod tests {
             width: 32,
             height: 32,
             words: vec![1, 2, 3],
+            trace_id: 0,
         }));
         // Every strict prefix of a valid payload must fail cleanly.
         for cut in 0..payload.len() {

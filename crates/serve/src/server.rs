@@ -38,7 +38,9 @@ use crate::swap::{validate_and_swap, SwapMonitor, SwapVerdict};
 use hotspot_bnn::{ModelSlot, PackedBnn};
 use hotspot_geometry::BitImage;
 use hotspot_telemetry::{
-    depth_buckets, serving_latency_ns_buckets, trace, Counter, Gauge, Histogram, MetricsRegistry,
+    depth_buckets, next_trace_id, serving_latency_ns_buckets, trace, Clock, Counter, DriftConfig,
+    DriftMonitor, FlightRecorder, Gauge, Histogram, MetricsRegistry, MonotonicClock, Outcome,
+    RequestRecord, Stage, WindowedHistogram,
 };
 use hotspot_tensor::{Workspace, WorkspacePool};
 use std::io::{self, Read, Write};
@@ -95,6 +97,21 @@ pub struct ServeConfig {
     pub swap_window: usize,
     /// Failed batches within the window that trigger rollback.
     pub swap_max_failures: usize,
+    /// Flight-recorder capacity: how many completed request records the
+    /// ring retains for `GET /debug/requests` and trace-id lookup.
+    pub flight_capacity: usize,
+    /// Rolling-window metrics: number of time slices and their
+    /// duration.  Windowed p50/p95/p99 latency and request rate cover
+    /// the last `window_slices × window_slice_ns` nanoseconds.
+    pub window_slices: usize,
+    pub window_slice_ns: u64,
+    /// Drift-monitor tuning (baseline size, window, thresholds).
+    pub drift: DriftConfig,
+    /// When `true`, workers run the triage pass profiled and export
+    /// per-layer timings (`serve_layer_ns_total{slot=...}`) on the
+    /// scrape.  Off by default: per-layer clocks cost a few percent of
+    /// throughput.
+    pub profile_layers: bool,
 }
 
 impl ServeConfig {
@@ -115,6 +132,11 @@ impl ServeConfig {
             max_frame_len: MAX_FRAME_LEN,
             swap_window: 16,
             swap_max_failures: 3,
+            flight_capacity: 1024,
+            window_slices: 6,
+            window_slice_ns: 10_000_000_000, // 1-minute window
+            drift: DriftConfig::default(),
+            profile_layers: false,
         }
     }
 
@@ -140,6 +162,12 @@ impl ServeConfig {
         if self.swap_max_failures == 0 || self.swap_max_failures > self.swap_window {
             return Err("need 0 < swap_max_failures <= swap_window".into());
         }
+        if self.flight_capacity == 0 {
+            return Err("flight_capacity must be positive".into());
+        }
+        if self.window_slices == 0 || self.window_slice_ns == 0 {
+            return Err("window_slices and window_slice_ns must be positive".into());
+        }
         Ok(())
     }
 }
@@ -151,6 +179,12 @@ struct Job {
     deadline: Instant,
     enqueued: Instant,
     reply: mpsc::Sender<Vec<u8>>,
+    /// The flight-recorder record under construction: carries the
+    /// trace id and accumulates per-stage durations as the job moves
+    /// admission → queue → batch → dispatch → inference → reply.
+    rec: RequestRecord,
+    /// Clock reading at enqueue, for the queue-wait stage.
+    queued_ns: u64,
 }
 
 /// Pre-registered metric handles (one registry lookup each, at
@@ -169,6 +203,12 @@ struct ServeMetrics {
     latency_ns: Histogram,
     batch_fill: Histogram,
     queue_depth_sampled: Histogram,
+    /// Rolling-window views, refreshed at scrape time from the
+    /// windowed latency histogram.
+    window_p50: Gauge,
+    window_p95: Gauge,
+    window_p99: Gauge,
+    window_rate: Gauge,
 }
 
 impl ServeMetrics {
@@ -190,6 +230,10 @@ impl ServeMetrics {
                 "serve_queue_depth_sampled",
                 &depth_buckets(config.queue_capacity),
             ),
+            window_p50: registry.gauge("serve_latency_window_p50_ns"),
+            window_p95: registry.gauge("serve_latency_window_p95_ns"),
+            window_p99: registry.gauge("serve_latency_window_p99_ns"),
+            window_rate: registry.gauge("serve_request_rate_per_sec"),
         }
     }
 }
@@ -206,6 +250,18 @@ struct Shared {
     shutdown: AtomicBool,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
     m: ServeMetrics,
+    /// One clock for every request-scoped timestamp, so stage
+    /// durations across threads share a timebase.
+    clock: Arc<dyn Clock>,
+    /// Completed-request ring for `GET /debug/requests` and trace-id
+    /// lookup.
+    flight: FlightRecorder,
+    /// Rolling-window latency distribution (last N seconds), the
+    /// source of the `serve_latency_window_*` gauges.
+    latency_window: WindowedHistogram,
+    /// Prediction-margin / escalation-rate drift vs the baseline
+    /// captured after each model load or swap.
+    drift: DriftMonitor,
 }
 
 /// What shutdown observed while draining.
@@ -241,6 +297,9 @@ impl Server {
         let addr = listener.local_addr()?;
         let registry = Arc::new(MetricsRegistry::new());
         let m = ServeMetrics::new(&registry, &config);
+        let clock: Arc<dyn Clock> = Arc::new(MonotonicClock);
+        let drift = DriftMonitor::with_clock(config.drift.clone(), clock.clone());
+        drift.bind_gauge(registry.gauge("serve_drift_divergence"));
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             slot: ModelSlot::new(model),
@@ -259,6 +318,15 @@ impl Server {
             shutdown: AtomicBool::new(false),
             conn_threads: Mutex::new(Vec::new()),
             m,
+            flight: FlightRecorder::new(config.flight_capacity),
+            latency_window: WindowedHistogram::with_clock(
+                config.window_slices,
+                config.window_slice_ns,
+                &serving_latency_ns_buckets(),
+                clock.clone(),
+            ),
+            drift,
+            clock,
             config,
         });
         let workers = (0..shared.config.workers)
@@ -308,6 +376,22 @@ impl Server {
         self.shared.degrade.is_degraded()
     }
 
+    /// The flight recorder holding completed request records (the
+    /// in-process view of `GET /debug/requests`).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.shared.flight
+    }
+
+    /// The prediction-drift monitor for the serving model.
+    pub fn drift(&self) -> &DriftMonitor {
+        &self.shared.drift
+    }
+
+    /// Recent degradation-mode transitions (clock-stamped).
+    pub fn degrade_transitions(&self) -> Vec<crate::degrade::DegradeTransition> {
+        self.shared.degrade.transitions()
+    }
+
     /// Stops the server: closes admission, drains in-flight jobs for
     /// up to the configured drain timeout, flushes anything left with
     /// typed `Shutdown` errors, and joins every thread.
@@ -324,15 +408,12 @@ impl Server {
         // its reply sender alive past the joins below, and a connection
         // writer thread only exits once every sender has dropped.
         for job in leftovers {
-            respond(
-                &self.shared,
-                &job,
-                Response::Error {
-                    id: job.id,
-                    code: ErrorCode::Shutdown,
-                    msg: "server is shutting down".into(),
-                },
-            );
+            let resp = Response::Error {
+                id: job.id,
+                code: ErrorCode::Shutdown,
+                msg: "server is shutting down".into(),
+            };
+            finish(&self.shared, job, resp, Outcome::Shutdown);
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -453,7 +534,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
             ReadOutcome::Eof | ReadOutcome::Shutdown => break,
         }
         if &prefix == b"GET " {
-            serve_http_scrape(&mut stream, shared);
+            serve_http(&mut stream, shared);
             break;
         }
         let len = u32::from_le_bytes(prefix) as usize;
@@ -499,7 +580,7 @@ fn dispatch_request(req: Request, tx: &mpsc::Sender<Vec<u8>>, shared: &Arc<Share
             let _ = tx.send(encode_response(&Response::Pong { id }));
         }
         Request::Metrics => {
-            let text = shared.registry.to_prometheus();
+            let text = metrics_text(shared);
             let _ = tx.send(encode_response(&Response::MetricsText(text)));
         }
         Request::Stats { id } => {
@@ -517,7 +598,8 @@ fn dispatch_request(req: Request, tx: &mpsc::Sender<Vec<u8>>, shared: &Arc<Share
             width,
             height,
             words,
-        } => return admit_classify(id, deadline_ms, width, height, words, tx, shared),
+            trace_id,
+        } => return admit_classify(id, deadline_ms, width, height, words, trace_id, tx, shared),
     }
     true
 }
@@ -537,6 +619,9 @@ fn handle_swap(id: u64, path: String, tx: &mpsc::Sender<Vec<u8>>, shared: &Arc<S
         Ok((generation, prev)) => {
             shared.monitor.begin_watch(generation, prev);
             shared.m.swaps.inc();
+            // The published model defines a new "normal": the drift
+            // monitor recollects its baseline against it.
+            shared.drift.rebaseline();
             trace::dispatch_event(
                 "serve.swap",
                 &[("generation", trace::Value::from(generation))],
@@ -549,15 +634,22 @@ fn handle_swap(id: u64, path: String, tx: &mpsc::Sender<Vec<u8>>, shared: &Arc<S
 
 /// Validates and enqueues a classify request.  Always answers the
 /// request (immediately on rejection, via a worker on admission).
+///
+/// Tracing starts here: the client's trace id is honored when present,
+/// otherwise one is minted, and the admission stage (validate + raster
+/// conversion + enqueue) is the record's first timing.
+#[allow(clippy::too_many_arguments)]
 fn admit_classify(
     id: u64,
     deadline_ms: u32,
     width: u32,
     height: u32,
     words: Vec<u64>,
+    trace_id: u64,
     tx: &mpsc::Sender<Vec<u8>>,
     shared: &Arc<Shared>,
 ) -> bool {
+    let t_admit = shared.clock.now_ns();
     shared.m.requests.inc();
     let side = shared.config.input_size;
     if width as usize != side || height as usize != side {
@@ -582,12 +674,22 @@ fn admit_classify(
     } else {
         Duration::from_millis(u64::from(deadline_ms))
     };
+    let trace_id = if trace_id != 0 {
+        trace_id
+    } else {
+        next_trace_id()
+    };
+    let mut rec = RequestRecord::new(trace_id, id, t_admit);
+    let queued_ns = shared.clock.now_ns();
+    rec.mark(Stage::Admission, queued_ns.saturating_sub(t_admit));
     let job = Job {
         id,
         input: image.to_signed_f32(),
         deadline: now + budget,
         enqueued: now,
         reply: tx.clone(),
+        rec,
+        queued_ns,
     };
     match shared.queue.push(job) {
         Ok(depth) => {
@@ -602,42 +704,120 @@ fn admit_classify(
             // ladder can see.
             let degraded = shared.degrade.observe(shared.queue.capacity());
             shared.m.degraded.set(if degraded { 1.0 } else { 0.0 });
-            respond(
-                shared,
-                &job,
-                Response::Error {
-                    id: job.id,
-                    code: ErrorCode::Overloaded,
-                    msg: "queue is at capacity".into(),
-                },
-            );
+            let resp = Response::Error {
+                id: job.id,
+                code: ErrorCode::Overloaded,
+                msg: "queue is at capacity".into(),
+            };
+            finish(shared, job, resp, Outcome::Shed);
         }
         Err(PushRejected::Closed(job)) => {
-            respond(
-                shared,
-                &job,
-                Response::Error {
-                    id: job.id,
-                    code: ErrorCode::Shutdown,
-                    msg: "server is shutting down".into(),
-                },
-            );
+            let resp = Response::Error {
+                id: job.id,
+                code: ErrorCode::Shutdown,
+                msg: "server is shutting down".into(),
+            };
+            finish(shared, job, resp, Outcome::Shutdown);
         }
     }
     true
 }
 
-fn serve_http_scrape(stream: &mut TcpStream, shared: &Arc<Shared>) {
-    // Swallow whatever is left of the request line and headers; one
-    // short read is enough for a scrape client on loopback.
-    let mut sink = [0u8; 1024];
-    let _ = stream.read(&mut sink);
-    let body = shared.registry.to_prometheus();
-    let response = format!(
-        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+/// Ceiling on HTTP request bytes read after the sniffed `GET ` prefix
+/// (path + headers); anything longer is answered 404 and dropped.
+const MAX_HTTP_REQUEST: usize = 8 * 1024;
+
+/// Reads the rest of an HTTP request (we already consumed `"GET "`)
+/// and returns the request path, or `None` if the request never
+/// completes within bounds.  The stream has a read timeout, so the
+/// loop also notices server shutdown.
+fn read_http_path(stream: &mut TcpStream, shutdown: &AtomicBool) -> Option<String> {
+    let mut buf = Vec::with_capacity(256);
+    let mut chunk = [0u8; 512];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        if buf.len() > MAX_HTTP_REQUEST {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // EOF: parse whatever arrived
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return None;
+                }
+                // A bare `GET /path HTTP/1.0\r\n` with no trailing
+                // blank line is still parseable once the line is in.
+                if buf.windows(2).any(|w| w == b"\r\n") {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+    // `buf` starts at the path: the `GET ` prefix was the sniff.
+    let end = buf.iter().position(|&b| b == b' ' || b == b'\r')?;
+    String::from_utf8(buf[..end].to_vec()).ok()
+}
+
+/// Builds a complete `HTTP/1.1` response with correct framing headers.
+fn http_response(status: &str, content_type: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
-    );
+    )
+}
+
+/// Refreshes the rolling-window gauges and renders the Prometheus
+/// text.  Shared by the HTTP scrape and the binary `Metrics` request,
+/// so both views agree.
+fn metrics_text(shared: &Shared) -> String {
+    let snap = shared.latency_window.snapshot();
+    shared.m.window_p50.set(snap.quantile(0.50).unwrap_or(0.0));
+    shared.m.window_p95.set(snap.quantile(0.95).unwrap_or(0.0));
+    shared.m.window_p99.set(snap.quantile(0.99).unwrap_or(0.0));
+    shared
+        .m
+        .window_rate
+        .set(shared.latency_window.rate_per_sec());
+    // Keep the drift gauge fresh even when traffic has stopped.
+    shared.drift.compare();
+    shared.registry.to_prometheus()
+}
+
+/// Answers one HTTP request on the sniffed connection, then closes it:
+/// `/metrics` (Prometheus text with windowed quantiles), `/healthz`
+/// (liveness JSON incl. queue depth and degrade state),
+/// `/debug/requests` (the flight recorder as JSONL), 404 otherwise.
+fn serve_http(stream: &mut TcpStream, shared: &Arc<Shared>) {
+    let path = match read_http_path(stream, &shared.shutdown) {
+        Some(p) => p,
+        None => return,
+    };
+    let response = match path.split('?').next().unwrap_or("") {
+        "/metrics" => http_response("200 OK", "text/plain; version=0.0.4", &metrics_text(shared)),
+        "/healthz" => {
+            let body = format!(
+                "{{\"status\":\"ok\",\"queue_depth\":{},\"degraded\":{},\
+                 \"generation\":{},\"flight_recorded\":{}}}\n",
+                shared.queue.len(),
+                shared.degrade.is_degraded(),
+                shared.slot.generation(),
+                shared.flight.total_recorded(),
+            );
+            http_response("200 OK", "application/json", &body)
+        }
+        "/debug/requests" => {
+            http_response("200 OK", "application/x-ndjson", &shared.flight.to_jsonl())
+        }
+        _ => http_response("404 Not Found", "text/plain", "not found\n"),
+    };
     let _ = stream.write_all(response.as_bytes());
 }
 
@@ -645,14 +825,20 @@ fn send_error(tx: &mpsc::Sender<Vec<u8>>, id: u64, code: ErrorCode, msg: String)
     let _ = tx.send(encode_response(&Response::Error { id, code, msg }));
 }
 
-/// Sends `resp` for `job` and records response metrics.
-fn respond(shared: &Shared, job: &Job, resp: Response) {
+/// Sends `resp` for `job`, records response metrics, closes out the
+/// job's flight record (reply stage + outcome), and files it in the
+/// recorder.  Consumes the job: a request is finished exactly once.
+fn finish(shared: &Shared, mut job: Job, resp: Response, outcome: Outcome) {
+    let t_reply = shared.clock.now_ns();
     let _ = job.reply.send(encode_response(&resp));
     shared.m.responses.inc();
-    shared
-        .m
-        .latency_ns
-        .observe(job.enqueued.elapsed().as_nanos() as f64);
+    let latency = job.enqueued.elapsed().as_nanos() as f64;
+    shared.m.latency_ns.observe(latency);
+    shared.latency_window.observe(latency);
+    job.rec
+        .mark(Stage::Reply, shared.clock.now_ns().saturating_sub(t_reply));
+    job.rec.outcome = outcome;
+    shared.flight.record(job.rec);
 }
 
 /// One clip's classification outcome.
@@ -662,8 +848,38 @@ struct ClipResult {
     escalated: bool,
 }
 
+/// Signed nanoseconds from `now` to `deadline` (negative = missed).
+fn slack_ns(deadline: Instant, now: Instant) -> i64 {
+    if deadline >= now {
+        deadline.duration_since(now).as_nanos() as i64
+    } else {
+        -(now.duration_since(deadline).as_nanos() as i64)
+    }
+}
+
+/// Completes a successfully classified job: stamps the cascade
+/// outcome on its flight record, feeds the drift monitor, and replies.
+fn finish_classified(shared: &Shared, mut job: Job, r: &ClipResult, degraded: bool, levels: u8) {
+    job.rec.escalated = r.escalated;
+    job.rec.degraded = degraded;
+    // M-level actually spent on this clip: the full ladder when the
+    // cascade escalated it, the M = 1 triage pass otherwise.
+    job.rec.m_level = if r.escalated { levels } else { 1 };
+    shared.drift.observe(f64::from(r.margin), r.escalated);
+    let resp = Response::Classify {
+        id: job.id,
+        hotspot: r.hotspot,
+        margin: r.margin,
+        degraded,
+        escalated: r.escalated,
+        trace_id: job.rec.trace_id,
+    };
+    finish(shared, job, resp, Outcome::Ok);
+}
+
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(batch) = shared.queue.pop_batch(shared.config.max_batch) {
+        let t_pop = shared.clock.now_ns();
         shared.m.queue_depth.set(shared.queue.len() as f64);
         if let Some(ms) = shared.fault.slow_worker_ms() {
             thread::sleep(Duration::from_millis(ms));
@@ -672,40 +888,60 @@ fn worker_loop(shared: &Arc<Shared>) {
         // while queued is answered without paying for inference.
         let now = Instant::now();
         let mut live = Vec::with_capacity(batch.len());
-        for job in batch {
+        let mut expired = Vec::new();
+        for mut job in batch {
+            job.rec
+                .mark(Stage::QueueWait, t_pop.saturating_sub(job.queued_ns));
+            job.rec.deadline_slack_ns = slack_ns(job.deadline, now);
             if job.deadline <= now {
-                shared.m.deadline_miss.inc();
-                let resp = Response::Error {
-                    id: job.id,
-                    code: ErrorCode::Deadline,
-                    msg: "deadline expired while queued".into(),
-                };
-                respond(shared, &job, resp);
+                expired.push(job);
             } else {
                 live.push(job);
             }
         }
+        let t_formed = shared.clock.now_ns();
+        let batch_ns = t_formed.saturating_sub(t_pop);
+        for mut job in expired {
+            shared.m.deadline_miss.inc();
+            // The timeline is complete and truthful: the job reached
+            // batch formation, and zero nanoseconds went to dispatch
+            // or inference.
+            job.rec.mark(Stage::Batch, batch_ns);
+            job.rec.mark(Stage::Dispatch, 0);
+            job.rec.mark(Stage::Inference, 0);
+            job.rec.degraded = shared.degrade.is_degraded();
+            let resp = Response::Error {
+                id: job.id,
+                code: ErrorCode::Deadline,
+                msg: "deadline expired while queued".into(),
+            };
+            finish(shared, job, resp, Outcome::Deadline);
+        }
         if live.is_empty() {
             continue;
         }
-        shared.m.batch_fill.observe(live.len() as f64);
+        let batch_size = live.len() as u32;
+        shared.m.batch_fill.observe(f64::from(batch_size));
         let degraded = shared.degrade.is_degraded();
         let (model, generation) = shared.slot.current();
+        let levels = model.levels().max(1) as u8;
+        let t_dispatched = shared.clock.now_ns();
+        for job in &mut live {
+            job.rec.mark(Stage::Batch, batch_ns);
+            job.rec
+                .mark(Stage::Dispatch, t_dispatched.saturating_sub(t_formed));
+            job.rec.batch_size = batch_size;
+        }
         match run_batch(shared, &model, generation, &live, degraded) {
             Ok(results) => {
+                let infer_ns = shared.clock.now_ns().saturating_sub(t_dispatched);
                 handle_verdict(
                     shared,
                     shared.monitor.record(&shared.slot, generation, true),
                 );
-                for (job, r) in live.iter().zip(results) {
-                    let resp = Response::Classify {
-                        id: job.id,
-                        hotspot: r.hotspot,
-                        margin: r.margin,
-                        degraded,
-                        escalated: r.escalated,
-                    };
-                    respond(shared, job, resp);
+                for (mut job, r) in live.into_iter().zip(results) {
+                    job.rec.mark(Stage::Inference, infer_ns);
+                    finish_classified(shared, job, &r, degraded, levels);
                 }
             }
             Err(()) => {
@@ -717,25 +953,25 @@ fn worker_loop(shared: &Arc<Shared>) {
                 // Panic isolation: retry each job alone (against the
                 // *current* model — a rollback may just have happened)
                 // so only the culpable request fails.
-                for job in &live {
+                for mut job in live {
                     let (model, generation) = shared.slot.current();
+                    let levels = model.levels().max(1) as u8;
                     match run_batch(
                         shared,
                         &model,
                         generation,
-                        std::slice::from_ref(job),
+                        std::slice::from_ref(&job),
                         degraded,
                     ) {
                         Ok(mut results) => {
                             let r = results.pop().expect("one result for one job");
-                            let resp = Response::Classify {
-                                id: job.id,
-                                hotspot: r.hotspot,
-                                margin: r.margin,
-                                degraded,
-                                escalated: r.escalated,
-                            };
-                            respond(shared, job, resp);
+                            // Inference cost includes the failed batch
+                            // attempt this clip was part of.
+                            job.rec.mark(
+                                Stage::Inference,
+                                shared.clock.now_ns().saturating_sub(t_dispatched),
+                            );
+                            finish_classified(shared, job, &r, degraded, levels);
                         }
                         Err(()) => {
                             shared.m.panics.inc();
@@ -743,12 +979,17 @@ fn worker_loop(shared: &Arc<Shared>) {
                                 shared,
                                 shared.monitor.record(&shared.slot, generation, false),
                             );
+                            job.rec.mark(
+                                Stage::Inference,
+                                shared.clock.now_ns().saturating_sub(t_dispatched),
+                            );
+                            job.rec.degraded = degraded;
                             let resp = Response::Error {
                                 id: job.id,
                                 code: ErrorCode::Internal,
                                 msg: "worker panicked while classifying this clip".into(),
                             };
-                            respond(shared, job, resp);
+                            finish(shared, job, resp, Outcome::Internal);
                         }
                     }
                 }
@@ -764,6 +1005,9 @@ fn handle_verdict(shared: &Shared, verdict: SwapVerdict) {
     } = verdict
     {
         shared.m.rollbacks.inc();
+        // A rollback changes the serving model too: recollect the
+        // drift baseline against the restored generation.
+        shared.drift.rebaseline();
         trace::dispatch_event(
             "serve.rollback",
             &[
@@ -795,14 +1039,7 @@ fn run_batch(
         if shared.fault.is_poisoned_generation(generation) {
             panic!("injected fault: poisoned model generation {generation}");
         }
-        let results = classify_batch(
-            model,
-            jobs,
-            degraded,
-            shared.config.cascade_threshold,
-            shared.config.input_size,
-            &mut ws,
-        );
+        let results = classify_batch(shared, model, jobs, degraded, &mut ws);
         (results, ws)
     }));
     match outcome {
@@ -824,13 +1061,14 @@ fn run_batch(
 /// inputs).  While degraded — or for M = 1 models — only the triage
 /// pass runs.
 fn classify_batch(
+    shared: &Shared,
     model: &PackedBnn,
     jobs: &[Job],
     degraded: bool,
-    threshold: f32,
-    side: usize,
     ws: &mut Workspace,
 ) -> Vec<ClipResult> {
+    let side = shared.config.input_size;
+    let threshold = shared.config.cascade_threshold;
     let plane = side * side;
     let n = jobs.len();
     let triage = model.plan_capped((side, side), 1);
@@ -839,7 +1077,13 @@ fn classify_batch(
         input[i * plane..(i + 1) * plane].copy_from_slice(&job.input);
     }
     let mut logits = ws.take_f32(n * 2);
-    triage.run_into(&input, n, ws, &mut logits);
+    if shared.config.profile_layers {
+        let mut prof = triage.profiler();
+        triage.run_into_profiled(&input, n, ws, &mut logits, &mut prof);
+        prof.export_to(&shared.registry, "serve_layer_triage", "slot");
+    } else {
+        triage.run_into(&input, n, ws, &mut logits);
+    }
     let mut results: Vec<ClipResult> = (0..n)
         .map(|i| {
             let margin = logits[2 * i + 1] - logits[2 * i];
@@ -868,7 +1112,13 @@ fn classify_batch(
                     .copy_from_slice(&input[i * plane..(i + 1) * plane]);
             }
             let mut clogits = ws.take_f32(m * 2);
-            confirm.run_into(&cinput, m, ws, &mut clogits);
+            if shared.config.profile_layers {
+                let mut prof = confirm.profiler();
+                confirm.run_into_profiled(&cinput, m, ws, &mut clogits, &mut prof);
+                prof.export_to(&shared.registry, "serve_layer_confirm", "slot");
+            } else {
+                confirm.run_into(&cinput, m, ws, &mut clogits);
+            }
             for (slot, &i) in flagged.iter().enumerate() {
                 let margin = clogits[2 * slot + 1] - clogits[2 * slot];
                 results[i] = ClipResult {
@@ -882,5 +1132,23 @@ fn classify_batch(
         }
     }
     ws.give_f32(input);
+    // Stitch the batch into the trace stream: the first clip's trace
+    // id anchors this event to the per-request timelines in the
+    // flight recorder.
+    trace::dispatch_event(
+        "serve.batch",
+        &[
+            (
+                "first_trace_id",
+                trace::Value::from(jobs.first().map_or(0, |j| j.rec.trace_id)),
+            ),
+            ("clips", trace::Value::from(n)),
+            (
+                "escalated",
+                trace::Value::from(results.iter().filter(|r| r.escalated).count()),
+            ),
+            ("degraded", trace::Value::from(degraded)),
+        ],
+    );
     results
 }

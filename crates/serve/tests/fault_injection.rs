@@ -88,6 +88,7 @@ fn expired_deadlines_get_typed_rejections_not_silence() {
                 width: SIDE as u32,
                 height: SIDE as u32,
                 words: clip(id).as_words().to_vec(),
+                trace_id: 0,
             })
             .unwrap();
     }
@@ -132,6 +133,7 @@ fn overload_sheds_with_typed_overloaded_and_answers_everything() {
                 width: SIDE as u32,
                 height: SIDE as u32,
                 words: clip(id).as_words().to_vec(),
+                trace_id: 0,
             })
             .unwrap();
     }
@@ -180,6 +182,7 @@ fn sustained_overload_degrades_to_triage_and_recovers_with_hysteresis() {
                 width: SIDE as u32,
                 height: SIDE as u32,
                 words: clip(id).as_words().to_vec(),
+                trace_id: 0,
             })
             .unwrap();
     }
@@ -249,6 +252,7 @@ fn a_poisoned_request_fails_alone_and_its_batchmates_still_get_answers() {
                 width: SIDE as u32,
                 height: SIDE as u32,
                 words: clip(id).as_words().to_vec(),
+                trace_id: 0,
             })
             .unwrap();
     }
@@ -327,6 +331,7 @@ fn corrupt_truncated_and_oversized_frames_are_contained() {
             width: SIDE as u32,
             height: SIDE as u32,
             words: vec![0; 3], // far too few words for 32x32
+            trace_id: 0,
         })
         .unwrap()
     {
@@ -344,6 +349,7 @@ fn corrupt_truncated_and_oversized_frames_are_contained() {
             width: 16,
             height: 16,
             words: vec![0; 4],
+            trace_id: 0,
         })
         .unwrap()
     {
@@ -490,6 +496,7 @@ fn shutdown_drains_in_flight_requests_and_flushes_the_rest_typed() {
                 width: SIDE as u32,
                 height: SIDE as u32,
                 words: clip(id).as_words().to_vec(),
+                trace_id: 0,
             })
             .unwrap();
     }
@@ -516,22 +523,65 @@ fn shutdown_drains_in_flight_requests_and_flushes_the_rest_typed() {
     assert_eq!(shut, report.flushed);
 }
 
-#[test]
-fn http_scrape_on_the_same_listener_returns_prometheus_text() {
+/// Issues one HTTP request on the serving port and returns the full
+/// response text (status line + headers + body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
     use std::io::{Read as _, Write as _};
-    let server = Server::start(ServeConfig::new(SIDE), model(13)).unwrap();
-    // Generate a little traffic first.
-    let mut client = ServeClient::connect(server.addr()).unwrap();
-    let _ = client.classify(1, &clip(1), 5_000).unwrap();
-
-    let mut http = std::net::TcpStream::connect(server.addr()).unwrap();
-    http.write_all(b"GET /metrics HTTP/1.0\r\nHost: localhost\r\n\r\n")
+    let mut http = std::net::TcpStream::connect(addr).unwrap();
+    http.write_all(format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").as_bytes())
         .unwrap();
     let mut body = String::new();
     http.read_to_string(&mut body).unwrap();
-    assert!(body.starts_with("HTTP/1.0 200 OK"), "{body}");
-    assert!(body.contains("serve_requests_total"), "{body}");
-    assert!(body.contains("serve_latency_ns"), "{body}");
+    body
+}
+
+#[test]
+fn http_endpoints_on_the_same_listener_route_by_path() {
+    let server = Server::start(ServeConfig::new(SIDE), model(13)).unwrap();
+    // Generate a little traffic first, with a known trace id.
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let resp = client.classify_traced(1, &clip(1), 5_000, 0xABCD).unwrap();
+    match resp {
+        Response::Classify { trace_id, .. } => {
+            assert_eq!(trace_id, 0xABCD, "server echoes the client's trace id");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // /metrics: Prometheus text with proper HTTP/1.1 framing headers,
+    // including the rolling-window gauges.
+    let scrape = http_get(server.addr(), "/metrics");
+    assert!(scrape.starts_with("HTTP/1.1 200 OK"), "{scrape}");
+    assert!(scrape.contains("Content-Length:"), "{scrape}");
+    assert!(scrape.contains("serve_requests_total"), "{scrape}");
+    assert!(scrape.contains("serve_latency_ns"), "{scrape}");
+    assert!(scrape.contains("serve_latency_window_p99_ns"), "{scrape}");
+    assert!(scrape.contains("serve_request_rate_per_sec"), "{scrape}");
+    assert!(scrape.contains("serve_drift_divergence"), "{scrape}");
+
+    // /healthz: liveness JSON with queue depth and degrade state.
+    let health = http_get(server.addr(), "/healthz");
+    assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+    assert!(health.contains("\"queue_depth\":"), "{health}");
+    assert!(health.contains("\"degraded\":false"), "{health}");
+
+    // /debug/requests: the flight recorder as JSONL, containing the
+    // traced request's complete timeline.
+    let dump = http_get(server.addr(), "/debug/requests");
+    assert!(dump.starts_with("HTTP/1.1 200 OK"), "{dump}");
+    let line = dump
+        .lines()
+        .find(|l| l.contains("\"trace_id\":\"000000000000abcd\""))
+        .unwrap_or_else(|| panic!("traced request not in dump: {dump}"));
+    let rec = hotspot_telemetry::RequestRecord::parse_jsonl(line).unwrap();
+    assert!(rec.complete_timeline(), "all six stages recorded: {line}");
+    assert_eq!(rec.request_id, 1);
+
+    // Unknown paths are 404, not a metrics dump.
+    let missing = http_get(server.addr(), "/nope");
+    assert!(missing.starts_with("HTTP/1.1 404 Not Found"), "{missing}");
+    assert!(!missing.contains("serve_requests_total"), "{missing}");
 
     // The binary-protocol metrics frame carries the same registry.
     let text = client.metrics_text().unwrap();

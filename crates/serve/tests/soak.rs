@@ -10,10 +10,11 @@ use hotspot_bnn::{BnnResNet, NetConfig, PackedBnn};
 use hotspot_core::persist::save_model;
 use hotspot_geometry::BitImage;
 use hotspot_serve::{ErrorCode, Response, ServeClient, ServeConfig, Server};
+use hotspot_telemetry::Outcome;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 const SIDE: usize = 32;
@@ -22,6 +23,13 @@ const PER_CLIENT: u64 = 150;
 /// One request is poisoned to panic its worker batch mid-run; its
 /// typed Internal response still counts as answered.
 const POISONED_ID: u64 = 2 * 10_000 + 77;
+
+/// Client-chosen trace ids: nonzero and collision-free across clients,
+/// so every request is retrievable from the flight recorder by an id
+/// the test knows in advance.
+fn trace_of(id: u64) -> u64 {
+    0x5000_0000 + id
+}
 
 fn model(seed: u64) -> PackedBnn {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -55,6 +63,9 @@ fn soak_zero_lost_responses_across_swap_and_panic() {
     let answered = Arc::new(AtomicU64::new(0));
     let internals = Arc::new(AtomicU64::new(0));
     let rejected = Arc::new(AtomicU64::new(0));
+    // Request ids by outcome class, for the flight-recorder audit below.
+    let classified_ids = Arc::new(Mutex::new(Vec::new()));
+    let rejected_ids = Arc::new(Mutex::new(Vec::new()));
 
     let clients: Vec<_> = (0..CLIENTS)
         .map(|t| {
@@ -62,6 +73,8 @@ fn soak_zero_lost_responses_across_swap_and_panic() {
             let answered = Arc::clone(&answered);
             let internals = Arc::clone(&internals);
             let rejected = Arc::clone(&rejected);
+            let classified_ids = Arc::clone(&classified_ids);
+            let rejected_ids = Arc::clone(&rejected_ids);
             std::thread::Builder::new()
                 .name(format!("soak-client-{t}"))
                 .spawn(move || {
@@ -72,12 +85,20 @@ fn soak_zero_lost_responses_across_swap_and_panic() {
                         // enough that it may (or may not) expire.
                         let deadline_ms = if i % 9 == 8 { 2 } else { 10_000 };
                         let resp = client
-                            .classify(id, &clip(id), deadline_ms)
+                            .classify_traced(id, &clip(id), deadline_ms, trace_of(id))
                             .unwrap_or_else(|e| panic!("client {t} req {id}: transport {e}"));
                         match resp {
-                            Response::Classify { id: rid, .. } => {
+                            Response::Classify {
+                                id: rid, trace_id, ..
+                            } => {
                                 assert_eq!(rid, id, "response id matches request id");
+                                assert_eq!(
+                                    trace_id,
+                                    trace_of(id),
+                                    "response echoes the client's trace id"
+                                );
                                 answered.fetch_add(1, Ordering::Relaxed);
+                                classified_ids.lock().unwrap().push(id);
                             }
                             Response::Error { id: rid, code, .. } => {
                                 assert_eq!(rid, id);
@@ -91,6 +112,7 @@ fn soak_zero_lost_responses_across_swap_and_panic() {
                                     }
                                     ErrorCode::Deadline | ErrorCode::Overloaded => {
                                         rejected.fetch_add(1, Ordering::Relaxed);
+                                        rejected_ids.lock().unwrap().push(id);
                                     }
                                     other => panic!("req {id}: unexpected error {other}"),
                                 }
@@ -158,6 +180,56 @@ fn soak_zero_lost_responses_across_swap_and_panic() {
         responses >= total,
         "responses_total={responses} total={total}"
     );
+
+    // Flight-recorder audit: every request the clients sent is
+    // retrievable by its trace id.  Classified requests must carry a
+    // complete six-stage timeline (admission → queue wait → batch →
+    // dispatch → inference → reply) plus the M-level the cascade
+    // spent; deadline-missed requests keep a complete (zero-inference)
+    // timeline and a non-positive slack.  A record is filed just after
+    // the reply is handed to the writer, so poll briefly like the
+    // counter above.
+    let flight = server.flight();
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while flight.total_recorded() < total && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for &id in classified_ids.lock().unwrap().iter() {
+        let rec = flight
+            .find(trace_of(id))
+            .unwrap_or_else(|| panic!("classified req {id} missing from the flight recorder"));
+        assert_eq!(rec.request_id, id);
+        assert_eq!(rec.outcome, Outcome::Ok, "req {id}: {rec:?}");
+        assert!(
+            rec.complete_timeline(),
+            "req {id}: incomplete stage timeline {rec:?}"
+        );
+        assert!(rec.m_level >= 1, "req {id}: M-level not recorded {rec:?}");
+        assert!(rec.batch_size >= 1, "req {id}: batch size missing {rec:?}");
+    }
+    for &id in rejected_ids.lock().unwrap().iter() {
+        let rec = flight
+            .find(trace_of(id))
+            .unwrap_or_else(|| panic!("rejected req {id} missing from the flight recorder"));
+        assert!(
+            matches!(rec.outcome, Outcome::Deadline | Outcome::Shed),
+            "req {id}: {rec:?}"
+        );
+        if rec.outcome == Outcome::Deadline {
+            assert!(rec.complete_timeline(), "deadline req {id}: {rec:?}");
+            assert!(
+                rec.deadline_slack_ns <= 0,
+                "deadline req {id} kept positive slack: {rec:?}"
+            );
+        }
+    }
+    // The poisoned request's typed Internal answer went through real
+    // (panicking) inference — its timeline is complete too.
+    let poisoned = flight
+        .find(trace_of(POISONED_ID))
+        .expect("poisoned request recorded");
+    assert_eq!(poisoned.outcome, Outcome::Internal);
+    assert!(poisoned.complete_timeline(), "{poisoned:?}");
 
     let _ = std::fs::remove_file(&artifact);
     let server = Arc::try_unwrap(server)

@@ -1,0 +1,551 @@
+//! A lock-light flight recorder: the last N completed requests, each
+//! with a per-stage timeline, in a fixed-capacity ring buffer.
+//!
+//! Cumulative counters answer "how many requests missed their
+//! deadline"; the flight recorder answers "*why did request 0x4f3a
+//! miss its deadline*" — it keeps one [`RequestRecord`] per completed
+//! request (queue wait, batch size, M-level used, deadline slack,
+//! outcome, per-stage durations), keyed by a compact trace ID minted
+//! at admission (or accepted from the client).
+//!
+//! The recorder is built for the serving hot path:
+//!
+//! * **Zero steady-state allocation** — [`RequestRecord`] is `Copy`,
+//!   the ring is allocated once at construction, and
+//!   [`record`](FlightRecorder::record) copies the record into a
+//!   pre-existing slot (enforced by a counting-allocator test).
+//! * **Lock-light** — one short mutex hold per record/lookup; the
+//!   critical section is a fixed-size memcpy, never an allocation or a
+//!   syscall.
+//! * **Dumpable** — [`to_jsonl`](FlightRecorder::to_jsonl) renders the
+//!   ring oldest-first as JSON lines (the `GET /debug/requests` body),
+//!   and [`RequestRecord::parse_jsonl`] reads a line back, so the
+//!   `trace_dump` analyzer round-trips without an external JSON crate.
+
+use crate::json::push_str_literal;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Mints a process-unique trace ID (non-zero, monotonically
+/// increasing).  Zero is reserved to mean "no trace ID yet" on the
+/// wire, so admission can tell a client-supplied ID from an absent one.
+pub fn next_trace_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The stages of a request's life, in pipeline order.  Indexes into
+/// [`RequestRecord::stage_ns`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Stage {
+    /// Frame decode, validation, and input conversion, up to the queue
+    /// push.
+    Admission = 0,
+    /// Sitting in the bounded queue waiting for a worker.
+    QueueWait = 1,
+    /// Batch formation: from the worker's pop to the start of dispatch
+    /// checks.
+    Batch = 2,
+    /// Dispatch checks (deadline enforcement, model fetch) before
+    /// inference starts.
+    Dispatch = 3,
+    /// The inference pass (triage, plus confirmation when escalated).
+    Inference = 4,
+    /// Encoding and handing the response to the connection writer.
+    Reply = 5,
+}
+
+/// Number of stages tracked per request.
+pub const STAGE_COUNT: usize = 6;
+
+/// Stage names in index order (JSONL keys and analyzer labels).
+pub const STAGE_NAMES: [&str; STAGE_COUNT] = [
+    "admission",
+    "queue_wait",
+    "batch",
+    "dispatch",
+    "inference",
+    "reply",
+];
+
+/// How a request left the system.  The numeric value is stable (it is
+/// what the JSONL dump carries alongside the name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
+pub enum Outcome {
+    /// Classified and answered.
+    #[default]
+    Ok = 0,
+    /// Deadline expired while queued; answered without inference.
+    Deadline = 1,
+    /// Shed at admission (queue full).
+    Shed = 2,
+    /// The worker panicked on this request.
+    Internal = 3,
+    /// Flushed during shutdown.
+    Shutdown = 4,
+}
+
+impl Outcome {
+    /// The kebab-case name used in dumps and metrics labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Ok => "ok",
+            Outcome::Deadline => "deadline",
+            Outcome::Shed => "shed",
+            Outcome::Internal => "internal",
+            Outcome::Shutdown => "shutdown",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "ok" => Outcome::Ok,
+            "deadline" => Outcome::Deadline,
+            "shed" => Outcome::Shed,
+            "internal" => Outcome::Internal,
+            "shutdown" => Outcome::Shutdown,
+            _ => return None,
+        })
+    }
+}
+
+/// One completed request's timeline.  `Copy` and heap-free by
+/// construction, so recording is a fixed-size memcpy.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RequestRecord {
+    /// The trace ID stitching this request across subsystems (non-zero
+    /// once admitted).
+    pub trace_id: u64,
+    /// The client-chosen request ID echoed in the response.
+    pub request_id: u64,
+    /// Clock timestamp at admission, nanoseconds.
+    pub admitted_ns: u64,
+    /// Per-stage durations in nanoseconds, indexed by [`Stage`].  Only
+    /// meaningful where the matching [`stages_recorded`]
+    /// (RequestRecord::stages_recorded) bit is set — a stage can
+    /// legitimately take 0 ns.
+    pub stage_ns: [u64; STAGE_COUNT],
+    /// Bitmask of recorded stages (bit `Stage as usize`).
+    pub stages_recorded: u8,
+    /// Jobs in the batch this request was dispatched with (0 when it
+    /// never reached a worker).
+    pub batch_size: u32,
+    /// Residual binarization levels actually spent on this request
+    /// (1 = triage only; the model's full M when escalated).
+    pub m_level: u8,
+    /// `true` when the cascade escalated this request to the full
+    /// confirmation pass.
+    pub escalated: bool,
+    /// `true` when the server was in triage-only degradation.
+    pub degraded: bool,
+    /// Remaining deadline budget at dispatch, nanoseconds (negative =
+    /// the deadline had already expired).
+    pub deadline_slack_ns: i64,
+    /// How the request left the system.
+    pub outcome: Outcome,
+}
+
+impl RequestRecord {
+    /// A blank record for `trace_id`/`request_id`, stamped `admitted_ns`.
+    pub fn new(trace_id: u64, request_id: u64, admitted_ns: u64) -> Self {
+        RequestRecord {
+            trace_id,
+            request_id,
+            admitted_ns,
+            ..RequestRecord::default()
+        }
+    }
+
+    /// Credits `ns` to `stage` and marks it recorded.
+    #[inline]
+    pub fn mark(&mut self, stage: Stage, ns: u64) {
+        self.stage_ns[stage as usize] = ns;
+        self.stages_recorded |= 1 << stage as usize;
+    }
+
+    /// `true` when `stage` was recorded.
+    pub fn has_stage(&self, stage: Stage) -> bool {
+        self.stages_recorded & (1 << stage as usize) != 0
+    }
+
+    /// `true` when every stage from admission through reply was
+    /// recorded — the invariant for requests that completed inference.
+    pub fn complete_timeline(&self) -> bool {
+        self.stages_recorded == (1 << STAGE_COUNT) - 1
+    }
+
+    /// Sum of all recorded stage durations.
+    pub fn total_ns(&self) -> u64 {
+        self.stage_ns.iter().sum()
+    }
+
+    /// Appends this record as one JSON object (no trailing newline).
+    pub fn to_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"trace_id\":\"{:016x}\",\"request_id\":{},\"admitted_ns\":{}",
+            self.trace_id, self.request_id, self.admitted_ns
+        );
+        out.push_str(",\"stages\":{");
+        let mut first = true;
+        for (i, name) in STAGE_NAMES.iter().enumerate() {
+            if self.stages_recorded & (1 << i) == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{name}\":{}", self.stage_ns[i]);
+        }
+        let _ = write!(
+            out,
+            "}},\"batch_size\":{},\"m_level\":{},\"escalated\":{},\"degraded\":{},\
+             \"deadline_slack_ns\":{},\"outcome\":",
+            self.batch_size, self.m_level, self.escalated, self.degraded, self.deadline_slack_ns
+        );
+        push_str_literal(out, self.outcome.name());
+        let _ = write!(out, ",\"total_ns\":{}}}", self.total_ns());
+    }
+
+    /// Parses one JSONL line produced by [`to_json`](Self::to_json)
+    /// back into a record (`total_ns` is derived, not read).  Returns
+    /// `None` on anything that does not look like a record line.
+    ///
+    /// This is a schema-specific reader, not a general JSON parser —
+    /// exactly enough for the `trace_dump` analyzer to consume
+    /// `/debug/requests` dumps offline.
+    pub fn parse_jsonl(line: &str) -> Option<Self> {
+        let mut rec = RequestRecord {
+            trace_id: u64::from_str_radix(extract_str(line, "trace_id")?, 16).ok()?,
+            request_id: extract_num(line, "request_id")?,
+            admitted_ns: extract_num(line, "admitted_ns")?,
+            batch_size: extract_num(line, "batch_size")? as u32,
+            m_level: extract_num(line, "m_level")? as u8,
+            escalated: extract_bool(line, "escalated")?,
+            degraded: extract_bool(line, "degraded")?,
+            deadline_slack_ns: extract_inum(line, "deadline_slack_ns")?,
+            outcome: Outcome::from_name(extract_str(line, "outcome")?)?,
+            ..RequestRecord::default()
+        };
+        let stages_start = line.find("\"stages\":{")? + "\"stages\":{".len();
+        let stages = &line[stages_start..line[stages_start..].find('}')? + stages_start];
+        for (i, name) in STAGE_NAMES.iter().enumerate() {
+            if let Some(ns) = extract_num(stages, name) {
+                rec.stage_ns[i] = ns;
+                rec.stages_recorded |= 1 << i;
+            }
+        }
+        Some(rec)
+    }
+}
+
+/// `"key":<digits>` → the digits, parsed.
+fn extract_num(s: &str, key: &str) -> Option<u64> {
+    extract_raw(s, key)?.parse().ok()
+}
+
+/// `"key":<maybe-negative digits>` → the number.
+fn extract_inum(s: &str, key: &str) -> Option<i64> {
+    extract_raw(s, key)?.parse().ok()
+}
+
+/// `"key":true|false` → the bool.
+fn extract_bool(s: &str, key: &str) -> Option<bool> {
+    match extract_raw(s, key)? {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
+}
+
+/// `"key":"value"` → the value (no unescaping: record strings are
+/// restricted to hex digits and kebab-case names).
+fn extract_str<'a>(s: &'a str, key: &str) -> Option<&'a str> {
+    let raw = extract_raw(s, key)?;
+    raw.strip_prefix('"')?.strip_suffix('"')
+}
+
+/// The raw token following `"key":`, up to the next `,`, `}` — with
+/// string values kept intact.
+fn extract_raw<'a>(s: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = s.find(&pat)? + pat.len();
+    let rest = &s[start..];
+    let end = if let Some(inner) = rest.strip_prefix('"') {
+        inner.find('"')? + 2
+    } else {
+        rest.find([',', '}']).unwrap_or(rest.len())
+    };
+    Some(&rest[..end])
+}
+
+struct Ring {
+    slots: Vec<RequestRecord>,
+    /// Next slot to overwrite.
+    head: usize,
+    /// Records written so far, saturating at capacity.
+    filled: usize,
+    /// Total records ever written (diagnostic: `total - filled` have
+    /// been overwritten).
+    total: u64,
+}
+
+/// A fixed-capacity ring buffer of completed [`RequestRecord`]s (see
+/// module docs).
+pub struct FlightRecorder {
+    ring: Mutex<Ring>,
+    capacity: usize,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the most recent `capacity` records.  All
+    /// memory is allocated here, up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder capacity must be positive");
+        FlightRecorder {
+            ring: Mutex::new(Ring {
+                slots: vec![RequestRecord::default(); capacity],
+                head: 0,
+                filled: 0,
+                total: 0,
+            }),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Ring> {
+        self.ring.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Stores `rec`, overwriting the oldest record once full.  The
+    /// critical section is a fixed-size copy — no allocation.
+    pub fn record(&self, rec: RequestRecord) {
+        let mut ring = self.lock();
+        let head = ring.head;
+        ring.slots[head] = rec;
+        ring.head = (head + 1) % self.capacity;
+        ring.filled = (ring.filled + 1).min(self.capacity);
+        ring.total += 1;
+    }
+
+    /// The most recent record for `trace_id`, if still in the ring.
+    /// Copies the record out; no allocation.
+    pub fn find(&self, trace_id: u64) -> Option<RequestRecord> {
+        if trace_id == 0 {
+            return None;
+        }
+        let ring = self.lock();
+        // Scan newest-first so a reused trace ID resolves to its latest
+        // flight.
+        (1..=ring.filled)
+            .map(|i| ring.slots[(ring.head + self.capacity - i) % self.capacity])
+            .find(|r| r.trace_id == trace_id)
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        self.lock().filled
+    }
+
+    /// `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total records ever written (overwritten ones included).
+    pub fn total_recorded(&self) -> u64 {
+        self.lock().total
+    }
+
+    /// A point-in-time copy of the ring, oldest first.  Allocates (it
+    /// is a dump path, not a hot path).
+    pub fn snapshot(&self) -> Vec<RequestRecord> {
+        let ring = self.lock();
+        (0..ring.filled)
+            .map(|i| ring.slots[(ring.head + self.capacity - ring.filled + i) % self.capacity])
+            .collect()
+    }
+
+    /// The ring as JSON lines, oldest first — the `/debug/requests`
+    /// body.
+    pub fn to_jsonl(&self) -> String {
+        let records = self.snapshot();
+        let mut out = String::with_capacity(records.len() * 256);
+        for rec in &records {
+            rec.to_json(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ring = self.lock();
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity)
+            .field("filled", &ring.filled)
+            .field("total", &ring.total)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(trace_id: u64, outcome: Outcome) -> RequestRecord {
+        let mut r = RequestRecord::new(trace_id, trace_id * 10, 1_000 + trace_id);
+        r.mark(Stage::Admission, 100);
+        r.mark(Stage::QueueWait, 2_000);
+        r.mark(Stage::Batch, 50);
+        r.mark(Stage::Dispatch, 10);
+        r.mark(Stage::Inference, 40_000);
+        r.mark(Stage::Reply, 300);
+        r.batch_size = 4;
+        r.m_level = 2;
+        r.escalated = true;
+        r.deadline_slack_ns = 5_000_000;
+        r.outcome = outcome;
+        r
+    }
+
+    #[test]
+    fn minted_trace_ids_are_unique_and_nonzero() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn stages_mark_and_complete() {
+        let mut r = RequestRecord::new(1, 2, 3);
+        assert!(!r.complete_timeline());
+        r.mark(Stage::Admission, 0); // 0 ns still counts as recorded
+        assert!(r.has_stage(Stage::Admission));
+        assert!(!r.has_stage(Stage::Reply));
+        for s in [
+            Stage::QueueWait,
+            Stage::Batch,
+            Stage::Dispatch,
+            Stage::Inference,
+            Stage::Reply,
+        ] {
+            r.mark(s, 7);
+        }
+        assert!(r.complete_timeline());
+        assert_eq!(r.total_ns(), 35);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_snapshot_orders_oldest_first() {
+        let fr = FlightRecorder::new(3);
+        assert!(fr.is_empty());
+        for id in 1..=5u64 {
+            fr.record(rec(id, Outcome::Ok));
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.capacity(), 3);
+        assert_eq!(fr.total_recorded(), 5);
+        let ids: Vec<u64> = fr.snapshot().iter().map(|r| r.trace_id).collect();
+        assert_eq!(ids, vec![3, 4, 5], "oldest two were overwritten");
+        assert!(fr.find(1).is_none(), "overwritten record is gone");
+        assert_eq!(fr.find(4).unwrap().request_id, 40);
+        assert!(fr.find(0).is_none(), "zero is never a valid trace id");
+    }
+
+    #[test]
+    fn reused_trace_id_resolves_to_the_latest_flight() {
+        let fr = FlightRecorder::new(4);
+        let mut first = rec(9, Outcome::Deadline);
+        first.request_id = 1;
+        fr.record(first);
+        let mut second = rec(9, Outcome::Ok);
+        second.request_id = 2;
+        fr.record(second);
+        assert_eq!(fr.find(9).unwrap().request_id, 2);
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_field() {
+        let original = rec(0xABCD, Outcome::Internal);
+        let mut line = String::new();
+        original.to_json(&mut line);
+        let parsed = RequestRecord::parse_jsonl(&line).expect("parse back");
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn jsonl_round_trips_partial_timelines_and_negative_slack() {
+        let mut r = RequestRecord::new(7, 70, 500);
+        r.mark(Stage::Admission, 120);
+        r.mark(Stage::QueueWait, 9_999);
+        r.mark(Stage::Reply, 80);
+        r.deadline_slack_ns = -1_234;
+        r.outcome = Outcome::Deadline;
+        let mut line = String::new();
+        r.to_json(&mut line);
+        let parsed = RequestRecord::parse_jsonl(&line).expect("parse back");
+        assert_eq!(parsed, r);
+        assert!(!parsed.complete_timeline());
+        assert!(parsed.has_stage(Stage::QueueWait));
+        assert!(!parsed.has_stage(Stage::Inference));
+    }
+
+    #[test]
+    fn dump_is_one_line_per_record() {
+        let fr = FlightRecorder::new(8);
+        for id in 1..=4u64 {
+            fr.record(rec(id, Outcome::Ok));
+        }
+        let dump = fr.to_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for (i, line) in lines.iter().enumerate() {
+            let parsed = RequestRecord::parse_jsonl(line).expect("each line parses");
+            assert_eq!(parsed.trace_id, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn garbage_lines_do_not_parse() {
+        assert!(RequestRecord::parse_jsonl("").is_none());
+        assert!(RequestRecord::parse_jsonl("{}").is_none());
+        assert!(RequestRecord::parse_jsonl("not json at all").is_none());
+        assert!(RequestRecord::parse_jsonl("{\"trace_id\":\"zz\"}").is_none());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_no_capacity_invariants() {
+        let fr = std::sync::Arc::new(FlightRecorder::new(64));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let fr = fr.clone();
+                s.spawn(move || {
+                    for i in 0..200 {
+                        fr.record(rec(t * 1000 + i + 1, Outcome::Ok));
+                    }
+                });
+            }
+        });
+        assert_eq!(fr.len(), 64);
+        assert_eq!(fr.total_recorded(), 800);
+        let snap = fr.snapshot();
+        assert_eq!(snap.len(), 64);
+        assert!(snap.iter().all(|r| r.complete_timeline()));
+    }
+}

@@ -39,13 +39,18 @@
 //! ```
 
 pub mod clock;
+pub mod drift;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod subscribers;
 pub mod trace;
+pub mod window;
 
 pub use clock::{Clock, MockClock, MonotonicClock, Timer};
+pub use drift::{DriftConfig, DriftMonitor, DriftReport};
+pub use flight::{next_trace_id, FlightRecorder, Outcome, RequestRecord, Stage, STAGE_NAMES};
 pub use metrics::{
     depth_buckets, duration_ns_buckets, exponential_buckets, serving_latency_ns_buckets, Counter,
     Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
@@ -53,3 +58,4 @@ pub use metrics::{
 pub use profile::{SlotProfiler, SlotTiming};
 pub use subscribers::{CollectingSubscriber, JsonlSubscriber, Record, StderrSubscriber};
 pub use trace::{SpanGuard, Subscriber, Value};
+pub use window::WindowedHistogram;

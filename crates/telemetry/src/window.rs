@@ -1,0 +1,327 @@
+//! Rolling-window metrics: a ring of time buckets over a fixed-bucket
+//! histogram, answering "what was p99 over the *last N seconds*"
+//! alongside the cumulative histograms' "since the process started".
+//!
+//! A [`WindowedHistogram`] divides time into `slices` contiguous
+//! spans of `slice_ns` each.  Every observation lands in the slice
+//! covering "now"; a slice whose span has rotated out of the window is
+//! reset in place and reused — so after construction the structure
+//! never allocates, and the window slides with at most one slice of
+//! quantisation error.  [`snapshot`](WindowedHistogram::snapshot)
+//! merges the live slices into an ordinary
+//! [`HistogramSnapshot`](crate::metrics::HistogramSnapshot), so all
+//! the quantile math is shared with the cumulative path.
+//!
+//! Time comes from a [`Clock`], so tests drive the window with a
+//! [`MockClock`](crate::clock::MockClock) and assert exact expiry
+//! instead of sleeping.
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::metrics::HistogramSnapshot;
+use std::sync::{Arc, Mutex};
+
+struct Slice {
+    /// Which absolute time slice (now_ns / slice_ns) this data belongs
+    /// to; data from an older epoch is expired, not merged.
+    epoch: u64,
+    counts: Vec<u64>,
+    sum: f64,
+    total: u64,
+}
+
+struct State {
+    slices: Vec<Slice>,
+}
+
+/// A sliding-window histogram (see module docs).
+pub struct WindowedHistogram {
+    bounds: Vec<f64>,
+    slice_ns: u64,
+    n_slices: usize,
+    state: Mutex<State>,
+    clock: Arc<dyn Clock>,
+}
+
+impl WindowedHistogram {
+    /// A window of `slices × slice_ns` nanoseconds over `bounds`
+    /// (strictly increasing finite bucket bounds, +∞ implied), timed by
+    /// the real monotonic clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slices` or `slice_ns` is zero, or bounds are not
+    /// strictly increasing.
+    pub fn new(slices: usize, slice_ns: u64, bounds: &[f64]) -> Self {
+        Self::with_clock(slices, slice_ns, bounds, Arc::new(MonotonicClock))
+    }
+
+    /// As [`new`](Self::new), with an explicit clock.
+    pub fn with_clock(slices: usize, slice_ns: u64, bounds: &[f64], clock: Arc<dyn Clock>) -> Self {
+        assert!(slices > 0, "window needs at least one slice");
+        assert!(slice_ns > 0, "slice duration must be positive");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        WindowedHistogram {
+            bounds: bounds.to_vec(),
+            slice_ns,
+            n_slices: slices,
+            state: Mutex::new(State {
+                slices: (0..slices)
+                    .map(|_| Slice {
+                        epoch: u64::MAX,
+                        counts: vec![0; bounds.len() + 1],
+                        sum: 0.0,
+                        total: 0,
+                    })
+                    .collect(),
+            }),
+            clock,
+        }
+    }
+
+    /// The window length in nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.slice_ns * self.n_slices as u64
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Records one observation at the clock's current time.  Non-finite
+    /// values are dropped, like the cumulative histogram.  Allocation-
+    /// free: the slice ring is fixed at construction.
+    pub fn observe(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let epoch = self.clock.now_ns() / self.slice_ns;
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        let mut st = self.lock();
+        let slot = &mut st.slices[(epoch % self.n_slices as u64) as usize];
+        if slot.epoch != epoch {
+            // The slice's previous span rotated out of the window:
+            // reset in place and reuse.
+            slot.counts.iter_mut().for_each(|c| *c = 0);
+            slot.sum = 0.0;
+            slot.total = 0;
+            slot.epoch = epoch;
+        }
+        slot.counts[idx] += 1;
+        slot.sum += v;
+        slot.total += 1;
+    }
+
+    /// Merges the slices still inside the window into a point-in-time
+    /// [`HistogramSnapshot`] (allocates the snapshot; a dump/scrape
+    /// path).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let now_epoch = self.clock.now_ns() / self.slice_ns;
+        let oldest_live = now_epoch.saturating_sub(self.n_slices as u64 - 1);
+        let st = self.lock();
+        let mut counts = vec![0u64; self.bounds.len() + 1];
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        for slice in &st.slices {
+            if slice.epoch < oldest_live || slice.epoch > now_epoch {
+                continue;
+            }
+            for (acc, &c) in counts.iter_mut().zip(&slice.counts) {
+                *acc += c;
+            }
+            sum += slice.sum;
+            count += slice.total;
+        }
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts,
+            count,
+            sum,
+        }
+    }
+
+    /// Accumulates the live per-bucket counts into `acc` (which must
+    /// hold `bounds.len() + 1` slots) without allocating, and returns
+    /// the total observation count inside the window.  The
+    /// allocation-free sibling of [`snapshot`](Self::snapshot) for
+    /// hot-path consumers like the drift monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `acc` has the wrong length.
+    pub fn accumulate_counts(&self, acc: &mut [u64]) -> u64 {
+        assert_eq!(acc.len(), self.bounds.len() + 1, "accumulator shape");
+        let now_epoch = self.clock.now_ns() / self.slice_ns;
+        let oldest_live = now_epoch.saturating_sub(self.n_slices as u64 - 1);
+        let st = self.lock();
+        let mut count = 0u64;
+        for slice in &st.slices {
+            if slice.epoch < oldest_live || slice.epoch > now_epoch {
+                continue;
+            }
+            for (a, &c) in acc.iter_mut().zip(&slice.counts) {
+                *a += c;
+            }
+            count += slice.total;
+        }
+        count
+    }
+
+    /// Observations currently inside the window.
+    pub fn count(&self) -> u64 {
+        let now_epoch = self.clock.now_ns() / self.slice_ns;
+        let oldest_live = now_epoch.saturating_sub(self.n_slices as u64 - 1);
+        let st = self.lock();
+        st.slices
+            .iter()
+            .filter(|s| s.epoch >= oldest_live && s.epoch <= now_epoch)
+            .map(|s| s.total)
+            .sum()
+    }
+
+    /// Observations per second over the window span.
+    pub fn rate_per_sec(&self) -> f64 {
+        self.count() as f64 * 1e9 / self.window_ns() as f64
+    }
+}
+
+impl std::fmt::Debug for WindowedHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowedHistogram")
+            .field("slices", &self.n_slices)
+            .field("slice_ns", &self.slice_ns)
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::MockClock;
+
+    const SLICE: u64 = 1_000_000_000; // 1 s slices
+
+    fn windowed(clock: Arc<MockClock>) -> WindowedHistogram {
+        WindowedHistogram::with_clock(4, SLICE, &[10.0, 100.0, 1000.0], clock)
+    }
+
+    #[test]
+    fn empty_window_snapshot_is_empty() {
+        let clock = Arc::new(MockClock::new());
+        let w = windowed(clock);
+        let snap = w.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.quantile(0.99), None);
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.rate_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn observations_expire_after_the_window() {
+        let clock = Arc::new(MockClock::new());
+        let w = windowed(clock.clone());
+        w.observe(5.0);
+        w.observe(50.0);
+        assert_eq!(w.count(), 2);
+        // Still inside the 4 s window after 3 s...
+        clock.advance(3 * SLICE);
+        assert_eq!(w.count(), 2);
+        // ...gone once the window has fully slid past them.
+        clock.advance(2 * SLICE);
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.snapshot().count, 0);
+    }
+
+    #[test]
+    fn window_slides_not_resets() {
+        let clock = Arc::new(MockClock::new());
+        let w = windowed(clock.clone());
+        // One observation per second for 6 s: the window must always
+        // hold the last 4.
+        for i in 0..6 {
+            w.observe(i as f64);
+            if i < 5 {
+                clock.advance(SLICE);
+            }
+        }
+        assert_eq!(w.count(), 4, "only the last 4 slices are live");
+        let snap = w.snapshot();
+        assert_eq!(snap.sum, 2.0 + 3.0 + 4.0 + 5.0);
+    }
+
+    #[test]
+    fn slice_reuse_resets_stale_data() {
+        let clock = Arc::new(MockClock::new());
+        let w = windowed(clock.clone());
+        w.observe(5.0);
+        // Advance exactly one full ring revolution: the new epoch maps
+        // onto the same slot, whose stale contents must not leak in.
+        clock.advance(4 * SLICE);
+        w.observe(500.0);
+        let snap = w.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum, 500.0);
+    }
+
+    #[test]
+    fn quantiles_come_from_live_slices_only() {
+        let clock = Arc::new(MockClock::new());
+        let w = windowed(clock.clone());
+        for _ in 0..100 {
+            w.observe(5.0);
+        }
+        clock.advance(5 * SLICE); // all of those expire
+        for _ in 0..10 {
+            w.observe(500.0);
+        }
+        let p50 = w.snapshot().quantile(0.50).unwrap();
+        assert!(
+            (100.0..=1000.0).contains(&p50),
+            "p50 {p50} reflects the live distribution, not the expired one"
+        );
+    }
+
+    #[test]
+    fn rate_reflects_window_count() {
+        let clock = Arc::new(MockClock::new());
+        let w = windowed(clock); // 4 s window
+        for _ in 0..20 {
+            w.observe(1.0);
+        }
+        assert_eq!(w.rate_per_sec(), 5.0, "20 observations / 4 s window");
+    }
+
+    #[test]
+    fn non_finite_observations_are_dropped() {
+        let clock = Arc::new(MockClock::new());
+        let w = windowed(clock);
+        w.observe(f64::NAN);
+        w.observe(f64::INFINITY);
+        assert_eq!(w.count(), 0);
+    }
+
+    #[test]
+    fn concurrent_observers_lose_nothing() {
+        let clock = Arc::new(MockClock::new());
+        let w = Arc::new(windowed(clock));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let w = w.clone();
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        w.observe(50.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(w.count(), 4000);
+        assert_eq!(w.snapshot().sum, 200_000.0);
+    }
+}

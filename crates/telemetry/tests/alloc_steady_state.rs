@@ -1,0 +1,144 @@
+//! Allocation regression test for the request-scoped observability
+//! path (DESIGN.md §5i).
+//!
+//! The flight recorder and windowed histograms sit on the serving hot
+//! path — one `record()` per completed request, one `observe()` per
+//! latency/margin sample.  Their contract: after construction
+//! preallocates the ring(s), the steady state allocates **nothing**.
+//! `RequestRecord` is `Copy` into a fixed slot, `find()` scans in
+//! place, and a windowed observation lands in a pre-sized time slice
+//! (expired slices are reset in place, never reallocated).  Dump paths
+//! (`snapshot`, `to_jsonl`) may allocate — they run on the debug
+//! endpoint, not per request.
+//!
+//! The file intentionally holds a single `#[test]`: the counter is
+//! process-global, and a sibling test allocating on another thread
+//! while the measured window is open would produce false positives.
+
+use hotspot_telemetry::{
+    next_trace_id, Clock, DriftConfig, DriftMonitor, FlightRecorder, MockClock, Outcome,
+    RequestRecord, Stage, WindowedHistogram,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Wraps the system allocator and counts every allocation made while
+/// the measurement window is open.  Deallocations are not counted:
+/// freeing is fine in a steady state, allocating is not (and these
+/// paths do neither).
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn sample_record(trace_id: u64, clock: &dyn Clock) -> RequestRecord {
+    let mut rec = RequestRecord::new(trace_id, trace_id ^ 0xbeef, clock.now_ns());
+    rec.mark(Stage::Admission, 1_200);
+    rec.mark(Stage::QueueWait, 48_000);
+    rec.mark(Stage::Batch, 900);
+    rec.mark(Stage::Dispatch, 400);
+    rec.mark(Stage::Inference, 310_000);
+    rec.mark(Stage::Reply, 2_100);
+    rec.batch_size = 8;
+    rec.m_level = 2;
+    rec.escalated = trace_id.is_multiple_of(3);
+    rec.deadline_slack_ns = 5_000_000;
+    rec.outcome = Outcome::Ok;
+    rec
+}
+
+#[test]
+fn steady_state_observability_performs_zero_heap_allocations() {
+    let clock = Arc::new(MockClock::new());
+    let flight = FlightRecorder::new(64);
+    let window = WindowedHistogram::with_clock(
+        8,
+        1_000_000_000,
+        &[1e4, 1e5, 1e6, 1e7],
+        clock.clone() as Arc<dyn Clock>,
+    );
+    let drift = DriftMonitor::with_clock(
+        DriftConfig {
+            baseline_samples: 32,
+            min_window_samples: 8,
+            ..DriftConfig::default()
+        },
+        clock.clone() as Arc<dyn Clock>,
+    );
+
+    // Warm-up: mint IDs (the atomic is static, not heap), fill the ring
+    // past capacity so every later record overwrites a live slot, put
+    // samples in every window slice it will touch, and push the drift
+    // monitor through baseline collection into the monitoring phase.
+    for _ in 0..96 {
+        let id = next_trace_id();
+        flight.record(sample_record(id, clock.as_ref()));
+        window.observe(250_000.0);
+        drift.observe(0.5, false);
+        clock.advance(125_000_000); // stays inside one slice per ~8 obs
+    }
+    assert!(!drift.is_collecting(), "warm-up froze the drift baseline");
+    let probe = next_trace_id();
+    flight.record(sample_record(probe, clock.as_ref()));
+
+    // Measured window: the per-request path — mint, record, find,
+    // windowed observe, drift observe + compare.
+    ALLOC_CALLS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for _ in 0..256 {
+        let id = next_trace_id();
+        flight.record(sample_record(id, clock.as_ref()));
+        window.observe(250_000.0);
+        drift.observe(0.5, false);
+    }
+    let found = flight.find(probe);
+    let n_window = window.count();
+    let rate = window.rate_per_sec();
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocs = ALLOC_CALLS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        allocs, 0,
+        "steady-state recorder/window/drift path allocated {allocs} \
+         time(s); record() must copy into a preallocated slot and \
+         observe() must land in a pre-sized slice"
+    );
+    // And the path still works: the probe was overwritten by the 256
+    // later records (capacity 64), the last batch is findable, and the
+    // window saw everything in its span.
+    assert_eq!(found, None, "probe rotated out of the 64-slot ring");
+    assert!(flight.find(next_trace_id() - 1).is_some());
+    assert!(n_window > 0 && rate > 0.0);
+    assert_eq!(flight.len(), 64);
+}

@@ -238,6 +238,126 @@ fn spans_and_events_survive_rayon_fanout() {
 }
 
 #[test]
+fn windowed_quantiles_on_empty_window_return_none() {
+    use hotspot_telemetry::{MockClock, WindowedHistogram};
+    let clock = Arc::new(MockClock::new());
+    let w = WindowedHistogram::with_clock(4, 1_000, &[10.0, 100.0], clock.clone());
+    let snap = w.snapshot();
+    assert_eq!(snap.count, 0);
+    assert_eq!(snap.quantile(0.5), None);
+    assert_eq!(snap.quantile(0.99), None);
+    assert_eq!(w.rate_per_sec(), 0.0);
+
+    // A window that *was* populated but has fully expired is empty too.
+    w.observe(42.0);
+    clock.advance(1_000 * 10);
+    assert_eq!(w.snapshot().quantile(0.5), None, "expired slices dropped");
+}
+
+#[test]
+fn windowed_quantiles_single_sample_pin_every_quantile() {
+    use hotspot_telemetry::{MockClock, WindowedHistogram};
+    let clock = Arc::new(MockClock::new());
+    let w = WindowedHistogram::with_clock(4, 1_000, &[1.0, 8.0, 64.0], clock);
+    w.observe(5.0);
+    let snap = w.snapshot();
+    assert_eq!(snap.count, 1);
+    // One sample in the (1, 8] bucket: quantiles interpolate inside
+    // that bucket (Prometheus-style), so every estimate stays within
+    // its bounds, grows with q, and q = 1 reaches the upper bound.
+    let mut prev = 1.0;
+    for q in [0.01, 0.5, 0.99, 1.0] {
+        let v = snap.quantile(q).expect("non-empty");
+        assert!(v > 1.0 && v <= 8.0, "q={q} escaped the bucket: {v}");
+        assert!(v >= prev, "quantiles must be monotone in q");
+        prev = v;
+    }
+    assert_eq!(snap.quantile(1.0), Some(8.0));
+}
+
+#[test]
+fn windowed_quantiles_all_same_value_collapse_to_one_bucket() {
+    use hotspot_telemetry::{MockClock, WindowedHistogram};
+    let clock = Arc::new(MockClock::new());
+    let w = WindowedHistogram::with_clock(4, 1_000, &[1.0, 8.0, 64.0], clock);
+    for _ in 0..1_000 {
+        w.observe(3.0);
+    }
+    let snap = w.snapshot();
+    assert_eq!(snap.count, 1_000);
+    // Exactly one bucket holds all the mass, so every quantile estimate
+    // is confined to that bucket's (1, 8] range.
+    assert_eq!(snap.counts.iter().filter(|&&c| c > 0).count(), 1);
+    for q in [0.05, 0.5, 0.95, 0.999] {
+        let v = snap.quantile(q).expect("non-empty");
+        assert!(v > 1.0 && v <= 8.0, "q={q} escaped the value's bucket: {v}");
+    }
+    assert_eq!(snap.quantile(1.0), Some(8.0));
+}
+
+#[test]
+fn histogram_bucket_boundaries_are_inclusive_upper_bounds() {
+    use hotspot_telemetry::{MetricsRegistry, MockClock, WindowedHistogram};
+    // Cumulative histogram: a value exactly at a bound belongs to that
+    // bound's bucket (Prometheus `le` semantics)...
+    let registry = MetricsRegistry::new();
+    let hist = registry.histogram("boundary_test", &[10.0, 100.0]);
+    hist.observe(10.0); // at the first bound → bucket 0
+    hist.observe(10.0 + f64::EPSILON * 16.0); // just above → bucket 1
+    hist.observe(100.0); // at the last bound → bucket 1
+    hist.observe(101.0); // beyond every bound → +∞ bucket
+    let snap = hist.snapshot();
+    assert_eq!(snap.counts, vec![1, 2, 1]);
+    // ...and the windowed variant uses identical bucketing.
+    let w = WindowedHistogram::with_clock(4, 1_000, &[10.0, 100.0], Arc::new(MockClock::new()));
+    w.observe(10.0);
+    w.observe(10.0 + f64::EPSILON * 16.0);
+    w.observe(100.0);
+    w.observe(101.0);
+    assert_eq!(w.snapshot().counts, vec![1, 2, 1]);
+}
+
+#[test]
+fn concurrent_observe_while_snapshotting_never_tears() {
+    use hotspot_telemetry::{MockClock, WindowedHistogram};
+    const WRITERS: usize = 8;
+    const PER_WRITER: usize = 500;
+    let clock = Arc::new(MockClock::new());
+    let w = Arc::new(WindowedHistogram::with_clock(
+        8,
+        1_000_000_000,
+        &[1.0, 10.0, 100.0],
+        clock,
+    ));
+    // Writers record through rayon while the main thread snapshots
+    // continuously; with a frozen clock nothing can expire, so every
+    // snapshot must be internally consistent (counts sum to count) and
+    // monotonically growing.
+    let snapshotter = {
+        let w = Arc::clone(&w);
+        std::thread::spawn(move || {
+            let mut last = 0u64;
+            while last < (WRITERS * PER_WRITER) as u64 {
+                let snap = w.snapshot();
+                let bucket_sum: u64 = snap.counts.iter().sum();
+                assert_eq!(bucket_sum, snap.count, "torn snapshot");
+                assert!(snap.count >= last, "count went backwards");
+                last = snap.count;
+            }
+        })
+    };
+    (0..WRITERS).collect::<Vec<_>>().par_iter().for_each(|&t| {
+        for i in 0..PER_WRITER {
+            w.observe(((t * PER_WRITER + i) % 150) as f64);
+        }
+    });
+    snapshotter.join().expect("snapshot thread");
+    let snap = w.snapshot();
+    assert_eq!(snap.count, (WRITERS * PER_WRITER) as u64);
+    assert_eq!(w.rate_per_sec(), snap.count as f64 / 8.0, "8s window");
+}
+
+#[test]
 fn global_registry_accumulates_training_counters() {
     let _guard = global_lock();
     let registry = metrics::global();
