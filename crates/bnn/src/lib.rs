@@ -45,6 +45,7 @@ pub mod model;
 pub mod packed;
 pub mod plan;
 pub mod scaling;
+pub mod scan;
 pub mod slot;
 pub mod ste;
 pub mod wire;
@@ -68,5 +69,6 @@ pub use scaling::{
     input_scale_shared, output_scale_shared, output_scale_shared_into, residual_weight_levels,
     weight_scale, ScalingMode,
 };
+pub use scan::{merge_hits, scan_grid, Region, ScanConfig, ScanReport, Scanner, WindowVerdict};
 pub use slot::ModelSlot;
 pub use ste::{residual_binarize, sign_tensor, ste_grad};

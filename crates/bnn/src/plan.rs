@@ -74,6 +74,12 @@ enum Step<'m> {
         dst: usize,
         elems: usize,
     },
+    /// Copy the caller's input slice into buffer `dst`.  Only emitted
+    /// as the first step of a suffix segment (a plan starting at an
+    /// interior residual block), where the "input" is a feature map
+    /// that the first block may need twice — once for its main path
+    /// and once for its shortcut merge.
+    CopyInput { dst: usize, elems: usize },
 }
 
 /// A [`PackedBnn`] compiled into a flat layer sequence for one input
@@ -122,26 +128,80 @@ impl<'m> ExecPlan<'m> {
         backend: KernelBackend,
         max_levels: usize,
     ) -> Self {
+        ExecPlan::compile_segment(
+            model,
+            input_hw,
+            backend,
+            max_levels,
+            0..model.blocks().len(),
+        )
+    }
+
+    /// Compiles a contiguous *segment* of the model: when
+    /// `blocks.start == 0` the segment begins at the stem and reads
+    /// ±1 pixels; otherwise it begins at residual block `blocks.start`
+    /// and reads the feature map that block expects (the previous
+    /// block's output), delivered through the plan's input slice via a
+    /// leading [`Step::CopyInput`].  The full-chip scanner uses this to
+    /// split the net into a stride-1/2 prefix (run once per band) and a
+    /// suffix (run per window on reassembled prefix features).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `blocks` is out of range, or empty while starting
+    /// past the stem (a plan must execute at least one layer).
+    pub(crate) fn compile_segment(
+        model: &'m PackedBnn,
+        input_hw: (usize, usize),
+        backend: KernelBackend,
+        max_levels: usize,
+        blocks: std::ops::Range<usize>,
+    ) -> Self {
+        assert!(
+            blocks.end <= model.blocks().len(),
+            "block range out of range"
+        );
+        assert!(
+            blocks.start == 0 || blocks.start < blocks.end,
+            "a suffix segment must contain at least one block"
+        );
         let stem = model.stem();
         let mut steps = Vec::new();
         let mut step_names = Vec::new();
         let mut buf_elems = [0usize; 3];
 
-        let (mut h, mut w) = stem.output_hw(input_hw.0, input_hw.1);
-        let mut c = stem.out_channels();
+        let (mut h, mut w);
+        let mut c;
+        let input_c;
+        if blocks.start == 0 {
+            (h, w) = stem.output_hw(input_hw.0, input_hw.1);
+            c = stem.out_channels();
+            input_c = stem.in_channels();
+            buf_elems[0] = c * h * w;
+            steps.push(Step::Conv {
+                conv: stem,
+                prep: Box::new(stem.prepare_capped(input_hw.0, input_hw.1, backend, max_levels)),
+                src: Src::Input,
+                dst: 0,
+                in_hw: input_hw,
+                out_elems: c * h * w,
+            });
+            step_names.push("stem".to_string());
+        } else {
+            (h, w) = input_hw;
+            c = model.blocks()[blocks.start - 1].out_channels();
+            input_c = c;
+            buf_elems[0] = c * h * w;
+            steps.push(Step::CopyInput {
+                dst: 0,
+                elems: c * h * w,
+            });
+            step_names.push("input".to_string());
+        }
         let mut cur = 0usize;
-        buf_elems[0] = c * h * w;
-        steps.push(Step::Conv {
-            conv: stem,
-            prep: Box::new(stem.prepare_capped(input_hw.0, input_hw.1, backend, max_levels)),
-            src: Src::Input,
-            dst: 0,
-            in_hw: input_hw,
-            out_elems: c * h * w,
-        });
-        step_names.push("stem".to_string());
 
-        for (bi, block) in model.blocks().iter().enumerate() {
+        for bi in blocks.clone() {
+            let block = &model.blocks()[bi];
             let a = cur;
             // The two buffers not holding the block input: `b` for the
             // mid activation (and later the projection shortcut, which
@@ -218,7 +278,7 @@ impl<'m> ExecPlan<'m> {
         ExecPlan {
             model,
             backend,
-            input_c: stem.in_channels(),
+            input_c,
             input_hw,
             steps,
             step_names,
@@ -246,7 +306,7 @@ impl<'m> ExecPlan<'m> {
             .iter()
             .map(|s| match s {
                 Step::Conv { prep, .. } => prep.levels(),
-                Step::Add { .. } => 1,
+                Step::Add { .. } | Step::CopyInput { .. } => 1,
             })
             .max()
             .unwrap_or(1)
@@ -347,47 +407,7 @@ impl<'m> ExecPlan<'m> {
             ws.take_f32(n * self.buf_elems[1]),
             ws.take_f32(n * self.buf_elems[2]),
         ];
-        for (si, step) in self.steps.iter().enumerate() {
-            let t0 = prof.as_ref().map(|p| p.begin());
-            match step {
-                Step::Conv {
-                    conv,
-                    prep,
-                    src,
-                    dst,
-                    in_hw,
-                    out_elems,
-                } => {
-                    let out_len = n * out_elems;
-                    match src {
-                        Src::Input => {
-                            conv.forward_prepped(prep, input, n, ws, &mut bufs[*dst][..out_len])
-                        }
-                        Src::Buf(s) => {
-                            let in_len = n * conv.in_channels() * in_hw.0 * in_hw.1;
-                            let (src_buf, dst_buf) = two_bufs(&mut bufs, *s, *dst);
-                            conv.forward_prepped(
-                                prep,
-                                &src_buf[..in_len],
-                                n,
-                                ws,
-                                &mut dst_buf[..out_len],
-                            );
-                        }
-                    }
-                }
-                Step::Add { src, dst, elems } => {
-                    let len = n * elems;
-                    let (src_buf, dst_buf) = two_bufs(&mut bufs, *src, *dst);
-                    for (o, v) in dst_buf[..len].iter_mut().zip(&src_buf[..len]) {
-                        *o += v;
-                    }
-                }
-            }
-            if let (Some(p), Some(t)) = (prof.as_deref_mut(), t0) {
-                p.record_since(si, t);
-            }
-        }
+        self.exec_steps(input, n, ws, &mut bufs, &mut prof);
 
         // Global average pool + full-precision classifier, with the
         // same accumulation order as the structural forward.
@@ -423,6 +443,113 @@ impl<'m> ExecPlan<'m> {
             p.record_since(gap_slot + 1, t);
         }
         ws.give_f32(pooled);
+        let [b0, b1, b2] = bufs;
+        ws.give_f32(b0);
+        ws.give_f32(b1);
+        ws.give_f32(b2);
+    }
+
+    /// Executes the layer steps of the plan, leaving the final feature
+    /// map in `bufs[self.final_buf]`.
+    fn exec_steps(
+        &self,
+        input: &[f32],
+        n: usize,
+        ws: &mut Workspace,
+        bufs: &mut [Vec<f32>; 3],
+        prof: &mut Option<&mut SlotProfiler>,
+    ) {
+        for (si, step) in self.steps.iter().enumerate() {
+            let t0 = prof.as_ref().map(|p| p.begin());
+            match step {
+                Step::Conv {
+                    conv,
+                    prep,
+                    src,
+                    dst,
+                    in_hw,
+                    out_elems,
+                } => {
+                    let out_len = n * out_elems;
+                    match src {
+                        Src::Input => {
+                            conv.forward_prepped(prep, input, n, ws, &mut bufs[*dst][..out_len])
+                        }
+                        Src::Buf(s) => {
+                            let in_len = n * conv.in_channels() * in_hw.0 * in_hw.1;
+                            let (src_buf, dst_buf) = two_bufs(bufs, *s, *dst);
+                            conv.forward_prepped(
+                                prep,
+                                &src_buf[..in_len],
+                                n,
+                                ws,
+                                &mut dst_buf[..out_len],
+                            );
+                        }
+                    }
+                }
+                Step::Add { src, dst, elems } => {
+                    let len = n * elems;
+                    let (src_buf, dst_buf) = two_bufs(bufs, *src, *dst);
+                    for (o, v) in dst_buf[..len].iter_mut().zip(&src_buf[..len]) {
+                        *o += v;
+                    }
+                }
+                Step::CopyInput { dst, elems } => {
+                    let len = n * elems;
+                    bufs[*dst][..len].copy_from_slice(&input[..len]);
+                }
+            }
+            if let (Some(p), Some(t)) = (prof.as_deref_mut(), t0) {
+                p.record_since(si, t);
+            }
+        }
+    }
+
+    /// The shape of the feature map the layer steps produce, as
+    /// `(channels, height, width)` — what [`run_features_into`]
+    /// (ExecPlan::run_features_into) writes per batch item.
+    pub fn feature_shape(&self) -> (usize, usize, usize) {
+        (self.feat_c, self.final_hw.0, self.final_hw.1)
+    }
+
+    /// Runs only the layer steps (no pooling or classifier), writing
+    /// the raw `[n, c, h, w]` feature map into `features` (shape from
+    /// [`feature_shape`](ExecPlan::feature_shape)).  The full-chip
+    /// scanner runs a prefix segment this way once per band and feeds
+    /// the features to per-window suffix plans.  Same workspace
+    /// discipline as [`run_into`](ExecPlan::run_into): zero heap
+    /// allocations once warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a slice length disagrees with the compiled shapes.
+    pub fn run_features_into(
+        &self,
+        input: &[f32],
+        n: usize,
+        ws: &mut Workspace,
+        features: &mut [f32],
+    ) {
+        let (h, w) = self.input_hw;
+        assert_eq!(
+            input.len(),
+            n * self.input_c * h * w,
+            "input length mismatch"
+        );
+        let (fc, fh, fw) = self.feature_shape();
+        assert_eq!(
+            features.len(),
+            n * fc * fh * fw,
+            "feature buffer length mismatch"
+        );
+        let mut bufs = [
+            ws.take_f32(n * self.buf_elems[0]),
+            ws.take_f32(n * self.buf_elems[1]),
+            ws.take_f32(n * self.buf_elems[2]),
+        ];
+        self.exec_steps(input, n, ws, &mut bufs, &mut None);
+        features.copy_from_slice(&bufs[self.final_buf][..n * fc * fh * fw]);
         let [b0, b1, b2] = bufs;
         ws.give_f32(b0);
         ws.give_f32(b1);

@@ -146,16 +146,23 @@ pub fn box_filter_into(
     box_filter_sliding_into(plane, h, w, kh, kw, stride, pad, &mut colsum, out);
 }
 
-/// Row-sliding incremental box filter: O(1) amortized work per output
-/// pixel instead of the naive O(kh·kw).
+/// Row-sliding incremental box filter: O(kw) work per output pixel
+/// instead of the naive O(kh·kw).
 ///
 /// `colsum[x]` holds the vertical window sum of column `x` for the
 /// current output row; moving to the next row subtracts departing rows
-/// and adds entering ones, and a horizontal running sum does the same
-/// across columns.  Sums are kept in `f64` so the incremental
-/// subtract/add path introduces no drift against the windowed values
-/// (and a final `max(0.0)` clamp guarantees non-negative maps for
-/// non-negative input planes regardless of rounding).
+/// and adds entering ones.  Each output pixel then sums its `kw` column
+/// sums left-to-right — deliberately *not* a horizontal running sum, so
+/// every output value is a pure function of its own column span.  This
+/// makes the map translation-invariant at the bit level: filtering a
+/// wide plane and filtering a cropped window of it produce identical
+/// f32 values wherever their spans coincide, which the full-chip
+/// scanner (`crate::scan`) relies on to reuse one band-wide scale map
+/// across overlapping windows.  Sums are kept in `f64` so the
+/// incremental row subtract/add introduces no drift against the
+/// windowed values (and a final `max(0.0)` clamp guarantees
+/// non-negative maps for non-negative input planes regardless of
+/// rounding).
 ///
 /// `colsum` is caller-provided `w`-length scratch (contents ignored) so
 /// the packed inference path can run allocation-free; `out` is the
@@ -217,21 +224,12 @@ pub fn box_filter_sliding_into(
         }
         prev_rows = (y0, y1);
         let row_out = &mut out[oy * ow..(oy + 1) * ow];
-        let mut hsum = 0.0f64;
-        let mut prev_cols = (0usize, 0usize);
         for (ox, slot) in row_out.iter_mut().enumerate() {
             let (x0, x1) = span(ox, kw, w);
-            if ox == 0 {
-                hsum = colsum[x0..x1].iter().sum();
-            } else {
-                for &cs in &colsum[prev_cols.0..x0.min(prev_cols.1)] {
-                    hsum -= cs;
-                }
-                for &cs in &colsum[prev_cols.1.max(x0)..x1] {
-                    hsum += cs;
-                }
+            let mut hsum = 0.0f64;
+            for &cs in &colsum[x0..x1] {
+                hsum += cs;
             }
-            prev_cols = (x0, x1);
             *slot = (hsum.max(0.0) * inv) as f32;
         }
     }

@@ -72,8 +72,13 @@ pub use persist::PersistError;
 pub use roc::{RocCurve, RocPoint};
 
 // Re-export the pieces users need to drive the pipeline end to end.
-pub use hotspot_bnn::{BnnResNet, NetConfig, PackedBnn, ScalingMode};
+pub use hotspot_bnn::{
+    BnnResNet, NetConfig, PackedBnn, Region, ScalingMode, ScanConfig, ScanReport, Scanner,
+};
 pub use hotspot_geometry::{BitImage, Layout, Point, Raster, Rect};
-pub use hotspot_layout_gen::{DatasetSpec, LabeledClip, PatternFamily, SplitDataset};
+pub use hotspot_layout_gen::{
+    generate_chip, Chip, ChipBuilder, ChipSpec, ClipGenerator, DatasetSpec, HotspotSite,
+    LabeledClip, PatternFamily, SplitDataset,
+};
 pub use hotspot_litho_sim::{HotspotOracle, OpticalModel};
-pub use hotspot_tensor::Tensor;
+pub use hotspot_tensor::{Tensor, Workspace};

@@ -1,0 +1,376 @@
+//! Full-chip assembly: stitching clip patterns into a large layout
+//! with embedded, labelled hotspot sites — the ground-truth substrate
+//! for the streaming scanner (DESIGN.md §5j).
+//!
+//! A chip is a `cells_x × cells_y` grid of clip-sized cells.  Each
+//! cell holds one generated clip, rasterized at the shared resolution
+//! and blitted into a single chip-wide [`BitImage`]; the clip
+//! geometry is translated into chip coordinates and merged into one
+//! [`Layout`].  Cells designated as *hotspot sites* are
+//! rejection-sampled until the caller's labelling function calls them
+//! hotspots, every other cell until it calls them clean, so the chip
+//! carries exact site-level ground truth for recall measurements.
+//!
+//! Because cells are blitted whole, the window crop at a cell origin
+//! is bit-identical to the cell's own clip raster — the scanner's
+//! per-window view of a site *is* the clip the oracle labelled.
+
+use crate::clipgen::ClipGenerator;
+use hotspot_geometry::{BitImage, Layout, Point, Raster, Rect};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One labelled hotspot location on a finished [`Chip`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotspotSite {
+    /// Grid cell holding the hotspot clip.
+    pub cell: (usize, usize),
+    /// Cell origin in chip pixels.
+    pub origin_px: (usize, usize),
+    /// Cell centre in chip pixels.
+    pub center_px: (usize, usize),
+    /// The rasterized clip placed at this site.
+    pub image: BitImage,
+}
+
+/// A stitched full-chip layout with scanning ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chip {
+    /// The whole chip rasterized at the build resolution.
+    pub image: BitImage,
+    /// The stitched geometry in chip nanometre coordinates.
+    pub layout: Layout,
+    /// Embedded hotspot sites, in placement order.
+    pub sites: Vec<HotspotSite>,
+    /// Cell side in pixels.
+    pub cell_px: usize,
+    /// Chip width in pixels.
+    pub width_px: usize,
+    /// Chip height in pixels.
+    pub height_px: usize,
+    /// Raster pitch in nanometres per pixel.
+    pub resolution: i64,
+}
+
+impl Chip {
+    /// Chip area in mm² (`resolution` nm pixels).
+    pub fn area_mm2(&self) -> f64 {
+        let nm_w = self.width_px as f64 * self.resolution as f64;
+        let nm_h = self.height_px as f64 * self.resolution as f64;
+        nm_w * nm_h / 1e12
+    }
+}
+
+/// Cell-by-cell chip assembler.  Use directly when the caller controls
+/// clip selection (e.g. detector-filtered golden fixtures), or through
+/// [`generate_chip`] for oracle-labelled random chips.
+#[derive(Debug, Clone)]
+pub struct ChipBuilder {
+    cells_x: usize,
+    cells_y: usize,
+    cell_px: usize,
+    resolution: i64,
+    image: BitImage,
+    layout: Layout,
+    sites: Vec<HotspotSite>,
+}
+
+impl ChipBuilder {
+    /// An empty `cells_x × cells_y` grid of `cell_px`-pixel cells at
+    /// `resolution` nm per pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any dimension is zero or the resolution is not
+    /// positive.
+    pub fn new(cells_x: usize, cells_y: usize, cell_px: usize, resolution: i64) -> Self {
+        assert!(cells_x > 0 && cells_y > 0, "chip grid must be non-empty");
+        assert!(cell_px > 0, "cell side must be positive");
+        assert!(resolution > 0, "resolution must be positive");
+        ChipBuilder {
+            cells_x,
+            cells_y,
+            cell_px,
+            resolution,
+            image: BitImage::new(cells_x * cell_px, cells_y * cell_px),
+            layout: Layout::new(),
+            sites: Vec::new(),
+        }
+    }
+
+    /// Grid shape `(cells_x, cells_y)`.
+    pub fn grid(&self) -> (usize, usize) {
+        (self.cells_x, self.cells_y)
+    }
+
+    /// Pixel origin of a grid cell.
+    pub fn cell_origin_px(&self, cell: (usize, usize)) -> (usize, usize) {
+        (cell.0 * self.cell_px, cell.1 * self.cell_px)
+    }
+
+    /// Blits a rasterized clip into `cell` and merges its geometry
+    /// (translated to chip coordinates) into the chip layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell is out of range or the image is not
+    /// `cell_px × cell_px`.
+    pub fn place(&mut self, cell: (usize, usize), image: &BitImage, layout: &Layout) {
+        assert!(
+            cell.0 < self.cells_x && cell.1 < self.cells_y,
+            "cell {cell:?} outside {}x{} grid",
+            self.cells_x,
+            self.cells_y
+        );
+        assert_eq!(
+            (image.width(), image.height()),
+            (self.cell_px, self.cell_px),
+            "clip raster must match the cell size"
+        );
+        let (ox, oy) = self.cell_origin_px(cell);
+        for y in 0..self.cell_px {
+            for x in 0..self.cell_px {
+                if image.get(x, y) {
+                    self.image.set(ox + x, oy + y, true);
+                }
+            }
+        }
+        let nm = Point::new((ox as i64) * self.resolution, (oy as i64) * self.resolution);
+        self.layout.merge(&layout.translate(nm));
+    }
+
+    /// [`place`](ChipBuilder::place), additionally recording the cell
+    /// as a ground-truth hotspot site.
+    pub fn place_site(&mut self, cell: (usize, usize), image: &BitImage, layout: &Layout) {
+        self.place(cell, image, layout);
+        let origin_px = self.cell_origin_px(cell);
+        self.sites.push(HotspotSite {
+            cell,
+            origin_px,
+            center_px: (
+                origin_px.0 + self.cell_px / 2,
+                origin_px.1 + self.cell_px / 2,
+            ),
+            image: image.clone(),
+        });
+    }
+
+    /// Finalizes the chip.
+    pub fn finish(self) -> Chip {
+        Chip {
+            width_px: self.cells_x * self.cell_px,
+            height_px: self.cells_y * self.cell_px,
+            image: self.image,
+            layout: self.layout,
+            sites: self.sites,
+            cell_px: self.cell_px,
+            resolution: self.resolution,
+        }
+    }
+}
+
+/// What [`generate_chip`] should build.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipSpec {
+    /// Grid width in cells.
+    pub cells_x: usize,
+    /// Grid height in cells.
+    pub cells_y: usize,
+    /// Ground-truth hotspot cells to embed (placed on a half-density
+    /// checkerboard so sites never touch, even diagonally).
+    pub hotspot_sites: usize,
+    /// Raster pitch, nm per pixel.
+    pub resolution: i64,
+    /// Generation seed (chips are deterministic in the spec).
+    pub seed: u64,
+    /// Rejection-sampling budget per cell.
+    pub max_attempts: usize,
+}
+
+impl ChipSpec {
+    /// A `cells × cells` chip with `hotspot_sites` sites at the
+    /// default 10 nm raster.
+    pub fn new(cells: usize, hotspot_sites: usize, seed: u64) -> Self {
+        ChipSpec {
+            cells_x: cells,
+            cells_y: cells,
+            hotspot_sites,
+            resolution: 10,
+            seed,
+            max_attempts: 400,
+        }
+    }
+}
+
+/// Builds a chip from `spec`: hotspot sites are rejection-sampled
+/// until `label` accepts them, background cells until it rejects them.
+/// `label` sees each candidate clip's geometry and window — pass the
+/// litho oracle's `label` for physics ground truth, or any custom
+/// criterion (e.g. oracle ∧ detector for golden fixtures).
+///
+/// # Errors
+///
+/// Fails when the grid cannot hold the requested non-adjacent sites,
+/// the clip extent does not divide by the resolution, or the sampling
+/// budget runs out (a degenerate labelling function).
+pub fn generate_chip(
+    spec: &ChipSpec,
+    clips: &ClipGenerator,
+    mut label: impl FnMut(&Layout, Rect) -> bool,
+) -> Result<Chip, String> {
+    if spec.cells_x == 0 || spec.cells_y == 0 {
+        return Err("chip grid must be non-empty".into());
+    }
+    if spec.resolution <= 0 || clips.extent() % spec.resolution != 0 {
+        return Err(format!(
+            "clip extent {} nm does not divide by resolution {} nm",
+            clips.extent(),
+            spec.resolution
+        ));
+    }
+    let cell_px = (clips.extent() / spec.resolution) as usize;
+
+    // Half-density checkerboard: even (x, y) cells, so no two sites
+    // are adjacent (not even diagonally) and regions stay separable.
+    let mut site_cells: Vec<(usize, usize)> = Vec::with_capacity(spec.hotspot_sites);
+    'outer: for cy in (0..spec.cells_y).step_by(2) {
+        for cx in (0..spec.cells_x).step_by(2) {
+            if site_cells.len() == spec.hotspot_sites {
+                break 'outer;
+            }
+            site_cells.push((cx, cy));
+        }
+    }
+    if site_cells.len() < spec.hotspot_sites {
+        return Err(format!(
+            "{}x{} grid holds at most {} non-adjacent sites, {} requested",
+            spec.cells_x,
+            spec.cells_y,
+            spec.cells_x.div_ceil(2) * spec.cells_y.div_ceil(2),
+            spec.hotspot_sites
+        ));
+    }
+
+    let raster = Raster::new(spec.resolution);
+    let window = clips.window();
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut builder = ChipBuilder::new(spec.cells_x, spec.cells_y, cell_px, spec.resolution);
+    for cy in 0..spec.cells_y {
+        for cx in 0..spec.cells_x {
+            let want_hotspot = site_cells.contains(&(cx, cy));
+            let mut placed = false;
+            for _ in 0..spec.max_attempts.max(1) {
+                let clip = clips.generate(&mut rng);
+                if label(&clip.layout, window) != want_hotspot {
+                    continue;
+                }
+                let img = raster.rasterize(&clip.layout, window);
+                if want_hotspot {
+                    builder.place_site((cx, cy), &img, &clip.layout);
+                } else {
+                    builder.place((cx, cy), &img, &clip.layout);
+                }
+                placed = true;
+                break;
+            }
+            if !placed {
+                return Err(format!(
+                    "no {} clip found for cell ({cx}, {cy}) within {} attempts",
+                    if want_hotspot { "hotspot" } else { "clean" },
+                    spec.max_attempts
+                ));
+            }
+        }
+    }
+    Ok(builder.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checker_clip(cell_px: usize, res: i64, phase: bool) -> (BitImage, Layout) {
+        let mut img = BitImage::new(cell_px, cell_px);
+        let mut layout = Layout::new();
+        for y in 0..cell_px {
+            for x in 0..cell_px {
+                if ((x + y) % 2 == 0) == phase {
+                    img.set(x, y, true);
+                    let (nx, ny) = (x as i64 * res, y as i64 * res);
+                    layout.push(Rect::new(nx, ny, nx + res, ny + res));
+                }
+            }
+        }
+        (img, layout)
+    }
+
+    #[test]
+    fn placed_cell_round_trips_through_the_chip_image() {
+        let mut b = ChipBuilder::new(3, 2, 8, 10);
+        let (img, layout) = checker_clip(8, 10, true);
+        b.place((2, 1), &img, &layout);
+        b.place_site((0, 0), &img, &layout);
+        let chip = b.finish();
+        assert_eq!((chip.width_px, chip.height_px), (24, 16));
+        assert_eq!(chip.sites.len(), 1);
+        assert_eq!(chip.sites[0].center_px, (4, 4));
+        for y in 0..8 {
+            for x in 0..8 {
+                assert_eq!(chip.image.get(16 + x, 8 + y), img.get(x, y));
+                assert_eq!(chip.image.get(x, y), img.get(x, y));
+            }
+        }
+        // Untouched cell stays empty.
+        assert!(!chip.image.get(9, 2));
+        // Geometry landed in chip nanometre coordinates.
+        let bbox = chip.layout.bbox().expect("non-empty");
+        assert_eq!((bbox.lo().x, bbox.lo().y), (0, 0));
+        assert_eq!((bbox.hi().x, bbox.hi().y), (240, 160));
+    }
+
+    #[test]
+    fn generate_chip_places_labelled_sites_on_clean_background() {
+        let spec = ChipSpec::new(4, 3, 99);
+        let clips = ClipGenerator::new(160);
+        // Stand-in labelling: call dense clips hotspots.
+        let chip = generate_chip(&spec, &clips, |layout, window| {
+            layout.density(window) > 0.18
+        })
+        .expect("generation succeeds");
+        assert_eq!(chip.sites.len(), 3);
+        assert_eq!((chip.width_px, chip.height_px), (64, 64));
+        // Non-adjacent site cells.
+        for (i, a) in chip.sites.iter().enumerate() {
+            for b in &chip.sites[i + 1..] {
+                let dx = a.cell.0.abs_diff(b.cell.0);
+                let dy = a.cell.1.abs_diff(b.cell.1);
+                assert!(dx > 1 || dy > 1, "sites {a:?} and {b:?} touch");
+            }
+        }
+        // The chip window at each site origin is exactly the site clip.
+        for s in &chip.sites {
+            for y in 0..chip.cell_px {
+                for x in 0..chip.cell_px {
+                    assert_eq!(
+                        chip.image.get(s.origin_px.0 + x, s.origin_px.1 + y),
+                        s.image.get(x, y)
+                    );
+                }
+            }
+        }
+        // Determinism.
+        let again = generate_chip(&spec, &clips, |layout, window| {
+            layout.density(window) > 0.18
+        })
+        .expect("regeneration succeeds");
+        assert_eq!(again, chip);
+    }
+
+    #[test]
+    fn generate_chip_rejects_impossible_site_counts() {
+        let spec = ChipSpec::new(2, 5, 1);
+        let clips = ClipGenerator::new(160);
+        let err = generate_chip(&spec, &clips, |_, _| true).unwrap_err();
+        assert!(err.contains("non-adjacent"), "{err}");
+    }
+}

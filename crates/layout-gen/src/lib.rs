@@ -28,11 +28,13 @@
 //!
 //! [`hotspot-litho-sim`]: ../hotspot_litho_sim/index.html
 
+pub mod chipgen;
 pub mod clipgen;
 pub mod dataset;
 pub mod gds;
 pub mod patterns;
 
+pub use chipgen::{generate_chip, Chip, ChipBuilder, ChipSpec, HotspotSite};
 pub use clipgen::{Clip, ClipGenerator};
 pub use dataset::{DatasetSpec, LabeledClip, SplitDataset};
 pub use gds::{decode_layout, encode_layout, ParseLayoutError};

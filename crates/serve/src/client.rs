@@ -163,6 +163,48 @@ impl ServeClient {
         })
     }
 
+    /// Scans a full-chip raster for hotspot regions: builds the `Scan`
+    /// request from a [`BitImage`] and returns the server's typed
+    /// answer — `ScanRegions` or an `Error` rejection.
+    ///
+    /// # Errors
+    ///
+    /// As [`read_response`](ServeClient::read_response).
+    pub fn scan(
+        &mut self,
+        id: u64,
+        image: &BitImage,
+        stride: u32,
+        deadline_ms: u32,
+    ) -> Result<Response, ClientError> {
+        self.scan_traced(id, image, stride, deadline_ms, 0)
+    }
+
+    /// As [`scan`](ServeClient::scan), carrying a caller-chosen trace
+    /// id (non-zero); pass 0 to let the server mint one.
+    ///
+    /// # Errors
+    ///
+    /// As [`read_response`](ServeClient::read_response).
+    pub fn scan_traced(
+        &mut self,
+        id: u64,
+        image: &BitImage,
+        stride: u32,
+        deadline_ms: u32,
+        trace_id: u64,
+    ) -> Result<Response, ClientError> {
+        self.request(&Request::Scan {
+            id,
+            deadline_ms,
+            stride,
+            width: image.width() as u32,
+            height: image.height() as u32,
+            words: image.as_words().to_vec(),
+            trace_id,
+        })
+    }
+
     /// Liveness probe; `true` when the server answered the ping.
     ///
     /// # Errors

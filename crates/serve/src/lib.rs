@@ -58,7 +58,7 @@ pub mod swap;
 pub use client::{ClientError, ServeClient};
 pub use degrade::{DegradeController, DegradeTransition};
 pub use fault::FaultPlan;
-pub use proto::{ErrorCode, FrameError, Request, Response, MAX_FRAME_LEN};
+pub use proto::{ErrorCode, FrameError, Request, Response, ScanHit, MAX_FRAME_LEN};
 pub use queue::{BoundedQueue, PushRejected};
 pub use server::{ServeConfig, Server, ShutdownReport};
 pub use swap::{validate_and_swap, SwapError, SwapMonitor, SwapVerdict};

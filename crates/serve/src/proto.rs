@@ -31,6 +31,7 @@ const T_PING: u8 = 0x02;
 const T_METRICS: u8 = 0x03;
 const T_SWAP: u8 = 0x04;
 const T_STATS: u8 = 0x05;
+const T_SCAN: u8 = 0x06;
 
 /// Response type bytes (request type | 0x80).
 const T_R_CLASSIFY: u8 = 0x81;
@@ -39,6 +40,7 @@ const T_R_METRICS: u8 = 0x83;
 const T_R_PONG: u8 = 0x84;
 const T_R_SWAP_OK: u8 = 0x85;
 const T_R_STATS: u8 = 0x86;
+const T_R_SCAN: u8 = 0x87;
 
 /// A malformed frame (bad length prefix, unknown type byte, or a
 /// payload that fails structural decode).
@@ -159,6 +161,42 @@ pub enum Request {
         /// Echoed id.
         id: u64,
     },
+    /// Scan a full-chip raster for hotspot regions with the streaming
+    /// scanner (window-reuse + cascade + region merging).
+    Scan {
+        /// Caller-chosen id echoed in the response.
+        id: u64,
+        /// Per-request latency budget in milliseconds from arrival.
+        deadline_ms: u32,
+        /// Window grid stride in pixels.
+        stride: u32,
+        /// Chip width in pixels.
+        width: u32,
+        /// Chip height in pixels.
+        height: u32,
+        /// Bit-packed chip raster words (`BitImage` layout).
+        words: Vec<u64>,
+        /// Client-supplied trace id, or 0 to let the server mint one
+        /// (optional trailing field, like `Classify`).
+        trace_id: u64,
+    },
+}
+
+/// One merged hotspot region in a [`Response::ScanRegions`] reply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanHit {
+    /// Left edge, chip pixels.
+    pub x0: u32,
+    /// Top edge.
+    pub y0: u32,
+    /// Right edge (exclusive, clamped to the chip).
+    pub x1: u32,
+    /// Bottom edge (exclusive).
+    pub y1: u32,
+    /// Best member-window margin.
+    pub score: f32,
+    /// Member window count.
+    pub windows: u32,
 }
 
 /// A server → client message.
@@ -218,6 +256,21 @@ pub enum Response {
         /// Requests currently queued.
         queue_depth: u64,
     },
+    /// A full-chip scan result.
+    ScanRegions {
+        /// The request id.
+        id: u64,
+        /// Merged hotspot regions, best score first.
+        regions: Vec<ScanHit>,
+        /// Window positions scored.
+        windows: u32,
+        /// Windows the confirm stage re-scored.
+        escalated: u32,
+        /// `true` when triage-only degradation skipped confirmation.
+        degraded: bool,
+        /// Flight-recorder trace id (optional trailing field).
+        trace_id: u64,
+    },
 }
 
 fn put_string(w: &mut WireWriter, s: &str) {
@@ -272,6 +325,26 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             w.put_u8(T_STATS);
             w.put_u64(*id);
         }
+        Request::Scan {
+            id,
+            deadline_ms,
+            stride,
+            width,
+            height,
+            words,
+            trace_id,
+        } => {
+            w.put_u8(T_SCAN);
+            w.put_u64(*id);
+            w.put_u32(*deadline_ms);
+            w.put_u32(*stride);
+            w.put_u32(*width);
+            w.put_u32(*height);
+            w.put_u64_slice(words);
+            if *trace_id != 0 {
+                w.put_u64(*trace_id);
+            }
+        }
     }
     frame(w.into_bytes())
 }
@@ -301,6 +374,15 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, FrameError> {
             path: get_string(&mut r)?,
         },
         T_STATS => Request::Stats { id: r.get_u64()? },
+        T_SCAN => Request::Scan {
+            id: r.get_u64()?,
+            deadline_ms: r.get_u32()?,
+            stride: r.get_u32()?,
+            width: r.get_u32()?,
+            height: r.get_u32()?,
+            words: r.get_u64_vec()?,
+            trace_id: if r.remaining() > 0 { r.get_u64()? } else { 0 },
+        },
         b => return Err(FrameError(format!("unknown request type byte {b:#04x}"))),
     };
     if r.remaining() != 0 {
@@ -365,6 +447,32 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.put_bool(*degraded);
             w.put_u64(*queue_depth);
         }
+        Response::ScanRegions {
+            id,
+            regions,
+            windows,
+            escalated,
+            degraded,
+            trace_id,
+        } => {
+            w.put_u8(T_R_SCAN);
+            w.put_u64(*id);
+            w.put_u32(*windows);
+            w.put_u32(*escalated);
+            w.put_bool(*degraded);
+            w.put_usize(regions.len());
+            for hit in regions {
+                w.put_u32(hit.x0);
+                w.put_u32(hit.y0);
+                w.put_u32(hit.x1);
+                w.put_u32(hit.y1);
+                w.put_f32(hit.score);
+                w.put_u32(hit.windows);
+            }
+            if *trace_id != 0 {
+                w.put_u64(*trace_id);
+            }
+        }
     }
     frame(w.into_bytes())
 }
@@ -404,6 +512,32 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, FrameError> {
             degraded: r.get_bool()?,
             queue_depth: r.get_u64()?,
         },
+        T_R_SCAN => {
+            let id = r.get_u64()?;
+            let windows = r.get_u32()?;
+            let escalated = r.get_u32()?;
+            let degraded = r.get_bool()?;
+            let count = r.get_count(24)?;
+            let mut regions = Vec::with_capacity(count);
+            for _ in 0..count {
+                regions.push(ScanHit {
+                    x0: r.get_u32()?,
+                    y0: r.get_u32()?,
+                    x1: r.get_u32()?,
+                    y1: r.get_u32()?,
+                    score: r.get_f32()?,
+                    windows: r.get_u32()?,
+                });
+            }
+            Response::ScanRegions {
+                id,
+                regions,
+                windows,
+                escalated,
+                degraded,
+                trace_id: if r.remaining() > 0 { r.get_u64()? } else { 0 },
+            }
+        }
         b => return Err(FrameError(format!("unknown response type byte {b:#04x}"))),
     };
     if r.remaining() != 0 {
@@ -485,6 +619,24 @@ mod tests {
                 words: vec![0xDEAD_BEEF; 64],
                 trace_id: 0xFACE_FEED,
             },
+            Request::Scan {
+                id: 44,
+                deadline_ms: 5000,
+                stride: 64,
+                width: 512,
+                height: 256,
+                words: vec![0xAAAA_5555; 8 * 256],
+                trace_id: 0,
+            },
+            Request::Scan {
+                id: 45,
+                deadline_ms: 0,
+                stride: 128,
+                width: 128,
+                height: 128,
+                words: vec![1; 2 * 128],
+                trace_id: 0xBEEF,
+            },
             Request::Ping { id: 7 },
             Request::Metrics,
             Request::SwapModel {
@@ -534,6 +686,39 @@ mod tests {
                 generation: 3,
                 degraded: true,
                 queue_depth: 17,
+            },
+            Response::ScanRegions {
+                id: 8,
+                regions: vec![],
+                windows: 25,
+                escalated: 0,
+                degraded: false,
+                trace_id: 0,
+            },
+            Response::ScanRegions {
+                id: 9,
+                regions: vec![
+                    ScanHit {
+                        x0: 0,
+                        y0: 64,
+                        x1: 256,
+                        y1: 192,
+                        score: 3.25,
+                        windows: 4,
+                    },
+                    ScanHit {
+                        x0: 448,
+                        y0: 0,
+                        x1: 512,
+                        y1: 128,
+                        score: 0.5,
+                        windows: 1,
+                    },
+                ],
+                windows: 49,
+                escalated: 6,
+                degraded: true,
+                trace_id: 0xABCD,
             },
         ];
         for resp in cases {
@@ -598,6 +783,42 @@ mod tests {
             assert!(
                 decode_request(&payload[..cut]).is_err(),
                 "prefix of {cut} bytes decoded"
+            );
+        }
+        let scan = strip(encode_request(&Request::Scan {
+            id: 1,
+            deadline_ms: 0,
+            stride: 32,
+            width: 64,
+            height: 64,
+            words: vec![1, 2, 3],
+            trace_id: 0,
+        }));
+        for cut in 0..scan.len() {
+            assert!(
+                decode_request(&scan[..cut]).is_err(),
+                "scan prefix of {cut} bytes decoded"
+            );
+        }
+        let scan_resp = strip(encode_response(&Response::ScanRegions {
+            id: 1,
+            regions: vec![ScanHit {
+                x0: 0,
+                y0: 0,
+                x1: 64,
+                y1: 64,
+                score: 1.0,
+                windows: 1,
+            }],
+            windows: 9,
+            escalated: 1,
+            degraded: false,
+            trace_id: 0,
+        }));
+        for cut in 1..scan_resp.len() {
+            assert!(
+                decode_response(&scan_resp[..cut]).is_err(),
+                "scan response prefix of {cut} bytes decoded"
             );
         }
         assert!(decode_request(&[0x7F]).is_err(), "unknown type byte");

@@ -31,11 +31,11 @@
 use crate::degrade::DegradeController;
 use crate::fault::FaultPlan;
 use crate::proto::{
-    self, decode_request, encode_response, ErrorCode, Request, Response, MAX_FRAME_LEN,
+    self, decode_request, encode_response, ErrorCode, Request, Response, ScanHit, MAX_FRAME_LEN,
 };
 use crate::queue::{BoundedQueue, PushRejected};
 use crate::swap::{validate_and_swap, SwapMonitor, SwapVerdict};
-use hotspot_bnn::{ModelSlot, PackedBnn};
+use hotspot_bnn::{ModelSlot, PackedBnn, ScanConfig, ScanReport, Scanner};
 use hotspot_geometry::BitImage;
 use hotspot_telemetry::{
     depth_buckets, next_trace_id, serving_latency_ns_buckets, trace, Clock, Counter, DriftConfig,
@@ -172,10 +172,26 @@ impl ServeConfig {
     }
 }
 
-/// One admitted classification job.
+/// What an admitted job asks the workers to compute.
+enum JobPayload {
+    /// Classify one pre-converted ±1 clip.
+    Classify {
+        /// The clip as signed floats, ready for the plan.
+        input: Vec<f32>,
+    },
+    /// Scan a full-chip raster with the streaming scanner.
+    Scan {
+        /// The chip bitmap.
+        image: BitImage,
+        /// Window grid stride in pixels.
+        stride: u32,
+    },
+}
+
+/// One admitted job (classification or full-chip scan).
 struct Job {
     id: u64,
-    input: Vec<f32>,
+    payload: JobPayload,
     deadline: Instant,
     enqueued: Instant,
     reply: mpsc::Sender<Vec<u8>>,
@@ -600,6 +616,27 @@ fn dispatch_request(req: Request, tx: &mpsc::Sender<Vec<u8>>, shared: &Arc<Share
             words,
             trace_id,
         } => return admit_classify(id, deadline_ms, width, height, words, trace_id, tx, shared),
+        Request::Scan {
+            id,
+            deadline_ms,
+            stride,
+            width,
+            height,
+            words,
+            trace_id,
+        } => {
+            return admit_scan(
+                id,
+                deadline_ms,
+                stride,
+                width,
+                height,
+                words,
+                trace_id,
+                tx,
+                shared,
+            )
+        }
     }
     true
 }
@@ -668,6 +705,78 @@ fn admit_classify(
             return true;
         }
     };
+    let payload = JobPayload::Classify {
+        input: image.to_signed_f32(),
+    };
+    enqueue_job(id, deadline_ms, trace_id, payload, t_admit, tx, shared);
+    true
+}
+
+/// Validates and enqueues a full-chip scan request.  Scans share the
+/// classify queue, deadline enforcement, and shedding: one chip is one
+/// job.
+#[allow(clippy::too_many_arguments)]
+fn admit_scan(
+    id: u64,
+    deadline_ms: u32,
+    stride: u32,
+    width: u32,
+    height: u32,
+    words: Vec<u64>,
+    trace_id: u64,
+    tx: &mpsc::Sender<Vec<u8>>,
+    shared: &Arc<Shared>,
+) -> bool {
+    let t_admit = shared.clock.now_ns();
+    shared.m.requests.inc();
+    if stride == 0 {
+        send_error(
+            tx,
+            id,
+            ErrorCode::BadRequest,
+            "stride must be positive".into(),
+        );
+        return true;
+    }
+    if width == 0 || height == 0 {
+        send_error(
+            tx,
+            id,
+            ErrorCode::BadRequest,
+            format!("chip must be non-empty, got {width}x{height}"),
+        );
+        return true;
+    }
+    let image = match BitImage::from_words(width as usize, height as usize, words) {
+        Ok(img) => img,
+        Err(e) => {
+            send_error(tx, id, ErrorCode::BadRequest, e);
+            return true;
+        }
+    };
+    enqueue_job(
+        id,
+        deadline_ms,
+        trace_id,
+        JobPayload::Scan { image, stride },
+        t_admit,
+        tx,
+        shared,
+    );
+    true
+}
+
+/// Shared admission tail: stamps deadline and trace, enqueues, and
+/// answers immediately on shed/shutdown.
+fn enqueue_job(
+    id: u64,
+    deadline_ms: u32,
+    trace_id: u64,
+    payload: JobPayload,
+    t_admit: u64,
+    tx: &mpsc::Sender<Vec<u8>>,
+    shared: &Arc<Shared>,
+) {
     let now = Instant::now();
     let budget = if deadline_ms == 0 {
         shared.config.default_deadline
@@ -684,7 +793,7 @@ fn admit_classify(
     rec.mark(Stage::Admission, queued_ns.saturating_sub(t_admit));
     let job = Job {
         id,
-        input: image.to_signed_f32(),
+        payload,
         deadline: now + budget,
         enqueued: now,
         reply: tx.clone(),
@@ -720,7 +829,6 @@ fn admit_classify(
             finish(shared, job, resp, Outcome::Shutdown);
         }
     }
-    true
 }
 
 /// Ceiling on HTTP request bytes read after the sniffed `GET ` prefix
@@ -932,46 +1040,105 @@ fn worker_loop(shared: &Arc<Shared>) {
                 .mark(Stage::Dispatch, t_dispatched.saturating_sub(t_formed));
             job.rec.batch_size = batch_size;
         }
-        match run_batch(shared, &model, generation, &live, degraded) {
-            Ok(results) => {
-                let infer_ns = shared.clock.now_ns().saturating_sub(t_dispatched);
-                handle_verdict(
-                    shared,
-                    shared.monitor.record(&shared.slot, generation, true),
-                );
-                for (mut job, r) in live.into_iter().zip(results) {
-                    job.rec.mark(Stage::Inference, infer_ns);
-                    finish_classified(shared, job, &r, degraded, levels);
+        // Clips batch together; each scan is its own unit of isolation.
+        let (classify, scans): (Vec<Job>, Vec<Job>) = live
+            .into_iter()
+            .partition(|j| matches!(j.payload, JobPayload::Classify { .. }));
+        if !classify.is_empty() {
+            match run_batch(shared, &model, generation, &classify, degraded) {
+                Ok(results) => {
+                    let infer_ns = shared.clock.now_ns().saturating_sub(t_dispatched);
+                    handle_verdict(
+                        shared,
+                        shared.monitor.record(&shared.slot, generation, true),
+                    );
+                    for (mut job, r) in classify.into_iter().zip(results) {
+                        job.rec.mark(Stage::Inference, infer_ns);
+                        finish_classified(shared, job, &r, degraded, levels);
+                    }
+                }
+                Err(()) => {
+                    shared.m.panics.inc();
+                    handle_verdict(
+                        shared,
+                        shared.monitor.record(&shared.slot, generation, false),
+                    );
+                    // Panic isolation: retry each job alone (against the
+                    // *current* model — a rollback may just have happened)
+                    // so only the culpable request fails.
+                    for mut job in classify {
+                        let (model, generation) = shared.slot.current();
+                        let levels = model.levels().max(1) as u8;
+                        match run_batch(
+                            shared,
+                            &model,
+                            generation,
+                            std::slice::from_ref(&job),
+                            degraded,
+                        ) {
+                            Ok(mut results) => {
+                                let r = results.pop().expect("one result for one job");
+                                // Inference cost includes the failed batch
+                                // attempt this clip was part of.
+                                job.rec.mark(
+                                    Stage::Inference,
+                                    shared.clock.now_ns().saturating_sub(t_dispatched),
+                                );
+                                finish_classified(shared, job, &r, degraded, levels);
+                            }
+                            Err(()) => {
+                                shared.m.panics.inc();
+                                handle_verdict(
+                                    shared,
+                                    shared.monitor.record(&shared.slot, generation, false),
+                                );
+                                job.rec.mark(
+                                    Stage::Inference,
+                                    shared.clock.now_ns().saturating_sub(t_dispatched),
+                                );
+                                job.rec.degraded = degraded;
+                                let resp = Response::Error {
+                                    id: job.id,
+                                    code: ErrorCode::Internal,
+                                    msg: "worker panicked while classifying this clip".into(),
+                                };
+                                finish(shared, job, resp, Outcome::Internal);
+                            }
+                        }
+                    }
                 }
             }
-            Err(()) => {
-                shared.m.panics.inc();
-                handle_verdict(
-                    shared,
-                    shared.monitor.record(&shared.slot, generation, false),
-                );
-                // Panic isolation: retry each job alone (against the
-                // *current* model — a rollback may just have happened)
-                // so only the culpable request fails.
-                for mut job in live {
+        }
+        for mut job in scans {
+            match run_scan(shared, &model, generation, &job, degraded) {
+                Ok(report) => {
+                    handle_verdict(
+                        shared,
+                        shared.monitor.record(&shared.slot, generation, true),
+                    );
+                    job.rec.mark(
+                        Stage::Inference,
+                        shared.clock.now_ns().saturating_sub(t_dispatched),
+                    );
+                    finish_scanned(shared, job, &report, degraded, levels);
+                }
+                Err(()) => {
+                    shared.m.panics.inc();
+                    handle_verdict(
+                        shared,
+                        shared.monitor.record(&shared.slot, generation, false),
+                    );
+                    // One retry against the current slot (a rollback may
+                    // just have replaced a poisoned generation).
                     let (model, generation) = shared.slot.current();
                     let levels = model.levels().max(1) as u8;
-                    match run_batch(
-                        shared,
-                        &model,
-                        generation,
-                        std::slice::from_ref(&job),
-                        degraded,
-                    ) {
-                        Ok(mut results) => {
-                            let r = results.pop().expect("one result for one job");
-                            // Inference cost includes the failed batch
-                            // attempt this clip was part of.
+                    match run_scan(shared, &model, generation, &job, degraded) {
+                        Ok(report) => {
                             job.rec.mark(
                                 Stage::Inference,
                                 shared.clock.now_ns().saturating_sub(t_dispatched),
                             );
-                            finish_classified(shared, job, &r, degraded, levels);
+                            finish_scanned(shared, job, &report, degraded, levels);
                         }
                         Err(()) => {
                             shared.m.panics.inc();
@@ -987,7 +1154,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                             let resp = Response::Error {
                                 id: job.id,
                                 code: ErrorCode::Internal,
-                                msg: "worker panicked while classifying this clip".into(),
+                                msg: "worker panicked while scanning this chip".into(),
                             };
                             finish(shared, job, resp, Outcome::Internal);
                         }
@@ -1056,6 +1223,93 @@ fn run_batch(
     }
 }
 
+/// Runs one full-chip scan under `catch_unwind`, mirroring
+/// [`run_batch`]'s panic and workspace accounting.  The scanner runs
+/// the same triage → confirm cascade per window; degradation maps to
+/// triage-only scanning.
+fn run_scan(
+    shared: &Shared,
+    model: &PackedBnn,
+    generation: u64,
+    job: &Job,
+    degraded: bool,
+) -> Result<ScanReport, ()> {
+    let ws = shared.ws_pool.checkout();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut ws = ws;
+        if shared.fault.is_poisoned_request(job.id) {
+            panic!("injected fault: poisoned request {}", job.id);
+        }
+        if shared.fault.is_poisoned_generation(generation) {
+            panic!("injected fault: poisoned model generation {generation}");
+        }
+        let JobPayload::Scan { image, stride } = &job.payload else {
+            panic!("scan worker got a non-scan job");
+        };
+        let config = ScanConfig {
+            stride: *stride as usize,
+            cascade_threshold: shared.config.cascade_threshold,
+            triage_only: degraded,
+            dedup: true,
+        };
+        let scanner = Scanner::new(model, shared.config.input_size, config);
+        let report = scanner.scan(image, &mut ws);
+        (report, ws)
+    }));
+    match outcome {
+        Ok((report, ws)) => {
+            shared.ws_pool.restore(ws);
+            Ok(report)
+        }
+        Err(_) => {
+            shared.ws_pool.restore(Workspace::new());
+            Err(())
+        }
+    }
+}
+
+/// Completes a scan job: stamps the flight record (a scan is its own
+/// batch of one; escalation means any window escalated) and replies
+/// with the merged regions.  Scans skip the drift monitor — its
+/// baseline models per-clip margins, not per-window grids.
+fn finish_scanned(shared: &Shared, mut job: Job, report: &ScanReport, degraded: bool, levels: u8) {
+    job.rec.escalated = report.escalated > 0;
+    job.rec.degraded = degraded;
+    job.rec.m_level = if report.escalated > 0 { levels } else { 1 };
+    let regions: Vec<ScanHit> = report
+        .regions
+        .iter()
+        .map(|r| ScanHit {
+            x0: r.x0 as u32,
+            y0: r.y0 as u32,
+            x1: r.x1 as u32,
+            y1: r.y1 as u32,
+            score: r.score,
+            windows: r.windows as u32,
+        })
+        .collect();
+    trace::dispatch_event(
+        "serve.scan",
+        &[
+            ("trace_id", trace::Value::from(job.rec.trace_id)),
+            ("windows", trace::Value::from(report.windows)),
+            ("regions", trace::Value::from(regions.len())),
+            ("reused", trace::Value::from(report.reused)),
+            ("escalated", trace::Value::from(report.escalated)),
+            ("degraded", trace::Value::from(degraded)),
+        ],
+    );
+    let resp = Response::ScanRegions {
+        id: job.id,
+        regions,
+        windows: report.windows as u32,
+        escalated: report.escalated as u32,
+        degraded,
+        trace_id: job.rec.trace_id,
+    };
+    finish(shared, job, resp, Outcome::Ok);
+}
+
 /// The triage → confirm cascade over one batch (the serving twin of
 /// `BnnDetector::classify_cascade`, operating on pre-converted ±1
 /// inputs).  While degraded — or for M = 1 models — only the triage
@@ -1074,7 +1328,10 @@ fn classify_batch(
     let triage = model.plan_capped((side, side), 1);
     let mut input = ws.take_f32(n * plane);
     for (i, job) in jobs.iter().enumerate() {
-        input[i * plane..(i + 1) * plane].copy_from_slice(&job.input);
+        let JobPayload::Classify { input: clip } = &job.payload else {
+            panic!("classify batch got a non-classify job");
+        };
+        input[i * plane..(i + 1) * plane].copy_from_slice(clip);
     }
     let mut logits = ws.take_f32(n * 2);
     if shared.config.profile_layers {

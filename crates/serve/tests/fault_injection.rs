@@ -61,7 +61,8 @@ fn collect(client: &mut ServeClient, n: usize) -> HashMap<u64, Response> {
             | Response::Error { id, .. }
             | Response::Pong { id }
             | Response::SwapOk { id, .. }
-            | Response::Stats { id, .. } => *id,
+            | Response::Stats { id, .. }
+            | Response::ScanRegions { id, .. } => *id,
             Response::MetricsText(_) => panic!("unexpected metrics frame"),
         };
         assert!(got.insert(id, resp).is_none(), "duplicate response id {id}");

@@ -1,0 +1,250 @@
+//! Integration tests for the full-chip `Scan` request: the server's
+//! answer must match a local [`Scanner`] run with the same model and
+//! config bit-for-bit, malformed scans are rejected with typed
+//! `BadRequest`s, and scans pipeline cleanly alongside classify
+//! traffic through the shared queue.
+
+use hotspot_bnn::{scan_grid, BnnResNet, NetConfig, PackedBnn, ScanConfig, Scanner};
+use hotspot_geometry::BitImage;
+use hotspot_serve::{ErrorCode, Request, Response, ServeClient, ServeConfig, Server};
+use hotspot_tensor::Workspace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SIDE: usize = 32;
+
+/// An untrained M = 2 model — scans exercise the triage → confirm
+/// cascade, and random weights still produce deterministic margins.
+fn model(seed: u64) -> PackedBnn {
+    let mut rng = StdRng::seed_from_u64(seed);
+    PackedBnn::compile(&BnnResNet::new(
+        &NetConfig::tiny(SIDE).with_levels(2),
+        &mut rng,
+    ))
+}
+
+/// A deterministic chip with enough geometry that some windows flip
+/// hot under a random model.
+fn chip(w: usize, h: usize, seed: u64) -> BitImage {
+    let mut img = BitImage::new(w, h);
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    for y in 0..h {
+        for x in 0..w {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if (state >> 33) & 0x7 == 0 {
+                img.set(x, y, true);
+            }
+        }
+    }
+    img
+}
+
+#[test]
+fn scan_matches_local_scanner_bit_for_bit() {
+    let m = model(11);
+    let server = Server::start(ServeConfig::new(SIDE), model(11)).unwrap();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    let image = chip(64, 64, 5);
+    let stride = 16u32;
+    let resp = client.scan(1, &image, stride, 5_000).unwrap();
+    let Response::ScanRegions {
+        id,
+        regions,
+        windows,
+        escalated,
+        degraded,
+        trace_id,
+    } = resp
+    else {
+        panic!("expected ScanRegions, got {resp:?}");
+    };
+    assert_eq!(id, 1);
+    assert!(!degraded);
+    assert_ne!(trace_id, 0, "server mints a trace id when we pass 0");
+
+    let expect_windows =
+        scan_grid(64, SIDE, stride as usize).len() * scan_grid(64, SIDE, stride as usize).len();
+    assert_eq!(
+        windows as usize, expect_windows,
+        "9 windows on a 64x64 chip"
+    );
+
+    // The server uses the default cascade threshold (1.0) and dedup;
+    // mirror that locally and demand identical output.
+    let config = ScanConfig::new(stride as usize);
+    let scanner = Scanner::new(&m, SIDE, config);
+    let mut ws = Workspace::new();
+    let local = scanner.scan(&image, &mut ws);
+    assert_eq!(windows as usize, local.windows);
+    assert_eq!(escalated as usize, local.escalated);
+    assert_eq!(regions.len(), local.regions.len());
+    for (hit, r) in regions.iter().zip(&local.regions) {
+        assert_eq!(
+            (hit.x0, hit.y0, hit.x1, hit.y1),
+            (r.x0 as u32, r.y0 as u32, r.x1 as u32, r.y1 as u32)
+        );
+        assert_eq!(hit.score, r.score, "region score survives the wire");
+        assert_eq!(hit.windows as usize, r.windows);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn scan_trace_id_is_echoed_and_recorded() {
+    let server = Server::start(ServeConfig::new(SIDE), model(12)).unwrap();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let image = chip(48, 40, 9);
+    let resp = client
+        .scan_traced(7, &image, SIDE as u32, 5_000, 0xC0FFEE)
+        .unwrap();
+    let Response::ScanRegions { trace_id, .. } = resp else {
+        panic!("expected ScanRegions, got {resp:?}");
+    };
+    assert_eq!(trace_id, 0xC0FFEE);
+    // The scan is retrievable from the flight recorder under its trace
+    // id, like any classify.  The record is filed just after the reply
+    // is handed to the writer thread, so poll briefly.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+    let rec = loop {
+        if let Some(rec) = server.flight().find(0xC0FFEE) {
+            break rec;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "scan never filed in the flight recorder"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    };
+    assert_eq!(rec.request_id, 7);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_scans_get_typed_rejections() {
+    let server = Server::start(ServeConfig::new(SIDE), model(13)).unwrap();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let image = chip(64, 64, 1);
+
+    // Zero stride.
+    let resp = client.scan(1, &image, 0, 1_000).unwrap();
+    assert!(
+        matches!(
+            resp,
+            Response::Error {
+                id: 1,
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ),
+        "zero stride: {resp:?}"
+    );
+
+    // Empty chip.
+    let resp = client
+        .request(&Request::Scan {
+            id: 2,
+            deadline_ms: 1_000,
+            stride: 16,
+            width: 0,
+            height: 64,
+            words: vec![],
+            trace_id: 0,
+        })
+        .unwrap();
+    assert!(
+        matches!(
+            resp,
+            Response::Error {
+                id: 2,
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ),
+        "empty chip: {resp:?}"
+    );
+
+    // Word count that disagrees with the dimensions.
+    let resp = client
+        .request(&Request::Scan {
+            id: 3,
+            deadline_ms: 1_000,
+            stride: 16,
+            width: 64,
+            height: 64,
+            words: vec![0; 3],
+            trace_id: 0,
+        })
+        .unwrap();
+    assert!(
+        matches!(
+            resp,
+            Response::Error {
+                id: 3,
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ),
+        "short words: {resp:?}"
+    );
+
+    // The server is still healthy.
+    assert!(client.ping(4).unwrap());
+    server.shutdown();
+}
+
+#[test]
+fn scans_pipeline_alongside_classifies() {
+    let server = Server::start(ServeConfig::new(SIDE), model(14)).unwrap();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let clip = chip(SIDE, SIDE, 2);
+    let big = chip(96, 64, 3);
+
+    // Interleave pipelined classify and scan requests; every id gets
+    // exactly one typed answer of the right shape.
+    for id in 1..=10u64 {
+        if id % 2 == 0 {
+            client
+                .send(&Request::Scan {
+                    id,
+                    deadline_ms: 5_000,
+                    stride: SIDE as u32,
+                    width: big.width() as u32,
+                    height: big.height() as u32,
+                    words: big.as_words().to_vec(),
+                    trace_id: 0,
+                })
+                .unwrap();
+        } else {
+            client
+                .send(&Request::Classify {
+                    id,
+                    deadline_ms: 5_000,
+                    width: SIDE as u32,
+                    height: SIDE as u32,
+                    words: clip.as_words().to_vec(),
+                    trace_id: 0,
+                })
+                .unwrap();
+        }
+    }
+    let mut seen = std::collections::HashMap::new();
+    for _ in 0..10 {
+        let resp = client.read_response().unwrap();
+        let id = match &resp {
+            Response::Classify { id, .. } | Response::ScanRegions { id, .. } => *id,
+            other => panic!("unexpected response {other:?}"),
+        };
+        assert!(seen.insert(id, resp).is_none(), "duplicate id {id}");
+    }
+    for (id, resp) in &seen {
+        if id % 2 == 0 {
+            assert!(matches!(resp, Response::ScanRegions { .. }), "{resp:?}");
+        } else {
+            assert!(matches!(resp, Response::Classify { .. }), "{resp:?}");
+        }
+    }
+    server.shutdown();
+}

@@ -1,0 +1,160 @@
+//! Golden-fixture scan test: a chip with known embedded hotspot sites
+//! must be found by the streaming scanner at least as reliably as
+//! per-clip classification finds the same clips, with merged region
+//! centres localized to within one stride of each site centre.
+//!
+//! The fixture is constructed so ground truth is *exact*: site cells
+//! hold clips that are both oracle-labelled hotspots and
+//! detector-positive; background cells are oracle-clean and
+//! detector-negative.  Scanning at stride = window over the
+//! downsampled chip therefore sees each cell exactly as per-clip
+//! inference does, and any disagreement is a scanner defect, not
+//! model noise.
+
+use hotspot_bnn::{ScanConfig, Scanner};
+use hotspot_core::{
+    BnnDetector, BnnTrainConfig, DatasetSpec, HotspotDetector, HotspotOracle, OpticalModel,
+};
+use hotspot_geometry::BitImage;
+use hotspot_layout_gen::{ChipBuilder, ClipGenerator};
+use hotspot_tensor::Workspace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Down-sampling factor from 1280 nm / 10 nm clips (128 px) to the
+/// fast config's 32-pixel input.
+const DOWN: usize = 4;
+const CELL_PX: usize = 128;
+const WINDOW: usize = CELL_PX / DOWN;
+
+fn trained_detector() -> BnnDetector {
+    let spec = DatasetSpec {
+        train_hs: 8,
+        train_nhs: 24,
+        test_hs: 6,
+        test_nhs: 18,
+        extent: 1280,
+        seed: 424242,
+    };
+    let data = spec.build(&HotspotOracle::new(OpticalModel::default()));
+    let mut cfg = BnnTrainConfig::fast();
+    cfg.epochs = 10;
+    cfg.verbose = false;
+    let mut det = BnnDetector::new(cfg);
+    det.fit(&data.train);
+    det
+}
+
+/// Draws clips until `want` matches both the litho oracle and the
+/// trained detector — the double-agreement that makes the fixture's
+/// ground truth exact.
+fn agreed_clip(
+    clips: &ClipGenerator,
+    oracle: &HotspotOracle,
+    det: &BnnDetector,
+    rng: &mut StdRng,
+    want: bool,
+) -> (BitImage, hotspot_geometry::Layout) {
+    for _ in 0..800 {
+        let clip = clips.generate(rng);
+        if oracle.label(&clip.layout, clips.window()) != want {
+            continue;
+        }
+        let img = oracle.raster().rasterize(&clip.layout, clips.window());
+        if det.predict_batch_packed(&[&img])[0] != want {
+            continue;
+        }
+        return (img, clip.layout);
+    }
+    panic!("no clip with oracle == detector == {want} within the sampling budget");
+}
+
+#[test]
+fn scanner_finds_every_embedded_site() {
+    let det = trained_detector();
+    let oracle = HotspotOracle::new(OpticalModel::default());
+    let clips = ClipGenerator::new(1280);
+    let mut rng = StdRng::seed_from_u64(20260808);
+
+    // 4×4 cells; sites on the even checkerboard so regions stay
+    // separate at stride == window.
+    let site_cells = [(0usize, 0usize), (2, 0), (0, 2), (2, 2)];
+    let mut builder = ChipBuilder::new(4, 4, CELL_PX, 10);
+    let mut site_images: Vec<BitImage> = Vec::new();
+    for cy in 0..4 {
+        for cx in 0..4 {
+            let is_site = site_cells.contains(&(cx, cy));
+            let (img, layout) = agreed_clip(&clips, &oracle, &det, &mut rng, is_site);
+            if is_site {
+                builder.place_site((cx, cy), &img, &layout);
+                site_images.push(img);
+            } else {
+                builder.place((cx, cy), &img, &layout);
+            }
+        }
+    }
+    let chip = builder.finish();
+    assert_eq!(chip.sites.len(), site_cells.len());
+
+    // Per-clip recall on the site clips (the baseline the scanner
+    // must not undercut).  By construction this is 1.0.
+    let refs: Vec<&BitImage> = site_images.iter().collect();
+    let per_clip = det.predict_batch_packed(&refs);
+    let clip_recall = per_clip.iter().filter(|&&p| p).count() as f64 / per_clip.len() as f64;
+    assert_eq!(clip_recall, 1.0, "fixture construction broke");
+
+    // Scan the chip at the detector's input scale: window == cell,
+    // stride == window, so windows land exactly on cells.
+    let packed = det.packed().expect("trained detector has a packed model");
+    let scanner = Scanner::new(packed, WINDOW, ScanConfig::new(WINDOW));
+    let small = chip.image.downsample(DOWN, 1e-9);
+    let mut ws = Workspace::new();
+    let report = scanner.scan(&small, &mut ws);
+    assert_eq!(report.windows, 16);
+
+    // Site recall: a site counts as found when some merged region's
+    // centre lies within one stride of the site centre.
+    let stride = scanner.config().stride;
+    let mut found = 0usize;
+    for site in &chip.sites {
+        let (scx, scy) = (site.center_px.0 / DOWN, site.center_px.1 / DOWN);
+        let hit = report.regions.iter().any(|r| {
+            let (rcx, rcy) = r.center();
+            rcx.abs_diff(scx) <= stride && rcy.abs_diff(scy) <= stride
+        });
+        if hit {
+            found += 1;
+        }
+    }
+    let scan_recall = found as f64 / chip.sites.len() as f64;
+    assert!(
+        scan_recall >= clip_recall,
+        "scanner recall {scan_recall} fell below per-clip recall {clip_recall}: {:?}",
+        report.regions
+    );
+
+    // With detector-negative background, the region set is exactly
+    // the sites: one region per site, centred on its cell.
+    assert_eq!(
+        report.regions.len(),
+        chip.sites.len(),
+        "background windows fired: {:?}",
+        report.regions
+    );
+    for site in &chip.sites {
+        let (scx, scy) = (site.center_px.0 / DOWN, site.center_px.1 / DOWN);
+        let nearest = report
+            .regions
+            .iter()
+            .map(|r| {
+                let (rcx, rcy) = r.center();
+                rcx.abs_diff(scx) + rcy.abs_diff(scy)
+            })
+            .min()
+            .expect("non-empty regions");
+        assert!(
+            nearest <= stride,
+            "site at ({scx}, {scy}) localized {nearest} px away"
+        );
+    }
+}
