@@ -41,12 +41,14 @@ fn main() {
     let mut out_path = String::from("BENCH_kernels.json");
     let mut quick = false;
     let mut check = false;
+    let mut profile_batch = false;
     let mut ref_ns: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--check" => check = true,
+            "--profile-batch" => profile_batch = true,
             "--ref-ns" => {
                 ref_ns = Some(
                     args.next()
@@ -142,11 +144,111 @@ fn main() {
         level_results.push((m, wall_ns as f64 / runs as f64, best as f64));
     }
 
+    // Batch scaling through the bit-sliced XNOR-GEMM tier: clips/sec
+    // at batch 1/4/16/64 per backend via `run_batch_into`.  Batch 1
+    // falls back to the per-item path (the tier needs 2+ clips), so
+    // the batch-1 point doubles as the series' single-clip baseline;
+    // larger batches amortize the dense B-repack across filters and
+    // residual levels and fill the vector lanes with whole GEMM tiles.
+    let batch_sizes: &[usize] = if quick { &[1, 4, 16] } else { &[1, 4, 16, 64] };
+    let max_batch = *batch_sizes.last().unwrap();
+    let mut state = 0xba7c41_u32;
+    let batch_input: Vec<f32> = (0..max_batch * side * side)
+        .map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            if state & 0x8000 == 0 {
+                1.0
+            } else {
+                -1.0
+            }
+        })
+        .collect();
+    // (backend, batch, mean_ns_per_clip, best_ns_per_clip)
+    let mut batch_results: Vec<(KernelBackend, usize, f64, f64)> = Vec::new();
+    let mut batch_reference: Option<Vec<f32>> = None;
+    for backend in KernelBackend::available() {
+        let plan = packed.plan_with_backend((side, side), backend);
+        let mut ws = Workspace::new();
+        for &bs in batch_sizes {
+            let iters = (runs * 8 / bs).clamp(4, runs * 4);
+            let inp = &batch_input[..bs * side * side];
+            let mut logits = vec![0.0f32; bs * 2];
+            plan.run_batch_into(inp, bs, &mut ws, &mut logits); // warm-up
+            if bs == max_batch {
+                match &batch_reference {
+                    None => batch_reference = Some(logits.clone()),
+                    Some(r) => assert_eq!(
+                        &logits,
+                        r,
+                        "batched backend {} diverged from the reference",
+                        backend.name()
+                    ),
+                }
+            }
+            let mut best = u64::MAX;
+            let total = Timer::start(&clock);
+            for _ in 0..iters {
+                let t = Timer::start(&clock);
+                plan.run_batch_into(inp, bs, &mut ws, &mut logits);
+                best = best.min(t.elapsed_ns());
+            }
+            let wall_ns = total.elapsed_ns();
+            batch_results.push((
+                backend,
+                bs,
+                wall_ns as f64 / (iters * bs) as f64,
+                best as f64 / bs as f64,
+            ));
+        }
+    }
+
+    // `--profile-batch`: per-layer timing of the batched tier at batch
+    // 16 on the dispatched backend, next to the per-item path — shows
+    // which layers the GEMM tier pays off on and where the remaining
+    // time sits.
+    if profile_batch {
+        let bs = 16.min(max_batch);
+        let plan = packed.plan_with_backend((side, side), dispatch.active);
+        let inp = &batch_input[..bs * side * side];
+        let mut logits = vec![0.0f32; bs * 2];
+        let mut ws = Workspace::new();
+        let mut per_item = plan.profiler();
+        plan.run_into_profiled(inp, bs, &mut ws, &mut logits, &mut per_item);
+        plan.run_into_profiled(inp, bs, &mut ws, &mut logits, &mut per_item);
+        let mut batched = plan.profiler();
+        plan.run_batch_into_profiled(inp, bs, &mut ws, &mut logits, &mut batched);
+        plan.run_batch_into_profiled(inp, bs, &mut ws, &mut logits, &mut batched);
+        println!(
+            "{:<16} {:>14} {:>14} {:>8}  (batch {bs}, {})",
+            "step",
+            "per_item_ns",
+            "batched_ns",
+            "ratio",
+            dispatch.active.name()
+        );
+        // Chunked sub-batches record more calls per step, so compare
+        // totals (same clip count both sides).
+        for (a, b) in per_item.report().iter().zip(batched.report().iter()) {
+            println!(
+                "{:<16} {:>14} {:>14} {:>7.2}x",
+                a.name,
+                a.total_ns,
+                b.total_ns,
+                a.total_ns as f64 / (b.total_ns.max(1)) as f64
+            );
+        }
+    }
+
     let mut json = String::new();
     json.push_str("{\n  \"benchmark\": \"kernel_backends\",\n");
     let _ = writeln!(json, "  \"input_size\": {side},");
     let _ = writeln!(json, "  \"runs\": {runs},");
     let _ = writeln!(json, "  \"dispatched\": \"{}\",", dispatch.active.name());
+    let _ = writeln!(
+        json,
+        "  \"gemm_tier\": {},",
+        packed.plan((side, side)).gemm_tier()
+    );
     if let Some(r) = ref_ns {
         let _ = writeln!(json, "  \"reference_ns_per_clip\": {r:.0},");
         json.push_str(
@@ -190,6 +292,24 @@ fn main() {
             if i + 1 < level_results.len() { "," } else { "" }
         );
     }
+    json.push_str("  ],\n  \"batch_scaling\": [\n");
+    for (i, (backend, bs, mean, best)) in batch_results.iter().enumerate() {
+        let base = batch_results
+            .iter()
+            .find(|(b, n, _, _)| b == backend && *n == 1)
+            .map(|(_, _, m, _)| *m)
+            .unwrap_or(*mean);
+        let _ = writeln!(
+            json,
+            "    {{\"backend\": \"{}\", \"batch\": {bs}, \"mean_ns_per_clip\": {mean:.0}, \
+             \"best_ns_per_clip\": {best:.0}, \"clips_per_sec\": {:.1}, \
+             \"speedup_vs_batch1\": {:.2}}}{}",
+            backend.name(),
+            1e9 / mean,
+            base / mean,
+            if i + 1 < batch_results.len() { "," } else { "" }
+        );
+    }
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write benchmark json");
 
@@ -224,6 +344,26 @@ fn main() {
         );
     }
 
+    println!(
+        "{:<8} {:>6} {:>14} {:>12} {:>10}",
+        "backend", "batch", "mean_ns/clip", "clips/s", "vs batch1"
+    );
+    for (backend, bs, mean, _) in &batch_results {
+        let base = batch_results
+            .iter()
+            .find(|(b, n, _, _)| b == backend && *n == 1)
+            .map(|(_, _, m, _)| *m)
+            .unwrap_or(*mean);
+        println!(
+            "{:<8} {:>6} {:>14.0} {:>12.1} {:>9.2}x",
+            backend.name(),
+            bs,
+            mean,
+            1e9 / mean,
+            base / mean
+        );
+    }
+
     if check {
         let active = results
             .iter()
@@ -241,5 +381,27 @@ fn main() {
             active.backend.name(),
             scalar_mean / active.mean_ns_per_clip
         );
+        // The batched GEMM tier must never lose to per-item execution
+        // on the dispatched backend at batch 16 — that would mean the
+        // dense repack costs more than the microkernels save.
+        let single = active.mean_ns_per_clip;
+        if let Some((_, _, mean16, _)) = batch_results
+            .iter()
+            .find(|(b, n, _, _)| *b == dispatch.active && *n == 16)
+        {
+            assert!(
+                *mean16 <= single,
+                "batch regression: {} batch-16 ({:.0} ns/clip) is slower \
+                 than single-clip ({:.0} ns/clip)",
+                dispatch.active.name(),
+                mean16,
+                single
+            );
+            println!(
+                "check ok: {} batch-16 is {:.2}x single-clip",
+                dispatch.active.name(),
+                single / mean16
+            );
+        }
     }
 }

@@ -185,9 +185,19 @@ fn main() {
         }
     }
 
+    // Window batches of 2+ route through the bit-sliced XNOR-GEMM
+    // tier when the triage plan compiled one; record which tier
+    // produced these numbers.
+    let gemm_tier = model.plan((window, window)).gemm_tier();
+    println!(
+        "batched conv tier: {}",
+        if gemm_tier { "xnor-gemm" } else { "per-item" }
+    );
+
     let mut json = String::new();
     json.push_str("{\n  \"benchmark\": \"scan\",\n");
     let _ = writeln!(json, "  \"window\": {window},");
+    let _ = writeln!(json, "  \"gemm_tier\": {gemm_tier},");
     let _ = writeln!(json, "  \"levels\": {},", config.levels);
     let _ = writeln!(json, "  \"cascade_threshold\": {threshold:.6},");
     let _ = writeln!(

@@ -142,9 +142,19 @@ fn main() {
         }
     }
 
+    // Record which conv execution tier batched requests hit: batches
+    // of 2+ clips route through the bit-sliced XNOR-GEMM tier when the
+    // plan compiled one.
+    let gemm_tier = model.plan((side, side)).gemm_tier();
+    println!(
+        "batched conv tier: {}",
+        if gemm_tier { "xnor-gemm" } else { "per-item" }
+    );
+
     let mut json = String::new();
     json.push_str("{\n  \"benchmark\": \"serving\",\n");
     let _ = writeln!(json, "  \"input_size\": {side},");
+    let _ = writeln!(json, "  \"gemm_tier\": {gemm_tier},");
     let _ = writeln!(json, "  \"levels\": {},", config.levels);
     let _ = writeln!(json, "  \"requests_per_combo\": {total_requests},");
     json.push_str("  \"serving\": [\n");

@@ -11,32 +11,53 @@
 //!   `_x4` form reuses each loaded input word across four output
 //!   filters).
 //!
-//! Four implementations exist, selected **once** per
+//! Six implementations exist, selected **once** per
 //! [`ExecPlan`](crate::plan::ExecPlan) compile (not per call):
 //!
 //! * [`KernelBackend::Scalar`] — the always-correct reference:
-//!   one-word-at-a-time `u64::count_ones`.
+//!   one-word-at-a-time `u64::count_ones` (compiles to hardware
+//!   `popcnt` where available).
 //! * [`KernelBackend::Swar`] — portable SWAR popcount, four
 //!   independent accumulator chains per iteration for instruction-level
-//!   parallelism.  Works on every architecture.
+//!   parallelism.  Works on every architecture, but benches at parity
+//!   with (or below) the scalar loop on CPUs with hardware popcount,
+//!   so it is **never auto-detected** — it exists as a forceable
+//!   portability fallback and test subject only.
 //! * [`KernelBackend::Ssse3`] — `pshufb` nibble-lookup popcount on
 //!   128-bit lanes (`std::arch`, gated by `is_x86_feature_detected!`).
 //! * [`KernelBackend::Avx2`] — the same lookup on 256-bit lanes, four
 //!   `u64` words per iteration.
+//! * [`KernelBackend::Avx512`] — native per-lane popcount
+//!   (`vpopcntdq`) on 512-bit lanes, eight `u64` words per iteration;
+//!   requires both `avx512f` and `avx512vpopcntdq`.
+//! * [`KernelBackend::Neon`] — AArch64 `vcntq_u8` byte popcount with
+//!   pairwise widening reduction, two `u64` words per iteration.
+//!
+//! Each backend also carries a batched bit-sliced GEMM tier behind the
+//! [`gemm::PopcountGemm`] trait (see `kernels/gemm.rs`): the forced /
+//! detected [`KernelBackend`] selects both the span kernels below and
+//! the GEMM microkernel together.
 //!
 //! All backends compute identical integer counts, so every backend
 //! produces **bit-identical logits** (enforced by the
 //! `kernel_backends_*` property tests).  [`active_backend`] picks the
 //! best supported backend at first use; the `HOTSPOT_KERNEL_BACKEND`
-//! environment variable (`scalar`/`swar`/`ssse3`/`avx2`) overrides the
+//! environment variable
+//! (`scalar`/`swar`/`ssse3`/`avx2`/`avx512`/`neon`) overrides the
 //! choice for benchmarking and CI equivalence runs.
 
+#[cfg(target_arch = "x86_64")]
+mod avx512;
+pub mod gemm;
 pub mod geom;
+#[cfg(target_arch = "aarch64")]
+mod neon;
 mod scalar;
 mod swar;
 #[cfg(target_arch = "x86_64")]
 mod x86;
 
+pub use gemm::{gemm_backend, PopcountGemm};
 pub use geom::ConvGeometry;
 
 use std::sync::OnceLock;
@@ -54,6 +75,12 @@ pub enum KernelBackend {
     /// AVX2 nibble-lookup popcount, 4 `u64` words per vector
     /// (x86-64 only).
     Avx2,
+    /// AVX-512 native `vpopcntdq` popcount, 8 `u64` words per vector
+    /// (x86-64 only; needs `avx512f` + `avx512vpopcntdq`).
+    Avx512,
+    /// AArch64 NEON `vcntq_u8` byte popcount, 2 `u64` words per vector
+    /// (aarch64 only).
+    Neon,
 }
 
 impl KernelBackend {
@@ -65,6 +92,8 @@ impl KernelBackend {
             KernelBackend::Swar => "swar",
             KernelBackend::Ssse3 => "ssse3",
             KernelBackend::Avx2 => "avx2",
+            KernelBackend::Avx512 => "avx512",
+            KernelBackend::Neon => "neon",
         }
     }
 
@@ -75,6 +104,8 @@ impl KernelBackend {
             "swar" => Some(KernelBackend::Swar),
             "ssse3" => Some(KernelBackend::Ssse3),
             "avx2" => Some(KernelBackend::Avx2),
+            "avx512" => Some(KernelBackend::Avx512),
+            "neon" => Some(KernelBackend::Neon),
             _ => None,
         }
     }
@@ -84,7 +115,8 @@ impl KernelBackend {
         match self {
             KernelBackend::Scalar => 1,
             KernelBackend::Swar | KernelBackend::Avx2 => 4,
-            KernelBackend::Ssse3 => 2,
+            KernelBackend::Ssse3 | KernelBackend::Neon => 2,
+            KernelBackend::Avx512 => 8,
         }
     }
 
@@ -96,7 +128,14 @@ impl KernelBackend {
             KernelBackend::Ssse3 => std::arch::is_x86_feature_detected!("ssse3"),
             #[cfg(target_arch = "x86_64")]
             KernelBackend::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
-            #[cfg(not(target_arch = "x86_64"))]
+            #[cfg(target_arch = "x86_64")]
+            KernelBackend::Avx512 => {
+                std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("avx512vpopcntdq")
+            }
+            #[cfg(target_arch = "aarch64")]
+            KernelBackend::Neon => true,
+            #[allow(unreachable_patterns)]
             _ => false,
         }
     }
@@ -108,6 +147,8 @@ impl KernelBackend {
             KernelBackend::Swar,
             KernelBackend::Ssse3,
             KernelBackend::Avx2,
+            KernelBackend::Avx512,
+            KernelBackend::Neon,
         ]
         .into_iter()
         .filter(|b| b.is_supported())
@@ -115,14 +156,22 @@ impl KernelBackend {
     }
 
     /// The best supported backend on this CPU.
+    ///
+    /// Preference order: AVX-512 > AVX2 > SSSE3 > NEON > scalar.  SWAR
+    /// is deliberately absent — it benches at or below the scalar loop
+    /// on hardware with native popcount (see BENCH_kernels.json), so
+    /// auto-detection never picks it; it remains forceable via
+    /// `HOTSPOT_KERNEL_BACKEND=swar`.
     pub fn detect() -> KernelBackend {
-        if KernelBackend::Avx2.is_supported() {
-            KernelBackend::Avx2
-        } else if KernelBackend::Ssse3.is_supported() {
-            KernelBackend::Ssse3
-        } else {
-            KernelBackend::Swar
-        }
+        [
+            KernelBackend::Avx512,
+            KernelBackend::Avx2,
+            KernelBackend::Ssse3,
+            KernelBackend::Neon,
+        ]
+        .into_iter()
+        .find(|b| b.is_supported())
+        .unwrap_or(KernelBackend::Scalar)
     }
 }
 
@@ -197,8 +246,14 @@ pub fn xor_popcount(backend: KernelBackend, x: &[u64], y: &[u64]) -> u32 {
         KernelBackend::Ssse3 => unsafe { x86::xor_popcount_ssse3(x, y) },
         #[cfg(target_arch = "x86_64")]
         KernelBackend::Avx2 => unsafe { x86::xor_popcount_avx2(x, y) },
-        #[cfg(not(target_arch = "x86_64"))]
-        _ => swar::xor_popcount(x, y),
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx512 => unsafe { avx512::xor_popcount_avx512(x, y) },
+        #[cfg(target_arch = "aarch64")]
+        KernelBackend::Neon => unsafe { neon::xor_popcount_neon(x, y) },
+        // Foreign-architecture variants can never be dispatched
+        // (`is_supported()` is false); keep the match total.
+        #[allow(unreachable_patterns)]
+        _ => scalar::xor_popcount(x, y),
     }
 }
 
@@ -218,8 +273,12 @@ pub fn accum_xor_popcount(backend: KernelBackend, acc: &mut [i32], src: &[u64], 
         KernelBackend::Ssse3 => unsafe { x86::accum_xor_popcount_ssse3(acc, src, w) },
         #[cfg(target_arch = "x86_64")]
         KernelBackend::Avx2 => unsafe { x86::accum_xor_popcount_avx2(acc, src, w) },
-        #[cfg(not(target_arch = "x86_64"))]
-        _ => swar::accum_xor_popcount(acc, src, w),
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx512 => unsafe { avx512::accum_xor_popcount_avx512(acc, src, w) },
+        #[cfg(target_arch = "aarch64")]
+        KernelBackend::Neon => unsafe { neon::accum_xor_popcount_neon(acc, src, w) },
+        #[allow(unreachable_patterns)]
+        _ => scalar::accum_xor_popcount(acc, src, w),
     }
 }
 
@@ -246,9 +305,82 @@ pub fn accum_xor_popcount_x4(
         KernelBackend::Ssse3 => unsafe { x86::accum_xor_popcount_x4_ssse3(acc, src, ws) },
         #[cfg(target_arch = "x86_64")]
         KernelBackend::Avx2 => unsafe { x86::accum_xor_popcount_x4_avx2(acc, src, ws) },
-        #[cfg(not(target_arch = "x86_64"))]
-        _ => swar::accum_xor_popcount_x4(acc, src, ws),
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx512 => unsafe { avx512::accum_xor_popcount_x4_avx512(acc, src, ws) },
+        #[cfg(target_arch = "aarch64")]
+        KernelBackend::Neon => unsafe { neon::accum_xor_popcount_x4_neon(acc, src, ws) },
+        #[allow(unreachable_patterns)]
+        _ => scalar::accum_xor_popcount_x4(acc, src, ws),
     }
+}
+
+/// Backend-dispatched form of
+/// [`pack_affine_mean_into`](crate::bitpack::pack_affine_mean_into):
+/// the fused batch-norm affine + sign-pack + `|v|` channel-mean pass
+/// that fronts every scaled packed convolution.  On AVX2/AVX-512 with
+/// single-word channels (`c <= 64`) the per-pixel loop runs 8/16 f32
+/// lanes wide; every other backend or layout falls through to the
+/// portable loop.
+///
+/// Bit-exact by construction: the channel loop stays outer and
+/// in-order (each pixel's mean accumulates channels ascending, as the
+/// portable pass does), the vector bodies use separate multiply and
+/// add (no FMA contraction), `|v|` is the same sign-bit clear, and the
+/// `>= 0` compare is ordered-quiet — so packed words and mean f32s are
+/// identical to the scalar reference on every input including NaN and
+/// `-0.0` (covered by the `pack_affine_mean_backends_bit_identical`
+/// test).
+///
+/// # Panics
+///
+/// Panics when a slice length disagrees with the dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn pack_affine_mean(
+    backend: KernelBackend,
+    item: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    scale: &[f32],
+    shift: &[f32],
+    data: &mut [u64],
+    mean: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if c <= 64 && matches!(backend, KernelBackend::Avx2 | KernelBackend::Avx512) {
+        let plane = h * w;
+        assert_eq!(item.len(), c * plane, "source length mismatch");
+        assert_eq!(data.len(), plane, "packed buffer length mismatch");
+        assert_eq!(mean.len(), plane, "mean buffer length mismatch");
+        assert!(
+            scale.len() == c && shift.len() == c,
+            "one affine per channel"
+        );
+        data.fill(0);
+        mean.fill(0.0);
+        for ci in 0..c {
+            let src = &item[ci * plane..(ci + 1) * plane];
+            // SAFETY: backends are only selected when
+            // `is_x86_feature_detected!` confirmed the feature.
+            match backend {
+                KernelBackend::Avx512 => unsafe {
+                    avx512::pack_affine_channel_avx512(
+                        src, scale[ci], shift[ci], ci as u32, data, mean,
+                    )
+                },
+                _ => unsafe {
+                    x86::pack_affine_channel_avx2(src, scale[ci], shift[ci], ci as u32, data, mean)
+                },
+            }
+        }
+        let inv_c = 1.0 / c as f32;
+        for m in mean.iter_mut() {
+            *m *= inv_c;
+        }
+        return;
+    }
+    let _ = backend;
+    crate::bitpack::pack_affine_mean_into(item, c, h, w, scale, shift, data, mean);
 }
 
 #[cfg(test)]
@@ -358,6 +490,46 @@ mod tests {
             };
             accum_xor_popcount_x4(backend, [a0, a1, a2, a3], &src, ws4);
             assert_eq!(acc, expect, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn pack_affine_mean_backends_bit_identical() {
+        // Shapes chosen to exercise the vector body, the scalar tail
+        // (plane % 16 != 0), the channel-bit sweep, and the multi-word
+        // fallback (c > 64); values cross zero and include -0.0 and
+        // exact zeros so the ordered >= compare is pinned down.
+        for (c, h, w) in [(1, 7, 9), (3, 16, 16), (8, 13, 5), (64, 4, 5), (65, 3, 3)] {
+            let plane = h * w;
+            let mut s = 0x9e3779b97f4a7c15u64;
+            let mut nextf = move || {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((s >> 33) as i32 % 1000) as f32 / 250.0 - 2.0
+            };
+            let mut item: Vec<f32> = (0..c * plane).map(|_| nextf()).collect();
+            item[0] = -0.0;
+            item[plane / 2] = 0.0;
+            let scale: Vec<f32> = (0..c).map(|_| nextf().abs() + 0.1).collect();
+            let shift: Vec<f32> = (0..c).map(|_| nextf() * 0.2).collect();
+            let wpp = c.div_ceil(64);
+            let mut edata = vec![!0u64; plane * wpp];
+            let mut emean = vec![9.0f32; plane];
+            crate::bitpack::pack_affine_mean_into(
+                &item, c, h, w, &scale, &shift, &mut edata, &mut emean,
+            );
+            for backend in KernelBackend::available() {
+                let mut data = vec![!0u64; plane * wpp];
+                let mut mean = vec![9.0f32; plane];
+                pack_affine_mean(
+                    backend, &item, c, h, w, &scale, &shift, &mut data, &mut mean,
+                );
+                assert_eq!(data, edata, "{} c={c} {h}x{w} words", backend.name());
+                let eb: Vec<u32> = emean.iter().map(|v| v.to_bits()).collect();
+                let mb: Vec<u32> = mean.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(mb, eb, "{} c={c} {h}x{w} mean", backend.name());
+            }
         }
     }
 

@@ -1,0 +1,191 @@
+//! AArch64 NEON kernels: byte-wise popcount via `vcntq_u8`.
+//!
+//! NEON has no per-`u64` popcount, but `CNT` counts every byte of a
+//! 128-bit register at once; three pairwise widening adds
+//! (`vpaddlq_u8 → u16`, `→ u32`, `→ u64`) collapse the byte counts back
+//! into one count per `u64` lane.  For the span-total form the byte
+//! counts accumulate in a `u16×8` register (each lane gains at most 16
+//! per step, so thousands of iterations fit) and reduce once at the
+//! end.
+//!
+//! NEON is baseline on AArch64, so this backend is always supported
+//! there and never compiled elsewhere.  Every function still follows
+//! the crate's `unsafe` + `#[target_feature]` kernel idiom.
+
+#![cfg(target_arch = "aarch64")]
+
+use std::arch::aarch64::*;
+
+/// Per-`u64`-lane popcount of a 128-bit vector.
+///
+/// # Safety
+///
+/// Requires NEON (baseline on AArch64).
+#[inline]
+#[target_feature(enable = "neon")]
+unsafe fn popcnt_u64x2(v: uint8x16_t) -> uint64x2_t {
+    vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(vcntq_u8(v))))
+}
+
+/// # Safety
+///
+/// Requires NEON (baseline on AArch64).
+#[target_feature(enable = "neon")]
+pub unsafe fn xor_popcount_neon(x: &[u64], y: &[u64]) -> u32 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut acc16 = vdupq_n_u16(0);
+    let xc = x.chunks_exact(2);
+    let yc = y.chunks_exact(2);
+    let xr = xc.remainder();
+    let yr = yc.remainder();
+    for (a, b) in xc.zip(yc) {
+        let va = vld1q_u64(a.as_ptr());
+        let vb = vld1q_u64(b.as_ptr());
+        let cnt = vcntq_u8(vreinterpretq_u8_u64(veorq_u64(va, vb)));
+        acc16 = vpadalq_u8(acc16, cnt);
+    }
+    let mut sum = vaddlvq_u16(acc16);
+    for (&a, &b) in xr.iter().zip(yr) {
+        sum += (a ^ b).count_ones();
+    }
+    sum
+}
+
+/// # Safety
+///
+/// Requires NEON (baseline on AArch64).
+#[target_feature(enable = "neon")]
+pub unsafe fn accum_xor_popcount_neon(acc: &mut [i32], src: &[u64], w: u64) {
+    debug_assert_eq!(acc.len(), src.len());
+    let wv = vdupq_n_u64(w);
+    let sc = src.chunks_exact(2);
+    let sr = sc.remainder();
+    let mut done = 0;
+    for s in sc {
+        let v = veorq_u64(vld1q_u64(s.as_ptr()), wv);
+        let cnt = popcnt_u64x2(vreinterpretq_u8_u64(v));
+        acc[done] += vgetq_lane_u64(cnt, 0) as i32;
+        acc[done + 1] += vgetq_lane_u64(cnt, 1) as i32;
+        done += 2;
+    }
+    for (a, &s) in acc[done..].iter_mut().zip(sr) {
+        *a += (s ^ w).count_ones() as i32;
+    }
+}
+
+/// # Safety
+///
+/// Requires NEON (baseline on AArch64).
+#[target_feature(enable = "neon")]
+pub unsafe fn accum_xor_popcount_x4_neon(acc: [&mut [i32]; 4], src: &[u64], ws: [u64; 4]) {
+    let [a0, a1, a2, a3] = acc;
+    debug_assert!(a0.len() == src.len() && a1.len() == src.len());
+    debug_assert!(a2.len() == src.len() && a3.len() == src.len());
+    let wv = [
+        vdupq_n_u64(ws[0]),
+        vdupq_n_u64(ws[1]),
+        vdupq_n_u64(ws[2]),
+        vdupq_n_u64(ws[3]),
+    ];
+    let sc = src.chunks_exact(2);
+    let sr = sc.remainder();
+    let mut done = 0;
+    for s in sc {
+        // One load feeds all four filters.
+        let v = vld1q_u64(s.as_ptr());
+        let c0 = popcnt_u64x2(vreinterpretq_u8_u64(veorq_u64(v, wv[0])));
+        a0[done] += vgetq_lane_u64(c0, 0) as i32;
+        a0[done + 1] += vgetq_lane_u64(c0, 1) as i32;
+        let c1 = popcnt_u64x2(vreinterpretq_u8_u64(veorq_u64(v, wv[1])));
+        a1[done] += vgetq_lane_u64(c1, 0) as i32;
+        a1[done + 1] += vgetq_lane_u64(c1, 1) as i32;
+        let c2 = popcnt_u64x2(vreinterpretq_u8_u64(veorq_u64(v, wv[2])));
+        a2[done] += vgetq_lane_u64(c2, 0) as i32;
+        a2[done + 1] += vgetq_lane_u64(c2, 1) as i32;
+        let c3 = popcnt_u64x2(vreinterpretq_u8_u64(veorq_u64(v, wv[3])));
+        a3[done] += vgetq_lane_u64(c3, 0) as i32;
+        a3[done + 1] += vgetq_lane_u64(c3, 1) as i32;
+        done += 2;
+    }
+    for (i, &s) in sr.iter().enumerate() {
+        a0[done + i] += (s ^ ws[0]).count_ones() as i32;
+        a1[done + i] += (s ^ ws[1]).count_ones() as i32;
+        a2[done + i] += (s ^ ws[2]).count_ones() as i32;
+        a3[done + i] += (s ^ ws[3]).count_ones() as i32;
+    }
+}
+
+/// Register-blocked popcount-GEMM microkernel: for `FB ≤ 4` filters,
+/// `acc[f*np + p] += Σ_j popcount(a[f*kwords + j] ^ b[j*np + p])`.
+///
+/// Processes 4 tile columns per outer iteration (two q registers per
+/// filter), holding all `2·FB` `u64×2` accumulators in registers across
+/// the whole `kwords` reduction.
+///
+/// # Safety
+///
+/// Requires NEON; slice bounds as in `PopcountGemm::gemm_block`.
+#[target_feature(enable = "neon")]
+unsafe fn gemm_block_fb_neon<const FB: usize>(
+    acc: &mut [i32],
+    a: &[u64],
+    b: &[u64],
+    np: usize,
+    kwords: usize,
+) {
+    let mut p = 0usize;
+    while p + 4 <= np {
+        let mut c0 = [vdupq_n_u64(0); FB];
+        let mut c1 = [vdupq_n_u64(0); FB];
+        for j in 0..kwords {
+            let bp = b.as_ptr().add(j * np + p);
+            let b0 = vld1q_u64(bp);
+            let b1 = vld1q_u64(bp.add(2));
+            for f in 0..FB {
+                let wv = vdupq_n_u64(*a.get_unchecked(f * kwords + j));
+                c0[f] = vaddq_u64(c0[f], popcnt_u64x2(vreinterpretq_u8_u64(veorq_u64(b0, wv))));
+                c1[f] = vaddq_u64(c1[f], popcnt_u64x2(vreinterpretq_u8_u64(veorq_u64(b1, wv))));
+            }
+        }
+        for f in 0..FB {
+            let base = f * np + p;
+            acc[base] += vgetq_lane_u64(c0[f], 0) as i32;
+            acc[base + 1] += vgetq_lane_u64(c0[f], 1) as i32;
+            acc[base + 2] += vgetq_lane_u64(c1[f], 0) as i32;
+            acc[base + 3] += vgetq_lane_u64(c1[f], 1) as i32;
+        }
+        p += 4;
+    }
+    while p < np {
+        for f in 0..FB {
+            let mut s = 0u32;
+            for j in 0..kwords {
+                s += (a[f * kwords + j] ^ b[j * np + p]).count_ones();
+            }
+            acc[f * np + p] += s as i32;
+        }
+        p += 1;
+    }
+}
+
+/// Runtime-`fb` front for [`gemm_block_fb_neon`].
+///
+/// # Safety
+///
+/// Requires NEON (baseline on AArch64).
+#[target_feature(enable = "neon")]
+pub unsafe fn gemm_block_neon(
+    acc: &mut [i32],
+    fb: usize,
+    a: &[u64],
+    b: &[u64],
+    np: usize,
+    kwords: usize,
+) {
+    match fb {
+        4 => gemm_block_fb_neon::<4>(acc, a, b, np, kwords),
+        3 => gemm_block_fb_neon::<3>(acc, a, b, np, kwords),
+        2 => gemm_block_fb_neon::<2>(acc, a, b, np, kwords),
+        _ => gemm_block_fb_neon::<1>(acc, a, b, np, kwords),
+    }
+}

@@ -220,6 +220,95 @@ pub unsafe fn accum_xor_popcount_x4_avx2(acc: [&mut [i32]; 4], src: &[u64], ws: 
     }
 }
 
+/// Register-blocked popcount-GEMM microkernel: for `FB ≤ 4` filters,
+/// `acc[f*np + p] += Σ_j popcount(a[f*kwords + j] ^ b[j*np + p])`.
+///
+/// Processes 8 tile columns per outer iteration (two ymm registers per
+/// filter), holding all `2·FB` u64-lane accumulators in registers
+/// across the whole `kwords` reduction — the B tile is streamed once
+/// per filter block instead of the accumulator row being re-loaded per
+/// reduction word.
+///
+/// # Safety
+///
+/// Requires AVX2; slice bounds as in `PopcountGemm::gemm_block`.
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_block_fb_avx2<const FB: usize>(
+    acc: &mut [i32],
+    a: &[u64],
+    b: &[u64],
+    np: usize,
+    kwords: usize,
+) {
+    let mut p = 0usize;
+    while p + 8 <= np {
+        let mut c0 = [_mm256_setzero_si256(); FB];
+        let mut c1 = [_mm256_setzero_si256(); FB];
+        for j in 0..kwords {
+            let bp = b.as_ptr().add(j * np + p);
+            let b0 = _mm256_loadu_si256(bp as *const __m256i);
+            let b1 = _mm256_loadu_si256(bp.add(4) as *const __m256i);
+            for f in 0..FB {
+                let wv = _mm256_set1_epi64x(*a.get_unchecked(f * kwords + j) as i64);
+                c0[f] = _mm256_add_epi64(c0[f], popcnt_epi64_avx2(_mm256_xor_si256(b0, wv)));
+                c1[f] = _mm256_add_epi64(c1[f], popcnt_epi64_avx2(_mm256_xor_si256(b1, wv)));
+            }
+        }
+        for f in 0..FB {
+            let ap = acc.as_mut_ptr().add(f * np + p);
+            add_counts4_avx2(ap, c0[f]);
+            add_counts4_avx2(ap.add(4), c1[f]);
+        }
+        p += 8;
+    }
+    if p + 4 <= np {
+        let mut c0 = [_mm256_setzero_si256(); FB];
+        for j in 0..kwords {
+            let b0 = _mm256_loadu_si256(b.as_ptr().add(j * np + p) as *const __m256i);
+            for (f, cf) in c0.iter_mut().enumerate() {
+                let wv = _mm256_set1_epi64x(*a.get_unchecked(f * kwords + j) as i64);
+                *cf = _mm256_add_epi64(*cf, popcnt_epi64_avx2(_mm256_xor_si256(b0, wv)));
+            }
+        }
+        for (f, &cf) in c0.iter().enumerate() {
+            add_counts4_avx2(acc.as_mut_ptr().add(f * np + p), cf);
+        }
+        p += 4;
+    }
+    while p < np {
+        for f in 0..FB {
+            let mut s = 0u32;
+            for j in 0..kwords {
+                s += (a[f * kwords + j] ^ b[j * np + p]).count_ones();
+            }
+            acc[f * np + p] += s as i32;
+        }
+        p += 1;
+    }
+}
+
+/// Runtime-`fb` front for [`gemm_block_fb_avx2`].
+///
+/// # Safety
+///
+/// Requires AVX2 (checked by the dispatcher).
+#[target_feature(enable = "avx2")]
+pub unsafe fn gemm_block_avx2(
+    acc: &mut [i32],
+    fb: usize,
+    a: &[u64],
+    b: &[u64],
+    np: usize,
+    kwords: usize,
+) {
+    match fb {
+        4 => gemm_block_fb_avx2::<4>(acc, a, b, np, kwords),
+        3 => gemm_block_fb_avx2::<3>(acc, a, b, np, kwords),
+        2 => gemm_block_fb_avx2::<2>(acc, a, b, np, kwords),
+        _ => gemm_block_fb_avx2::<1>(acc, a, b, np, kwords),
+    }
+}
+
 /// # Safety
 ///
 /// Requires SSSE3 (checked by the dispatcher).
@@ -262,5 +351,64 @@ pub unsafe fn accum_xor_popcount_x4_ssse3(acc: [&mut [i32]; 4], src: &[u64], ws:
         a1[done + i] += (s ^ ws[1]).count_ones() as i32;
         a2[done + i] += (s ^ ws[2]).count_ones() as i32;
         a3[done + i] += (s ^ ws[3]).count_ones() as i32;
+    }
+}
+
+/// One channel of the fused affine + sign-pack + |v| mean pass
+/// (`bitpack::pack_affine_mean_into`, single-word-channel layout):
+/// per pixel `v = s·x + b`, OR `(v >= 0) << bit` into `data[p]`, add
+/// `|v|` into `mean[p]`.  Eight pixels per iteration — the `>= 0`
+/// compare mask widens to two quadword halves via `vpmovsxdq` — and
+/// the scalar tail replays the identical op sequence, so results are
+/// bit-exact against the portable loop (separate multiply and add —
+/// no FMA contraction — and `_CMP_GE_OQ` matches Rust's `>=` on NaN
+/// and `-0.0`).
+///
+/// # Safety
+///
+/// Requires AVX2 (checked by the dispatcher); slices must share one
+/// plane length.
+#[target_feature(enable = "avx2")]
+pub unsafe fn pack_affine_channel_avx2(
+    src: &[f32],
+    s: f32,
+    b: f32,
+    bit: u32,
+    data: &mut [u64],
+    mean: &mut [f32],
+) {
+    debug_assert_eq!(src.len(), data.len());
+    debug_assert_eq!(src.len(), mean.len());
+    let plane = src.len();
+    let sv = _mm256_set1_ps(s);
+    let bv = _mm256_set1_ps(b);
+    let absmask = _mm256_set1_epi32(0x7fff_ffff);
+    let bitv = _mm256_set1_epi64x(1i64 << bit);
+    let zero = _mm256_setzero_ps();
+    let mut p = 0usize;
+    while p + 8 <= plane {
+        let x = _mm256_loadu_ps(src.as_ptr().add(p));
+        let v = _mm256_add_ps(_mm256_mul_ps(x, sv), bv);
+        let va = _mm256_castsi256_ps(_mm256_and_si256(_mm256_castps_si256(v), absmask));
+        let m = _mm256_loadu_ps(mean.as_ptr().add(p));
+        _mm256_storeu_ps(mean.as_mut_ptr().add(p), _mm256_add_ps(m, va));
+        // 8 lanes of all-ones/zero from the ordered >= compare, sign-
+        // extended to u64 and ANDed with the channel bit.
+        let ge = _mm256_castps_si256(_mm256_cmp_ps(v, zero, _CMP_GE_OQ));
+        let lo = _mm256_and_si256(_mm256_cvtepi32_epi64(_mm256_castsi256_si128(ge)), bitv);
+        let hi = _mm256_and_si256(_mm256_cvtepi32_epi64(_mm256_extracti128_si256(ge, 1)), bitv);
+        let d0 = data.as_mut_ptr().add(p) as *mut __m256i;
+        let d1 = data.as_mut_ptr().add(p + 4) as *mut __m256i;
+        let w0 = _mm256_loadu_si256(d0 as *const __m256i);
+        let w1 = _mm256_loadu_si256(d1 as *const __m256i);
+        _mm256_storeu_si256(d0, _mm256_or_si256(w0, lo));
+        _mm256_storeu_si256(d1, _mm256_or_si256(w1, hi));
+        p += 8;
+    }
+    while p < plane {
+        let v = s * src[p] + b;
+        data[p] |= ((v >= 0.0) as u64) << bit;
+        mean[p] += v.abs();
+        p += 1;
     }
 }

@@ -56,9 +56,9 @@ pub use bitpack::{
 };
 pub use block::{BinaryResidualBlock, BnnBlock};
 pub use hw::{dispatch_report, estimate_hardware, DispatchReport, HwConfig, HwEstimate};
-pub use kernels::{active_backend, ConvGeometry, KernelBackend};
+pub use kernels::{active_backend, gemm_backend, ConvGeometry, KernelBackend, PopcountGemm};
 pub use layer::BinConv2d;
-pub use model::{BnnResNet, LayerSummary, NetConfig};
+pub use model::{BnnResNet, LayerSummary, NetConfig, MAX_LEVELS};
 pub use packed::{
     xnor_conv2d, xnor_conv2d_backend, xnor_conv2d_into, xnor_conv2d_into_backend, ConvPrep,
     PackedBnn, PackedConv, PackedResidual, ACC_PLANES,

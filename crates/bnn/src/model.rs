@@ -6,6 +6,11 @@ use hotspot_nn::{Dense, GlobalAvgPool, Layer, Param};
 use hotspot_tensor::Tensor;
 use rand::Rng;
 
+/// Upper bound on residual binarization levels `M` accepted by
+/// [`NetConfig::check`].  The packed engine sizes fixed per-level
+/// scratch (border accumulators, level tables) against this bound.
+pub const MAX_LEVELS: usize = 8;
+
 /// Architecture description for [`BnnResNet`].
 ///
 /// The paper derives its network from ResNet-18 by replacing float
@@ -82,9 +87,9 @@ impl NetConfig {
         if self.input_size == 0 || self.stem_filters == 0 || self.stages.is_empty() {
             return Err("input size, stem filters, and stages must all be non-empty".into());
         }
-        if self.levels == 0 || self.levels > 8 {
+        if self.levels == 0 || self.levels > MAX_LEVELS {
             return Err(format!(
-                "residual binarization levels must be in 1..=8, got {}",
+                "residual binarization levels must be in 1..={MAX_LEVELS}, got {}",
                 self.levels
             ));
         }

@@ -11,13 +11,11 @@
 //!
 //! [`BnnResNet`]: crate::model::BnnResNet
 
-use crate::bitpack::{
-    exact_sign_rule, pack_affine_mean_into, pack_rules_into, BitFilter, BitTensor, SignRule,
-};
+use crate::bitpack::{exact_sign_rule, pack_rules_into, BitFilter, BitTensor, SignRule};
 use crate::block::{BinaryResidualBlock, BnnBlock};
 use crate::kernels::geom::Interior;
 use crate::kernels::{self, active_backend, ConvGeometry, KernelBackend};
-use crate::model::BnnResNet;
+use crate::model::{BnnResNet, MAX_LEVELS};
 use crate::scaling::{box_filter_sliding_into, residual_weight_levels, ScalingMode};
 use hotspot_tensor::workspace::{global_pool, Workspace};
 use hotspot_tensor::{crc32, Tensor, WireWriter};
@@ -73,7 +71,11 @@ pub fn xnor_conv2d_backend(
         || global_pool().checkout_guard(),
         |ws, (ni, chunk)| {
             let mut acc = ws.take_i32(ACC_PLANES * geom.ow);
-            xnor_item(backend, in_words, &geom, filter, ni, None, &mut acc, chunk);
+            let levels = [LevelFilters {
+                filter,
+                alpha: None,
+            }];
+            xnor_item_levels(backend, in_words, &geom, &levels, ni, None, &mut acc, chunk);
             ws.give_i32(acc);
         },
     );
@@ -121,32 +123,67 @@ pub fn xnor_conv2d_into_backend(
     acc: &mut [i32],
     out: &mut [f32],
 ) {
-    xnor_conv2d_scaled(backend, in_words, n, geom, filter, None, acc, out);
+    let levels = [LevelFilters {
+        filter,
+        alpha: None,
+    }];
+    xnor_conv2d_levels(backend, in_words, n, geom, &levels, None, acc, out);
 }
 
-/// Core conv loop shared by the scaled and unscaled paths.  When
-/// `scale` is `Some((alpha, smap))` — per-filter weight scales and the
-/// per-item `[n, oh, ow]` activation scale map — the finalize pass
-/// multiplies each output by `alpha[f] * smap[pixel]` in place of the
-/// separate full-tensor pass the scaled forward used to make
-/// (bit-identical: same multiply, same order, one less sweep).
+/// One residual binarization level of a conv: its packed bit plane and
+/// the per-filter scale its finalize multiplies in (`None` = unscaled,
+/// i.e. PlainSign level 0).
+#[derive(Clone, Copy)]
+struct LevelFilters<'a> {
+    filter: &'a BitFilter,
+    alpha: Option<&'a [f32]>,
+}
+
+/// Core multi-level conv loop shared by the scaled and unscaled paths.
+///
+/// All residual levels run **fused**: every kernel tap accumulates
+/// into `levels.len()` stacked accumulator row blocks while the input
+/// words / strided gather scratch are hot, and each output element is
+/// finalized once per level in ascending order (`=` for level 0, `+=`
+/// for the correction planes).  This replaces the old
+/// one-full-pass-per-level structure — which re-walked the whole image
+/// and streamed an `f32` scratch plane per extra level — with
+/// identical bit-level results: the integer mismatch counts are
+/// order-independent, and the per-element float op sequence (assign
+/// `v₀`, then `+= vₗ` ascending) is unchanged.
+///
+/// When `smap` is `Some` — the per-item `[n, oh, ow]` activation scale
+/// map — each level's finalize multiplies `alpha[f] * smap[pixel]`,
+/// exactly like the historical scaled path.
+///
+/// `acc` must hold `levels.len() * ACC_PLANES * ow` elements.
 #[allow(clippy::too_many_arguments)]
-fn xnor_conv2d_scaled(
+fn xnor_conv2d_levels(
     backend: KernelBackend,
     in_words: &[u64],
     n: usize,
     geom: &ConvGeometry,
-    filter: &BitFilter,
-    scale: Option<(&[f32], &[f32])>,
+    levels: &[LevelFilters],
+    smap: Option<&[f32]>,
     acc: &mut [i32],
     out: &mut [f32],
 ) {
-    let (k, fc, kh, kw) = filter.dims();
+    let (k, fc, kh, kw) = levels[0].filter.dims();
     assert_eq!(
         (fc, kh, kw),
         (geom.c, geom.kh, geom.kw),
         "filter shape disagrees with geometry"
     );
+    for lv in levels {
+        assert_eq!(
+            lv.filter.dims(),
+            (k, fc, kh, kw),
+            "level filter shape mismatch"
+        );
+        if let Some(a) = lv.alpha {
+            assert_eq!(a.len(), k, "one weight scale per filter");
+        }
+    }
     let oplane = geom.oh * geom.ow;
     assert_eq!(
         in_words.len(),
@@ -155,18 +192,17 @@ fn xnor_conv2d_scaled(
     );
     assert_eq!(
         acc.len(),
-        ACC_PLANES * geom.ow,
+        levels.len() * ACC_PLANES * geom.ow,
         "acc scratch length mismatch"
     );
     assert_eq!(out.len(), n * k * oplane, "output length mismatch");
-    if let Some((alpha, smap)) = scale {
-        assert_eq!(alpha.len(), k, "one weight scale per filter");
+    if let Some(smap) = smap {
         assert_eq!(smap.len(), n * oplane, "scale map length mismatch");
     }
     for ni in 0..n {
         let item = &mut out[ni * k * oplane..(ni + 1) * k * oplane];
-        let item_scale = scale.map(|(a, s)| (a, &s[ni * oplane..(ni + 1) * oplane]));
-        xnor_item(backend, in_words, geom, filter, ni, item_scale, acc, item);
+        let smap_item = smap.map(|s| &s[ni * oplane..(ni + 1) * oplane]);
+        xnor_item_levels(backend, in_words, geom, levels, ni, smap_item, acc, item);
     }
 }
 
@@ -216,48 +252,175 @@ fn finalize(hit: i32, c: usize, mism: i32, scale: f32) -> f32 {
     (hit * c as i32 - 2 * mism) as f32 * scale
 }
 
-/// One batch item (`k` output planes) of a binary convolution.
+/// Finalizes one interior run for one (filter, level): `dst[i] =` (or
+/// `+=`, for correction levels) `finalize(hit, c, mism[i], scaleᵢ)`
+/// where `scaleᵢ` is `alpha·smap` / `alpha` / `smap` / `1` depending
+/// on what is present — the same per-element float op sequence the
+/// historical single-level passes used (`x·a` and `a·(x·1)` round
+/// identically, so fusing the PlainSign correction scale here is
+/// bit-exact against the old `accumulate_scaled` sweep).
+fn finalize_row(
+    dst: &mut [f32],
+    mism: &[i32],
+    hit: i32,
+    c: usize,
+    first: bool,
+    alpha_f: Option<f32>,
+    srow: Option<&[f32]>,
+) {
+    #[inline]
+    fn write(o: &mut f32, v: f32, first: bool) {
+        if first {
+            *o = v;
+        } else {
+            *o += v;
+        }
+    }
+    match (alpha_f, srow) {
+        (None, None) => {
+            for (o, &m) in dst.iter_mut().zip(mism) {
+                write(o, finalize(hit, c, m, 1.0), first);
+            }
+        }
+        (Some(a), None) => {
+            for (o, &m) in dst.iter_mut().zip(mism) {
+                write(o, finalize(hit, c, m, a), first);
+            }
+        }
+        (Some(a), Some(srow)) => {
+            for ((o, &m), &s) in dst.iter_mut().zip(mism).zip(srow) {
+                write(o, finalize(hit, c, m, a * s), first);
+            }
+        }
+        (None, Some(srow)) => {
+            for ((o, &m), &s) in dst.iter_mut().zip(mism).zip(srow) {
+                write(o, finalize(hit, c, m, s), first);
+            }
+        }
+    }
+}
+
+/// Scalar form of [`finalize_row`] for border pixels.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn finalize_one(
+    o: &mut f32,
+    hit: i32,
+    c: usize,
+    mism: i32,
+    first: bool,
+    alpha_f: Option<f32>,
+    s: Option<f32>,
+) {
+    let scale = match (alpha_f, s) {
+        (None, None) => 1.0,
+        (Some(a), None) => a,
+        (Some(a), Some(s)) => a * s,
+        (None, Some(s)) => s,
+    };
+    let v = finalize(hit, c, mism, scale);
+    if first {
+        *o = v;
+    } else {
+        *o += v;
+    }
+}
+
+/// The four tap words of a filter block (single-word channels only).
+#[inline]
+fn tap_words4(
+    filter: &BitFilter,
+    ki: usize,
+    fb: usize,
+    ky: usize,
+    kx: usize,
+    kh: usize,
+    kw: usize,
+) -> [u64; ACC_PLANES] {
+    let f_words = filter.as_words();
+    let mut ws4 = [0u64; ACC_PLANES];
+    for (f, slot) in ws4.iter_mut().enumerate().take(fb) {
+        *slot = f_words[((ki + f) * kh + ky) * kw + kx];
+    }
+    ws4
+}
+
+/// Accumulates one kernel tap into one level's `ACC_PLANES × run` row
+/// block over the chunk `done..done + src.len()`.
+fn accum_level_chunk(
+    backend: KernelBackend,
+    lacc: &mut [i32],
+    run: usize,
+    done: usize,
+    src: &[u64],
+    ws4: [u64; ACC_PLANES],
+    fb: usize,
+) {
+    let m = src.len();
+    let (a0, rest) = lacc.split_at_mut(run);
+    let (a1, rest) = rest.split_at_mut(run);
+    let (a2, a3) = rest.split_at_mut(run);
+    if fb == ACC_PLANES {
+        kernels::accum_xor_popcount_x4(
+            backend,
+            [
+                &mut a0[done..done + m],
+                &mut a1[done..done + m],
+                &mut a2[done..done + m],
+                &mut a3[done..done + m],
+            ],
+            src,
+            ws4,
+        );
+    } else {
+        let rows = [a0, a1, a2, a3];
+        for (row, &wword) in rows.into_iter().zip(&ws4).take(fb) {
+            kernels::accum_xor_popcount(backend, &mut row[done..done + m], src, wword);
+        }
+    }
+}
+
+/// One batch item (`k` output planes) of a multi-level binary
+/// convolution.
 ///
 /// Filters are processed in blocks of up to four so every input word
-/// loaded in the interior loop is reused across the block.  The output
-/// plane splits into the precomputed interior rectangle — all taps in
-/// bounds, handled by the branch-free dispatched kernels — and a thin
-/// border handled by the general bounds-checked path.
+/// loaded in the interior loop is reused across the block, and all
+/// residual levels accumulate inside the same tap walk so the strided
+/// gather scratch (and the L1-hot input row) is shared across levels —
+/// an extra level costs one more XNOR sweep over data that is already
+/// resident, not a second full pass with its own scratch plane.  The
+/// output plane splits into the precomputed interior rectangle — all
+/// taps in bounds, handled by the branch-free dispatched kernels — and
+/// a thin border handled by the general bounds-checked path.
 ///
 /// Interior loops are *row-outer*: each output row accumulates its
-/// `kh·kw` taps into an `ACC_PLANES × ow` row buffer that stays
-/// L1-resident and is finalized straight into `out` before moving to
-/// the next row.  (A tap-outer loop would stream whole `oh·ow`
-/// accumulator planes through the cache `kh·kw` times.)  Border pixels
-/// accumulate their few taps in registers and finalize immediately, so
-/// no full-plane integer scratch exists anywhere.
+/// `kh·kw` taps into `levels.len()` stacked `ACC_PLANES × run` row
+/// buffers that stay L1-resident and finalize straight into `out`
+/// (level 0 assigns, correction levels add) before moving to the next
+/// row.  Border pixels accumulate their few taps in fixed per-level
+/// register arrays and finalize immediately, so no full-plane scratch
+/// of any kind exists anywhere.
 #[allow(clippy::too_many_arguments)]
-fn xnor_item(
+fn xnor_item_levels(
     backend: KernelBackend,
     in_words: &[u64],
     geom: &ConvGeometry,
-    filter: &BitFilter,
+    levels: &[LevelFilters],
     ni: usize,
-    scale: Option<(&[f32], &[f32])>,
+    smap_item: Option<&[f32]>,
     acc: &mut [i32],
     out: &mut [f32],
 ) {
-    let (k, _, kh, kw) = filter.dims();
+    let (k, _, kh, kw) = levels[0].filter.dims();
+    let nl = levels.len();
     let (c, h, w) = (geom.c, geom.h, geom.w);
     let (stride, pad) = (geom.stride, geom.pad);
     let (oh, ow, wpp) = (geom.oh, geom.ow, geom.wpp);
     let oplane = oh * ow;
-    let f_words = filter.as_words();
-    debug_assert_eq!(wpp, filter.words_per_tap());
-    debug_assert_eq!(acc.len(), ACC_PLANES * ow);
+    debug_assert_eq!(wpp, levels[0].filter.words_per_tap());
+    debug_assert_eq!(acc.len(), nl * ACC_PLANES * ow);
     debug_assert_eq!(out.len(), k * oplane);
-    let taps = geom.taps_hit();
     let full_hit = (kh * kw) as i32;
-    // Per-filter finalize scale: alpha[f] * smap[pixel], or 1.
-    let fscale = |f: usize, p: usize| match scale {
-        None => 1.0,
-        Some((alpha, splane)) => alpha[f] * splane[p],
-    };
 
     let mut ki = 0;
     while ki < k {
@@ -267,46 +430,31 @@ fn xnor_item(
             let run = int.ox1 - int.ox0;
             if wpp == 1 {
                 for oy in int.oy0..int.oy1 {
-                    let row_acc = &mut acc[..ACC_PLANES * run];
-                    row_acc.fill(0);
-                    let (a0, rest) = row_acc.split_at_mut(run);
-                    let (a1, rest) = rest.split_at_mut(run);
-                    let (a2, a3) = rest.split_at_mut(run);
-                    let mut rows = [a0, a1, a2, a3];
+                    let acc_rows = &mut acc[..nl * ACC_PLANES * run];
+                    acc_rows.fill(0);
                     for ky in 0..kh {
                         let iy = oy * stride + ky - pad;
                         for kx in 0..kw {
-                            let mut ws4 = [0u64; ACC_PLANES];
-                            for (f, slot) in ws4.iter_mut().enumerate().take(fb) {
-                                *slot = f_words[((ki + f) * kh + ky) * kw + kx];
-                            }
                             let ix0 = int.ox0 * stride + kx - pad;
                             if stride == 1 {
                                 let src = &in_words[(ni * h + iy) * w + ix0..][..run];
-                                if fb == ACC_PLANES {
-                                    let [r0, r1, r2, r3] = &mut rows;
-                                    kernels::accum_xor_popcount_x4(
+                                for (l, lv) in levels.iter().enumerate() {
+                                    accum_level_chunk(
                                         backend,
-                                        [&mut r0[..], &mut r1[..], &mut r2[..], &mut r3[..]],
+                                        &mut acc_rows[l * ACC_PLANES * run..][..ACC_PLANES * run],
+                                        run,
+                                        0,
                                         src,
-                                        ws4,
+                                        tap_words4(lv.filter, ki, fb, ky, kx, kh, kw),
+                                        fb,
                                     );
-                                } else {
-                                    for (f, &wword) in ws4.iter().enumerate().take(fb) {
-                                        kernels::accum_xor_popcount(
-                                            backend,
-                                            &mut rows[f][..],
-                                            src,
-                                            wword,
-                                        );
-                                    }
                                 }
                             } else {
                                 // Strided rows: gather each chunk into a
                                 // stack scratch once, then reuse the
                                 // contiguous dispatched kernels — the
-                                // gather cost is paid once per chunk
-                                // instead of once per filter.
+                                // gather cost is paid once per chunk and
+                                // shared across filters *and* levels.
                                 const GATHER: usize = 128;
                                 let row = &in_words[(ni * h + iy) * w..];
                                 let mut gat = [0u64; GATHER];
@@ -316,103 +464,129 @@ fn xnor_item(
                                     for (i, slot) in gat.iter_mut().enumerate().take(m) {
                                         *slot = row[ix0 + (done + i) * stride];
                                     }
-                                    if fb == ACC_PLANES {
-                                        let [r0, r1, r2, r3] = &mut rows;
-                                        kernels::accum_xor_popcount_x4(
+                                    for (l, lv) in levels.iter().enumerate() {
+                                        accum_level_chunk(
                                             backend,
-                                            [
-                                                &mut r0[done..done + m],
-                                                &mut r1[done..done + m],
-                                                &mut r2[done..done + m],
-                                                &mut r3[done..done + m],
-                                            ],
+                                            &mut acc_rows[l * ACC_PLANES * run..]
+                                                [..ACC_PLANES * run],
+                                            run,
+                                            done,
                                             &gat[..m],
-                                            ws4,
+                                            tap_words4(lv.filter, ki, fb, ky, kx, kh, kw),
+                                            fb,
                                         );
-                                    } else {
-                                        for (f, &wword) in ws4.iter().enumerate().take(fb) {
-                                            kernels::accum_xor_popcount(
-                                                backend,
-                                                &mut rows[f][done..done + m],
-                                                &gat[..m],
-                                                wword,
-                                            );
-                                        }
                                     }
                                     done += m;
                                 }
                             }
                         }
                     }
-                    // Finalize this row straight from the hot buffer.
+                    // Finalize this row straight from the hot buffers,
+                    // levels ascending.
                     let row_off = oy * ow + int.ox0;
-                    for (f, row) in rows.iter().enumerate().take(fb) {
-                        let dst = &mut out[(ki + f) * oplane + row_off..][..run];
-                        match scale {
-                            None => {
-                                for (o, &mism) in dst.iter_mut().zip(row.iter()) {
-                                    *o = finalize(full_hit, c, mism, 1.0);
-                                }
-                            }
-                            Some((alpha, splane)) => {
-                                let a = alpha[ki + f];
-                                let srow = &splane[row_off..row_off + run];
-                                for ((o, &mism), &s) in dst.iter_mut().zip(row.iter()).zip(srow) {
-                                    *o = finalize(full_hit, c, mism, a * s);
-                                }
-                            }
+                    let srow = smap_item.map(|s| &s[row_off..row_off + run]);
+                    for (l, lv) in levels.iter().enumerate() {
+                        for f in 0..fb {
+                            let mism = &acc_rows[(l * ACC_PLANES + f) * run..][..run];
+                            let dst = &mut out[(ki + f) * oplane + row_off..][..run];
+                            finalize_row(
+                                dst,
+                                mism,
+                                full_hit,
+                                c,
+                                l == 0,
+                                lv.alpha.map(|a| a[ki + f]),
+                                srow,
+                            );
                         }
                     }
                 }
             } else {
                 // Multi-word channels: per pixel, each kernel row is a
                 // contiguous kw*wpp span for the dispatched popcount;
-                // finalize immediately.
+                // finalize immediately, levels ascending.
                 for oy in int.oy0..int.oy1 {
                     let iy0 = oy * stride - pad;
                     for ox in int.ox0..int.ox1 {
                         let ix0 = ox * stride - pad;
                         let p = oy * ow + ox;
+                        let s = smap_item.map(|sm| sm[p]);
                         for f in 0..fb {
-                            let mut mism = 0u32;
-                            for ky in 0..kh {
-                                let ibase = ((ni * h + iy0 + ky) * w + ix0) * wpp;
-                                let fbase = ((ki + f) * kh + ky) * kw * wpp;
-                                mism += kernels::xor_popcount(
-                                    backend,
-                                    &in_words[ibase..ibase + kw * wpp],
-                                    &f_words[fbase..fbase + kw * wpp],
+                            for (l, lv) in levels.iter().enumerate() {
+                                let f_words = lv.filter.as_words();
+                                let mut mism = 0u32;
+                                for ky in 0..kh {
+                                    let ibase = ((ni * h + iy0 + ky) * w + ix0) * wpp;
+                                    let fbase = ((ki + f) * kh + ky) * kw * wpp;
+                                    mism += kernels::xor_popcount(
+                                        backend,
+                                        &in_words[ibase..ibase + kw * wpp],
+                                        &f_words[fbase..fbase + kw * wpp],
+                                    );
+                                }
+                                finalize_one(
+                                    &mut out[(ki + f) * oplane + p],
+                                    full_hit,
+                                    c,
+                                    mism as i32,
+                                    l == 0,
+                                    lv.alpha.map(|a| a[ki + f]),
+                                    s,
                                 );
                             }
-                            out[(ki + f) * oplane + p] =
-                                finalize(full_hit, c, mism as i32, fscale(ki + f, p));
                         }
                     }
                 }
             }
         }
 
-        // Border pixels: general per-tap path with bounds checks,
-        // accumulating each filter's mismatches in a register and
-        // finalizing in place.
-        for_each_border(oh, ow, geom.interior(), |oy, ox| {
-            let p = oy * ow + ox;
-            let mut mism4 = [0i32; ACC_PLANES];
-            for ky in 0..kh {
-                let iy = oy * stride + ky;
-                if iy < pad || iy - pad >= h {
+        border_levels_block(in_words, geom, levels, ni, ki, fb, smap_item, out);
+
+        ki += fb;
+    }
+}
+
+/// Border pixels for one filter block: general per-tap path with
+/// bounds checks, accumulating each (level, filter) mismatch count in
+/// a fixed register array and finalizing in place, levels ascending.
+/// `out` is the single item's `[k, oh, ow]` plane.
+#[allow(clippy::too_many_arguments)]
+fn border_levels_block(
+    in_words: &[u64],
+    geom: &ConvGeometry,
+    levels: &[LevelFilters],
+    ni: usize,
+    ki: usize,
+    fb: usize,
+    smap_item: Option<&[f32]>,
+    out: &mut [f32],
+) {
+    let (c, h, w) = (geom.c, geom.h, geom.w);
+    let (stride, pad, wpp) = (geom.stride, geom.pad, geom.wpp);
+    let (oh, ow, kh, kw) = (geom.oh, geom.ow, geom.kh, geom.kw);
+    let oplane = oh * ow;
+    let taps = geom.taps_hit();
+    debug_assert!(levels.len() <= MAX_LEVELS);
+    for_each_border(oh, ow, geom.interior(), |oy, ox| {
+        let p = oy * ow + ox;
+        let mut mism = [[0i32; ACC_PLANES]; MAX_LEVELS];
+        for ky in 0..kh {
+            let iy = oy * stride + ky;
+            if iy < pad || iy - pad >= h {
+                continue;
+            }
+            let iy = iy - pad;
+            for kx in 0..kw {
+                let ix = ox * stride + kx;
+                if ix < pad || ix - pad >= w {
                     continue;
                 }
-                let iy = iy - pad;
-                for kx in 0..kw {
-                    let ix = ox * stride + kx;
-                    if ix < pad || ix - pad >= w {
-                        continue;
-                    }
-                    let ix = ix - pad;
-                    let ibase = ((ni * h + iy) * w + ix) * wpp;
-                    let src = &in_words[ibase..ibase + wpp];
-                    for (f, m) in mism4.iter_mut().enumerate().take(fb) {
+                let ix = ix - pad;
+                let ibase = ((ni * h + iy) * w + ix) * wpp;
+                let src = &in_words[ibase..ibase + wpp];
+                for (lm, lv) in mism.iter_mut().zip(levels) {
+                    let f_words = lv.filter.as_words();
+                    for (f, m) in lm.iter_mut().enumerate().take(fb) {
                         let fbase = (((ki + f) * kh + ky) * kw + kx) * wpp;
                         for (a, b) in src.iter().zip(&f_words[fbase..fbase + wpp]) {
                             *m += (a ^ b).count_ones() as i32;
@@ -420,13 +594,277 @@ fn xnor_item(
                     }
                 }
             }
-            for (f, &mism) in mism4.iter().enumerate().take(fb) {
-                out[(ki + f) * oplane + p] = finalize(taps[p], c, mism, fscale(ki + f, p));
+        }
+        let s = smap_item.map(|sm| sm[p]);
+        for (l, lv) in levels.iter().enumerate() {
+            for f in 0..fb {
+                finalize_one(
+                    &mut out[(ki + f) * oplane + p],
+                    taps[p],
+                    c,
+                    mism[l][f],
+                    l == 0,
+                    lv.alpha.map(|a| a[ki + f]),
+                    s,
+                );
             }
-        });
+        }
+    });
+}
 
-        ki += fb;
+/// Decomposes the linear interior-tile index range `[t0, t0 + np)`
+/// into maximal subruns of consecutive interior columns sharing one
+/// `(item, output row)`, calling `f(p, ni, oy, ox0, len)` for each
+/// (`p` is the offset inside the tile).  The linear index enumerates
+/// `[item][interior row][interior column]`, so GEMM tiles span row and
+/// item boundaries with pure div/mod bookkeeping — no run lists are
+/// ever allocated.
+fn for_each_subrun(
+    int: &Interior,
+    ih: usize,
+    run: usize,
+    t0: usize,
+    np: usize,
+    mut f: impl FnMut(usize, usize, usize, usize, usize),
+) {
+    let mut p = 0usize;
+    let mut t = t0;
+    while p < np {
+        let g = t / run;
+        let r0 = t % run;
+        let ni = g / ih;
+        let oy = int.oy0 + (g % ih);
+        let len = (run - r0).min(np - p);
+        f(p, ni, oy, int.ox0 + r0, len);
+        p += len;
+        t += len;
     }
+}
+
+/// Densely repacks a filter's receptive-field bits: per filter, the
+/// `c·kh·kw` weight bits in `(ky, kx, word)` order packed back-to-back
+/// into `kdense = ⌈c·kh·kw/64⌉` words — the A-matrix rows of the GEMM
+/// tier.  For channel counts below 64 this cuts the reduction depth
+/// well under the sparse `kh·kw·wpp` tap-word walk (c=8, 3×3: 2 dense
+/// words vs 9 sparse), because the sparse layout pads every tap word's
+/// high bits with zeros.
+fn dense_filter_words(filter: &BitFilter) -> (usize, Vec<u64>) {
+    let (k, c, kh, kw) = filter.dims();
+    let wpt = filter.words_per_tap();
+    let kdense = (c * kh * kw).div_ceil(64);
+    let words = filter.as_words();
+    let mut out = vec![0u64; k * kdense];
+    for f in 0..k {
+        let dst = &mut out[f * kdense..(f + 1) * kdense];
+        let mut j = 0usize;
+        let mut off = 0usize;
+        for ky in 0..kh {
+            for kx in 0..kw {
+                for wi in 0..wpt {
+                    let nbits = (c - wi * 64).min(64);
+                    let msk = if nbits == 64 {
+                        !0u64
+                    } else {
+                        (1u64 << nbits) - 1
+                    };
+                    let bits = words[((f * kh + ky) * kw + kx) * wpt + wi] & msk;
+                    dst[j] |= bits << off;
+                    if off != 0 && off + nbits > 64 {
+                        dst[j + 1] |= bits >> (64 - off);
+                    }
+                    off += nbits;
+                    if off >= 64 {
+                        j += 1;
+                        off -= 64;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(j * 64 + off, c * kh * kw);
+    }
+    (kdense, out)
+}
+
+/// Precomputed A-matrix state for the batched GEMM tier: every
+/// residual level's filters with their receptive-field bits densely
+/// repacked by [`dense_filter_words`].  Built once at prep time and
+/// shared by all forward calls.
+#[derive(Debug, Clone)]
+struct GemmPrep {
+    /// Dense reduction words per filter (`⌈c·kh·kw/64⌉`).
+    kdense: usize,
+    /// Per level: `k * kdense` dense filter words.
+    a: Vec<Vec<u64>>,
+}
+
+/// Packs `np` interior output pixels (linear tile indices
+/// `[t0, t0 + np)`) as dense B-matrix columns: per pixel, the
+/// `c·kh·kw` receptive-field input bits in the same `(ky, kx, word)`
+/// order as [`dense_filter_words`], laid out column-major by reduction
+/// word (`b[j*np + p]`) so the GEMM microkernels load consecutive
+/// pixels with one vector load.  `b[..kdense*np]` must be pre-zeroed.
+///
+/// Bit-exactness: the dense layout carries exactly the same bit
+/// multiset as the sparse tap words — the channel-padding high bits
+/// are zero in both operands by the bitpack invariant (and masked here
+/// defensively) — so `Σ_j popcount(a_dense ^ b_dense)` equals the
+/// per-tap mismatch sum of the sparse walk, word alignment
+/// notwithstanding.
+fn pack_b_tile(
+    in_words: &[u64],
+    geom: &ConvGeometry,
+    int: &Interior,
+    t0: usize,
+    np: usize,
+    b: &mut [u64],
+) {
+    let (c, h, w) = (geom.c, geom.h, geom.w);
+    let (stride, pad, wpp) = (geom.stride, geom.pad, geom.wpp);
+    let (kh, kw) = (geom.kh, geom.kw);
+    let run = int.ox1 - int.ox0;
+    let ih = int.oy1 - int.oy0;
+    let mut j = 0usize;
+    let mut off = 0usize;
+    for ky in 0..kh {
+        for kx in 0..kw {
+            for wi in 0..wpp {
+                let nbits = (c - wi * 64).min(64);
+                let msk = if nbits == 64 {
+                    !0u64
+                } else {
+                    (1u64 << nbits) - 1
+                };
+                if off != 0 && off + nbits > 64 {
+                    // Tap word straddles two dense rows (c % 64 not a
+                    // divisor of 64 — never the case for power-of-two
+                    // widths, so this path is cold).
+                    let (head, tail) = b.split_at_mut((j + 1) * np);
+                    let d = &mut head[j * np..];
+                    let d2 = &mut tail[..np];
+                    for_each_subrun(int, ih, run, t0, np, |p, ni, oy, ox0, len| {
+                        let iy = oy * stride + ky - pad;
+                        let ix0 = ox0 * stride + kx - pad;
+                        let base = ((ni * h + iy) * w + ix0) * wpp + wi;
+                        for i in 0..len {
+                            let word = in_words[base + i * stride * wpp] & msk;
+                            d[p + i] |= word << off;
+                            d2[p + i] |= word >> (64 - off);
+                        }
+                    });
+                } else {
+                    let d = &mut b[j * np..(j + 1) * np];
+                    for_each_subrun(int, ih, run, t0, np, |p, ni, oy, ox0, len| {
+                        let iy = oy * stride + ky - pad;
+                        let ix0 = ox0 * stride + kx - pad;
+                        if stride == 1 && wpp == 1 {
+                            // Contiguous source: a plain mask-shift-or
+                            // sweep the compiler auto-vectorizes.
+                            let src = &in_words[(ni * h + iy) * w + ix0..][..len];
+                            for (dd, &s) in d[p..p + len].iter_mut().zip(src) {
+                                *dd |= (s & msk) << off;
+                            }
+                        } else {
+                            let base = ((ni * h + iy) * w + ix0) * wpp + wi;
+                            for i in 0..len {
+                                d[p + i] |= (in_words[base + i * stride * wpp] & msk) << off;
+                            }
+                        }
+                    });
+                }
+                off += nbits;
+                if off >= 64 {
+                    j += 1;
+                    off -= 64;
+                }
+            }
+        }
+    }
+    debug_assert_eq!(j * 64 + off, c * kh * kw);
+}
+
+/// Pixels per GEMM B tile.  At the deepest reduction this net reaches
+/// (c=64, 3×3 ⇒ 9 dense words) a tile is ≈36 KiB of packed B plus
+/// 8 KiB of accumulators — sized to stay cache-resident while
+/// amortizing the pack cost over every filter block × residual level.
+const GEMM_TILE: usize = 1024;
+
+/// The batched bit-sliced XNOR-GEMM interior: packs tiles of interior
+/// output pixels (spanning rows *and* batch items) as dense B columns
+/// once, then streams every filter block × residual level over the
+/// same tile through the backend's [`kernels::PopcountGemm`]
+/// microkernel, fusing the per-channel affine/sign finalize into the
+/// epilogue.  Border pixels are handled separately by
+/// [`border_levels_block`].
+///
+/// Bit-identical to the per-clip path: dense repacking preserves the
+/// integer mismatch counts (see [`pack_b_tile`]) and the epilogue
+/// replays the exact per-element float op sequence of
+/// [`finalize_row`].
+#[allow(clippy::too_many_arguments)]
+fn xnor_conv_gemm_levels(
+    backend: KernelBackend,
+    in_words: &[u64],
+    n: usize,
+    geom: &ConvGeometry,
+    gp: &GemmPrep,
+    levels: &[LevelFilters],
+    smap: Option<&[f32]>,
+    ws: &mut Workspace,
+    out: &mut [f32],
+) {
+    let int = geom.interior().expect("gemm tier requires an interior");
+    let (k, _, kh, kw) = levels[0].filter.dims();
+    let (c, oh, ow) = (geom.c, geom.oh, geom.ow);
+    let oplane = oh * ow;
+    let run = int.ox1 - int.ox0;
+    let ih = int.oy1 - int.oy0;
+    let total = n * ih * run;
+    let full_hit = (kh * kw) as i32;
+    let kd = gp.kdense;
+    let gemm = kernels::gemm_backend(backend);
+    let np_cap = GEMM_TILE.min(total.max(1));
+    let mut b = ws.take_u64(kd * np_cap);
+    let mut acc = ws.take_i32(ACC_PLANES * np_cap);
+    let mut t0 = 0usize;
+    while t0 < total {
+        let np = np_cap.min(total - t0);
+        let b_tile = &mut b[..kd * np];
+        b_tile.fill(0);
+        pack_b_tile(in_words, geom, &int, t0, np, b_tile);
+        let mut ki = 0usize;
+        while ki < k {
+            let fb = (k - ki).min(ACC_PLANES);
+            for (l, lv) in levels.iter().enumerate() {
+                let a_block = &gp.a[l][ki * kd..(ki + fb) * kd];
+                let acc_block = &mut acc[..fb * np];
+                acc_block.fill(0);
+                gemm.gemm_block(acc_block, fb, a_block, b_tile, np, kd);
+                // Epilogue: fused affine/sign finalize straight from
+                // the tile accumulators into the output layout.
+                for_each_subrun(&int, ih, run, t0, np, |p, ni, oy, ox0, len| {
+                    let row_off = oy * ow + ox0;
+                    let srow = smap.map(|s| &s[ni * oplane + row_off..][..len]);
+                    for f in 0..fb {
+                        let mism = &acc_block[f * np + p..][..len];
+                        let dst = &mut out[(ni * k + ki + f) * oplane + row_off..][..len];
+                        finalize_row(
+                            dst,
+                            mism,
+                            full_hit,
+                            c,
+                            l == 0,
+                            lv.alpha.map(|a| a[ki + f]),
+                            srow,
+                        );
+                    }
+                });
+            }
+            ki += fb;
+        }
+        t0 += np;
+    }
+    ws.give_i32(acc);
+    ws.give_u64(b);
 }
 
 /// Shape-derived state for running one [`PackedConv`] at a fixed input
@@ -447,6 +885,9 @@ pub struct ConvPrep {
     /// level count, possibly capped lower (cascade triage runs an
     /// M-level model at M = 1).
     levels: usize,
+    /// Dense A-matrix words for the batched GEMM tier (`None` when the
+    /// layer has no interior rectangle to tile).
+    gemm: Option<GemmPrep>,
 }
 
 impl ConvPrep {
@@ -463,6 +904,13 @@ impl ConvPrep {
     /// Residual binarization levels this prep will execute.
     pub fn levels(&self) -> usize {
         self.levels
+    }
+
+    /// Whether the batched bit-sliced GEMM tier is available for this
+    /// prep (the layer has an interior rectangle to tile; batched
+    /// forwards with `n ≥ 2` will route through it).
+    pub fn gemm_tier(&self) -> bool {
+        self.gemm.is_some()
     }
 }
 
@@ -678,11 +1126,25 @@ impl PackedConv {
         } else {
             Vec::new()
         };
+        let levels = max_levels.clamp(1, self.levels());
+        // Dense GEMM A-matrix per executed level: built eagerly (the
+        // prep is compiled once per plan step) so batched forwards
+        // only pack the activation side.
+        let gemm = geom.interior().map(|_| {
+            let (kdense, a0) = dense_filter_words(&self.filter);
+            let mut a = Vec::with_capacity(levels);
+            a.push(a0);
+            for (filter_l, _) in &self.extra_levels[..levels - 1] {
+                a.push(dense_filter_words(filter_l).1);
+            }
+            GemmPrep { kdense, a }
+        });
         ConvPrep {
             geom,
             rules,
             backend,
-            levels: max_levels.clamp(1, self.levels()),
+            levels,
+            gemm,
         }
     }
 
@@ -734,6 +1196,35 @@ impl PackedConv {
         ws: &mut Workspace,
         out: &mut [f32],
     ) {
+        self.forward_impl(prep, x, n, ws, out, false)
+    }
+
+    /// [`PackedConv::forward_prepped`] routed through the batched
+    /// bit-sliced XNOR-GEMM tier: interior pixels of all `n` items are
+    /// tiled together as dense B columns and streamed through the
+    /// backend's [`kernels::PopcountGemm`] microkernel (bit-identical
+    /// to the per-clip path; see [`ConvPrep::gemm_tier`]).  With
+    /// `n < 2` or no interior it falls back to the per-clip engine.
+    pub fn forward_prepped_batch(
+        &self,
+        prep: &ConvPrep,
+        x: &[f32],
+        n: usize,
+        ws: &mut Workspace,
+        out: &mut [f32],
+    ) {
+        self.forward_impl(prep, x, n, ws, out, true)
+    }
+
+    fn forward_impl(
+        &self,
+        prep: &ConvPrep,
+        x: &[f32],
+        n: usize,
+        ws: &mut Workspace,
+        out: &mut [f32],
+        batched: bool,
+    ) {
         let c = self.bn_scale.len();
         let geom = &prep.geom;
         assert_eq!(
@@ -755,32 +1246,29 @@ impl PackedConv {
         // below the compiled-in count (cascade triage).  With none, the
         // code below is call-for-call the single-level path.
         let extra = prep.levels.min(self.levels()).saturating_sub(1);
+        let nl = 1 + extra;
 
+        // Level table: level 0 is the classic single-bit plane
+        // (unscaled in PlainSign mode, α_W-scaled otherwise); the
+        // correction planes always carry their per-level scales.  A
+        // fixed stack array keeps the warm path allocation-free.
+        let mut lv = [LevelFilters {
+            filter: &self.filter,
+            alpha: None,
+        }; MAX_LEVELS];
+        if !matches!(self.scaling, ScalingMode::PlainSign) {
+            lv[0].alpha = Some(&self.alpha_w);
+        }
+        for (slot, (filter_l, alpha_l)) in lv[1..nl].iter_mut().zip(&self.extra_levels) {
+            *slot = LevelFilters {
+                filter: filter_l,
+                alpha: Some(alpha_l),
+            };
+        }
+
+        let mut smap = None;
         if matches!(self.scaling, ScalingMode::PlainSign) {
             pack_rules_into(x, n, c, h, w, &prep.rules, &mut words);
-            let mut acc = ws.take_i32(ACC_PLANES * ow);
-            xnor_conv2d_into_backend(prep.backend, &words, n, geom, &self.filter, &mut acc, out);
-            if extra > 0 {
-                // Each correction plane is one more pass of the same
-                // popcount kernels over the already-packed activations;
-                // its per-filter scale α_ℓ weights the accumulation
-                // (level 0 of PlainSign is unscaled, residuals are not).
-                let mut scratch = ws.take_f32(out.len());
-                for (filter_l, alpha_l) in &self.extra_levels[..extra] {
-                    xnor_conv2d_into_backend(
-                        prep.backend,
-                        &words,
-                        n,
-                        geom,
-                        filter_l,
-                        &mut acc,
-                        &mut scratch,
-                    );
-                    accumulate_scaled(out, &scratch, alpha_l, n, oplane);
-                }
-                ws.give_f32(scratch);
-            }
-            ws.give_i32(acc);
         } else {
             // Factored activation scale: the exact same map the float
             // Shared path multiplies into its output, so compiled
@@ -788,11 +1276,12 @@ impl PackedConv {
             // Networks trained with PerChannel scaling are
             // approximated by this shared map at inference (see crate
             // docs).
-            let mut smap = ws.take_f32(n * oplane);
+            let mut sm = ws.take_f32(n * oplane);
             let mut mean = ws.take_f32(plane);
             let mut colsum = ws.take_f64(w);
             for ni in 0..n {
-                pack_affine_mean_into(
+                kernels::pack_affine_mean(
+                    prep.backend,
                     &x[ni * c * plane..(ni + 1) * c * plane],
                     c,
                     h,
@@ -811,68 +1300,59 @@ impl PackedConv {
                     self.stride,
                     self.pad,
                     &mut colsum,
-                    &mut smap[ni * oplane..(ni + 1) * oplane],
+                    &mut sm[ni * oplane..(ni + 1) * oplane],
                 );
             }
             ws.give_f64(colsum);
             ws.give_f32(mean);
-            let mut acc = ws.take_i32(ACC_PLANES * ow);
-            xnor_conv2d_scaled(
-                prep.backend,
-                &words,
-                n,
-                geom,
-                &self.filter,
-                Some((&self.alpha_w, &smap)),
-                &mut acc,
-                out,
-            );
-            if extra > 0 {
-                // Correction planes reuse the packed activations *and*
-                // the sliding scale map: level ℓ's finalize multiplies
-                // α_ℓ[f] · smap[pixel], exactly like level 0 with its
-                // per-level α — then accumulates into the output.
-                let mut scratch = ws.take_f32(out.len());
-                for (filter_l, alpha_l) in &self.extra_levels[..extra] {
-                    xnor_conv2d_scaled(
-                        prep.backend,
-                        &words,
-                        n,
-                        geom,
-                        filter_l,
-                        Some((alpha_l, &smap)),
-                        &mut acc,
-                        &mut scratch,
-                    );
-                    for (o, s) in out.iter_mut().zip(&*scratch) {
-                        *o += s;
+            smap = Some(sm);
+        }
+
+        match (batched && n >= 2, prep.gemm.as_ref()) {
+            (true, Some(gp)) => {
+                xnor_conv_gemm_levels(
+                    prep.backend,
+                    &words,
+                    n,
+                    geom,
+                    gp,
+                    &lv[..nl],
+                    smap.as_deref(),
+                    ws,
+                    out,
+                );
+                // Border pixels per item: the same bounds-checked path
+                // as the per-clip engine.
+                for ni in 0..n {
+                    let item = &mut out[ni * ko * oplane..(ni + 1) * ko * oplane];
+                    let smap_item = smap.as_deref().map(|s| &s[ni * oplane..(ni + 1) * oplane]);
+                    let mut ki = 0;
+                    while ki < ko {
+                        let fb = (ko - ki).min(ACC_PLANES);
+                        border_levels_block(&words, geom, &lv[..nl], ni, ki, fb, smap_item, item);
+                        ki += fb;
                     }
                 }
-                ws.give_f32(scratch);
             }
-            ws.give_i32(acc);
-            ws.give_f32(smap);
+            _ => {
+                let mut acc = ws.take_i32(nl * ACC_PLANES * ow);
+                xnor_conv2d_levels(
+                    prep.backend,
+                    &words,
+                    n,
+                    geom,
+                    &lv[..nl],
+                    smap.as_deref(),
+                    &mut acc,
+                    out,
+                );
+                ws.give_i32(acc);
+            }
+        }
+        if let Some(sm) = smap {
+            ws.give_f32(sm);
         }
         ws.give_u64(words);
-    }
-}
-
-/// `out[n, k, ·] += alpha[k] · src[n, k, ·]` over `[n, k, oplane]`
-/// buffers — the per-filter-scaled accumulation of a PlainSign residual
-/// correction plane.
-fn accumulate_scaled(out: &mut [f32], src: &[f32], alpha: &[f32], n: usize, oplane: usize) {
-    debug_assert_eq!(out.len(), src.len());
-    debug_assert_eq!(out.len(), n * alpha.len() * oplane);
-    for ni in 0..n {
-        for (ki, &a) in alpha.iter().enumerate() {
-            let base = (ni * alpha.len() + ki) * oplane;
-            for (o, s) in out[base..base + oplane]
-                .iter_mut()
-                .zip(&src[base..base + oplane])
-            {
-                *o += a * s;
-            }
-        }
     }
 }
 

@@ -355,7 +355,60 @@ impl<'m> ExecPlan<'m> {
     ///
     /// Panics when a slice length disagrees with the compiled shapes.
     pub fn run_into(&self, input: &[f32], n: usize, ws: &mut Workspace, logits: &mut [f32]) {
-        self.run_impl(input, n, ws, logits, None);
+        self.run_impl(input, n, ws, logits, None, false);
+    }
+
+    /// [`run_into`](ExecPlan::run_into) routed through the batched
+    /// bit-sliced XNOR-GEMM tier: conv steps call
+    /// [`PackedConv::forward_prepped_batch`]
+    /// (crate::packed::PackedConv::forward_prepped_batch), which tiles
+    /// interior pixels of all `n` clips as dense B columns of a
+    /// `popcount(A ^ B)` GEMM when `n >= 2` and the layer has a GEMM
+    /// prep.  Bit-identical to `n` separate [`run_into`]
+    /// (ExecPlan::run_into) calls (property-tested per backend); same
+    /// zero-allocation-once-warm workspace discipline.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a slice length disagrees with the compiled shapes.
+    pub fn run_batch_into(&self, input: &[f32], n: usize, ws: &mut Workspace, logits: &mut [f32]) {
+        let classes = self.model.fc_weight().shape()[0];
+        let item = self.input_c * self.input_hw.0 * self.input_hw.1;
+        assert_eq!(input.len(), n * item, "input length mismatch");
+        assert_eq!(logits.len(), n * classes, "logits length mismatch");
+        let chunk = self.batch_chunk();
+        for (inp, lg) in input
+            .chunks(chunk * item)
+            .zip(logits.chunks_mut(chunk * classes))
+        {
+            self.run_impl(inp, inp.len() / item, ws, lg, None, true);
+        }
+    }
+
+    /// Items per internal sub-batch of the batched tier.  Running the
+    /// whole batch layer-by-layer scales the three ping-pong f32
+    /// buffers with `n`, and past the last-level cache that costs more
+    /// than GEMM tiling wins — batch 16 of the paper's 128×128 net is
+    /// a ~24 MB working set.  So batched entry points split the batch
+    /// into chunks sized to a fixed working-set budget; a chunk of
+    /// even 3–4 items already fills the GEMM tiles of the smallest
+    /// late-layer feature maps.  Item order (and therefore every
+    /// output bit) is unchanged — items are independent.
+    fn batch_chunk(&self) -> usize {
+        static OVERRIDE: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+        if let Some(c) = OVERRIDE.get_or_init(|| {
+            std::env::var("HOTSPOT_BATCH_CHUNK")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&c: &usize| c >= 2)
+        }) {
+            return *c;
+        }
+        const WORKING_SET_BUDGET: usize = 4 << 20;
+        let (h, w) = self.input_hw;
+        let per_item =
+            (self.buf_elems.iter().sum::<usize>() + self.input_c * h * w) * size_of::<f32>();
+        (WORKING_SET_BUDGET / per_item.max(1)).clamp(2, 64)
     }
 
     /// [`run_into`](ExecPlan::run_into) with per-layer timing: each
@@ -382,7 +435,41 @@ impl<'m> ExecPlan<'m> {
             self.steps.len() + 2,
             "profiler was built for a different plan"
         );
-        self.run_impl(input, n, ws, logits, Some(prof));
+        self.run_impl(input, n, ws, logits, Some(prof), false);
+    }
+
+    /// [`run_batch_into`](ExecPlan::run_batch_into) with per-layer
+    /// timing, as [`run_into_profiled`](ExecPlan::run_into_profiled).
+    /// Chunked sub-batches accumulate into the same slots (one
+    /// `record_since` per chunk per step).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches or a profiler from a different plan.
+    pub fn run_batch_into_profiled(
+        &self,
+        input: &[f32],
+        n: usize,
+        ws: &mut Workspace,
+        logits: &mut [f32],
+        prof: &mut SlotProfiler,
+    ) {
+        assert_eq!(
+            prof.slot_count(),
+            self.steps.len() + 2,
+            "profiler was built for a different plan"
+        );
+        let classes = self.model.fc_weight().shape()[0];
+        let item = self.input_c * self.input_hw.0 * self.input_hw.1;
+        assert_eq!(input.len(), n * item, "input length mismatch");
+        assert_eq!(logits.len(), n * classes, "logits length mismatch");
+        let chunk = self.batch_chunk();
+        for (inp, lg) in input
+            .chunks(chunk * item)
+            .zip(logits.chunks_mut(chunk * classes))
+        {
+            self.run_impl(inp, inp.len() / item, ws, lg, Some(prof), true);
+        }
     }
 
     fn run_impl(
@@ -392,6 +479,7 @@ impl<'m> ExecPlan<'m> {
         ws: &mut Workspace,
         logits: &mut [f32],
         mut prof: Option<&mut SlotProfiler>,
+        batched: bool,
     ) {
         let (h, w) = self.input_hw;
         assert_eq!(
@@ -407,7 +495,7 @@ impl<'m> ExecPlan<'m> {
             ws.take_f32(n * self.buf_elems[1]),
             ws.take_f32(n * self.buf_elems[2]),
         ];
-        self.exec_steps(input, n, ws, &mut bufs, &mut prof);
+        self.exec_steps(input, n, ws, &mut bufs, &mut prof, batched);
 
         // Global average pool + full-precision classifier, with the
         // same accumulation order as the structural forward.
@@ -458,6 +546,7 @@ impl<'m> ExecPlan<'m> {
         ws: &mut Workspace,
         bufs: &mut [Vec<f32>; 3],
         prof: &mut Option<&mut SlotProfiler>,
+        batched: bool,
     ) {
         for (si, step) in self.steps.iter().enumerate() {
             let t0 = prof.as_ref().map(|p| p.begin());
@@ -471,14 +560,18 @@ impl<'m> ExecPlan<'m> {
                     out_elems,
                 } => {
                     let out_len = n * out_elems;
+                    let fwd = if batched {
+                        PackedConv::forward_prepped_batch
+                    } else {
+                        PackedConv::forward_prepped
+                    };
                     match src {
-                        Src::Input => {
-                            conv.forward_prepped(prep, input, n, ws, &mut bufs[*dst][..out_len])
-                        }
+                        Src::Input => fwd(conv, prep, input, n, ws, &mut bufs[*dst][..out_len]),
                         Src::Buf(s) => {
                             let in_len = n * conv.in_channels() * in_hw.0 * in_hw.1;
                             let (src_buf, dst_buf) = two_bufs(bufs, *s, *dst);
-                            conv.forward_prepped(
+                            fwd(
+                                conv,
                                 prep,
                                 &src_buf[..in_len],
                                 n,
@@ -531,6 +624,35 @@ impl<'m> ExecPlan<'m> {
         ws: &mut Workspace,
         features: &mut [f32],
     ) {
+        self.run_features_impl(input, n, ws, features, false);
+    }
+
+    /// [`run_features_into`](ExecPlan::run_features_into) routed
+    /// through the batched XNOR-GEMM tier (see [`run_batch_into`]
+    /// (ExecPlan::run_batch_into)).  Bit-identical to the per-item
+    /// path; the scanner uses this for multi-window suffix batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a slice length disagrees with the compiled shapes.
+    pub fn run_features_batch_into(
+        &self,
+        input: &[f32],
+        n: usize,
+        ws: &mut Workspace,
+        features: &mut [f32],
+    ) {
+        self.run_features_impl(input, n, ws, features, true);
+    }
+
+    fn run_features_impl(
+        &self,
+        input: &[f32],
+        n: usize,
+        ws: &mut Workspace,
+        features: &mut [f32],
+        batched: bool,
+    ) {
         let (h, w) = self.input_hw;
         assert_eq!(
             input.len(),
@@ -543,17 +665,45 @@ impl<'m> ExecPlan<'m> {
             n * fc * fh * fw,
             "feature buffer length mismatch"
         );
+        // Same working-set chunking as `run_batch_into`.
+        let chunk = if batched {
+            self.batch_chunk()
+        } else {
+            n.max(1)
+        };
+        if n > chunk {
+            let item = self.input_c * h * w;
+            for (inp, ft) in input
+                .chunks(chunk * item)
+                .zip(features.chunks_mut(chunk * fc * fh * fw))
+            {
+                self.run_features_impl(inp, inp.len() / item, ws, ft, batched);
+            }
+            return;
+        }
         let mut bufs = [
             ws.take_f32(n * self.buf_elems[0]),
             ws.take_f32(n * self.buf_elems[1]),
             ws.take_f32(n * self.buf_elems[2]),
         ];
-        self.exec_steps(input, n, ws, &mut bufs, &mut None);
+        self.exec_steps(input, n, ws, &mut bufs, &mut None, batched);
         features.copy_from_slice(&bufs[self.final_buf][..n * fc * fh * fw]);
         let [b0, b1, b2] = bufs;
         ws.give_f32(b0);
         ws.give_f32(b1);
         ws.give_f32(b2);
+    }
+
+    /// Whether any conv step of this plan carries a GEMM prep — i.e.
+    /// whether [`run_batch_into`](ExecPlan::run_batch_into) actually
+    /// engages the bit-sliced XNOR-GEMM tier for batches of 2+ (layers
+    /// whose output is all border pixels compile without one).
+    /// Benchmarks report this so throughput numbers name the tier that
+    /// produced them.
+    pub fn gemm_tier(&self) -> bool {
+        self.steps
+            .iter()
+            .any(|s| matches!(s, Step::Conv { prep, .. } if prep.gemm_tier()))
     }
 
     /// Convenience wrapper: runs the plan on a `[n, c, h, w]` tensor

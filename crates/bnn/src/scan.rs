@@ -498,7 +498,9 @@ impl<'m> Scanner<'m> {
                 image_to_signed_into(crop, &mut input[i * side * side..(i + 1) * side * side]);
             }
             let mut logits = ws.take_f32(n * classes);
-            plan.run_into(&input, n, ws, &mut logits);
+            // Multi-window chunks engage the bit-sliced XNOR-GEMM tier
+            // (bit-identical to per-window execution).
+            plan.run_batch_into(&input, n, ws, &mut logits);
             for i in 0..n {
                 out[ci * BATCH + i] = logits[i * classes + 1] - logits[i * classes];
             }
@@ -566,7 +568,7 @@ impl<'m> Scanner<'m> {
                     }
                 }
                 let lo = bi * BATCH * pc * oh * sow_strip;
-                reuse.strip_plan.run_features_into(
+                reuse.strip_plan.run_features_batch_into(
                     &input,
                     n,
                     ws,
@@ -612,7 +614,9 @@ impl<'m> Scanner<'m> {
                 }
             }
             let mut logits = ws.take_f32(n * classes);
-            reuse.suffix_plan.run_into(&assembled, n, ws, &mut logits);
+            reuse
+                .suffix_plan
+                .run_batch_into(&assembled, n, ws, &mut logits);
             for (i, &wi) in chunk.iter().enumerate() {
                 margins[wi] = logits[i * classes + 1] - logits[i * classes];
             }

@@ -1,0 +1,121 @@
+//! Allocation regression test for the batched XNOR-GEMM tier.
+//!
+//! Same contract as `alloc_steady_state.rs`, for the batched
+//! entry point: after one warm-up, `ExecPlan::run_batch_into` performs
+//! **zero** heap allocations — the GEMM B tile, the popcount
+//! accumulator block, and every staging buffer come from the
+//! [`Workspace`] arena.  The dense im2row repack and the per-tile
+//! epilogue are the parts most tempted to allocate (per-tile scratch,
+//! per-level vectors), so this test guards the new tier specifically.
+//!
+//! The file intentionally holds a single `#[test]`: the counter is
+//! process-global, and a sibling test allocating on another thread
+//! while the measured window is open would produce false positives.
+
+use hotspot_bnn::{BnnResNet, NetConfig, PackedBnn};
+use hotspot_tensor::Workspace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Wraps the system allocator and counts every allocation made while
+/// the measurement window is open (see `alloc_steady_state.rs`).
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_batched_forward_performs_zero_heap_allocations() {
+    // M = 2 so the extra residual level reuses the packed B tiles —
+    // the level loop is the likeliest place for a per-level temporary.
+    let mut rng = StdRng::seed_from_u64(11);
+    let net = BnnResNet::new(&NetConfig::tiny(16).with_levels(2), &mut rng);
+    let packed = PackedBnn::compile(&net);
+    let plan = packed.plan((16, 16));
+    assert!(
+        plan.gemm_tier(),
+        "test net must compile with a GEMM tier or this guards nothing"
+    );
+
+    let n = 8;
+    let mut state = 0xba7c_u32;
+    let input: Vec<f32> = (0..n * 16 * 16)
+        .map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            if state & 0x8000 == 0 {
+                1.0
+            } else {
+                -1.0
+            }
+        })
+        .collect();
+    let mut logits = vec![0.0f32; n * 2];
+
+    // Warm-up: grows the workspace pool to its steady-state footprint.
+    let mut ws = Workspace::new();
+    plan.run_batch_into(&input, n, &mut ws, &mut logits);
+    let warm = logits.clone();
+
+    // Measured window: the second batched forward, warm workspace.
+    ALLOC_CALLS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    plan.run_batch_into(&input, n, &mut ws, &mut logits);
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocs = ALLOC_CALLS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        allocs, 0,
+        "steady-state batched forward allocated {allocs} time(s); \
+         the GEMM tier must draw B tiles and accumulators from the \
+         workspace only"
+    );
+    assert_eq!(logits, warm, "the warm run must stay bit-identical");
+
+    // The batched path must also interleave cleanly with the per-item
+    // path on the same workspace without re-growing it.
+    plan.run_into(&input, n, &mut ws, &mut logits);
+    ALLOC_CALLS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    plan.run_batch_into(&input, n, &mut ws, &mut logits);
+    plan.run_into(&input, n, &mut ws, &mut logits);
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocs = ALLOC_CALLS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocs, 0,
+        "alternating batched/per-item forwards allocated {allocs} \
+         time(s) on a warm workspace"
+    );
+    assert_eq!(logits, warm);
+}

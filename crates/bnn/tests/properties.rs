@@ -3,7 +3,7 @@
 use hotspot_bnn::{
     exact_sign_rule, input_scale_per_channel, output_scale_shared, sign_tensor, ste_grad,
     weight_scale, xnor_conv2d, xnor_conv2d_backend, BinaryResidualBlock, BitFilter, BitTensor,
-    BnnResNet, KernelBackend, NetConfig, PackedBnn, ScalingMode,
+    BnnResNet, KernelBackend, NetConfig, PackedBnn, PackedConv, ScalingMode,
 };
 use hotspot_nn::Layer;
 use hotspot_tensor::{conv2d, Tensor, Workspace};
@@ -281,6 +281,130 @@ proptest! {
             prop_assert_eq!(
                 &logits, &reference,
                 "M={} plan on backend {} diverged from scalar", levels, backend.name()
+            );
+        }
+    }
+
+    /// The batched XNOR-GEMM tier is **bit-identical** to per-item
+    /// execution: `run_batch_into` over a batch of N clips produces the
+    /// same logits as N separate `run_into` calls, across batch sizes
+    /// that cover the GEMM tile tail cases, M ∈ {1, 2}, and every
+    /// compiled-in kernel backend (forcing a backend forces its GEMM
+    /// counterpart too).
+    #[test]
+    fn batched_gemm_tier_matches_per_item(
+        seed in 0u64..8,
+        batch_idx in 0usize..5,
+        levels in 1usize..3,
+    ) {
+        let n = [1usize, 2, 3, 8, 17][batch_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = BnnResNet::new(&NetConfig::tiny(16).with_levels(levels), &mut rng);
+        let packed = PackedBnn::compile(&net);
+        let mut state = seed as u32 ^ 0xb17b_a7c4;
+        let input: Vec<f32> = (0..n * 16 * 16).map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            if state & 0x8000 == 0 { 1.0 } else { -1.0 }
+        }).collect();
+        for backend in KernelBackend::available() {
+            let plan = packed.plan_with_backend((16, 16), backend);
+            // Per-item reference: one run_into call per clip.
+            let mut expect = vec![0.0f32; n * 2];
+            let mut ws = Workspace::new();
+            for i in 0..n {
+                plan.run_into(
+                    &input[i * 256..(i + 1) * 256], 1, &mut ws, &mut expect[i * 2..(i + 1) * 2],
+                );
+            }
+            let mut batched = vec![0.0f32; n * 2];
+            plan.run_batch_into(&input, n, &mut ws, &mut batched);
+            prop_assert_eq!(
+                &batched, &expect,
+                "batched M={} n={} on {} diverged from per-item", levels, n, backend.name()
+            );
+            // Workspace reuse across batch sizes must stay identical.
+            let mut again = vec![0.0f32; n * 2];
+            plan.run_batch_into(&input, n, &mut ws, &mut again);
+            prop_assert_eq!(&again, &expect);
+        }
+    }
+
+    /// Conv-level batched/per-item equivalence at channel counts that
+    /// cross the 64-bit word boundary — the dense B-repack handles
+    /// word spills and partial high words, so exercise c just below,
+    /// at, and above multiples of 64, with M ∈ {1, 2} and both an
+    /// affine scale map and plain-sign scaling.
+    #[test]
+    fn batched_conv_word_boundary_channels(
+        seed in 0u64..30,
+        c_idx in 0usize..5,
+        levels in 1usize..3,
+        plain in any::<bool>(),
+    ) {
+        let c = [63usize, 64, 65, 127, 130][c_idx];
+        let (k, h, w, kf) = (3usize, 9usize, 10usize, 4usize);
+        fn next(state: &mut u64) -> u64 {
+            *state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *state
+        }
+        fn pm1(state: &mut u64, len: usize) -> Vec<f32> {
+            (0..len)
+                .map(|_| if next(state) >> 63 == 0 { 1.0 } else { -1.0 })
+                .collect()
+        }
+        fn smallf(state: &mut u64, len: usize) -> Vec<f32> {
+            (0..len)
+                .map(|_| ((next(state) >> 40) as f32 / 16_777_216.0) - 0.5)
+                .collect()
+        }
+        let st = &mut seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(5);
+        let filter =
+            BitFilter::from_tensor(&Tensor::from_vec(&[kf, c, k, k], pm1(st, kf * c * k * k)));
+        let extra_levels: Vec<(BitFilter, Vec<f32>)> = (1..levels)
+            .map(|_| {
+                let f = BitFilter::from_tensor(
+                    &Tensor::from_vec(&[kf, c, k, k], pm1(st, kf * c * k * k)),
+                );
+                let alpha: Vec<f32> = smallf(st, kf).iter().map(|v| v.abs() + 0.05).collect();
+                (f, alpha)
+            })
+            .collect();
+        let scaling = if plain { ScalingMode::PlainSign } else { ScalingMode::PerChannel };
+        let conv = PackedConv::from_raw_parts(
+            smallf(st, c).iter().map(|v| v + 1.5).collect(), // bn scale > 0
+            smallf(st, c),
+            filter,
+            smallf(st, kf).iter().map(|v| v.abs() + 0.1).collect(),
+            1,
+            1,
+            k,
+            scaling,
+            extra_levels,
+        );
+        let n = 3usize;
+        let x: Vec<f32> = smallf(st, n * c * h * w);
+        let (oh, ow) = conv.output_hw(h, w);
+        let out_len = kf * oh * ow;
+        for backend in KernelBackend::available() {
+            let prep = conv.prepare_with_backend(h, w, backend);
+            let mut ws = Workspace::new();
+            let mut expect = vec![0.0f32; n * out_len];
+            for i in 0..n {
+                conv.forward_prepped(
+                    &prep,
+                    &x[i * c * h * w..(i + 1) * c * h * w],
+                    1,
+                    &mut ws,
+                    &mut expect[i * out_len..(i + 1) * out_len],
+                );
+            }
+            let mut batched = vec![0.0f32; n * out_len];
+            conv.forward_prepped_batch(&prep, &x, n, &mut ws, &mut batched);
+            prop_assert_eq!(
+                &batched, &expect,
+                "batched conv c={} M={} {:?} on {} diverged", c, levels, scaling, backend.name()
             );
         }
     }

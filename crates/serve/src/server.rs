@@ -1339,7 +1339,9 @@ fn classify_batch(
         triage.run_into_profiled(&input, n, ws, &mut logits, &mut prof);
         prof.export_to(&shared.registry, "serve_layer_triage", "slot");
     } else {
-        triage.run_into(&input, n, ws, &mut logits);
+        // Batches of 2+ clips engage the bit-sliced XNOR-GEMM tier
+        // (bit-identical to per-clip execution).
+        triage.run_batch_into(&input, n, ws, &mut logits);
     }
     let mut results: Vec<ClipResult> = (0..n)
         .map(|i| {
@@ -1374,7 +1376,7 @@ fn classify_batch(
                 confirm.run_into_profiled(&cinput, m, ws, &mut clogits, &mut prof);
                 prof.export_to(&shared.registry, "serve_layer_confirm", "slot");
             } else {
-                confirm.run_into(&cinput, m, ws, &mut clogits);
+                confirm.run_batch_into(&cinput, m, ws, &mut clogits);
             }
             for (slot, &i) in flagged.iter().enumerate() {
                 let margin = clogits[2 * slot + 1] - clogits[2 * slot];
